@@ -1,0 +1,120 @@
+// EXP-A2 — solver ablation behind the paper's FISTA choice: ISTA
+// (O(1/k)), FISTA (O(1/k^2)) and the greedy OMP baseline on the same
+// recovery problems at CR 50.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "csecg/core/cs_operator.hpp"
+#include "csecg/dsp/dwt.hpp"
+#include "csecg/ecg/metrics.hpp"
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/solvers/fista.hpp"
+#include "csecg/solvers/omp.hpp"
+#include "csecg/util/table.hpp"
+
+int main() {
+  using namespace csecg;
+  std::cout << "EXP-A2: reconstruction solver comparison at CR 50 "
+               "(paper picks FISTA for its O(1/k^2) rate)\n\n";
+
+  const auto& db = bench::corpus();
+  dsp::WaveletTransform psi(dsp::Wavelet::from_name("db4"), 512, 5);
+  core::SensingMatrixConfig sc;  // sparse binary 256x512 d=12
+  const core::SensingMatrix phi(sc);
+  const core::CsOperator<double> op(phi, psi);
+  const double lipschitz = 2.0 * linalg::estimate_spectral_norm_squared(op);
+
+  // Fixed iteration budgets show the convergence-rate gap; OMP runs to a
+  // support size comparable to the signal's effective sparsity.
+  util::Table table({"solver", "budget", "mean PRD (%)", "mean time (ms)"});
+  table.set_title("Solver ablation (same operator, same measurements)");
+
+  const std::size_t records = std::min<std::size_t>(db.size(), 2);
+  const auto evaluate = [&](auto&& solve) {
+    double prd = 0.0;
+    double ms = 0.0;
+    int windows = 0;
+    for (std::size_t r = 0; r < records; ++r) {
+      const auto& record = db.mote(r);
+      for (std::size_t off = 0; off + 512 <= record.samples.size();
+           off += 512) {
+        std::vector<double> x(512);
+        for (std::size_t i = 0; i < 512; ++i) {
+          x[i] = static_cast<double>(record.samples[off + i]);
+        }
+        std::vector<double> y(256);
+        phi.apply(std::span<const double>(x), std::span<double>(y));
+        const auto start = std::chrono::steady_clock::now();
+        const std::vector<double> alpha = solve(y);
+        const auto stop = std::chrono::steady_clock::now();
+        std::vector<double> xhat(512);
+        psi.inverse<double>(std::span<const double>(alpha),
+                            std::span<double>(xhat));
+        prd += ecg::prd(x, xhat);
+        ms += std::chrono::duration<double>(stop - start).count() * 1e3;
+        ++windows;
+      }
+    }
+    return std::pair<double, double>(prd / windows, ms / windows);
+  };
+
+  const auto shrinkage_options = [&](std::size_t budget) {
+    solvers::ShrinkageOptions options;
+    options.max_iterations = budget;
+    options.tolerance = 0.0;  // spend the whole budget
+    options.lipschitz = lipschitz;
+    return options;
+  };
+  const auto lambda_for = [&](std::span<const double> y) {
+    std::vector<double> aty(512);
+    op.apply_adjoint(y, std::span<double>(aty));
+    return 0.01 * linalg::norm_inf(std::span<const double>(aty));
+  };
+
+  for (const std::size_t budget : {100, 400, 800}) {
+    const auto [prd_f, ms_f] = evaluate([&](std::span<const double> y) {
+      auto options = shrinkage_options(budget);
+      options.lambda = lambda_for(y);
+      return solvers::fista<double>(op, y, options).solution;
+    });
+    table.add_row({"FISTA", std::to_string(budget) + " iters",
+                   util::format_double(prd_f, 2),
+                   util::format_double(ms_f, 2)});
+    const auto [prd_i, ms_i] = evaluate([&](std::span<const double> y) {
+      auto options = shrinkage_options(budget);
+      options.lambda = lambda_for(y);
+      return solvers::ista<double>(op, y, options).solution;
+    });
+    table.add_row({"ISTA", std::to_string(budget) + " iters",
+                   util::format_double(prd_i, 2),
+                   util::format_double(ms_i, 2)});
+    const auto [prd_r, ms_r] = evaluate([&](std::span<const double> y) {
+      auto options = shrinkage_options(budget);
+      options.lambda = lambda_for(y);
+      options.adaptive_restart = true;
+      return solvers::fista<double>(op, y, options).solution;
+    });
+    table.add_row({"FISTA+restart", std::to_string(budget) + " iters",
+                   util::format_double(prd_r, 2),
+                   util::format_double(ms_r, 2)});
+  }
+  for (const std::size_t support : {32, 64}) {
+    const auto [prd_o, ms_o] = evaluate([&](std::span<const double> y) {
+      solvers::OmpOptions options;
+      options.max_support = support;
+      options.residual_tolerance = 1e-6;
+      return solvers::omp(op, y, options).solution;
+    });
+    table.add_row({"OMP", std::to_string(support) + " atoms",
+                   util::format_double(prd_o, 2),
+                   util::format_double(ms_o, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: FISTA beats ISTA at every budget (O(1/k^2) vs "
+               "O(1/k)); OMP needs dense-ish support and large "
+               "least-squares solves to compete, which is why the paper "
+               "rules greedy methods out for the real-time decoder.\n";
+  return 0;
+}

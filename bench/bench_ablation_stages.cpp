@@ -1,0 +1,106 @@
+// EXP-A3 — pipeline-stage ablation: how much each encoder stage (CS
+// projection, inter-packet redundancy removal, Huffman coding)
+// contributes to the final wire compression ratio.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "csecg/coding/bitstream.hpp"
+#include "csecg/coding/rice.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/core/residual.hpp"
+#include "csecg/ecg/metrics.hpp"
+#include "csecg/util/table.hpp"
+
+int main() {
+  using namespace csecg;
+  std::cout << "EXP-A3: bits per 2-s window after each encoder stage "
+               "(M = 256, d = 12)\n\n";
+
+  const auto& db = bench::corpus();
+  core::EncoderConfig config;
+  const core::SensingMatrix sensing([&] {
+    core::SensingMatrixConfig sc;
+    sc.rows = config.measurements;
+    sc.cols = config.window;
+    sc.d = config.d;
+    sc.seed = config.seed;
+    return sc;
+  }());
+  const auto& book = bench::codebook();
+  const std::int32_t scale = core::q15_inverse_sqrt(config.d);
+
+  const std::size_t raw_bits = 512 * 11;
+  const std::size_t cs_bits = config.measurements * config.absolute_bits;
+
+  // Differences without entropy coding cost 9 fixed bits per symbol
+  // (the paper's [-256, 255] alphabet); with Huffman, whatever the
+  // codebook actually spends.
+  double diff_fixed_bits = 0.0;
+  double diff_huffman_bits = 0.0;
+  double diff_rice_bits = 0.0;
+  std::size_t windows = 0;
+
+  std::vector<std::int32_t> current(config.measurements);
+  std::vector<std::int32_t> previous(config.measurements);
+  for (std::size_t r = 0; r < db.size(); ++r) {
+    const auto& record = db.mote(r);
+    bool have_previous = false;
+    for (std::size_t off = 0; off + 512 <= record.samples.size();
+         off += 512) {
+      core::project_window_q15(
+          sensing.sparse(), scale,
+          std::span<const std::int16_t>(record.samples.data() + off, 512),
+          std::span<std::int32_t>(current));
+      if (have_previous) {
+        coding::BitWriter writer;
+        const std::size_t symbols = core::encode_difference(
+            current, previous, book, writer);
+        diff_huffman_bits += static_cast<double>(writer.bit_count());
+        diff_fixed_bits += static_cast<double>(symbols) * 9.0;
+        // Rice alternative: per-packet optimal k on the raw differences
+        // (plus 5 bits to transmit k itself).
+        std::vector<std::int32_t> diffs(current.size());
+        for (std::size_t i = 0; i < current.size(); ++i) {
+          diffs[i] = current[i] - previous[i];
+        }
+        const unsigned k = coding::optimal_rice_parameter(diffs);
+        diff_rice_bits +=
+            static_cast<double>(coding::rice_block_bits(diffs, k)) + 5.0;
+        ++windows;
+      }
+      previous.swap(current);
+      have_previous = true;
+    }
+  }
+  diff_fixed_bits /= static_cast<double>(windows);
+  diff_huffman_bits /= static_cast<double>(windows);
+  diff_rice_bits /= static_cast<double>(windows);
+
+  util::Table table({"stage", "bits/window", "CR vs raw (%)"});
+  table.set_title("Compression contribution per encoder stage");
+  const auto cr = [&](double bits) {
+    return util::format_double(
+        ecg::compression_ratio(raw_bits,
+                               static_cast<std::size_t>(bits)),
+        1);
+  };
+  table.add_row({"raw 11-bit samples", std::to_string(raw_bits), "0.0"});
+  table.add_row({"+ CS projection (fixed 20-bit y)",
+                 std::to_string(cs_bits), cr(static_cast<double>(cs_bits))});
+  table.add_row({"+ redundancy removal (fixed 9-bit diffs)",
+                 util::format_double(diff_fixed_bits, 0),
+                 cr(diff_fixed_bits)});
+  table.add_row({"+ Huffman coding (wire payload)",
+                 util::format_double(diff_huffman_bits, 0),
+                 cr(diff_huffman_bits)});
+  table.add_row({"+ Rice coding (codebook-free alternative)",
+                 util::format_double(diff_rice_bits, 0),
+                 cr(diff_rice_bits)});
+  table.print(std::cout);
+  std::cout << "\nThe difference stage shrinks each measurement from 20 to"
+               " 9 bits; Huffman squeezes the peaked difference "
+               "distribution further — together they turn the nominal CS "
+               "ratio into the paper's wire-level CR.\n";
+  return 0;
+}

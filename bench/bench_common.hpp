@@ -1,0 +1,53 @@
+#ifndef CSECG_BENCH_COMMON_HPP
+#define CSECG_BENCH_COMMON_HPP
+
+/// Shared fixtures for the benchmark harness. Every bench binary prints
+/// the rows of the paper artefact it regenerates (see DESIGN.md §4 and
+/// EXPERIMENTS.md) through util::Table so output is uniform.
+///
+/// The corpus defaults to 8 records x 30 s (the full MIT-BIH-scale corpus
+/// is 48 x 30 min); set CSECG_BENCH_RECORDS / CSECG_BENCH_SECONDS to
+/// rescale.
+
+#include <cstdlib>
+#include <string>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/codebook.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/ecg/database.hpp"
+
+namespace csecg::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// The evaluation corpus (deterministic; shared across benches).
+inline const ecg::SyntheticDatabase& corpus() {
+  static const ecg::SyntheticDatabase db([] {
+    ecg::DatabaseConfig config;
+    config.record_count = env_size("CSECG_BENCH_RECORDS", 8);
+    config.duration_s =
+        static_cast<double>(env_size("CSECG_BENCH_SECONDS", 30));
+    return config;
+  }());
+  return db;
+}
+
+/// One codebook trained at the paper's CR = 50 operating point, reused by
+/// every bench (the paper ships a single offline-generated book).
+inline const coding::HuffmanCodebook& codebook() {
+  static const coding::HuffmanCodebook book =
+      core::train_difference_codebook(corpus(), core::EncoderConfig{});
+  return book;
+}
+
+}  // namespace csecg::bench
+
+#endif  // CSECG_BENCH_COMMON_HPP

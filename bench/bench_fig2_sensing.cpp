@@ -1,0 +1,92 @@
+// EXP-F2 — regenerates Figure 2: average output SNR vs compression ratio
+// for sparse binary sensing (d = 12) against the optimal Gaussian sensing
+// reference, over the evaluation corpus.
+//
+// Paper shape: the two curves overlap (SNR ~22 dB at CR 50 falling to
+// ~5 dB at CR 80); the claim under test is "no meaningful performance
+// difference between the two approaches".
+
+#include <iostream>
+#include <span>
+
+#include "bench_common.hpp"
+#include "csecg/core/cs_operator.hpp"
+#include "csecg/core/sensing_matrix.hpp"
+#include "csecg/dsp/dwt.hpp"
+#include "csecg/ecg/metrics.hpp"
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/solvers/fista.hpp"
+#include "csecg/util/stats.hpp"
+#include "csecg/util/table.hpp"
+
+namespace {
+
+using namespace csecg;
+
+double mean_snr(core::SensingMatrixType type, std::size_t m) {
+  const auto& db = bench::corpus();
+  dsp::WaveletTransform psi(dsp::Wavelet::from_name("db4"), 512, 5);
+  core::SensingMatrixConfig sc;
+  sc.type = type;
+  sc.rows = m;
+  sc.cols = 512;
+  sc.d = 12;
+  const core::SensingMatrix phi(sc);
+  const core::CsOperator<double> op(phi, psi);
+  const double lipschitz = 2.0 * linalg::estimate_spectral_norm_squared(op);
+
+  util::RunningStats snr;
+  for (std::size_t r = 0; r < db.size(); ++r) {
+    const auto& record = db.mote(r);
+    for (std::size_t off = 0; off + 512 <= record.samples.size();
+         off += 512) {
+      std::vector<double> x(512);
+      for (std::size_t i = 0; i < 512; ++i) {
+        x[i] = static_cast<double>(record.samples[off + i]);
+      }
+      std::vector<double> y(m);
+      phi.apply(std::span<const double>(x), std::span<double>(y));
+      std::vector<double> aty(512);
+      op.apply_adjoint(std::span<const double>(y), std::span<double>(aty));
+      solvers::ShrinkageOptions options;
+      options.lambda = 0.01 * linalg::norm_inf(std::span<const double>(aty));
+      options.max_iterations = 1500;
+      options.tolerance = 1e-5;
+      options.lipschitz = lipschitz;
+      const auto result = solvers::fista<double>(op, y, options);
+      std::vector<double> xhat(512);
+      psi.inverse<double>(std::span<const double>(result.solution),
+                          std::span<double>(xhat));
+      snr.add(ecg::snr_from_prd(ecg::prd(x, xhat)));
+    }
+  }
+  return snr.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-F2 (Figure 2): output SNR vs CR, sparse binary (d=12)"
+               " vs Gaussian sensing\n"
+               "Corpus: " << csecg::bench::corpus().size()
+            << " records. SNR in dB, averaged over all windows.\n\n";
+  csecg::util::Table table(
+      {"CR (%)", "M", "SNR sparse (dB)", "SNR gaussian (dB)", "gap (dB)"});
+  table.set_title("Fig 2 — performance benchmarking of sparse binary CS");
+  for (const double cr : {50.0, 55.0, 60.0, 65.0, 70.0, 75.0, 80.0}) {
+    const std::size_t m = csecg::core::measurements_for_cr(512, cr);
+    const double sparse =
+        mean_snr(csecg::core::SensingMatrixType::kSparseBinary, m);
+    const double gaussian =
+        mean_snr(csecg::core::SensingMatrixType::kGaussian, m);
+    table.add_row({csecg::util::format_double(cr, 0), std::to_string(m),
+                   csecg::util::format_double(sparse, 2),
+                   csecg::util::format_double(gaussian, 2),
+                   csecg::util::format_double(sparse - gaussian, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: the two curves coincide (no meaningful "
+               "difference); both fall from ~22 dB to ~5 dB over this "
+               "range.\n";
+  return 0;
+}

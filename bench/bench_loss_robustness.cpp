@@ -1,0 +1,71 @@
+// EXP-A6 — frame-loss robustness: the paper assumes a benign Bluetooth
+// link; this bench injects frame loss into the pipeline and measures how
+// the keyframe (re-sync) interval bounds the damage — the engineering
+// margin a deployed WBSN needs.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "csecg/util/table.hpp"
+#include "csecg/wbsn/pipeline.hpp"
+
+int main() {
+  using namespace csecg;
+  std::cout << "EXP-A6: pipeline robustness to Bluetooth frame loss "
+               "(CR 50)\n\n";
+  util::Table table({"loss rate", "keyframe ivl", "delivered", "displayed",
+                     "displayed PRD (%)"});
+  table.set_title("Frame loss vs keyframe (re-sync) interval");
+
+  const auto& db = bench::corpus();
+  for (const double loss : {0.0, 0.05, 0.15, 0.30}) {
+    for (const std::size_t keyframe : {std::size_t{4}, std::size_t{16},
+                                       std::size_t{64}}) {
+      core::DecoderConfig config;
+      config.cs.keyframe_interval = keyframe;
+      const auto book = bench::codebook();
+
+      std::size_t input = 0;
+      std::size_t delivered = 0;
+      std::size_t displayed = 0;
+      double prd = 0.0;
+      std::size_t prd_count = 0;
+      const std::size_t records = std::min<std::size_t>(db.size(), 4);
+      for (std::size_t r = 0; r < records; ++r) {
+        wbsn::PipelineConfig pipe;
+        pipe.link.loss_rate = loss;
+        // Independent loss pattern per record and per loss rate so the
+        // table averages over several realisations.
+        pipe.link.seed = 17 + r * 101 +
+                         static_cast<std::uint64_t>(loss * 1000.0);
+        wbsn::RealTimePipeline pipeline(config, book, pipe);
+        const auto report = pipeline.run(db.mote(r));
+        input += report.windows_input;
+        delivered += report.link.frames_sent - report.link.frames_lost;
+        displayed += report.windows_displayed;
+        if (report.windows_displayed > 0) {
+          prd += report.mean_prd;
+          ++prd_count;
+        }
+      }
+      table.add_row(
+          {util::format_percent(loss, 0), std::to_string(keyframe),
+           util::format_double(
+               100.0 * static_cast<double>(delivered) /
+                   static_cast<double>(input),
+               1) + "%",
+           util::format_double(100.0 * static_cast<double>(displayed) /
+                                   static_cast<double>(input),
+                               1) + "%",
+           prd_count > 0
+               ? util::format_double(prd / static_cast<double>(prd_count),
+                                     2)
+               : "-"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: short keyframe intervals convert lost frames "
+               "into a bounded gap instead of a corrupted differential "
+               "chain; the displayed windows keep their quality.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// EXP-S6 — the §IV-A2 memory claim: "the complete CS implementation
+// requires 6.5 kB of RAM and 7.5 kB of Flash, 1.5 kB of which are for
+// Huffman codebook storage." Prints the itemised accountant output for
+// the shipped (on-the-fly) configuration and for the stored-table
+// alternative that would not fit.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "csecg/platform/memory_footprint.hpp"
+#include "csecg/platform/msp430.hpp"
+#include "csecg/util/table.hpp"
+
+namespace {
+
+void print_footprint(const char* title,
+                     const csecg::platform::MemoryFootprint& fp) {
+  csecg::util::Table table({"item", "bytes", "segment"});
+  table.set_title(title);
+  for (const auto& item : fp.items) {
+    table.add_row({item.name, std::to_string(item.bytes),
+                   item.is_ram ? "RAM" : "flash"});
+  }
+  table.add_row({"TOTAL RAM", std::to_string(fp.ram_total()),
+                 "of 10240 (MSP430F1611)"});
+  table.add_row({"TOTAL FLASH", std::to_string(fp.flash_total()),
+                 "of 49152"});
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace csecg;
+  std::cout << "EXP-S6 (SS IV-A2): mote memory footprint (paper: 6.5 kB "
+               "RAM, 7.5 kB flash incl. 1.5 kB codebook)\n\n";
+  {
+    core::Encoder encoder(core::EncoderConfig{}, bench::codebook());
+    print_footprint("Shipped configuration (on-the-fly sensing indices)",
+                    platform::estimate_encoder_footprint(encoder));
+  }
+  {
+    core::EncoderConfig config;
+    config.on_the_fly_indices = false;
+    core::Encoder encoder(config, bench::codebook());
+    print_footprint(
+        "Alternative: stored 256x512 d=12 index table (does NOT fit the "
+        "paper's 7.5 kB flash budget)",
+        platform::estimate_encoder_footprint(encoder));
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Sensing-design exploration: sweeps the sensing matrix type, the column
+// density d and the compression ratio, and emits a CSV of recovery
+// quality — the experiment a WBSN designer runs before freezing the
+// encoder configuration (the paper froze sparse binary with d = 12).
+//
+//   $ ./sensing_explorer > sweep.csv
+
+#include <iostream>
+#include <span>
+
+#include "csecg/core/cs_operator.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/core/sensing_matrix.hpp"
+#include "csecg/dsp/dwt.hpp"
+#include "csecg/ecg/database.hpp"
+#include "csecg/ecg/metrics.hpp"
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/solvers/fista.hpp"
+#include "csecg/util/stats.hpp"
+#include "csecg/util/table.hpp"
+
+namespace {
+
+using namespace csecg;
+
+double mean_prd(const ecg::SyntheticDatabase& db,
+                const core::SensingMatrixConfig& sc) {
+  dsp::WaveletTransform psi(dsp::Wavelet::from_name("db4"), 512, 5);
+  const core::SensingMatrix phi(sc);
+  const core::CsOperator<double> op(phi, psi);
+  const double lipschitz = 2.0 * linalg::estimate_spectral_norm_squared(op);
+  util::RunningStats prd;
+  for (std::size_t r = 0; r < 2; ++r) {
+    const auto& record = db.mote(r);
+    for (std::size_t off = 0; off + 512 <= record.samples.size();
+         off += 512) {
+      std::vector<double> x(512);
+      for (std::size_t i = 0; i < 512; ++i) {
+        x[i] = static_cast<double>(record.samples[off + i]);
+      }
+      std::vector<double> y(sc.rows);
+      phi.apply(std::span<const double>(x), std::span<double>(y));
+      std::vector<double> aty(512);
+      op.apply_adjoint(std::span<const double>(y), std::span<double>(aty));
+      solvers::ShrinkageOptions options;
+      options.lambda = 0.01 * linalg::norm_inf(std::span<const double>(aty));
+      options.max_iterations = 1000;
+      options.tolerance = 1e-5;
+      options.lipschitz = lipschitz;
+      const auto result = solvers::fista<double>(op, y, options);
+      std::vector<double> xhat(512);
+      psi.inverse<double>(std::span<const double>(result.solution),
+                          std::span<double>(xhat));
+      prd.add(ecg::prd(x, xhat));
+    }
+  }
+  return prd.mean();
+}
+
+}  // namespace
+
+int main() {
+  using namespace csecg;
+  ecg::DatabaseConfig db_config;
+  db_config.record_count = 2;
+  db_config.duration_s = 20.0;
+  const ecg::SyntheticDatabase db(db_config);
+
+  util::Table csv({"matrix", "d", "cr_percent", "m", "mean_prd", "snr_db"});
+  for (const double cr : {40.0, 50.0, 60.0, 70.0}) {
+    const std::size_t m = core::measurements_for_cr(512, cr);
+    for (const auto type : {core::SensingMatrixType::kGaussian,
+                            core::SensingMatrixType::kBernoulli}) {
+      core::SensingMatrixConfig sc;
+      sc.type = type;
+      sc.rows = m;
+      const double prd = mean_prd(db, sc);
+      csv.add_row({to_string(type), "-", util::format_double(cr, 0),
+                   std::to_string(m), util::format_double(prd, 3),
+                   util::format_double(ecg::snr_from_prd(prd), 2)});
+    }
+    for (const std::size_t d : {4, 8, 12, 16}) {
+      core::SensingMatrixConfig sc;
+      sc.rows = m;
+      sc.d = d;
+      const double prd = mean_prd(db, sc);
+      csv.add_row({to_string(sc.type), std::to_string(d),
+                   util::format_double(cr, 0), std::to_string(m),
+                   util::format_double(prd, 3),
+                   util::format_double(ecg::snr_from_prd(prd), 2)});
+    }
+  }
+  csv.print_csv(std::cout);
+  return 0;
+}

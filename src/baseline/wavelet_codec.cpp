@@ -1,0 +1,140 @@
+#include "csecg/baseline/wavelet_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/coding/bitstream.hpp"
+#include "csecg/coding/rice.hpp"
+#include "csecg/fixedpoint/msp430_counters.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::baseline {
+
+WaveletCodec::WaveletCodec(const WaveletCodecConfig& config)
+    : config_(config),
+      transform_(dsp::Wavelet::from_name(config.wavelet), config.window,
+                 config.levels) {
+  CSECG_CHECK(config.keep_fraction > 0.0 && config.keep_fraction <= 1.0,
+              "keep_fraction must be in (0, 1]");
+  CSECG_CHECK(config.quant_step > 0.0, "quant_step must be positive");
+}
+
+WaveletPacket WaveletCodec::compress(std::span<const std::int16_t> x) {
+  const std::size_t n = config_.window;
+  CSECG_CHECK(x.size() == n, "window length mismatch");
+
+  // --- Forward DWT (the stage CS deletes from the mote). ---
+  std::vector<double> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] = static_cast<double>(x[i]);
+  }
+  std::vector<double> coeffs(n);
+  transform_.forward<double>(samples, coeffs);
+  {
+    // Mote cost: each filter tap is a Q15 multiply-accumulate in software
+    // — two HW multiplies for the 32-bit product, a 15-bit renormalising
+    // shift (the MSP430 has no barrel shifter: byte-swap + 7 singles),
+    // and the 32-bit accumulate. Across all levels the filter bank
+    // touches ~2 * taps * N coefficient slots.
+    fixedpoint::Msp430OpCounts ops;
+    const auto taps =
+        static_cast<std::uint64_t>(transform_.wavelet().length());
+    const std::uint64_t mac_count = 2 * taps * n;
+    ops.mul16 = 2 * mac_count;
+    ops.add16 = 2 * mac_count;
+    ops.shift = 8 * mac_count;
+    ops.load = 2 * mac_count;
+    ops.store = 2 * n;
+    fixedpoint::charge(ops);
+  }
+
+  // --- Threshold selection: keep the K largest magnitudes. ---
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(config_.keep_fraction * static_cast<double>(n))));
+  std::vector<double> magnitudes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    magnitudes[i] = std::fabs(coeffs[i]);
+  }
+  std::nth_element(magnitudes.begin(),
+                   magnitudes.begin() + static_cast<std::ptrdiff_t>(n - keep),
+                   magnitudes.end());
+  const double threshold = magnitudes[n - keep];
+  {
+    // Selection on the mote: a couple of threshold-refinement passes over
+    // the coefficient array (compare + branch each).
+    fixedpoint::Msp430OpCounts ops;
+    ops.add16 = 3 * n;
+    ops.branch = 3 * n;
+    ops.load = 3 * n;
+    fixedpoint::charge(ops);
+  }
+
+  // --- Entropy stage: significance bitmap + Rice-coded values. ---
+  coding::BitWriter writer;
+  std::vector<std::int32_t> kept_values;
+  kept_values.reserve(keep);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool significant =
+        std::fabs(coeffs[i]) >= threshold && kept < keep;
+    writer.write_bits(significant ? 1 : 0, 1);
+    if (significant) {
+      kept_values.push_back(static_cast<std::int32_t>(
+          std::lround(coeffs[i] / config_.quant_step)));
+      ++kept;
+    }
+  }
+  const unsigned k = coding::optimal_rice_parameter(kept_values);
+  writer.write_bits(k, 5);
+  coding::rice_encode_block(kept_values, k, writer);
+  {
+    fixedpoint::Msp430OpCounts ops;
+    ops.shift = static_cast<std::uint64_t>(writer.bit_count());
+    ops.store = writer.bit_count() / 16 + 1;
+    ops.add16 = n + kept_values.size();
+    fixedpoint::charge(ops);
+  }
+
+  WaveletPacket packet;
+  packet.sequence = sequence_++;
+  packet.payload = writer.finish();
+  return packet;
+}
+
+std::optional<std::vector<double>> WaveletCodec::decompress(
+    const WaveletPacket& packet) const {
+  const std::size_t n = config_.window;
+  coding::BitReader reader(packet.payload);
+  std::vector<bool> significant(n, false);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto bit = reader.read_bit();
+    if (!bit) {
+      return std::nullopt;
+    }
+    significant[i] = *bit != 0;
+    kept += significant[i];
+  }
+  const auto k = reader.read_bits(5);
+  if (!k || *k > 30) {
+    return std::nullopt;
+  }
+  std::vector<std::int32_t> values(kept);
+  if (!coding::rice_decode_block(*k, reader,
+                                 std::span<std::int32_t>(values))) {
+    return std::nullopt;
+  }
+  std::vector<double> coeffs(n, 0.0);
+  std::size_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (significant[i]) {
+      coeffs[i] = static_cast<double>(values[v++]) * config_.quant_step;
+    }
+  }
+  std::vector<double> samples(n);
+  transform_.inverse<double>(coeffs, samples);
+  return samples;
+}
+
+}  // namespace csecg::baseline

@@ -1,0 +1,51 @@
+#include "csecg/coding/bitstream.hpp"
+
+namespace csecg::coding {
+
+void BitWriter::write_bits(std::uint32_t bits, unsigned count) {
+  CSECG_CHECK(count >= 1 && count <= 32, "bit count must be in [1, 32]");
+  for (unsigned i = count; i-- > 0;) {
+    const unsigned bit = (bits >> i) & 1u;
+    current_ = static_cast<std::uint8_t>((current_ << 1) | bit);
+    ++filled_;
+    ++bit_count_;
+    if (filled_ == 8) {
+      bytes_.push_back(current_);
+      current_ = 0;
+      filled_ = 0;
+    }
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (filled_ != 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(current_ << (8 - filled_)));
+    current_ = 0;
+    filled_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+std::optional<unsigned> BitReader::read_bit() {
+  if (position_ >= bytes_.size() * 8) {
+    return std::nullopt;
+  }
+  const std::size_t byte = position_ / 8;
+  const unsigned offset = 7 - static_cast<unsigned>(position_ % 8);
+  ++position_;
+  return (bytes_[byte] >> offset) & 1u;
+}
+
+std::optional<std::uint32_t> BitReader::read_bits(unsigned count) {
+  CSECG_CHECK(count >= 1 && count <= 32, "bit count must be in [1, 32]");
+  if (remaining() < count) {
+    return std::nullopt;
+  }
+  std::uint32_t value = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    value = (value << 1) | *read_bit();
+  }
+  return value;
+}
+
+}  // namespace csecg::coding

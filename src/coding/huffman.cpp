@@ -1,0 +1,261 @@
+#include "csecg/coding/huffman.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace csecg::coding {
+
+namespace {
+
+/// Arena node for package-merge: a leaf (symbol >= 0) or a package of two
+/// children.
+struct PmNode {
+  std::uint64_t weight = 0;
+  std::int32_t symbol = -1;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> package_merge_lengths(
+    std::span<const std::uint64_t> frequencies, unsigned max_length) {
+  const std::size_t n = frequencies.size();
+  CSECG_CHECK(n >= 2, "need at least two symbols");
+  CSECG_CHECK(max_length >= 1 && max_length <= 32,
+              "max_length out of range");
+  CSECG_CHECK((std::size_t{1} << std::min<unsigned>(max_length, 63)) >= n,
+              "max_length too small to encode this many symbols");
+
+  // Promote zero frequencies so the codebook is complete: the decoder must
+  // be able to handle any symbol the wire can carry.
+  std::vector<PmNode> arena;
+  arena.reserve(n * max_length * 2);
+  std::vector<std::int32_t> leaves(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    PmNode node;
+    node.weight = frequencies[s] == 0 ? 1 : frequencies[s];
+    node.symbol = static_cast<std::int32_t>(s);
+    leaves[s] = static_cast<std::int32_t>(arena.size());
+    arena.push_back(node);
+  }
+  std::vector<std::int32_t> sorted_leaves = leaves;
+  std::sort(sorted_leaves.begin(), sorted_leaves.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return arena[static_cast<std::size_t>(a)].weight <
+                     arena[static_cast<std::size_t>(b)].weight;
+            });
+
+  std::vector<std::int32_t> current = sorted_leaves;
+  for (unsigned level = 1; level < max_length; ++level) {
+    // Package consecutive pairs of the current list.
+    std::vector<std::int32_t> packages;
+    packages.reserve(current.size() / 2);
+    for (std::size_t i = 0; i + 1 < current.size(); i += 2) {
+      PmNode pkg;
+      pkg.left = current[i];
+      pkg.right = current[i + 1];
+      pkg.weight = arena[static_cast<std::size_t>(current[i])].weight +
+                   arena[static_cast<std::size_t>(current[i + 1])].weight;
+      packages.push_back(static_cast<std::int32_t>(arena.size()));
+      arena.push_back(pkg);
+    }
+    // Merge with the fresh leaves, keeping the list weight-sorted.
+    std::vector<std::int32_t> merged;
+    merged.reserve(packages.size() + sorted_leaves.size());
+    std::merge(sorted_leaves.begin(), sorted_leaves.end(), packages.begin(),
+               packages.end(), std::back_inserter(merged),
+               [&](std::int32_t a, std::int32_t b) {
+                 return arena[static_cast<std::size_t>(a)].weight <
+                        arena[static_cast<std::size_t>(b)].weight;
+               });
+    current = std::move(merged);
+  }
+
+  // The optimal solution selects the 2n - 2 cheapest entries of the final
+  // list; each time a leaf appears (directly or inside a package) its code
+  // length grows by one.
+  std::vector<std::uint8_t> lengths(n, 0);
+  const std::size_t take = 2 * n - 2;
+  CSECG_CHECK(current.size() >= take,
+              "package-merge produced too few candidates");
+  std::vector<std::int32_t> stack;
+  for (std::size_t i = 0; i < take; ++i) {
+    stack.push_back(current[i]);
+    while (!stack.empty()) {
+      const auto idx = static_cast<std::size_t>(stack.back());
+      stack.pop_back();
+      const PmNode& node = arena[idx];
+      if (node.symbol >= 0) {
+        ++lengths[static_cast<std::size_t>(node.symbol)];
+      } else {
+        stack.push_back(node.left);
+        stack.push_back(node.right);
+      }
+    }
+  }
+  return lengths;
+}
+
+HuffmanCodebook HuffmanCodebook::from_lengths(
+    std::span<const std::uint8_t> lengths) {
+  CSECG_CHECK(lengths.size() >= 2, "need at least two symbols");
+  HuffmanCodebook book;
+  book.lengths_.assign(lengths.begin(), lengths.end());
+  book.max_length_ = 0;
+  for (const auto l : lengths) {
+    CSECG_CHECK(l >= 1 && l <= kMaxCodeLength,
+                "every symbol needs a length in [1, 16]");
+    book.max_length_ = std::max<unsigned>(book.max_length_, l);
+  }
+  // Kraft equality: sum 2^(max - l) must equal 2^max for a complete code.
+  std::uint64_t kraft = 0;
+  for (const auto l : lengths) {
+    kraft += std::uint64_t{1} << (book.max_length_ - l);
+  }
+  CSECG_CHECK(kraft == std::uint64_t{1} << book.max_length_,
+              "lengths do not form a complete prefix code");
+  book.build_tables();
+  return book;
+}
+
+HuffmanCodebook HuffmanCodebook::from_frequencies(
+    std::span<const std::uint64_t> frequencies, unsigned max_length) {
+  return from_lengths(package_merge_lengths(frequencies, max_length));
+}
+
+void HuffmanCodebook::build_tables() {
+  const std::size_t n = lengths_.size();
+  // Canonical ordering: by (length, symbol).
+  sorted_symbols_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    sorted_symbols_[s] = static_cast<std::uint16_t>(s);
+  }
+  std::sort(sorted_symbols_.begin(), sorted_symbols_.end(),
+            [&](std::uint16_t a, std::uint16_t b) {
+              if (lengths_[a] != lengths_[b]) {
+                return lengths_[a] < lengths_[b];
+              }
+              return a < b;
+            });
+
+  std::vector<std::uint32_t> bl_count(max_length_ + 1, 0);
+  for (const auto l : lengths_) {
+    ++bl_count[l];
+  }
+  first_code_.assign(max_length_ + 1, 0);
+  first_index_.assign(max_length_ + 1, 0);
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (unsigned l = 1; l <= max_length_; ++l) {
+    code = (code + bl_count[l - 1]) << 1;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += bl_count[l];
+  }
+
+  codes_.assign(n, 0);
+  std::vector<std::uint32_t> next_code = first_code_;
+  for (const auto symbol : sorted_symbols_) {
+    const unsigned l = lengths_[symbol];
+    codes_[symbol] = static_cast<std::uint16_t>(next_code[l]++);
+  }
+}
+
+unsigned HuffmanCodebook::code_length(std::size_t symbol) const {
+  CSECG_CHECK(symbol < lengths_.size(), "symbol out of range");
+  return lengths_[symbol];
+}
+
+std::uint16_t HuffmanCodebook::code(std::size_t symbol) const {
+  CSECG_CHECK(symbol < codes_.size(), "symbol out of range");
+  return codes_[symbol];
+}
+
+void HuffmanCodebook::encode(std::size_t symbol, BitWriter& writer) const {
+  CSECG_CHECK(symbol < codes_.size(), "symbol out of range");
+  writer.write_bits(codes_[symbol], lengths_[symbol]);
+}
+
+std::optional<std::uint16_t> HuffmanCodebook::decode(
+    BitReader& reader) const {
+  std::uint32_t code = 0;
+  for (unsigned length = 1; length <= max_length_; ++length) {
+    const auto bit = reader.read_bit();
+    if (!bit) {
+      return std::nullopt;
+    }
+    code = (code << 1) | *bit;
+    const std::uint32_t first = first_code_[length];
+    // Count of codes at this length = difference of first_index entries.
+    const std::uint32_t count =
+        (length == max_length_ ? static_cast<std::uint32_t>(
+                                     sorted_symbols_.size())
+                               : first_index_[length + 1]) -
+        first_index_[length];
+    if (count != 0 && code >= first && code - first < count) {
+      return sorted_symbols_[first_index_[length] + (code - first)];
+    }
+  }
+  return std::nullopt;  // invalid bitstream
+}
+
+double HuffmanCodebook::expected_length(
+    std::span<const std::uint64_t> frequencies) const {
+  CSECG_CHECK(frequencies.size() == lengths_.size(),
+              "frequency table size mismatch");
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::size_t s = 0; s < frequencies.size(); ++s) {
+    total += static_cast<double>(frequencies[s]);
+    weighted +=
+        static_cast<double>(frequencies[s]) * static_cast<double>(lengths_[s]);
+  }
+  return total == 0.0 ? 0.0 : weighted / total;
+}
+
+std::vector<std::uint8_t> HuffmanCodebook::serialize() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(4 + lengths_.size());
+  const auto n = static_cast<std::uint32_t>(lengths_.size());
+  bytes.push_back(static_cast<std::uint8_t>(n >> 24));
+  bytes.push_back(static_cast<std::uint8_t>(n >> 16));
+  bytes.push_back(static_cast<std::uint8_t>(n >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(n));
+  bytes.insert(bytes.end(), lengths_.begin(), lengths_.end());
+  return bytes;
+}
+
+std::optional<HuffmanCodebook> HuffmanCodebook::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) {
+    return std::nullopt;
+  }
+  const std::uint32_t n = (std::uint32_t{bytes[0]} << 24) |
+                          (std::uint32_t{bytes[1]} << 16) |
+                          (std::uint32_t{bytes[2]} << 8) |
+                          std::uint32_t{bytes[3]};
+  if (n < 2 || bytes.size() != 4 + static_cast<std::size_t>(n)) {
+    return std::nullopt;
+  }
+  const std::span<const std::uint8_t> lengths = bytes.subspan(4);
+  // Validate before construction: from_lengths throws on bad data, but a
+  // corrupt wire payload is a data-path failure, not a programmer error.
+  std::uint64_t kraft = 0;
+  unsigned max_length = 0;
+  for (const auto l : lengths) {
+    if (l < 1 || l > kMaxCodeLength) {
+      return std::nullopt;
+    }
+    max_length = std::max<unsigned>(max_length, l);
+  }
+  for (const auto l : lengths) {
+    kraft += std::uint64_t{1} << (max_length - l);
+  }
+  if (kraft != std::uint64_t{1} << max_length) {
+    return std::nullopt;
+  }
+  return from_lengths(lengths);
+}
+
+}  // namespace csecg::coding

@@ -1,0 +1,63 @@
+#ifndef CSECG_CODING_BITSTREAM_HPP
+#define CSECG_CODING_BITSTREAM_HPP
+
+/// \file bitstream.hpp
+/// MSB-first bit-level I/O over a byte buffer, shared by the Huffman
+/// encoder (mote side) and decoder (coordinator side).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::coding {
+
+/// Accumulates bits MSB-first into a byte vector.
+class BitWriter {
+ public:
+  /// Appends the \p count low bits of \p bits, most significant first.
+  /// count must be in [1, 32].
+  void write_bits(std::uint32_t bits, unsigned count);
+
+  /// Pads the final partial byte with zeros and returns the buffer.
+  std::vector<std::uint8_t> finish();
+
+  /// Bits written so far (before padding).
+  std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  unsigned filled_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes)
+      : bytes_(bytes) {}
+
+  /// Next single bit, or nullopt at end of buffer.
+  std::optional<unsigned> read_bit();
+
+  /// Next \p count bits as an integer (MSB first), or nullopt if the
+  /// buffer exhausts first. count must be in [1, 32].
+  std::optional<std::uint32_t> read_bits(unsigned count);
+
+  /// Bits consumed so far.
+  std::size_t position() const { return position_; }
+
+  /// Bits remaining (counting padding bits of the final byte).
+  std::size_t remaining() const { return bytes_.size() * 8 - position_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace csecg::coding
+
+#endif  // CSECG_CODING_BITSTREAM_HPP

@@ -1,0 +1,89 @@
+#ifndef CSECG_CODING_HUFFMAN_HPP
+#define CSECG_CODING_HUFFMAN_HPP
+
+/// \file huffman.hpp
+/// Length-limited canonical Huffman coding (§II / §IV-A2 entropy stage).
+///
+/// The paper stores an offline-generated codebook for the 512-symbol
+/// difference alphabet with a maximum codeword length of 16 bits: "1 kB
+/// for the codebook itself and 512 B for its corresponding codeword
+/// lengths". We reproduce that exactly: code lengths are computed with the
+/// package-merge algorithm (optimal under a hard 16-bit limit), codewords
+/// are assigned canonically (so the decoder needs only the lengths), and
+/// serialisation stores one uint16 code per symbol plus one uint8 length
+/// per symbol — the paper's 1 kB + 512 B split.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "csecg/coding/bitstream.hpp"
+
+namespace csecg::coding {
+
+/// Maximum codeword length supported by the mote codebook layout.
+inline constexpr unsigned kMaxCodeLength = 16;
+
+/// Computes optimal length-limited code lengths for \p frequencies using
+/// package-merge. Zero frequencies are promoted to 1 so every symbol gets
+/// a code ("complete codebook"). Requires 2 <= symbols <= 2^max_length.
+std::vector<std::uint8_t> package_merge_lengths(
+    std::span<const std::uint64_t> frequencies,
+    unsigned max_length = kMaxCodeLength);
+
+/// A canonical Huffman codebook over symbols [0, size).
+class HuffmanCodebook {
+ public:
+  /// Builds canonical codes from per-symbol lengths (as produced by
+  /// package_merge_lengths). Lengths must satisfy Kraft equality for a
+  /// complete prefix code.
+  static HuffmanCodebook from_lengths(std::span<const std::uint8_t> lengths);
+
+  /// Convenience: build from symbol frequencies.
+  static HuffmanCodebook from_frequencies(
+      std::span<const std::uint64_t> frequencies,
+      unsigned max_length = kMaxCodeLength);
+
+  std::size_t size() const { return lengths_.size(); }
+  unsigned code_length(std::size_t symbol) const;
+  std::uint16_t code(std::size_t symbol) const;
+  unsigned max_code_length() const { return max_length_; }
+
+  /// Appends the code for \p symbol to \p writer.
+  void encode(std::size_t symbol, BitWriter& writer) const;
+
+  /// Reads one symbol; nullopt on truncated or invalid input.
+  std::optional<std::uint16_t> decode(BitReader& reader) const;
+
+  /// Expected code length in bits under the given distribution — used by
+  /// the benches to report entropy-coding efficiency.
+  double expected_length(std::span<const std::uint64_t> frequencies) const;
+
+  /// Mote storage: 2 bytes/code + 1 byte/length (paper: 1 kB + 512 B for
+  /// the 512-symbol book).
+  std::size_t storage_bytes() const { return size() * 3; }
+
+  /// Serialises as [uint32 size][lengths bytes]; codes are canonical so
+  /// lengths fully determine the book.
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<HuffmanCodebook> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  HuffmanCodebook() = default;
+  void build_tables();
+
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint16_t> codes_;
+  unsigned max_length_ = 0;
+  // Canonical decoding acceleration: for each length l, the first code
+  // value and the index of its first symbol in sorted order.
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint16_t> sorted_symbols_;
+};
+
+}  // namespace csecg::coding
+
+#endif  // CSECG_CODING_HUFFMAN_HPP

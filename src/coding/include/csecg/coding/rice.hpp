@@ -1,0 +1,55 @@
+#ifndef CSECG_CODING_RICE_HPP
+#define CSECG_CODING_RICE_HPP
+
+/// \file rice.hpp
+/// Golomb–Rice coding of signed residuals.
+///
+/// The paper ships a static 512-symbol Huffman codebook. Rice coding is
+/// the natural embedded alternative — no codebook storage at all, one
+/// parameter k per packet — and the entropy-stage ablation (EXP-A3/A4)
+/// quantifies what that trade buys and costs. Values are zigzag-mapped to
+/// unsigned, then coded as a unary quotient (value >> k) followed by k
+/// remainder bits. A per-packet escape (quotient cap) keeps pathological
+/// values bounded.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "csecg/coding/bitstream.hpp"
+
+namespace csecg::coding {
+
+/// Zigzag map: 0, -1, 1, -2, 2, ... -> 0, 1, 2, 3, 4, ...
+std::uint32_t zigzag_encode(std::int32_t value);
+std::int32_t zigzag_decode(std::uint32_t value);
+
+/// Unary-quotient cap: quotients >= this are escaped to a raw 32-bit
+/// field, bounding the worst-case code length.
+inline constexpr std::uint32_t kRiceQuotientCap = 24;
+
+/// Writes one value with Rice parameter k (0 <= k <= 30).
+void rice_encode_value(std::int32_t value, unsigned k, BitWriter& writer);
+
+/// Reads one value; nullopt on truncated input.
+std::optional<std::int32_t> rice_decode_value(unsigned k, BitReader& reader);
+
+/// Encodes a block with the given k. Returns bits written.
+std::size_t rice_encode_block(std::span<const std::int32_t> values,
+                              unsigned k, BitWriter& writer);
+
+/// Decodes \p out.size() values; false on truncated/corrupt input.
+bool rice_decode_block(unsigned k, BitReader& reader,
+                       std::span<std::int32_t> out);
+
+/// The k minimising the exact coded size of \p values (exhaustive over
+/// 0..18 — cheap, and exact beats the mean-based heuristic).
+unsigned optimal_rice_parameter(std::span<const std::int32_t> values);
+
+/// Exact coded size of the block at parameter k, in bits (no writing).
+std::size_t rice_block_bits(std::span<const std::int32_t> values,
+                            unsigned k);
+
+}  // namespace csecg::coding
+
+#endif  // CSECG_CODING_RICE_HPP

@@ -1,0 +1,121 @@
+#include "csecg/coding/rice.hpp"
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::coding {
+
+std::uint32_t zigzag_encode(std::int32_t value) {
+  return (static_cast<std::uint32_t>(value) << 1) ^
+         static_cast<std::uint32_t>(value >> 31);
+}
+
+std::int32_t zigzag_decode(std::uint32_t value) {
+  return static_cast<std::int32_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+void rice_encode_value(std::int32_t value, unsigned k, BitWriter& writer) {
+  CSECG_CHECK(k <= 30, "rice parameter out of range");
+  const std::uint32_t mapped = zigzag_encode(value);
+  const std::uint32_t quotient = mapped >> k;
+  if (quotient >= kRiceQuotientCap) {
+    // Escape: cap ones, then the raw 32-bit value.
+    for (std::uint32_t i = 0; i < kRiceQuotientCap; ++i) {
+      writer.write_bits(1, 1);
+    }
+    writer.write_bits(0, 1);
+    writer.write_bits(mapped, 32);
+    return;
+  }
+  for (std::uint32_t i = 0; i < quotient; ++i) {
+    writer.write_bits(1, 1);
+  }
+  writer.write_bits(0, 1);
+  if (k > 0) {
+    writer.write_bits(mapped & ((1u << k) - 1u), k);
+  }
+}
+
+std::optional<std::int32_t> rice_decode_value(unsigned k,
+                                              BitReader& reader) {
+  CSECG_CHECK(k <= 30, "rice parameter out of range");
+  std::uint32_t quotient = 0;
+  while (true) {
+    const auto bit = reader.read_bit();
+    if (!bit) {
+      return std::nullopt;
+    }
+    if (*bit == 0) {
+      break;
+    }
+    if (++quotient > kRiceQuotientCap) {
+      return std::nullopt;  // malformed: unary run exceeds the cap
+    }
+  }
+  if (quotient == kRiceQuotientCap) {
+    const auto raw = reader.read_bits(32);
+    if (!raw) {
+      return std::nullopt;
+    }
+    return zigzag_decode(*raw);
+  }
+  std::uint32_t remainder = 0;
+  if (k > 0) {
+    const auto bits = reader.read_bits(k);
+    if (!bits) {
+      return std::nullopt;
+    }
+    remainder = *bits;
+  }
+  return zigzag_decode((quotient << k) | remainder);
+}
+
+std::size_t rice_encode_block(std::span<const std::int32_t> values,
+                              unsigned k, BitWriter& writer) {
+  const std::size_t before = writer.bit_count();
+  for (const auto v : values) {
+    rice_encode_value(v, k, writer);
+  }
+  return writer.bit_count() - before;
+}
+
+bool rice_decode_block(unsigned k, BitReader& reader,
+                       std::span<std::int32_t> out) {
+  for (auto& v : out) {
+    const auto decoded = rice_decode_value(k, reader);
+    if (!decoded) {
+      return false;
+    }
+    v = *decoded;
+  }
+  return true;
+}
+
+std::size_t rice_block_bits(std::span<const std::int32_t> values,
+                            unsigned k) {
+  CSECG_CHECK(k <= 30, "rice parameter out of range");
+  std::size_t bits = 0;
+  for (const auto v : values) {
+    const std::uint32_t quotient = zigzag_encode(v) >> k;
+    if (quotient >= kRiceQuotientCap) {
+      bits += kRiceQuotientCap + 1 + 32;
+    } else {
+      bits += quotient + 1 + k;
+    }
+  }
+  return bits;
+}
+
+unsigned optimal_rice_parameter(std::span<const std::int32_t> values) {
+  unsigned best_k = 0;
+  std::size_t best_bits = rice_block_bits(values, 0);
+  for (unsigned k = 1; k <= 18; ++k) {
+    const std::size_t bits = rice_block_bits(values, k);
+    if (bits < best_bits) {
+      best_bits = bits;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace csecg::coding

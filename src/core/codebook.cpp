@@ -1,0 +1,67 @@
+#include "csecg/core/codebook.hpp"
+
+#include <cmath>
+
+#include "csecg/core/encoder.hpp"
+#include "csecg/core/residual.hpp"
+
+namespace csecg::core {
+
+coding::HuffmanCodebook default_difference_codebook(double rho) {
+  CSECG_CHECK(rho > 0.0 && rho < 1.0, "rho must be in (0, 1)");
+  // Two-sided geometric probabilities scaled into integer frequencies.
+  // The floor of 1 keeps every symbol encodable (complete codebook).
+  std::vector<std::uint64_t> frequencies(kDiffAlphabetSize);
+  constexpr double kScale = 1e7;
+  for (std::size_t s = 0; s < kDiffAlphabetSize; ++s) {
+    const int value = symbol_to_diff(s);
+    const double p = std::pow(rho, std::abs(value));
+    frequencies[s] =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(p * kScale));
+  }
+  return coding::HuffmanCodebook::from_frequencies(frequencies);
+}
+
+coding::HuffmanCodebook train_difference_codebook(
+    const ecg::SyntheticDatabase& db, const EncoderConfig& config) {
+  std::vector<std::uint64_t> histogram(kDiffAlphabetSize, 0);
+
+  // Run the projection + difference front end directly (no entropy stage
+  // needed for training).
+  SensingMatrixConfig sensing_config;
+  sensing_config.type = SensingMatrixType::kSparseBinary;
+  sensing_config.rows = config.measurements;
+  sensing_config.cols = config.window;
+  sensing_config.d = config.d;
+  sensing_config.seed = config.seed;
+  const SensingMatrix sensing(sensing_config);
+
+  const std::int32_t scale = q15_inverse_sqrt(config.d);
+  std::vector<std::int32_t> current(config.measurements);
+  std::vector<std::int32_t> previous(config.measurements);
+  for (std::size_t r = 0; r < db.size(); ++r) {
+    const ecg::Record& record = db.mote(r);
+    std::fill(previous.begin(), previous.end(), 0);
+    bool have_previous = false;
+    for (std::size_t offset = 0;
+         offset + config.window <= record.samples.size();
+         offset += config.window) {
+      project_window_q15(
+          sensing.sparse(), scale,
+          std::span<const std::int16_t>(record.samples.data() + offset,
+                                        config.window),
+          std::span<std::int32_t>(current));
+      if (have_previous) {
+        accumulate_difference_histogram(
+            std::span<const std::int32_t>(current),
+            std::span<const std::int32_t>(previous),
+            std::span<std::uint64_t>(histogram));
+      }
+      previous.swap(current);
+      have_previous = true;
+    }
+  }
+  return coding::HuffmanCodebook::from_frequencies(histogram);
+}
+
+}  // namespace csecg::core

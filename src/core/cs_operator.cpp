@@ -1,0 +1,67 @@
+#include "csecg/core/cs_operator.hpp"
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::core {
+
+namespace {
+
+/// The sparse projection is gather/scatter-dominated, which NEON cannot
+/// vectorise; charge it as scalar work in either mode so the cycle model
+/// stays honest.
+template <typename T>
+void charge_sparse_apply(const SensingMatrix& phi) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (phi.is_sparse()) {
+      linalg::OpCounts c;
+      const auto nnz = static_cast<std::uint64_t>(phi.cols()) *
+                       phi.sparse().nonzeros_per_column();
+      c.scalar_op = nnz + phi.rows();  // adds + final scale
+      c.loads = 2 * nnz;
+      c.stores = nnz;
+      linalg::charge(c);
+    } else {
+      linalg::OpCounts c;
+      const auto elems = static_cast<std::uint64_t>(phi.rows()) *
+                         phi.cols();
+      c.scalar_mac = elems;
+      c.loads = 2 * elems;
+      linalg::charge(c);
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+CsOperator<T>::CsOperator(const SensingMatrix& phi,
+                          const dsp::WaveletTransform& psi,
+                          linalg::KernelMode mode)
+    : phi_(&phi), psi_(&psi), mode_(mode), scratch_(psi.length()) {
+  CSECG_CHECK(phi.cols() == psi.length(),
+              "sensing matrix width must match the wavelet frame length");
+}
+
+template <typename T>
+void CsOperator<T>::apply(std::span<const T> alpha, std::span<T> y) const {
+  CSECG_CHECK(alpha.size() == cols() && y.size() == rows(),
+              "apply: size mismatch");
+  psi_->inverse<T>(alpha, std::span<T>(scratch_), mode_);
+  phi_->apply(std::span<const T>(scratch_), y);
+  charge_sparse_apply<T>(*phi_);
+}
+
+template <typename T>
+void CsOperator<T>::apply_adjoint(std::span<const T> r,
+                                  std::span<T> alpha) const {
+  CSECG_CHECK(r.size() == rows() && alpha.size() == cols(),
+              "apply_adjoint: size mismatch");
+  phi_->apply_transpose(r, std::span<T>(scratch_));
+  charge_sparse_apply<T>(*phi_);
+  psi_->forward<T>(std::span<const T>(scratch_), alpha, mode_);
+}
+
+template class CsOperator<float>;
+template class CsOperator<double>;
+
+}  // namespace csecg::core

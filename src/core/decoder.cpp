@@ -1,0 +1,166 @@
+#include "csecg/core/decoder.hpp"
+
+#include <cmath>
+
+#include "csecg/core/residual.hpp"
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::core {
+
+namespace {
+
+SensingMatrixConfig sensing_config_from(const EncoderConfig& config) {
+  SensingMatrixConfig sensing;
+  sensing.type = SensingMatrixType::kSparseBinary;
+  sensing.rows = config.measurements;
+  sensing.cols = config.window;
+  sensing.d = config.d;
+  sensing.seed = config.seed;
+  return sensing;
+}
+
+}  // namespace
+
+Decoder::Decoder(const DecoderConfig& config,
+                 coding::HuffmanCodebook codebook)
+    : config_(config),
+      sensing_(sensing_config_from(config.cs)),
+      transform_(dsp::Wavelet::from_name(config.wavelet), config.cs.window,
+                 config.levels),
+      codebook_(std::move(codebook)),
+      previous_y_(config.cs.measurements, 0) {
+  CSECG_CHECK(codebook_.size() == kDiffAlphabetSize,
+              "decoder needs the 512-symbol difference codebook");
+}
+
+void Decoder::reset() {
+  have_previous_ = false;
+  last_sequence_ = 0;
+  std::fill(previous_y_.begin(), previous_y_.end(), 0);
+}
+
+std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
+    const Packet& packet) {
+  const std::size_t m = config_.cs.measurements;
+  std::vector<std::int32_t> y(m, 0);
+  coding::BitReader reader(packet.payload);
+
+  if (packet.kind == PacketKind::kAbsolute) {
+    const unsigned bits = config_.cs.absolute_bits;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto raw = reader.read_bits(bits);
+      if (!raw) {
+        return std::nullopt;
+      }
+      // Sign-extend the fixed-width two's-complement field.
+      std::int32_t value = static_cast<std::int32_t>(*raw);
+      const std::int32_t sign_bit = std::int32_t{1} << (bits - 1);
+      if ((value & sign_bit) != 0) {
+        value -= std::int32_t{1} << bits;
+      }
+      y[i] = value;
+    }
+  } else {
+    if (!have_previous_) {
+      return std::nullopt;  // differential packet without a reference
+    }
+    if (packet.sequence !=
+        static_cast<std::uint16_t>(last_sequence_ + 1)) {
+      // Sequence gap: a frame was lost. Decoding this differential against
+      // stale state would produce silently corrupt measurements, so drop
+      // it and wait for the next absolute (keyframe) packet.
+      return std::nullopt;
+    }
+    if (!decode_difference(reader, codebook_,
+                           std::span<const std::int32_t>(previous_y_),
+                           std::span<std::int32_t>(y))) {
+      return std::nullopt;
+    }
+  }
+  previous_y_ = y;
+  have_previous_ = true;
+  last_sequence_ = packet.sequence;
+  return y;
+}
+
+template <typename T>
+std::optional<DecodedWindow<T>> Decoder::decode(const Packet& packet) {
+  auto y = decode_measurements(packet);
+  if (!y) {
+    return std::nullopt;
+  }
+  return reconstruct<T>(std::span<const std::int32_t>(*y));
+}
+
+template <typename T>
+DecodedWindow<T> Decoder::reconstruct(
+    std::span<const std::int32_t> y_int) const {
+  const std::size_t m = config_.cs.measurements;
+  const std::size_t n = config_.cs.window;
+  CSECG_CHECK(y_int.size() == m, "measurement vector length mismatch");
+
+  // The mote already applied the 1/sqrt(d) scale in Q15 (its relative
+  // error vs the exact scale is ~2e-5, far below the CS recovery error),
+  // so the integers are the Phi x measurements — up to the optional
+  // measurement-quantisation shift, which is undone here.
+  const double requantize =
+      std::ldexp(1.0, static_cast<int>(config_.cs.measurement_shift));
+  std::vector<T> y(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    y[i] = static_cast<T>(static_cast<double>(y_int[i]) * requantize);
+  }
+
+  const CsOperator<T> A(sensing_, transform_, config_.mode);
+
+  // lambda scaled to the measurement magnitude: lambda_rel * ||A^T y||_inf.
+  std::vector<T> aty(n);
+  A.apply_adjoint(std::span<const T>(y), std::span<T>(aty));
+  const double aty_inf =
+      static_cast<double>(linalg::norm_inf(std::span<const T>(aty)));
+
+  solvers::ShrinkageOptions options;
+  options.lambda = config_.lambda_relative * aty_inf;
+  options.max_iterations = config_.max_iterations;
+  options.tolerance = config_.tolerance;
+  options.mode = config_.mode;
+  options.record_objective = config_.record_objective;
+  if (config_.approx_lambda_weight != 1.0) {
+    const auto layout = transform_.layout();
+    options.weights.assign(n, 1.0);
+    for (std::size_t i = 0; i < layout.approx_size; ++i) {
+      options.weights[layout.approx_offset + i] =
+          config_.approx_lambda_weight;
+    }
+  }
+
+  auto& cache = std::is_same_v<T, float> ? lipschitz_f_ : lipschitz_d_;
+  if (!cache) {
+    cache = 2.0 * linalg::estimate_spectral_norm_squared(A);
+  }
+  options.lipschitz = cache;
+
+  const auto solve =
+      solvers::fista<T>(A, std::span<const T>(y), options);
+
+  DecodedWindow<T> window;
+  window.iterations = solve.iterations;
+  window.converged = solve.converged;
+  window.residual_norm = solve.final_residual_norm;
+  window.objective_trace = solve.objective_trace;
+  window.samples.resize(n);
+  transform_.inverse<T>(std::span<const T>(solve.solution),
+                        std::span<T>(window.samples), config_.mode);
+  return window;
+}
+
+template std::optional<DecodedWindow<float>> Decoder::decode<float>(
+    const Packet&);
+template std::optional<DecodedWindow<double>> Decoder::decode<double>(
+    const Packet&);
+template DecodedWindow<float> Decoder::reconstruct<float>(
+    std::span<const std::int32_t>) const;
+template DecodedWindow<double> Decoder::reconstruct<double>(
+    std::span<const std::int32_t>) const;
+
+}  // namespace csecg::core

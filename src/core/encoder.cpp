@@ -1,0 +1,201 @@
+#include "csecg/core/encoder.hpp"
+
+#include <cmath>
+
+#include "csecg/core/mote_rng.hpp"
+#include "csecg/core/residual.hpp"
+#include "csecg/fixedpoint/msp430_counters.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::core {
+
+std::size_t measurements_for_cr(std::size_t window, double cr_percent) {
+  CSECG_CHECK(cr_percent > 0.0 && cr_percent < 100.0,
+              "target CR must be in (0, 100)");
+  const double m =
+      static_cast<double>(window) * (1.0 - cr_percent / 100.0);
+  return static_cast<std::size_t>(std::lround(m));
+}
+
+std::int32_t q15_inverse_sqrt(std::size_t d) {
+  CSECG_CHECK(d >= 1, "d must be positive");
+  return static_cast<std::int32_t>(
+      std::lround(32768.0 / std::sqrt(static_cast<double>(d))));
+}
+
+void project_window_q15(const linalg::SparseBinaryMatrix& phi,
+                        std::int32_t scale_q15,
+                        std::span<const std::int16_t> x,
+                        std::span<std::int32_t> y) {
+  phi.accumulate_integer(x, y);
+  for (auto& value : y) {
+    // Rounded Q15 multiply; the 64-bit intermediate mirrors the MSP430's
+    // MAC register pair.
+    const std::int64_t product =
+        static_cast<std::int64_t>(value) * scale_q15;
+    value = static_cast<std::int32_t>((product + (1 << 14)) >> 15);
+  }
+}
+
+namespace {
+
+SensingMatrixConfig sensing_config_from(const EncoderConfig& config) {
+  SensingMatrixConfig sensing;
+  sensing.type = SensingMatrixType::kSparseBinary;
+  sensing.rows = config.measurements;
+  sensing.cols = config.window;
+  sensing.d = config.d;
+  sensing.seed = config.seed;
+  return sensing;
+}
+
+}  // namespace
+
+Encoder::Encoder(const EncoderConfig& config,
+                 coding::HuffmanCodebook codebook)
+    : config_(config),
+      sensing_(sensing_config_from(config)),
+      codebook_(std::move(codebook)),
+      current_y_(config.measurements, 0),
+      previous_y_(config.measurements, 0) {
+  CSECG_CHECK(codebook_.size() == kDiffAlphabetSize,
+              "encoder needs the 512-symbol difference codebook");
+  CSECG_CHECK(config.absolute_bits >= 12 && config.absolute_bits <= 32,
+              "absolute_bits out of range");
+  // The scaled worst-case sum 2^10 * N / sqrt(d) must fit the absolute
+  // fixed width (11-bit signed samples, Q15 scale applied).
+  CSECG_CHECK(static_cast<double>(config.window) * 1024.0 /
+                      std::sqrt(static_cast<double>(config.d)) <
+                  std::ldexp(1.0, static_cast<int>(config.absolute_bits) - 1),
+              "absolute_bits too small for worst-case measurement sums");
+}
+
+void Encoder::reset() {
+  sequence_ = 0;
+  packets_since_keyframe_ = 0;
+  have_previous_ = false;
+  force_keyframe_ = false;
+  std::fill(previous_y_.begin(), previous_y_.end(), 0);
+}
+
+Packet Encoder::encode_window(std::span<const std::int16_t> x) {
+  CSECG_CHECK(x.size() == config_.window,
+              "window length does not match encoder configuration");
+
+  // Stage 1 — CS projection, integer-only (the 82 ms loop of §IV-A2),
+  // followed by the Q15 1/sqrt(d) scale on the hardware multiplier.
+  if (config_.on_the_fly_indices) {
+    // The paper's configuration: regenerate each column's d row indices
+    // from the shared 16-bit PRNG while accumulating — no index table in
+    // flash. The PRNG/dup-check cost is charged inside
+    // generate_column_indices.
+    Xorshift16 prng(static_cast<std::uint16_t>(config_.seed));
+    std::fill(current_y_.begin(), current_y_.end(), 0);
+    std::uint16_t column_rows[64];
+    CSECG_CHECK(config_.d <= 64, "d too large for the mote index buffer");
+    for (std::size_t c = 0; c < config_.window; ++c) {
+      generate_column_indices(prng,
+                              static_cast<std::uint16_t>(config_.measurements),
+                              config_.d, column_rows);
+      const std::int32_t xc = x[c];
+      for (std::size_t k = 0; k < config_.d; ++k) {
+        current_y_[column_rows[k]] += xc;
+      }
+    }
+    const std::int32_t scale = q15_inverse_sqrt(config_.d);
+    for (auto& value : current_y_) {
+      const std::int64_t product =
+          static_cast<std::int64_t>(value) * scale;
+      value = static_cast<std::int32_t>((product + (1 << 14)) >> 15);
+    }
+  } else {
+    project_window_q15(sensing_.sparse(), q15_inverse_sqrt(config_.d), x,
+                       std::span<std::int32_t>(current_y_));
+  }
+  if (config_.measurement_shift > 0) {
+    // Rounded arithmetic right shift: lossy measurement quantisation.
+    const unsigned s = config_.measurement_shift;
+    const std::int32_t half = std::int32_t{1} << (s - 1);
+    for (auto& value : current_y_) {
+      value = (value + half) >> s;
+    }
+  }
+  {
+    fixedpoint::Msp430OpCounts ops;
+    const auto nnz = static_cast<std::uint64_t>(config_.window) * config_.d;
+    ops.add16 = 2 * nnz;           // 32-bit accumulate = add + addc
+    ops.load = 2 * nnz /* accumulators */ + config_.window /* samples */;
+    if (!config_.on_the_fly_indices) {
+      ops.load += nnz;             // index table reads from flash
+    }
+    ops.store = 2 * nnz;
+    ops.branch = config_.window;   // column loop
+    // Scaling: one 32x16 multiply (two 16x16 HW ops) + shift per row.
+    ops.mul16 = 2 * config_.measurements;
+    ops.shift = config_.measurements;
+    ops.load += 2 * config_.measurements;
+    ops.store += 2 * config_.measurements;
+    fixedpoint::charge(ops);
+  }
+
+  const bool keyframe =
+      !have_previous_ || force_keyframe_ ||
+      (config_.keyframe_interval > 0 &&
+       packets_since_keyframe_ >= config_.keyframe_interval);
+
+  Packet packet;
+  packet.sequence = sequence_++;
+  coding::BitWriter writer;
+
+  if (keyframe) {
+    packet.kind = PacketKind::kAbsolute;
+    const unsigned bits = config_.absolute_bits;
+    const std::uint32_t mask =
+        bits == 32 ? ~std::uint32_t{0}
+                   : ((std::uint32_t{1} << bits) - 1);
+    fixedpoint::Msp430OpCounts ops;
+    for (const auto value : current_y_) {
+      writer.write_bits(static_cast<std::uint32_t>(value) & mask, bits);
+      ops.shift += bits;
+      ops.load += 2;
+      ops.store += (bits + 15) / 16;
+    }
+    fixedpoint::charge(ops);
+    packets_since_keyframe_ = 0;
+    force_keyframe_ = false;
+  } else {
+    packet.kind = PacketKind::kDifferential;
+    // Stages 2 + 3 — redundancy removal and Huffman coding.
+    encode_difference(std::span<const std::int32_t>(current_y_),
+                      std::span<const std::int32_t>(previous_y_), codebook_,
+                      writer);
+    ++packets_since_keyframe_;
+  }
+
+  packet.payload = writer.finish();
+  previous_y_.swap(current_y_);
+  have_previous_ = true;
+  return packet;
+}
+
+std::size_t Encoder::ram_bytes() const {
+  // Two M-entry 32-bit measurement buffers (current + previous), the
+  // 512-sample window of 16-bit ADC values, and the bit-writer staging
+  // buffer (worst case one byte per symbol-bit / 8, bounded by a packet).
+  const std::size_t buffers = 2 * config_.measurements * sizeof(std::int32_t);
+  const std::size_t window = config_.window * sizeof(std::int16_t);
+  const std::size_t staging = 512;
+  return buffers + window + staging;
+}
+
+std::size_t Encoder::flash_bytes() const {
+  if (config_.on_the_fly_indices) {
+    // Only the Huffman codebook (codes + lengths) and a few constants;
+    // the sensing matrix lives in the 2-byte PRNG seed.
+    return codebook_.storage_bytes() + 16;
+  }
+  // Sensing-matrix index table + Huffman codebook.
+  return sensing_.storage_bytes() + codebook_.storage_bytes();
+}
+
+}  // namespace csecg::core

@@ -1,0 +1,35 @@
+#ifndef CSECG_CORE_CODEBOOK_HPP
+#define CSECG_CORE_CODEBOOK_HPP
+
+/// \file codebook.hpp
+/// Offline Huffman codebook generation for the difference alphabet
+/// (§IV-A2: "the storage of the offline-generated codebook requires 1 kB
+/// for the codebook itself and 512 B for its corresponding codeword
+/// lengths").
+///
+/// Two paths: an analytic default built from a two-sided geometric model
+/// of the difference distribution (deterministic, no training data
+/// needed), and a trained book built by running the encoder front end
+/// over a database — the workflow the examples/codebook_designer tool
+/// demonstrates.
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/ecg/database.hpp"
+
+namespace csecg::core {
+
+struct EncoderConfig;  // defined in encoder.hpp
+
+/// Deterministic default book: P(v) proportional to rho^|v| with a floor
+/// so every symbol stays encodable. rho was fit once against the trained
+/// histogram of the synthetic corpus.
+coding::HuffmanCodebook default_difference_codebook(double rho = 0.955);
+
+/// Trains a codebook by running the CS front end (projection + difference)
+/// over every mote-rate record of \p db with the given encoder parameters.
+coding::HuffmanCodebook train_difference_codebook(
+    const ecg::SyntheticDatabase& db, const EncoderConfig& config);
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_CODEBOOK_HPP

@@ -1,0 +1,66 @@
+#ifndef CSECG_CORE_CODEC_HPP
+#define CSECG_CORE_CODEC_HPP
+
+/// \file codec.hpp
+/// End-to-end convenience layer: runs a whole record through the encoder
+/// and decoder, window by window, and aggregates the paper's metrics.
+/// This is what the examples and most benches drive.
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/decoder.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/ecg/metrics.hpp"
+#include "csecg/ecg/record.hpp"
+
+namespace csecg::core {
+
+/// Per-window outcome of a round trip.
+struct WindowReport {
+  std::size_t wire_bits = 0;     ///< packet size on the wire
+  double prd = 0.0;              ///< percent, against the original counts
+  std::size_t iterations = 0;    ///< FISTA iterations
+  bool converged = false;
+};
+
+/// Whole-record aggregate.
+struct RecordReport {
+  std::string record_id;
+  std::size_t windows = 0;
+  std::size_t original_bits = 0;
+  std::size_t compressed_bits = 0;
+  double cr = 0.0;               ///< measured, eq 7
+  double mean_prd = 0.0;
+  double mean_snr_db = 0.0;      ///< from mean PRD
+  double mean_iterations = 0.0;
+  std::vector<WindowReport> per_window;
+};
+
+class CsEcgCodec {
+ public:
+  /// Builds a matched encoder/decoder pair sharing \p codebook.
+  CsEcgCodec(const DecoderConfig& config,
+             const coding::HuffmanCodebook& codebook);
+
+  Encoder& encoder() { return encoder_; }
+  Decoder& decoder() { return decoder_; }
+  const DecoderConfig& config() const { return config_; }
+
+  /// Runs every complete window of \p record through encode -> wire ->
+  /// decode at precision T and reports the paper's metrics. Resets the
+  /// codec state first (each record is its own session).
+  template <typename T>
+  RecordReport run_record(const ecg::Record& record,
+                          bool keep_per_window = false);
+
+ private:
+  DecoderConfig config_;
+  Encoder encoder_;
+  Decoder decoder_;
+};
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_CODEC_HPP

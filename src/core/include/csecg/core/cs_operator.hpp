@@ -1,0 +1,44 @@
+#ifndef CSECG_CORE_CS_OPERATOR_HPP
+#define CSECG_CORE_CS_OPERATOR_HPP
+
+/// \file cs_operator.hpp
+/// The matrix-free forward model A = Phi * Psi of the recovery problem.
+///
+/// apply:        alpha --Psi (inverse DWT)--> x --Phi--> y
+/// apply_adjoint:    r --Phi^T--> x --Psi^T (forward DWT)--> alpha
+///
+/// Because Psi is an orthonormal wavelet basis implemented as a filter
+/// bank and Phi is sparse binary, neither direction ever touches a dense
+/// N x N matrix — the paper's contribution (1).
+
+#include "csecg/core/sensing_matrix.hpp"
+#include "csecg/dsp/dwt.hpp"
+#include "csecg/linalg/linear_operator.hpp"
+
+namespace csecg::core {
+
+template <typename T>
+class CsOperator final : public linalg::LinearOperator<T> {
+ public:
+  /// Both references must outlive the operator.
+  CsOperator(const SensingMatrix& phi, const dsp::WaveletTransform& psi,
+             linalg::KernelMode mode = linalg::KernelMode::kSimd4);
+
+  std::size_t rows() const override { return phi_->rows(); }
+  std::size_t cols() const override { return phi_->cols(); }
+
+  void apply(std::span<const T> alpha, std::span<T> y) const override;
+  void apply_adjoint(std::span<const T> r, std::span<T> alpha) const override;
+
+  linalg::KernelMode mode() const { return mode_; }
+
+ private:
+  const SensingMatrix* phi_;
+  const dsp::WaveletTransform* psi_;
+  linalg::KernelMode mode_;
+  mutable std::vector<T> scratch_;  // time-domain intermediate
+};
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_CS_OPERATOR_HPP

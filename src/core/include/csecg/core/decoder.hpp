@@ -1,0 +1,105 @@
+#ifndef CSECG_CORE_DECODER_HPP
+#define CSECG_CORE_DECODER_HPP
+
+/// \file decoder.hpp
+/// The coordinator-side reconstruction pipeline (Fig 1, bottom path):
+///
+///   packet --Huffman decode--> differences
+///          --packet reconstruction--> y_t = y_{t-1} + diff
+///          --FISTA over A = Phi Psi--> alpha --Psi--> x~
+///
+/// The precision template parameter is the Fig 6 experiment: T = double is
+/// the "Matlab (64bit)" reference, T = float the "iPhone (32bit)" path.
+/// The float path additionally honours the §IV-B kernel mode so the cycle
+/// model can price the scalar-VFP versus vectorised-NEON schedules.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/cs_operator.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/core/packet.hpp"
+#include "csecg/dsp/dwt.hpp"
+#include "csecg/solvers/fista.hpp"
+
+namespace csecg::core {
+
+struct DecoderConfig {
+  EncoderConfig cs;              ///< must match the encoder's (esp. seed)
+  std::string wavelet = "db4";   ///< sparsifying basis
+  int levels = 5;                ///< decomposition depth
+  /// l1 weight as a fraction of ||A^T y||_inf — scale-free across CRs.
+  /// 0.01 was calibrated on the synthetic corpus: it reproduces the
+  /// paper's iteration counts (Fig 7) at good reconstruction quality.
+  double lambda_relative = 0.01;
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-5;
+  linalg::KernelMode mode = linalg::KernelMode::kSimd4;
+  bool record_objective = false;
+  /// l1 weight applied to the wavelet approximation band relative to the
+  /// detail bands. 1.0 reproduces the paper's uniform penalty; values
+  /// < 1 exploit that ECG always has approximation-band energy (the
+  /// weighted-lambda extension, ablated in bench_ablation_wavelet).
+  double approx_lambda_weight = 1.0;
+};
+
+/// Result of reconstructing one window.
+template <typename T>
+struct DecodedWindow {
+  std::vector<T> samples;       ///< reconstructed ADC counts, length N
+  std::size_t iterations = 0;   ///< FISTA iterations spent
+  bool converged = false;
+  double residual_norm = 0.0;   ///< ||A a - y||_2 at the solution
+  std::vector<double> objective_trace;
+};
+
+class Decoder {
+ public:
+  Decoder(const DecoderConfig& config, coding::HuffmanCodebook codebook);
+
+  const DecoderConfig& config() const { return config_; }
+  const SensingMatrix& sensing() const { return sensing_; }
+  const dsp::WaveletTransform& transform() const { return transform_; }
+
+  /// Entropy-decodes a packet into the integer measurement vector,
+  /// updating the inter-packet state. nullopt on corrupt payloads, on a
+  /// differential packet with no prior state (lost keyframe), or on a
+  /// sequence gap: a differential packet whose sequence number does not
+  /// directly follow the last decoded packet would silently decode against
+  /// stale state, so it is rejected until the next absolute packet
+  /// re-synchronises the stream.
+  std::optional<std::vector<std::int32_t>> decode_measurements(
+      const Packet& packet);
+
+  /// Full pipeline: measurements + FISTA reconstruction.
+  template <typename T>
+  std::optional<DecodedWindow<T>> decode(const Packet& packet);
+
+  /// Reconstruction only, from an integer measurement vector (used by the
+  /// benches, which often bypass the entropy stage).
+  template <typename T>
+  DecodedWindow<T> reconstruct(std::span<const std::int32_t> y_int) const;
+
+  /// Resets inter-packet state (new session).
+  void reset();
+
+ private:
+  DecoderConfig config_;
+  SensingMatrix sensing_;
+  dsp::WaveletTransform transform_;
+  coding::HuffmanCodebook codebook_;
+  std::vector<std::int32_t> previous_y_;
+  bool have_previous_ = false;
+  std::uint16_t last_sequence_ = 0;
+  // The Lipschitz constant depends only on the operator; cache per
+  // precision so repeated windows skip the power iteration.
+  mutable std::optional<double> lipschitz_f_;
+  mutable std::optional<double> lipschitz_d_;
+};
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_DECODER_HPP

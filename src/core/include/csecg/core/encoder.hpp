@@ -1,0 +1,112 @@
+#ifndef CSECG_CORE_ENCODER_HPP
+#define CSECG_CORE_ENCODER_HPP
+
+/// \file encoder.hpp
+/// The mote-side CS encoder (Fig 1, top path):
+///
+///   x (512 ADC counts) --sparse binary projection--> y (M integer sums)
+///     --redundancy removal--> y_t - y_{t-1}
+///     --Huffman--> packet payload
+///
+/// Everything is integer arithmetic: the 1/sqrt(d) scale of the sensing
+/// matrix is deferred to the decoder (it commutes with the linear
+/// pipeline), so the MSP430 performs only 16/32-bit additions, table
+/// lookups and shifts. Every operation is charged to the active
+/// fixedpoint::Msp430CounterScope, which platform::Msp430Model turns into
+/// the paper's cycle/CPU numbers.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/packet.hpp"
+#include "csecg/core/sensing_matrix.hpp"
+
+namespace csecg::core {
+
+struct EncoderConfig {
+  std::size_t window = 512;        ///< N: 2 s at 256 Hz
+  std::size_t measurements = 256;  ///< M: sets the compression ratio
+  std::size_t d = 12;              ///< non-zeros per sensing column
+  std::uint64_t seed = 42;         ///< shared with the decoder
+  /// Every this-many packets an absolute (re-sync) packet is emitted; the
+  /// first packet is always absolute.
+  std::size_t keyframe_interval = 64;
+  /// Fixed-width bits per value in absolute packets. 20 bits covers the
+  /// worst-case |y| <= 2^10 * N / sqrt(d) for N = 512, d = 12.
+  unsigned absolute_bits = 20;
+  /// When true (the paper's configuration), the sensing-matrix row indices
+  /// are regenerated every window from the 16-bit PRNG instead of being
+  /// read from a stored table — trading ~60 ms of the 82 ms projection
+  /// time for ~12 kB of flash the MSP430F1611 does not have.
+  bool on_the_fly_indices = true;
+  /// Rounded right-shift applied to the scaled measurements before the
+  /// difference stage — lossy measurement quantisation. 0 reproduces the
+  /// paper; k > 0 trades reconstruction accuracy for wire bits (the
+  /// EXP-A5 ablation). The decoder undoes the scale.
+  unsigned measurement_shift = 0;
+};
+
+/// Nominal (pre-entropy-coding) measurement count for a target CR in
+/// percent: M = N * (1 - CR/100). The realised CR, measured from actual
+/// wire bits, additionally reflects the difference + Huffman stages.
+std::size_t measurements_for_cr(std::size_t window, double cr_percent);
+
+/// Q15 fixed-point representation of the sensing scale 1/sqrt(d). The
+/// mote applies this with one hardware multiply per measurement, which is
+/// what keeps the difference signal inside the paper's [-256, 255]
+/// codebook range.
+std::int32_t q15_inverse_sqrt(std::size_t d);
+
+/// The mote's integer projection: y[r] = (sum of samples hitting row r)
+/// * scale_q15 >> 15, with rounding. Shared by the encoder and the
+/// codebook trainer so both see identical integers.
+void project_window_q15(const linalg::SparseBinaryMatrix& phi,
+                        std::int32_t scale_q15,
+                        std::span<const std::int16_t> x,
+                        std::span<std::int32_t> y);
+
+class Encoder {
+ public:
+  Encoder(const EncoderConfig& config, coding::HuffmanCodebook codebook);
+
+  const EncoderConfig& config() const { return config_; }
+  const SensingMatrix& sensing() const { return sensing_; }
+  const coding::HuffmanCodebook& codebook() const { return codebook_; }
+
+  /// Encodes one window of config().window ADC samples into a packet.
+  Packet encode_window(std::span<const std::int16_t> x);
+
+  /// Forces the next packet to be absolute (e.g. after a reported loss).
+  void request_keyframe() { force_keyframe_ = true; }
+
+  /// Resets all inter-packet state (new session).
+  void reset();
+
+  /// The most recent integer measurement vector (testing/diagnostics).
+  std::span<const std::int32_t> last_measurements() const {
+    return previous_y_;
+  }
+
+  /// RAM the encoder state occupies on the mote (measurement buffers,
+  /// previous-vector store); flash cost is the matrix + codebook.
+  std::size_t ram_bytes() const;
+  std::size_t flash_bytes() const;
+
+ private:
+  EncoderConfig config_;
+  SensingMatrix sensing_;
+  coding::HuffmanCodebook codebook_;
+  std::vector<std::int32_t> current_y_;
+  std::vector<std::int32_t> previous_y_;
+  std::uint16_t sequence_ = 0;
+  std::size_t packets_since_keyframe_ = 0;
+  bool have_previous_ = false;
+  bool force_keyframe_ = false;
+};
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_ENCODER_HPP

@@ -1,0 +1,73 @@
+#ifndef CSECG_CORE_MOTE_RNG_HPP
+#define CSECG_CORE_MOTE_RNG_HPP
+
+/// \file mote_rng.hpp
+/// The mote-grade pseudo-random design behind the sparse binary sensing
+/// matrix (§IV-A2, approach 3).
+///
+/// The paper's flash budget — 7.5 kB total, 1.5 kB of which is the Huffman
+/// codebook — cannot hold the 12 kB index table of a 256 x 512, d = 12
+/// matrix, and its remark that sparse sensing matrices "can be implemented
+/// using a surprisingly small amount of on-board memory and computation"
+/// points the same way: the non-zero row positions are *regenerated on the
+/// fly* every window from a tiny PRNG, not stored. We use a 16-bit
+/// xorshift (three shifts + three xors, all single-cycle MSP430 ops) and
+/// the multiply-shift range mapping idx = (x * M) >> 16, which needs one
+/// hardware multiply and no division — the MSP430 has no divide
+/// instruction. Duplicate indices within a column are rejected and
+/// redrawn, so every column has exactly d distinct rows.
+///
+/// The coordinator runs the identical generator once at session setup to
+/// materialise the full matrix for reconstruction; both sides share only
+/// the 16-bit seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/fixedpoint/msp430_counters.hpp"
+
+namespace csecg::core {
+
+/// 16-bit xorshift PRNG (period 2^16 - 1, state must be non-zero).
+class Xorshift16 {
+ public:
+  explicit Xorshift16(std::uint16_t seed) : state_(seed == 0 ? 1 : seed) {}
+
+  std::uint16_t next() {
+    std::uint16_t x = state_;
+    x ^= static_cast<std::uint16_t>(x << 7);
+    x ^= static_cast<std::uint16_t>(x >> 9);
+    x ^= static_cast<std::uint16_t>(x << 8);
+    state_ = x;
+    return x;
+  }
+
+  std::uint16_t state() const { return state_; }
+
+ private:
+  std::uint16_t state_;
+};
+
+/// Multiply-shift mapping of a 16-bit random word onto [0, m):
+/// (x * m) >> 16 — one MSP430 hardware multiply, no division.
+inline std::uint16_t map_to_range(std::uint16_t x, std::uint16_t m) {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint32_t>(x) * m) >> 16);
+}
+
+/// Draws the next column's \p d distinct row indices into out[0..d).
+/// Duplicates are rejected and redrawn. Charges the drawing cost to the
+/// active MSP430 counter. Returns the number of PRNG draws consumed.
+std::size_t generate_column_indices(Xorshift16& prng, std::uint16_t rows,
+                                    std::size_t d, std::uint16_t* out);
+
+/// Materialises the full cols * d index table the coordinator needs
+/// (column major, indices sorted within each column).
+std::vector<std::uint16_t> generate_sparse_indices(std::size_t rows,
+                                                   std::size_t cols,
+                                                   std::size_t d,
+                                                   std::uint16_t seed);
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_MOTE_RNG_HPP

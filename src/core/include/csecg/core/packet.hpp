@@ -1,0 +1,46 @@
+#ifndef CSECG_CORE_PACKET_HPP
+#define CSECG_CORE_PACKET_HPP
+
+/// \file packet.hpp
+/// Wire format of one encoded 2-second ECG window.
+///
+/// The payload is the Huffman bitstream of the (difference-coded)
+/// measurement vector. A small header carries the sequence number and a
+/// flag distinguishing differential packets from absolute ones: the first
+/// packet of a session (and periodic re-sync keyframes — an engineering
+/// addition over the paper, which assumes a loss-free Bluetooth stream)
+/// carries the measurement vector itself in fixed-width form.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace csecg::core {
+
+enum class PacketKind : std::uint8_t {
+  kAbsolute = 0,      ///< fixed-width y values (session start / re-sync)
+  kDifferential = 1,  ///< Huffman-coded y_t - y_{t-1}
+};
+
+struct Packet {
+  std::uint16_t sequence = 0;
+  PacketKind kind = PacketKind::kDifferential;
+  std::vector<std::uint8_t> payload;
+
+  /// Header bytes on the wire: sequence (2) + kind/flags (1).
+  static constexpr std::size_t kHeaderBytes = 3;
+
+  /// Total wire size in bits — the b_comp contribution of this packet.
+  std::size_t wire_bits() const {
+    return (kHeaderBytes + payload.size()) * 8;
+  }
+
+  std::vector<std::uint8_t> serialize() const;
+  /// Parses a framed packet; nullopt if the buffer is too short.
+  static std::optional<Packet> parse(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_PACKET_HPP

@@ -1,0 +1,64 @@
+#ifndef CSECG_CORE_RESIDUAL_HPP
+#define CSECG_CORE_RESIDUAL_HPP
+
+/// \file residual.hpp
+/// Inter-packet redundancy removal (§II / §IV-A2).
+///
+/// "The use of a fixed binary sensing matrix, combined with the
+/// quasi-periodic nature of the ECG signal, yields very similar
+/// consecutive measurement vectors y" — so only the difference
+/// y_t - y_{t-1} is entropy-coded. The paper observes the difference fits
+/// the range [-256, 255] and sizes its 512-symbol codebook accordingly;
+/// we keep that alphabet and make the rare out-of-range value lossless by
+/// chunked saturation: a difference is emitted as a run of extreme
+/// symbols (255 or -256) followed by one interior symbol, and the decoder
+/// keeps summing until it sees an interior symbol. In-range values cost
+/// exactly one symbol, so the paper's bit accounting is unchanged.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "csecg/coding/bitstream.hpp"
+#include "csecg/coding/huffman.hpp"
+
+namespace csecg::core {
+
+/// The difference alphabet: symbols 0..511 map to values -256..255.
+inline constexpr int kDiffMin = -256;
+inline constexpr int kDiffMax = 255;
+inline constexpr std::size_t kDiffAlphabetSize = 512;
+
+inline std::size_t diff_to_symbol(int value) { return static_cast<std::size_t>(value - kDiffMin); }
+inline int symbol_to_diff(std::size_t symbol) { return static_cast<int>(symbol) + kDiffMin; }
+
+/// Splits one (possibly out-of-range) difference value into its chunk
+/// sequence. Exposed for tests; the encoder streams chunks directly.
+std::vector<int> chunk_difference(std::int32_t value);
+
+/// Encodes the element-wise difference current - previous with the given
+/// codebook. Returns the number of symbols emitted (for diagnostics).
+std::size_t encode_difference(std::span<const std::int32_t> current,
+                              std::span<const std::int32_t> previous,
+                              const coding::HuffmanCodebook& codebook,
+                              coding::BitWriter& writer);
+
+/// Decodes \p count difference values and adds them onto \p previous,
+/// writing the reconstructed vector to \p out (aliasing allowed).
+/// Returns false on a corrupt/truncated bitstream.
+bool decode_difference(coding::BitReader& reader,
+                       const coding::HuffmanCodebook& codebook,
+                       std::span<const std::int32_t> previous,
+                       std::span<std::int32_t> out);
+
+/// Collects the symbol histogram the encoder would produce for the given
+/// consecutive measurement vectors (codebook training).
+void accumulate_difference_histogram(
+    std::span<const std::int32_t> current,
+    std::span<const std::int32_t> previous,
+    std::span<std::uint64_t> histogram);
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_RESIDUAL_HPP

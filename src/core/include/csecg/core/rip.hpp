@@ -1,0 +1,39 @@
+#ifndef CSECG_CORE_RIP_HPP
+#define CSECG_CORE_RIP_HPP
+
+/// \file rip.hpp
+/// Empirical restricted-isometry diagnostics (eq 1).
+///
+/// The exact isometry constant is combinatorial; what matters in practice
+/// — and what the tests and the sensing-matrix ablation bench check — is
+/// the spread of ||Phi Psi alpha||_2 / ||alpha||_2 over random S-sparse
+/// coefficient vectors. For Gaussian Phi this concentrates near 1; for
+/// sparse binary Phi the l2 form is looser (RIP-1/RIP-p regime of Berinde
+/// et al.) yet recovery still succeeds, which is exactly the point of
+/// Fig 2.
+
+#include <cstdint>
+
+#include "csecg/linalg/linear_operator.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::core {
+
+struct RipEstimate {
+  double min_ratio = 0.0;   ///< smallest observed ||A a|| / ||a||
+  double max_ratio = 0.0;   ///< largest observed
+  double mean_ratio = 0.0;
+  /// Symmetric isometry bound: max(1 - min, max - 1) — an empirical
+  /// stand-in for delta_S.
+  double delta() const;
+};
+
+/// Draws \p trials random S-sparse unit vectors (Gaussian values on a
+/// uniformly random support) and measures the operator's isometry spread.
+RipEstimate estimate_rip(const linalg::LinearOperator<double>& A,
+                         std::size_t sparsity, std::size_t trials,
+                         util::Rng& rng);
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_RIP_HPP

@@ -1,0 +1,59 @@
+#include "csecg/core/mote_rng.hpp"
+
+#include <algorithm>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::core {
+
+std::size_t generate_column_indices(Xorshift16& prng, std::uint16_t rows,
+                                    std::size_t d, std::uint16_t* out) {
+  CSECG_CHECK(d >= 1 && d <= rows, "d must be in [1, rows]");
+  std::size_t draws = 0;
+  fixedpoint::Msp430OpCounts ops;
+  for (std::size_t k = 0; k < d;) {
+    const std::uint16_t candidate = map_to_range(prng.next(), rows);
+    ++draws;
+    // xorshift: 3 shifts of multiple bit positions (7, 9, 8) + 3 xors;
+    // range map: one 16x16 multiply; duplicate scan: k compares.
+    ops.shift += 24;
+    ops.add16 += 3;  // xor ~ single-cycle ALU op
+    ops.mul16 += 1;
+    ops.add16 += k;  // compare chain
+    ops.branch += 1;
+    bool duplicate = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (out[j] == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      out[k] = candidate;
+      ops.store += 1;
+      ++k;
+    }
+  }
+  fixedpoint::charge(ops);
+  return draws;
+}
+
+std::vector<std::uint16_t> generate_sparse_indices(std::size_t rows,
+                                                   std::size_t cols,
+                                                   std::size_t d,
+                                                   std::uint16_t seed) {
+  CSECG_CHECK(rows >= 1 && rows <= 65535, "rows must fit in uint16");
+  Xorshift16 prng(seed);
+  std::vector<std::uint16_t> table(cols * d);
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::uint16_t* column = table.data() + c * d;
+    generate_column_indices(prng, static_cast<std::uint16_t>(rows), d,
+                            column);
+    // Sorted per column: apply/apply_transpose iterate cache-friendly and
+    // the overlap diagnostic relies on it.
+    std::sort(column, column + d);
+  }
+  return table;
+}
+
+}  // namespace csecg::core

@@ -1,0 +1,30 @@
+#include "csecg/core/packet.hpp"
+
+namespace csecg::core {
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kHeaderBytes + payload.size());
+  bytes.push_back(static_cast<std::uint8_t>(sequence >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(sequence));
+  bytes.push_back(static_cast<std::uint8_t>(kind));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+std::optional<Packet> Packet::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return std::nullopt;
+  }
+  if (bytes[2] > static_cast<std::uint8_t>(PacketKind::kDifferential)) {
+    return std::nullopt;
+  }
+  Packet packet;
+  packet.sequence =
+      static_cast<std::uint16_t>((std::uint16_t{bytes[0]} << 8) | bytes[1]);
+  packet.kind = static_cast<PacketKind>(bytes[2]);
+  packet.payload.assign(bytes.begin() + kHeaderBytes, bytes.end());
+  return packet;
+}
+
+}  // namespace csecg::core

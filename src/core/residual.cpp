@@ -1,0 +1,106 @@
+#include "csecg/core/residual.hpp"
+
+#include "csecg/fixedpoint/msp430_counters.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::core {
+
+std::vector<int> chunk_difference(std::int32_t value) {
+  std::vector<int> chunks;
+  // Note >=, not >: a value equal to an extreme is emitted as a chunk and
+  // followed by a 0 terminator, so the terminator is always an interior
+  // symbol and the decoder's stop condition is unambiguous.
+  while (value >= kDiffMax) {
+    chunks.push_back(kDiffMax);
+    value -= kDiffMax;
+  }
+  while (value <= kDiffMin) {
+    chunks.push_back(kDiffMin);
+    value -= kDiffMin;
+  }
+  chunks.push_back(static_cast<int>(value));
+  return chunks;
+}
+
+std::size_t encode_difference(std::span<const std::int32_t> current,
+                              std::span<const std::int32_t> previous,
+                              const coding::HuffmanCodebook& codebook,
+                              coding::BitWriter& writer) {
+  CSECG_CHECK(current.size() == previous.size(),
+              "difference: size mismatch");
+  CSECG_CHECK(codebook.size() == kDiffAlphabetSize,
+              "codebook does not match the difference alphabet");
+  std::size_t symbols = 0;
+  fixedpoint::Msp430OpCounts ops;
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    std::int32_t value = current[i] - previous[i];
+    ops.add16 += 2;  // 32-bit subtract = two 16-bit ops with borrow
+    ops.load += 4;
+    while (true) {
+      int chunk;
+      if (value >= kDiffMax) {
+        chunk = kDiffMax;
+        value -= kDiffMax;
+      } else if (value <= kDiffMin) {
+        chunk = kDiffMin;
+        value -= kDiffMin;
+      } else {
+        chunk = static_cast<int>(value);
+      }
+      const std::size_t symbol = diff_to_symbol(chunk);
+      codebook.encode(symbol, writer);
+      ++symbols;
+      ops.table_lookup += 2;  // code word + its length
+      ops.shift += codebook.code_length(symbol);
+      ops.store += (codebook.code_length(symbol) + 15) / 16;
+      ops.branch += 2;
+      if (chunk != kDiffMax && chunk != kDiffMin) {
+        break;
+      }
+    }
+  }
+  fixedpoint::charge(ops);
+  return symbols;
+}
+
+bool decode_difference(coding::BitReader& reader,
+                       const coding::HuffmanCodebook& codebook,
+                       std::span<const std::int32_t> previous,
+                       std::span<std::int32_t> out) {
+  CSECG_CHECK(previous.size() == out.size(), "difference: size mismatch");
+  CSECG_CHECK(codebook.size() == kDiffAlphabetSize,
+              "codebook does not match the difference alphabet");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::int32_t value = 0;
+    while (true) {
+      const auto symbol = codebook.decode(reader);
+      if (!symbol) {
+        return false;
+      }
+      const int chunk = symbol_to_diff(*symbol);
+      value += chunk;
+      if (chunk != kDiffMax && chunk != kDiffMin) {
+        break;
+      }
+    }
+    out[i] = previous[i] + value;
+  }
+  return true;
+}
+
+void accumulate_difference_histogram(
+    std::span<const std::int32_t> current,
+    std::span<const std::int32_t> previous,
+    std::span<std::uint64_t> histogram) {
+  CSECG_CHECK(current.size() == previous.size(),
+              "difference: size mismatch");
+  CSECG_CHECK(histogram.size() == kDiffAlphabetSize,
+              "histogram size must match the alphabet");
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    for (const int chunk : chunk_difference(current[i] - previous[i])) {
+      ++histogram[diff_to_symbol(chunk)];
+    }
+  }
+}
+
+}  // namespace csecg::core

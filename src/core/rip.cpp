@@ -1,0 +1,54 @@
+#include "csecg/core/rip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::core {
+
+double RipEstimate::delta() const {
+  return std::max(1.0 - min_ratio, max_ratio - 1.0);
+}
+
+RipEstimate estimate_rip(const linalg::LinearOperator<double>& A,
+                         std::size_t sparsity, std::size_t trials,
+                         util::Rng& rng) {
+  CSECG_CHECK(sparsity >= 1 && sparsity <= A.cols(),
+              "sparsity out of range");
+  CSECG_CHECK(trials >= 1, "need at least one trial");
+
+  RipEstimate estimate;
+  estimate.min_ratio = 1e300;
+  estimate.max_ratio = 0.0;
+  double total = 0.0;
+
+  std::vector<double> alpha(A.cols());
+  std::vector<double> image(A.rows());
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::fill(alpha.begin(), alpha.end(), 0.0);
+    const auto support = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(A.cols()),
+        static_cast<std::uint32_t>(sparsity));
+    for (const auto idx : support) {
+      alpha[idx] = rng.gaussian();
+    }
+    const double alpha_norm =
+        static_cast<double>(linalg::norm2(std::span<const double>(alpha)));
+    if (alpha_norm == 0.0) {
+      continue;
+    }
+    A.apply(std::span<const double>(alpha), std::span<double>(image));
+    const double image_norm =
+        static_cast<double>(linalg::norm2(std::span<const double>(image)));
+    const double ratio = image_norm / alpha_norm;
+    estimate.min_ratio = std::min(estimate.min_ratio, ratio);
+    estimate.max_ratio = std::max(estimate.max_ratio, ratio);
+    total += ratio;
+  }
+  estimate.mean_ratio = total / static_cast<double>(trials);
+  return estimate;
+}
+
+}  // namespace csecg::core

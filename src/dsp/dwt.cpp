@@ -1,0 +1,189 @@
+#include "csecg/dsp/dwt.hpp"
+
+#include <type_traits>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::dsp {
+
+namespace {
+
+/// Fills ext (n + taps - 1 elements) with the periodic extension of s.
+template <typename T>
+void periodic_extend(std::span<const T> s, std::size_t taps,
+                     std::vector<T>& ext) {
+  const std::size_t n = s.size();
+  ext.resize(n + taps - 1);
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    ext[i] = s[i % n];
+  }
+}
+
+/// Reference analysis loop (double path, or float path in scalar mode when
+/// instrumentation routing is not needed).
+template <typename T>
+void analysis_plain(const T* ext, const T* h, const T* g, T* out_a, T* out_d,
+                    std::size_t half_n, std::size_t taps) {
+  for (std::size_t i = 0; i < half_n; ++i) {
+    const T* s = ext + 2 * i;
+    T a{};
+    T d{};
+    for (std::size_t j = 0; j < taps; ++j) {
+      a += s[j] * h[j];
+      d += s[j] * g[j];
+    }
+    out_a[i] = a;
+    out_d[i] = d;
+  }
+}
+
+template <typename T>
+void synthesis_plain(const T* approx, const T* detail, const T* h,
+                     const T* g, T* x_ext, std::size_t half_n,
+                     std::size_t taps) {
+  for (std::size_t i = 0; i < half_n; ++i) {
+    const T a = approx[i];
+    const T d = detail[i];
+    T* x = x_ext + 2 * i;
+    for (std::size_t j = 0; j < taps; ++j) {
+      x[j] += a * h[j] + d * g[j];
+    }
+  }
+}
+
+}  // namespace
+
+WaveletTransform::WaveletTransform(Wavelet wavelet, std::size_t length,
+                                   int levels)
+    : wavelet_(std::move(wavelet)), length_(length), levels_(levels) {
+  CSECG_CHECK(levels_ >= 1, "need at least one decomposition level");
+  CSECG_CHECK(levels_ < 63, "level count out of range");
+  CSECG_CHECK(length_ % (std::size_t{1} << levels_) == 0,
+              "signal length must be divisible by 2^levels");
+  CSECG_CHECK(length_ >> levels_ >= 1, "too many levels for this length");
+  h_d_ = wavelet_.analysis_lowpass();
+  g_d_ = wavelet_.analysis_highpass();
+  h_f_.assign(h_d_.begin(), h_d_.end());
+  g_f_.assign(g_d_.begin(), g_d_.end());
+}
+
+SubbandLayout WaveletTransform::layout() const {
+  SubbandLayout layout;
+  layout.approx_offset = 0;
+  layout.approx_size = length_ >> levels_;
+  layout.detail_offsets.resize(static_cast<std::size_t>(levels_));
+  layout.detail_sizes.resize(static_cast<std::size_t>(levels_));
+  std::size_t offset = layout.approx_size;
+  for (int l = 0; l < levels_; ++l) {
+    // l = 0 is the coarsest detail band (same size as the approximation).
+    const std::size_t size = length_ >> (levels_ - l);
+    layout.detail_offsets[static_cast<std::size_t>(l)] = offset;
+    layout.detail_sizes[static_cast<std::size_t>(l)] = size;
+    offset += size;
+  }
+  return layout;
+}
+
+template <typename T>
+void WaveletTransform::forward(std::span<const T> x, std::span<T> coeffs,
+                               linalg::KernelMode mode) const {
+  CSECG_CHECK(x.size() == length_ && coeffs.size() == length_,
+              "forward: size mismatch");
+  const std::size_t taps = wavelet_.length();
+  const T* h;
+  const T* g;
+  if constexpr (std::is_same_v<T, float>) {
+    h = h_f_.data();
+    g = g_f_.data();
+  } else {
+    h = h_d_.data();
+    g = g_d_.data();
+  }
+
+  std::vector<T> approx(x.begin(), x.end());
+  std::vector<T> ext;
+  std::vector<T> next;
+  std::size_t n = length_;
+  for (int level = 0; level < levels_; ++level) {
+    const std::size_t half = n / 2;
+    periodic_extend(std::span<const T>(approx.data(), n), taps, ext);
+    next.resize(half);
+    // The first n coefficients always hold the n-point transform of the
+    // current approximation: its detail half goes to [half, n), and the
+    // coarser content keeps refining [0, half).
+    T* detail_out = coeffs.data() + half;
+    if constexpr (std::is_same_v<T, float>) {
+      linalg::kernels::dual_band_analysis(ext.data(), h, g, next.data(),
+                                          detail_out, half, taps, mode);
+    } else {
+      (void)mode;
+      analysis_plain(ext.data(), h, g, next.data(), detail_out, half, taps);
+    }
+    approx.swap(next);
+    n = half;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    coeffs[i] = approx[i];
+  }
+}
+
+template <typename T>
+void WaveletTransform::inverse(std::span<const T> coeffs, std::span<T> x,
+                               linalg::KernelMode mode) const {
+  CSECG_CHECK(coeffs.size() == length_ && x.size() == length_,
+              "inverse: size mismatch");
+  const std::size_t taps = wavelet_.length();
+  const T* h;
+  const T* g;
+  if constexpr (std::is_same_v<T, float>) {
+    h = h_f_.data();
+    g = g_f_.data();
+  } else {
+    h = h_d_.data();
+    g = g_d_.data();
+  }
+
+  const std::size_t coarsest = length_ >> levels_;
+  std::vector<T> approx(coeffs.begin(),
+                        coeffs.begin() + static_cast<std::ptrdiff_t>(coarsest));
+  std::vector<T> x_ext;
+  std::vector<T> next;
+  std::size_t half = coarsest;
+  for (int level = 0; level < levels_; ++level) {
+    const std::size_t n = 2 * half;
+    const T* detail = coeffs.data() + half;
+    x_ext.assign(n + taps - 1, T{});
+    if constexpr (std::is_same_v<T, float>) {
+      linalg::kernels::dual_band_synthesis(approx.data(), detail, h, g,
+                                           x_ext.data(), half, taps, mode);
+    } else {
+      (void)mode;
+      synthesis_plain(approx.data(), detail, h, g, x_ext.data(), half, taps);
+    }
+    next.assign(x_ext.begin(), x_ext.begin() + static_cast<std::ptrdiff_t>(n));
+    // Fold the periodic tail back onto the head.
+    for (std::size_t i = n; i < x_ext.size(); ++i) {
+      next[i % n] += x_ext[i];
+    }
+    approx.swap(next);
+    half = n;
+  }
+  for (std::size_t i = 0; i < length_; ++i) {
+    x[i] = approx[i];
+  }
+}
+
+template void WaveletTransform::forward<float>(std::span<const float>,
+                                               std::span<float>,
+                                               linalg::KernelMode) const;
+template void WaveletTransform::forward<double>(std::span<const double>,
+                                                std::span<double>,
+                                                linalg::KernelMode) const;
+template void WaveletTransform::inverse<float>(std::span<const float>,
+                                               std::span<float>,
+                                               linalg::KernelMode) const;
+template void WaveletTransform::inverse<double>(std::span<const double>,
+                                                std::span<double>,
+                                                linalg::KernelMode) const;
+
+}  // namespace csecg::dsp

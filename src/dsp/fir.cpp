@@ -1,0 +1,58 @@
+#include "csecg/dsp/fir.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::dsp {
+
+std::vector<double> design_lowpass(double cutoff, std::size_t taps) {
+  CSECG_CHECK(cutoff > 0.0 && cutoff < 0.5,
+              "cutoff must be a normalised frequency in (0, 0.5)");
+  CSECG_CHECK(taps >= 3 && taps % 2 == 1, "taps must be odd and >= 3");
+  std::vector<double> h(taps);
+  const auto centre = static_cast<double>(taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t n = 0; n < taps; ++n) {
+    const double m = static_cast<double>(n) - centre;
+    const double sinc =
+        m == 0.0 ? 2.0 * cutoff
+                 : std::sin(2.0 * std::numbers::pi * cutoff * m) /
+                       (std::numbers::pi * m);
+    const double window =
+        0.42 -
+        0.5 * std::cos(2.0 * std::numbers::pi * static_cast<double>(n) /
+                       static_cast<double>(taps - 1)) +
+        0.08 * std::cos(4.0 * std::numbers::pi * static_cast<double>(n) /
+                        static_cast<double>(taps - 1));
+    h[n] = sinc * window;
+    sum += h[n];
+  }
+  // Unity DC gain.
+  for (auto& v : h) {
+    v /= sum;
+  }
+  return h;
+}
+
+std::vector<double> filter_same(std::span<const double> x,
+                                std::span<const double> filter) {
+  CSECG_CHECK(!filter.empty(), "empty filter");
+  const std::size_t delay = (filter.size() - 1) / 2;
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < filter.size(); ++k) {
+      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i + delay) -
+                                 static_cast<std::ptrdiff_t>(k);
+      if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(x.size())) {
+        acc += filter[k] * x[static_cast<std::size_t>(idx)];
+      }
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace csecg::dsp

@@ -1,0 +1,28 @@
+#ifndef CSECG_DSP_FIR_HPP
+#define CSECG_DSP_FIR_HPP
+
+/// \file fir.hpp
+/// Windowed-sinc FIR low-pass design and linear filtering, used by the
+/// rational resampler that converts the 360 Hz database records to the
+/// 256 Hz rate the paper's mote samples at.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csecg::dsp {
+
+/// Designs a linear-phase low-pass FIR with the Blackman window.
+/// \p cutoff is the normalised cutoff frequency in (0, 0.5) relative to
+/// the sampling rate; \p taps must be odd so the filter has an integral
+/// group delay of (taps - 1) / 2 samples.
+std::vector<double> design_lowpass(double cutoff, std::size_t taps);
+
+/// Same-length convolution with zero padding at the edges; the output is
+/// aligned to compensate the group delay of a linear-phase \p filter.
+std::vector<double> filter_same(std::span<const double> x,
+                                std::span<const double> filter);
+
+}  // namespace csecg::dsp
+
+#endif  // CSECG_DSP_FIR_HPP

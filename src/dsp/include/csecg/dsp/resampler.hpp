@@ -1,0 +1,48 @@
+#ifndef CSECG_DSP_RESAMPLER_HPP
+#define CSECG_DSP_RESAMPLER_HPP
+
+/// \file resampler.hpp
+/// Rational polyphase resampler.
+///
+/// The MIT-BIH records are digitised at 360 Hz; the paper reads them into
+/// the Shimmer "re-sampled at 256 Hz" (§IV-A1). 256/360 reduces to 32/45,
+/// so the resampler upsamples by L = 32, low-pass filters at the tighter
+/// of the two Nyquist limits, and decimates by M = 45 — implemented in
+/// polyphase form so the interpolated stream is never materialised.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csecg::dsp {
+
+class RationalResampler {
+ public:
+  /// Conversion by factor up/down (both >= 1; the ratio need not be in
+  /// lowest terms — it is reduced internally). \p taps_per_phase controls
+  /// the prototype filter sharpness.
+  RationalResampler(unsigned up, unsigned down,
+                    std::size_t taps_per_phase = 24);
+
+  unsigned up() const { return up_; }
+  unsigned down() const { return down_; }
+
+  /// Resamples a whole record; output length is ceil(n * up / down).
+  std::vector<double> process(std::span<const double> x) const;
+
+ private:
+  unsigned up_;
+  unsigned down_;
+  // Polyphase decomposition: phase p holds prototype taps p, p+L, p+2L, ...
+  std::vector<std::vector<double>> phases_;
+  std::size_t prototype_delay_;
+};
+
+/// Convenience: resample a record from \p from_hz to \p to_hz (integer
+/// rates, e.g. 360 -> 256).
+std::vector<double> resample(std::span<const double> x, unsigned from_hz,
+                             unsigned to_hz);
+
+}  // namespace csecg::dsp
+
+#endif  // CSECG_DSP_RESAMPLER_HPP

@@ -1,0 +1,76 @@
+#ifndef CSECG_DSP_WAVELET_HPP
+#define CSECG_DSP_WAVELET_HPP
+
+/// \file wavelet.hpp
+/// Orthonormal wavelet filter construction.
+///
+/// The sparsifying dictionary Psi of the paper is an orthonormal wavelet
+/// basis (§II-A). Rather than shipping coefficient tables, the Daubechies
+/// and Symlet conjugate-quadrature filters are computed at startup by
+/// spectral factorisation of the Daubechies half-band polynomial
+/// (Durand–Kerner root finding + minimum-phase / near-linear-phase root
+/// selection), which yields machine-precision filters for any number of
+/// vanishing moments up to 10.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace csecg::dsp {
+
+/// Supported orthonormal families.
+enum class WaveletFamily {
+  kHaar,       ///< db1
+  kDaubechies, ///< minimum-phase, p vanishing moments (db2..db10)
+  kSymlet,     ///< near-linear-phase variant (sym2..sym10)
+};
+
+/// A conjugate-quadrature filter bank for one orthonormal wavelet.
+///
+/// Invariants (established at construction, checked by the test suite):
+///  * analysis_lowpass has even length 2p and sums to sqrt(2);
+///  * shifts by 2 of the low-pass filter are orthonormal;
+///  * analysis_highpass is the quadrature mirror g[k] = (-1)^k h[L-1-k].
+class Wavelet {
+ public:
+  /// Builds the requested wavelet. \p vanishing_moments must be in [1, 10]
+  /// (Haar ignores it and uses 1).
+  static Wavelet make(WaveletFamily family, int vanishing_moments);
+
+  /// Parses names like "haar", "db4", "sym6".
+  static Wavelet from_name(const std::string& name);
+
+  WaveletFamily family() const { return family_; }
+  int vanishing_moments() const { return vanishing_moments_; }
+  std::string name() const;
+
+  std::size_t length() const { return lowpass_.size(); }
+  const std::vector<double>& analysis_lowpass() const { return lowpass_; }
+  const std::vector<double>& analysis_highpass() const { return highpass_; }
+
+ private:
+  Wavelet(WaveletFamily family, int vanishing_moments,
+          std::vector<double> lowpass);
+
+  WaveletFamily family_;
+  int vanishing_moments_;
+  std::vector<double> lowpass_;
+  std::vector<double> highpass_;
+};
+
+namespace detail {
+
+/// Finds all complex roots of the real-coefficient polynomial
+/// c[0] + c[1] z + ... + c[n] z^n (c[n] != 0) by the Durand–Kerner
+/// iteration. Exposed for testing.
+struct ComplexRoot {
+  double re;
+  double im;
+};
+std::vector<ComplexRoot> find_roots(const std::vector<double>& coeffs);
+
+}  // namespace detail
+
+}  // namespace csecg::dsp
+
+#endif  // CSECG_DSP_WAVELET_HPP

@@ -1,0 +1,82 @@
+#include "csecg/dsp/resampler.hpp"
+
+#include <numeric>
+
+#include "csecg/dsp/fir.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::dsp {
+
+RationalResampler::RationalResampler(unsigned up, unsigned down,
+                                     std::size_t taps_per_phase) {
+  CSECG_CHECK(up >= 1 && down >= 1, "resampling factors must be >= 1");
+  const unsigned g = std::gcd(up, down);
+  up_ = up / g;
+  down_ = down / g;
+
+  // Prototype low-pass at rate fs * up: cutoff min(1/(2 up), 1/(2 down))
+  // normalised to the interpolated rate, gain up (to compensate the zero
+  // stuffing).
+  std::size_t taps = taps_per_phase * up_;
+  if (taps % 2 == 0) {
+    ++taps;
+  }
+  const double cutoff =
+      0.5 / static_cast<double>(std::max(up_, down_)) * 0.92;
+  auto prototype = design_lowpass(cutoff, taps);
+  for (auto& v : prototype) {
+    v *= static_cast<double>(up_);
+  }
+  prototype_delay_ = (taps - 1) / 2;
+
+  phases_.assign(up_, {});
+  for (std::size_t k = 0; k < prototype.size(); ++k) {
+    phases_[k % up_].push_back(prototype[k]);
+  }
+}
+
+std::vector<double> RationalResampler::process(
+    std::span<const double> x) const {
+  if (x.empty()) {
+    return {};
+  }
+  if (up_ == 1 && down_ == 1) {
+    return std::vector<double>(x.begin(), x.end());
+  }
+  const std::size_t n = x.size();
+  const std::size_t out_len =
+      (n * static_cast<std::size_t>(up_) + down_ - 1) /
+      static_cast<std::size_t>(down_);
+  std::vector<double> y(out_len, 0.0);
+  for (std::size_t m = 0; m < out_len; ++m) {
+    // Output sample m corresponds to interpolated index m * down. Align to
+    // the prototype group delay so the output has no time shift.
+    const std::size_t t =
+        m * static_cast<std::size_t>(down_) + prototype_delay_;
+    const std::size_t phase = t % up_;
+    // Interpolated index t draws on input samples floor(t / up) - j.
+    const std::size_t base = t / up_;
+    const auto& taps = phases_[phase];
+    double acc = 0.0;
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      if (base < j) {
+        break;
+      }
+      const std::size_t idx = base - j;
+      if (idx < n) {
+        acc += taps[j] * x[idx];
+      }
+    }
+    y[m] = acc;
+  }
+  return y;
+}
+
+std::vector<double> resample(std::span<const double> x, unsigned from_hz,
+                             unsigned to_hz) {
+  CSECG_CHECK(from_hz > 0 && to_hz > 0, "rates must be positive");
+  RationalResampler resampler(to_hz, from_hz);
+  return resampler.process(x);
+}
+
+}  // namespace csecg::dsp

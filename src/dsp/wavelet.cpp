@@ -1,0 +1,375 @@
+#include "csecg/dsp/wavelet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <sstream>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::dsp {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+/// Convolution of two complex coefficient sequences (polynomial product).
+std::vector<Complex> convolve(const std::vector<Complex>& a,
+                              const std::vector<Complex>& b) {
+  std::vector<Complex> out(a.size() + b.size() - 1, Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+/// Binomial coefficient as double (arguments are small).
+double binomial(int n, int k) {
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+/// Evaluates polynomial c[0] + c[1] z + ... at z (Horner).
+Complex evaluate(const std::vector<Complex>& c, Complex z) {
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = c.size(); i-- > 0;) {
+    acc = acc * z + c[i];
+  }
+  return acc;
+}
+
+/// Durand–Kerner root finder for a complex-coefficient polynomial.
+std::vector<Complex> durand_kerner(std::vector<Complex> coeffs) {
+  // Strip trailing (near-)zero leading coefficients defensively.
+  while (coeffs.size() > 1 && std::abs(coeffs.back()) < 1e-300) {
+    coeffs.pop_back();
+  }
+  const std::size_t degree = coeffs.size() - 1;
+  if (degree == 0) {
+    return {};
+  }
+  // Normalise to monic.
+  const Complex lead = coeffs.back();
+  for (auto& c : coeffs) {
+    c /= lead;
+  }
+  // Initial guesses on a spiral that is not a root symmetry axis.
+  std::vector<Complex> roots(degree);
+  const Complex seed{0.4, 0.9};
+  Complex power{1.0, 0.0};
+  for (std::size_t i = 0; i < degree; ++i) {
+    power *= seed;
+    roots[i] = power;
+  }
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < degree; ++i) {
+      Complex denom{1.0, 0.0};
+      for (std::size_t j = 0; j < degree; ++j) {
+        if (j != i) {
+          denom *= roots[i] - roots[j];
+        }
+      }
+      const Complex step = evaluate(coeffs, roots[i]) / denom;
+      roots[i] -= step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < 1e-15) {
+      break;
+    }
+  }
+  // Newton polish for a few steps (derivative via Horner).
+  std::vector<Complex> deriv(degree);
+  for (std::size_t i = 1; i <= degree; ++i) {
+    deriv[i - 1] = coeffs[i] * static_cast<double>(i);
+  }
+  for (auto& r : roots) {
+    for (int it = 0; it < 8; ++it) {
+      const Complex d = evaluate(deriv, r);
+      if (std::abs(d) < 1e-300) {
+        break;
+      }
+      r -= evaluate(coeffs, r) / d;
+    }
+  }
+  return roots;
+}
+
+/// Builds the low-pass filter from the p zeros at z = -1 and the selected
+/// spectral-factor roots, normalised so the coefficients sum to sqrt(2).
+std::vector<double> assemble_lowpass(int p,
+                                     const std::vector<Complex>& roots) {
+  std::vector<Complex> h{Complex{1.0, 0.0}};
+  const std::vector<Complex> one_plus_z{Complex{1.0, 0.0}, Complex{1.0, 0.0}};
+  for (int i = 0; i < p; ++i) {
+    h = convolve(h, one_plus_z);
+  }
+  for (const auto& r : roots) {
+    // Factor (z - r): places a filter zero exactly at the selected root.
+    h = convolve(h, std::vector<Complex>{-r, Complex{1.0, 0.0}});
+  }
+  std::vector<double> out(h.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    out[i] = h[i].real();  // conjugate root pairs make imag parts cancel
+    sum += out[i];
+  }
+  const double scale = std::numbers::sqrt2 / sum;
+  for (auto& v : out) {
+    v *= scale;
+  }
+  return out;
+}
+
+/// Measure of group-delay non-linearity of the filter's phase response,
+/// used to pick the Symlet factorisation. Lower is closer to linear phase.
+double phase_nonlinearity(const std::vector<double>& h) {
+  // Sample the phase of H(e^{-i w}) on a grid, remove the best lag, and
+  // accumulate squared deviation. Unwrap naively; the grid is dense enough
+  // for these short filters.
+  constexpr int kGrid = 256;
+  std::vector<double> phase(kGrid);
+  double previous = 0.0;
+  double offset = 0.0;
+  for (int k = 0; k < kGrid; ++k) {
+    // Stop short of the Nyquist zero of H where the phase is undefined.
+    const double w = (std::numbers::pi * 0.85) * k / (kGrid - 1);
+    Complex value{0.0, 0.0};
+    for (std::size_t n = 0; n < h.size(); ++n) {
+      value += h[n] * std::polar(1.0, -w * static_cast<double>(n));
+    }
+    double ph = std::arg(value) + offset;
+    while (ph - previous > std::numbers::pi) {
+      ph -= 2.0 * std::numbers::pi;
+      offset -= 2.0 * std::numbers::pi;
+    }
+    while (ph - previous < -std::numbers::pi) {
+      ph += 2.0 * std::numbers::pi;
+      offset += 2.0 * std::numbers::pi;
+    }
+    phase[k] = ph;
+    previous = ph;
+  }
+  // Least-squares linear fit phase ~ a + b w over the same grid.
+  double sw = 0.0;
+  double sww = 0.0;
+  double sp = 0.0;
+  double swp = 0.0;
+  for (int k = 0; k < kGrid; ++k) {
+    const double w = (std::numbers::pi * 0.85) * k / (kGrid - 1);
+    sw += w;
+    sww += w * w;
+    sp += phase[k];
+    swp += w * phase[k];
+  }
+  const double n = kGrid;
+  const double denom = n * sww - sw * sw;
+  const double b = (n * swp - sw * sp) / denom;
+  const double a = (sp - b * sw) / n;
+  double error = 0.0;
+  for (int k = 0; k < kGrid; ++k) {
+    const double w = (std::numbers::pi * 0.85) * k / (kGrid - 1);
+    const double dev = phase[k] - (a + b * w);
+    error += dev * dev;
+  }
+  return error;
+}
+
+/// Groups the spectral-factor roots into reciprocal sets. Each group
+/// contributes either its inside-unit-circle members or the reciprocals of
+/// those members; complex roots carry their conjugates along so the filter
+/// stays real.
+struct RootGroup {
+  std::vector<Complex> inside;   // |z| < 1 members (with conjugate if complex)
+  std::vector<Complex> outside;  // their reciprocals
+};
+
+std::vector<RootGroup> group_roots(const std::vector<Complex>& all_roots) {
+  std::vector<Complex> inside;
+  for (const auto& r : all_roots) {
+    if (std::abs(r) < 1.0) {
+      inside.push_back(r);
+    }
+  }
+  // Pair complex roots with their conjugates.
+  std::vector<bool> used(inside.size(), false);
+  std::vector<RootGroup> groups;
+  for (std::size_t i = 0; i < inside.size(); ++i) {
+    if (used[i]) {
+      continue;
+    }
+    used[i] = true;
+    RootGroup group;
+    group.inside.push_back(inside[i]);
+    group.outside.push_back(Complex{1.0, 0.0} / inside[i]);
+    if (std::abs(inside[i].imag()) > 1e-9) {
+      // Find its conjugate partner.
+      for (std::size_t j = i + 1; j < inside.size(); ++j) {
+        if (!used[j] &&
+            std::abs(inside[j] - std::conj(inside[i])) < 1e-6) {
+          used[j] = true;
+          group.inside.push_back(inside[j]);
+          group.outside.push_back(Complex{1.0, 0.0} / inside[j]);
+          break;
+        }
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+/// Builds the Daubechies product-polynomial roots for p vanishing moments:
+/// the spectral factors of P(y) evaluated through y = (2 - z - 1/z)/4.
+std::vector<Complex> product_roots(int p) {
+  if (p == 1) {
+    return {};  // Haar: no spectral factor beyond the (1 + z)^p term.
+  }
+  // P(y) = sum_{k=0}^{p-1} C(p-1+k, k) y^k.
+  std::vector<double> py(static_cast<std::size_t>(p));
+  for (int k = 0; k < p; ++k) {
+    py[static_cast<std::size_t>(k)] = binomial(p - 1 + k, k);
+  }
+  // Q(z) = z^{p-1} P((2 - z - 1/z) / 4): build by Horner in the Laurent
+  // variable. Represent a Laurent polynomial z^{-m}..z^{+m} as a vector of
+  // length 2m+1 centred at index m.
+  // Start with the constant P coefficient of highest degree and repeatedly
+  // multiply by y(z) and add the next coefficient.
+  std::vector<Complex> acc{Complex{py[static_cast<std::size_t>(p - 1)], 0.0}};
+  const std::vector<Complex> y_poly{Complex{-0.25, 0.0}, Complex{0.5, 0.0},
+                                    Complex{-0.25, 0.0}};  // (-z^-1+2-z)/4 centred
+  for (int k = p - 2; k >= 0; --k) {
+    acc = convolve(acc, y_poly);
+    // acc is centred; add the constant at the centre index.
+    acc[acc.size() / 2] += Complex{py[static_cast<std::size_t>(k)], 0.0};
+  }
+  // acc now holds z^{p-1} Q-ish polynomial of degree 2(p-1) in z.
+  std::vector<double> coeffs(acc.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    coeffs[i] = acc[i].real();
+  }
+  std::vector<Complex> complex_coeffs(coeffs.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    complex_coeffs[i] = Complex{coeffs[i], 0.0};
+  }
+  return durand_kerner(std::move(complex_coeffs));
+}
+
+std::vector<double> build_lowpass(WaveletFamily family, int p) {
+  const auto roots = product_roots(p);
+  const auto groups = group_roots(roots);
+  if (family == WaveletFamily::kHaar || p == 1) {
+    return assemble_lowpass(1, {});
+  }
+  if (family == WaveletFamily::kDaubechies) {
+    std::vector<Complex> selected;
+    for (const auto& g : groups) {
+      selected.insert(selected.end(), g.inside.begin(), g.inside.end());
+    }
+    return assemble_lowpass(p, selected);
+  }
+  // Symlet: enumerate inside/outside choices per group and keep the filter
+  // whose phase is closest to linear.
+  const std::size_t combos = std::size_t{1} << groups.size();
+  std::vector<double> best;
+  double best_score = 0.0;
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::vector<Complex> selected;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& pick = ((mask >> g) & 1u) != 0 ? groups[g].outside
+                                                 : groups[g].inside;
+      selected.insert(selected.end(), pick.begin(), pick.end());
+    }
+    auto candidate = assemble_lowpass(p, selected);
+    const double score = phase_nonlinearity(candidate);
+    if (best.empty() || score < best_score) {
+      best = std::move(candidate);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Wavelet Wavelet::make(WaveletFamily family, int vanishing_moments) {
+  if (family == WaveletFamily::kHaar) {
+    vanishing_moments = 1;
+  }
+  CSECG_CHECK(vanishing_moments >= 1 && vanishing_moments <= 10,
+              "vanishing moments must be in [1, 10]");
+  return Wavelet(family, vanishing_moments,
+                 build_lowpass(family, vanishing_moments));
+}
+
+Wavelet Wavelet::from_name(const std::string& name) {
+  if (name == "haar" || name == "db1") {
+    return make(WaveletFamily::kHaar, 1);
+  }
+  const auto parse_order = [&](std::size_t prefix_len) {
+    int order = 0;
+    std::istringstream is(name.substr(prefix_len));
+    is >> order;
+    CSECG_CHECK(!is.fail() && is.eof(), "unparseable wavelet name: " + name);
+    return order;
+  };
+  if (name.rfind("db", 0) == 0) {
+    return make(WaveletFamily::kDaubechies, parse_order(2));
+  }
+  if (name.rfind("sym", 0) == 0) {
+    return make(WaveletFamily::kSymlet, parse_order(3));
+  }
+  throw Error("unknown wavelet name: " + name);
+}
+
+std::string Wavelet::name() const {
+  switch (family_) {
+    case WaveletFamily::kHaar:
+      return "haar";
+    case WaveletFamily::kDaubechies:
+      return "db" + std::to_string(vanishing_moments_);
+    case WaveletFamily::kSymlet:
+      return "sym" + std::to_string(vanishing_moments_);
+  }
+  return "unknown";
+}
+
+Wavelet::Wavelet(WaveletFamily family, int vanishing_moments,
+                 std::vector<double> lowpass)
+    : family_(family),
+      vanishing_moments_(vanishing_moments),
+      lowpass_(std::move(lowpass)) {
+  const std::size_t length = lowpass_.size();
+  CSECG_CHECK(length == 2 * static_cast<std::size_t>(vanishing_moments_),
+              "unexpected filter length");
+  highpass_.resize(length);
+  for (std::size_t k = 0; k < length; ++k) {
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    highpass_[k] = sign * lowpass_[length - 1 - k];
+  }
+}
+
+namespace detail {
+
+std::vector<ComplexRoot> find_roots(const std::vector<double>& coeffs) {
+  std::vector<Complex> c(coeffs.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    c[i] = Complex{coeffs[i], 0.0};
+  }
+  const auto roots = durand_kerner(std::move(c));
+  std::vector<ComplexRoot> out(roots.size());
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    out[i] = ComplexRoot{roots[i].real(), roots[i].imag()};
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace csecg::dsp

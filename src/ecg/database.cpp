@@ -1,0 +1,150 @@
+#include "csecg/ecg/database.hpp"
+
+#include <cmath>
+
+#include "csecg/dsp/resampler.hpp"
+#include "csecg/ecg/noise.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::ecg {
+
+namespace {
+
+/// Per-record profile, varied deterministically across the corpus to cover
+/// the spread of rhythms in the MIT-BIH set: plain sinus records, noisy
+/// ambulatory ones, and arrhythmia-heavy ones.
+struct RecordProfile {
+  double heart_rate_bpm;
+  double hr_std_bpm;
+  double pvc_probability;
+  double apc_probability;
+  double amplitude_mv;
+  double baseline_mv;
+  double emg_mv;
+  double mains_mv;
+};
+
+RecordProfile profile_for(std::size_t index, util::Rng& rng) {
+  RecordProfile p;
+  p.heart_rate_bpm = rng.uniform(52.0, 105.0);
+  p.hr_std_bpm = rng.uniform(1.0, 5.0);
+  // A third of the corpus carries a meaningful ectopic load, mirroring the
+  // arrhythmia emphasis of the original database.
+  const std::size_t bucket = index % 3;
+  p.pvc_probability = bucket == 0 ? rng.uniform(0.05, 0.25) : 0.0;
+  p.apc_probability = bucket == 1 ? rng.uniform(0.03, 0.12) : 0.0;
+  p.amplitude_mv = rng.uniform(0.7, 1.6);
+  p.baseline_mv = rng.uniform(0.02, 0.12);
+  p.emg_mv = rng.uniform(0.004, 0.02);
+  p.mains_mv = rng.uniform(0.0, 0.01);
+  return p;
+}
+
+}  // namespace
+
+SyntheticDatabase::SyntheticDatabase(const DatabaseConfig& config)
+    : config_(config) {
+  CSECG_CHECK(config.record_count > 0, "empty database requested");
+  util::Rng corpus_rng(config.seed);
+  const AdcModel adc;  // 11 bits over 10 mV
+  records_.reserve(config.record_count);
+  mote_records_.reserve(config.record_count);
+  records_lead2_.reserve(config.record_count);
+  mote_records_lead2_.reserve(config.record_count);
+
+  for (std::size_t i = 0; i < config.record_count; ++i) {
+    util::Rng record_rng = corpus_rng.fork();
+    const RecordProfile profile = profile_for(i, record_rng);
+
+    EcgSynConfig gen;
+    gen.sample_rate_hz = config.native_rate_hz;
+    gen.duration_s = config.duration_s;
+    gen.mean_heart_rate_bpm = profile.heart_rate_bpm;
+    gen.heart_rate_std_bpm = profile.hr_std_bpm;
+    gen.pvc_probability = profile.pvc_probability;
+    gen.apc_probability = profile.apc_probability;
+    gen.amplitude_mv = profile.amplitude_mv;
+    gen.seed = record_rng();
+
+    // Both channels share the rhythm; morphology differs per electrode.
+    const BeatSchedule schedule = generate_beat_schedule(gen);
+    const std::string record_id =
+        (i < 10 ? "rec-0" : "rec-") + std::to_string(i);
+
+    const auto build_lead = [&](const LeadProjection& lead,
+                                const std::string& suffix,
+                                std::uint64_t noise_seed,
+                                std::vector<Record>& natives,
+                                std::vector<Record>& motes) {
+      GeneratedEcg generated = render_ecg(schedule, gen, lead);
+
+      NoiseConfig noise;
+      noise.baseline_wander_mv = profile.baseline_mv;
+      noise.muscle_artifact_mv = profile.emg_mv;
+      noise.powerline_mv = profile.mains_mv;
+      noise.seed = noise_seed;
+      add_noise(generated.samples_mv, gen.sample_rate_hz, noise);
+
+      Record native;
+      native.id = record_id + suffix;
+      native.sample_rate_hz = config.native_rate_hz;
+      native.samples = adc.quantize(generated.samples_mv);
+      native.beat_onsets = generated.beat_onsets;
+      native.beat_classes = generated.beat_classes;
+
+      // 360 Hz -> 256 Hz path, as read into the Shimmer over its serial
+      // port.
+      const std::vector<double> native_mv =
+          adc.to_millivolts(native.samples);
+      const std::vector<double> resampled = dsp::resample(
+          native_mv, static_cast<unsigned>(config.native_rate_hz),
+          config.mote_rate_hz);
+
+      Record mote;
+      mote.id = native.id + "@256";
+      mote.sample_rate_hz = static_cast<double>(config.mote_rate_hz);
+      mote.samples = adc.quantize(resampled);
+      const double ratio = static_cast<double>(config.mote_rate_hz) /
+                           config.native_rate_hz;
+      mote.beat_onsets.reserve(native.beat_onsets.size());
+      for (const auto onset : native.beat_onsets) {
+        mote.beat_onsets.push_back(static_cast<std::size_t>(
+            std::lround(static_cast<double>(onset) * ratio)));
+      }
+      mote.beat_classes = native.beat_classes;
+
+      natives.push_back(std::move(native));
+      motes.push_back(std::move(mote));
+    };
+
+    const std::uint64_t noise_seed_1 = record_rng();
+    const std::uint64_t noise_seed_2 = record_rng();
+    build_lead(LeadProjection::mlii(), "", noise_seed_1, records_,
+               mote_records_);
+    build_lead(LeadProjection::v1(), "/V1", noise_seed_2, records_lead2_,
+               mote_records_lead2_);
+  }
+}
+
+const Record& SyntheticDatabase::native(std::size_t index) const {
+  CSECG_CHECK(index < records_.size(), "record index out of range");
+  return records_[index];
+}
+
+const Record& SyntheticDatabase::mote(std::size_t index) const {
+  CSECG_CHECK(index < mote_records_.size(), "record index out of range");
+  return mote_records_[index];
+}
+
+const Record& SyntheticDatabase::native_lead2(std::size_t index) const {
+  CSECG_CHECK(index < records_lead2_.size(), "record index out of range");
+  return records_lead2_[index];
+}
+
+const Record& SyntheticDatabase::mote_lead2(std::size_t index) const {
+  CSECG_CHECK(index < mote_records_lead2_.size(),
+              "record index out of range");
+  return mote_records_lead2_[index];
+}
+
+}  // namespace csecg::ecg

@@ -1,0 +1,259 @@
+#include "csecg/ecg/ecgsyn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::ecg {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Wraps an angle into [-pi, pi).
+double wrap_angle(double theta) {
+  while (theta >= kPi) {
+    theta -= 2.0 * kPi;
+  }
+  while (theta < -kPi) {
+    theta += 2.0 * kPi;
+  }
+  return theta;
+}
+
+/// Sum of the Gaussian event derivatives at angle theta: the dz/dt of the
+/// McSharry model (without baseline coupling, which our noise module owns).
+double wave_drive(const BeatMorphology& m, double theta, double omega,
+                  double z) {
+  double dz = 0.0;
+  for (const WaveEvent* e : {&m.p, &m.q, &m.r, &m.s, &m.t}) {
+    if (e->amplitude == 0.0) {
+      continue;
+    }
+    const double dtheta = wrap_angle(theta - e->theta);
+    const double b2 = e->width * e->width;
+    dz -= e->amplitude * omega * dtheta *
+          std::exp(-dtheta * dtheta / (2.0 * b2));
+  }
+  // Relaxation toward the isoelectric line between complexes.
+  dz -= z;
+  return dz;
+}
+
+/// Applies a lead projection to a class morphology.
+BeatMorphology project(const BeatMorphology& m, const LeadProjection& lead) {
+  BeatMorphology out = m;
+  out.p.amplitude *= lead.p;
+  out.q.amplitude *= lead.q;
+  out.r.amplitude *= lead.r;
+  out.s.amplitude *= lead.s;
+  out.t.amplitude *= lead.t;
+  return out;
+}
+
+void validate(const EcgSynConfig& config) {
+  CSECG_CHECK(config.sample_rate_hz > 0.0, "sample rate must be positive");
+  CSECG_CHECK(config.duration_s > 0.0, "duration must be positive");
+  CSECG_CHECK(config.mean_heart_rate_bpm > 20.0 &&
+                  config.mean_heart_rate_bpm < 240.0,
+              "heart rate out of physiological range");
+  CSECG_CHECK(config.pvc_probability + config.apc_probability <= 1.0,
+              "ectopic probabilities exceed 1");
+}
+
+}  // namespace
+
+BeatMorphology BeatMorphology::normal() {
+  // theta_i, a_i, b_i from McSharry et al. 2003, Table 1.
+  BeatMorphology m;
+  m.p = {-kPi / 3.0, 1.2, 0.25};
+  m.q = {-kPi / 12.0, -5.0, 0.1};
+  m.r = {0.0, 30.0, 0.1};
+  m.s = {kPi / 12.0, -7.5, 0.1};
+  m.t = {kPi / 2.0, 0.75, 0.4};
+  return m;
+}
+
+BeatMorphology BeatMorphology::pvc() {
+  // Ventricular ectopic: no P wave, slurred wide QRS, discordant T. The
+  // model's peak deflection scales like amplitude * width^2, so the wide
+  // events carry small amplitudes to land ~1.3x a normal R peak.
+  BeatMorphology m;
+  m.p = {-kPi / 3.0, 0.0, 0.25};
+  m.q = {-kPi / 10.0, -1.2, 0.22};
+  m.r = {0.0, 6.0, 0.26};
+  m.s = {kPi / 9.0, -4.8, 0.25};
+  m.t = {kPi / 1.8, -1.1, 0.45};
+  return m;
+}
+
+BeatMorphology BeatMorphology::apc() {
+  // Atrial ectopic: small early P, normal narrow complex.
+  BeatMorphology m = normal();
+  m.p.amplitude = 0.5;
+  m.p.theta = -kPi / 2.6;
+  m.p.width = 0.2;
+  return m;
+}
+
+BeatMorphology BeatMorphology::for_class(BeatClass beat_class) {
+  switch (beat_class) {
+    case BeatClass::kNormal:
+      return normal();
+    case BeatClass::kPvc:
+      return pvc();
+    case BeatClass::kApc:
+      return apc();
+  }
+  return normal();
+}
+
+BeatSchedule generate_beat_schedule(const EcgSynConfig& config) {
+  validate(config);
+  util::Rng rng(config.seed);
+  const double mean_rr = 60.0 / config.mean_heart_rate_bpm;
+
+  BeatSchedule schedule;
+  double elapsed = 0.0;
+  BeatClass previous = BeatClass::kNormal;
+  // One spare beat beyond the duration so rendering never runs dry.
+  while (elapsed < config.duration_s + 2.0 * mean_rr) {
+    // Avoid back-to-back ectopics; real rhythms have compensatory pauses.
+    BeatClass next = BeatClass::kNormal;
+    if (previous == BeatClass::kNormal) {
+      const double u = rng.uniform();
+      if (u < config.pvc_probability) {
+        next = BeatClass::kPvc;
+      } else if (u < config.pvc_probability + config.apc_probability) {
+        next = BeatClass::kApc;
+      }
+    }
+
+    const double rsa = config.rsa_depth *
+                       std::sin(2.0 * kPi * config.rsa_freq_hz * elapsed);
+    const double mayer =
+        config.mayer_depth * std::sin(2.0 * kPi * 0.1 * elapsed);
+    // rr = 60 / hr, so std(rr) ~= mean_rr * std(hr) / mean(hr).
+    const double rr_std =
+        mean_rr * config.heart_rate_std_bpm / config.mean_heart_rate_bpm;
+    double rr = mean_rr * (1.0 + rsa + mayer) + rng.gaussian(0.0, rr_std);
+    if (next == BeatClass::kPvc || next == BeatClass::kApc) {
+      rr *= rng.uniform(0.70, 0.85);  // premature
+    }
+    rr = std::max(rr, 0.3);
+
+    schedule.rr_s.push_back(rr);
+    schedule.classes.push_back(next);
+    elapsed += rr;
+    previous = next;
+  }
+  return schedule;
+}
+
+GeneratedEcg render_ecg(const BeatSchedule& schedule,
+                        const EcgSynConfig& config,
+                        const LeadProjection& lead) {
+  validate(config);
+  CSECG_CHECK(!schedule.rr_s.empty(), "empty beat schedule");
+  CSECG_CHECK(schedule.rr_s.size() == schedule.classes.size(),
+              "schedule arrays must match");
+
+  const auto total_samples = static_cast<std::size_t>(
+      config.duration_s * config.sample_rate_hz);
+
+  GeneratedEcg out;
+  out.samples_mv.reserve(total_samples);
+  out.sample_rate_hz = config.sample_rate_hz;
+
+  // Integrate at a fixed multiple of the output rate for stability.
+  constexpr int kOversample = 4;
+  const double dt = 1.0 / (config.sample_rate_hz * kOversample);
+
+  std::size_t beat_index = 0;
+  const auto beat_rr = [&](std::size_t i) {
+    return schedule.rr_s[std::min(i, schedule.rr_s.size() - 1)];
+  };
+  const auto beat_class = [&](std::size_t i) {
+    return schedule.classes[std::min(i, schedule.classes.size() - 1)];
+  };
+
+  BeatClass current_class = beat_class(0);
+  BeatMorphology morphology =
+      project(BeatMorphology::for_class(current_class), lead);
+  double omega = 2.0 * kPi / beat_rr(0);
+
+  double theta = -kPi;  // start at a beat boundary
+  double z = 0.0;
+  std::size_t sample_index = 0;
+  int substep = 0;
+
+  while (out.samples_mv.size() < total_samples) {
+    const auto f = [&](double th, double zz) {
+      return wave_drive(morphology, th, omega, zz);
+    };
+    const double k1 = f(theta, z);
+    const double k2 = f(theta + 0.5 * dt * omega, z + 0.5 * dt * k1);
+    const double k3 = f(theta + 0.5 * dt * omega, z + 0.5 * dt * k2);
+    const double k4 = f(theta + dt * omega, z + dt * k3);
+    z += dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    const double new_theta = theta + dt * omega;
+
+    if (new_theta >= kPi) {
+      // Beat boundary: advance to the next scheduled beat.
+      theta = new_theta - 2.0 * kPi;
+      ++beat_index;
+      current_class = beat_class(beat_index);
+      morphology = project(BeatMorphology::for_class(current_class), lead);
+      omega = 2.0 * kPi / beat_rr(beat_index);
+    } else {
+      theta = new_theta;
+      // The R peak fires when theta crosses 0 from below.
+      if (theta >= 0.0 && theta - dt * omega < 0.0) {
+        out.beat_onsets.push_back(sample_index);
+        out.beat_classes.push_back(current_class);
+      }
+    }
+
+    ++substep;
+    if (substep == kOversample) {
+      substep = 0;
+      out.samples_mv.push_back(z);
+      ++sample_index;
+    }
+  }
+
+  // Normalise so the median R-peak magnitude sits at the requested
+  // amplitude: the model's raw z units depend on omega and event widths.
+  if (!out.beat_onsets.empty()) {
+    std::vector<double> peaks;
+    peaks.reserve(out.beat_onsets.size());
+    for (const auto onset : out.beat_onsets) {
+      const std::size_t lo = onset > 4 ? onset - 4 : 0;
+      const std::size_t hi = std::min(onset + 5, out.samples_mv.size());
+      double peak = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        peak = std::max(peak, std::fabs(out.samples_mv[i]));
+      }
+      peaks.push_back(peak);
+    }
+    std::nth_element(peaks.begin(), peaks.begin() + peaks.size() / 2,
+                     peaks.end());
+    const double median_peak = peaks[peaks.size() / 2];
+    if (median_peak > 0.0) {
+      const double scale = config.amplitude_mv / median_peak;
+      for (auto& v : out.samples_mv) {
+        v *= scale;
+      }
+    }
+  }
+  return out;
+}
+
+GeneratedEcg generate_ecg(const EcgSynConfig& config) {
+  return render_ecg(generate_beat_schedule(config), config,
+                    LeadProjection::mlii());
+}
+
+}  // namespace csecg::ecg

@@ -1,0 +1,115 @@
+#ifndef CSECG_ECG_ECGSYN_HPP
+#define CSECG_ECG_ECGSYN_HPP
+
+/// \file ecgsyn.hpp
+/// Synthetic ECG generation (substitute for the MIT-BIH recordings).
+///
+/// The generator follows the dynamical model of McSharry, Clifford,
+/// Tarassenko & Smith, "A dynamical model for generating synthetic
+/// electrocardiogram signals" (IEEE TBME 2003): a trajectory on a limit
+/// cycle whose angular position theta triggers five Gaussian events — the
+/// P, Q, R, S and T waves. Beat-to-beat RR variation (respiratory sinus
+/// arrhythmia + low-frequency Mayer waves + jitter) and per-beat morphology
+/// classes (normal / PVC-like / APC-like) reproduce the quasi-periodic,
+/// wavelet-sparse structure that the paper's compression exploits —
+/// including the inter-packet redundancy that the difference stage removes.
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/util/rng.hpp"
+
+namespace csecg::ecg {
+
+/// Morphology class of one beat, mirroring the MIT-BIH annotation codes we
+/// care about.
+enum class BeatClass {
+  kNormal,  ///< N: full P-QRS-T
+  kPvc,     ///< V: premature ventricular contraction — wide QRS, no P
+  kApc,     ///< A: atrial premature beat — early, small P
+};
+
+/// One of the five Gaussian wave events of the dynamical model.
+struct WaveEvent {
+  double theta;      ///< angular position on the limit cycle (radians)
+  double amplitude;  ///< mV contribution scale
+  double width;      ///< angular width (radians)
+};
+
+/// Per-class morphology: the five events P, Q, R, S, T.
+struct BeatMorphology {
+  WaveEvent p, q, r, s, t;
+
+  /// Textbook normal-beat parameters from the McSharry model.
+  static BeatMorphology normal();
+  /// Wide-complex ventricular beat: absent P, broad and tall R/S.
+  static BeatMorphology pvc();
+  /// Atrial premature beat: reduced P, otherwise narrow complex.
+  static BeatMorphology apc();
+  static BeatMorphology for_class(BeatClass beat_class);
+};
+
+/// Generator configuration for one synthetic record.
+struct EcgSynConfig {
+  double sample_rate_hz = 360.0;    ///< MIT-BIH native rate
+  double duration_s = 60.0;
+  double mean_heart_rate_bpm = 70.0;
+  double heart_rate_std_bpm = 3.0;  ///< beat-to-beat jitter
+  double rsa_depth = 0.04;          ///< respiratory RR modulation (fraction)
+  double rsa_freq_hz = 0.25;        ///< respiration rate
+  double mayer_depth = 0.03;        ///< low-frequency RR modulation
+  double pvc_probability = 0.0;     ///< chance a beat is a PVC
+  double apc_probability = 0.0;     ///< chance a beat is an APC
+  double amplitude_mv = 1.0;        ///< R-peak scale in mV
+  std::uint64_t seed = 1;
+};
+
+/// A generated record: samples in millivolts plus beat annotations.
+struct GeneratedEcg {
+  std::vector<double> samples_mv;
+  std::vector<std::size_t> beat_onsets;  ///< sample index of each beat's R
+  std::vector<BeatClass> beat_classes;
+  double sample_rate_hz = 0.0;
+};
+
+/// The rhythm of a record, independent of any lead's waveform: the RR
+/// interval and morphology class of each beat in order. Rendering two
+/// leads from one schedule gives the correlated two-channel records of
+/// the MIT-BIH format.
+struct BeatSchedule {
+  std::vector<double> rr_s;
+  std::vector<BeatClass> classes;
+};
+
+/// Per-lead projection of the five wave events — how strongly each event
+/// appears in a given electrode placement.
+struct LeadProjection {
+  double p = 1.0;
+  double q = 1.0;
+  double r = 1.0;
+  double s = 1.0;
+  double t = 1.0;
+
+  /// Modified limb lead II: the reference morphology (identity).
+  static LeadProjection mlii() { return {}; }
+  /// A V1-like precordial lead: small R, deep S, low P, inverted T.
+  static LeadProjection v1() { return {0.6, 0.5, 0.35, 1.9, -0.5}; }
+};
+
+/// Draws the beat sequence (RR + class per beat) covering at least
+/// \p config.duration_s. Deterministic in config.seed.
+BeatSchedule generate_beat_schedule(const EcgSynConfig& config);
+
+/// Renders one lead of a schedule through the dynamical model.
+GeneratedEcg render_ecg(const BeatSchedule& schedule,
+                        const EcgSynConfig& config,
+                        const LeadProjection& lead);
+
+/// Runs the dynamical model and returns the clean (noise-free) ECG —
+/// equivalent to render_ecg(generate_beat_schedule(config), config,
+/// LeadProjection::mlii()).
+GeneratedEcg generate_ecg(const EcgSynConfig& config);
+
+}  // namespace csecg::ecg
+
+#endif  // CSECG_ECG_ECGSYN_HPP

@@ -1,0 +1,46 @@
+#ifndef CSECG_ECG_METRICS_HPP
+#define CSECG_ECG_METRICS_HPP
+
+/// \file metrics.hpp
+/// The paper's §III performance metrics: compression ratio (eq 7),
+/// percentage root-mean-square difference, and the derived output SNR,
+/// plus the clinical-quality bands that Fig 6 annotates ("VG" / "G").
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace csecg::ecg {
+
+/// CR = (b_orig - b_comp) / b_orig * 100   (eq 7), in percent.
+double compression_ratio(std::size_t original_bits,
+                         std::size_t compressed_bits);
+
+/// PRD = ||x - x~||_2 / ||x||_2 * 100, in percent.
+double prd(std::span<const double> original,
+           std::span<const double> reconstructed);
+
+/// PRD computed after removing the mean of the original (PRD-N); less
+/// sensitive to DC offset conventions, reported by several comparisons.
+double prd_normalized(std::span<const double> original,
+                      std::span<const double> reconstructed);
+
+/// SNR = -20 log10(0.01 * PRD), in dB (§III).
+double snr_from_prd(double prd_percent);
+
+/// Inverse of snr_from_prd.
+double prd_from_snr(double snr_db);
+
+/// Diagnostic quality bands of Zigel et al. (as marked on Fig 6):
+/// "very good" below ~2 % PRD, "good" below ~9 %.
+enum class QualityBand { kVeryGood, kGood, kNotGood };
+QualityBand classify_quality(double prd_percent);
+std::string quality_band_name(QualityBand band);
+
+/// PRD thresholds used by classify_quality.
+inline constexpr double kVeryGoodPrdLimit = 2.0;
+inline constexpr double kGoodPrdLimit = 9.0;
+
+}  // namespace csecg::ecg
+
+#endif  // CSECG_ECG_METRICS_HPP

@@ -1,0 +1,32 @@
+#ifndef CSECG_ECG_NOISE_HPP
+#define CSECG_ECG_NOISE_HPP
+
+/// \file noise.hpp
+/// Ambulatory ECG noise sources. The MIT-BIH recordings are ambulatory,
+/// so realistic contamination matters for compression benchmarks: noise is
+/// the non-sparse part of the signal and dominates the achievable PRD at
+/// high compression ratios.
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/util/rng.hpp"
+
+namespace csecg::ecg {
+
+struct NoiseConfig {
+  double baseline_wander_mv = 0.05;  ///< slow electrode/respiration drift
+  double baseline_freq_hz = 0.33;
+  double muscle_artifact_mv = 0.01;  ///< wideband EMG (std dev)
+  double powerline_mv = 0.005;       ///< mains interference amplitude
+  double powerline_freq_hz = 50.0;   ///< 50 Hz (EU) — the paper is EPFL
+  std::uint64_t seed = 7;
+};
+
+/// Adds all configured noise sources to \p samples_mv in place.
+void add_noise(std::vector<double>& samples_mv, double sample_rate_hz,
+               const NoiseConfig& config);
+
+}  // namespace csecg::ecg
+
+#endif  // CSECG_ECG_NOISE_HPP

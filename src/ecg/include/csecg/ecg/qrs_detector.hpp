@@ -1,0 +1,59 @@
+#ifndef CSECG_ECG_QRS_DETECTOR_HPP
+#define CSECG_ECG_QRS_DETECTOR_HPP
+
+/// \file qrs_detector.hpp
+/// QRS (R-peak) detection and beat-level quality scoring.
+///
+/// §III motivates PRD as a proxy for "the diagnostic quality of the
+/// compressed ECG records". This module makes that assessment direct: a
+/// Pan–Tompkins-style detector (band-pass -> derivative -> squaring ->
+/// moving-window integration -> adaptive threshold) finds R peaks, and
+/// match_beats scores a reconstruction by whether its beats are still
+/// detectable at the right instants — the clinically meaningful
+/// complement to PRD used by the diagnostic-quality bench (EXP-A4).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csecg::ecg {
+
+struct QrsDetectorConfig {
+  double sample_rate_hz = 256.0;
+  /// Pass band of the QRS energy filter (Hz).
+  double band_low_hz = 5.0;
+  double band_high_hz = 18.0;
+  /// Moving-window integration length (seconds); ~QRS duration.
+  double integration_window_s = 0.15;
+  /// Detector dead time after an accepted beat (seconds).
+  double refractory_s = 0.25;
+  /// Detection threshold as a fraction of the running peak level.
+  double threshold_fraction = 0.35;
+};
+
+/// Returns the sample indices of detected R peaks, in increasing order.
+std::vector<std::size_t> detect_qrs(std::span<const double> signal,
+                                    const QrsDetectorConfig& config = {});
+
+/// Beat-matching statistics between a reference annotation set and a
+/// detection set (AAMI-style tolerance matching).
+struct BeatMatchStats {
+  std::size_t true_positives = 0;
+  std::size_t false_negatives = 0;  ///< reference beats with no detection
+  std::size_t false_positives = 0;  ///< detections with no reference beat
+  double sensitivity = 0.0;         ///< TP / (TP + FN)
+  double positive_predictivity = 0.0;  ///< TP / (TP + FP)
+  double f1 = 0.0;
+  double mean_timing_error_ms = 0.0;  ///< over matched pairs
+};
+
+/// Greedy nearest matching of detections to reference beats within
+/// +-tolerance_ms. Both lists must be sorted ascending.
+BeatMatchStats match_beats(std::span<const std::size_t> reference,
+                           std::span<const std::size_t> detected,
+                           double sample_rate_hz,
+                           double tolerance_ms = 75.0);
+
+}  // namespace csecg::ecg
+
+#endif  // CSECG_ECG_QRS_DETECTOR_HPP

@@ -1,0 +1,72 @@
+#ifndef CSECG_ECG_RECORD_HPP
+#define CSECG_ECG_RECORD_HPP
+
+/// \file record.hpp
+/// ECG record containers and the MIT-BIH-compatible ADC front end.
+///
+/// MIT-BIH records are "digitized at 360 samples per second per channel
+/// with 11-bit resolution over a 10 mV range" (§III). The AdcModel applies
+/// exactly that quantisation, and Record carries the integer sample stream
+/// the rest of the pipeline consumes — the mote encoder operates on these
+/// raw ADC counts, never on floating point.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csecg/ecg/ecgsyn.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::ecg {
+
+/// 11-bit ADC over a 10 mV dynamic range (MIT-BIH front end).
+class AdcModel {
+ public:
+  AdcModel(int bits = 11, double range_mv = 10.0);
+
+  int bits() const { return bits_; }
+  double range_mv() const { return range_mv_; }
+  double lsb_mv() const { return range_mv_ / static_cast<double>(levels_); }
+  std::int16_t min_count() const { return static_cast<std::int16_t>(-(levels_ / 2)); }
+  std::int16_t max_count() const { return static_cast<std::int16_t>(levels_ / 2 - 1); }
+
+  /// Quantises one millivolt value to a signed ADC count (saturating).
+  std::int16_t quantize(double mv) const;
+
+  /// Converts a count back to millivolts (mid-tread reconstruction).
+  double to_millivolts(std::int16_t count) const;
+
+  std::vector<std::int16_t> quantize(const std::vector<double>& mv) const;
+  std::vector<double> to_millivolts(
+      const std::vector<std::int16_t>& counts) const;
+
+ private:
+  int bits_;
+  double range_mv_;
+  long levels_;
+};
+
+/// A single-lead digitised record with beat annotations.
+struct Record {
+  std::string id;
+  double sample_rate_hz = 0.0;
+  std::vector<std::int16_t> samples;  ///< ADC counts
+  std::vector<std::size_t> beat_onsets;
+  std::vector<BeatClass> beat_classes;
+
+  std::size_t size() const { return samples.size(); }
+  double duration_s() const {
+    return sample_rate_hz == 0.0
+               ? 0.0
+               : static_cast<double>(samples.size()) / sample_rate_hz;
+  }
+  /// Bits the uncompressed record occupies on the wire at the original
+  /// resolution — the b_orig of the CR definition (eq 7).
+  std::size_t original_bits(int adc_bits = 11) const {
+    return samples.size() * static_cast<std::size_t>(adc_bits);
+  }
+};
+
+}  // namespace csecg::ecg
+
+#endif  // CSECG_ECG_RECORD_HPP

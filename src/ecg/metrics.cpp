@@ -1,0 +1,86 @@
+#include "csecg/ecg/metrics.hpp"
+
+#include <cmath>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::ecg {
+
+double compression_ratio(std::size_t original_bits,
+                         std::size_t compressed_bits) {
+  CSECG_CHECK(original_bits > 0, "original size must be positive");
+  return (static_cast<double>(original_bits) -
+          static_cast<double>(compressed_bits)) /
+         static_cast<double>(original_bits) * 100.0;
+}
+
+double prd(std::span<const double> original,
+           std::span<const double> reconstructed) {
+  CSECG_CHECK(original.size() == reconstructed.size(),
+              "prd: size mismatch");
+  CSECG_CHECK(!original.empty(), "prd: empty signal");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double diff = original[i] - reconstructed[i];
+    num += diff * diff;
+    den += original[i] * original[i];
+  }
+  CSECG_CHECK(den > 0.0, "prd: zero-energy original signal");
+  return std::sqrt(num / den) * 100.0;
+}
+
+double prd_normalized(std::span<const double> original,
+                      std::span<const double> reconstructed) {
+  CSECG_CHECK(original.size() == reconstructed.size(),
+              "prd_normalized: size mismatch");
+  CSECG_CHECK(!original.empty(), "prd_normalized: empty signal");
+  double mean = 0.0;
+  for (const auto v : original) {
+    mean += v;
+  }
+  mean /= static_cast<double>(original.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double diff = original[i] - reconstructed[i];
+    num += diff * diff;
+    const double centred = original[i] - mean;
+    den += centred * centred;
+  }
+  CSECG_CHECK(den > 0.0, "prd_normalized: constant original signal");
+  return std::sqrt(num / den) * 100.0;
+}
+
+double snr_from_prd(double prd_percent) {
+  CSECG_CHECK(prd_percent > 0.0, "snr undefined for zero PRD");
+  return -20.0 * std::log10(0.01 * prd_percent);
+}
+
+double prd_from_snr(double snr_db) {
+  return 100.0 * std::pow(10.0, -snr_db / 20.0);
+}
+
+QualityBand classify_quality(double prd_percent) {
+  if (prd_percent < kVeryGoodPrdLimit) {
+    return QualityBand::kVeryGood;
+  }
+  if (prd_percent < kGoodPrdLimit) {
+    return QualityBand::kGood;
+  }
+  return QualityBand::kNotGood;
+}
+
+std::string quality_band_name(QualityBand band) {
+  switch (band) {
+    case QualityBand::kVeryGood:
+      return "very good";
+    case QualityBand::kGood:
+      return "good";
+    case QualityBand::kNotGood:
+      return "not good";
+  }
+  return "unknown";
+}
+
+}  // namespace csecg::ecg

@@ -1,0 +1,50 @@
+#include "csecg/ecg/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace csecg::ecg {
+
+void add_noise(std::vector<double>& samples_mv, double sample_rate_hz,
+               const NoiseConfig& config) {
+  util::Rng rng(config.seed);
+  const double dt = 1.0 / sample_rate_hz;
+
+  // Baseline wander: a slow sinusoid with randomly drifting phase plus a
+  // bounded random walk (electrode motion).
+  double walk = 0.0;
+  const double walk_step = config.baseline_wander_mv * 0.02;
+  const double phase0 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  // Muscle artifact: white noise shaped by a one-pole high-pass-ish blend
+  // (EMG energy sits above the ECG band).
+  double emg_state = 0.0;
+  const double emg_alpha = 0.7;
+
+  const double mains_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  for (std::size_t i = 0; i < samples_mv.size(); ++i) {
+    const double t = static_cast<double>(i) * dt;
+
+    const double wander =
+        config.baseline_wander_mv *
+        std::sin(2.0 * std::numbers::pi * config.baseline_freq_hz * t +
+                 phase0);
+    walk += rng.gaussian(0.0, walk_step);
+    // Leaky integrator keeps the walk bounded.
+    walk *= 0.999;
+
+    const double white = rng.gaussian(0.0, config.muscle_artifact_mv);
+    const double emg = white - emg_alpha * emg_state;
+    emg_state = white;
+
+    const double mains =
+        config.powerline_mv *
+        std::sin(2.0 * std::numbers::pi * config.powerline_freq_hz * t +
+                 mains_phase);
+
+    samples_mv[i] += wander + walk + emg + mains;
+  }
+}
+
+}  // namespace csecg::ecg

@@ -1,0 +1,161 @@
+#include "csecg/ecg/qrs_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/dsp/fir.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::ecg {
+
+namespace {
+
+/// Band-pass via the difference of two windowed-sinc low-pass filters.
+std::vector<double> bandpass(std::span<const double> x, double fs,
+                             double low_hz, double high_hz) {
+  const std::size_t taps = 2 * static_cast<std::size_t>(fs / low_hz) + 1;
+  const auto lp_high = dsp::design_lowpass(high_hz / fs, taps);
+  const auto lp_low = dsp::design_lowpass(low_hz / fs, taps);
+  std::vector<double> band(taps);
+  for (std::size_t k = 0; k < taps; ++k) {
+    band[k] = lp_high[k] - lp_low[k];
+  }
+  return dsp::filter_same(x, band);
+}
+
+}  // namespace
+
+std::vector<std::size_t> detect_qrs(std::span<const double> signal,
+                                    const QrsDetectorConfig& config) {
+  CSECG_CHECK(config.sample_rate_hz > 0.0, "sample rate must be positive");
+  CSECG_CHECK(config.band_low_hz > 0.0 &&
+                  config.band_high_hz > config.band_low_hz &&
+                  config.band_high_hz < config.sample_rate_hz / 2.0,
+              "invalid QRS pass band");
+  if (signal.size() < 8) {
+    return {};
+  }
+  const double fs = config.sample_rate_hz;
+
+  // 1. Band-pass to isolate QRS energy.
+  const auto filtered =
+      bandpass(signal, fs, config.band_low_hz, config.band_high_hz);
+
+  // 2. Derivative + squaring emphasises steep slopes.
+  std::vector<double> energy(filtered.size(), 0.0);
+  for (std::size_t i = 1; i < filtered.size(); ++i) {
+    const double d = filtered[i] - filtered[i - 1];
+    energy[i] = d * d;
+  }
+
+  // 3. Moving-window integration.
+  const auto window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.integration_window_s * fs));
+  std::vector<double> integrated(energy.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < energy.size(); ++i) {
+    acc += energy[i];
+    if (i >= window) {
+      acc -= energy[i - window];
+    }
+    integrated[i] = acc / static_cast<double>(window);
+  }
+
+  // 4. Adaptive threshold with refractory period. The peak tracker decays
+  // so the detector follows amplitude drift.
+  const auto refractory =
+      static_cast<std::size_t>(config.refractory_s * fs);
+  double peak_level = 0.0;
+  for (const auto v : integrated) {
+    peak_level = std::max(peak_level, v);
+  }
+  peak_level *= 0.5;  // initial estimate: half the global max
+
+  std::vector<std::size_t> beats;
+  std::size_t i = 1;
+  while (i + 1 < integrated.size()) {
+    const double threshold = config.threshold_fraction * peak_level;
+    const bool is_local_max = integrated[i] >= integrated[i - 1] &&
+                              integrated[i] >= integrated[i + 1];
+    if (is_local_max && integrated[i] > threshold) {
+      // Refine: the R peak is the extremum of |band-passed signal| within
+      // half an integration window around the energy crest.
+      const std::size_t lo = i > window / 2 ? i - window / 2 : 0;
+      const std::size_t hi = std::min(i + window / 2 + 1, filtered.size());
+      std::size_t r_peak = lo;
+      for (std::size_t j = lo; j < hi; ++j) {
+        if (std::fabs(filtered[j]) > std::fabs(filtered[r_peak])) {
+          r_peak = j;
+        }
+      }
+      beats.push_back(r_peak);
+      peak_level = 0.875 * peak_level + 0.125 * integrated[i];
+      i += refractory;
+    } else {
+      // Slow decay lets the threshold recover after large ectopics.
+      peak_level *= 0.9999;
+      ++i;
+    }
+  }
+  return beats;
+}
+
+BeatMatchStats match_beats(std::span<const std::size_t> reference,
+                           std::span<const std::size_t> detected,
+                           double sample_rate_hz, double tolerance_ms) {
+  CSECG_CHECK(sample_rate_hz > 0.0, "sample rate must be positive");
+  CSECG_CHECK(tolerance_ms > 0.0, "tolerance must be positive");
+  const double tolerance_samples = tolerance_ms / 1000.0 * sample_rate_hz;
+
+  BeatMatchStats stats;
+  double timing_error = 0.0;
+  std::size_t d = 0;
+  std::vector<bool> used(detected.size(), false);
+  for (const auto ref : reference) {
+    // Advance to the closest unused detection.
+    while (d + 1 < detected.size() &&
+           std::llabs(static_cast<long long>(detected[d + 1]) -
+                      static_cast<long long>(ref)) <
+               std::llabs(static_cast<long long>(detected[d]) -
+                          static_cast<long long>(ref))) {
+      ++d;
+    }
+    if (d < detected.size() && !used[d] &&
+        std::llabs(static_cast<long long>(detected[d]) -
+                   static_cast<long long>(ref)) <= tolerance_samples) {
+      used[d] = true;
+      ++stats.true_positives;
+      timing_error += std::fabs(static_cast<double>(detected[d]) -
+                                static_cast<double>(ref)) /
+                      sample_rate_hz * 1000.0;
+    } else {
+      ++stats.false_negatives;
+    }
+  }
+  for (const auto u : used) {
+    if (!u) {
+      ++stats.false_positives;
+    }
+  }
+  const auto tp = static_cast<double>(stats.true_positives);
+  if (stats.true_positives + stats.false_negatives > 0) {
+    stats.sensitivity =
+        tp / static_cast<double>(stats.true_positives +
+                                 stats.false_negatives);
+  }
+  if (stats.true_positives + stats.false_positives > 0) {
+    stats.positive_predictivity =
+        tp / static_cast<double>(stats.true_positives +
+                                 stats.false_positives);
+  }
+  if (stats.sensitivity + stats.positive_predictivity > 0.0) {
+    stats.f1 = 2.0 * stats.sensitivity * stats.positive_predictivity /
+               (stats.sensitivity + stats.positive_predictivity);
+  }
+  if (stats.true_positives > 0) {
+    stats.mean_timing_error_ms = timing_error / tp;
+  }
+  return stats;
+}
+
+}  // namespace csecg::ecg

@@ -1,0 +1,47 @@
+#include "csecg/ecg/record.hpp"
+
+#include <cmath>
+
+namespace csecg::ecg {
+
+AdcModel::AdcModel(int bits, double range_mv)
+    : bits_(bits), range_mv_(range_mv), levels_(1L << bits) {
+  CSECG_CHECK(bits >= 2 && bits <= 15, "ADC bits out of supported range");
+  CSECG_CHECK(range_mv > 0.0, "ADC range must be positive");
+}
+
+std::int16_t AdcModel::quantize(double mv) const {
+  const double counts = mv / lsb_mv();
+  const double rounded = std::nearbyint(counts);
+  if (rounded < static_cast<double>(min_count())) {
+    return min_count();
+  }
+  if (rounded > static_cast<double>(max_count())) {
+    return max_count();
+  }
+  return static_cast<std::int16_t>(rounded);
+}
+
+double AdcModel::to_millivolts(std::int16_t count) const {
+  return static_cast<double>(count) * lsb_mv();
+}
+
+std::vector<std::int16_t> AdcModel::quantize(
+    const std::vector<double>& mv) const {
+  std::vector<std::int16_t> out(mv.size());
+  for (std::size_t i = 0; i < mv.size(); ++i) {
+    out[i] = quantize(mv[i]);
+  }
+  return out;
+}
+
+std::vector<double> AdcModel::to_millivolts(
+    const std::vector<std::int16_t>& counts) const {
+  std::vector<double> out(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = to_millivolts(counts[i]);
+  }
+  return out;
+}
+
+}  // namespace csecg::ecg

@@ -1,0 +1,54 @@
+#ifndef CSECG_FIXEDPOINT_MSP430_COUNTERS_HPP
+#define CSECG_FIXEDPOINT_MSP430_COUNTERS_HPP
+
+/// \file msp430_counters.hpp
+/// Operation accounting for the 16-bit mote encoder.
+///
+/// The encoder (core::Encoder) charges every arithmetic/memory operation it
+/// performs to the active Msp430OpCounter; platform::Msp430Model then
+/// converts the mix into cycles at 8 MHz. This is the substitute for
+/// running on the physical Shimmer: the paper's encoder-side numbers
+/// (82 ms per 2-s vector, < 5 % CPU) are cycle budgets over exactly this
+/// operation stream.
+
+#include <cstdint>
+
+namespace csecg::fixedpoint {
+
+/// Counts of MSP430-class operations.
+struct Msp430OpCounts {
+  std::uint64_t add16 = 0;     ///< 16-bit add/sub/cmp
+  std::uint64_t mul16 = 0;     ///< hardware-multiplier 16x16
+  std::uint64_t shift = 0;     ///< single-bit shift/rotate steps
+  std::uint64_t load = 0;      ///< RAM/Flash word read
+  std::uint64_t store = 0;     ///< RAM word write
+  std::uint64_t branch = 0;    ///< taken/non-taken branches
+  std::uint64_t table_lookup = 0;  ///< indexed codebook access
+
+  Msp430OpCounts& operator+=(const Msp430OpCounts& other);
+};
+
+/// RAII scope that activates a thread-local counter, mirroring
+/// linalg::OpCounterScope for the decoder side.
+class Msp430CounterScope {
+ public:
+  Msp430CounterScope();
+  ~Msp430CounterScope();
+  Msp430CounterScope(const Msp430CounterScope&) = delete;
+  Msp430CounterScope& operator=(const Msp430CounterScope&) = delete;
+
+  const Msp430OpCounts& counts() const { return counts_; }
+  void reset() { counts_ = Msp430OpCounts{}; }
+
+ private:
+  Msp430OpCounts counts_;
+  Msp430OpCounts* previous_;
+};
+
+/// Charges \p delta to the active scope, if any. Bulk-counted (one call
+/// per loop, not per element) so instrumentation cost is negligible.
+void charge(const Msp430OpCounts& delta);
+
+}  // namespace csecg::fixedpoint
+
+#endif  // CSECG_FIXEDPOINT_MSP430_COUNTERS_HPP

@@ -1,0 +1,46 @@
+#ifndef CSECG_FIXEDPOINT_Q15_HPP
+#define CSECG_FIXEDPOINT_Q15_HPP
+
+/// \file q15.hpp
+/// Q15 fixed-point arithmetic (1 sign bit, 15 fractional bits).
+///
+/// The Shimmer's MSP430F1611 has a 16x16 hardware multiplier but no FPU
+/// (§IV-A1), so everything the node computes is 16-bit integer or Q15
+/// fixed point. The operations here saturate exactly like the DSP idiom
+/// used on that family, and each op can be charged to the MSP430 cost
+/// model through Msp430OpCounter (see msp430_counters.hpp).
+
+#include <cstdint>
+
+namespace csecg::fixedpoint {
+
+/// Value range of a Q15 number: [-1.0, 1.0 - 2^-15].
+inline constexpr std::int16_t kQ15Max = 32767;
+inline constexpr std::int16_t kQ15Min = -32768;
+inline constexpr double kQ15Scale = 32768.0;
+
+/// Saturating conversion from double in [-1, 1).
+std::int16_t to_q15(double value);
+
+/// Conversion back to double.
+double from_q15(std::int16_t value);
+
+/// Saturating 16-bit addition.
+std::int16_t sat_add16(std::int16_t a, std::int16_t b);
+
+/// Saturating 16-bit subtraction.
+std::int16_t sat_sub16(std::int16_t a, std::int16_t b);
+
+/// Q15 multiply with rounding and saturation:
+/// (a * b + 2^14) >> 15, clamped. Note -1 * -1 saturates to kQ15Max.
+std::int16_t mul_q15(std::int16_t a, std::int16_t b);
+
+/// Saturating clamp of a 32-bit accumulator into int16.
+std::int16_t sat_narrow32(std::int32_t value);
+
+/// Clamps \p value into [lo, hi].
+std::int32_t clamp32(std::int32_t value, std::int32_t lo, std::int32_t hi);
+
+}  // namespace csecg::fixedpoint
+
+#endif  // CSECG_FIXEDPOINT_Q15_HPP

@@ -1,0 +1,32 @@
+#include "csecg/fixedpoint/msp430_counters.hpp"
+
+namespace csecg::fixedpoint {
+
+namespace {
+thread_local Msp430OpCounts* g_active = nullptr;
+}  // namespace
+
+Msp430OpCounts& Msp430OpCounts::operator+=(const Msp430OpCounts& other) {
+  add16 += other.add16;
+  mul16 += other.mul16;
+  shift += other.shift;
+  load += other.load;
+  store += other.store;
+  branch += other.branch;
+  table_lookup += other.table_lookup;
+  return *this;
+}
+
+Msp430CounterScope::Msp430CounterScope() : previous_(g_active) {
+  g_active = &counts_;
+}
+
+Msp430CounterScope::~Msp430CounterScope() { g_active = previous_; }
+
+void charge(const Msp430OpCounts& delta) {
+  if (g_active != nullptr) {
+    *g_active += delta;
+  }
+}
+
+}  // namespace csecg::fixedpoint

@@ -1,0 +1,61 @@
+#include "csecg/fixedpoint/q15.hpp"
+
+namespace csecg::fixedpoint {
+
+std::int16_t to_q15(double value) {
+  const double scaled = value * kQ15Scale;
+  if (scaled >= static_cast<double>(kQ15Max)) {
+    return kQ15Max;
+  }
+  if (scaled <= static_cast<double>(kQ15Min)) {
+    return kQ15Min;
+  }
+  // Round to nearest, ties away from zero (matches MSP430 DSP library).
+  return static_cast<std::int16_t>(scaled >= 0.0 ? scaled + 0.5
+                                                 : scaled - 0.5);
+}
+
+double from_q15(std::int16_t value) {
+  return static_cast<double>(value) / kQ15Scale;
+}
+
+std::int16_t sat_add16(std::int16_t a, std::int16_t b) {
+  const std::int32_t sum =
+      static_cast<std::int32_t>(a) + static_cast<std::int32_t>(b);
+  return sat_narrow32(sum);
+}
+
+std::int16_t sat_sub16(std::int16_t a, std::int16_t b) {
+  const std::int32_t diff =
+      static_cast<std::int32_t>(a) - static_cast<std::int32_t>(b);
+  return sat_narrow32(diff);
+}
+
+std::int16_t mul_q15(std::int16_t a, std::int16_t b) {
+  const std::int32_t product =
+      static_cast<std::int32_t>(a) * static_cast<std::int32_t>(b);
+  const std::int32_t rounded = (product + (1 << 14)) >> 15;
+  return sat_narrow32(rounded);
+}
+
+std::int16_t sat_narrow32(std::int32_t value) {
+  if (value > kQ15Max) {
+    return kQ15Max;
+  }
+  if (value < kQ15Min) {
+    return kQ15Min;
+  }
+  return static_cast<std::int16_t>(value);
+}
+
+std::int32_t clamp32(std::int32_t value, std::int32_t lo, std::int32_t hi) {
+  if (value < lo) {
+    return lo;
+  }
+  if (value > hi) {
+    return hi;
+  }
+  return value;
+}
+
+}  // namespace csecg::fixedpoint

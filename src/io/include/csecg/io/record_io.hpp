@@ -1,0 +1,46 @@
+#ifndef CSECG_IO_RECORD_IO_HPP
+#define CSECG_IO_RECORD_IO_HPP
+
+/// \file record_io.hpp
+/// Record persistence: a compact binary container (".csecg") for digitised
+/// ECG records with beat annotations, plus CSV export for plotting tools.
+///
+/// Binary layout (little endian):
+///   magic   "CSECGREC"            8 bytes
+///   version u16                   (currently 1)
+///   fs_mhz  u32                   sample rate in milli-hertz
+///   nsamp   u32
+///   nbeats  u32
+///   id_len  u16, id bytes
+///   samples int16 x nsamp
+///   beats   (u32 onset, u8 class) x nbeats
+///
+/// Corrupt or truncated files are data-path failures: loaders return
+/// nullopt rather than throwing.
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "csecg/ecg/record.hpp"
+
+namespace csecg::io {
+
+/// Writes \p record to \p path. Returns false on I/O failure.
+bool save_record(const ecg::Record& record, const std::string& path);
+
+/// Loads a record; nullopt on missing/corrupt file.
+std::optional<ecg::Record> load_record(const std::string& path);
+
+/// Serialises to an in-memory buffer (the exact on-disk bytes).
+std::vector<std::uint8_t> record_to_bytes(const ecg::Record& record);
+std::optional<ecg::Record> record_from_bytes(
+    std::span<const std::uint8_t> bytes);
+
+/// CSV export: header line, then "index,seconds,adc_counts" rows; beat
+/// annotations as trailing "# beat,<sample>,<class>" comment lines.
+bool export_csv(const ecg::Record& record, const std::string& path);
+
+}  // namespace csecg::io
+
+#endif  // CSECG_IO_RECORD_IO_HPP

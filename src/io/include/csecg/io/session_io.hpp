@@ -1,0 +1,49 @@
+#ifndef CSECG_IO_SESSION_IO_HPP
+#define CSECG_IO_SESSION_IO_HPP
+
+/// \file session_io.hpp
+/// Persistence of an encoded monitoring session: the stream of framed CS
+/// packets a node produced, together with the configuration the decoder
+/// needs to reconstruct it (everything the mote and coordinator share).
+///
+/// Layout (little endian):
+///   magic    "CSECGSES"           8 bytes
+///   version  u16
+///   window   u16, measurements u16, d u16
+///   seed     u64
+///   keyframe u16, absolute_bits u8, flags u8 (bit0: on-the-fly indices)
+///   fs_mhz   u32                  record sample rate
+///   codebook u16 length + serialized codebook bytes
+///   packets  (u32 length, bytes) x ... until EOF
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/core/packet.hpp"
+
+namespace csecg::io {
+
+struct Session {
+  core::EncoderConfig config;
+  double sample_rate_hz = 256.0;
+  /// Serialised codebook (coding::HuffmanCodebook::serialize output);
+  /// kept as bytes so a Session is default-constructible and the blob is
+  /// written verbatim.
+  std::vector<std::uint8_t> codebook_blob;
+  std::vector<std::vector<std::uint8_t>> frames;  ///< serialised packets
+
+  /// Deserialises the embedded codebook; nullopt if the blob is corrupt.
+  std::optional<coding::HuffmanCodebook> codebook() const {
+    return coding::HuffmanCodebook::deserialize(codebook_blob);
+  }
+};
+
+bool save_session(const Session& session, const std::string& path);
+std::optional<Session> load_session(const std::string& path);
+
+}  // namespace csecg::io
+
+#endif  // CSECG_IO_SESSION_IO_HPP

@@ -1,0 +1,183 @@
+#include "csecg/io/record_io.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <span>
+
+namespace csecg::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'S', 'E', 'C', 'G', 'R', 'E', 'C'};
+constexpr std::uint16_t kVersion = 1;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool take(void* out, std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      return false;
+    }
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::optional<std::uint16_t> u16() {
+    std::uint8_t raw[2];
+    if (!take(raw, 2)) {
+      return std::nullopt;
+    }
+    return static_cast<std::uint16_t>(raw[0] | (raw[1] << 8));
+  }
+
+  std::optional<std::uint32_t> u32() {
+    std::uint8_t raw[4];
+    if (!take(raw, 4)) {
+      return std::nullopt;
+    }
+    return static_cast<std::uint32_t>(raw[0]) |
+           (static_cast<std::uint32_t>(raw[1]) << 8) |
+           (static_cast<std::uint32_t>(raw[2]) << 16) |
+           (static_cast<std::uint32_t>(raw[3]) << 24);
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> record_to_bytes(const ecg::Record& record) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + record.samples.size() * 2 +
+              record.beat_onsets.size() * 5);
+  for (const char c : kMagic) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  put_u16(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(
+                   std::lround(record.sample_rate_hz * 1000.0)));
+  put_u32(out, static_cast<std::uint32_t>(record.samples.size()));
+  put_u32(out, static_cast<std::uint32_t>(record.beat_onsets.size()));
+  put_u16(out, static_cast<std::uint16_t>(record.id.size()));
+  out.insert(out.end(), record.id.begin(), record.id.end());
+  for (const auto s : record.samples) {
+    put_u16(out, static_cast<std::uint16_t>(s));
+  }
+  for (std::size_t b = 0; b < record.beat_onsets.size(); ++b) {
+    put_u32(out, static_cast<std::uint32_t>(record.beat_onsets[b]));
+    out.push_back(b < record.beat_classes.size()
+                      ? static_cast<std::uint8_t>(record.beat_classes[b])
+                      : 0);
+  }
+  return out;
+}
+
+std::optional<ecg::Record> record_from_bytes(
+    std::span<const std::uint8_t> bytes) {
+  Cursor cursor(bytes);
+  char magic[8];
+  if (!cursor.take(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
+    return std::nullopt;
+  }
+  const auto version = cursor.u16();
+  if (!version || *version != kVersion) {
+    return std::nullopt;
+  }
+  const auto fs_mhz = cursor.u32();
+  const auto nsamp = cursor.u32();
+  const auto nbeats = cursor.u32();
+  const auto id_len = cursor.u16();
+  if (!fs_mhz || !nsamp || !nbeats || !id_len) {
+    return std::nullopt;
+  }
+  if (cursor.remaining() !=
+      *id_len + std::size_t{*nsamp} * 2 + std::size_t{*nbeats} * 5) {
+    return std::nullopt;
+  }
+  ecg::Record record;
+  record.sample_rate_hz = static_cast<double>(*fs_mhz) / 1000.0;
+  record.id.resize(*id_len);
+  if (*id_len > 0 && !cursor.take(record.id.data(), *id_len)) {
+    return std::nullopt;
+  }
+  record.samples.resize(*nsamp);
+  for (auto& s : record.samples) {
+    const auto raw = cursor.u16();
+    if (!raw) {
+      return std::nullopt;
+    }
+    s = static_cast<std::int16_t>(*raw);
+  }
+  record.beat_onsets.resize(*nbeats);
+  record.beat_classes.resize(*nbeats);
+  for (std::uint32_t b = 0; b < *nbeats; ++b) {
+    const auto onset = cursor.u32();
+    std::uint8_t cls = 0;
+    if (!onset || !cursor.take(&cls, 1) || cls > 2 ||
+        *onset >= record.samples.size()) {
+      return std::nullopt;
+    }
+    record.beat_onsets[b] = *onset;
+    record.beat_classes[b] = static_cast<ecg::BeatClass>(cls);
+  }
+  return record;
+}
+
+bool save_record(const ecg::Record& record, const std::string& path) {
+  const auto bytes = record_to_bytes(record);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<ecg::Record> load_record(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return record_from_bytes(bytes);
+}
+
+bool export_csv(const ecg::Record& record, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "index,seconds,adc_counts\n";
+  for (std::size_t i = 0; i < record.samples.size(); ++i) {
+    out << i << ','
+        << static_cast<double>(i) / record.sample_rate_hz << ','
+        << record.samples[i] << '\n';
+  }
+  for (std::size_t b = 0; b < record.beat_onsets.size(); ++b) {
+    out << "# beat," << record.beat_onsets[b] << ','
+        << static_cast<int>(record.beat_classes[b]) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace csecg::io

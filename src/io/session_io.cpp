@@ -1,0 +1,161 @@
+#include "csecg/io/session_io.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+namespace csecg::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'S', 'E', 'C', 'G', 'S', 'E', 'S'};
+constexpr std::uint16_t kVersion = 1;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  bool take(void* out, std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      return false;
+    }
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  template <typename T>
+  std::optional<T> little_endian(std::size_t n) {
+    std::uint8_t raw[8];
+    if (n > sizeof(raw) || !take(raw, n)) {
+      return std::nullopt;
+    }
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      value |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+    }
+    return static_cast<T>(value);
+  }
+  std::optional<std::uint16_t> u16() { return little_endian<std::uint16_t>(2); }
+  std::optional<std::uint32_t> u32() { return little_endian<std::uint32_t>(4); }
+  std::optional<std::uint64_t> u64() { return little_endian<std::uint64_t>(8); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool save_session(const Session& session, const std::string& path) {
+  std::vector<std::uint8_t> out;
+  for (const char c : kMagic) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(session.config.window));
+  put_u16(out, static_cast<std::uint16_t>(session.config.measurements));
+  put_u16(out, static_cast<std::uint16_t>(session.config.d));
+  put_u64(out, session.config.seed);
+  put_u16(out, static_cast<std::uint16_t>(session.config.keyframe_interval));
+  out.push_back(static_cast<std::uint8_t>(session.config.absolute_bits));
+  out.push_back(session.config.on_the_fly_indices ? 1 : 0);
+  out.push_back(static_cast<std::uint8_t>(session.config.measurement_shift));
+  put_u32(out, static_cast<std::uint32_t>(
+                   std::lround(session.sample_rate_hz * 1000.0)));
+  put_u16(out, static_cast<std::uint16_t>(session.codebook_blob.size()));
+  out.insert(out.end(), session.codebook_blob.begin(),
+             session.codebook_blob.end());
+  for (const auto& frame : session.frames) {
+    put_u32(out, static_cast<std::uint32_t>(frame.size()));
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return false;
+  }
+  file.write(reinterpret_cast<const char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+  return static_cast<bool>(file);
+}
+
+std::optional<Session> load_session(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                                  std::istreambuf_iterator<char>());
+  Cursor cursor(bytes);
+  char magic[8];
+  if (!cursor.take(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
+    return std::nullopt;
+  }
+  const auto version = cursor.u16();
+  if (!version || *version != kVersion) {
+    return std::nullopt;
+  }
+  Session session;
+  const auto window = cursor.u16();
+  const auto measurements = cursor.u16();
+  const auto d = cursor.u16();
+  const auto seed = cursor.u64();
+  const auto keyframe = cursor.u16();
+  std::uint8_t absolute_bits = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t measurement_shift = 0;
+  if (!window || !measurements || !d || !seed || !keyframe ||
+      !cursor.take(&absolute_bits, 1) || !cursor.take(&flags, 1) ||
+      !cursor.take(&measurement_shift, 1)) {
+    return std::nullopt;
+  }
+  const auto fs_mhz = cursor.u32();
+  const auto book_len = cursor.u16();
+  if (!fs_mhz || !book_len || cursor.remaining() < *book_len) {
+    return std::nullopt;
+  }
+  session.config.window = *window;
+  session.config.measurements = *measurements;
+  session.config.d = *d;
+  session.config.seed = *seed;
+  session.config.keyframe_interval = *keyframe;
+  session.config.absolute_bits = absolute_bits;
+  session.config.on_the_fly_indices = (flags & 1) != 0;
+  session.config.measurement_shift = measurement_shift;
+  session.sample_rate_hz = static_cast<double>(*fs_mhz) / 1000.0;
+  session.codebook_blob.resize(*book_len);
+  if (!cursor.take(session.codebook_blob.data(), *book_len)) {
+    return std::nullopt;
+  }
+  while (cursor.remaining() > 0) {
+    const auto length = cursor.u32();
+    if (!length || cursor.remaining() < *length) {
+      return std::nullopt;
+    }
+    std::vector<std::uint8_t> frame(*length);
+    if (*length > 0 && !cursor.take(frame.data(), *length)) {
+      return std::nullopt;
+    }
+    session.frames.push_back(std::move(frame));
+  }
+  return session;
+}
+
+}  // namespace csecg::io

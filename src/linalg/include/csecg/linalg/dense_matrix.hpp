@@ -1,0 +1,88 @@
+#ifndef CSECG_LINALG_DENSE_MATRIX_HPP
+#define CSECG_LINALG_DENSE_MATRIX_HPP
+
+/// \file dense_matrix.hpp
+/// Row-major dense matrix used for the Gaussian / Bernoulli sensing
+/// baselines. The paper's point is that this object is *too big and too
+/// slow* for the mote — we build it anyway because Fig 2 benchmarks sparse
+/// binary sensing against it.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::linalg {
+
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    CSECG_CHECK(r < rows_ && c < cols_, "DenseMatrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  T operator()(std::size_t r, std::size_t c) const {
+    CSECG_CHECK(r < rows_ && c < cols_, "DenseMatrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const T> row(std::size_t r) const {
+    CSECG_CHECK(r < rows_, "DenseMatrix row out of range");
+    return std::span<const T>(data_.data() + r * cols_, cols_);
+  }
+  std::span<T> row(std::size_t r) {
+    CSECG_CHECK(r < rows_, "DenseMatrix row out of range");
+    return std::span<T>(data_.data() + r * cols_, cols_);
+  }
+
+  std::span<const T> data() const { return data_; }
+
+  /// y = A x.
+  void apply(std::span<const T> x, std::span<T> y) const {
+    CSECG_CHECK(x.size() == cols_ && y.size() == rows_,
+                "apply: size mismatch");
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const T* row_ptr = data_.data() + r * cols_;
+      T acc{};
+      for (std::size_t c = 0; c < cols_; ++c) {
+        acc += row_ptr[c] * x[c];
+      }
+      y[r] = acc;
+    }
+  }
+
+  /// y = A^T x.
+  void apply_transpose(std::span<const T> x, std::span<T> y) const {
+    CSECG_CHECK(x.size() == rows_ && y.size() == cols_,
+                "apply_transpose: size mismatch");
+    for (auto& v : y) {
+      v = T{};
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const T* row_ptr = data_.data() + r * cols_;
+      const T xr = x[r];
+      for (std::size_t c = 0; c < cols_; ++c) {
+        y[c] += row_ptr[c] * xr;
+      }
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace csecg::linalg
+
+#endif  // CSECG_LINALG_DENSE_MATRIX_HPP

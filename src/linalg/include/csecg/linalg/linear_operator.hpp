@@ -1,0 +1,49 @@
+#ifndef CSECG_LINALG_LINEAR_OPERATOR_HPP
+#define CSECG_LINALG_LINEAR_OPERATOR_HPP
+
+/// \file linear_operator.hpp
+/// Matrix-free linear operator abstraction.
+///
+/// The paper's contribution (1) is a CS formulation that "precludes large
+/// and dense matrix operations both at compression and recovery": the
+/// forward model A = Phi * Psi is never materialised; the solver only needs
+/// v -> A v and r -> A^T r. Operators compose a sparse binary projection
+/// with wavelet filter banks, so this interface is what FISTA/ISTA/OMP are
+/// written against.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csecg::linalg {
+
+/// Abstract y = A x / y = A^T x, precision-templated so the identical
+/// solver code runs in double (the "Matlab" reference of Fig 6) and float
+/// (the iPhone path).
+template <typename T>
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Output dimension M of y = A x.
+  virtual std::size_t rows() const = 0;
+  /// Input dimension N.
+  virtual std::size_t cols() const = 0;
+
+  /// y = A x. x.size() == cols(), y.size() == rows().
+  virtual void apply(std::span<const T> x, std::span<T> y) const = 0;
+
+  /// y = A^T x. x.size() == rows(), y.size() == cols().
+  virtual void apply_adjoint(std::span<const T> x, std::span<T> y) const = 0;
+};
+
+/// Estimates the largest eigenvalue of A^T A (the Lipschitz constant of the
+/// gradient of ||A x - y||_2^2 is 2 * lambda_max) by power iteration.
+/// Deterministic: starts from an all-ones vector.
+template <typename T>
+double estimate_spectral_norm_squared(const LinearOperator<T>& op,
+                                      int iterations = 30);
+
+}  // namespace csecg::linalg
+
+#endif  // CSECG_LINALG_LINEAR_OPERATOR_HPP

@@ -1,0 +1,114 @@
+#ifndef CSECG_LINALG_SPARSE_BINARY_MATRIX_HPP
+#define CSECG_LINALG_SPARSE_BINARY_MATRIX_HPP
+
+/// \file sparse_binary_matrix.hpp
+/// The paper's key encoder data structure (§IV-A2, approach 3).
+///
+/// An M x N sensing matrix in which every column has exactly d non-zero
+/// entries equal to 1/sqrt(d), at uniformly random distinct row positions.
+/// Only the d row indices per column are stored (N*d small integers), so a
+/// 256x512, d = 12 matrix fits in ~6 kB — this is what makes CS sampling
+/// feasible inside the MSP430's 10 kB of RAM. The projection y = Phi*x is
+/// d*N integer additions (plus one global scale), no multiplications.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "csecg/util/error.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::linalg {
+
+class SparseBinaryMatrix {
+ public:
+  /// Builds an M x N sparse binary matrix with exactly \p d non-zeros per
+  /// column, positions drawn from \p rng. Requires d <= rows.
+  SparseBinaryMatrix(std::size_t rows, std::size_t cols, std::size_t d,
+                     util::Rng& rng);
+
+  /// Builds from an explicit index table (cols * d row indices, column
+  /// major, each column's d indices distinct). This is how the
+  /// coordinator mirrors the mote's on-the-fly PRNG-generated matrix.
+  SparseBinaryMatrix(std::size_t rows, std::size_t cols, std::size_t d,
+                     std::vector<std::uint16_t> row_index);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros_per_column() const { return d_; }
+
+  /// The common non-zero value 1/sqrt(d).
+  double value() const { return value_; }
+
+  /// The d (sorted, distinct) row indices of column \p c.
+  std::span<const std::uint16_t> column_rows(std::size_t c) const {
+    CSECG_CHECK(c < cols_, "column index out of range");
+    return std::span<const std::uint16_t>(row_index_.data() + c * d_, d_);
+  }
+
+  /// y = Phi x (floating point path, used on the coordinator side).
+  template <typename T>
+  void apply(std::span<const T> x, std::span<T> y) const {
+    CSECG_CHECK(x.size() == cols_ && y.size() == rows_,
+                "apply: size mismatch");
+    for (auto& v : y) {
+      v = T{};
+    }
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const T xc = x[c];
+      const std::uint16_t* rows_ptr = row_index_.data() + c * d_;
+      for (std::size_t k = 0; k < d_; ++k) {
+        y[rows_ptr[k]] += xc;
+      }
+    }
+    const T scale = static_cast<T>(value_);
+    for (auto& v : y) {
+      v *= scale;
+    }
+  }
+
+  /// y = Phi^T x.
+  template <typename T>
+  void apply_transpose(std::span<const T> x, std::span<T> y) const {
+    CSECG_CHECK(x.size() == rows_ && y.size() == cols_,
+                "apply_transpose: size mismatch");
+    const T scale = static_cast<T>(value_);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::uint16_t* rows_ptr = row_index_.data() + c * d_;
+      T acc{};
+      for (std::size_t k = 0; k < d_; ++k) {
+        acc += x[rows_ptr[k]];
+      }
+      y[c] = acc * scale;
+    }
+  }
+
+  /// Integer accumulation path used by the 16-bit mote encoder: y must have
+  /// rows() entries; each y[r] accumulates the *unscaled* sum of the x
+  /// samples hitting row r. The 1/sqrt(d) scale is deferred to the decoder
+  /// (it commutes with everything linear downstream), so the mote performs
+  /// additions only. 32-bit accumulators cannot overflow: at most N terms
+  /// of 11-bit magnitude.
+  void accumulate_integer(std::span<const std::int16_t> x,
+                          std::span<std::int32_t> y) const;
+
+  /// Storage the index table would occupy on the mote, in bytes (the paper
+  /// stores one small integer per non-zero).
+  std::size_t storage_bytes() const;
+
+  /// Fraction of row pairs of distinct columns that collide (share a row);
+  /// a quick incoherence diagnostic used by tests.
+  double average_column_overlap() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t d_;
+  double value_;
+  std::vector<std::uint16_t> row_index_;  // cols_ * d_, sorted per column
+};
+
+}  // namespace csecg::linalg
+
+#endif  // CSECG_LINALG_SPARSE_BINARY_MATRIX_HPP

@@ -1,0 +1,141 @@
+#ifndef CSECG_LINALG_VECTOR_OPS_HPP
+#define CSECG_LINALG_VECTOR_OPS_HPP
+
+/// \file vector_ops.hpp
+/// Portable, precision-templated vector primitives.
+///
+/// These are the reference (non-instrumented) implementations used by the
+/// numerics everywhere outside the Cortex-A8 optimisation study; the
+/// instrumented scalar/SIMD4 variants used by that study live in
+/// kernels.hpp.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::linalg {
+
+/// Inner product <a, b>. Sizes must match.
+template <typename T>
+T dot(std::span<const T> a, std::span<const T> b) {
+  CSECG_CHECK(a.size() == b.size(), "dot: size mismatch");
+  T acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+/// y += alpha * x.
+template <typename T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y) {
+  CSECG_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+/// x *= alpha.
+template <typename T>
+void scale(T alpha, std::span<T> x) {
+  for (auto& v : x) {
+    v *= alpha;
+  }
+}
+
+/// out = a - b.
+template <typename T>
+void subtract(std::span<const T> a, std::span<const T> b, std::span<T> out) {
+  CSECG_CHECK(a.size() == b.size() && a.size() == out.size(),
+              "subtract: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] - b[i];
+  }
+}
+
+/// out = a + b.
+template <typename T>
+void add(std::span<const T> a, std::span<const T> b, std::span<T> out) {
+  CSECG_CHECK(a.size() == b.size() && a.size() == out.size(),
+              "add: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] + b[i];
+  }
+}
+
+/// Euclidean norm ||x||_2.
+template <typename T>
+T norm2(std::span<const T> x) {
+  T acc{};
+  for (const auto v : x) {
+    acc += v * v;
+  }
+  return static_cast<T>(std::sqrt(static_cast<double>(acc)));
+}
+
+/// l1 norm ||x||_1 — the sparsity-inducing regulariser of eq (3).
+template <typename T>
+T norm1(std::span<const T> x) {
+  T acc{};
+  for (const auto v : x) {
+    acc += v < T{} ? -v : v;
+  }
+  return acc;
+}
+
+/// l-infinity norm.
+template <typename T>
+T norm_inf(std::span<const T> x) {
+  T acc{};
+  for (const auto v : x) {
+    const T a = v < T{} ? -v : v;
+    if (a > acc) {
+      acc = a;
+    }
+  }
+  return acc;
+}
+
+/// Number of entries with |x_i| > tol — the S of an S-sparse vector.
+template <typename T>
+std::size_t count_nonzero(std::span<const T> x, T tol = T{}) {
+  std::size_t n = 0;
+  for (const auto v : x) {
+    const T a = v < T{} ? -v : v;
+    if (a > tol) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// Soft-thresholding prox of lambda*||.||_1:
+/// out_i = sign(x_i) * max(|x_i| - t, 0). In-place allowed (out == x).
+template <typename T>
+void soft_threshold(std::span<const T> x, T t, std::span<T> out) {
+  CSECG_CHECK(x.size() == out.size(), "soft_threshold: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const T v = x[i];
+    const T mag = (v < T{} ? -v : v) - t;
+    const T shrunk = mag > T{} ? mag : T{};
+    out[i] = v < T{} ? -shrunk : shrunk;
+  }
+}
+
+/// Convenience conversion between precisions (e.g. double DB record →
+/// float iPhone reconstruction path).
+template <typename To, typename From>
+std::vector<To> convert(std::span<const From> x) {
+  std::vector<To> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = static_cast<To>(x[i]);
+  }
+  return out;
+}
+
+}  // namespace csecg::linalg
+
+#endif  // CSECG_LINALG_VECTOR_OPS_HPP

@@ -1,0 +1,40 @@
+#include "csecg/linalg/linear_operator.hpp"
+
+#include <cmath>
+
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::linalg {
+
+template <typename T>
+double estimate_spectral_norm_squared(const LinearOperator<T>& op,
+                                      int iterations) {
+  CSECG_CHECK(iterations > 0, "power iteration needs >= 1 iteration");
+  std::vector<T> v(op.cols(), T{1});
+  std::vector<T> av(op.rows());
+  std::vector<T> atav(op.cols());
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    op.apply(std::span<const T>(v), std::span<T>(av));
+    op.apply_adjoint(std::span<const T>(av), std::span<T>(atav));
+    const double norm =
+        static_cast<double>(norm2(std::span<const T>(atav)));
+    if (norm == 0.0) {
+      return 0.0;  // A is the zero operator on this subspace.
+    }
+    lambda = norm / static_cast<double>(norm2(std::span<const T>(v)));
+    const T inv = static_cast<T>(1.0 / norm);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = atav[i] * inv;
+    }
+  }
+  return lambda;
+}
+
+template double estimate_spectral_norm_squared<float>(
+    const LinearOperator<float>&, int);
+template double estimate_spectral_norm_squared<double>(
+    const LinearOperator<double>&, int);
+
+}  // namespace csecg::linalg

@@ -1,0 +1,103 @@
+#include "csecg/linalg/sparse_binary_matrix.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace csecg::linalg {
+
+SparseBinaryMatrix::SparseBinaryMatrix(std::size_t rows, std::size_t cols,
+                                       std::size_t d, util::Rng& rng)
+    : rows_(rows),
+      cols_(cols),
+      d_(d),
+      value_(1.0 / std::sqrt(static_cast<double>(d))) {
+  CSECG_CHECK(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  CSECG_CHECK(d > 0 && d <= rows,
+              "d must be in [1, rows] so column entries are distinct");
+  CSECG_CHECK(rows <= std::numeric_limits<std::uint16_t>::max() + 1u,
+              "row indices are stored as uint16");
+  row_index_.reserve(cols * d);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const auto chosen = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(rows), static_cast<std::uint32_t>(d));
+    for (const auto r : chosen) {
+      row_index_.push_back(static_cast<std::uint16_t>(r));
+    }
+  }
+}
+
+SparseBinaryMatrix::SparseBinaryMatrix(std::size_t rows, std::size_t cols,
+                                       std::size_t d,
+                                       std::vector<std::uint16_t> row_index)
+    : rows_(rows),
+      cols_(cols),
+      d_(d),
+      value_(1.0 / std::sqrt(static_cast<double>(d))),
+      row_index_(std::move(row_index)) {
+  CSECG_CHECK(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  CSECG_CHECK(d > 0 && d <= rows,
+              "d must be in [1, rows] so column entries are distinct");
+  CSECG_CHECK(row_index_.size() == cols * d,
+              "index table must hold cols * d entries");
+  for (const auto r : row_index_) {
+    CSECG_CHECK(r < rows, "row index out of range in index table");
+  }
+}
+
+void SparseBinaryMatrix::accumulate_integer(
+    std::span<const std::int16_t> x, std::span<std::int32_t> y) const {
+  CSECG_CHECK(x.size() == cols_ && y.size() == rows_,
+              "accumulate_integer: size mismatch");
+  for (auto& v : y) {
+    v = 0;
+  }
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const std::int32_t xc = x[c];
+    const std::uint16_t* rows_ptr = row_index_.data() + c * d_;
+    for (std::size_t k = 0; k < d_; ++k) {
+      y[rows_ptr[k]] += xc;
+    }
+  }
+}
+
+std::size_t SparseBinaryMatrix::storage_bytes() const {
+  // One uint16 row index per non-zero; the scale is a single constant.
+  return cols_ * d_ * sizeof(std::uint16_t);
+}
+
+double SparseBinaryMatrix::average_column_overlap() const {
+  // Count, over all unordered column pairs, the expected number of shared
+  // rows; exact counting is O(cols^2 * d) which is fine at our sizes for a
+  // diagnostic, but we sample pairs to keep tests fast on big matrices.
+  if (cols_ < 2) {
+    return 0.0;
+  }
+  double total = 0.0;
+  std::size_t pairs = 0;
+  const std::size_t stride = cols_ > 128 ? cols_ / 128 : 1;
+  for (std::size_t a = 0; a < cols_; a += stride) {
+    for (std::size_t b = a + 1; b < cols_; b += stride) {
+      const auto ra = column_rows(a);
+      const auto rb = column_rows(b);
+      std::size_t ia = 0;
+      std::size_t ib = 0;
+      std::size_t shared = 0;
+      while (ia < ra.size() && ib < rb.size()) {
+        if (ra[ia] == rb[ib]) {
+          ++shared;
+          ++ia;
+          ++ib;
+        } else if (ra[ia] < rb[ib]) {
+          ++ia;
+        } else {
+          ++ib;
+        }
+      }
+      total += static_cast<double>(shared);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+}  // namespace csecg::linalg

@@ -1,0 +1,36 @@
+#include "csecg/platform/cortex_a8.hpp"
+
+#include <cmath>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::platform {
+
+double CortexA8Model::cycles(const linalg::OpCounts& counts) const {
+  return static_cast<double>(counts.scalar_mac) * cycles_scalar_mac +
+         static_cast<double>(counts.scalar_op) * cycles_scalar_op +
+         static_cast<double>(counts.vector_mac4) * cycles_vector_mac4 +
+         static_cast<double>(counts.vector_op4) * cycles_vector_op4 +
+         static_cast<double>(counts.leftover_lane) * cycles_leftover_lane +
+         static_cast<double>(counts.loads) * cycles_load +
+         static_cast<double>(counts.stores) * cycles_store;
+}
+
+double CortexA8Model::seconds(const linalg::OpCounts& counts) const {
+  return cycles(counts) / clock_hz;
+}
+
+std::size_t CortexA8Model::max_iterations_within(
+    double budget_seconds, const linalg::OpCounts& per_iteration) const {
+  const double per_iteration_s = seconds(per_iteration);
+  CSECG_CHECK(per_iteration_s > 0.0, "iteration cost must be positive");
+  return static_cast<std::size_t>(budget_seconds / per_iteration_s);
+}
+
+double CortexA8Model::cpu_usage(const linalg::OpCounts& per_packet,
+                                double packet_period_s) const {
+  CSECG_CHECK(packet_period_s > 0.0, "packet period must be positive");
+  return seconds(per_packet) / packet_period_s;
+}
+
+}  // namespace csecg::platform

@@ -1,0 +1,42 @@
+#include "csecg/platform/energy.hpp"
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::platform {
+
+double NodePowerModel::radio_average_power(std::size_t bits_per_window,
+                                           double window_period_s) const {
+  CSECG_CHECK(window_period_s > 0.0, "window period must be positive");
+  const double airtime =
+      static_cast<double>(bits_per_window) / effective_throughput_bps;
+  CSECG_CHECK(airtime <= window_period_s,
+              "link saturated: payload does not fit the window period");
+  return radio_tx_power_w * airtime / window_period_s;
+}
+
+double NodePowerModel::mcu_average_power(double busy_seconds,
+                                         double window_period_s) const {
+  CSECG_CHECK(busy_seconds >= 0.0 && busy_seconds <= window_period_s,
+              "encoder busy time out of range");
+  return mcu_active_power_w * busy_seconds / window_period_s;
+}
+
+double NodePowerModel::node_average_power(std::size_t bits_per_window,
+                                          double encoder_busy_seconds,
+                                          double window_period_s) const {
+  return base_power_w +
+         radio_average_power(bits_per_window, window_period_s) +
+         mcu_average_power(encoder_busy_seconds, window_period_s);
+}
+
+double BatteryModel::lifetime_hours(double average_power_w) const {
+  CSECG_CHECK(average_power_w > 0.0, "average power must be positive");
+  return energy_joules() / average_power_w / 3600.0;
+}
+
+double lifetime_extension(double power_baseline_w, double power_new_w) {
+  CSECG_CHECK(power_new_w > 0.0, "power must be positive");
+  return (power_baseline_w - power_new_w) / power_new_w;
+}
+
+}  // namespace csecg::platform

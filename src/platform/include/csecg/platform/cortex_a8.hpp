@@ -1,0 +1,57 @@
+#ifndef CSECG_PLATFORM_CORTEX_A8_HPP
+#define CSECG_PLATFORM_CORTEX_A8_HPP
+
+/// \file cortex_a8.hpp
+/// Cycle model of the iPhone 3GS decoder platform (§IV-B).
+///
+/// The ARM Cortex-A8 in the iPhone 3GS runs at 600 MHz. Its VFP-Lite unit
+/// is not pipelined: the paper quotes 18-21 cycles for one single-precision
+/// multiply-accumulate. The NEON engine sustains two single-precision MACs
+/// per cycle, so a 4-lane vmla costs 2 cycles. These weights, applied to
+/// the operation mix an OpCounterScope records from the instrumented
+/// kernels, price the scalar-VFP schedule against the vectorised-NEON one
+/// — the substitute for running on the physical phone, reproducing the
+/// paper's 2.43x speed-up, its 0.34-0.46 s packet times (Fig 7) and its
+/// 800 -> 2000 real-time iteration budget.
+
+#include "csecg/linalg/kernels.hpp"
+
+namespace csecg::platform {
+
+struct CortexA8Model {
+  double clock_hz = 600e6;         ///< iPhone 3GS core clock
+
+  // Cycle weights per operation class. The load/store weights fold in the
+  // address arithmetic of the surrounding loop; the scalar-op weight folds
+  // in the ARM<->NEON transfer and branch-misprediction penalties §IV-B
+  // attributes to the unvectorised loops.
+  double cycles_scalar_mac = 21.0;   ///< VFP single-precision MAC (18-21)
+  double cycles_scalar_op = 15.0;    ///< VFP add/abs/compare + pipeline stalls
+  double cycles_vector_mac4 = 2.0;   ///< NEON vmla.f32 Q-register
+  double cycles_vector_op4 = 1.0;    ///< NEON add/mul/select
+  double cycles_leftover_lane = 3.0; ///< Fig 3 lane-by-lane tail handling
+  double cycles_load = 1.8;          ///< L1 load-use slot, amortised
+  double cycles_store = 1.2;
+
+  /// Total cycles for an operation mix.
+  double cycles(const linalg::OpCounts& counts) const;
+
+  /// Wall-clock seconds at clock_hz.
+  double seconds(const linalg::OpCounts& counts) const;
+
+  /// Largest FISTA iteration count that fits a real-time budget (the
+  /// paper allows 1 s of reconstruction per 2 s packet) given the cost of
+  /// one iteration.
+  std::size_t max_iterations_within(double budget_seconds,
+                                    const linalg::OpCounts& per_iteration)
+      const;
+
+  /// Decoder CPU usage: time spent reconstructing one packet divided by
+  /// the packet period (2 s of ECG per packet).
+  double cpu_usage(const linalg::OpCounts& per_packet,
+                   double packet_period_s = 2.0) const;
+};
+
+}  // namespace csecg::platform
+
+#endif  // CSECG_PLATFORM_CORTEX_A8_HPP

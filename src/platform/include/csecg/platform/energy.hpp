@@ -1,0 +1,66 @@
+#ifndef CSECG_PLATFORM_ENERGY_HPP
+#define CSECG_PLATFORM_ENERGY_HPP
+
+/// \file energy.hpp
+/// Node power and battery-lifetime model (§V: "a 12.9 % extension in the
+/// node lifetime, with respect to streaming uncompressed data").
+///
+/// The Shimmer is powered by a rechargeable Li-polymer battery. The model
+/// splits the node's average power into (a) a base platform draw that
+/// compression cannot touch (analog front end, ADC sampling, MCU sleep
+/// current, Bluetooth connection maintenance), (b) radio transmit energy
+/// proportional to airtime, and (c) MCU active energy proportional to the
+/// cycles the encoder spends. Compression trades a little of (c) for a
+/// large cut of (b). Constants are calibrated against the operating points
+/// the paper reports for the Shimmer platform.
+
+#include <cstddef>
+
+namespace csecg::platform {
+
+struct NodePowerModel {
+  /// Base platform draw: AFE + ADC + MCU idle + BT sniff keep-alive.
+  double base_power_w = 10.5e-3;
+  /// Bluetooth transmit draw while the radio is actually sending.
+  double radio_tx_power_w = 81e-3;
+  /// Effective application throughput of the Shimmer's BT link for small
+  /// periodic payloads (RFCOMM overhead included).
+  double effective_throughput_bps = 57'600.0;
+  /// MCU active draw at 8 MHz, 3 V (MSP430F1611 datasheet region).
+  double mcu_active_power_w = 12e-3;
+
+  /// Average radio power when shipping `bits_per_window` every
+  /// `window_period_s` seconds.
+  double radio_average_power(std::size_t bits_per_window,
+                             double window_period_s = 2.0) const;
+
+  /// Average MCU power when the encoder is busy `busy_seconds` out of
+  /// every window period.
+  double mcu_average_power(double busy_seconds,
+                           double window_period_s = 2.0) const;
+
+  /// Total node average power for one operating point.
+  double node_average_power(std::size_t bits_per_window,
+                            double encoder_busy_seconds,
+                            double window_period_s = 2.0) const;
+};
+
+struct BatteryModel {
+  double capacity_mah = 450.0;  ///< Shimmer Li-Po cell
+  double voltage_v = 3.7;
+
+  double energy_joules() const {
+    return capacity_mah * 3.6 * voltage_v;  // mAh -> C at cell voltage
+  }
+
+  /// Hours of operation at a constant average power.
+  double lifetime_hours(double average_power_w) const;
+};
+
+/// Relative lifetime extension of operating point B over A:
+/// (P_A - P_B) / P_B, i.e. how much longer B runs on the same battery.
+double lifetime_extension(double power_baseline_w, double power_new_w);
+
+}  // namespace csecg::platform
+
+#endif  // CSECG_PLATFORM_ENERGY_HPP

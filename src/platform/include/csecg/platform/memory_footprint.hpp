@@ -1,0 +1,39 @@
+#ifndef CSECG_PLATFORM_MEMORY_FOOTPRINT_HPP
+#define CSECG_PLATFORM_MEMORY_FOOTPRINT_HPP
+
+/// \file memory_footprint.hpp
+/// Static memory accounting for the mote build (§IV-A2: "the complete CS
+/// implementation requires 6.5 kB of RAM and 7.5 kB of Flash, 1.5 kB of
+/// which are for Huffman codebook storage").
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "csecg/core/encoder.hpp"
+
+namespace csecg::platform {
+
+struct MemoryItem {
+  std::string name;
+  std::size_t bytes = 0;
+  bool is_ram = false;  ///< RAM vs flash
+};
+
+struct MemoryFootprint {
+  std::vector<MemoryItem> items;
+
+  std::size_t ram_total() const;
+  std::size_t flash_total() const;
+  void add(std::string name, std::size_t bytes, bool is_ram);
+};
+
+/// Itemised footprint of a mote encoder build: measurement buffers,
+/// sample window, bitstream staging, serial/BT I/O buffers and stack in
+/// RAM; code, codebook and constants in flash. The code-size entry uses
+/// the text-segment estimate of the mspgcc build the paper describes.
+MemoryFootprint estimate_encoder_footprint(const core::Encoder& encoder);
+
+}  // namespace csecg::platform
+
+#endif  // CSECG_PLATFORM_MEMORY_FOOTPRINT_HPP

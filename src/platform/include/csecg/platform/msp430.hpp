@@ -1,0 +1,43 @@
+#ifndef CSECG_PLATFORM_MSP430_HPP
+#define CSECG_PLATFORM_MSP430_HPP
+
+/// \file msp430.hpp
+/// Cycle and memory model of the Shimmer's TI MSP430F1611 (§IV-A1):
+/// 16-bit core at 8 MHz, hardware 16x16 multiplier, no FPU, 10 kB RAM,
+/// 48 kB flash. Cycle weights reflect the instruction timing of the
+/// MSP430x1xx family with memory-operand addressing (most of the
+/// encoder's operands live in RAM, not registers) plus amortised loop
+/// overhead as produced by mspgcc -O2.
+
+#include <cstddef>
+
+#include "csecg/fixedpoint/msp430_counters.hpp"
+
+namespace csecg::platform {
+
+struct Msp430Model {
+  double clock_hz = 8e6;       ///< Shimmer MSP430 clock
+
+  double cycles_add16 = 4.0;   ///< add/sub/xor/cmp with indexed operand
+  double cycles_mul16 = 11.0;  ///< HW multiplier: operand moves + result
+  double cycles_shift = 1.0;   ///< single-bit shift/rotate
+  double cycles_load = 3.5;    ///< indexed word read
+  double cycles_store = 3.5;   ///< indexed word write
+  double cycles_branch = 3.0;
+  double cycles_table_lookup = 6.0;  ///< flash codebook access
+
+  /// Hardware limits of the MSP430F1611.
+  static constexpr std::size_t kRamBytes = 10 * 1024;
+  static constexpr std::size_t kFlashBytes = 48 * 1024;
+
+  double cycles(const fixedpoint::Msp430OpCounts& counts) const;
+  double seconds(const fixedpoint::Msp430OpCounts& counts) const;
+
+  /// Node CPU usage: encode time per window over the window period.
+  double cpu_usage(const fixedpoint::Msp430OpCounts& per_window,
+                   double window_period_s = 2.0) const;
+};
+
+}  // namespace csecg::platform
+
+#endif  // CSECG_PLATFORM_MSP430_HPP

@@ -1,0 +1,60 @@
+#include "csecg/platform/memory_footprint.hpp"
+
+namespace csecg::platform {
+
+std::size_t MemoryFootprint::ram_total() const {
+  std::size_t total = 0;
+  for (const auto& item : items) {
+    if (item.is_ram) {
+      total += item.bytes;
+    }
+  }
+  return total;
+}
+
+std::size_t MemoryFootprint::flash_total() const {
+  std::size_t total = 0;
+  for (const auto& item : items) {
+    if (!item.is_ram) {
+      total += item.bytes;
+    }
+  }
+  return total;
+}
+
+void MemoryFootprint::add(std::string name, std::size_t bytes, bool is_ram) {
+  items.push_back(MemoryItem{std::move(name), bytes, is_ram});
+}
+
+MemoryFootprint estimate_encoder_footprint(const core::Encoder& encoder) {
+  const auto& config = encoder.config();
+  MemoryFootprint fp;
+
+  // --- RAM ---
+  fp.add("sample window (int16 x N)",
+         config.window * sizeof(std::int16_t), true);
+  fp.add("measurement vector current (int32 x M)",
+         config.measurements * sizeof(std::int32_t), true);
+  fp.add("measurement vector previous (int32 x M)",
+         config.measurements * sizeof(std::int32_t), true);
+  fp.add("bitstream staging buffer", 512, true);
+  fp.add("serial + Bluetooth I/O buffers", 768, true);
+  fp.add("TinyOS task/stack allowance", 1024, true);
+
+  // --- Flash ---
+  // Text segment of the encoder tasks (projection, difference, Huffman,
+  // framing, drivers glue) as produced by mspgcc -O2 for this code size.
+  fp.add("encoder code (.text)", 5 * 1024, false);
+  fp.add("Huffman codebook (codes 1 kB + lengths 512 B)",
+         encoder.codebook().storage_bytes(), false);
+  if (!config.on_the_fly_indices) {
+    fp.add("sensing index table",
+           encoder.sensing().storage_bytes(), false);
+  } else {
+    fp.add("sensing PRNG seed + constants", 16, false);
+  }
+  fp.add("misc constants (scale factors, framing)", 128, false);
+  return fp;
+}
+
+}  // namespace csecg::platform

@@ -1,0 +1,29 @@
+#include "csecg/platform/msp430.hpp"
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::platform {
+
+double Msp430Model::cycles(const fixedpoint::Msp430OpCounts& counts) const {
+  return static_cast<double>(counts.add16) * cycles_add16 +
+         static_cast<double>(counts.mul16) * cycles_mul16 +
+         static_cast<double>(counts.shift) * cycles_shift +
+         static_cast<double>(counts.load) * cycles_load +
+         static_cast<double>(counts.store) * cycles_store +
+         static_cast<double>(counts.branch) * cycles_branch +
+         static_cast<double>(counts.table_lookup) * cycles_table_lookup;
+}
+
+double Msp430Model::seconds(
+    const fixedpoint::Msp430OpCounts& counts) const {
+  return cycles(counts) / clock_hz;
+}
+
+double Msp430Model::cpu_usage(
+    const fixedpoint::Msp430OpCounts& per_window,
+    double window_period_s) const {
+  CSECG_CHECK(window_period_s > 0.0, "window period must be positive");
+  return seconds(per_window) / window_period_s;
+}
+
+}  // namespace csecg::platform

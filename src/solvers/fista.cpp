@@ -1,0 +1,237 @@
+#include "csecg/solvers/fista.hpp"
+
+#include <cmath>
+
+#include "csecg/solvers/detail/backend.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::solvers {
+
+namespace {
+
+/// Shared machinery for ISTA and FISTA; momentum toggles the difference.
+template <typename T>
+ShrinkageResult<T> shrinkage_solve(const linalg::LinearOperator<T>& A,
+                                   std::span<const T> y,
+                                   const ShrinkageOptions& options,
+                                   bool momentum) {
+  CSECG_CHECK(y.size() == A.rows(), "measurement size mismatch");
+  CSECG_CHECK(options.lambda >= 0.0, "lambda must be non-negative");
+  CSECG_CHECK(options.max_iterations > 0, "need at least one iteration");
+
+  const std::size_t n = A.cols();
+  const std::size_t m = A.rows();
+  const linalg::KernelMode mode = options.mode;
+
+  // Lipschitz constant of grad f(a) = 2 A^T (A a - y): L = 2 lambda_max.
+  const double lipschitz =
+      options.lipschitz.value_or(
+          2.0 * linalg::estimate_spectral_norm_squared(A));
+  CSECG_CHECK(lipschitz > 0.0, "operator has zero spectral norm");
+  const T step = static_cast<T>(1.0 / lipschitz);
+  const T threshold = static_cast<T>(options.lambda / lipschitz);
+  const bool weighted = !options.weights.empty();
+  CSECG_CHECK(!weighted || options.weights.size() == n,
+              "weights must match the coefficient dimension");
+  std::vector<T> thresholds;
+  if (weighted) {
+    thresholds.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      CSECG_CHECK(options.weights[i] >= 0.0,
+                  "l1 weights must be non-negative");
+      thresholds[i] = static_cast<T>(options.weights[i]) * threshold;
+    }
+  }
+
+  ShrinkageResult<T> result;
+  result.solution.assign(n, T{});
+
+  // Regulariser value g(a) = sum_i w_i |a_i| (w = 1 when unweighted).
+  const auto g_value = [&](std::span<const T> a) {
+    if (!weighted) {
+      return detail::backend_norm1<T>(a, mode);
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += options.weights[i] * std::fabs(static_cast<double>(a[i]));
+    }
+    return acc;
+  };
+
+  std::vector<T> yk(n, T{});          // extrapolation point y_k
+  std::vector<T> residual(m);         // A y_k - y
+  std::vector<T> gradient(n);         // A^T residual (times 2 merged in step)
+  std::vector<T> candidate(n);        // y_k - (1/L) grad
+  std::vector<T> a_next(n);           // scratch for the new iterate
+
+  double t_k = 1.0;
+
+  for (std::size_t k = 1; k <= options.max_iterations; ++k) {
+    // grad f(y_k) = 2 A^T (A y_k - y).
+    A.apply(std::span<const T>(yk), std::span<T>(residual));
+    detail::backend_subtract<T>(residual, y, std::span<T>(residual), mode);
+    A.apply_adjoint(std::span<const T>(residual), std::span<T>(gradient));
+
+    // candidate = y_k - (1/L) * 2 * gradient_half  (factor 2 of grad f).
+    for (std::size_t i = 0; i < n; ++i) {
+      candidate[i] = yk[i];
+    }
+    detail::backend_axpy<T>(static_cast<T>(-2.0) * step,
+                            std::span<const T>(gradient),
+                            std::span<T>(candidate), mode);
+
+    // a_k = soft_threshold(candidate, lambda / L) — per-coefficient
+    // thresholds in the weighted variant.
+    std::vector<T>& a_k = result.solution;
+    if (weighted) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const T v = candidate[i];
+        const T mag = (v < T{} ? -v : v) - thresholds[i];
+        const T shrunk = mag > T{} ? mag : T{};
+        a_next[i] = v < T{} ? -shrunk : shrunk;
+      }
+      if constexpr (std::is_same_v<T, float>) {
+        linalg::OpCounts c;
+        if (mode == linalg::KernelMode::kScalar) {
+          c.scalar_op = 5 * n;
+        } else {
+          c.vector_op4 = 5 * n / 4;
+        }
+        c.loads = 2 * n;
+        c.stores = n;
+        linalg::charge(c);
+      }
+    } else {
+      detail::backend_soft_threshold<T>(std::span<const T>(candidate),
+                                        threshold, std::span<T>(a_next),
+                                        mode);
+    }
+
+    // Convergence bookkeeping on the iterate change.
+    double change_sq = 0.0;
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double diff =
+          static_cast<double>(a_next[i]) - static_cast<double>(a_k[i]);
+      change_sq += diff * diff;
+      norm_sq += static_cast<double>(a_next[i]) *
+                 static_cast<double>(a_next[i]);
+    }
+
+    if (momentum) {
+      if (options.adaptive_restart) {
+        // Gradient restart test: if the momentum direction (a_new - a_old)
+        // opposes the last proximal step (y_k - a_new), kill the momentum.
+        double alignment = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          alignment += (static_cast<double>(yk[i]) -
+                        static_cast<double>(a_next[i])) *
+                       (static_cast<double>(a_next[i]) -
+                        static_cast<double>(a_k[i]));
+        }
+        if (alignment > 0.0) {
+          t_k = 1.0;
+        }
+      }
+      const double t_next = (1.0 + std::sqrt(1.0 + 4.0 * t_k * t_k)) / 2.0;
+      const T beta = static_cast<T>((t_k - 1.0) / t_next);
+      for (std::size_t i = 0; i < n; ++i) {
+        yk[i] = a_next[i] + beta * (a_next[i] - a_k[i]);
+      }
+      t_k = t_next;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        yk[i] = a_next[i];
+      }
+    }
+    std::swap(a_k, a_next);
+    result.iterations = k;
+
+    if constexpr (std::is_same_v<T, float>) {
+      // Charge the book-keeping loops (candidate copy, iterate-change
+      // accumulation, momentum update) so the cycle model sees the whole
+      // per-iteration cost, not just the kernel calls.
+      linalg::OpCounts c;
+      const std::uint64_t elems = 5ull * n;
+      if (mode == linalg::KernelMode::kScalar) {
+        c.scalar_op = elems;
+      } else {
+        c.vector_op4 = elems / 4;
+      }
+      c.loads = 4ull * n;
+      c.stores = 2ull * n;
+      linalg::charge(c);
+    }
+
+    // Objective / residual at a_k (needed for sigma stopping and traces).
+    const bool need_objective =
+        options.record_objective || options.sigma.has_value() ||
+        k == options.max_iterations;
+    double residual_norm = 0.0;
+    if (need_objective) {
+      A.apply(std::span<const T>(a_k), std::span<T>(residual));
+      detail::backend_subtract<T>(residual, y, std::span<T>(residual),
+                                  mode);
+      residual_norm = std::sqrt(detail::backend_norm2_squared<T>(
+          std::span<const T>(residual), mode));
+      if (options.record_objective) {
+        const double l1 = g_value(std::span<const T>(a_k));
+        result.objective_trace.push_back(residual_norm * residual_norm +
+                                         options.lambda * l1);
+      }
+    }
+
+    if (options.sigma.has_value() && residual_norm <= *options.sigma) {
+      result.converged = true;
+      result.final_residual_norm = residual_norm;
+      break;
+    }
+    if (norm_sq > 0.0 &&
+        std::sqrt(change_sq / norm_sq) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final diagnostics.
+  A.apply(std::span<const T>(result.solution), std::span<T>(residual));
+  detail::backend_subtract<T>(residual, y, std::span<T>(residual), mode);
+  result.final_residual_norm = std::sqrt(detail::backend_norm2_squared<T>(
+      std::span<const T>(residual), mode));
+  const double l1 = g_value(std::span<const T>(result.solution));
+  result.final_objective =
+      result.final_residual_norm * result.final_residual_norm +
+      options.lambda * l1;
+  return result;
+}
+
+}  // namespace
+
+template <typename T>
+ShrinkageResult<T> fista(const linalg::LinearOperator<T>& A,
+                         std::span<const T> y,
+                         const ShrinkageOptions& options) {
+  return shrinkage_solve(A, y, options, /*momentum=*/true);
+}
+
+template <typename T>
+ShrinkageResult<T> ista(const linalg::LinearOperator<T>& A,
+                        std::span<const T> y,
+                        const ShrinkageOptions& options) {
+  return shrinkage_solve(A, y, options, /*momentum=*/false);
+}
+
+template ShrinkageResult<float> fista<float>(
+    const linalg::LinearOperator<float>&, std::span<const float>,
+    const ShrinkageOptions&);
+template ShrinkageResult<double> fista<double>(
+    const linalg::LinearOperator<double>&, std::span<const double>,
+    const ShrinkageOptions&);
+template ShrinkageResult<float> ista<float>(
+    const linalg::LinearOperator<float>&, std::span<const float>,
+    const ShrinkageOptions&);
+template ShrinkageResult<double> ista<double>(
+    const linalg::LinearOperator<double>&, std::span<const double>,
+    const ShrinkageOptions&);
+
+}  // namespace csecg::solvers

@@ -1,0 +1,84 @@
+#ifndef CSECG_SOLVERS_DETAIL_BACKEND_HPP
+#define CSECG_SOLVERS_DETAIL_BACKEND_HPP
+
+/// \file backend.hpp
+/// Precision dispatch for the solver inner loops: the float path routes
+/// through the instrumented §IV-B kernels (so the Cortex-A8 model sees the
+/// decoder's true operation mix), the double path uses the plain reference
+/// primitives.
+
+#include <span>
+
+#include "csecg/linalg/kernels.hpp"
+#include "csecg/linalg/vector_ops.hpp"
+
+namespace csecg::solvers::detail {
+
+template <typename T>
+void backend_subtract(std::span<const T> a, std::span<const T> b,
+                      std::span<T> out, linalg::KernelMode mode) {
+  if constexpr (std::is_same_v<T, float>) {
+    linalg::kernels::subtract(a.data(), b.data(), out.data(), a.size(),
+                              mode);
+  } else {
+    (void)mode;
+    linalg::subtract(a, b, out);
+  }
+}
+
+template <typename T>
+void backend_axpy(T alpha, std::span<const T> x, std::span<T> y,
+                  linalg::KernelMode mode) {
+  if constexpr (std::is_same_v<T, float>) {
+    linalg::kernels::axpy(alpha, x.data(), y.data(), x.size(), mode);
+  } else {
+    (void)mode;
+    linalg::axpy(alpha, x, y);
+  }
+}
+
+template <typename T>
+void backend_soft_threshold(std::span<const T> x, T t, std::span<T> out,
+                            linalg::KernelMode mode) {
+  if constexpr (std::is_same_v<T, float>) {
+    linalg::kernels::soft_threshold(x.data(), t, out.data(), x.size(),
+                                    mode);
+  } else {
+    (void)mode;
+    linalg::soft_threshold(x, t, out);
+  }
+}
+
+template <typename T>
+double backend_norm2_squared(std::span<const T> x, linalg::KernelMode mode) {
+  if constexpr (std::is_same_v<T, float>) {
+    return static_cast<double>(
+        linalg::kernels::norm2_squared(x.data(), x.size(), mode));
+  } else {
+    (void)mode;
+    const double n = static_cast<double>(linalg::norm2(x));
+    return n * n;
+  }
+}
+
+template <typename T>
+double backend_norm1(std::span<const T> x, linalg::KernelMode mode) {
+  if constexpr (std::is_same_v<T, float>) {
+    // |.| accumulation counts as one scalar/vector op per element.
+    linalg::OpCounts c;
+    if (mode == linalg::KernelMode::kScalar) {
+      c.scalar_op = x.size();
+    } else {
+      c.vector_op4 = x.size() / 4;
+      c.leftover_lane = x.size() % 4;
+    }
+    c.loads = x.size();
+    linalg::charge(c);
+  }
+  (void)mode;
+  return static_cast<double>(linalg::norm1(x));
+}
+
+}  // namespace csecg::solvers::detail
+
+#endif  // CSECG_SOLVERS_DETAIL_BACKEND_HPP

@@ -1,0 +1,39 @@
+#ifndef CSECG_SOLVERS_FISTA_HPP
+#define CSECG_SOLVERS_FISTA_HPP
+
+/// \file fista.hpp
+/// FISTA with constant step size (Beck & Teboulle 2009), exactly the
+/// variant the paper lists in §II-B:
+///
+///   Input: L — a Lipschitz constant of grad f
+///   Step 0: y_1 = a_0, t_1 = 1
+///   Step k: a_k     = prox_{1/L}(g)(y_k - (1/L) grad f(y_k))     (eq 4)
+///           t_{k+1} = (1 + sqrt(1 + 4 t_k^2)) / 2                (eq 5)
+///           y_{k+1} = a_k + ((t_k - 1)/t_{k+1})(a_k - a_{k-1})   (eq 6)
+///
+/// with f(a) = ||A a - y||_2^2 and g(a) = lambda ||a||_1, whose prox is
+/// plain soft thresholding. Converges at O(1/k^2) versus ISTA's O(1/k).
+
+#include <span>
+
+#include "csecg/linalg/linear_operator.hpp"
+#include "csecg/solvers/types.hpp"
+
+namespace csecg::solvers {
+
+/// Runs FISTA on min ||A a - y||^2 + lambda ||a||_1 from a zero start.
+template <typename T>
+ShrinkageResult<T> fista(const linalg::LinearOperator<T>& A,
+                         std::span<const T> y,
+                         const ShrinkageOptions& options);
+
+/// ISTA (no momentum) with the same interface — the O(1/k) baseline the
+/// paper accelerates away from.
+template <typename T>
+ShrinkageResult<T> ista(const linalg::LinearOperator<T>& A,
+                        std::span<const T> y,
+                        const ShrinkageOptions& options);
+
+}  // namespace csecg::solvers
+
+#endif  // CSECG_SOLVERS_FISTA_HPP

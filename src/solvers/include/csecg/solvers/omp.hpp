@@ -1,0 +1,23 @@
+#ifndef CSECG_SOLVERS_OMP_HPP
+#define CSECG_SOLVERS_OMP_HPP
+
+/// \file omp.hpp
+/// Orthogonal matching pursuit (Tropp 2004) — the greedy reconstruction
+/// baseline the paper's introduction cites. Works matrix-free: columns of
+/// A are materialised on demand by applying the operator to unit vectors,
+/// and the growing least-squares problem is solved with an incrementally
+/// updated Cholesky factor of the support Gram matrix.
+
+#include <span>
+
+#include "csecg/linalg/linear_operator.hpp"
+#include "csecg/solvers/types.hpp"
+
+namespace csecg::solvers {
+
+OmpResult omp(const linalg::LinearOperator<double>& A,
+              std::span<const double> y, const OmpOptions& options);
+
+}  // namespace csecg::solvers
+
+#endif  // CSECG_SOLVERS_OMP_HPP

@@ -1,0 +1,68 @@
+#ifndef CSECG_SOLVERS_TYPES_HPP
+#define CSECG_SOLVERS_TYPES_HPP
+
+/// \file types.hpp
+/// Shared option/result types for the sparse-recovery solvers.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "csecg/linalg/kernels.hpp"
+
+namespace csecg::solvers {
+
+/// Options for the iterative shrinkage solvers (ISTA / FISTA), solving
+///   min_a ||A a - y||_2^2 + lambda ||a||_1            (paper eq 3).
+struct ShrinkageOptions {
+  double lambda = 0.1;          ///< l1 weight (relative to signal scale)
+  std::size_t max_iterations = 2000;
+  /// Stop when the relative change of the iterate drops below this.
+  double tolerance = 1e-5;
+  /// Optional eq-2 stopping: halt once ||A a - y||_2 <= sigma.
+  std::optional<double> sigma;
+  /// Lipschitz constant of grad f; estimated by power iteration if unset.
+  std::optional<double> lipschitz;
+  /// Kernel schedule for the float path (§IV-B optimisation study).
+  linalg::KernelMode mode = linalg::KernelMode::kSimd4;
+  /// Record the objective F(a_k) each iteration (convergence benches).
+  bool record_objective = false;
+  /// Adaptive gradient restart (O'Donoghue & Candès): reset the momentum
+  /// whenever it points against the descent direction. An extension over
+  /// the paper's constant-momentum FISTA; costs nothing per iteration and
+  /// removes the objective ripples of plain FISTA.
+  bool adaptive_restart = false;
+  /// Optional per-coefficient l1 weights (solves
+  /// min ||A a - y||^2 + lambda * sum_i w_i |a_i|). Empty = uniform.
+  /// Used to penalise the wavelet approximation band less than the detail
+  /// bands, where ECG energy is guaranteed vs merely possible.
+  std::vector<double> weights;
+};
+
+template <typename T>
+struct ShrinkageResult {
+  std::vector<T> solution;
+  std::size_t iterations = 0;
+  bool converged = false;        ///< hit tolerance/sigma before max_iter
+  double final_objective = 0.0;  ///< F(a) = ||Aa - y||^2 + lambda ||a||_1
+  double final_residual_norm = 0.0;  ///< ||A a - y||_2
+  std::vector<double> objective_trace;  ///< filled if record_objective
+};
+
+/// Options for orthogonal matching pursuit (the greedy baseline of §I).
+struct OmpOptions {
+  std::size_t max_support = 128;     ///< maximum selected atoms
+  double residual_tolerance = 1e-6;  ///< stop when ||r||/||y|| drops below
+};
+
+struct OmpResult {
+  std::vector<double> solution;
+  std::vector<std::size_t> support;
+  std::size_t iterations = 0;
+  bool converged = false;
+  double final_residual_norm = 0.0;
+};
+
+}  // namespace csecg::solvers
+
+#endif  // CSECG_SOLVERS_TYPES_HPP

@@ -1,0 +1,152 @@
+#include "csecg/solvers/omp.hpp"
+
+#include <cmath>
+
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::solvers {
+
+OmpResult omp(const linalg::LinearOperator<double>& A,
+              std::span<const double> y, const OmpOptions& options) {
+  CSECG_CHECK(y.size() == A.rows(), "measurement size mismatch");
+  CSECG_CHECK(options.max_support >= 1, "max_support must be >= 1");
+  const std::size_t n = A.cols();
+  const std::size_t m = A.rows();
+  const std::size_t max_support = std::min(options.max_support,
+                                           std::min(n, m));
+
+  OmpResult result;
+  result.solution.assign(n, 0.0);
+
+  const double y_norm = static_cast<double>(linalg::norm2(y));
+  if (y_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> residual(y.begin(), y.end());
+  std::vector<double> correlations(n);
+  std::vector<bool> selected(n, false);
+
+  // Materialised columns of the selected atoms (each length m).
+  std::vector<std::vector<double>> atoms;
+  // Lower-triangular Cholesky factor of the support Gram matrix, stored
+  // row-packed: L[i][j] for j <= i.
+  std::vector<std::vector<double>> chol;
+  std::vector<double> rhs;  // A_S^T y, grows with the support
+
+  std::vector<double> unit(n, 0.0);
+  std::vector<double> column(m);
+
+  for (std::size_t it = 0; it < max_support; ++it) {
+    // Correlation of the residual with every atom: A^T r.
+    A.apply_adjoint(std::span<const double>(residual),
+                    std::span<double>(correlations));
+    std::size_t best = n;
+    double best_abs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (selected[j]) {
+        continue;
+      }
+      const double a = std::fabs(correlations[j]);
+      if (a > best_abs) {
+        best_abs = a;
+        best = j;
+      }
+    }
+    if (best == n || best_abs < 1e-14) {
+      break;  // residual orthogonal to every remaining atom
+    }
+    selected[best] = true;
+    result.support.push_back(best);
+
+    // Materialise the new column.
+    unit[best] = 1.0;
+    A.apply(std::span<const double>(unit), std::span<double>(column));
+    unit[best] = 0.0;
+    atoms.push_back(column);
+
+    // Incremental Cholesky update of G = A_S^T A_S.
+    const std::size_t s = atoms.size();
+    std::vector<double> new_row(s, 0.0);
+    for (std::size_t j = 0; j < s; ++j) {
+      new_row[j] = linalg::dot(std::span<const double>(atoms[s - 1]),
+                               std::span<const double>(atoms[j]));
+    }
+    std::vector<double> l_row(s, 0.0);
+    for (std::size_t j = 0; j + 1 < s; ++j) {
+      double acc = new_row[j];
+      for (std::size_t k = 0; k < j; ++k) {
+        acc -= l_row[k] * chol[j][k];
+      }
+      l_row[j] = acc / chol[j][j];
+    }
+    double diag = new_row[s - 1];
+    for (std::size_t k = 0; k + 1 < s; ++k) {
+      diag -= l_row[k] * l_row[k];
+    }
+    if (diag <= 1e-12) {
+      // New atom is (numerically) dependent on the support; stop.
+      result.support.pop_back();
+      selected[best] = false;
+      atoms.pop_back();
+      break;
+    }
+    l_row[s - 1] = std::sqrt(diag);
+    chol.push_back(std::move(l_row));
+
+    rhs.push_back(linalg::dot(std::span<const double>(atoms[s - 1]),
+                              std::span<const double>(y)));
+
+    // Solve G c = rhs via the Cholesky factor (forward + backward).
+    std::vector<double> forward(s, 0.0);
+    for (std::size_t i = 0; i < s; ++i) {
+      double acc = rhs[i];
+      for (std::size_t k = 0; k < i; ++k) {
+        acc -= chol[i][k] * forward[k];
+      }
+      forward[i] = acc / chol[i][i];
+    }
+    std::vector<double> coeffs(s, 0.0);
+    for (std::size_t i = s; i-- > 0;) {
+      double acc = forward[i];
+      for (std::size_t k = i + 1; k < s; ++k) {
+        acc -= chol[k][i] * coeffs[k];
+      }
+      coeffs[i] = acc / chol[i][i];
+    }
+
+    // residual = y - A_S c.
+    for (std::size_t r = 0; r < m; ++r) {
+      residual[r] = y[r];
+    }
+    for (std::size_t j = 0; j < s; ++j) {
+      linalg::axpy(-coeffs[j], std::span<const double>(atoms[j]),
+                   std::span<double>(residual));
+    }
+
+    result.iterations = it + 1;
+    const double res_norm =
+        static_cast<double>(linalg::norm2(std::span<const double>(residual)));
+    result.final_residual_norm = res_norm;
+    if (res_norm / y_norm < options.residual_tolerance) {
+      result.converged = true;
+      // Write out the current coefficients before stopping.
+      for (std::size_t j = 0; j < s; ++j) {
+        result.solution[result.support[j]] = coeffs[j];
+      }
+      return result;
+    }
+    // Keep the latest coefficients (also needed if the loop exhausts).
+    for (auto& v : result.solution) {
+      v = 0.0;
+    }
+    for (std::size_t j = 0; j < s; ++j) {
+      result.solution[result.support[j]] = coeffs[j];
+    }
+  }
+  return result;
+}
+
+}  // namespace csecg::solvers

@@ -1,0 +1,17 @@
+#include "csecg/util/error.hpp"
+
+#include <sstream>
+
+namespace csecg::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream os;
+  os << "CSECG_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace csecg::detail

@@ -1,0 +1,40 @@
+#ifndef CSECG_UTIL_ERROR_HPP
+#define CSECG_UTIL_ERROR_HPP
+
+/// \file error.hpp
+/// Error handling primitives shared by every csecg module.
+///
+/// Programmer errors (precondition violations, impossible states) throw
+/// csecg::Error. Data-path failures that a caller is expected to handle
+/// (e.g. a corrupt bitstream) are reported through status-bearing return
+/// values defined next to the operation concerned.
+
+#include <stdexcept>
+#include <string>
+
+namespace csecg {
+
+/// Exception thrown on precondition violations and internal logic errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace csecg
+
+/// Precondition / invariant check that is active in all build types.
+/// Violations are programmer errors and throw csecg::Error.
+#define CSECG_CHECK(expr, message)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::csecg::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                           (message));                     \
+    }                                                                       \
+  } while (false)
+
+#endif  // CSECG_UTIL_ERROR_HPP

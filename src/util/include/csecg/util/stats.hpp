@@ -1,0 +1,56 @@
+#ifndef CSECG_UTIL_STATS_HPP
+#define CSECG_UTIL_STATS_HPP
+
+/// \file stats.hpp
+/// Streaming statistics accumulators used by the benchmark harness and the
+/// platform models (CPU-usage averages, per-record PRD aggregation, ...).
+
+#include <cstddef>
+#include <vector>
+
+namespace csecg::util {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double value);
+
+  /// Merges another accumulator into this one (parallel Welford update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples to answer arbitrary percentile queries; used where a
+/// bench reports medians / p95 latencies.
+class PercentileTracker {
+ public:
+  void add(double value);
+  std::size_t count() const { return values_.size(); }
+
+  /// Linear-interpolated percentile, q in [0, 100]. Requires count() > 0.
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace csecg::util
+
+#endif  // CSECG_UTIL_STATS_HPP

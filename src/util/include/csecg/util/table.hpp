@@ -1,0 +1,47 @@
+#ifndef CSECG_UTIL_TABLE_HPP
+#define CSECG_UTIL_TABLE_HPP
+
+/// \file table.hpp
+/// Console/CSV table rendering for the benchmark harness. Every bench in
+/// bench/ prints the rows of the paper artefact it reproduces through this
+/// class so the output format is uniform and machine-parseable.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csecg::util {
+
+/// A simple column-aligned table with an optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds a row of pre-formatted cells. Must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with box-drawing alignment to \p os.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our numeric data).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision numeric formatting helpers used when filling tables.
+std::string format_double(double value, int precision = 3);
+std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace csecg::util
+
+#endif  // CSECG_UTIL_TABLE_HPP

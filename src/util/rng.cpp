@@ -1,0 +1,132 @@
+#include "csecg/util/rng.hpp"
+
+#include <cmath>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  CSECG_CHECK(lo < hi, "uniform(lo, hi) requires lo < hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  CSECG_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling over the largest multiple of n.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t value = (*this)();
+  while (value >= limit) {
+    value = (*this)();
+  }
+  return value % n;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CSECG_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // never 0: lo <= hi
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+int Rng::sign() { return ((*this)() >> 63) != 0 ? 1 : -1; }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  CSECG_CHECK(k <= n, "cannot sample more indices than the population");
+  // Floyd's algorithm: O(k) draws, then sort for deterministic layout.
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t =
+        static_cast<std::uint32_t>(uniform_index(static_cast<std::uint64_t>(j) + 1));
+    bool already = false;
+    for (const auto c : chosen) {
+      if (c == t) {
+        already = true;
+        break;
+      }
+    }
+    chosen.push_back(already ? j : t);
+  }
+  // Insertion sort: k is small (d = 12 in the paper's sensing matrix).
+  for (std::size_t i = 1; i < chosen.size(); ++i) {
+    const std::uint32_t key = chosen[i];
+    std::size_t j = i;
+    while (j > 0 && chosen[j - 1] > key) {
+      chosen[j] = chosen[j - 1];
+      --j;
+    }
+    chosen[j] = key;
+  }
+  return chosen;
+}
+
+Rng Rng::fork() { return Rng((*this)() ^ 0xa5a5a5a5deadbeefull); }
+
+}  // namespace csecg::util

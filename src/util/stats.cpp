@@ -1,0 +1,86 @@
+#include "csecg/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::util {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  CSECG_CHECK(count_ > 0, "min() on empty RunningStats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  CSECG_CHECK(count_ > 0, "max() on empty RunningStats");
+  return max_;
+}
+
+void PercentileTracker::add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+double PercentileTracker::percentile(double q) const {
+  CSECG_CHECK(!values_.empty(), "percentile() on empty tracker");
+  CSECG_CHECK(q >= 0.0 && q <= 100.0, "percentile q out of [0, 100]");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (values_.size() == 1) {
+    return values_.front();
+  }
+  const double rank = q / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+}  // namespace csecg::util

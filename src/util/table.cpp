@@ -1,0 +1,90 @@
+#include "csecg/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CSECG_CHECK(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CSECG_CHECK(cells.size() == headers_.size(),
+              "row cell count must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_separator = [&] {
+    os << '+';
+    for (const auto w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+  }
+  print_separator();
+  print_cells(headers_);
+  print_separator();
+  for (const auto& row : rows_) {
+    print_cells(row);
+  }
+  print_separator();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  print_cells(headers_);
+  for (const auto& row : rows_) {
+    print_cells(row);
+  }
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << (fraction * 100.0)
+     << '%';
+  return os.str();
+}
+
+}  // namespace csecg::util

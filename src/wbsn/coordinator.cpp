@@ -1,0 +1,52 @@
+#include "csecg/wbsn/coordinator.hpp"
+
+#include <chrono>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::wbsn {
+
+Coordinator::Coordinator(const core::DecoderConfig& config,
+                         coding::HuffmanCodebook codebook,
+                         platform::CortexA8Model model)
+    : decoder_(config, std::move(codebook)), model_(model) {}
+
+std::optional<std::vector<float>> Coordinator::process_frame(
+    std::span<const std::uint8_t> frame) {
+  ++stats_.frames_received;
+  const auto packet = core::Packet::parse(frame);
+  if (!packet) {
+    ++stats_.frames_rejected;
+    return std::nullopt;
+  }
+
+  linalg::OpCounterScope scope;
+  const auto start = std::chrono::steady_clock::now();
+  const auto window = decoder_.decode<float>(*packet);
+  const auto stop = std::chrono::steady_clock::now();
+  if (!window) {
+    ++stats_.frames_rejected;
+    return std::nullopt;
+  }
+
+  const auto& ops = scope.counts();
+  stats_.ops_total += ops;
+  stats_.modelled_seconds_total += model_.seconds(ops);
+  stats_.host_seconds_total +=
+      std::chrono::duration<double>(stop - start).count();
+  stats_.iterations_total += static_cast<double>(window->iterations);
+  ++stats_.windows_reconstructed;
+  return window->samples;
+}
+
+double Coordinator::cpu_usage(double packet_period_s) const {
+  CSECG_CHECK(packet_period_s > 0.0, "packet period must be positive");
+  if (stats_.windows_reconstructed == 0) {
+    return 0.0;
+  }
+  return stats_.modelled_seconds_total /
+         (static_cast<double>(stats_.windows_reconstructed) *
+          packet_period_s);
+}
+
+}  // namespace csecg::wbsn

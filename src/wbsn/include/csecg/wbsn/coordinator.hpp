@@ -1,0 +1,66 @@
+#ifndef CSECG_WBSN_COORDINATOR_HPP
+#define CSECG_WBSN_COORDINATOR_HPP
+
+/// \file coordinator.hpp
+/// The WBSN-coordinator role (the iPhone): receive frames, run the
+/// reconstruction pipeline at 32-bit precision, and account the Cortex-A8
+/// cost of every packet so CPU usage (§V: 17.7 % at CR = 50) falls out.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/decoder.hpp"
+#include "csecg/platform/cortex_a8.hpp"
+
+namespace csecg::wbsn {
+
+struct CoordinatorStats {
+  std::size_t frames_received = 0;
+  std::size_t frames_rejected = 0;  ///< parse/decode failures
+  std::size_t windows_reconstructed = 0;
+  double modelled_seconds_total = 0.0;  ///< Cortex-A8 model time
+  double host_seconds_total = 0.0;      ///< wall clock on this machine
+  double iterations_total = 0.0;
+  linalg::OpCounts ops_total;
+
+  double mean_iterations() const {
+    return windows_reconstructed == 0
+               ? 0.0
+               : iterations_total /
+                     static_cast<double>(windows_reconstructed);
+  }
+};
+
+class Coordinator {
+ public:
+  Coordinator(const core::DecoderConfig& config,
+              coding::HuffmanCodebook codebook,
+              platform::CortexA8Model model = {});
+
+  core::Decoder& decoder() { return decoder_; }
+  const platform::CortexA8Model& model() const { return model_; }
+
+  /// Processes one received frame; returns the reconstructed window
+  /// (float — the iPhone path) or nullopt on a reject.
+  std::optional<std::vector<float>> process_frame(
+      std::span<const std::uint8_t> frame);
+
+  /// Decoder CPU usage under the Cortex-A8 model (reconstruction time per
+  /// packet over the 2 s packet period).
+  double cpu_usage(double packet_period_s = 2.0) const;
+
+  const CoordinatorStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CoordinatorStats{}; }
+
+ private:
+  core::Decoder decoder_;
+  platform::CortexA8Model model_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace csecg::wbsn
+
+#endif  // CSECG_WBSN_COORDINATOR_HPP

@@ -1,0 +1,62 @@
+#ifndef CSECG_WBSN_LINK_HPP
+#define CSECG_WBSN_LINK_HPP
+
+/// \file link.hpp
+/// Bluetooth link model between the Shimmer and the coordinator. Accounts
+/// airtime and transmit energy per frame (the quantities the lifetime
+/// experiment needs) and can inject frame loss for robustness tests.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "csecg/util/rng.hpp"
+
+namespace csecg::wbsn {
+
+struct LinkConfig {
+  /// Effective application throughput for small periodic payloads
+  /// (RFCOMM/L2CAP overhead folded in).
+  double throughput_bps = 57'600.0;
+  /// Per-frame protocol overhead added on the wire (headers + CRC).
+  std::size_t frame_overhead_bytes = 10;
+  double tx_power_w = 81e-3;
+  /// Probability a frame is lost (0 for the paper's benign setup).
+  double loss_rate = 0.0;
+  std::uint64_t seed = 99;
+};
+
+struct LinkStats {
+  std::size_t frames_sent = 0;
+  std::size_t frames_lost = 0;
+  std::size_t payload_bits = 0;  ///< application payload only
+  std::size_t wire_bits = 0;     ///< payload + frame overhead
+  double airtime_s = 0.0;
+  double tx_energy_j = 0.0;
+};
+
+class BluetoothLink {
+ public:
+  explicit BluetoothLink(const LinkConfig& config = {});
+
+  /// Transmits one frame. Returns the delivered bytes, or nullopt if the
+  /// frame was dropped. Accounting happens either way (energy is spent on
+  /// lost frames too).
+  std::optional<std::vector<std::uint8_t>> transmit(
+      const std::vector<std::uint8_t>& frame);
+
+  /// Airtime of a frame of \p payload_bytes, seconds.
+  double frame_airtime(std::size_t payload_bytes) const;
+
+  const LinkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = LinkStats{}; }
+
+ private:
+  LinkConfig config_;
+  util::Rng rng_;
+  LinkStats stats_;
+};
+
+}  // namespace csecg::wbsn
+
+#endif  // CSECG_WBSN_LINK_HPP

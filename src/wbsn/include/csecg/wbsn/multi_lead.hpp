@@ -1,0 +1,47 @@
+#ifndef CSECG_WBSN_MULTI_LEAD_HPP
+#define CSECG_WBSN_MULTI_LEAD_HPP
+
+/// \file multi_lead.hpp
+/// Multi-lead monitoring: several sensor nodes (one per ECG lead, as in
+/// the 3-lead Holter setups the paper's introduction targets) stream to a
+/// single coordinator, which decodes all leads within the shared 2-second
+/// real-time budget. This answers the capacity question behind §V's
+/// "less than 30 % CPU": how many leads fit one phone.
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/decoder.hpp"
+#include "csecg/ecg/record.hpp"
+#include "csecg/wbsn/coordinator.hpp"
+#include "csecg/wbsn/link.hpp"
+#include "csecg/wbsn/node.hpp"
+
+namespace csecg::wbsn {
+
+struct MultiLeadReport {
+  std::size_t leads = 0;
+  std::size_t windows_per_lead = 0;
+  /// Aggregate coordinator busy time per 2 s window period (all leads).
+  double coordinator_cpu_usage = 0.0;
+  /// True when the coordinator's total decode time fits the paper's
+  /// budget of 1 s of compute per 2 s of ECG.
+  bool real_time_feasible = false;
+  double mean_prd = 0.0;       ///< across all leads
+  double link_airtime_s = 0.0; ///< total airtime, all leads
+  std::vector<double> per_lead_prd;
+  std::vector<double> per_lead_node_cpu;
+};
+
+/// Runs one record per lead (all must share length and rate) through
+/// lead-distinct encoders (each node derives its sensing seed from the
+/// shared base seed and its lead index) into one coordinator.
+MultiLeadReport run_multi_lead(const std::vector<const ecg::Record*>& leads,
+                               const core::DecoderConfig& config,
+                               const coding::HuffmanCodebook& codebook,
+                               const LinkConfig& link_config = {});
+
+}  // namespace csecg::wbsn
+
+#endif  // CSECG_WBSN_MULTI_LEAD_HPP

@@ -1,0 +1,60 @@
+#ifndef CSECG_WBSN_NODE_HPP
+#define CSECG_WBSN_NODE_HPP
+
+/// \file node.hpp
+/// The sensor-node role: sense a window, CS-encode it, frame it for the
+/// link — with MSP430 cycle accounting so CPU usage and energy fall out.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/platform/msp430.hpp"
+
+namespace csecg::wbsn {
+
+struct NodeStats {
+  std::size_t windows_encoded = 0;
+  std::size_t payload_bits = 0;
+  double encode_seconds_total = 0.0;  ///< modelled MSP430 busy time
+  fixedpoint::Msp430OpCounts ops_total;
+
+  double mean_encode_seconds() const {
+    return windows_encoded == 0
+               ? 0.0
+               : encode_seconds_total / static_cast<double>(windows_encoded);
+  }
+};
+
+class SensorNode {
+ public:
+  SensorNode(const core::EncoderConfig& config,
+             coding::HuffmanCodebook codebook,
+             platform::Msp430Model model = {});
+
+  core::Encoder& encoder() { return encoder_; }
+  const platform::Msp430Model& model() const { return model_; }
+
+  /// Encodes one ADC window and returns the serialised frame to hand to
+  /// the link. MSP430 cycle cost is accumulated into stats().
+  std::vector<std::uint8_t> process_window(
+      std::span<const std::int16_t> samples);
+
+  /// Node CPU usage over everything processed so far (busy / wall time,
+  /// assuming one window per 2 s).
+  double cpu_usage(double window_period_s = 2.0) const;
+
+  const NodeStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NodeStats{}; }
+
+ private:
+  core::Encoder encoder_;
+  platform::Msp430Model model_;
+  NodeStats stats_;
+};
+
+}  // namespace csecg::wbsn
+
+#endif  // CSECG_WBSN_NODE_HPP

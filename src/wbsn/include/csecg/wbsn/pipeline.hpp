@@ -1,0 +1,66 @@
+#ifndef CSECG_WBSN_PIPELINE_HPP
+#define CSECG_WBSN_PIPELINE_HPP
+
+/// \file pipeline.hpp
+/// The full threaded monitoring pipeline of §IV-B1: a producer thread
+/// plays the sensor node (sense -> encode -> transmit), a consumer thread
+/// plays the coordinator's Bluetooth/decode thread, and a display thread
+/// drains the reconstructed ECG from the shared ring buffer, which is
+/// sized to the paper's 6 seconds (2 s reading + 2 s writing + 2 s display
+/// latency).
+
+#include <cstdint>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/decoder.hpp"
+#include "csecg/ecg/record.hpp"
+#include "csecg/wbsn/coordinator.hpp"
+#include "csecg/wbsn/link.hpp"
+#include "csecg/wbsn/node.hpp"
+
+namespace csecg::wbsn {
+
+struct PipelineConfig {
+  /// Playback pace: 1.0 runs in real time (one 2 s window every 2 s),
+  /// 0.0 runs as fast as the machine allows (for tests and benches).
+  double pace = 0.0;
+  /// Display buffer depth in seconds (paper: 6 s).
+  double display_buffer_seconds = 6.0;
+  LinkConfig link;
+};
+
+struct PipelineReport {
+  NodeStats node;
+  CoordinatorStats coordinator;
+  LinkStats link;
+  std::size_t windows_input = 0;
+  std::size_t windows_displayed = 0;
+  std::size_t display_overruns = 0;  ///< decoder output dropped: buffer full
+  double wall_seconds = 0.0;
+  /// Mean PRD over windows that made it to the display, aligned by
+  /// sequence number (percent).
+  double mean_prd = 0.0;
+  double node_cpu_usage = 0.0;
+  double coordinator_cpu_usage = 0.0;
+};
+
+class RealTimePipeline {
+ public:
+  RealTimePipeline(const core::DecoderConfig& config,
+                   coding::HuffmanCodebook codebook,
+                   const PipelineConfig& pipeline_config = {});
+
+  /// Streams every complete window of \p record through the three-thread
+  /// pipeline and returns the aggregated report.
+  PipelineReport run(const ecg::Record& record);
+
+ private:
+  core::DecoderConfig config_;
+  coding::HuffmanCodebook codebook_;
+  PipelineConfig pipeline_config_;
+};
+
+}  // namespace csecg::wbsn
+
+#endif  // CSECG_WBSN_PIPELINE_HPP

@@ -1,0 +1,116 @@
+#ifndef CSECG_WBSN_RING_BUFFER_HPP
+#define CSECG_WBSN_RING_BUFFER_HPP
+
+/// \file ring_buffer.hpp
+/// Bounded thread-safe ring buffer used between the decode and display
+/// threads of the coordinator, mirroring the paper's §IV-B1 design: "the
+/// buffer needs to store 6 sec of ECG: 2 sec for reading, 2 sec for
+/// writing and 2 additional sec due to the delay on the iPhone drawing
+/// hardware".
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::wbsn {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : capacity_(capacity), storage_(capacity) {
+    CSECG_CHECK(capacity > 0, "ring buffer needs positive capacity");
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  /// Blocking push; waits while full unless closed. Returns false if the
+  /// buffer was closed before space appeared.
+  bool push(const T& value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return count_ < capacity_ || closed_; });
+    if (closed_) {
+      return false;
+    }
+    storage_[(head_ + count_) % capacity_] = value;
+    ++count_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed (caller counts it as an
+  /// overrun — the real-time pipeline must never block the decoder).
+  bool try_push(const T& value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || count_ >= capacity_) {
+      return false;
+    }
+    storage_[(head_ + count_) % capacity_] = value;
+    ++count_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) {
+      return std::nullopt;
+    }
+    T value = std::move(storage_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) {
+      return std::nullopt;
+    }
+    T value = std::move(storage_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain what is left.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<T> storage_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace csecg::wbsn
+
+#endif  // CSECG_WBSN_RING_BUFFER_HPP

@@ -1,0 +1,35 @@
+#include "csecg/wbsn/link.hpp"
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::wbsn {
+
+BluetoothLink::BluetoothLink(const LinkConfig& config)
+    : config_(config), rng_(config.seed) {
+  CSECG_CHECK(config.throughput_bps > 0.0, "throughput must be positive");
+  CSECG_CHECK(config.loss_rate >= 0.0 && config.loss_rate <= 1.0,
+              "loss rate must be a probability");
+}
+
+double BluetoothLink::frame_airtime(std::size_t payload_bytes) const {
+  const std::size_t wire_bytes =
+      payload_bytes + config_.frame_overhead_bytes;
+  return static_cast<double>(wire_bytes * 8) / config_.throughput_bps;
+}
+
+std::optional<std::vector<std::uint8_t>> BluetoothLink::transmit(
+    const std::vector<std::uint8_t>& frame) {
+  const double airtime = frame_airtime(frame.size());
+  ++stats_.frames_sent;
+  stats_.payload_bits += frame.size() * 8;
+  stats_.wire_bits += (frame.size() + config_.frame_overhead_bytes) * 8;
+  stats_.airtime_s += airtime;
+  stats_.tx_energy_j += airtime * config_.tx_power_w;
+  if (config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate)) {
+    ++stats_.frames_lost;
+    return std::nullopt;
+  }
+  return frame;
+}
+
+}  // namespace csecg::wbsn

@@ -1,0 +1,33 @@
+#include "csecg/wbsn/node.hpp"
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::wbsn {
+
+SensorNode::SensorNode(const core::EncoderConfig& config,
+                       coding::HuffmanCodebook codebook,
+                       platform::Msp430Model model)
+    : encoder_(config, std::move(codebook)), model_(model) {}
+
+std::vector<std::uint8_t> SensorNode::process_window(
+    std::span<const std::int16_t> samples) {
+  fixedpoint::Msp430CounterScope scope;
+  const core::Packet packet = encoder_.encode_window(samples);
+  const auto& ops = scope.counts();
+
+  stats_.ops_total += ops;
+  stats_.encode_seconds_total += model_.seconds(ops);
+  ++stats_.windows_encoded;
+  stats_.payload_bits += packet.wire_bits();
+  return packet.serialize();
+}
+
+double SensorNode::cpu_usage(double window_period_s) const {
+  CSECG_CHECK(window_period_s > 0.0, "window period must be positive");
+  if (stats_.windows_encoded == 0) {
+    return 0.0;
+  }
+  return stats_.mean_encode_seconds() / window_period_s;
+}
+
+}  // namespace csecg::wbsn

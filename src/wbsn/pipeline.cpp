@@ -1,0 +1,141 @@
+#include "csecg/wbsn/pipeline.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "csecg/ecg/metrics.hpp"
+#include "csecg/util/error.hpp"
+#include "csecg/wbsn/ring_buffer.hpp"
+
+namespace csecg::wbsn {
+
+namespace {
+
+struct DisplayedWindow {
+  std::uint16_t sequence = 0;
+  std::vector<float> samples;
+};
+
+}  // namespace
+
+RealTimePipeline::RealTimePipeline(const core::DecoderConfig& config,
+                                   coding::HuffmanCodebook codebook,
+                                   const PipelineConfig& pipeline_config)
+    : config_(config),
+      codebook_(std::move(codebook)),
+      pipeline_config_(pipeline_config) {}
+
+PipelineReport RealTimePipeline::run(const ecg::Record& record) {
+  const std::size_t n = config_.cs.window;
+  CSECG_CHECK(record.samples.size() >= n, "record shorter than one window");
+  CSECG_CHECK(record.sample_rate_hz > 0.0, "record needs a sample rate");
+
+  const double window_period_s =
+      static_cast<double>(n) / record.sample_rate_hz;
+  const std::size_t window_count = record.samples.size() / n;
+
+  SensorNode node(config_.cs, codebook_);
+  BluetoothLink link(pipeline_config_.link);
+  Coordinator coordinator(config_, codebook_);
+
+  // Frame queue between the node and the coordinator thread; sized
+  // generously — Bluetooth buffering hides transient decode spikes.
+  RingBuffer<std::vector<std::uint8_t>> frames(window_count + 1);
+  // Display buffer: the paper's 6 seconds of ECG, in whole windows.
+  const auto display_windows = static_cast<std::size_t>(std::ceil(
+      pipeline_config_.display_buffer_seconds / window_period_s));
+  RingBuffer<DisplayedWindow> display(std::max<std::size_t>(1,
+                                                            display_windows));
+
+  PipelineReport report;
+  report.windows_input = window_count;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // --- Producer: the sensor node (§IV-A). ---
+  std::thread producer([&] {
+    for (std::size_t w = 0; w < window_count; ++w) {
+      const auto frame = node.process_window(std::span<const std::int16_t>(
+          record.samples.data() + w * n, n));
+      const auto delivered = link.transmit(frame);
+      if (delivered) {
+        frames.push(*delivered);
+      }
+      if (pipeline_config_.pace > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            window_period_s * pipeline_config_.pace));
+      }
+    }
+    frames.close();
+  });
+
+  std::size_t display_overruns = 0;
+
+  // --- Consumer: the coordinator's Bluetooth + decode thread (§IV-B1). ---
+  std::thread consumer([&] {
+    while (true) {
+      auto frame = frames.pop();
+      if (!frame) {
+        break;
+      }
+      std::uint16_t sequence = 0;
+      if (frame->size() >= 2) {
+        sequence = static_cast<std::uint16_t>(
+            (std::uint16_t{(*frame)[0]} << 8) | (*frame)[1]);
+      }
+      auto samples = coordinator.process_frame(*frame);
+      if (samples) {
+        DisplayedWindow window;
+        window.sequence = sequence;
+        window.samples = std::move(*samples);
+        // The decode thread must never block on the display: count an
+        // overrun instead (would be a dropped redraw on the phone).
+        if (!display.try_push(window)) {
+          ++display_overruns;
+        }
+      }
+    }
+    display.close();
+  });
+
+  // --- Display thread: drains the ring buffer and scores quality. ---
+  double prd_sum = 0.0;
+  std::size_t displayed = 0;
+  std::vector<double> original(n);
+  std::vector<double> reconstructed(n);
+  while (true) {
+    auto window = display.pop();
+    if (!window) {
+      break;
+    }
+    const std::size_t w = window->sequence;
+    if (w < window_count && window->samples.size() == n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        original[i] = static_cast<double>(record.samples[w * n + i]);
+        reconstructed[i] = static_cast<double>(window->samples[i]);
+      }
+      prd_sum += ecg::prd(original, reconstructed);
+      ++displayed;
+    }
+  }
+
+  producer.join();
+  consumer.join();
+
+  report.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  report.node = node.stats();
+  report.coordinator = coordinator.stats();
+  report.link = link.stats();
+  report.windows_displayed = displayed;
+  report.display_overruns = display_overruns;
+  report.mean_prd = displayed == 0 ? 0.0
+                                   : prd_sum / static_cast<double>(displayed);
+  report.node_cpu_usage = node.cpu_usage(window_period_s);
+  report.coordinator_cpu_usage = coordinator.cpu_usage(window_period_s);
+  return report;
+}
+
+}  // namespace csecg::wbsn

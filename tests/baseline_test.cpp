@@ -1,0 +1,117 @@
+// Unit tests for the classical DWT-threshold baseline codec.
+
+#include <gtest/gtest.h>
+
+#include "csecg/baseline/wavelet_codec.hpp"
+#include "csecg/ecg/database.hpp"
+#include "csecg/ecg/metrics.hpp"
+#include "csecg/fixedpoint/msp430_counters.hpp"
+
+namespace csecg::baseline {
+namespace {
+
+ecg::Record test_record() {
+  ecg::DatabaseConfig config;
+  config.record_count = 1;
+  config.duration_s = 12.0;
+  return ecg::SyntheticDatabase(config).mote(0);
+}
+
+TEST(WaveletCodecTest, RoundTripQualityTracksKeepFraction) {
+  const auto record = test_record();
+  double previous_prd = 0.0;
+  for (const double keep : {0.30, 0.10, 0.03}) {
+    WaveletCodecConfig config;
+    config.keep_fraction = keep;
+    WaveletCodec codec(config);
+    double prd = 0.0;
+    int windows = 0;
+    for (std::size_t off = 0; off + 512 <= record.samples.size();
+         off += 512) {
+      const std::span<const std::int16_t> window(
+          record.samples.data() + off, 512);
+      const auto packet = codec.compress(window);
+      const auto back = codec.decompress(packet);
+      ASSERT_TRUE(back.has_value());
+      std::vector<double> original(512);
+      for (std::size_t i = 0; i < 512; ++i) {
+        original[i] = static_cast<double>(window[i]);
+      }
+      prd += ecg::prd(original, *back);
+      ++windows;
+    }
+    prd /= windows;
+    EXPECT_GT(prd, previous_prd);  // fewer coefficients, worse quality
+    previous_prd = prd;
+  }
+  // The most generous setting must be clinically clean.
+  WaveletCodecConfig config;
+  config.keep_fraction = 0.30;
+  WaveletCodec codec(config);
+  const std::span<const std::int16_t> window(record.samples.data(), 512);
+  const auto packet = codec.compress(window);
+  const auto back = codec.decompress(packet);
+  std::vector<double> original(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    original[i] = static_cast<double>(window[i]);
+  }
+  EXPECT_LT(ecg::prd(original, *back), 5.0);
+}
+
+TEST(WaveletCodecTest, CompressesBelowRaw) {
+  const auto record = test_record();
+  WaveletCodecConfig config;
+  config.keep_fraction = 0.10;
+  WaveletCodec codec(config);
+  const auto packet = codec.compress(
+      std::span<const std::int16_t>(record.samples.data(), 512));
+  EXPECT_LT(packet.wire_bits(), 512u * 11u);
+}
+
+TEST(WaveletCodecTest, ChargesTheMsp430Counter) {
+  const auto record = test_record();
+  WaveletCodec codec(WaveletCodecConfig{});
+  fixedpoint::Msp430CounterScope scope;
+  (void)codec.compress(
+      std::span<const std::int16_t>(record.samples.data(), 512));
+  // The filter bank dominates: thousands of multiplies.
+  EXPECT_GT(scope.counts().mul16, 10000u);
+  EXPECT_GT(scope.counts().shift, 10000u);
+}
+
+TEST(WaveletCodecTest, DecompressRejectsCorruptPayload) {
+  const auto record = test_record();
+  WaveletCodec codec(WaveletCodecConfig{});
+  auto packet = codec.compress(
+      std::span<const std::int16_t>(record.samples.data(), 512));
+  auto truncated = packet;
+  truncated.payload.resize(20);
+  EXPECT_FALSE(codec.decompress(truncated).has_value());
+  auto empty = packet;
+  empty.payload.clear();
+  EXPECT_FALSE(codec.decompress(empty).has_value());
+}
+
+TEST(WaveletCodecTest, SequenceNumbersIncrement) {
+  const auto record = test_record();
+  WaveletCodec codec(WaveletCodecConfig{});
+  const std::span<const std::int16_t> window(record.samples.data(), 512);
+  EXPECT_EQ(codec.compress(window).sequence, 0);
+  EXPECT_EQ(codec.compress(window).sequence, 1);
+}
+
+TEST(WaveletCodecTest, ValidatesConfig) {
+  WaveletCodecConfig config;
+  config.keep_fraction = 0.0;
+  EXPECT_THROW(WaveletCodec{config}, Error);
+  config = {};
+  config.quant_step = -1.0;
+  EXPECT_THROW(WaveletCodec{config}, Error);
+  config = {};
+  WaveletCodec codec(config);
+  std::vector<std::int16_t> wrong(100, 0);
+  EXPECT_THROW(codec.compress(wrong), Error);
+}
+
+}  // namespace
+}  // namespace csecg::baseline

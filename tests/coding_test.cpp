@@ -1,0 +1,376 @@
+// Unit tests for csecg::coding — bit I/O, package-merge length-limited
+// Huffman, canonical codebooks and their serialisation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "csecg/coding/bitstream.hpp"
+#include "csecg/coding/huffman.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::coding {
+namespace {
+
+// ------------------------------------------------------------ bitstream --
+
+TEST(BitstreamTest, SingleBitsRoundTrip) {
+  BitWriter writer;
+  const std::vector<unsigned> bits{1, 0, 1, 1, 0, 0, 1, 0, 1, 1};
+  for (const auto b : bits) {
+    writer.write_bits(b, 1);
+  }
+  EXPECT_EQ(writer.bit_count(), bits.size());
+  const auto bytes = writer.finish();
+  EXPECT_EQ(bytes.size(), 2u);  // 10 bits -> 2 bytes
+  BitReader reader(bytes);
+  for (const auto b : bits) {
+    const auto got = reader.read_bit();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, b);
+  }
+}
+
+TEST(BitstreamTest, MsbFirstByteLayout) {
+  BitWriter writer;
+  writer.write_bits(0b1010'0001, 8);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0xA1);
+}
+
+TEST(BitstreamTest, PartialBytePadsWithZeros) {
+  BitWriter writer;
+  writer.write_bits(0b101, 3);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b1010'0000);
+}
+
+TEST(BitstreamTest, MultiBitValuesRoundTrip) {
+  BitWriter writer;
+  writer.write_bits(0x12345, 20);
+  writer.write_bits(0x7, 3);
+  writer.write_bits(0xFFFFFFFF, 32);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.read_bits(20), 0x12345u);
+  EXPECT_EQ(reader.read_bits(3), 0x7u);
+  EXPECT_EQ(reader.read_bits(32), 0xFFFFFFFFu);
+}
+
+TEST(BitstreamTest, ReadPastEndFails) {
+  BitWriter writer;
+  writer.write_bits(0b1, 1);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.remaining(), 8u);  // padded byte
+  EXPECT_TRUE(reader.read_bits(8).has_value());
+  EXPECT_FALSE(reader.read_bit().has_value());
+  EXPECT_FALSE(reader.read_bits(4).has_value());
+}
+
+TEST(BitstreamTest, PositionTracksConsumption) {
+  BitWriter writer;
+  writer.write_bits(0xABCD, 16);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.position(), 0u);
+  (void)reader.read_bits(5);
+  EXPECT_EQ(reader.position(), 5u);
+  (void)reader.read_bits(11);
+  EXPECT_EQ(reader.position(), 16u);
+}
+
+TEST(BitstreamTest, RejectsBadBitCounts) {
+  BitWriter writer;
+  EXPECT_THROW(writer.write_bits(0, 0), Error);
+  EXPECT_THROW(writer.write_bits(0, 33), Error);
+  std::vector<std::uint8_t> buf{0xFF};
+  BitReader reader(buf);
+  EXPECT_THROW(reader.read_bits(0), Error);
+  EXPECT_THROW(reader.read_bits(33), Error);
+}
+
+TEST(BitstreamTest, RandomStreamRoundTrip) {
+  util::Rng rng(1);
+  BitWriter writer;
+  std::vector<std::pair<std::uint32_t, unsigned>> written;
+  for (int i = 0; i < 500; ++i) {
+    const auto count = static_cast<unsigned>(rng.uniform_int(1, 32));
+    const auto value = static_cast<std::uint32_t>(rng()) &
+                       (count == 32 ? 0xFFFFFFFFu
+                                    : ((1u << count) - 1u));
+    writer.write_bits(value, count);
+    written.emplace_back(value, count);
+  }
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (const auto& [value, count] : written) {
+    const auto got = reader.read_bits(count);
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(*got, value);
+  }
+}
+
+// -------------------------------------------------------- package merge --
+
+TEST(PackageMergeTest, TwoSymbols) {
+  const std::vector<std::uint64_t> freq{10, 1};
+  const auto lengths = package_merge_lengths(freq, 16);
+  ASSERT_EQ(lengths.size(), 2u);
+  EXPECT_EQ(lengths[0], 1u);
+  EXPECT_EQ(lengths[1], 1u);
+}
+
+TEST(PackageMergeTest, UniformFrequenciesGiveFixedLength) {
+  const std::vector<std::uint64_t> freq(8, 5);
+  const auto lengths = package_merge_lengths(freq, 16);
+  for (const auto l : lengths) {
+    EXPECT_EQ(l, 3u);  // log2(8)
+  }
+}
+
+TEST(PackageMergeTest, KraftEqualityAlwaysHolds) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 600));
+    std::vector<std::uint64_t> freq(n);
+    for (auto& f : freq) {
+      f = static_cast<std::uint64_t>(rng.uniform_int(0, 10000));
+    }
+    const auto lengths = package_merge_lengths(freq, 16);
+    double kraft = 0.0;
+    for (const auto l : lengths) {
+      ASSERT_GE(l, 1u);
+      ASSERT_LE(l, 16u);
+      kraft += std::ldexp(1.0, -static_cast<int>(l));
+    }
+    ASSERT_NEAR(kraft, 1.0, 1e-12);
+  }
+}
+
+TEST(PackageMergeTest, RespectsTightLengthLimit) {
+  // Exponential frequencies would want very long codes; the limit caps
+  // them. 32 symbols with limit 5 forces exactly fixed-length coding.
+  std::vector<std::uint64_t> freq(32);
+  std::uint64_t f = 1;
+  for (auto& v : freq) {
+    v = f;
+    f = std::min<std::uint64_t>(f * 2, 1'000'000'000ull);
+  }
+  const auto lengths = package_merge_lengths(freq, 5);
+  for (const auto l : lengths) {
+    EXPECT_EQ(l, 5u);
+  }
+}
+
+TEST(PackageMergeTest, MatchesEntropyWithinOneBit) {
+  // For a generous limit, the optimal prefix code's expected length is
+  // within 1 bit of the source entropy.
+  util::Rng rng(3);
+  std::vector<std::uint64_t> freq(257);
+  double total = 0.0;
+  for (auto& f : freq) {
+    f = static_cast<std::uint64_t>(rng.uniform_int(1, 5000));
+    total += static_cast<double>(f);
+  }
+  double entropy = 0.0;
+  for (const auto f : freq) {
+    const double p = static_cast<double>(f) / total;
+    entropy -= p * std::log2(p);
+  }
+  const auto lengths = package_merge_lengths(freq, 16);
+  double expected = 0.0;
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    expected += static_cast<double>(freq[s]) * lengths[s] / total;
+  }
+  EXPECT_GE(expected + 1e-12, entropy);
+  EXPECT_LE(expected, entropy + 1.0);
+}
+
+TEST(PackageMergeTest, ZeroFrequenciesStillGetCodes) {
+  std::vector<std::uint64_t> freq(512, 0);
+  freq[256] = 1000;
+  const auto lengths = package_merge_lengths(freq, 16);
+  for (const auto l : lengths) {
+    EXPECT_GE(l, 1u);
+    EXPECT_LE(l, 16u);
+  }
+}
+
+TEST(PackageMergeTest, RejectsImpossibleLimits) {
+  const std::vector<std::uint64_t> freq(512, 1);
+  EXPECT_THROW(package_merge_lengths(freq, 8), Error);  // 2^8 < 512
+  EXPECT_THROW(package_merge_lengths(std::vector<std::uint64_t>{1}, 16),
+               Error);
+}
+
+// ------------------------------------------------------------- codebook --
+
+TEST(HuffmanCodebookTest, CodesArePrefixFree) {
+  util::Rng rng(4);
+  std::vector<std::uint64_t> freq(512);
+  for (auto& f : freq) {
+    f = static_cast<std::uint64_t>(rng.uniform_int(0, 1000));
+  }
+  const auto book = HuffmanCodebook::from_frequencies(freq);
+  // Check prefix-freeness pairwise on the bit strings.
+  const auto bit_string = [&](std::size_t s) {
+    std::string bits;
+    const auto code = book.code(s);
+    const auto len = book.code_length(s);
+    for (unsigned i = len; i-- > 0;) {
+      bits.push_back(((code >> i) & 1u) != 0 ? '1' : '0');
+    }
+    return bits;
+  };
+  // Exhaustive pairwise would be 512^2/2; sample plus sorted-neighbour
+  // check (canonical codes make prefix collisions adjacent in order).
+  std::vector<std::string> all;
+  for (std::size_t s = 0; s < book.size(); ++s) {
+    all.push_back(bit_string(s));
+  }
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    ASSERT_NE(all[i].compare(0, all[i - 1].size(), all[i - 1]), 0)
+        << all[i - 1] << " prefixes " << all[i];
+  }
+}
+
+TEST(HuffmanCodebookTest, MoreFrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint64_t> freq{1000, 1, 500, 2};
+  const auto book = HuffmanCodebook::from_frequencies(freq);
+  EXPECT_LE(book.code_length(0), book.code_length(1));
+  EXPECT_LE(book.code_length(2), book.code_length(3));
+}
+
+TEST(HuffmanCodebookTest, RoundTripRandomStream) {
+  util::Rng rng(5);
+  std::vector<std::uint64_t> freq(512);
+  for (auto& f : freq) {
+    f = static_cast<std::uint64_t>(rng.uniform_int(1, 2000));
+  }
+  const auto book = HuffmanCodebook::from_frequencies(freq);
+  std::vector<std::size_t> symbols(4096);
+  BitWriter writer;
+  for (auto& s : symbols) {
+    s = static_cast<std::size_t>(rng.uniform_index(512));
+    book.encode(s, writer);
+  }
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (const auto s : symbols) {
+    const auto got = book.decode(reader);
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(*got, s);
+  }
+}
+
+TEST(HuffmanCodebookTest, DecodeTruncatedStreamFails) {
+  std::vector<std::uint64_t> freq(16, 1);
+  const auto book = HuffmanCodebook::from_frequencies(freq);
+  BitWriter writer;
+  book.encode(7, writer);
+  auto bytes = writer.finish();
+  // Empty input.
+  BitReader empty(std::span<const std::uint8_t>{});
+  EXPECT_FALSE(book.decode(empty).has_value());
+}
+
+TEST(HuffmanCodebookTest, ExpectedLengthWeighting) {
+  std::vector<std::uint64_t> freq{3, 1};
+  const auto book = HuffmanCodebook::from_frequencies(freq);
+  EXPECT_DOUBLE_EQ(book.expected_length(freq), 1.0);  // both 1 bit
+}
+
+TEST(HuffmanCodebookTest, StorageMatchesPaperLayout) {
+  std::vector<std::uint64_t> freq(512, 1);
+  const auto book = HuffmanCodebook::from_frequencies(freq);
+  // 1 kB of 16-bit codes + 512 B of lengths (§IV-A2).
+  EXPECT_EQ(book.storage_bytes(), 1536u);
+}
+
+TEST(HuffmanCodebookTest, SerializeDeserializeRoundTrip) {
+  util::Rng rng(6);
+  std::vector<std::uint64_t> freq(512);
+  for (auto& f : freq) {
+    f = static_cast<std::uint64_t>(rng.uniform_int(0, 999));
+  }
+  const auto book = HuffmanCodebook::from_frequencies(freq);
+  const auto bytes = book.serialize();
+  EXPECT_EQ(bytes.size(), 4u + 512u);
+  const auto restored = HuffmanCodebook::deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  for (std::size_t s = 0; s < 512; ++s) {
+    ASSERT_EQ(restored->code(s), book.code(s));
+    ASSERT_EQ(restored->code_length(s), book.code_length(s));
+  }
+}
+
+TEST(HuffmanCodebookTest, DeserializeRejectsCorruptData) {
+  std::vector<std::uint64_t> freq(16, 1);
+  const auto book = HuffmanCodebook::from_frequencies(freq);
+  auto bytes = book.serialize();
+  // Truncated.
+  EXPECT_FALSE(HuffmanCodebook::deserialize(
+                   std::span<const std::uint8_t>(bytes.data(), 3))
+                   .has_value());
+  // Wrong payload size.
+  auto short_payload = bytes;
+  short_payload.pop_back();
+  EXPECT_FALSE(HuffmanCodebook::deserialize(short_payload).has_value());
+  // Kraft violation.
+  auto broken = bytes;
+  broken[4] = 1;  // shorten one code -> over-complete
+  EXPECT_FALSE(HuffmanCodebook::deserialize(broken).has_value());
+  // Length out of range.
+  auto zero_len = bytes;
+  zero_len[4] = 0;
+  EXPECT_FALSE(HuffmanCodebook::deserialize(zero_len).has_value());
+}
+
+TEST(HuffmanCodebookTest, FromLengthsValidatesKraft) {
+  // Over-complete (three 1-bit codes) and under-complete sets must throw.
+  EXPECT_THROW(
+      HuffmanCodebook::from_lengths(std::vector<std::uint8_t>{1, 1, 1}),
+      Error);
+  EXPECT_THROW(
+      HuffmanCodebook::from_lengths(std::vector<std::uint8_t>{2, 2, 2}),
+      Error);
+  EXPECT_NO_THROW(HuffmanCodebook::from_lengths(
+      std::vector<std::uint8_t>{1, 2, 2}));
+}
+
+class HuffmanAlphabetTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HuffmanAlphabetTest, SkewedDistributionsRoundTrip) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  // Geometric-ish skew, the shape of the difference alphabet.
+  std::vector<std::uint64_t> freq(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    freq[s] = 1 + static_cast<std::uint64_t>(
+                      10000.0 * std::pow(0.97, static_cast<double>(s)));
+  }
+  const auto book = HuffmanCodebook::from_frequencies(freq);
+  BitWriter writer;
+  std::vector<std::size_t> symbols;
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = static_cast<std::size_t>(rng.uniform_index(n));
+    symbols.push_back(s);
+    book.encode(s, writer);
+  }
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (const auto s : symbols) {
+    ASSERT_EQ(book.decode(reader), s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphabetSizes, HuffmanAlphabetTest,
+                         ::testing::Values(2, 3, 5, 16, 100, 256, 512));
+
+}  // namespace
+}  // namespace csecg::coding

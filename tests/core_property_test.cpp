@@ -1,0 +1,229 @@
+// Property-based sweeps for csecg::core — codec monotonicity over the
+// parameter grid, sequence-number edge cases, and fuzzing of every
+// wire-facing parser.
+
+#include <gtest/gtest.h>
+
+#include "csecg/core/codebook.hpp"
+#include "csecg/core/codec.hpp"
+#include "csecg/core/residual.hpp"
+#include "csecg/ecg/database.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::core {
+namespace {
+
+const ecg::SyntheticDatabase& prop_db() {
+  static const ecg::SyntheticDatabase db([] {
+    ecg::DatabaseConfig config;
+    config.record_count = 1;
+    config.duration_s = 16.0;
+    return config;
+  }());
+  return db;
+}
+
+const coding::HuffmanCodebook& prop_book() {
+  static const coding::HuffmanCodebook book = default_difference_codebook();
+  return book;
+}
+
+// ------------------------------------------------------- codec sweeps --
+
+class CodecGridTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CodecGridTest, RoundTripWorksAcrossMeasurementCounts) {
+  const std::size_t m = GetParam();
+  DecoderConfig config;
+  config.cs.measurements = m;
+  config.max_iterations = 400;  // keep the grid cheap
+  CsEcgCodec codec(config, prop_book());
+  const auto report = codec.run_record<float>(prop_db().mote(0));
+  EXPECT_GT(report.windows, 0u);
+  EXPECT_GT(report.cr, 0.0);
+  EXPECT_GT(report.mean_prd, 0.0);
+  EXPECT_LT(report.mean_prd, 120.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(MeasurementCounts, CodecGridTest,
+                         ::testing::Values(64, 128, 205, 256, 358, 450));
+
+class CodecDensityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CodecDensityTest, RoundTripWorksAcrossDensities) {
+  DecoderConfig config;
+  config.cs.d = GetParam();
+  // Small d shrinks the 1/sqrt(d) scale less, so keyframe values need a
+  // wider fixed field (the encoder checks this invariant).
+  config.cs.absolute_bits = 22;
+  config.max_iterations = 400;
+  CsEcgCodec codec(config, prop_book());
+  const auto report = codec.run_record<double>(prop_db().mote(0));
+  EXPECT_GT(report.cr, 0.0);
+  EXPECT_LT(report.mean_prd, 120.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CodecDensityTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 24, 48));
+
+// --------------------------------------------- sequence number edges --
+
+TEST(SequenceEdgeTest, WrapAroundIsAContiguousStep) {
+  // last = 65535 followed by sequence 0 must count as contiguous.
+  DecoderConfig config;
+  Decoder decoder(config, prop_book());
+  Encoder encoder(config.cs, prop_book());
+  std::vector<std::int16_t> window(512, 25);
+
+  auto keyframe = encoder.encode_window(window);
+  keyframe.sequence = 65535;
+  ASSERT_TRUE(decoder.decode_measurements(keyframe).has_value());
+
+  auto diff = encoder.encode_window(window);
+  ASSERT_EQ(diff.kind, PacketKind::kDifferential);
+  diff.sequence = 0;  // wrapped
+  EXPECT_TRUE(decoder.decode_measurements(diff).has_value());
+
+  auto gap = encoder.encode_window(window);
+  ASSERT_EQ(gap.kind, PacketKind::kDifferential);
+  gap.sequence = 2;  // 1 was lost
+  EXPECT_FALSE(decoder.decode_measurements(gap).has_value());
+}
+
+TEST(SequenceEdgeTest, AbsolutePacketsAlwaysResync) {
+  DecoderConfig config;
+  Decoder decoder(config, prop_book());
+  Encoder encoder(config.cs, prop_book());
+  std::vector<std::int16_t> window(512, -100);
+  auto keyframe = encoder.encode_window(window);
+  keyframe.sequence = 100;
+  EXPECT_TRUE(decoder.decode_measurements(keyframe).has_value());
+  // Wild sequence jump on an absolute packet: still accepted.
+  encoder.request_keyframe();
+  auto another = encoder.encode_window(window);
+  ASSERT_EQ(another.kind, PacketKind::kAbsolute);
+  another.sequence = 9;
+  EXPECT_TRUE(decoder.decode_measurements(another).has_value());
+}
+
+// ----------------------------------------------------------- fuzzing --
+
+TEST(WireFuzzTest, PacketParserNeverCrashesOnRandomBytes) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform_index(64));
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    const auto packet = Packet::parse(bytes);
+    if (packet) {
+      EXPECT_LE(static_cast<int>(packet->kind), 1);
+    }
+  }
+}
+
+TEST(WireFuzzTest, DecoderSurvivesRandomPayloads) {
+  DecoderConfig config;
+  Decoder decoder(config, prop_book());
+  util::Rng rng(42);
+  std::size_t accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Packet packet;
+    packet.sequence = static_cast<std::uint16_t>(rng.uniform_index(65536));
+    packet.kind = rng.bernoulli(0.5) ? PacketKind::kAbsolute
+                                     : PacketKind::kDifferential;
+    packet.payload.resize(rng.uniform_index(700));
+    for (auto& b : packet.payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    const auto y = decoder.decode_measurements(packet);
+    accepted += y.has_value();
+    if (y) {
+      EXPECT_EQ(y->size(), config.cs.measurements);
+    }
+  }
+  // Random absolute packets of sufficient length do "decode" (they are
+  // just fixed-width integers); the point is no crash and no state
+  // corruption that breaks subsequent valid traffic.
+  Encoder encoder(config.cs, prop_book());
+  std::vector<std::int16_t> window(512, 7);
+  const auto keyframe = encoder.encode_window(window);
+  EXPECT_TRUE(decoder.decode_measurements(keyframe).has_value());
+  (void)accepted;
+}
+
+TEST(WireFuzzTest, DecoderSurvivesBitFlipsInRealPackets) {
+  DecoderConfig config;
+  config.cs.keyframe_interval = 3;
+  Decoder decoder(config, prop_book());
+  Encoder encoder(config.cs, prop_book());
+  const auto& record = prop_db().mote(0);
+  util::Rng rng(43);
+  for (std::size_t off = 0; off + 512 <= record.samples.size();
+       off += 512) {
+    auto packet = encoder.encode_window(std::span<const std::int16_t>(
+        record.samples.data() + off, 512));
+    // Flip a random bit in the payload half the time.
+    if (!packet.payload.empty() && rng.bernoulli(0.5)) {
+      const auto byte = rng.uniform_index(packet.payload.size());
+      packet.payload[byte] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    }
+    // Must never crash; value corruption is allowed (no CRC by design —
+    // Bluetooth L2CAP provides integrity on the real link).
+    (void)decoder.decode_measurements(packet);
+  }
+}
+
+TEST(ResidualFuzzTest, DecodeDifferenceHandlesArbitraryBitstreams) {
+  util::Rng rng(44);
+  const auto& book = prop_book();
+  std::vector<std::int32_t> previous(64, 0);
+  std::vector<std::int32_t> out(64);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.uniform_index(120));
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    coding::BitReader reader(bytes);
+    (void)decode_difference(reader, book, previous,
+                            std::span<std::int32_t>(out));
+  }
+}
+
+// ------------------------------------------------ keyframe scheduling --
+
+TEST(KeyframeScheduleTest, ExactCadenceOverLongRuns) {
+  EncoderConfig config;
+  config.keyframe_interval = 5;
+  Encoder encoder(config, prop_book());
+  std::vector<std::int16_t> window(512, 1);
+  std::vector<std::size_t> keyframe_positions;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (encoder.encode_window(window).kind == PacketKind::kAbsolute) {
+      keyframe_positions.push_back(i);
+    }
+  }
+  ASSERT_GE(keyframe_positions.size(), 2u);
+  EXPECT_EQ(keyframe_positions.front(), 0u);
+  for (std::size_t k = 1; k < keyframe_positions.size(); ++k) {
+    EXPECT_EQ(keyframe_positions[k] - keyframe_positions[k - 1], 6u)
+        << "5 differentials between keyframes";
+  }
+}
+
+TEST(KeyframeScheduleTest, ZeroIntervalMeansKeyframesOnlyAtStart) {
+  EncoderConfig config;
+  config.keyframe_interval = 0;
+  Encoder encoder(config, prop_book());
+  std::vector<std::int16_t> window(512, 1);
+  EXPECT_EQ(encoder.encode_window(window).kind, PacketKind::kAbsolute);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(encoder.encode_window(window).kind,
+              PacketKind::kDifferential);
+  }
+}
+
+}  // namespace
+}  // namespace csecg::core

@@ -1,0 +1,201 @@
+// Property-based sweeps for csecg::dsp — transform linearity, subband
+// localisation, resampler chains.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "csecg/dsp/dwt.hpp"
+#include "csecg/dsp/fir.hpp"
+#include "csecg/dsp/resampler.hpp"
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::dsp {
+namespace {
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) {
+    v = rng.gaussian();
+  }
+  return x;
+}
+
+// -------------------------------------------------------- DWT properties --
+
+class DwtPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DwtPropertyTest, ForwardIsLinear) {
+  WaveletTransform wt(Wavelet::from_name(GetParam()), 256, 4);
+  const auto a = random_signal(256, 1);
+  const auto b = random_signal(256, 2);
+  std::vector<double> combo(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    combo[i] = 1.5 * a[i] - 0.7 * b[i];
+  }
+  std::vector<double> wa(256);
+  std::vector<double> wb(256);
+  std::vector<double> wc(256);
+  wt.forward<double>(a, wa);
+  wt.forward<double>(b, wb);
+  wt.forward<double>(combo, wc);
+  for (std::size_t i = 0; i < 256; ++i) {
+    ASSERT_NEAR(wc[i], 1.5 * wa[i] - 0.7 * wb[i], 1e-9);
+  }
+}
+
+TEST_P(DwtPropertyTest, InverseIsLinear) {
+  WaveletTransform wt(Wavelet::from_name(GetParam()), 128, 3);
+  const auto a = random_signal(128, 3);
+  const auto b = random_signal(128, 4);
+  std::vector<double> combo(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    combo[i] = 0.25 * a[i] + 4.0 * b[i];
+  }
+  std::vector<double> ia(128);
+  std::vector<double> ib(128);
+  std::vector<double> ic(128);
+  wt.inverse<double>(a, ia);
+  wt.inverse<double>(b, ib);
+  wt.inverse<double>(combo, ic);
+  for (std::size_t i = 0; i < 128; ++i) {
+    ASSERT_NEAR(ic[i], 0.25 * ia[i] + 4.0 * ib[i], 1e-9);
+  }
+}
+
+TEST_P(DwtPropertyTest, DoubleApplicationOfRoundTripIsStable) {
+  // W^T W applied repeatedly must not drift (orthonormality in practice).
+  WaveletTransform wt(Wavelet::from_name(GetParam()), 256, 4);
+  auto x = random_signal(256, 5);
+  const auto original = x;
+  std::vector<double> coeffs(256);
+  for (int pass = 0; pass < 20; ++pass) {
+    wt.forward<double>(x, coeffs);
+    wt.inverse<double>(coeffs, x);
+  }
+  for (std::size_t i = 0; i < 256; ++i) {
+    ASSERT_NEAR(x[i], original[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DwtPropertyTest,
+                         ::testing::Values("haar", "db3", "db4", "db8",
+                                           "sym5"));
+
+TEST(DwtSubbandTest, LowFrequencySineLandsInApproxBand) {
+  WaveletTransform wt(Wavelet::from_name("db6"), 512, 4);
+  std::vector<double> x(512);
+  // One cycle over the window: far below every detail band.
+  for (std::size_t i = 0; i < 512; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 512.0);
+  }
+  std::vector<double> coeffs(512);
+  wt.forward<double>(x, coeffs);
+  const auto layout = wt.layout();
+  double approx_energy = 0.0;
+  double total_energy = 0.0;
+  for (std::size_t i = 0; i < 512; ++i) {
+    const double e = coeffs[i] * coeffs[i];
+    total_energy += e;
+    if (i < layout.approx_size) {
+      approx_energy += e;
+    }
+  }
+  EXPECT_GT(approx_energy / total_energy, 0.99);
+}
+
+TEST(DwtSubbandTest, NearNyquistSineLandsInFinestDetail) {
+  WaveletTransform wt(Wavelet::from_name("db6"), 512, 4);
+  std::vector<double> x(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    // 0.45 of the sampling rate: inside the finest detail band
+    // (0.25..0.5 of fs).
+    x[i] = std::sin(2.0 * std::numbers::pi * 0.45 * static_cast<double>(i));
+  }
+  std::vector<double> coeffs(512);
+  wt.forward<double>(x, coeffs);
+  const auto layout = wt.layout();
+  const std::size_t finest_offset = layout.detail_offsets.back();
+  double finest_energy = 0.0;
+  double total_energy = 0.0;
+  for (std::size_t i = 0; i < 512; ++i) {
+    const double e = coeffs[i] * coeffs[i];
+    total_energy += e;
+    if (i >= finest_offset) {
+      finest_energy += e;
+    }
+  }
+  EXPECT_GT(finest_energy / total_energy, 0.9);
+}
+
+// -------------------------------------------------- resampler properties --
+
+TEST(ResamplerPropertyTest, DownUpChainPreservesBandlimitedSignal) {
+  // 360 -> 256 -> 360 on a signal band-limited below 128 Hz Nyquist of
+  // the narrow link: near-identity (up to edges).
+  std::vector<double> x(3600);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / 360.0;
+    x[i] = std::sin(2.0 * std::numbers::pi * 8.0 * t) +
+           0.5 * std::sin(2.0 * std::numbers::pi * 31.0 * t + 0.7);
+  }
+  const auto narrow = resample(x, 360, 256);
+  const auto back = resample(narrow, 256, 360);
+  double err = 0.0;
+  double energy = 0.0;
+  for (std::size_t i = 400; i + 400 < std::min(back.size(), x.size());
+       ++i) {
+    err += (back[i] - x[i]) * (back[i] - x[i]);
+    energy += x[i] * x[i];
+  }
+  EXPECT_LT(std::sqrt(err / energy), 0.03);
+}
+
+TEST(ResamplerPropertyTest, DcIsPreserved) {
+  std::vector<double> x(2000, 3.5);
+  const auto y = resample(x, 360, 256);
+  // Interior samples must hold the DC value.
+  for (std::size_t i = 200; i + 200 < y.size(); ++i) {
+    ASSERT_NEAR(y[i], 3.5, 0.01);
+  }
+}
+
+TEST(ResamplerPropertyTest, OutOfBandToneIsSuppressed) {
+  // 150 Hz at 360 Hz sampling is above the 128 Hz Nyquist of 256 Hz; the
+  // anti-aliasing filter must crush it rather than alias it.
+  std::vector<double> x(3600);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 150.0 * i / 360.0);
+  }
+  const auto y = resample(x, 360, 256);
+  double rms = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 200; i + 200 < y.size(); ++i) {
+    rms += y[i] * y[i];
+    ++count;
+  }
+  rms = std::sqrt(rms / static_cast<double>(count));
+  EXPECT_LT(rms, 0.05);  // > 23 dB suppression of the aliasing tone
+}
+
+TEST(FirPropertyTest, FilterSameIsLinear) {
+  const auto h = design_lowpass(0.2, 31);
+  const auto a = random_signal(200, 6);
+  const auto b = random_signal(200, 7);
+  std::vector<double> combo(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    combo[i] = 2.0 * a[i] + b[i];
+  }
+  const auto fa = filter_same(a, h);
+  const auto fb = filter_same(b, h);
+  const auto fc = filter_same(combo, h);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ASSERT_NEAR(fc[i], 2.0 * fa[i] + fb[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace csecg::dsp

@@ -1,0 +1,468 @@
+// Unit tests for csecg::ecg — the synthetic generator, noise models, ADC,
+// database corpus and the §III performance metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "csecg/ecg/database.hpp"
+#include "csecg/ecg/ecgsyn.hpp"
+#include "csecg/ecg/metrics.hpp"
+#include "csecg/ecg/noise.hpp"
+#include "csecg/ecg/record.hpp"
+
+namespace csecg::ecg {
+namespace {
+
+// --------------------------------------------------------------- ecgsyn --
+
+TEST(EcgSynTest, DeterministicForSameSeed) {
+  EcgSynConfig config;
+  config.duration_s = 10.0;
+  const auto a = generate_ecg(config);
+  const auto b = generate_ecg(config);
+  ASSERT_EQ(a.samples_mv.size(), b.samples_mv.size());
+  for (std::size_t i = 0; i < a.samples_mv.size(); ++i) {
+    ASSERT_EQ(a.samples_mv[i], b.samples_mv[i]);
+  }
+  EXPECT_EQ(a.beat_onsets, b.beat_onsets);
+}
+
+TEST(EcgSynTest, SampleCountMatchesDuration) {
+  EcgSynConfig config;
+  config.duration_s = 7.0;
+  config.sample_rate_hz = 360.0;
+  const auto ecg = generate_ecg(config);
+  EXPECT_EQ(ecg.samples_mv.size(), 2520u);
+  EXPECT_EQ(ecg.sample_rate_hz, 360.0);
+}
+
+TEST(EcgSynTest, BeatCountTracksHeartRate) {
+  EcgSynConfig config;
+  config.duration_s = 60.0;
+  config.mean_heart_rate_bpm = 72.0;
+  config.heart_rate_std_bpm = 1.0;
+  const auto ecg = generate_ecg(config);
+  EXPECT_NEAR(static_cast<double>(ecg.beat_onsets.size()), 72.0, 5.0);
+}
+
+TEST(EcgSynTest, BeatOnsetsAreMonotoneAndInRange) {
+  EcgSynConfig config;
+  config.duration_s = 30.0;
+  const auto ecg = generate_ecg(config);
+  ASSERT_FALSE(ecg.beat_onsets.empty());
+  for (std::size_t i = 1; i < ecg.beat_onsets.size(); ++i) {
+    ASSERT_GT(ecg.beat_onsets[i], ecg.beat_onsets[i - 1]);
+  }
+  EXPECT_LT(ecg.beat_onsets.back(), ecg.samples_mv.size());
+  EXPECT_EQ(ecg.beat_onsets.size(), ecg.beat_classes.size());
+}
+
+TEST(EcgSynTest, AmplitudeNormalisation) {
+  EcgSynConfig config;
+  config.duration_s = 20.0;
+  config.amplitude_mv = 1.2;
+  const auto ecg = generate_ecg(config);
+  double peak = 0.0;
+  for (const auto v : ecg.samples_mv) {
+    peak = std::max(peak, std::fabs(v));
+  }
+  // The R peaks sit near the requested amplitude; nothing runs away to
+  // the ADC rails (the 10 mV range maps to +-5 mV).
+  EXPECT_GT(peak, 0.8);
+  EXPECT_LT(peak, 3.0);
+}
+
+TEST(EcgSynTest, PvcBeatsAppearWithRequestedLoad) {
+  EcgSynConfig config;
+  config.duration_s = 120.0;
+  config.pvc_probability = 0.2;
+  config.seed = 77;
+  const auto ecg = generate_ecg(config);
+  std::size_t pvcs = 0;
+  for (const auto c : ecg.beat_classes) {
+    pvcs += c == BeatClass::kPvc;
+  }
+  const double fraction =
+      static_cast<double>(pvcs) / static_cast<double>(ecg.beat_classes.size());
+  // draw_class never emits back-to-back ectopics, so the realised rate is
+  // p * P(previous normal) ~= 0.2 / 1.2.
+  EXPECT_GT(fraction, 0.08);
+  EXPECT_LT(fraction, 0.25);
+}
+
+TEST(EcgSynTest, NoEctopicsWhenDisabled) {
+  EcgSynConfig config;
+  config.duration_s = 60.0;
+  const auto ecg = generate_ecg(config);
+  for (const auto c : ecg.beat_classes) {
+    ASSERT_EQ(c, BeatClass::kNormal);
+  }
+}
+
+TEST(EcgSynTest, PvcMorphologyHasNoPWave) {
+  const auto pvc = BeatMorphology::pvc();
+  EXPECT_EQ(pvc.p.amplitude, 0.0);
+  const auto normal = BeatMorphology::normal();
+  EXPECT_GT(normal.p.amplitude, 0.0);
+  // PVC QRS is wider than normal.
+  EXPECT_GT(pvc.r.width, 2.0 * normal.r.width);
+}
+
+TEST(EcgSynTest, TwoLeadsShareTheRhythm) {
+  EcgSynConfig config;
+  config.duration_s = 30.0;
+  config.pvc_probability = 0.1;
+  config.seed = 21;
+  const auto schedule = generate_beat_schedule(config);
+  const auto lead1 = render_ecg(schedule, config, LeadProjection::mlii());
+  const auto lead2 = render_ecg(schedule, config, LeadProjection::v1());
+  // Identical beat instants and classes, different waveforms.
+  ASSERT_EQ(lead1.beat_onsets, lead2.beat_onsets);
+  ASSERT_EQ(lead1.beat_classes, lead2.beat_classes);
+  double diff = 0.0;
+  double energy = 0.0;
+  for (std::size_t i = 0; i < lead1.samples_mv.size(); ++i) {
+    diff += std::fabs(lead1.samples_mv[i] - lead2.samples_mv[i]);
+    energy += std::fabs(lead1.samples_mv[i]);
+  }
+  EXPECT_GT(diff, 0.2 * energy);
+}
+
+TEST(EcgSynTest, V1ProjectionInvertsTheTWave) {
+  // The V1 projection flips the T event; check the rendered waveform's
+  // mean value after the QRS window is negative relative to MLII's.
+  EcgSynConfig config;
+  config.duration_s = 20.0;
+  config.heart_rate_std_bpm = 0.5;
+  const auto schedule = generate_beat_schedule(config);
+  const auto mlii = render_ecg(schedule, config, LeadProjection::mlii());
+  const auto v1 = render_ecg(schedule, config, LeadProjection::v1());
+  double t_mlii = 0.0;
+  double t_v1 = 0.0;
+  int windows = 0;
+  for (const auto onset : mlii.beat_onsets) {
+    // T wave sits ~0.15-0.35 s after the R peak at normal rates.
+    const auto lo = onset + static_cast<std::size_t>(0.15 * 360.0);
+    const auto hi = onset + static_cast<std::size_t>(0.35 * 360.0);
+    if (hi >= mlii.samples_mv.size()) {
+      break;
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      t_mlii += mlii.samples_mv[i];
+      t_v1 += v1.samples_mv[i];
+    }
+    ++windows;
+  }
+  ASSERT_GT(windows, 5);
+  EXPECT_GT(t_mlii, 0.0);
+  EXPECT_LT(t_v1, 0.0);
+}
+
+TEST(EcgSynTest, ScheduleIsDeterministicAndCoversDuration) {
+  EcgSynConfig config;
+  config.duration_s = 25.0;
+  const auto a = generate_beat_schedule(config);
+  const auto b = generate_beat_schedule(config);
+  EXPECT_EQ(a.rr_s, b.rr_s);
+  double total = 0.0;
+  for (const auto rr : a.rr_s) {
+    EXPECT_GE(rr, 0.3);
+    total += rr;
+  }
+  EXPECT_GE(total, config.duration_s);
+}
+
+TEST(EcgSynTest, RejectsBadConfig) {
+  EcgSynConfig config;
+  config.mean_heart_rate_bpm = 10.0;
+  EXPECT_THROW(generate_ecg(config), Error);
+  config = {};
+  config.pvc_probability = 0.8;
+  config.apc_probability = 0.5;
+  EXPECT_THROW(generate_ecg(config), Error);
+  config = {};
+  config.duration_s = -1.0;
+  EXPECT_THROW(generate_ecg(config), Error);
+}
+
+// ---------------------------------------------------------------- noise --
+
+TEST(NoiseTest, DeterministicAndNonTrivial) {
+  std::vector<double> a(1000, 0.0);
+  std::vector<double> b(1000, 0.0);
+  NoiseConfig config;
+  add_noise(a, 360.0, config);
+  add_noise(b, 360.0, config);
+  EXPECT_EQ(a, b);
+  double energy = 0.0;
+  for (const auto v : a) {
+    energy += v * v;
+  }
+  EXPECT_GT(energy, 0.0);
+}
+
+TEST(NoiseTest, ScalesWithConfiguredLevels) {
+  std::vector<double> quiet(2000, 0.0);
+  std::vector<double> loud(2000, 0.0);
+  NoiseConfig config;
+  config.baseline_wander_mv = 0.01;
+  config.muscle_artifact_mv = 0.001;
+  config.powerline_mv = 0.0;
+  add_noise(quiet, 360.0, config);
+  config.baseline_wander_mv = 0.2;
+  config.muscle_artifact_mv = 0.05;
+  add_noise(loud, 360.0, config);
+  const auto rms = [](const std::vector<double>& v) {
+    double e = 0.0;
+    for (const auto x : v) {
+      e += x * x;
+    }
+    return std::sqrt(e / static_cast<double>(v.size()));
+  };
+  EXPECT_GT(rms(loud), 5.0 * rms(quiet));
+}
+
+TEST(NoiseTest, PowerlineIsNarrowband) {
+  std::vector<double> x(3600, 0.0);
+  NoiseConfig config;
+  config.baseline_wander_mv = 0.0;
+  config.muscle_artifact_mv = 0.0;
+  config.powerline_mv = 0.1;
+  add_noise(x, 360.0, config);
+  // Correlate against 50 Hz quadrature pair; nearly all energy there.
+  double c = 0.0;
+  double s = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double w = 2.0 * std::numbers::pi * 50.0 * i / 360.0;
+    c += x[i] * std::cos(w);
+    s += x[i] * std::sin(w);
+    total += x[i] * x[i];
+  }
+  const double narrowband =
+      2.0 * (c * c + s * s) / static_cast<double>(x.size());
+  EXPECT_GT(narrowband / total, 0.98);
+}
+
+// ------------------------------------------------------------------ adc --
+
+TEST(AdcModelTest, MitBihParameters) {
+  const AdcModel adc;
+  EXPECT_EQ(adc.bits(), 11);
+  EXPECT_EQ(adc.range_mv(), 10.0);
+  EXPECT_EQ(adc.min_count(), -1024);
+  EXPECT_EQ(adc.max_count(), 1023);
+  EXPECT_NEAR(adc.lsb_mv(), 10.0 / 2048.0, 1e-15);
+}
+
+TEST(AdcModelTest, QuantisationErrorBounded) {
+  const AdcModel adc;
+  for (double mv = -4.9; mv < 4.9; mv += 0.0137) {
+    const auto count = adc.quantize(mv);
+    EXPECT_NEAR(adc.to_millivolts(count), mv, adc.lsb_mv() / 2.0 + 1e-12);
+  }
+}
+
+TEST(AdcModelTest, SaturatesAtRails) {
+  const AdcModel adc;
+  EXPECT_EQ(adc.quantize(100.0), adc.max_count());
+  EXPECT_EQ(adc.quantize(-100.0), adc.min_count());
+}
+
+TEST(AdcModelTest, VectorOverloads) {
+  const AdcModel adc;
+  const std::vector<double> mv{0.0, 1.0, -1.0};
+  const auto counts = adc.quantize(mv);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], -counts[2]);
+  const auto back = adc.to_millivolts(counts);
+  EXPECT_NEAR(back[1], 1.0, adc.lsb_mv());
+}
+
+TEST(AdcModelTest, RejectsBadConfig) {
+  EXPECT_THROW(AdcModel(1, 10.0), Error);
+  EXPECT_THROW(AdcModel(11, -1.0), Error);
+}
+
+TEST(RecordTest, DurationAndBits) {
+  Record r;
+  r.sample_rate_hz = 256.0;
+  r.samples.assign(512, 0);
+  EXPECT_DOUBLE_EQ(r.duration_s(), 2.0);
+  EXPECT_EQ(r.original_bits(), 512u * 11u);
+  EXPECT_EQ(r.original_bits(16), 512u * 16u);
+}
+
+// ------------------------------------------------------------- database --
+
+TEST(DatabaseTest, DefaultCorpusShape) {
+  DatabaseConfig config;
+  config.record_count = 6;
+  config.duration_s = 10.0;
+  const SyntheticDatabase db(config);
+  EXPECT_EQ(db.size(), 6u);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto& native = db.native(i);
+    const auto& mote = db.mote(i);
+    EXPECT_EQ(native.sample_rate_hz, 360.0);
+    EXPECT_EQ(mote.sample_rate_hz, 256.0);
+    EXPECT_EQ(native.samples.size(), 3600u);
+    EXPECT_EQ(mote.samples.size(), 2560u);
+    EXPECT_FALSE(native.beat_onsets.empty());
+    EXPECT_EQ(native.beat_onsets.size(), mote.beat_onsets.size());
+  }
+}
+
+TEST(DatabaseTest, SecondLeadMatchesMitBihTwoChannelFormat) {
+  DatabaseConfig config;
+  config.record_count = 2;
+  config.duration_s = 10.0;
+  const SyntheticDatabase db(config);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto& lead1 = db.mote(i);
+    const auto& lead2 = db.mote_lead2(i);
+    EXPECT_EQ(lead1.samples.size(), lead2.samples.size());
+    EXPECT_EQ(lead1.beat_onsets, lead2.beat_onsets);  // shared rhythm
+    EXPECT_NE(lead1.samples, lead2.samples);          // different waveform
+    EXPECT_NE(lead2.id.find("/V1"), std::string::npos);
+  }
+  EXPECT_THROW(db.native_lead2(2), Error);
+  EXPECT_THROW(db.mote_lead2(2), Error);
+}
+
+TEST(DatabaseTest, RecordsAreDistinct) {
+  DatabaseConfig config;
+  config.record_count = 4;
+  config.duration_s = 5.0;
+  const SyntheticDatabase db(config);
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    ids.insert(db.native(i).id);
+    if (i > 0) {
+      EXPECT_NE(db.native(i).samples, db.native(i - 1).samples);
+    }
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(DatabaseTest, DeterministicInSeed) {
+  DatabaseConfig config;
+  config.record_count = 2;
+  config.duration_s = 5.0;
+  const SyntheticDatabase a(config);
+  const SyntheticDatabase b(config);
+  EXPECT_EQ(a.native(1).samples, b.native(1).samples);
+  config.seed = 9999;
+  const SyntheticDatabase c(config);
+  EXPECT_NE(a.native(1).samples, c.native(1).samples);
+}
+
+TEST(DatabaseTest, SamplesStayWithinAdcRange) {
+  DatabaseConfig config;
+  config.record_count = 8;
+  config.duration_s = 10.0;
+  const SyntheticDatabase db(config);
+  const AdcModel adc;
+  std::size_t railed = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    for (const auto s : db.mote(i).samples) {
+      ASSERT_GE(s, adc.min_count());
+      ASSERT_LE(s, adc.max_count());
+      railed += (s == adc.min_count() || s == adc.max_count());
+      ++total;
+    }
+  }
+  // A healthy front end almost never rails.
+  EXPECT_LT(static_cast<double>(railed) / static_cast<double>(total), 1e-3);
+}
+
+TEST(DatabaseTest, IndexOutOfRangeThrows) {
+  DatabaseConfig config;
+  config.record_count = 1;
+  config.duration_s = 5.0;
+  const SyntheticDatabase db(config);
+  EXPECT_THROW(db.native(1), Error);
+  EXPECT_THROW(db.mote(1), Error);
+}
+
+// -------------------------------------------------------------- metrics --
+
+TEST(MetricsTest, CompressionRatioEq7) {
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 500), 50.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 0), 100.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 1000), 0.0);
+  // Expansion is negative CR.
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 1500), -50.0);
+  EXPECT_THROW(compression_ratio(0, 10), Error);
+}
+
+TEST(MetricsTest, PrdOfIdenticalSignalsIsZero) {
+  const std::vector<double> x{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(prd(x, x), 0.0);
+}
+
+TEST(MetricsTest, PrdKnownValue) {
+  const std::vector<double> x{3.0, 4.0};       // ||x|| = 5
+  const std::vector<double> y{3.0, 3.0};       // error = (0, 1)
+  EXPECT_NEAR(prd(x, y), 100.0 / 5.0, 1e-12);  // 20 %
+}
+
+TEST(MetricsTest, PrdScaleInvariance) {
+  const std::vector<double> x{1.0, 2.0, -1.0, 0.5};
+  const std::vector<double> y{1.1, 1.9, -1.2, 0.6};
+  std::vector<double> x2(x.size());
+  std::vector<double> y2(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x2[i] = 7.0 * x[i];
+    y2[i] = 7.0 * y[i];
+  }
+  EXPECT_NEAR(prd(x, y), prd(x2, y2), 1e-10);
+}
+
+TEST(MetricsTest, PrdNormalizedRemovesDcAdvantage) {
+  // A large DC offset deflates plain PRD but not PRD-N.
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x[i] = 100.0 + std::sin(0.3 * static_cast<double>(i));
+    y[i] = 100.0;  // reconstruction lost the AC part entirely
+  }
+  EXPECT_LT(prd(x, y), 2.0);
+  EXPECT_GT(prd_normalized(x, y), 90.0);
+}
+
+TEST(MetricsTest, SnrPrdInversePair) {
+  for (const double p : {0.5, 2.0, 9.0, 30.0, 75.0}) {
+    EXPECT_NEAR(prd_from_snr(snr_from_prd(p)), p, 1e-9);
+  }
+  // Paper-consistent anchor points: PRD 10 % -> 20 dB, PRD 100 % -> 0 dB.
+  EXPECT_NEAR(snr_from_prd(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(snr_from_prd(100.0), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, QualityBands) {
+  EXPECT_EQ(classify_quality(1.0), QualityBand::kVeryGood);
+  EXPECT_EQ(classify_quality(5.0), QualityBand::kGood);
+  EXPECT_EQ(classify_quality(20.0), QualityBand::kNotGood);
+  EXPECT_EQ(quality_band_name(QualityBand::kVeryGood), "very good");
+  EXPECT_EQ(quality_band_name(QualityBand::kGood), "good");
+  EXPECT_EQ(quality_band_name(QualityBand::kNotGood), "not good");
+}
+
+TEST(MetricsTest, MetricErrorsOnDegenerateInput) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(prd(x, bad), Error);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(prd(zero, x), Error);
+  EXPECT_THROW(snr_from_prd(0.0), Error);
+  const std::vector<double> constant{5.0, 5.0};
+  EXPECT_THROW(prd_normalized(constant, x), Error);
+}
+
+}  // namespace
+}  // namespace csecg::ecg

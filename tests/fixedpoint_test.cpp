@@ -1,0 +1,143 @@
+// Unit tests for csecg::fixedpoint — Q15 saturating arithmetic and the
+// MSP430 operation counters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csecg/fixedpoint/msp430_counters.hpp"
+#include "csecg/fixedpoint/q15.hpp"
+
+namespace csecg::fixedpoint {
+namespace {
+
+// ------------------------------------------------------------------ q15 --
+
+TEST(Q15Test, ConversionRoundTripAccuracy) {
+  for (double v = -0.999; v < 0.999; v += 0.01037) {
+    const auto q = to_q15(v);
+    EXPECT_NEAR(from_q15(q), v, 1.0 / 32768.0);
+  }
+}
+
+TEST(Q15Test, ConversionSaturates) {
+  EXPECT_EQ(to_q15(1.5), kQ15Max);
+  EXPECT_EQ(to_q15(-1.5), kQ15Min);
+  EXPECT_EQ(to_q15(1.0), kQ15Max);   // +1.0 is out of Q15 range
+  EXPECT_EQ(to_q15(-1.0), kQ15Min);
+}
+
+TEST(Q15Test, ConversionRoundsToNearest) {
+  // 0.5 LSB should round away from zero.
+  EXPECT_EQ(to_q15(1.5 / 32768.0), 2);
+  EXPECT_EQ(to_q15(-1.5 / 32768.0), -2);
+  EXPECT_EQ(to_q15(0.4 / 32768.0), 0);
+}
+
+TEST(Q15Test, SatAdd16Saturates) {
+  EXPECT_EQ(sat_add16(30000, 10000), kQ15Max);
+  EXPECT_EQ(sat_add16(-30000, -10000), kQ15Min);
+  EXPECT_EQ(sat_add16(100, 200), 300);
+  EXPECT_EQ(sat_add16(kQ15Max, 1), kQ15Max);
+}
+
+TEST(Q15Test, SatSub16Saturates) {
+  EXPECT_EQ(sat_sub16(-30000, 10000), kQ15Min);
+  EXPECT_EQ(sat_sub16(30000, -10000), kQ15Max);
+  EXPECT_EQ(sat_sub16(500, 200), 300);
+}
+
+TEST(Q15Test, MulQ15KnownProducts) {
+  // 0.5 * 0.5 = 0.25
+  EXPECT_EQ(mul_q15(16384, 16384), 8192);
+  // x * 1-ish: 0.5 * max ~ 0.5 - epsilon
+  EXPECT_NEAR(from_q15(mul_q15(16384, kQ15Max)), 0.5, 1e-3);
+  // Signs.
+  EXPECT_EQ(mul_q15(16384, -16384), -8192);
+}
+
+TEST(Q15Test, MulQ15MinTimesMinSaturates) {
+  // (-1) * (-1) = +1 does not exist in Q15; must clamp to max.
+  EXPECT_EQ(mul_q15(kQ15Min, kQ15Min), kQ15Max);
+}
+
+TEST(Q15Test, SatNarrow32) {
+  EXPECT_EQ(sat_narrow32(100000), kQ15Max);
+  EXPECT_EQ(sat_narrow32(-100000), kQ15Min);
+  EXPECT_EQ(sat_narrow32(-5), -5);
+}
+
+TEST(Q15Test, Clamp32) {
+  EXPECT_EQ(clamp32(10, -256, 255), 10);
+  EXPECT_EQ(clamp32(300, -256, 255), 255);
+  EXPECT_EQ(clamp32(-300, -256, 255), -256);
+}
+
+// ------------------------------------------------------------- counters --
+
+TEST(Msp430CountersTest, NoScopeIsNoOp) {
+  Msp430OpCounts delta;
+  delta.add16 = 5;
+  EXPECT_NO_FATAL_FAILURE(charge(delta));
+}
+
+TEST(Msp430CountersTest, ScopeAccumulates) {
+  Msp430CounterScope scope;
+  Msp430OpCounts delta;
+  delta.add16 = 3;
+  delta.mul16 = 2;
+  delta.table_lookup = 1;
+  charge(delta);
+  charge(delta);
+  EXPECT_EQ(scope.counts().add16, 6u);
+  EXPECT_EQ(scope.counts().mul16, 4u);
+  EXPECT_EQ(scope.counts().table_lookup, 2u);
+  EXPECT_EQ(scope.counts().shift, 0u);
+}
+
+TEST(Msp430CountersTest, NestedScopesRestorePrevious) {
+  Msp430CounterScope outer;
+  Msp430OpCounts delta;
+  delta.store = 1;
+  charge(delta);
+  {
+    Msp430CounterScope inner;
+    charge(delta);
+    charge(delta);
+    EXPECT_EQ(inner.counts().store, 2u);
+  }
+  charge(delta);
+  EXPECT_EQ(outer.counts().store, 2u);
+}
+
+TEST(Msp430CountersTest, ResetClears) {
+  Msp430CounterScope scope;
+  Msp430OpCounts delta;
+  delta.branch = 9;
+  charge(delta);
+  scope.reset();
+  EXPECT_EQ(scope.counts().branch, 0u);
+}
+
+TEST(Msp430CountersTest, PlusEqualsSumsAllFields) {
+  Msp430OpCounts a;
+  a.add16 = 1;
+  a.mul16 = 2;
+  a.shift = 3;
+  a.load = 4;
+  a.store = 5;
+  a.branch = 6;
+  a.table_lookup = 7;
+  Msp430OpCounts b = a;
+  b += a;
+  EXPECT_EQ(b.add16, 2u);
+  EXPECT_EQ(b.mul16, 4u);
+  EXPECT_EQ(b.shift, 6u);
+  EXPECT_EQ(b.load, 8u);
+  EXPECT_EQ(b.store, 10u);
+  EXPECT_EQ(b.branch, 12u);
+  EXPECT_EQ(b.table_lookup, 14u);
+}
+
+}  // namespace
+}  // namespace csecg::fixedpoint

@@ -1,0 +1,219 @@
+// Unit tests for csecg::io — record and session persistence, including
+// corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "csecg/core/codebook.hpp"
+#include "csecg/core/decoder.hpp"
+#include "csecg/ecg/database.hpp"
+#include "csecg/io/record_io.hpp"
+#include "csecg/io/session_io.hpp"
+
+namespace csecg::io {
+namespace {
+
+ecg::Record make_record() {
+  ecg::Record record;
+  record.id = "unit-test-record";
+  record.sample_rate_hz = 256.0;
+  record.samples = {0, 100, -100, 1023, -1024, 7};
+  record.beat_onsets = {1, 3};
+  record.beat_classes = {ecg::BeatClass::kNormal, ecg::BeatClass::kPvc};
+  return record;
+}
+
+std::string temp_path(const char* name) {
+  return std::string("/tmp/csecg_io_test_") + name;
+}
+
+// --------------------------------------------------------------- record --
+
+TEST(RecordIoTest, BytesRoundTrip) {
+  const auto record = make_record();
+  const auto bytes = record_to_bytes(record);
+  const auto restored = record_from_bytes(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->id, record.id);
+  EXPECT_EQ(restored->sample_rate_hz, record.sample_rate_hz);
+  EXPECT_EQ(restored->samples, record.samples);
+  EXPECT_EQ(restored->beat_onsets, record.beat_onsets);
+  EXPECT_EQ(restored->beat_classes, record.beat_classes);
+}
+
+TEST(RecordIoTest, FileRoundTrip) {
+  const auto record = make_record();
+  const auto path = temp_path("record.csecg");
+  ASSERT_TRUE(save_record(record, path));
+  const auto restored = load_record(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->samples, record.samples);
+  std::remove(path.c_str());
+}
+
+TEST(RecordIoTest, FractionalSampleRateSurvives) {
+  auto record = make_record();
+  record.sample_rate_hz = 360.125;
+  const auto restored = record_from_bytes(record_to_bytes(record));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_NEAR(restored->sample_rate_hz, 360.125, 1e-3);
+}
+
+TEST(RecordIoTest, RejectsCorruption) {
+  const auto record = make_record();
+  auto bytes = record_to_bytes(record);
+  // Bad magic.
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(record_from_bytes(bad_magic).has_value());
+  // Truncated payload.
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(record_from_bytes(truncated).has_value());
+  // Trailing garbage.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(record_from_bytes(padded).has_value());
+  // Beat onset out of range.
+  auto bad_beat = bytes;
+  // The final beat record is the last 5 bytes: u32 onset + u8 class.
+  bad_beat[bad_beat.size() - 5] = 0xFF;
+  bad_beat[bad_beat.size() - 4] = 0xFF;
+  bad_beat[bad_beat.size() - 3] = 0xFF;
+  bad_beat[bad_beat.size() - 2] = 0xFF;
+  EXPECT_FALSE(record_from_bytes(bad_beat).has_value());
+  // Invalid beat class.
+  auto bad_class = bytes;
+  bad_class.back() = 9;
+  EXPECT_FALSE(record_from_bytes(bad_class).has_value());
+  // Empty buffer / missing file.
+  EXPECT_FALSE(record_from_bytes({}).has_value());
+  EXPECT_FALSE(load_record("/nonexistent/nowhere.csecg").has_value());
+}
+
+TEST(RecordIoTest, CsvExportContainsSamplesAndBeats) {
+  const auto record = make_record();
+  const auto path = temp_path("record.csv");
+  ASSERT_TRUE(export_csv(record, path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("index,seconds,adc_counts"), std::string::npos);
+  EXPECT_NE(contents.find("1023"), std::string::npos);
+  EXPECT_NE(contents.find("# beat,3,1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- session --
+
+TEST(SessionIoTest, RoundTripPreservesEverything) {
+  Session session;
+  session.config.measurements = 205;
+  session.config.d = 8;
+  session.config.seed = 12345;
+  session.config.keyframe_interval = 7;
+  session.config.measurement_shift = 2;
+  session.config.on_the_fly_indices = false;
+  session.sample_rate_hz = 256.0;
+  session.codebook_blob =
+      core::default_difference_codebook().serialize();
+  session.frames = {{1, 2, 3}, {}, {255, 0, 9, 9}};
+
+  const auto path = temp_path("session.csecgs");
+  ASSERT_TRUE(save_session(session, path));
+  const auto restored = load_session(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->config.measurements, 205u);
+  EXPECT_EQ(restored->config.d, 8u);
+  EXPECT_EQ(restored->config.seed, 12345u);
+  EXPECT_EQ(restored->config.keyframe_interval, 7u);
+  EXPECT_EQ(restored->config.measurement_shift, 2u);
+  EXPECT_FALSE(restored->config.on_the_fly_indices);
+  EXPECT_EQ(restored->sample_rate_hz, 256.0);
+  EXPECT_EQ(restored->codebook_blob, session.codebook_blob);
+  ASSERT_EQ(restored->frames.size(), 3u);
+  EXPECT_EQ(restored->frames[0], session.frames[0]);
+  EXPECT_TRUE(restored->frames[1].empty());
+  EXPECT_EQ(restored->frames[2], session.frames[2]);
+  EXPECT_TRUE(restored->codebook().has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, ADecoderCanBeBuiltFromALoadedSession) {
+  // End-to-end: encode a record, persist, reload, decode — the session
+  // file must carry everything the decoder needs.
+  ecg::DatabaseConfig db_config;
+  db_config.record_count = 1;
+  db_config.duration_s = 8.0;
+  const ecg::SyntheticDatabase db(db_config);
+  const auto& record = db.mote(0);
+
+  Session session;
+  session.sample_rate_hz = record.sample_rate_hz;
+  const auto book = core::default_difference_codebook();
+  session.codebook_blob = book.serialize();
+  core::Encoder encoder(session.config, book);
+  for (std::size_t off = 0;
+       off + session.config.window <= record.samples.size();
+       off += session.config.window) {
+    session.frames.push_back(
+        encoder
+            .encode_window(std::span<const std::int16_t>(
+                record.samples.data() + off, session.config.window))
+            .serialize());
+  }
+  const auto path = temp_path("e2e.csecgs");
+  ASSERT_TRUE(save_session(session, path));
+  const auto restored = load_session(path);
+  ASSERT_TRUE(restored.has_value());
+
+  core::DecoderConfig decoder_config;
+  decoder_config.cs = restored->config;
+  core::Decoder decoder(decoder_config, *restored->codebook());
+  std::size_t decoded = 0;
+  for (const auto& frame : restored->frames) {
+    const auto packet = core::Packet::parse(frame);
+    ASSERT_TRUE(packet.has_value());
+    ASSERT_TRUE(decoder.decode<float>(*packet).has_value());
+    ++decoded;
+  }
+  EXPECT_EQ(decoded, restored->frames.size());
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, RejectsCorruptSessions) {
+  Session session;
+  session.codebook_blob = core::default_difference_codebook().serialize();
+  session.frames = {{1, 2, 3}};
+  const auto path = temp_path("corrupt.csecgs");
+  ASSERT_TRUE(save_session(session, path));
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  // Truncate mid-frame.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 2));
+  }
+  EXPECT_FALSE(load_session(path).has_value());
+
+  // Corrupt magic.
+  {
+    auto broken = bytes;
+    broken[3] = 'x';
+    std::ofstream out(path, std::ios::binary);
+    out.write(broken.data(), static_cast<std::streamsize>(broken.size()));
+  }
+  EXPECT_FALSE(load_session(path).has_value());
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_session(path).has_value());
+}
+
+}  // namespace
+}  // namespace csecg::io

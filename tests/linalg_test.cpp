@@ -1,0 +1,524 @@
+// Unit tests for csecg::linalg — vector primitives, dense and sparse
+// matrices, the instrumented §IV-B kernel pair, and the power iteration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "csecg/linalg/dense_matrix.hpp"
+#include "csecg/linalg/kernels.hpp"
+#include "csecg/linalg/linear_operator.hpp"
+#include "csecg/linalg/sparse_binary_matrix.hpp"
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::linalg {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, util::Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = rng.gaussian();
+  }
+  return v;
+}
+
+std::vector<float> random_vector_f(std::size_t n, util::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.gaussian());
+  }
+  return v;
+}
+
+// ----------------------------------------------------------- vector ops --
+
+TEST(VectorOpsTest, DotMatchesManualSum) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot<double>(a, b), 1 * 4 - 2 * 5 + 3 * 6);
+}
+
+TEST(VectorOpsTest, DotRejectsSizeMismatch) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(dot<double>(a, b), Error);
+}
+
+TEST(VectorOpsTest, AxpyAccumulates) {
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(2.0, std::span<const double>(x), std::span<double>(y));
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOpsTest, NormsOnKnownVector) {
+  const std::vector<double> v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2<double>(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm1<double>(v), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf<double>(v), 4.0);
+}
+
+TEST(VectorOpsTest, CountNonzeroWithTolerance) {
+  const std::vector<double> v{0.0, 1e-9, -0.5, 2.0};
+  EXPECT_EQ(count_nonzero<double>(v), 3u);
+  EXPECT_EQ(count_nonzero<double>(v, 1e-6), 2u);
+}
+
+TEST(VectorOpsTest, SoftThresholdShrinksTowardZero) {
+  const std::vector<double> x{3.0, -3.0, 0.5, -0.5, 0.0};
+  std::vector<double> out(5);
+  soft_threshold<double>(x, 1.0, out);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+  EXPECT_DOUBLE_EQ(out[4], 0.0);
+}
+
+TEST(VectorOpsTest, SoftThresholdInPlace) {
+  std::vector<double> x{2.0, -2.0};
+  soft_threshold<double>(x, 0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+  EXPECT_DOUBLE_EQ(x[1], -1.5);
+}
+
+TEST(VectorOpsTest, SoftThresholdIsProxOfL1) {
+  // prox property: out minimises 0.5 ||z - x||^2 + t ||z||_1, so for any
+  // perturbation the objective must not decrease.
+  util::Rng rng(3);
+  const auto x = random_vector(32, rng);
+  std::vector<double> out(32);
+  const double t = 0.7;
+  soft_threshold<double>(x, t, out);
+  const auto objective = [&](const std::vector<double>& z) {
+    double obj = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      obj += 0.5 * (z[i] - x[i]) * (z[i] - x[i]) + t * std::fabs(z[i]);
+    }
+    return obj;
+  };
+  const double best = objective(out);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto z = out;
+    z[static_cast<std::size_t>(rng.uniform_index(32))] +=
+        rng.gaussian(0.0, 0.1);
+    EXPECT_GE(objective(z) + 1e-12, best);
+  }
+}
+
+// --------------------------------------------------------- dense matrix --
+
+TEST(DenseMatrixTest, ApplyMatchesManual) {
+  DenseMatrix<double> m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(0, 2) = 3.0;
+  m(1, 0) = -1.0;
+  m(1, 1) = 0.5;
+  m(1, 2) = 4.0;
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y(2);
+  m.apply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.5);
+}
+
+TEST(DenseMatrixTest, TransposeIsAdjoint) {
+  util::Rng rng(4);
+  DenseMatrix<double> m(5, 9);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 9; ++c) {
+      m(r, c) = rng.gaussian();
+    }
+  }
+  const auto x = random_vector(9, rng);
+  const auto u = random_vector(5, rng);
+  std::vector<double> mx(5);
+  std::vector<double> mtu(9);
+  m.apply(x, mx);
+  m.apply_transpose(u, mtu);
+  // <Mx, u> == <x, M^T u>
+  EXPECT_NEAR(dot<double>(mx, u), dot<double>(x, mtu), 1e-10);
+}
+
+TEST(DenseMatrixTest, IndexBoundsChecked) {
+  DenseMatrix<double> m(2, 2);
+  EXPECT_THROW(m(2, 0), Error);
+  EXPECT_THROW(m(0, 2), Error);
+}
+
+// -------------------------------------------------------- sparse binary --
+
+TEST(SparseBinaryMatrixTest, ColumnStructure) {
+  util::Rng rng(5);
+  SparseBinaryMatrix phi(256, 512, 12, rng);
+  EXPECT_EQ(phi.rows(), 256u);
+  EXPECT_EQ(phi.cols(), 512u);
+  EXPECT_EQ(phi.nonzeros_per_column(), 12u);
+  EXPECT_NEAR(phi.value(), 1.0 / std::sqrt(12.0), 1e-15);
+  for (std::size_t c = 0; c < phi.cols(); ++c) {
+    const auto rows = phi.column_rows(c);
+    ASSERT_EQ(rows.size(), 12u);
+    for (std::size_t k = 1; k < rows.size(); ++k) {
+      ASSERT_LT(rows[k - 1], rows[k]);  // distinct and sorted
+    }
+  }
+}
+
+TEST(SparseBinaryMatrixTest, ApplyMatchesExplicitConstruction) {
+  util::Rng rng(6);
+  SparseBinaryMatrix phi(16, 32, 4, rng);
+  // Build the dense equivalent and compare.
+  DenseMatrix<double> dense(16, 32);
+  for (std::size_t c = 0; c < 32; ++c) {
+    for (const auto r : phi.column_rows(c)) {
+      dense(r, c) = phi.value();
+    }
+  }
+  const auto x = random_vector(32, rng);
+  std::vector<double> y_sparse(16);
+  std::vector<double> y_dense(16);
+  phi.apply<double>(x, y_sparse);
+  dense.apply(x, y_dense);
+  for (std::size_t r = 0; r < 16; ++r) {
+    EXPECT_NEAR(y_sparse[r], y_dense[r], 1e-12);
+  }
+}
+
+TEST(SparseBinaryMatrixTest, TransposeIsAdjoint) {
+  util::Rng rng(7);
+  SparseBinaryMatrix phi(64, 128, 8, rng);
+  const auto x = random_vector(128, rng);
+  const auto u = random_vector(64, rng);
+  std::vector<double> px(64);
+  std::vector<double> ptu(128);
+  phi.apply<double>(x, px);
+  phi.apply_transpose<double>(u, ptu);
+  EXPECT_NEAR(dot<double>(px, u), dot<double>(x, ptu), 1e-10);
+}
+
+TEST(SparseBinaryMatrixTest, IntegerPathMatchesFloatUnscaled) {
+  util::Rng rng(8);
+  SparseBinaryMatrix phi(32, 64, 6, rng);
+  std::vector<std::int16_t> x(64);
+  std::vector<double> xd(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x[i] = static_cast<std::int16_t>(rng.uniform_int(-1024, 1023));
+    xd[i] = static_cast<double>(x[i]);
+  }
+  std::vector<std::int32_t> y_int(32);
+  std::vector<double> y_d(32);
+  phi.accumulate_integer(x, y_int);
+  phi.apply<double>(xd, y_d);
+  // The float path applies the 1/sqrt(d) scale; the integer path defers.
+  for (std::size_t r = 0; r < 32; ++r) {
+    EXPECT_NEAR(static_cast<double>(y_int[r]) * phi.value(), y_d[r], 1e-9);
+  }
+}
+
+TEST(SparseBinaryMatrixTest, ExplicitIndexConstructor) {
+  std::vector<std::uint16_t> table{0, 1, 1, 2, 0, 2};  // 3 cols, d = 2
+  SparseBinaryMatrix phi(3, 3, 2, table);
+  EXPECT_EQ(phi.column_rows(1)[0], 1);
+  EXPECT_EQ(phi.column_rows(1)[1], 2);
+  EXPECT_EQ(phi.storage_bytes(), 6u * sizeof(std::uint16_t));
+  // Invalid table: wrong size, and out-of-range row.
+  EXPECT_THROW(SparseBinaryMatrix(3, 3, 2, std::vector<std::uint16_t>{0}),
+               Error);
+  EXPECT_THROW(SparseBinaryMatrix(
+                   3, 3, 2, std::vector<std::uint16_t>{0, 1, 1, 2, 0, 9}),
+               Error);
+}
+
+TEST(SparseBinaryMatrixTest, StorageIsIndexTableOnly) {
+  util::Rng rng(9);
+  SparseBinaryMatrix phi(256, 512, 12, rng);
+  EXPECT_EQ(phi.storage_bytes(), 512u * 12u * 2u);  // ~12 kB
+}
+
+TEST(SparseBinaryMatrixTest, OverlapDiagnosticIsSmall) {
+  util::Rng rng(10);
+  SparseBinaryMatrix phi(256, 512, 12, rng);
+  // Expected shared rows between two random columns: d^2 / M = 0.5625.
+  const double overlap = phi.average_column_overlap();
+  EXPECT_GT(overlap, 0.2);
+  EXPECT_LT(overlap, 1.2);
+}
+
+TEST(SparseBinaryMatrixTest, RejectsBadParameters) {
+  util::Rng rng(11);
+  EXPECT_THROW(SparseBinaryMatrix(4, 8, 0, rng), Error);
+  EXPECT_THROW(SparseBinaryMatrix(4, 8, 5, rng), Error);
+  EXPECT_THROW(SparseBinaryMatrix(0, 8, 1, rng), Error);
+}
+
+// -------------------------------------------------------------- kernels --
+
+/// Every kernel must produce identical math in both schedules; the sweep
+/// covers multiples of 4 and the Fig 3 leftover cases.
+class KernelParityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelParityTest, DotParity) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n + 1);
+  const auto a = random_vector_f(n, rng);
+  const auto b = random_vector_f(n, rng);
+  const float scalar = kernels::dot(a.data(), b.data(), n,
+                                    KernelMode::kScalar);
+  const float simd = kernels::dot(a.data(), b.data(), n, KernelMode::kSimd4);
+  EXPECT_NEAR(scalar, simd, 1e-3f * (std::fabs(scalar) + 1.0f));
+}
+
+TEST_P(KernelParityTest, AxpyParity) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n + 2);
+  const auto x = random_vector_f(n, rng);
+  auto y1 = random_vector_f(n, rng);
+  auto y2 = y1;
+  kernels::axpy(0.37f, x.data(), y1.data(), n, KernelMode::kScalar);
+  kernels::axpy(0.37f, x.data(), y2.data(), n, KernelMode::kSimd4);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(y1[i], y2[i]);
+  }
+}
+
+TEST_P(KernelParityTest, FusedMultiplyAddParity) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n + 3);
+  const auto a = random_vector_f(n, rng);
+  const auto b = random_vector_f(n, rng);
+  const auto c = random_vector_f(n, rng);
+  std::vector<float> d1(n);
+  std::vector<float> d2(n);
+  kernels::fused_multiply_add(a.data(), b.data(), c.data(), d1.data(), n,
+                              KernelMode::kScalar);
+  kernels::fused_multiply_add(a.data(), b.data(), c.data(), d2.data(), n,
+                              KernelMode::kSimd4);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(d1[i], d2[i]);
+    EXPECT_FLOAT_EQ(d1[i], a[i] + b[i] * c[i]);
+  }
+}
+
+TEST_P(KernelParityTest, SubtractAndScaleParity) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n + 4);
+  const auto a = random_vector_f(n, rng);
+  const auto b = random_vector_f(n, rng);
+  std::vector<float> o1(n);
+  std::vector<float> o2(n);
+  kernels::subtract(a.data(), b.data(), o1.data(), n, KernelMode::kScalar);
+  kernels::subtract(a.data(), b.data(), o2.data(), n, KernelMode::kSimd4);
+  kernels::scale(1.5f, o1.data(), n, KernelMode::kScalar);
+  kernels::scale(1.5f, o2.data(), n, KernelMode::kSimd4);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(o1[i], o2[i]);
+    EXPECT_FLOAT_EQ(o1[i], (a[i] - b[i]) * 1.5f);
+  }
+}
+
+TEST_P(KernelParityTest, SoftThresholdParityAndSemantics) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n + 5);
+  auto u = random_vector_f(n, rng);
+  if (n > 2) {
+    u[1] = 0.0f;  // exercise the zero branch of the scalar code
+  }
+  std::vector<float> y1(n);
+  std::vector<float> y2(n);
+  const float t = 0.4f;
+  kernels::soft_threshold(u.data(), t, y1.data(), n, KernelMode::kScalar);
+  kernels::soft_threshold(u.data(), t, y2.data(), n, KernelMode::kSimd4);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(y1[i], y2[i]);
+    const float expected =
+        u[i] > t ? u[i] - t : (u[i] < -t ? u[i] + t : 0.0f);
+    EXPECT_NEAR(y1[i], expected, 1e-6f);
+  }
+}
+
+TEST_P(KernelParityTest, DualBandFilterParity) {
+  const std::size_t count = GetParam();
+  constexpr std::size_t kTaps = 8;
+  util::Rng rng(count + 6);
+  const auto input = random_vector_f(count + kTaps - 1, rng);
+  const auto h0 = random_vector_f(kTaps, rng);
+  const auto h1 = random_vector_f(kTaps, rng);
+  std::vector<float> l1(count);
+  std::vector<float> h1o(count);
+  std::vector<float> l2(count);
+  std::vector<float> h2o(count);
+  kernels::dual_band_filter(input.data(), h0.data(), h1.data(), l1.data(),
+                            h1o.data(), count, kTaps, KernelMode::kScalar);
+  kernels::dual_band_filter(input.data(), h0.data(), h1.data(), l2.data(),
+                            h2o.data(), count, kTaps, KernelMode::kSimd4);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_NEAR(l1[i], l2[i], 1e-4f);
+    EXPECT_NEAR(h1o[i], h2o[i], 1e-4f);
+  }
+}
+
+TEST_P(KernelParityTest, DualBandAnalysisSynthesisParity) {
+  const std::size_t half = GetParam();
+  if (half == 0) {
+    return;
+  }
+  constexpr std::size_t kTaps = 8;
+  util::Rng rng(half + 7);
+  const auto ext = random_vector_f(2 * half + kTaps - 1, rng);
+  const auto h0 = random_vector_f(kTaps, rng);
+  const auto h1 = random_vector_f(kTaps, rng);
+  std::vector<float> a1(half);
+  std::vector<float> d1(half);
+  std::vector<float> a2(half);
+  std::vector<float> d2(half);
+  kernels::dual_band_analysis(ext.data(), h0.data(), h1.data(), a1.data(),
+                              d1.data(), half, kTaps, KernelMode::kScalar);
+  kernels::dual_band_analysis(ext.data(), h0.data(), h1.data(), a2.data(),
+                              d2.data(), half, kTaps, KernelMode::kSimd4);
+  for (std::size_t i = 0; i < half; ++i) {
+    EXPECT_NEAR(a1[i], a2[i], 1e-4f);
+    EXPECT_NEAR(d1[i], d2[i], 1e-4f);
+  }
+  std::vector<float> x1(2 * half + kTaps - 1, 0.0f);
+  std::vector<float> x2(2 * half + kTaps - 1, 0.0f);
+  kernels::dual_band_synthesis(a1.data(), d1.data(), h0.data(), h1.data(),
+                               x1.data(), half, kTaps, KernelMode::kScalar);
+  kernels::dual_band_synthesis(a2.data(), d2.data(), h0.data(), h1.data(),
+                               x2.data(), half, kTaps, KernelMode::kSimd4);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_NEAR(x1[i], x2[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesIncludingLeftovers, KernelParityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           63, 64, 100, 512));
+
+TEST(KernelCountingTest, NoScopeMeansNoCounting) {
+  // Must not crash or count when no scope is active.
+  std::vector<float> a(8, 1.0f);
+  std::vector<float> b(8, 2.0f);
+  EXPECT_NO_FATAL_FAILURE(
+      kernels::dot(a.data(), b.data(), 8, KernelMode::kSimd4));
+}
+
+TEST(KernelCountingTest, ScalarModeCountsScalarMacs) {
+  std::vector<float> a(16, 1.0f);
+  std::vector<float> b(16, 2.0f);
+  OpCounterScope scope;
+  kernels::dot(a.data(), b.data(), 16, KernelMode::kScalar);
+  EXPECT_EQ(scope.counts().scalar_mac, 16u);
+  EXPECT_EQ(scope.counts().vector_mac4, 0u);
+  EXPECT_EQ(scope.counts().loads, 32u);
+}
+
+TEST(KernelCountingTest, Simd4ModeCountsVectorMacs) {
+  std::vector<float> a(16, 1.0f);
+  std::vector<float> b(16, 2.0f);
+  OpCounterScope scope;
+  kernels::dot(a.data(), b.data(), 16, KernelMode::kSimd4);
+  EXPECT_EQ(scope.counts().vector_mac4, 4u);
+  EXPECT_EQ(scope.counts().scalar_mac, 0u);
+  EXPECT_EQ(scope.counts().leftover_lane, 0u);
+}
+
+TEST(KernelCountingTest, LeftoverLanesCounted) {
+  std::vector<float> a(10, 1.0f);
+  std::vector<float> b(10, 2.0f);
+  OpCounterScope scope;
+  kernels::dot(a.data(), b.data(), 10, KernelMode::kSimd4);
+  EXPECT_EQ(scope.counts().vector_mac4, 2u);   // 8 of 10 elements
+  EXPECT_EQ(scope.counts().leftover_lane, 2u); // Fig 3 tail
+}
+
+TEST(KernelCountingTest, ScopesNestAndRestore) {
+  std::vector<float> a(4, 1.0f);
+  std::vector<float> b(4, 1.0f);
+  OpCounterScope outer;
+  kernels::dot(a.data(), b.data(), 4, KernelMode::kScalar);
+  {
+    OpCounterScope inner;
+    kernels::dot(a.data(), b.data(), 4, KernelMode::kScalar);
+    EXPECT_EQ(inner.counts().scalar_mac, 4u);
+  }
+  kernels::dot(a.data(), b.data(), 4, KernelMode::kScalar);
+  EXPECT_EQ(outer.counts().scalar_mac, 8u);  // inner scope not double-counted
+}
+
+TEST(KernelCountingTest, ChargeAddsExternalCounts) {
+  OpCounterScope scope;
+  OpCounts delta;
+  delta.scalar_op = 7;
+  delta.stores = 3;
+  charge(delta);
+  charge(delta);
+  EXPECT_EQ(scope.counts().scalar_op, 14u);
+  EXPECT_EQ(scope.counts().stores, 6u);
+}
+
+// ------------------------------------------------------- power iteration --
+
+class DenseOperator final : public LinearOperator<double> {
+ public:
+  explicit DenseOperator(DenseMatrix<double> m) : m_(std::move(m)) {}
+  std::size_t rows() const override { return m_.rows(); }
+  std::size_t cols() const override { return m_.cols(); }
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    m_.apply(x, y);
+  }
+  void apply_adjoint(std::span<const double> x,
+                     std::span<double> y) const override {
+    m_.apply_transpose(x, y);
+  }
+
+ private:
+  DenseMatrix<double> m_;
+};
+
+TEST(SpectralNormTest, DiagonalMatrixKnownNorm) {
+  DenseMatrix<double> m(3, 3);
+  m(0, 0) = 1.0;
+  m(1, 1) = -5.0;
+  m(2, 2) = 2.0;
+  DenseOperator op(std::move(m));
+  EXPECT_NEAR(estimate_spectral_norm_squared(op, 60), 25.0, 1e-6);
+}
+
+TEST(SpectralNormTest, ZeroOperator) {
+  DenseOperator op(DenseMatrix<double>(4, 4));
+  EXPECT_EQ(estimate_spectral_norm_squared(op), 0.0);
+}
+
+TEST(SpectralNormTest, MatchesGramPowerOnRandomMatrix) {
+  util::Rng rng(42);
+  DenseMatrix<double> m(6, 10);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 10; ++c) {
+      m(r, c) = rng.gaussian();
+    }
+  }
+  // Reference: dense power iteration on G = M^T M.
+  std::vector<double> v(10, 1.0);
+  std::vector<double> mv(6);
+  std::vector<double> gv(10);
+  double lambda = 0.0;
+  for (int it = 0; it < 500; ++it) {
+    m.apply(v, mv);
+    m.apply_transpose(mv, gv);
+    lambda = norm2<double>(gv) / norm2<double>(v);
+    const double inv = 1.0 / norm2<double>(gv);
+    for (std::size_t i = 0; i < 10; ++i) {
+      v[i] = gv[i] * inv;
+    }
+  }
+  DenseOperator op(std::move(m));
+  EXPECT_NEAR(estimate_spectral_norm_squared(op, 500), lambda,
+              1e-6 * lambda);
+}
+
+}  // namespace
+}  // namespace csecg::linalg

@@ -1,0 +1,201 @@
+// Unit tests for csecg::platform — cycle models, energy/battery model and
+// the memory-footprint accountant, including the paper's §IV/§V budgets.
+
+#include <gtest/gtest.h>
+
+#include "csecg/core/codebook.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/platform/cortex_a8.hpp"
+#include "csecg/platform/energy.hpp"
+#include "csecg/platform/memory_footprint.hpp"
+#include "csecg/platform/msp430.hpp"
+
+namespace csecg::platform {
+namespace {
+
+// ------------------------------------------------------------ cortex-a8 --
+
+TEST(CortexA8ModelTest, CyclesAreLinearInCounts) {
+  CortexA8Model model;
+  linalg::OpCounts counts;
+  counts.scalar_mac = 10;
+  counts.vector_mac4 = 5;
+  counts.loads = 100;
+  const double base = model.cycles(counts);
+  counts.scalar_mac = 20;
+  counts.vector_mac4 = 10;
+  counts.loads = 200;
+  EXPECT_DOUBLE_EQ(model.cycles(counts), 2.0 * base);
+}
+
+TEST(CortexA8ModelTest, VfpMacMatchesPaperRange) {
+  // §IV-B: "18-21 cycles for a single-precision multiply-accumulate".
+  CortexA8Model model;
+  EXPECT_GE(model.cycles_scalar_mac, 18.0);
+  EXPECT_LE(model.cycles_scalar_mac, 21.0);
+  // "two multiply-accumulate in 1 cycle" -> 4-lane vmla is 2 cycles.
+  EXPECT_DOUBLE_EQ(model.cycles_vector_mac4, 2.0);
+}
+
+TEST(CortexA8ModelTest, NeonMacIsFarCheaperPerElement) {
+  CortexA8Model model;
+  // Per element: scalar = cycles_scalar_mac, NEON = cycles_vector_mac4/4.
+  EXPECT_GT(model.cycles_scalar_mac / (model.cycles_vector_mac4 / 4.0),
+            20.0);
+}
+
+TEST(CortexA8ModelTest, SecondsUsesClock) {
+  CortexA8Model model;
+  linalg::OpCounts counts;
+  counts.vector_op4 = 600;  // 600 cycles at weight 1
+  EXPECT_NEAR(model.seconds(counts), 600.0 / 600e6, 1e-15);
+}
+
+TEST(CortexA8ModelTest, MaxIterationsWithinBudget) {
+  CortexA8Model model;
+  linalg::OpCounts per_iteration;
+  per_iteration.vector_mac4 = 150000;  // 300k cycles -> 0.5 ms
+  EXPECT_EQ(model.max_iterations_within(1.0, per_iteration), 2000u);
+  EXPECT_EQ(model.max_iterations_within(0.5, per_iteration), 1000u);
+  linalg::OpCounts empty;
+  EXPECT_THROW(model.max_iterations_within(1.0, empty), Error);
+}
+
+TEST(CortexA8ModelTest, CpuUsage) {
+  CortexA8Model model;
+  linalg::OpCounts per_packet;
+  per_packet.vector_op4 = static_cast<std::uint64_t>(0.4 * 600e6);
+  EXPECT_NEAR(model.cpu_usage(per_packet, 2.0), 0.2, 1e-12);
+  EXPECT_THROW(model.cpu_usage(per_packet, 0.0), Error);
+}
+
+// --------------------------------------------------------------- msp430 --
+
+TEST(Msp430ModelTest, HardwareLimitsMatchDatasheet) {
+  EXPECT_EQ(Msp430Model::kRamBytes, 10u * 1024u);
+  EXPECT_EQ(Msp430Model::kFlashBytes, 48u * 1024u);
+  Msp430Model model;
+  EXPECT_DOUBLE_EQ(model.clock_hz, 8e6);
+}
+
+TEST(Msp430ModelTest, CycleAccounting) {
+  Msp430Model model;
+  fixedpoint::Msp430OpCounts counts;
+  counts.add16 = 100;
+  counts.mul16 = 10;
+  counts.shift = 50;
+  const double cycles = model.cycles(counts);
+  EXPECT_DOUBLE_EQ(cycles, 100 * model.cycles_add16 +
+                               10 * model.cycles_mul16 +
+                               50 * model.cycles_shift);
+  EXPECT_NEAR(model.seconds(counts), cycles / 8e6, 1e-15);
+}
+
+TEST(Msp430ModelTest, CpuUsage) {
+  Msp430Model model;
+  fixedpoint::Msp430OpCounts counts;
+  counts.add16 = 200000;  // 800k cycles = 0.1 s at 8 MHz
+  EXPECT_NEAR(model.cpu_usage(counts, 2.0), 0.05, 1e-12);
+}
+
+// --------------------------------------------------------------- energy --
+
+TEST(EnergyTest, RadioPowerScalesWithBits) {
+  NodePowerModel model;
+  const double p1 = model.radio_average_power(1000);
+  const double p2 = model.radio_average_power(2000);
+  EXPECT_NEAR(p2, 2.0 * p1, 1e-12);
+}
+
+TEST(EnergyTest, SaturatedLinkIsRejected) {
+  NodePowerModel model;
+  const auto too_many_bits = static_cast<std::size_t>(
+      model.effective_throughput_bps * 3.0);
+  EXPECT_THROW(model.radio_average_power(too_many_bits, 2.0), Error);
+}
+
+TEST(EnergyTest, McuPowerDutyCycles) {
+  NodePowerModel model;
+  EXPECT_NEAR(model.mcu_average_power(0.2, 2.0),
+              model.mcu_active_power_w * 0.1, 1e-12);
+  EXPECT_THROW(model.mcu_average_power(-0.1, 2.0), Error);
+  EXPECT_THROW(model.mcu_average_power(3.0, 2.0), Error);
+}
+
+TEST(EnergyTest, CompressionExtendsLifetime) {
+  NodePowerModel model;
+  // Uncompressed streaming: 512 x 11-bit samples per 2 s, no encode cost.
+  const double p_stream = model.node_average_power(512 * 11, 0.0);
+  // CS at CR 50: about half the bits, 80 ms encode busy time.
+  const double p_cs = model.node_average_power(512 * 11 / 2, 0.08);
+  EXPECT_LT(p_cs, p_stream);
+  const double extension = lifetime_extension(p_stream, p_cs);
+  // The §V operating point: 12.9 %. Allow the modelling corridor.
+  EXPECT_GT(extension, 0.08);
+  EXPECT_LT(extension, 0.20);
+}
+
+TEST(EnergyTest, BatteryLifetimeArithmetic) {
+  BatteryModel battery;
+  battery.capacity_mah = 100.0;
+  battery.voltage_v = 3.7;
+  // 100 mAh * 3.6 * 3.7 = 1332 J; at 1 W -> 0.37 h.
+  EXPECT_NEAR(battery.energy_joules(), 1332.0, 1e-9);
+  EXPECT_NEAR(battery.lifetime_hours(1.0), 0.37, 1e-9);
+  EXPECT_THROW(battery.lifetime_hours(0.0), Error);
+}
+
+TEST(EnergyTest, LifetimeExtensionFormula) {
+  EXPECT_NEAR(lifetime_extension(1.129, 1.0), 0.129, 1e-12);
+  EXPECT_NEAR(lifetime_extension(1.0, 1.0), 0.0, 1e-12);
+  EXPECT_THROW(lifetime_extension(1.0, 0.0), Error);
+}
+
+// --------------------------------------------------------------- memory --
+
+TEST(MemoryFootprintTest, TotalsSplitRamAndFlash) {
+  MemoryFootprint fp;
+  fp.add("a", 100, true);
+  fp.add("b", 50, true);
+  fp.add("c", 200, false);
+  EXPECT_EQ(fp.ram_total(), 150u);
+  EXPECT_EQ(fp.flash_total(), 200u);
+  EXPECT_EQ(fp.items.size(), 3u);
+}
+
+TEST(MemoryFootprintTest, EncoderFootprintWithinPaperBudgets) {
+  const auto book = core::default_difference_codebook();
+  core::Encoder encoder(core::EncoderConfig{}, book);
+  const auto fp = estimate_encoder_footprint(encoder);
+  // §IV-A2: 6.5 kB RAM / 7.5 kB flash; and the hardware has 10 kB / 48 kB.
+  EXPECT_LT(fp.ram_total(), Msp430Model::kRamBytes);
+  EXPECT_LT(fp.flash_total(), Msp430Model::kFlashBytes);
+  EXPECT_NEAR(static_cast<double>(fp.ram_total()), 6.5 * 1024, 2.0 * 1024);
+  EXPECT_NEAR(static_cast<double>(fp.flash_total()), 7.5 * 1024,
+              2.0 * 1024);
+  // The codebook line item matches the paper's 1.5 kB.
+  bool found = false;
+  for (const auto& item : fp.items) {
+    if (item.name.find("Huffman") != std::string::npos) {
+      EXPECT_EQ(item.bytes, 1536u);
+      EXPECT_FALSE(item.is_ram);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MemoryFootprintTest, TableConfigurationBlowsTheFlashBudget) {
+  // Storing the 256x512 d=12 index table would cost 12 kB of flash —
+  // more than the paper's whole 7.5 kB budget. This is the evidence for
+  // the on-the-fly design.
+  const auto book = core::default_difference_codebook();
+  core::EncoderConfig config;
+  config.on_the_fly_indices = false;
+  core::Encoder encoder(config, book);
+  const auto fp = estimate_encoder_footprint(encoder);
+  EXPECT_GT(fp.flash_total(), static_cast<std::size_t>(7.5 * 1024));
+}
+
+}  // namespace
+}  // namespace csecg::platform

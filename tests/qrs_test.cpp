@@ -1,0 +1,190 @@
+// Unit tests for the QRS detector and the beat-matching scorer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csecg/core/codebook.hpp"
+#include "csecg/core/codec.hpp"
+#include "csecg/ecg/database.hpp"
+#include "csecg/ecg/noise.hpp"
+#include "csecg/ecg/qrs_detector.hpp"
+
+namespace csecg::ecg {
+namespace {
+
+std::vector<double> counts_to_double(const std::vector<std::int16_t>& s) {
+  return std::vector<double>(s.begin(), s.end());
+}
+
+// ------------------------------------------------------------- detector --
+
+TEST(QrsDetectorTest, EmptyAndTinySignals) {
+  QrsDetectorConfig config;
+  EXPECT_TRUE(detect_qrs({}, config).empty());
+  const std::vector<double> tiny(4, 0.0);
+  EXPECT_TRUE(detect_qrs(tiny, config).empty());
+}
+
+TEST(QrsDetectorTest, FindsBeatsOnCleanSyntheticEcg) {
+  EcgSynConfig gen;
+  gen.sample_rate_hz = 256.0;
+  gen.duration_s = 30.0;
+  gen.seed = 3;
+  const auto ecg = generate_ecg(gen);
+  const auto detected = detect_qrs(ecg.samples_mv);
+  const auto stats =
+      match_beats(ecg.beat_onsets, detected, gen.sample_rate_hz);
+  EXPECT_GT(stats.sensitivity, 0.95);
+  EXPECT_GT(stats.positive_predictivity, 0.95);
+  EXPECT_LT(stats.mean_timing_error_ms, 40.0);
+}
+
+TEST(QrsDetectorTest, RobustToModerateNoise) {
+  EcgSynConfig gen;
+  gen.sample_rate_hz = 256.0;
+  gen.duration_s = 30.0;
+  gen.seed = 4;
+  auto ecg = generate_ecg(gen);
+  NoiseConfig noise;
+  noise.baseline_wander_mv = 0.1;
+  noise.muscle_artifact_mv = 0.02;
+  noise.powerline_mv = 0.01;
+  add_noise(ecg.samples_mv, gen.sample_rate_hz, noise);
+  const auto detected = detect_qrs(ecg.samples_mv);
+  const auto stats =
+      match_beats(ecg.beat_onsets, detected, gen.sample_rate_hz);
+  EXPECT_GT(stats.f1, 0.9);
+}
+
+TEST(QrsDetectorTest, WorksOnAdcCountsToo) {
+  // Scale invariance: the adaptive threshold must not care about units.
+  ecg::DatabaseConfig db_config;
+  db_config.record_count = 1;
+  db_config.duration_s = 20.0;
+  const SyntheticDatabase db(db_config);
+  const auto& record = db.mote(0);
+  const auto detected = detect_qrs(counts_to_double(record.samples));
+  const auto stats =
+      match_beats(record.beat_onsets, detected, record.sample_rate_hz);
+  EXPECT_GT(stats.f1, 0.9);
+}
+
+TEST(QrsDetectorTest, RefractoryPreventsDoubleDetections) {
+  EcgSynConfig gen;
+  gen.sample_rate_hz = 256.0;
+  gen.duration_s = 20.0;
+  gen.mean_heart_rate_bpm = 60.0;
+  const auto ecg = generate_ecg(gen);
+  const auto detected = detect_qrs(ecg.samples_mv);
+  // Never two detections closer than the refractory period.
+  const std::size_t refractory = static_cast<std::size_t>(0.25 * 256.0);
+  for (std::size_t i = 1; i < detected.size(); ++i) {
+    ASSERT_GE(detected[i] - detected[i - 1], refractory);
+  }
+}
+
+TEST(QrsDetectorTest, RejectsBadConfig) {
+  QrsDetectorConfig config;
+  config.band_low_hz = 0.0;
+  std::vector<double> x(1000, 0.0);
+  EXPECT_THROW(detect_qrs(x, config), Error);
+  config = {};
+  config.band_high_hz = 200.0;  // above Nyquist at 256 Hz
+  EXPECT_THROW(detect_qrs(x, config), Error);
+}
+
+// ------------------------------------------------------------- matching --
+
+TEST(BeatMatchTest, PerfectMatch) {
+  const std::vector<std::size_t> ref{100, 300, 500};
+  const auto stats = match_beats(ref, ref, 256.0);
+  EXPECT_EQ(stats.true_positives, 3u);
+  EXPECT_EQ(stats.false_negatives, 0u);
+  EXPECT_EQ(stats.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(stats.sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(stats.f1, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_timing_error_ms, 0.0);
+}
+
+TEST(BeatMatchTest, ToleranceWindow) {
+  const std::vector<std::size_t> ref{1000};
+  // 75 ms at 256 Hz = 19.2 samples.
+  const std::vector<std::size_t> close{1010};
+  const std::vector<std::size_t> far{1040};
+  EXPECT_EQ(match_beats(ref, close, 256.0).true_positives, 1u);
+  EXPECT_EQ(match_beats(ref, far, 256.0).true_positives, 0u);
+  EXPECT_EQ(match_beats(ref, far, 256.0).false_positives, 1u);
+  EXPECT_EQ(match_beats(ref, far, 256.0).false_negatives, 1u);
+}
+
+TEST(BeatMatchTest, MissedAndExtraBeats) {
+  const std::vector<std::size_t> ref{100, 300, 500, 700};
+  const std::vector<std::size_t> detected{102, 498, 900};
+  const auto stats = match_beats(ref, detected, 256.0);
+  EXPECT_EQ(stats.true_positives, 2u);
+  EXPECT_EQ(stats.false_negatives, 2u);
+  EXPECT_EQ(stats.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(stats.sensitivity, 0.5);
+  EXPECT_NEAR(stats.positive_predictivity, 2.0 / 3.0, 1e-12);
+}
+
+TEST(BeatMatchTest, TimingErrorAveragesMatchedPairsOnly) {
+  const std::vector<std::size_t> ref{100, 300};
+  const std::vector<std::size_t> detected{104, 1000};  // one match, 1 FP
+  const auto stats = match_beats(ref, detected, 256.0);
+  EXPECT_EQ(stats.true_positives, 1u);
+  EXPECT_NEAR(stats.mean_timing_error_ms, 4.0 / 256.0 * 1000.0, 1e-9);
+}
+
+TEST(BeatMatchTest, EmptyInputs) {
+  const std::vector<std::size_t> some{10};
+  const auto none = match_beats({}, {}, 256.0);
+  EXPECT_EQ(none.true_positives, 0u);
+  EXPECT_EQ(none.f1, 0.0);
+  const auto all_fn = match_beats(some, {}, 256.0);
+  EXPECT_EQ(all_fn.false_negatives, 1u);
+  const auto all_fp = match_beats({}, some, 256.0);
+  EXPECT_EQ(all_fp.false_positives, 1u);
+}
+
+// ------------------------------------------ diagnostic quality through CS --
+
+TEST(DiagnosticQualityTest, BeatsSurviveCompressionAtCr50) {
+  // The clinically relevant claim behind the paper: at the operating
+  // point, the reconstruction keeps every beat detectable.
+  ecg::DatabaseConfig db_config;
+  db_config.record_count = 1;
+  db_config.duration_s = 20.0;
+  const SyntheticDatabase db(db_config);
+  const auto& record = db.mote(0);
+
+  core::DecoderConfig config;
+  const auto book = core::default_difference_codebook();
+  core::Encoder encoder(config.cs, book);
+  core::Decoder decoder(config, book);
+  std::vector<double> reconstructed;
+  for (std::size_t off = 0; off + 512 <= record.samples.size(); off += 512) {
+    const auto packet = encoder.encode_window(
+        std::span<const std::int16_t>(record.samples.data() + off, 512));
+    const auto window = decoder.decode<float>(packet);
+    ASSERT_TRUE(window.has_value());
+    for (const auto v : window->samples) {
+      reconstructed.push_back(static_cast<double>(v));
+    }
+  }
+  const auto detected = detect_qrs(reconstructed);
+  // Only compare beats within the reconstructed span.
+  std::vector<std::size_t> reference;
+  for (const auto b : record.beat_onsets) {
+    if (b < reconstructed.size()) {
+      reference.push_back(b);
+    }
+  }
+  const auto stats = match_beats(reference, detected, 256.0);
+  EXPECT_GT(stats.sensitivity, 0.95);
+  EXPECT_LT(stats.mean_timing_error_ms, 20.0);
+}
+
+}  // namespace
+}  // namespace csecg::ecg

@@ -1,0 +1,174 @@
+// Unit tests for the Golomb–Rice coder (the entropy-coding alternative of
+// the EXP-A3/A4 ablations).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csecg/coding/rice.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::coding {
+namespace {
+
+// --------------------------------------------------------------- zigzag --
+
+TEST(ZigzagTest, KnownMappings) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(ZigzagTest, RoundTripOverWideRange) {
+  util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::int32_t>(
+        rng.uniform_int(-2'000'000'000LL, 2'000'000'000LL));
+    ASSERT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  EXPECT_EQ(zigzag_decode(zigzag_encode(INT32_MIN)), INT32_MIN);
+  EXPECT_EQ(zigzag_decode(zigzag_encode(INT32_MAX)), INT32_MAX);
+}
+
+// ----------------------------------------------------------------- rice --
+
+class RiceParameterTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RiceParameterTest, ValueRoundTrip) {
+  const unsigned k = GetParam();
+  util::Rng rng(k + 10);
+  BitWriter writer;
+  std::vector<std::int32_t> values;
+  for (int i = 0; i < 500; ++i) {
+    // Geometric-ish magnitudes matched to k, plus outliers that trigger
+    // the escape path.
+    std::int32_t v;
+    if (i % 50 == 0) {
+      v = static_cast<std::int32_t>(rng.uniform_int(-40'000'000, 40'000'000));
+    } else {
+      v = static_cast<std::int32_t>(
+          rng.uniform_int(-(1LL << (k + 2)), 1LL << (k + 2)));
+    }
+    values.push_back(v);
+    rice_encode_value(v, k, writer);
+  }
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (const auto v : values) {
+    const auto decoded = rice_decode_value(k, reader);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, RiceParameterTest,
+                         ::testing::Values(0, 1, 3, 5, 8, 12, 18));
+
+TEST(RiceTest, BlockRoundTrip) {
+  util::Rng rng(2);
+  std::vector<std::int32_t> values(256);
+  for (auto& v : values) {
+    v = static_cast<std::int32_t>(rng.uniform_int(-300, 300));
+  }
+  const unsigned k = optimal_rice_parameter(values);
+  BitWriter writer;
+  const std::size_t bits = rice_encode_block(values, k, writer);
+  EXPECT_EQ(bits, rice_block_bits(values, k));
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  std::vector<std::int32_t> decoded(values.size());
+  ASSERT_TRUE(rice_decode_block(k, reader, decoded));
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(RiceTest, BlockBitsIsExact) {
+  util::Rng rng(3);
+  for (unsigned k : {0u, 2u, 6u}) {
+    std::vector<std::int32_t> values(100);
+    for (auto& v : values) {
+      v = static_cast<std::int32_t>(rng.uniform_int(-100000, 100000));
+    }
+    BitWriter writer;
+    const std::size_t written = rice_encode_block(values, k, writer);
+    EXPECT_EQ(written, rice_block_bits(values, k));
+  }
+}
+
+TEST(RiceTest, OptimalParameterBeatsNeighbours) {
+  util::Rng rng(4);
+  std::vector<std::int32_t> values(512);
+  for (auto& v : values) {
+    v = static_cast<std::int32_t>(std::lround(rng.gaussian(0.0, 90.0)));
+  }
+  const unsigned best = optimal_rice_parameter(values);
+  const std::size_t best_bits = rice_block_bits(values, best);
+  for (unsigned k = 0; k <= 18; ++k) {
+    EXPECT_GE(rice_block_bits(values, k), best_bits);
+  }
+  // For sigma ~90, the optimum sits in a sane mid range.
+  EXPECT_GE(best, 4u);
+  EXPECT_LE(best, 9u);
+}
+
+TEST(RiceTest, EscapeBoundsWorstCase) {
+  // A pathological value must cost at most cap + 1 + 32 bits.
+  BitWriter writer;
+  rice_encode_value(INT32_MAX, 0, writer);
+  EXPECT_LE(writer.bit_count(), kRiceQuotientCap + 1 + 32);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(rice_decode_value(0, reader), INT32_MAX);
+}
+
+TEST(RiceTest, DecodeFailsOnTruncatedAndMalformedInput) {
+  // Truncated remainder.
+  {
+    BitWriter writer;
+    rice_encode_value(1000, 6, writer);
+    auto bytes = writer.finish();
+    bytes.resize(bytes.size() - 1);
+    BitReader reader(bytes);
+    // May decode garbage from padding or fail; must not crash. A second
+    // decode must eventually fail on exhausted input.
+    (void)rice_decode_value(6, reader);
+    while (reader.remaining() > 0) {
+      (void)reader.read_bit();
+    }
+    EXPECT_FALSE(rice_decode_value(6, reader).has_value());
+  }
+  // Unary run longer than the cap (all ones).
+  {
+    std::vector<std::uint8_t> ones(8, 0xFF);
+    BitReader reader(ones);
+    EXPECT_FALSE(rice_decode_value(0, reader).has_value());
+  }
+}
+
+TEST(RiceTest, RejectsBadParameter) {
+  BitWriter writer;
+  EXPECT_THROW(rice_encode_value(0, 31, writer), Error);
+  std::vector<std::uint8_t> buf{0};
+  BitReader reader(buf);
+  EXPECT_THROW(rice_decode_value(31, reader), Error);
+  EXPECT_THROW(rice_block_bits(std::vector<std::int32_t>{1}, 31), Error);
+}
+
+TEST(RiceTest, CompressesPeakedDataBelowFixedWidth) {
+  // The use case: difference residuals concentrated near zero should cost
+  // far fewer bits than the 9-bit fixed representation.
+  util::Rng rng(5);
+  std::vector<std::int32_t> values(2048);
+  for (auto& v : values) {
+    v = static_cast<std::int32_t>(std::lround(rng.gaussian(0.0, 12.0)));
+  }
+  const unsigned k = optimal_rice_parameter(values);
+  const double bits_per_value =
+      static_cast<double>(rice_block_bits(values, k)) /
+      static_cast<double>(values.size());
+  EXPECT_LT(bits_per_value, 7.0);
+}
+
+}  // namespace
+}  // namespace csecg::coding

@@ -1,0 +1,208 @@
+// Property-based tests for the sparse-recovery solvers: invariances and
+// monotonicities that must hold for any problem instance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csecg/linalg/dense_matrix.hpp"
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/solvers/fista.hpp"
+#include "csecg/solvers/omp.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::solvers {
+namespace {
+
+template <typename T>
+class DenseOp final : public linalg::LinearOperator<T> {
+ public:
+  explicit DenseOp(linalg::DenseMatrix<T> m) : m_(std::move(m)) {}
+  std::size_t rows() const override { return m_.rows(); }
+  std::size_t cols() const override { return m_.cols(); }
+  void apply(std::span<const T> x, std::span<T> y) const override {
+    m_.apply(x, y);
+  }
+  void apply_adjoint(std::span<const T> x, std::span<T> y) const override {
+    m_.apply_transpose(x, y);
+  }
+
+ private:
+  linalg::DenseMatrix<T> m_;
+};
+
+DenseOp<double> random_op(std::size_t rows, std::size_t cols,
+                          std::uint64_t seed, double scale = 1.0) {
+  util::Rng rng(seed);
+  linalg::DenseMatrix<double> m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = scale * rng.gaussian(0.0, 1.0 / std::sqrt(
+                                              static_cast<double>(rows)));
+    }
+  }
+  return DenseOp<double>(std::move(m));
+}
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = rng.gaussian();
+  }
+  return v;
+}
+
+class LambdaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweepTest, ObjectiveIsBelowZeroSolutionValue) {
+  // F(a*) <= F(0) = ||y||^2 for every lambda.
+  const double lambda = GetParam();
+  auto op = random_op(24, 48, 100);
+  const auto y = random_vec(24, 101);
+  ShrinkageOptions options;
+  options.lambda = lambda;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-10;
+  const auto result = fista<double>(op, y, options);
+  const double f_zero = std::pow(linalg::norm2<double>(y), 2);
+  EXPECT_LE(result.final_objective, f_zero + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweepTest,
+                         ::testing::Values(1e-4, 1e-2, 0.1, 1.0, 10.0));
+
+TEST(SolverProperties, SparsityGrowsWithLambda) {
+  auto op = random_op(32, 64, 102);
+  const auto y = random_vec(32, 103);
+  ShrinkageOptions options;
+  options.max_iterations = 3000;
+  options.tolerance = 1e-10;
+  std::size_t previous_nonzeros = 65;
+  for (const double lambda : {0.001, 0.01, 0.1, 0.5}) {
+    options.lambda = lambda;
+    const auto result = fista<double>(op, y, options);
+    const std::size_t nonzeros = linalg::count_nonzero<double>(
+        std::span<const double>(result.solution), 1e-8);
+    EXPECT_LE(nonzeros, previous_nonzeros + 1)
+        << "lambda " << lambda << " should not densify the solution";
+    previous_nonzeros = nonzeros;
+  }
+  // Huge lambda kills everything.
+  options.lambda = 1e6;
+  const auto dead = fista<double>(op, y, options);
+  EXPECT_EQ(linalg::count_nonzero<double>(
+                std::span<const double>(dead.solution), 1e-12),
+            0u);
+}
+
+TEST(SolverProperties, SolutionIsScaleEquivariantInY) {
+  // Scaling y by c and lambda by c scales a* by c (homogeneity of the
+  // LASSO path in the observation).
+  auto op = random_op(24, 48, 104);
+  const auto y = random_vec(24, 105);
+  std::vector<double> y2(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y2[i] = 3.0 * y[i];
+  }
+  ShrinkageOptions options;
+  options.lambda = 0.05;
+  options.max_iterations = 5000;
+  options.tolerance = 1e-12;
+  const auto base = fista<double>(op, y, options);
+  options.lambda = 3.0 * 0.05;
+  const auto scaled = fista<double>(op, y2, options);
+  for (std::size_t i = 0; i < base.solution.size(); ++i) {
+    ASSERT_NEAR(scaled.solution[i], 3.0 * base.solution[i], 1e-5);
+  }
+}
+
+TEST(SolverProperties, OptimalityConditionsHoldAtTheSolution) {
+  // KKT for the LASSO: |2 A^T (A a - y)|_i <= lambda where a_i = 0,
+  //                     = -lambda * sign(a_i) where a_i != 0.
+  auto op = random_op(24, 48, 106);
+  const auto y = random_vec(24, 107);
+  ShrinkageOptions options;
+  options.lambda = 0.2;
+  options.max_iterations = 30000;
+  options.tolerance = 1e-14;
+  const auto result = fista<double>(op, y, options);
+  std::vector<double> residual(24);
+  op.apply(std::span<const double>(result.solution),
+           std::span<double>(residual));
+  for (std::size_t i = 0; i < 24; ++i) {
+    residual[i] -= y[i];
+  }
+  std::vector<double> gradient(48);
+  op.apply_adjoint(std::span<const double>(residual),
+                   std::span<double>(gradient));
+  for (auto& g : gradient) {
+    g *= 2.0;
+  }
+  for (std::size_t i = 0; i < 48; ++i) {
+    if (std::fabs(result.solution[i]) > 1e-7) {
+      EXPECT_NEAR(gradient[i],
+                  -options.lambda * (result.solution[i] > 0 ? 1.0 : -1.0),
+                  0.01 * options.lambda)
+          << "active coordinate " << i;
+    } else {
+      EXPECT_LE(std::fabs(gradient[i]), options.lambda * 1.01)
+          << "inactive coordinate " << i;
+    }
+  }
+}
+
+TEST(SolverProperties, FistaAndIstaAgreeAtConvergence) {
+  // Same fixed point: run both to tight tolerance and compare.
+  auto op = random_op(16, 32, 108);
+  const auto y = random_vec(16, 109);
+  ShrinkageOptions options;
+  options.lambda = 0.1;
+  options.max_iterations = 50000;
+  options.tolerance = 1e-13;
+  const auto fast = fista<double>(op, y, options);
+  const auto slow = ista<double>(op, y, options);
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_NEAR(fast.solution[i], slow.solution[i], 1e-5);
+  }
+}
+
+TEST(SolverProperties, OmpIsExactlyLeastSquaresOnItsSupport) {
+  // After OMP stops, the residual is orthogonal to every selected atom.
+  auto op = random_op(24, 48, 110);
+  const auto y = random_vec(24, 111);
+  OmpOptions options;
+  options.max_support = 10;
+  options.residual_tolerance = 0.0;
+  const auto result = omp(op, y, options);
+  std::vector<double> residual(24);
+  op.apply(std::span<const double>(result.solution),
+           std::span<double>(residual));
+  for (std::size_t i = 0; i < 24; ++i) {
+    residual[i] = y[i] - residual[i];
+  }
+  std::vector<double> correlations(48);
+  op.apply_adjoint(std::span<const double>(residual),
+                   std::span<double>(correlations));
+  for (const auto idx : result.support) {
+    EXPECT_NEAR(correlations[idx], 0.0, 1e-8);
+  }
+}
+
+TEST(SolverProperties, WeightedAndUniformAgreeWhenWeightsAreOne) {
+  auto op = random_op(24, 48, 112);
+  const auto y = random_vec(24, 113);
+  ShrinkageOptions options;
+  options.lambda = 0.1;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-12;
+  const auto uniform = fista<double>(op, y, options);
+  options.weights.assign(48, 1.0);
+  const auto weighted = fista<double>(op, y, options);
+  for (std::size_t i = 0; i < 48; ++i) {
+    ASSERT_NEAR(uniform.solution[i], weighted.solution[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace csecg::solvers

@@ -1,0 +1,373 @@
+// Unit tests for csecg::solvers — ISTA/FISTA behaviour on problems with
+// known solutions, convergence-rate ordering, stopping rules, and OMP
+// exact recovery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csecg/linalg/dense_matrix.hpp"
+#include "csecg/linalg/vector_ops.hpp"
+#include "csecg/solvers/fista.hpp"
+#include "csecg/solvers/omp.hpp"
+#include "csecg/util/rng.hpp"
+
+namespace csecg::solvers {
+namespace {
+
+template <typename T>
+class DenseOp final : public linalg::LinearOperator<T> {
+ public:
+  explicit DenseOp(linalg::DenseMatrix<T> m) : m_(std::move(m)) {}
+  std::size_t rows() const override { return m_.rows(); }
+  std::size_t cols() const override { return m_.cols(); }
+  void apply(std::span<const T> x, std::span<T> y) const override {
+    m_.apply(x, y);
+  }
+  void apply_adjoint(std::span<const T> x, std::span<T> y) const override {
+    m_.apply_transpose(x, y);
+  }
+
+ private:
+  linalg::DenseMatrix<T> m_;
+};
+
+template <typename T>
+DenseOp<T> identity_op(std::size_t n) {
+  linalg::DenseMatrix<T> m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = T{1};
+  }
+  return DenseOp<T>(std::move(m));
+}
+
+template <typename T>
+DenseOp<T> gaussian_op(std::size_t rows, std::size_t cols,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::DenseMatrix<T> m(rows, cols);
+  const double sigma = 1.0 / std::sqrt(static_cast<double>(rows));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = static_cast<T>(rng.gaussian(0.0, sigma));
+    }
+  }
+  return DenseOp<T>(std::move(m));
+}
+
+// ----------------------------------------------------------- fista/ista --
+
+TEST(FistaTest, IdentityOperatorGivesSoftThreshold) {
+  // min ||a - y||^2 + lambda ||a||_1 has the closed form
+  // a* = soft_threshold(y, lambda / 2).
+  const std::size_t n = 16;
+  auto op = identity_op<double>(n);
+  util::Rng rng(1);
+  std::vector<double> y(n);
+  for (auto& v : y) {
+    v = rng.gaussian();
+  }
+  ShrinkageOptions options;
+  options.lambda = 0.8;
+  options.max_iterations = 500;
+  options.tolerance = 1e-12;
+  const auto result = fista<double>(op, y, options);
+  EXPECT_TRUE(result.converged);
+  std::vector<double> expected(n);
+  linalg::soft_threshold<double>(y, 0.4, expected);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.solution[i], expected[i], 1e-6);
+  }
+}
+
+TEST(FistaTest, ZeroLambdaSolvesLeastSquaresExactly) {
+  // Square well-conditioned system, lambda = 0: residual must vanish.
+  auto op = gaussian_op<double>(24, 24, 2);
+  util::Rng rng(3);
+  std::vector<double> truth(24);
+  for (auto& v : truth) {
+    v = rng.gaussian();
+  }
+  std::vector<double> y(24);
+  op.apply(truth, y);
+  ShrinkageOptions options;
+  options.lambda = 0.0;
+  options.max_iterations = 20000;
+  options.tolerance = 1e-13;
+  const auto result = fista<double>(op, y, options);
+  EXPECT_LT(result.final_residual_norm, 1e-4);
+}
+
+TEST(FistaTest, RecoversSparseVectorFromCompressedMeasurements) {
+  // The core CS promise: S-sparse truth, M ~ 4S Gaussian measurements.
+  const std::size_t n = 128;
+  const std::size_t m = 64;
+  const std::size_t s = 8;
+  auto op = gaussian_op<double>(m, n, 4);
+  util::Rng rng(5);
+  std::vector<double> truth(n, 0.0);
+  const auto support = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(s));
+  for (const auto idx : support) {
+    truth[idx] = rng.gaussian(0.0, 3.0);
+  }
+  std::vector<double> y(m);
+  op.apply(truth, y);
+
+  ShrinkageOptions options;
+  options.lambda = 1e-4;
+  options.max_iterations = 30000;
+  options.tolerance = 1e-12;
+  const auto result = fista<double>(op, y, options);
+  double err = 0.0;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    err += (result.solution[i] - truth[i]) * (result.solution[i] - truth[i]);
+    norm += truth[i] * truth[i];
+  }
+  EXPECT_LT(std::sqrt(err / norm), 0.05);
+}
+
+TEST(FistaTest, ObjectiveTraceIsRecordedAndBounded) {
+  auto op = gaussian_op<double>(32, 64, 6);
+  util::Rng rng(7);
+  std::vector<double> y(32);
+  for (auto& v : y) {
+    v = rng.gaussian();
+  }
+  ShrinkageOptions options;
+  options.lambda = 0.05;
+  options.max_iterations = 200;
+  options.tolerance = 0.0;  // run all iterations
+  options.record_objective = true;
+  const auto result = fista<double>(op, y, options);
+  ASSERT_EQ(result.objective_trace.size(), 200u);
+  // FISTA is not monotone, but the tail must sit far below the start.
+  EXPECT_LT(result.objective_trace.back(),
+            result.objective_trace.front() * 0.9);
+  // Final objective report matches the trace tail.
+  EXPECT_NEAR(result.final_objective, result.objective_trace.back(),
+              1e-6 * result.final_objective + 1e-9);
+}
+
+TEST(FistaTest, ConvergesFasterThanIsta) {
+  // O(1/k^2) vs O(1/k): after the same iteration budget FISTA's objective
+  // must be closer to optimal.
+  auto op = gaussian_op<double>(48, 96, 8);
+  util::Rng rng(9);
+  std::vector<double> y(48);
+  for (auto& v : y) {
+    v = rng.gaussian();
+  }
+  ShrinkageOptions options;
+  options.lambda = 0.02;
+  options.max_iterations = 120;
+  options.tolerance = 0.0;
+  options.record_objective = true;
+  const auto fast = fista<double>(op, y, options);
+  const auto slow = ista<double>(op, y, options);
+  // Optimal objective approximated by a long FISTA run.
+  ShrinkageOptions long_options = options;
+  long_options.max_iterations = 20000;
+  long_options.record_objective = false;
+  long_options.tolerance = 1e-14;
+  const double f_star = fista<double>(op, y, long_options).final_objective;
+  const double gap_fast = fast.final_objective - f_star;
+  const double gap_slow = slow.final_objective - f_star;
+  EXPECT_LT(gap_fast, gap_slow * 0.5);
+}
+
+TEST(FistaTest, IstaObjectiveIsMonotone) {
+  // Unlike FISTA, plain ISTA descends monotonically.
+  auto op = gaussian_op<double>(32, 64, 10);
+  util::Rng rng(11);
+  std::vector<double> y(32);
+  for (auto& v : y) {
+    v = rng.gaussian();
+  }
+  ShrinkageOptions options;
+  options.lambda = 0.05;
+  options.max_iterations = 150;
+  options.tolerance = 0.0;
+  options.record_objective = true;
+  const auto result = ista<double>(op, y, options);
+  for (std::size_t k = 1; k < result.objective_trace.size(); ++k) {
+    ASSERT_LE(result.objective_trace[k],
+              result.objective_trace[k - 1] + 1e-9);
+  }
+}
+
+TEST(FistaTest, SigmaStoppingHaltsEarly) {
+  auto op = gaussian_op<double>(32, 64, 12);
+  util::Rng rng(13);
+  std::vector<double> y(32);
+  for (auto& v : y) {
+    v = rng.gaussian();
+  }
+  ShrinkageOptions options;
+  options.lambda = 1e-3;
+  options.max_iterations = 5000;
+  options.tolerance = 0.0;
+  options.sigma = 0.5 * linalg::norm2<double>(y);
+  const auto result = fista<double>(op, y, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 5000u);
+  EXPECT_LE(result.final_residual_norm, *options.sigma + 1e-9);
+}
+
+TEST(FistaTest, MaxIterationsBoundsWork) {
+  auto op = gaussian_op<double>(16, 32, 14);
+  std::vector<double> y(16, 1.0);
+  ShrinkageOptions options;
+  options.lambda = 0.01;
+  options.max_iterations = 7;
+  options.tolerance = 0.0;
+  const auto result = fista<double>(op, y, options);
+  EXPECT_EQ(result.iterations, 7u);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(FistaTest, ProvidedLipschitzSkipsEstimation) {
+  auto op = identity_op<double>(8);
+  std::vector<double> y(8, 2.0);
+  ShrinkageOptions options;
+  options.lambda = 0.1;
+  options.lipschitz = 2.0;  // exact for the identity: L = 2 lambda_max = 2
+  options.max_iterations = 200;
+  options.tolerance = 1e-12;
+  const auto result = fista<double>(op, y, options);
+  EXPECT_NEAR(result.solution[0], 2.0 - 0.05, 1e-6);
+}
+
+TEST(FistaTest, FloatPathMatchesDoublePath) {
+  auto opd = gaussian_op<double>(32, 64, 15);
+  auto opf = gaussian_op<float>(32, 64, 15);  // same seed -> same entries
+  util::Rng rng(16);
+  std::vector<double> yd(32);
+  std::vector<float> yf(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    yd[i] = rng.gaussian();
+    yf[i] = static_cast<float>(yd[i]);
+  }
+  ShrinkageOptions options;
+  options.lambda = 0.05;
+  options.max_iterations = 400;
+  options.tolerance = 1e-7;
+  const auto rd = fista<double>(opd, yd, options);
+  const auto rf = fista<float>(opf, yf, options);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(rd.solution[i], static_cast<double>(rf.solution[i]), 5e-3);
+  }
+}
+
+TEST(FistaTest, RejectsBadArguments) {
+  auto op = identity_op<double>(4);
+  std::vector<double> y(3, 1.0);  // wrong size
+  ShrinkageOptions options;
+  EXPECT_THROW(fista<double>(op, y, options), Error);
+  std::vector<double> y4(4, 1.0);
+  options.lambda = -1.0;
+  EXPECT_THROW(fista<double>(op, y4, options), Error);
+  options = {};
+  options.max_iterations = 0;
+  EXPECT_THROW(fista<double>(op, y4, options), Error);
+}
+
+// ------------------------------------------------------------------ omp --
+
+TEST(OmpTest, ExactRecoveryOfSparseVector) {
+  const std::size_t n = 64;
+  const std::size_t m = 32;
+  const std::size_t s = 5;
+  auto op = gaussian_op<double>(m, n, 17);
+  util::Rng rng(18);
+  std::vector<double> truth(n, 0.0);
+  const auto support = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(s));
+  for (const auto idx : support) {
+    truth[idx] = rng.gaussian(0.0, 2.0) + (rng.sign() > 0 ? 1.0 : -1.0);
+  }
+  std::vector<double> y(m);
+  op.apply(truth, y);
+  OmpOptions options;
+  options.max_support = 16;
+  options.residual_tolerance = 1e-9;
+  const auto result = omp(op, y, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.support.size(), s);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.solution[i], truth[i], 1e-6);
+  }
+}
+
+TEST(OmpTest, ZeroMeasurementsGiveZeroSolution) {
+  auto op = gaussian_op<double>(16, 32, 19);
+  std::vector<double> y(16, 0.0);
+  const auto result = omp(op, y, OmpOptions{});
+  EXPECT_TRUE(result.converged);
+  for (const auto v : result.solution) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(OmpTest, SupportCapIsRespected) {
+  auto op = gaussian_op<double>(32, 64, 20);
+  util::Rng rng(21);
+  std::vector<double> y(32);
+  for (auto& v : y) {
+    v = rng.gaussian();  // dense target: cannot converge
+  }
+  OmpOptions options;
+  options.max_support = 6;
+  options.residual_tolerance = 1e-12;
+  const auto result = omp(op, y, options);
+  EXPECT_LE(result.support.size(), 6u);
+  EXPECT_EQ(result.iterations, result.support.size());
+}
+
+TEST(OmpTest, ResidualDecreasesMonotonically) {
+  auto op = gaussian_op<double>(24, 48, 22);
+  util::Rng rng(23);
+  std::vector<double> y(24);
+  for (auto& v : y) {
+    v = rng.gaussian();
+  }
+  double previous = linalg::norm2<double>(y);
+  for (std::size_t k = 1; k <= 8; ++k) {
+    OmpOptions options;
+    options.max_support = k;
+    options.residual_tolerance = 0.0;
+    const auto result = omp(op, y, options);
+    EXPECT_LE(result.final_residual_norm, previous + 1e-9);
+    previous = result.final_residual_norm;
+  }
+}
+
+TEST(OmpTest, SupportIndicesAreDistinct) {
+  auto op = gaussian_op<double>(32, 64, 24);
+  util::Rng rng(25);
+  std::vector<double> y(32);
+  for (auto& v : y) {
+    v = rng.gaussian();
+  }
+  OmpOptions options;
+  options.max_support = 20;
+  options.residual_tolerance = 0.0;
+  const auto result = omp(op, y, options);
+  std::vector<std::size_t> sorted = result.support;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(OmpTest, RejectsBadArguments) {
+  auto op = gaussian_op<double>(8, 16, 26);
+  std::vector<double> wrong(7, 1.0);
+  EXPECT_THROW(omp(op, wrong, OmpOptions{}), Error);
+  std::vector<double> y(8, 1.0);
+  OmpOptions options;
+  options.max_support = 0;
+  EXPECT_THROW(omp(op, y, options), Error);
+}
+
+}  // namespace
+}  // namespace csecg::solvers

@@ -1,0 +1,351 @@
+// Unit tests for csecg::util — RNG, statistics accumulators, tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "csecg/util/error.hpp"
+#include "csecg/util/rng.hpp"
+#include "csecg/util/stats.hpp"
+#include "csecg/util/table.hpp"
+
+namespace csecg::util {
+namespace {
+
+// ---------------------------------------------------------------- error --
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    CSECG_CHECK(1 == 2, "impossible arithmetic");
+    FAIL() << "CSECG_CHECK did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("impossible arithmetic"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMacroPassesSilently) {
+  EXPECT_NO_THROW(CSECG_CHECK(2 + 2 == 4, "sanity"));
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 2.0), Error);
+}
+
+TEST(RngTest, UniformIndexCoversRangeUniformly) {
+  Rng rng(9);
+  constexpr std::uint64_t kBuckets = 7;
+  std::array<int, kBuckets> histogram{};
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.uniform_index(kBuckets)];
+  }
+  for (const auto count : histogram) {
+    // Each bucket expects 10000; allow 5 sigma of binomial noise.
+    EXPECT_NEAR(count, kDraws / static_cast<int>(kBuckets), 500);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.gaussian());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaledMoments) {
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.gaussian(5.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, SignIsSymmetric) {
+  Rng rng(13);
+  int pos = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int s = rng.sign();
+    ASSERT_TRUE(s == 1 || s == -1);
+    pos += s == 1;
+  }
+  EXPECT_NEAR(pos, kDraws / 2, 400);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(14);
+  int hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += rng.bernoulli(0.3);
+  }
+  EXPECT_NEAR(hits, 6000, 350);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndSorted) {
+  Rng rng(15);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = rng.sample_without_replacement(256, 12);
+    ASSERT_EQ(sample.size(), 12u);
+    for (std::size_t i = 1; i < sample.size(); ++i) {
+      ASSERT_LT(sample[i - 1], sample[i]);  // sorted and distinct
+    }
+    for (const auto v : sample) {
+      ASSERT_LT(v, 256u);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPopulation) {
+  Rng rng(16);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUnbiased) {
+  Rng rng(17);
+  std::array<int, 16> counts{};
+  constexpr int kTrials = 8000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const auto v : rng.sample_without_replacement(16, 4)) {
+      ++counts[v];
+    }
+  }
+  for (const auto c : counts) {
+    EXPECT_NEAR(c, kTrials / 4, 200);  // each index picked w.p. 1/4
+  }
+}
+
+TEST(RngTest, SampleRejectsOversizedRequest) {
+  Rng rng(18);
+  EXPECT_THROW(rng.sample_without_replacement(4, 5), Error);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(19);
+  Rng child = parent.fork();
+  // The child stream should not replay the parent stream.
+  Rng parent_copy(19);
+  (void)parent_copy();  // consume the draw fork() used
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent_copy()) {
+      ++same;
+    }
+  }
+  EXPECT_LE(same, 1);
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(RunningStatsTest, EmptyBehaviour) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_THROW(stats.min(), Error);
+  EXPECT_THROW(stats.max(), Error);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> values{1.5, -2.0, 4.0, 4.0, 0.25, 10.0};
+  RunningStats stats;
+  double sum = 0.0;
+  for (const auto v : values) {
+    stats.add(v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double m2 = 0.0;
+  for (const auto v : values) {
+    m2 += (v - mean) * (v - mean);
+  }
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), m2 / (values.size() - 1.0), 1e-12);
+  EXPECT_EQ(stats.min(), -2.0);
+  EXPECT_EQ(stats.max(), 10.0);
+  EXPECT_NEAR(stats.sum(), sum, 1e-12);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 3.0);
+  EXPECT_EQ(stats.max(), 3.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(21);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.gaussian(2.0, 3.0);
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(5.0);
+  a.merge(b);  // empty <- non-empty
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.mean(), 5.0);
+  RunningStats c;
+  a.merge(c);  // non-empty <- empty
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(PercentileTrackerTest, KnownPercentiles) {
+  PercentileTracker tracker;
+  for (int i = 1; i <= 100; ++i) {
+    tracker.add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(tracker.percentile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(tracker.percentile(100.0), 100.0, 1e-12);
+  EXPECT_NEAR(tracker.median(), 50.5, 1e-12);
+  EXPECT_NEAR(tracker.percentile(25.0), 25.75, 1e-12);
+}
+
+TEST(PercentileTrackerTest, SingleSample) {
+  PercentileTracker tracker;
+  tracker.add(42.0);
+  EXPECT_EQ(tracker.percentile(0.0), 42.0);
+  EXPECT_EQ(tracker.percentile(50.0), 42.0);
+  EXPECT_EQ(tracker.percentile(100.0), 42.0);
+}
+
+TEST(PercentileTrackerTest, RejectsBadQueries) {
+  PercentileTracker tracker;
+  EXPECT_THROW(tracker.percentile(50.0), Error);
+  tracker.add(1.0);
+  EXPECT_THROW(tracker.percentile(-1.0), Error);
+  EXPECT_THROW(tracker.percentile(101.0), Error);
+}
+
+TEST(PercentileTrackerTest, InterleavedAddAndQuery) {
+  PercentileTracker tracker;
+  tracker.add(3.0);
+  tracker.add(1.0);
+  EXPECT_NEAR(tracker.median(), 2.0, 1e-12);
+  tracker.add(2.0);  // re-sorting must happen on the next query
+  EXPECT_NEAR(tracker.median(), 2.0, 1e-12);
+  tracker.add(10.0);
+  EXPECT_NEAR(tracker.percentile(100.0), 10.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- table --
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"CR", "PRD"});
+  table.set_title("Fig 6");
+  table.add_row({"30", "9.1"});
+  table.add_row({"50", "13.2"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig 6"), std::string::npos);
+  EXPECT_NE(out.find("| CR | PRD"), std::string::npos);
+  EXPECT_NE(out.find("| 50 | 13.2"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RowArityIsEnforced) {
+  Table table({"x", "y"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+  EXPECT_EQ(format_percent(0.129), "12.9%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace csecg::util

@@ -1,0 +1,332 @@
+// csecg_tool — command-line front end for the whole stack.
+//
+//   csecg_tool generate --out rec.csecg [--seconds 30] [--bpm 70]
+//                       [--pvc 0.1] [--seed 1] [--rate 256]
+//   csecg_tool info     --in rec.csecg
+//   csecg_tool csv      --in rec.csecg --out rec.csv
+//   csecg_tool encode   --in rec.csecg --out session.csecgs [--cr 50]
+//                       [--d 12] [--shift 0] [--seed 42]
+//   csecg_tool decode   --in session.csecgs --out recon.csecg
+//   csecg_tool metrics  --a rec.csecg --b recon.csecg
+//
+// `encode` trains a codebook on the input record itself (self-contained
+// sessions); `decode` reads everything it needs from the session file.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "csecg/core/codebook.hpp"
+#include "csecg/core/codec.hpp"
+#include "csecg/core/residual.hpp"
+#include "csecg/ecg/database.hpp"
+#include "csecg/ecg/ecgsyn.hpp"
+#include "csecg/ecg/noise.hpp"
+#include "csecg/ecg/metrics.hpp"
+#include "csecg/ecg/qrs_detector.hpp"
+#include "csecg/io/record_io.hpp"
+#include "csecg/io/session_io.hpp"
+
+namespace {
+
+using namespace csecg;
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag value, got %s\n", argv[i]);
+      std::exit(2);
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string need(const Args& args, const std::string& key) {
+  const auto it = args.find(key);
+  if (it == args.end()) {
+    std::fprintf(stderr, "missing required --%s\n", key.c_str());
+    std::exit(2);
+  }
+  return it->second;
+}
+
+double get_double(const Args& args, const std::string& key,
+                  double fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : std::stod(it->second);
+}
+
+int cmd_generate(const Args& args) {
+  ecg::EcgSynConfig gen;
+  gen.sample_rate_hz = get_double(args, "rate", 256.0);
+  gen.duration_s = get_double(args, "seconds", 30.0);
+  gen.mean_heart_rate_bpm = get_double(args, "bpm", 70.0);
+  gen.pvc_probability = get_double(args, "pvc", 0.0);
+  gen.apc_probability = get_double(args, "apc", 0.0);
+  gen.seed = static_cast<std::uint64_t>(get_double(args, "seed", 1.0));
+  const auto generated = ecg::generate_ecg(gen);
+
+  ecg::NoiseConfig noise;
+  noise.seed = gen.seed ^ 0xabcdu;
+  auto samples_mv = generated.samples_mv;
+  ecg::add_noise(samples_mv, gen.sample_rate_hz, noise);
+
+  ecg::Record record;
+  record.id = "generated-" + std::to_string(gen.seed);
+  record.sample_rate_hz = gen.sample_rate_hz;
+  record.samples = ecg::AdcModel().quantize(samples_mv);
+  record.beat_onsets = generated.beat_onsets;
+  record.beat_classes = generated.beat_classes;
+
+  const auto out = need(args, "out");
+  if (!io::save_record(record, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %.0f s at %.0f Hz, %zu beats\n", out.c_str(),
+              record.duration_s(), record.sample_rate_hz,
+              record.beat_onsets.size());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const auto record = io::load_record(need(args, "in"));
+  if (!record) {
+    std::fprintf(stderr, "cannot read record\n");
+    return 1;
+  }
+  std::printf("id           : %s\n", record->id.c_str());
+  std::printf("sample rate  : %.3f Hz\n", record->sample_rate_hz);
+  std::printf("samples      : %zu (%.1f s)\n", record->samples.size(),
+              record->duration_s());
+  std::printf("beats        : %zu annotated\n", record->beat_onsets.size());
+  std::size_t pvc = 0;
+  std::size_t apc = 0;
+  for (const auto c : record->beat_classes) {
+    pvc += c == ecg::BeatClass::kPvc;
+    apc += c == ecg::BeatClass::kApc;
+  }
+  std::printf("ectopics     : %zu PVC, %zu APC\n", pvc, apc);
+  return 0;
+}
+
+int cmd_csv(const Args& args) {
+  const auto record = io::load_record(need(args, "in"));
+  if (!record) {
+    std::fprintf(stderr, "cannot read record\n");
+    return 1;
+  }
+  const auto out = need(args, "out");
+  if (!io::export_csv(*record, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_encode(const Args& args) {
+  const auto record = io::load_record(need(args, "in"));
+  if (!record) {
+    std::fprintf(stderr, "cannot read record\n");
+    return 1;
+  }
+  core::EncoderConfig config;
+  config.measurements = core::measurements_for_cr(
+      config.window, get_double(args, "cr", 50.0));
+  config.d = static_cast<std::size_t>(get_double(args, "d", 12.0));
+  config.seed = static_cast<std::uint64_t>(get_double(args, "seed", 42.0));
+  config.measurement_shift =
+      static_cast<unsigned>(get_double(args, "shift", 0.0));
+
+  // Self-contained session: train the codebook on this record's own
+  // difference statistics.
+  std::vector<std::uint64_t> histogram(core::kDiffAlphabetSize, 0);
+  {
+    core::SensingMatrixConfig sc;
+    sc.rows = config.measurements;
+    sc.cols = config.window;
+    sc.d = config.d;
+    sc.seed = config.seed;
+    const core::SensingMatrix sensing(sc);
+    std::vector<std::int32_t> current(config.measurements);
+    std::vector<std::int32_t> previous(config.measurements, 0);
+    bool have = false;
+    const std::int32_t scale = core::q15_inverse_sqrt(config.d);
+    for (std::size_t off = 0; off + config.window <= record->samples.size();
+         off += config.window) {
+      core::project_window_q15(
+          sensing.sparse(), scale,
+          std::span<const std::int16_t>(record->samples.data() + off,
+                                        config.window),
+          std::span<std::int32_t>(current));
+      if (config.measurement_shift > 0) {
+        const std::int32_t half = std::int32_t{1}
+                                  << (config.measurement_shift - 1);
+        for (auto& v : current) {
+          v = (v + half) >> config.measurement_shift;
+        }
+      }
+      if (have) {
+        core::accumulate_difference_histogram(current, previous, histogram);
+      }
+      previous.swap(current);
+      have = true;
+    }
+  }
+  const auto codebook = coding::HuffmanCodebook::from_frequencies(histogram);
+
+  io::Session session;
+  session.config = config;
+  session.sample_rate_hz = record->sample_rate_hz;
+  session.codebook_blob = codebook.serialize();
+  core::Encoder encoder(config, codebook);
+  std::size_t raw_bits = 0;
+  std::size_t wire_bits = 0;
+  for (std::size_t off = 0; off + config.window <= record->samples.size();
+       off += config.window) {
+    const auto packet = encoder.encode_window(std::span<const std::int16_t>(
+        record->samples.data() + off, config.window));
+    wire_bits += packet.wire_bits();
+    raw_bits += config.window * 11;
+    session.frames.push_back(packet.serialize());
+  }
+  const auto out = need(args, "out");
+  if (!io::save_session(session, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu packets, CR %.1f %%\n", out.c_str(),
+              session.frames.size(),
+              ecg::compression_ratio(raw_bits, wire_bits));
+  return 0;
+}
+
+int cmd_decode(const Args& args) {
+  const auto session = io::load_session(need(args, "in"));
+  if (!session) {
+    std::fprintf(stderr, "cannot read session\n");
+    return 1;
+  }
+  const auto codebook = session->codebook();
+  if (!codebook) {
+    std::fprintf(stderr, "session codebook is corrupt\n");
+    return 1;
+  }
+  core::DecoderConfig config;
+  config.cs = session->config;
+  core::Decoder decoder(config, *codebook);
+
+  ecg::Record out_record;
+  out_record.id = "reconstruction";
+  out_record.sample_rate_hz = session->sample_rate_hz;
+  std::size_t decoded = 0;
+  for (const auto& frame : session->frames) {
+    const auto packet = core::Packet::parse(frame);
+    if (!packet) {
+      continue;
+    }
+    const auto window = decoder.decode<float>(*packet);
+    if (!window) {
+      continue;
+    }
+    for (const auto v : window->samples) {
+      const double clamped = std::max(-1024.0f, std::min(1023.0f, v));
+      out_record.samples.push_back(
+          static_cast<std::int16_t>(std::lround(clamped)));
+    }
+    ++decoded;
+  }
+  const auto out = need(args, "out");
+  if (!io::save_record(out_record, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("decoded %zu/%zu packets into %s (%zu samples)\n", decoded,
+              session->frames.size(), out.c_str(),
+              out_record.samples.size());
+  return 0;
+}
+
+int cmd_metrics(const Args& args) {
+  const auto a = io::load_record(need(args, "a"));
+  const auto b = io::load_record(need(args, "b"));
+  if (!a || !b) {
+    std::fprintf(stderr, "cannot read records\n");
+    return 1;
+  }
+  const std::size_t n = std::min(a->samples.size(), b->samples.size());
+  if (n == 0) {
+    std::fprintf(stderr, "no overlapping samples\n");
+    return 1;
+  }
+  std::vector<double> xa(n);
+  std::vector<double> xb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xa[i] = static_cast<double>(a->samples[i]);
+    xb[i] = static_cast<double>(b->samples[i]);
+  }
+  const double prd = ecg::prd(xa, xb);
+  std::printf("samples compared : %zu\n", n);
+  std::printf("PRD              : %.3f %% (%s)\n", prd,
+              ecg::quality_band_name(ecg::classify_quality(prd)).c_str());
+  std::printf("PRD-N            : %.3f %%\n", ecg::prd_normalized(xa, xb));
+  std::printf("SNR              : %.2f dB\n", ecg::snr_from_prd(prd));
+
+  // Diagnostic quality: do the beats survive?
+  ecg::QrsDetectorConfig qrs;
+  qrs.sample_rate_hz = a->sample_rate_hz;
+  const auto detected = ecg::detect_qrs(xb, qrs);
+  if (!a->beat_onsets.empty()) {
+    const auto match = ecg::match_beats(a->beat_onsets, detected,
+                                        a->sample_rate_hz);
+    std::printf("QRS sensitivity  : %.3f\n", match.sensitivity);
+    std::printf("QRS +predictivity: %.3f\n", match.positive_predictivity);
+    std::printf("R timing error   : %.1f ms\n", match.mean_timing_error_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: csecg_tool {generate|info|csv|encode|decode|"
+                 "metrics} --flag value ...\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "generate") {
+      return cmd_generate(args);
+    }
+    if (command == "info") {
+      return cmd_info(args);
+    }
+    if (command == "csv") {
+      return cmd_csv(args);
+    }
+    if (command == "encode") {
+      return cmd_encode(args);
+    }
+    if (command == "decode") {
+      return cmd_decode(args);
+    }
+    if (command == "metrics") {
+      return cmd_metrics(args);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}
