@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wavelet.dir/bench_ablation_wavelet.cpp.o"
+  "CMakeFiles/bench_ablation_wavelet.dir/bench_ablation_wavelet.cpp.o.d"
+  "bench_ablation_wavelet"
+  "bench_ablation_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analog_cs.dir/bench_analog_cs.cpp.o"
+  "CMakeFiles/bench_analog_cs.dir/bench_analog_cs.cpp.o.d"
+  "bench_analog_cs"
+  "bench_analog_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analog_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_dwt.dir/bench_baseline_dwt.cpp.o"
+  "CMakeFiles/bench_baseline_dwt.dir/bench_baseline_dwt.cpp.o.d"
+  "bench_baseline_dwt"
+  "bench_baseline_dwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_dwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_usage.dir/bench_cpu_usage.cpp.o"
+  "CMakeFiles/bench_cpu_usage.dir/bench_cpu_usage.cpp.o.d"
+  "bench_cpu_usage"
+  "bench_cpu_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagnostic.dir/bench_diagnostic.cpp.o"
+  "CMakeFiles/bench_diagnostic.dir/bench_diagnostic.cpp.o.d"
+  "bench_diagnostic"
+  "bench_diagnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encoder_node.dir/bench_encoder_node.cpp.o"
+  "CMakeFiles/bench_encoder_node.dir/bench_encoder_node.cpp.o.d"
+  "bench_encoder_node"
+  "bench_encoder_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encoder_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

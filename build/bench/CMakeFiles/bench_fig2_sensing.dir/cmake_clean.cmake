@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_sensing.dir/bench_fig2_sensing.cpp.o"
+  "CMakeFiles/bench_fig2_sensing.dir/bench_fig2_sensing.cpp.o.d"
+  "bench_fig2_sensing"
+  "bench_fig2_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loss_robustness.dir/bench_loss_robustness.cpp.o"
+  "CMakeFiles/bench_loss_robustness.dir/bench_loss_robustness.cpp.o.d"
+  "bench_loss_robustness"
+  "bench_loss_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loss_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multilead.dir/bench_multilead.cpp.o"
+  "CMakeFiles/bench_multilead.dir/bench_multilead.cpp.o.d"
+  "bench_multilead"
+  "bench_multilead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multilead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_speedup.dir/bench_opt_speedup.cpp.o"
+  "CMakeFiles/bench_opt_speedup.dir/bench_opt_speedup.cpp.o.d"
+  "bench_opt_speedup"
+  "bench_opt_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_realtime_budget.dir/bench_realtime_budget.cpp.o"
+  "CMakeFiles/bench_realtime_budget.dir/bench_realtime_budget.cpp.o.d"
+  "bench_realtime_budget"
+  "bench_realtime_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_realtime_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

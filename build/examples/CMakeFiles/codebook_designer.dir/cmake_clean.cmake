@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codebook_designer.dir/codebook_designer.cpp.o"
+  "CMakeFiles/codebook_designer.dir/codebook_designer.cpp.o.d"
+  "codebook_designer"
+  "codebook_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codebook_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holter_batch.dir/holter_batch.cpp.o"
+  "CMakeFiles/holter_batch.dir/holter_batch.cpp.o.d"
+  "holter_batch"
+  "holter_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holter_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

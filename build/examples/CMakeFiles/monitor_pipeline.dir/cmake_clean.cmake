@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_pipeline.dir/monitor_pipeline.cpp.o"
+  "CMakeFiles/monitor_pipeline.dir/monitor_pipeline.cpp.o.d"
+  "monitor_pipeline"
+  "monitor_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensing_explorer.dir/sensing_explorer.cpp.o"
+  "CMakeFiles/sensing_explorer.dir/sensing_explorer.cpp.o.d"
+  "sensing_explorer"
+  "sensing_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_test[1]_include.cmake")
+include("/root/repo/build/tests/coding_test[1]_include.cmake")
+include("/root/repo/build/tests/fixedpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/ecg_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/wbsn_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/rice_test[1]_include.cmake")
+include("/root/repo/build/tests/qrs_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_property_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_property_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers_property_test[1]_include.cmake")
+include("/root/repo/build/tests/coding_property_test[1]_include.cmake")
+include("/root/repo/build/tests/compat_test[1]_include.cmake")
