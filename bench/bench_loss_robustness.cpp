@@ -1,7 +1,9 @@
-// EXP-A6 — frame-loss robustness: the paper assumes a benign Bluetooth
-// link; this bench injects frame loss into the pipeline and measures how
-// the keyframe (re-sync) interval bounds the damage — the engineering
-// margin a deployed WBSN needs.
+// EXP-A6 — transport robustness: the paper assumes a benign Bluetooth
+// link; this bench drives the pipeline over a Gilbert–Elliott burst
+// channel (loss rate x mean burst length) with the NACK-driven ARQ and
+// concealment enabled, and reports what reaches the display, how much was
+// concealed, what the retransmissions cost on the wire, and whether the
+// clean windows keep loss-free quality.
 
 #include <iostream>
 
@@ -11,52 +13,63 @@
 
 int main() {
   using namespace csecg;
-  std::cout << "EXP-A6: pipeline robustness to Bluetooth frame loss "
-               "(CR 50)\n\n";
-  util::Table table({"loss rate", "keyframe ivl", "delivered", "displayed",
-                     "displayed PRD (%)"});
-  table.set_title("Frame loss vs keyframe (re-sync) interval");
+  std::cout << "EXP-A6: pipeline robustness over a Gilbert-Elliott burst "
+               "channel (CR 50, ARQ + concealment on)\n\n";
+  util::Table table({"loss rate", "burst len", "displayed", "concealed",
+                     "retx overhead", "clean PRD (%)"});
+  table.set_title("Burst loss vs ARQ recovery and concealment");
 
   const auto& db = bench::corpus();
-  for (const double loss : {0.0, 0.05, 0.15, 0.30}) {
-    for (const std::size_t keyframe : {std::size_t{4}, std::size_t{16},
-                                       std::size_t{64}}) {
+  for (const double loss : {0.0, 0.05, 0.10, 0.20}) {
+    for (const double burst : {1.0, 4.0, 8.0}) {
+      if (loss == 0.0 && burst > 1.0) {
+        continue;  // burst length is meaningless without loss
+      }
       core::DecoderConfig config;
-      config.cs.keyframe_interval = keyframe;
+      config.cs.keyframe_interval = 16;
       const auto book = bench::codebook();
 
       std::size_t input = 0;
-      std::size_t delivered = 0;
       std::size_t displayed = 0;
+      std::size_t concealed = 0;
+      std::size_t data_frames = 0;
+      std::size_t sent_frames = 0;
       double prd = 0.0;
       std::size_t prd_count = 0;
       const std::size_t records = std::min<std::size_t>(db.size(), 4);
       for (std::size_t r = 0; r < records; ++r) {
         wbsn::PipelineConfig pipe;
         pipe.link.loss_rate = loss;
-        // Independent loss pattern per record and per loss rate so the
-        // table averages over several realisations.
+        pipe.link.mean_burst_frames = burst;
+        // Independent loss pattern per record and per cell so the table
+        // averages over several realisations.
         pipe.link.seed = 17 + r * 101 +
-                         static_cast<std::uint64_t>(loss * 1000.0);
+                         static_cast<std::uint64_t>(loss * 1000.0) +
+                         static_cast<std::uint64_t>(burst * 7.0);
         wbsn::RealTimePipeline pipeline(config, book, pipe);
         const auto report = pipeline.run(db.mote(r));
         input += report.windows_input;
-        delivered += report.link.frames_sent - report.link.frames_lost;
         displayed += report.windows_displayed;
-        if (report.windows_displayed > 0) {
-          prd += report.mean_prd;
+        concealed += report.windows_concealed;
+        data_frames += report.windows_input;
+        sent_frames += report.link.frames_sent;
+        if (report.windows_displayed > report.windows_concealed) {
+          prd += report.mean_prd;  // mean over clean windows only
           ++prd_count;
         }
       }
+      const double retx_overhead =
+          100.0 * static_cast<double>(sent_frames - data_frames) /
+          static_cast<double>(data_frames);
       table.add_row(
-          {util::format_percent(loss, 0), std::to_string(keyframe),
-           util::format_double(
-               100.0 * static_cast<double>(delivered) /
-                   static_cast<double>(input),
-               1) + "%",
+          {util::format_percent(loss, 0), util::format_double(burst, 0),
            util::format_double(100.0 * static_cast<double>(displayed) /
                                    static_cast<double>(input),
                                1) + "%",
+           util::format_double(100.0 * static_cast<double>(concealed) /
+                                   static_cast<double>(input),
+                               1) + "%",
+           util::format_double(retx_overhead, 1) + "%",
            prd_count > 0
                ? util::format_double(prd / static_cast<double>(prd_count),
                                      2)
@@ -64,8 +77,10 @@ int main() {
     }
   }
   table.print(std::cout);
-  std::cout << "\nReading: short keyframe intervals convert lost frames "
-               "into a bounded gap instead of a corrupted differential "
-               "chain; the displayed windows keep their quality.\n";
+  std::cout << "\nReading: the ARQ converts most burst losses into "
+               "retransmissions (bounded wire overhead) and the remainder "
+               "into flagged concealed windows; the displayed column stays "
+               "at 100% and the clean-window PRD stays at its loss-free "
+               "value instead of degrading with the loss rate.\n";
   return 0;
 }

@@ -219,4 +219,11 @@ bench/CMakeFiles/bench_lifetime.dir/bench_lifetime.cpp.o: \
  /root/repo/src/util/include/csecg/util/table.hpp \
  /root/repo/src/wbsn/include/csecg/wbsn/node.hpp \
  /root/repo/src/platform/include/csecg/platform/msp430.hpp \
- /root/repo/src/fixedpoint/include/csecg/fixedpoint/msp430_counters.hpp
+ /root/repo/src/fixedpoint/include/csecg/fixedpoint/msp430_counters.hpp \
+ /root/repo/src/wbsn/include/csecg/wbsn/arq.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h

@@ -223,6 +223,13 @@ examples/CMakeFiles/monitor_pipeline.dir/monitor_pipeline.cpp.o: \
  /root/repo/src/core/include/csecg/core/packet.hpp \
  /root/repo/src/solvers/include/csecg/solvers/fista.hpp \
  /root/repo/src/solvers/include/csecg/solvers/types.hpp \
+ /root/repo/src/wbsn/include/csecg/wbsn/arq.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/wbsn/include/csecg/wbsn/coordinator.hpp \
  /root/repo/src/platform/include/csecg/platform/cortex_a8.hpp \
  /root/repo/src/wbsn/include/csecg/wbsn/link.hpp \

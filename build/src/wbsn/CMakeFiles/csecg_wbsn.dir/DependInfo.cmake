@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wbsn/arq.cpp" "src/wbsn/CMakeFiles/csecg_wbsn.dir/arq.cpp.o" "gcc" "src/wbsn/CMakeFiles/csecg_wbsn.dir/arq.cpp.o.d"
   "/root/repo/src/wbsn/coordinator.cpp" "src/wbsn/CMakeFiles/csecg_wbsn.dir/coordinator.cpp.o" "gcc" "src/wbsn/CMakeFiles/csecg_wbsn.dir/coordinator.cpp.o.d"
   "/root/repo/src/wbsn/link.cpp" "src/wbsn/CMakeFiles/csecg_wbsn.dir/link.cpp.o" "gcc" "src/wbsn/CMakeFiles/csecg_wbsn.dir/link.cpp.o.d"
   "/root/repo/src/wbsn/multi_lead.cpp" "src/wbsn/CMakeFiles/csecg_wbsn.dir/multi_lead.cpp.o" "gcc" "src/wbsn/CMakeFiles/csecg_wbsn.dir/multi_lead.cpp.o.d"

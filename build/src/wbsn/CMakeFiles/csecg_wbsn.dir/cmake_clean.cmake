@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/csecg_wbsn.dir/arq.cpp.o"
+  "CMakeFiles/csecg_wbsn.dir/arq.cpp.o.d"
   "CMakeFiles/csecg_wbsn.dir/coordinator.cpp.o"
   "CMakeFiles/csecg_wbsn.dir/coordinator.cpp.o.d"
   "CMakeFiles/csecg_wbsn.dir/link.cpp.o"

@@ -319,6 +319,8 @@ tests/CMakeFiles/compat_test.dir/compat_test.cpp.o: \
  /root/repo/src/linalg/include/csecg/linalg/linear_operator.hpp \
  /root/repo/src/solvers/include/csecg/solvers/fista.hpp \
  /root/repo/src/solvers/include/csecg/solvers/types.hpp \
+ /root/repo/src/wbsn/include/csecg/wbsn/arq.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/wbsn/include/csecg/wbsn/coordinator.hpp \
  /root/repo/src/platform/include/csecg/platform/cortex_a8.hpp \
  /root/repo/src/wbsn/include/csecg/wbsn/link.hpp \

@@ -345,6 +345,8 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/platform/include/csecg/platform/msp430.hpp \
  /root/repo/src/fixedpoint/include/csecg/fixedpoint/msp430_counters.hpp \
  /root/repo/src/wbsn/include/csecg/wbsn/pipeline.hpp \
+ /root/repo/src/wbsn/include/csecg/wbsn/arq.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/wbsn/include/csecg/wbsn/coordinator.hpp \
  /root/repo/src/wbsn/include/csecg/wbsn/link.hpp \
  /root/repo/src/wbsn/include/csecg/wbsn/node.hpp

@@ -14,6 +14,7 @@ include("/root/repo/build/tests/solvers_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/platform_test[1]_include.cmake")
 include("/root/repo/build/tests/wbsn_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/io_test[1]_include.cmake")
 include("/root/repo/build/tests/rice_test[1]_include.cmake")

@@ -19,8 +19,10 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ecg/CMakeFiles/csecg_ecg.dir/DependInfo.cmake"
   "/root/repo/build/src/io/CMakeFiles/csecg_io.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
-  "/root/repo/build/src/fixedpoint/CMakeFiles/csecg_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/wbsn/CMakeFiles/csecg_wbsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/csecg_platform.dir/DependInfo.cmake"
   "/root/repo/build/src/solvers/CMakeFiles/csecg_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/csecg_fixedpoint.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
   )
 

@@ -257,4 +257,13 @@ tools/CMakeFiles/csecg_tool.dir/csecg_tool.cpp.o: \
  /root/repo/src/ecg/include/csecg/ecg/noise.hpp \
  /root/repo/src/ecg/include/csecg/ecg/qrs_detector.hpp \
  /root/repo/src/io/include/csecg/io/record_io.hpp \
- /root/repo/src/io/include/csecg/io/session_io.hpp
+ /root/repo/src/io/include/csecg/io/session_io.hpp \
+ /root/repo/src/wbsn/include/csecg/wbsn/pipeline.hpp \
+ /root/repo/src/wbsn/include/csecg/wbsn/arq.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/wbsn/include/csecg/wbsn/coordinator.hpp \
+ /root/repo/src/platform/include/csecg/platform/cortex_a8.hpp \
+ /root/repo/src/wbsn/include/csecg/wbsn/link.hpp \
+ /root/repo/src/wbsn/include/csecg/wbsn/node.hpp \
+ /root/repo/src/platform/include/csecg/platform/msp430.hpp \
+ /root/repo/src/fixedpoint/include/csecg/fixedpoint/msp430_counters.hpp

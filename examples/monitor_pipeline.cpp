@@ -3,10 +3,14 @@
 // to a coordinator that reconstructs and "displays" it in real time,
 // using the three-thread producer/consumer pipeline of §IV-B1.
 //
-//   $ ./monitor_pipeline [record-index] [loss-rate]
+//   $ ./monitor_pipeline [record-index] [loss-rate] [mean-burst-frames]
+//                        [bit-error-rate] [max-retries]
 //
-// Renders a strip of the reconstructed ECG as ASCII art and prints the
-// node/coordinator statistics the paper reports.
+// loss-rate/mean-burst-frames parameterise the Gilbert–Elliott burst
+// channel, bit-error-rate flips wire bits (caught by the CRC trailer) and
+// max-retries bounds the NACK-driven ARQ. Renders a strip of the
+// reconstructed ECG as ASCII art and prints the node/coordinator/
+// robustness statistics the paper reports.
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +50,10 @@ int main(int argc, char** argv) {
   const std::size_t record_index =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
   const double loss_rate = argc > 2 ? std::atof(argv[2]) : 0.0;
+  const double mean_burst = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const double bit_error_rate = argc > 4 ? std::atof(argv[4]) : 0.0;
+  const std::size_t max_retries =
+      argc > 5 ? static_cast<std::size_t>(std::atoi(argv[5])) : 3;
 
   std::printf("Generating the synthetic corpus...\n");
   ecg::DatabaseConfig db_config;
@@ -59,11 +67,16 @@ int main(int argc, char** argv) {
 
   wbsn::PipelineConfig pipe;
   pipe.link.loss_rate = loss_rate;
+  pipe.link.mean_burst_frames = std::max(1.0, mean_burst);
+  pipe.link.bit_error_rate = bit_error_rate;
+  pipe.arq.max_retries = max_retries;
   wbsn::RealTimePipeline pipeline(config, codebook, pipe);
 
   std::printf("Streaming %s (%.0f s of ECG) through the WBSN pipeline%s\n",
               record.id.c_str(), record.duration_s(),
-              loss_rate > 0.0 ? " with injected frame loss" : "");
+              loss_rate > 0.0 || bit_error_rate > 0.0
+                  ? " with injected channel faults"
+                  : "");
   const auto report = pipeline.run(record);
 
   std::printf("\n--- node (Shimmer / MSP430 model) ---\n");
@@ -74,8 +87,10 @@ int main(int argc, char** argv) {
               report.node_cpu_usage * 100.0);
 
   std::printf("\n--- link (Bluetooth model) ---\n");
-  std::printf("frames sent / lost   : %zu / %zu\n",
-              report.link.frames_sent, report.link.frames_lost);
+  std::printf("frames sent / lost   : %zu / %zu (%zu corrupted, "
+              "%zu loss bursts)\n",
+              report.link.frames_sent, report.link.frames_lost,
+              report.link.frames_corrupted, report.link.loss_bursts);
   std::printf("payload              : %zu bits (%.1f %% of raw)\n",
               report.link.payload_bits,
               100.0 * static_cast<double>(report.link.payload_bits) /
@@ -91,10 +106,21 @@ int main(int argc, char** argv) {
               report.coordinator.mean_iterations());
   std::printf("coordinator CPU      : %.1f %%  (paper: 17.7 %% at CR 50)\n",
               report.coordinator_cpu_usage * 100.0);
-  std::printf("mean PRD             : %.2f %%\n", report.mean_prd);
+  std::printf("mean PRD (clean)     : %.2f %%\n", report.mean_prd);
   std::printf("host wall time       : %.2f s for %.0f s of ECG\n",
               report.wall_seconds,
               static_cast<double>(report.windows_input) * 2.0);
+
+  std::printf("\n--- transport robustness (CRC + NACK-driven ARQ) ---\n");
+  std::printf("corrupt rejected     : %zu frames (CRC-16 trailer)\n",
+              report.windows_corrupt_rejected);
+  std::printf("retransmissions      : %zu (keyframes forced: %zu)\n",
+              report.retransmissions, report.keyframes_forced);
+  std::printf("windows recovered    : %zu (mean repair latency %.1f s)\n",
+              report.arq_rx.windows_recovered,
+              report.mean_recovery_latency_s);
+  std::printf("windows concealed    : %zu of %zu displayed\n",
+              report.windows_concealed, report.windows_displayed);
 
   std::printf("\nECG strip (original record, 1.5 s around a beat):\n");
   const std::size_t start =

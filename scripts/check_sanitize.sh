@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the test suite under AddressSanitizer + UBSan and runs it.
+# Usage: scripts/check_sanitize.sh [build-dir] [ctest-regex]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+filter="${2:-}"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSECG_SANITIZE=ON \
+  -DCSECG_BUILD_BENCHMARKS=OFF \
+  -DCSECG_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j"$(nproc)"
+
+ctest_args=(--output-on-failure --test-dir "${build_dir}")
+if [[ -n "${filter}" ]]; then
+  ctest_args+=(-R "${filter}")
+fi
+ASAN_OPTIONS=detect_leaks=0 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest "${ctest_args[@]}"

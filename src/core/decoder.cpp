@@ -46,6 +46,18 @@ std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
   std::vector<std::int32_t> y(m, 0);
   coding::BitReader reader(packet.payload);
 
+  if (have_previous_) {
+    // Reject stale frames (duplicate or reordered retransmissions that
+    // arrive after the chain has moved past them): decoding one would
+    // rewind previous_y_/last_sequence_ and silently corrupt every
+    // differential until the next keyframe. Wrap-safe int16 distance.
+    const auto delta = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(packet.sequence - last_sequence_));
+    if (delta <= 0) {
+      return std::nullopt;
+    }
+  }
+
   if (packet.kind == PacketKind::kAbsolute) {
     const unsigned bits = config_.cs.absolute_bits;
     for (std::size_t i = 0; i < m; ++i) {

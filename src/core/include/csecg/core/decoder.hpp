@@ -66,11 +66,13 @@ class Decoder {
 
   /// Entropy-decodes a packet into the integer measurement vector,
   /// updating the inter-packet state. nullopt on corrupt payloads, on a
-  /// differential packet with no prior state (lost keyframe), or on a
-  /// sequence gap: a differential packet whose sequence number does not
+  /// differential packet with no prior state (lost keyframe), on a
+  /// sequence gap (a differential packet whose sequence number does not
   /// directly follow the last decoded packet would silently decode against
   /// stale state, so it is rejected until the next absolute packet
-  /// re-synchronises the stream.
+  /// re-synchronises the stream), or on a stale packet — one whose
+  /// sequence number is at or behind the chain (a duplicate or late
+  /// retransmission); decoding it would rewind the difference chain.
   std::optional<std::vector<std::int32_t>> decode_measurements(
       const Packet& packet);
 

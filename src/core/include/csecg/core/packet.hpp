@@ -10,6 +10,17 @@
 /// packet of a session (and periodic re-sync keyframes — an engineering
 /// addition over the paper, which assumes a loss-free Bluetooth stream)
 /// carries the measurement vector itself in fixed-width form.
+///
+/// Framing on the wire is
+///
+///   [sequence hi][sequence lo][kind][payload ...][crc hi][crc lo]
+///
+/// where the trailer is a CRC-16/CCITT-FALSE over header + payload.
+/// Difference coding makes the stream fragile — one corrupted frame would
+/// silently poison every window until the next keyframe — so parse()
+/// verifies the trailer and rejects damaged frames outright. The seed
+/// accounted 10 bytes of per-frame link overhead "headers + CRC"; the CRC
+/// half of that budget is now computed for real (see wbsn::LinkConfig).
 
 #include <cstdint>
 #include <optional>
@@ -17,6 +28,12 @@
 #include <vector>
 
 namespace csecg::core {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection). The
+/// bitwise form needs no table — the mote has flash to spare for 2 bytes
+/// of trailer but not for a 512-byte lookup table.
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes,
+                          std::uint16_t crc = 0xFFFF);
 
 enum class PacketKind : std::uint8_t {
   kAbsolute = 0,      ///< fixed-width y values (session start / re-sync)
@@ -30,14 +47,25 @@ struct Packet {
 
   /// Header bytes on the wire: sequence (2) + kind/flags (1).
   static constexpr std::size_t kHeaderBytes = 3;
+  /// CRC-16 trailer bytes appended by serialize() and checked by parse().
+  static constexpr std::size_t kCrcBytes = 2;
 
-  /// Total wire size in bits — the b_comp contribution of this packet.
+  /// b_comp contribution of this packet: header + entropy payload. The
+  /// CRC trailer is link-layer framing and is charged with the rest of
+  /// the per-frame overhead (LinkConfig::frame_overhead_bytes), keeping
+  /// the paper's compression accounting unchanged.
   std::size_t wire_bits() const {
     return (kHeaderBytes + payload.size()) * 8;
   }
 
+  /// Full framed size serialize() emits, including the CRC trailer.
+  std::size_t framed_bytes() const {
+    return kHeaderBytes + payload.size() + kCrcBytes;
+  }
+
   std::vector<std::uint8_t> serialize() const;
-  /// Parses a framed packet; nullopt if the buffer is too short.
+  /// Parses a framed packet. nullopt if the buffer is shorter than
+  /// header + trailer, the kind byte is unknown, or the CRC check fails.
   static std::optional<Packet> parse(std::span<const std::uint8_t> bytes);
 };
 

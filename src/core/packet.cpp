@@ -2,28 +2,52 @@
 
 namespace csecg::core {
 
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes,
+                          std::uint16_t crc) {
+  for (const std::uint8_t byte : bytes) {
+    crc ^= static_cast<std::uint16_t>(byte << 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((crc & 0x8000) != 0) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
 std::vector<std::uint8_t> Packet::serialize() const {
   std::vector<std::uint8_t> bytes;
-  bytes.reserve(kHeaderBytes + payload.size());
+  bytes.reserve(kHeaderBytes + payload.size() + kCrcBytes);
   bytes.push_back(static_cast<std::uint8_t>(sequence >> 8));
   bytes.push_back(static_cast<std::uint8_t>(sequence));
   bytes.push_back(static_cast<std::uint8_t>(kind));
   bytes.insert(bytes.end(), payload.begin(), payload.end());
+  const std::uint16_t crc = crc16_ccitt(bytes);
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(crc));
   return bytes;
 }
 
 std::optional<Packet> Packet::parse(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kHeaderBytes) {
-    return std::nullopt;
+  if (bytes.size() < kHeaderBytes + kCrcBytes) {
+    return std::nullopt;  // truncated header or missing trailer
+  }
+  const std::size_t body = bytes.size() - kCrcBytes;
+  const std::uint16_t stored = static_cast<std::uint16_t>(
+      (std::uint16_t{bytes[body]} << 8) | bytes[body + 1]);
+  if (crc16_ccitt(bytes.first(body)) != stored) {
+    return std::nullopt;  // corrupted in flight
   }
   if (bytes[2] > static_cast<std::uint8_t>(PacketKind::kDifferential)) {
-    return std::nullopt;
+    return std::nullopt;  // unknown packet kind
   }
   Packet packet;
   packet.sequence =
       static_cast<std::uint16_t>((std::uint16_t{bytes[0]} << 8) | bytes[1]);
   packet.kind = static_cast<PacketKind>(bytes[2]);
-  packet.payload.assign(bytes.begin() + kHeaderBytes, bytes.end());
+  packet.payload.assign(bytes.begin() + kHeaderBytes, bytes.begin() + body);
   return packet;
 }
 

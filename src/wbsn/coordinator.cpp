@@ -36,7 +36,34 @@ std::optional<std::vector<float>> Coordinator::process_frame(
       std::chrono::duration<double>(stop - start).count();
   stats_.iterations_total += static_cast<double>(window->iterations);
   ++stats_.windows_reconstructed;
+  last_window_ = window->samples;
   return window->samples;
+}
+
+std::vector<float> Coordinator::conceal_hold_last() {
+  ++stats_.windows_concealed;
+  if (!last_window_.empty()) {
+    return last_window_;
+  }
+  // Nothing decoded yet: a flat line is the honest "no signal" display.
+  return std::vector<float>(decoder_.config().cs.window, 0.0f);
+}
+
+std::vector<float> Coordinator::conceal_interpolated(
+    std::span<const float> prev, std::span<const float> next, std::size_t k,
+    std::size_t gap) {
+  CSECG_CHECK(gap > 0 && k < gap, "interpolation index out of range");
+  ++stats_.windows_concealed;
+  if (prev.empty() || prev.size() != next.size()) {
+    return std::vector<float>(next.begin(), next.end());
+  }
+  const float alpha = static_cast<float>(k + 1) /
+                      static_cast<float>(gap + 1);
+  std::vector<float> window(next.size());
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    window[i] = prev[i] + (next[i] - prev[i]) * alpha;
+  }
+  return window;
 }
 
 double Coordinator::cpu_usage(double packet_period_s) const {

@@ -5,6 +5,9 @@
 /// The WBSN-coordinator role (the iPhone): receive frames, run the
 /// reconstruction pipeline at 32-bit precision, and account the Cortex-A8
 /// cost of every packet so CPU usage (§V: 17.7 % at CR = 50) falls out.
+/// When the ARQ gives a window up as unrecoverable, the coordinator can
+/// conceal it from the last good reconstruction so the display never
+/// shows garbage or stalls.
 
 #include <cstdint>
 #include <optional>
@@ -17,10 +20,17 @@
 
 namespace csecg::wbsn {
 
+/// How an unrecoverable window is painted on the display.
+enum class ConcealmentStrategy : std::uint8_t {
+  kHoldLast = 0,     ///< repeat the last good window
+  kInterpolate = 1,  ///< cross-fade between the bracketing good windows
+};
+
 struct CoordinatorStats {
   std::size_t frames_received = 0;
   std::size_t frames_rejected = 0;  ///< parse/decode failures
   std::size_t windows_reconstructed = 0;
+  std::size_t windows_concealed = 0;  ///< synthesised, not reconstructed
   double modelled_seconds_total = 0.0;  ///< Cortex-A8 model time
   double host_seconds_total = 0.0;      ///< wall clock on this machine
   double iterations_total = 0.0;
@@ -44,9 +54,22 @@ class Coordinator {
   const platform::CortexA8Model& model() const { return model_; }
 
   /// Processes one received frame; returns the reconstructed window
-  /// (float — the iPhone path) or nullopt on a reject.
+  /// (float — the iPhone path) or nullopt on a reject. A successful
+  /// reconstruction becomes the reference for later concealment.
   std::optional<std::vector<float>> process_frame(
       std::span<const std::uint8_t> frame);
+
+  /// Synthesises a stand-in for an unrecoverable window by repeating the
+  /// last good reconstruction (flat-line zeros if none exists yet).
+  std::vector<float> conceal_hold_last();
+
+  /// Synthesises stand-in k (0-based) of a gap of \p gap lost windows by
+  /// linearly cross-fading from \p prev (the last good window before the
+  /// gap) towards \p next (the first good window after it). Falls back to
+  /// copying \p next when \p prev is empty or mismatched.
+  std::vector<float> conceal_interpolated(std::span<const float> prev,
+                                          std::span<const float> next,
+                                          std::size_t k, std::size_t gap);
 
   /// Decoder CPU usage under the Cortex-A8 model (reconstruction time per
   /// packet over the 2 s packet period).
@@ -59,6 +82,7 @@ class Coordinator {
   core::Decoder decoder_;
   platform::CortexA8Model model_;
   CoordinatorStats stats_;
+  std::vector<float> last_window_;  ///< last good reconstruction
 };
 
 }  // namespace csecg::wbsn

@@ -4,6 +4,11 @@
 /// \file node.hpp
 /// The sensor-node role: sense a window, CS-encode it, frame it for the
 /// link — with MSP430 cycle accounting so CPU usage and energy fall out.
+/// The node also runs the transmit half of the NACK-driven ARQ: it keeps
+/// a bounded buffer of recent frames, retransmits on NACK with bounded
+/// retries and exponential backoff, and forces an encoder keyframe when
+/// a frame has to be given up (so the difference chain re-synchronises
+/// instead of stalling).
 
 #include <cstdint>
 #include <span>
@@ -12,12 +17,14 @@
 #include "csecg/coding/huffman.hpp"
 #include "csecg/core/encoder.hpp"
 #include "csecg/platform/msp430.hpp"
+#include "csecg/wbsn/arq.hpp"
 
 namespace csecg::wbsn {
 
 struct NodeStats {
   std::size_t windows_encoded = 0;
   std::size_t payload_bits = 0;
+  std::size_t keyframes_forced = 0;  ///< re-syncs demanded by the ARQ
   double encode_seconds_total = 0.0;  ///< modelled MSP430 busy time
   fixedpoint::Msp430OpCounts ops_total;
 
@@ -32,15 +39,24 @@ class SensorNode {
  public:
   SensorNode(const core::EncoderConfig& config,
              coding::HuffmanCodebook codebook,
-             platform::Msp430Model model = {});
+             platform::Msp430Model model = {},
+             const ArqConfig& arq = {});
 
   core::Encoder& encoder() { return encoder_; }
+  ArqTransmitter& arq() { return arq_; }
   const platform::Msp430Model& model() const { return model_; }
 
   /// Encodes one ADC window and returns the serialised frame to hand to
-  /// the link. MSP430 cycle cost is accumulated into stats().
+  /// the link. MSP430 cycle cost is accumulated into stats(); the frame
+  /// is registered with the ARQ retransmission buffer, and any pending
+  /// ARQ give-up forces this window to be an absolute keyframe.
   std::vector<std::uint8_t> process_window(
       std::span<const std::int16_t> samples);
+
+  /// Feeds coordinator feedback to the ARQ and returns the frames that
+  /// are due for retransmission now (already framed; hand to the link).
+  std::vector<std::vector<std::uint8_t>> handle_feedback(
+      std::span<const FeedbackMessage> messages);
 
   /// Node CPU usage over everything processed so far (busy / wall time,
   /// assuming one window per 2 s).
@@ -50,8 +66,11 @@ class SensorNode {
   void reset_stats() { stats_ = NodeStats{}; }
 
  private:
+  double now() const { return static_cast<double>(stats_.windows_encoded); }
+
   core::Encoder encoder_;
   platform::Msp430Model model_;
+  ArqTransmitter arq_;
   NodeStats stats_;
 };
 

@@ -8,6 +8,13 @@
 /// drains the reconstructed ECG from the shared ring buffer, which is
 /// sized to the paper's 6 seconds (2 s reading + 2 s writing + 2 s display
 /// latency).
+///
+/// On top of the seed's fire-and-forget stream the pipeline now carries a
+/// coordinator->node feedback channel (ACK/NACK, see arq.hpp): the
+/// consumer verifies each frame's CRC, reorders and NACKs gaps; the
+/// producer retransmits on NACK with bounded retries; windows that stay
+/// unrecoverable are concealed on the display instead of dropped, so the
+/// 2 s cadence never shows silent corruption.
 
 #include <cstdint>
 #include <vector>
@@ -15,6 +22,7 @@
 #include "csecg/coding/huffman.hpp"
 #include "csecg/core/decoder.hpp"
 #include "csecg/ecg/record.hpp"
+#include "csecg/wbsn/arq.hpp"
 #include "csecg/wbsn/coordinator.hpp"
 #include "csecg/wbsn/link.hpp"
 #include "csecg/wbsn/node.hpp"
@@ -28,19 +36,32 @@ struct PipelineConfig {
   /// Display buffer depth in seconds (paper: 6 s).
   double display_buffer_seconds = 6.0;
   LinkConfig link;
+  /// Retransmission policy; arq.enabled = false reproduces the seed's
+  /// fire-and-forget link (lost windows simply never reach the display).
+  ArqConfig arq;
+  /// How unrecoverable windows are painted.
+  ConcealmentStrategy concealment = ConcealmentStrategy::kHoldLast;
 };
 
 struct PipelineReport {
   NodeStats node;
   CoordinatorStats coordinator;
   LinkStats link;
+  ArqTxStats arq_tx;
+  ArqRxStats arq_rx;
   std::size_t windows_input = 0;
   std::size_t windows_displayed = 0;
+  std::size_t windows_concealed = 0;        ///< synthesised stand-ins shown
+  std::size_t windows_corrupt_rejected = 0; ///< CRC failures at the coordinator
+  std::size_t retransmissions = 0;
+  std::size_t keyframes_forced = 0;         ///< ARQ-demanded re-syncs
   std::size_t display_overruns = 0;  ///< decoder output dropped: buffer full
   double wall_seconds = 0.0;
-  /// Mean PRD over windows that made it to the display, aligned by
-  /// sequence number (percent).
+  /// Mean PRD over *clean* (decoded, not concealed) windows that made it
+  /// to the display, aligned by sequence number (percent).
   double mean_prd = 0.0;
+  /// Mean NACK-to-repair latency for recovered windows, in seconds.
+  double mean_recovery_latency_s = 0.0;
   double node_cpu_usage = 0.0;
   double coordinator_cpu_usage = 0.0;
 };

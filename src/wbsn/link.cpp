@@ -1,5 +1,8 @@
 #include "csecg/wbsn/link.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "csecg/util/error.hpp"
 
 namespace csecg::wbsn {
@@ -9,6 +12,12 @@ BluetoothLink::BluetoothLink(const LinkConfig& config)
   CSECG_CHECK(config.throughput_bps > 0.0, "throughput must be positive");
   CSECG_CHECK(config.loss_rate >= 0.0 && config.loss_rate <= 1.0,
               "loss rate must be a probability");
+  CSECG_CHECK(config.mean_burst_frames >= 1.0,
+              "mean burst length must be >= 1 frame");
+  CSECG_CHECK(config.bit_error_rate >= 0.0 && config.bit_error_rate < 1.0,
+              "bit error rate must be a probability < 1");
+  CSECG_CHECK(config.jitter_s >= 0.0 && config.latency_s >= 0.0,
+              "latency/jitter must be non-negative");
 }
 
 double BluetoothLink::frame_airtime(std::size_t payload_bytes) const {
@@ -17,19 +26,101 @@ double BluetoothLink::frame_airtime(std::size_t payload_bytes) const {
   return static_cast<double>(wire_bytes * 8) / config_.throughput_bps;
 }
 
+bool BluetoothLink::draw_loss() {
+  if (config_.loss_rate <= 0.0) {
+    return false;
+  }
+  if (config_.loss_rate >= 1.0) {
+    return true;
+  }
+  if (config_.mean_burst_frames <= 1.0) {
+    // Seed behaviour: i.i.d. Bernoulli frame loss.
+    return rng_.bernoulli(config_.loss_rate);
+  }
+  // Gilbert–Elliott: drop while in the bad state, then advance the
+  // two-state chain. Recovery rate r = 1/mean_burst gives the configured
+  // mean bad-state dwell; the good→bad rate p = L·r/(1−L) makes the
+  // stationary bad-state probability equal the target loss rate L.
+  const double r = 1.0 / config_.mean_burst_frames;
+  const double p = config_.loss_rate * r / (1.0 - config_.loss_rate);
+  const bool lost = bad_state_;
+  if (bad_state_) {
+    if (rng_.bernoulli(r)) {
+      bad_state_ = false;
+    }
+  } else if (rng_.bernoulli(std::min(1.0, p))) {
+    bad_state_ = true;
+  }
+  return lost;
+}
+
+void BluetoothLink::apply_bit_errors(std::vector<std::uint8_t>& frame) {
+  const double ber = config_.bit_error_rate;
+  if (ber <= 0.0 || frame.empty()) {
+    return;
+  }
+  // Geometric skipping: jump straight to the next flipped bit instead of
+  // drawing one Bernoulli per bit.
+  const std::size_t total_bits = frame.size() * 8;
+  const double log_keep = std::log1p(-ber);
+  std::size_t bit = 0;
+  bool flipped = false;
+  while (true) {
+    const double u = std::max(rng_.uniform(), 1e-300);
+    bit += static_cast<std::size_t>(std::floor(std::log(u) / log_keep));
+    if (bit >= total_bits) {
+      break;
+    }
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    flipped = true;
+    ++bit;
+  }
+  if (flipped) {
+    ++stats_.frames_corrupted;
+  }
+}
+
 std::optional<std::vector<std::uint8_t>> BluetoothLink::transmit(
     const std::vector<std::uint8_t>& frame) {
+  const std::size_t index = stats_.frames_sent;
   const double airtime = frame_airtime(frame.size());
   ++stats_.frames_sent;
   stats_.payload_bits += frame.size() * 8;
   stats_.wire_bits += (frame.size() + config_.frame_overhead_bytes) * 8;
   stats_.airtime_s += airtime;
   stats_.tx_energy_j += airtime * config_.tx_power_w;
-  if (config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate)) {
+  double latency = airtime + config_.latency_s;
+  if (config_.jitter_s > 0.0) {
+    latency += rng_.uniform(0.0, config_.jitter_s);
+  }
+  stats_.latency_s_total += latency;
+  stats_.last_latency_s = latency;
+
+  const auto scheduled = [index](const std::vector<std::size_t>& plan) {
+    return std::find(plan.begin(), plan.end(), index) != plan.end();
+  };
+  bool lost = scheduled(config_.drop_schedule);
+  if (!lost) {
+    lost = draw_loss();
+  }
+  if (lost) {
     ++stats_.frames_lost;
+    if (!previous_lost_) {
+      ++stats_.loss_bursts;
+    }
+    previous_lost_ = true;
     return std::nullopt;
   }
-  return frame;
+  previous_lost_ = false;
+
+  auto delivered = frame;
+  if (scheduled(config_.corrupt_schedule) && !delivered.empty()) {
+    // Deterministic single-bit flip in the middle of the frame.
+    delivered[delivered.size() / 2] ^= 0x10;
+    ++stats_.frames_corrupted;
+  }
+  apply_bit_errors(delivered);
+  return delivered;
 }
 
 }  // namespace csecg::wbsn

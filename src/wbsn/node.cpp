@@ -6,11 +6,17 @@ namespace csecg::wbsn {
 
 SensorNode::SensorNode(const core::EncoderConfig& config,
                        coding::HuffmanCodebook codebook,
-                       platform::Msp430Model model)
-    : encoder_(config, std::move(codebook)), model_(model) {}
+                       platform::Msp430Model model,
+                       const ArqConfig& arq)
+    : encoder_(config, std::move(codebook)), model_(model), arq_(arq) {}
 
 std::vector<std::uint8_t> SensorNode::process_window(
     std::span<const std::int16_t> samples) {
+  if (arq_.consume_keyframe_request()) {
+    encoder_.request_keyframe();
+    ++stats_.keyframes_forced;
+  }
+
   fixedpoint::Msp430CounterScope scope;
   const core::Packet packet = encoder_.encode_window(samples);
   const auto& ops = scope.counts();
@@ -19,7 +25,18 @@ std::vector<std::uint8_t> SensorNode::process_window(
   stats_.encode_seconds_total += model_.seconds(ops);
   ++stats_.windows_encoded;
   stats_.payload_bits += packet.wire_bits();
-  return packet.serialize();
+
+  auto frame = packet.serialize();
+  arq_.frame_sent(packet.sequence, frame, now());
+  return frame;
+}
+
+std::vector<std::vector<std::uint8_t>> SensorNode::handle_feedback(
+    std::span<const FeedbackMessage> messages) {
+  for (const auto& message : messages) {
+    arq_.on_feedback(message, now());
+  }
+  return arq_.due_retransmissions(now());
 }
 
 double SensorNode::cpu_usage(double window_period_s) const {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <thread>
 
+#include "csecg/core/packet.hpp"
 #include "csecg/ecg/metrics.hpp"
 #include "csecg/util/error.hpp"
 #include "csecg/wbsn/ring_buffer.hpp"
@@ -14,6 +15,7 @@ namespace {
 
 struct DisplayedWindow {
   std::uint16_t sequence = 0;
+  bool concealed = false;  ///< synthesised stand-in, not a reconstruction
   std::vector<float> samples;
 };
 
@@ -34,17 +36,33 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
   const double window_period_s =
       static_cast<double>(n) / record.sample_rate_hz;
   const std::size_t window_count = record.samples.size() / n;
+  const bool arq_on = pipeline_config_.arq.enabled;
+  const bool interpolate =
+      pipeline_config_.concealment == ConcealmentStrategy::kInterpolate;
 
-  SensorNode node(config_.cs, codebook_);
+  SensorNode node(config_.cs, codebook_, {}, pipeline_config_.arq);
   BluetoothLink link(pipeline_config_.link);
   Coordinator coordinator(config_, codebook_);
+  ArqReceiver arq_rx(pipeline_config_.arq, /*first_sequence=*/0);
 
-  // Frame queue between the node and the coordinator thread; sized
-  // generously — Bluetooth buffering hides transient decode spikes.
-  RingBuffer<std::vector<std::uint8_t>> frames(window_count + 1);
-  // Display buffer: the paper's 6 seconds of ECG, in whole windows.
-  const auto display_windows = static_cast<std::size_t>(std::ceil(
-      pipeline_config_.display_buffer_seconds / window_period_s));
+  // Frame queue between the node and the coordinator thread. With ARQ the
+  // depth doubles as flow control: the producer may run no more than one
+  // retransmission window ahead, so NACKs still find the frame buffered.
+  // Without ARQ it is sized generously, as in the fire-and-forget seed.
+  const std::size_t frame_depth =
+      arq_on ? std::max<std::size_t>(pipeline_config_.arq.tx_window, 2)
+             : window_count + 1;
+  RingBuffer<std::vector<std::uint8_t>> frames(frame_depth);
+  // Coordinator -> node feedback channel (ACK/NACK). Assumed reliable but
+  // lossy-by-overflow: feedback is advisory, drops degrade to concealment.
+  RingBuffer<FeedbackMessage> feedback(256);
+  // Display buffer: the paper's 6 seconds of ECG, in whole windows. With
+  // ARQ the buffer additionally absorbs recovery bursts — filling a gap
+  // releases up to rx_reorder held windows at once.
+  const auto display_windows =
+      static_cast<std::size_t>(std::ceil(
+          pipeline_config_.display_buffer_seconds / window_period_s)) +
+      (arq_on ? pipeline_config_.arq.rx_reorder : 0);
   RingBuffer<DisplayedWindow> display(std::max<std::size_t>(1,
                                                             display_windows));
 
@@ -53,9 +71,24 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
 
   const auto wall_start = std::chrono::steady_clock::now();
 
-  // --- Producer: the sensor node (§IV-A). ---
+  // --- Producer: the sensor node (§IV-A) + ARQ retransmit half. ---
   std::thread producer([&] {
+    const auto service_feedback = [&] {
+      std::vector<FeedbackMessage> messages;
+      while (auto message = feedback.try_pop()) {
+        messages.push_back(*message);
+      }
+      const bool had_feedback = !messages.empty();
+      for (const auto& frame : node.handle_feedback(messages)) {
+        if (const auto delivered = link.transmit(frame)) {
+          frames.push(*delivered);
+        }
+      }
+      return had_feedback;
+    };
+
     for (std::size_t w = 0; w < window_count; ++w) {
+      service_feedback();
       const auto frame = node.process_window(std::span<const std::int16_t>(
           record.samples.data() + w * n, n));
       const auto delivered = link.transmit(frame);
@@ -67,33 +100,125 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
             window_period_s * pipeline_config_.pace));
       }
     }
+    // Drain: keep answering NACKs until everything in flight is either
+    // acknowledged or hopeless. Frames lost at the very tail (nothing
+    // after them to expose the gap) cannot be NACKed; they are abandoned
+    // here and concealed by the consumer's finish().
+    std::size_t quiet_rounds = 0;
+    for (std::size_t round = 0;
+         arq_on && !node.arq().idle() && round < 20000; ++round) {
+      if (service_feedback()) {
+        quiet_rounds = 0;
+      } else if (frames.size() == 0 && ++quiet_rounds >= 250) {
+        break;  // consumer caught up and went silent: only tail losses left
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
     frames.close();
   });
 
   std::size_t display_overruns = 0;
+  std::size_t corrupt_rejected = 0;
 
   // --- Consumer: the coordinator's Bluetooth + decode thread (§IV-B1). ---
   std::thread consumer([&] {
+    std::size_t frames_processed = 0;
+    std::size_t emitted = 0;  // slots are emitted contiguously from 0
+    // Good window bracketing the current concealment gap (interpolation).
+    std::vector<float> previous_good;
+    std::vector<std::uint16_t> pending_lost;
+
+    const auto emit = [&](std::uint16_t sequence, std::vector<float> samples,
+                          bool concealed) {
+      ++emitted;
+      DisplayedWindow window;
+      window.sequence = sequence;
+      window.concealed = concealed;
+      window.samples = std::move(samples);
+      // The decode thread must never block on the display: count an
+      // overrun instead (would be a dropped redraw on the phone).
+      if (!display.try_push(window)) {
+        ++display_overruns;
+      }
+    };
+
+    const auto conceal = [&](std::uint16_t sequence) {
+      if (interpolate) {
+        pending_lost.push_back(sequence);  // wait for the far bracket
+      } else {
+        emit(sequence, coordinator.conceal_hold_last(), true);
+      }
+    };
+
+    const auto handle_events =
+        [&](std::vector<ArqReceiver::Event>& events) {
+          for (auto& event : events) {
+            if (event.lost) {
+              conceal(event.sequence);
+              continue;
+            }
+            auto samples = coordinator.process_frame(event.frame);
+            if (!samples) {
+              // CRC-clean but undecodable: typically a differential frame
+              // stranded behind an abandoned gap, waiting for the forced
+              // keyframe. Conceal it rather than skip the slot.
+              conceal(event.sequence);
+              continue;
+            }
+            if (!pending_lost.empty()) {
+              const std::size_t gap = pending_lost.size();
+              for (std::size_t k = 0; k < gap; ++k) {
+                emit(pending_lost[k],
+                     coordinator.conceal_interpolated(previous_good, *samples,
+                                                      k, gap),
+                     true);
+              }
+              pending_lost.clear();
+            }
+            previous_good = *samples;
+            emit(event.sequence, std::move(*samples), false);
+          }
+        };
+
     while (true) {
       auto frame = frames.pop();
       if (!frame) {
         break;
       }
-      std::uint16_t sequence = 0;
-      if (frame->size() >= 2) {
-        sequence = static_cast<std::uint16_t>(
-            (std::uint16_t{(*frame)[0]} << 8) | (*frame)[1]);
+      const double now = static_cast<double>(frames_processed++);
+      const auto packet = core::Packet::parse(*frame);
+      ArqReceiver::Output out;
+      if (!packet) {
+        // CRC or header verification failed: the sequence number cannot
+        // be trusted, so the loss will surface as a gap.
+        ++corrupt_rejected;
+        out = arq_rx.on_corrupt_frame(now);
+      } else {
+        out = arq_rx.on_frame(packet->sequence, std::move(*frame), now);
       }
-      auto samples = coordinator.process_frame(*frame);
-      if (samples) {
-        DisplayedWindow window;
-        window.sequence = sequence;
-        window.samples = std::move(*samples);
-        // The decode thread must never block on the display: count an
-        // overrun instead (would be a dropped redraw on the phone).
-        if (!display.try_push(window)) {
-          ++display_overruns;
-        }
+      // Feedback travels before the (slow) reconstruction so NACK latency
+      // is not inflated by FISTA.
+      for (const auto& message : out.feedback) {
+        (void)feedback.try_push(message);
+      }
+      handle_events(out.events);
+    }
+    auto out = arq_rx.finish(static_cast<double>(frames_processed));
+    handle_events(out.events);
+    // Gap still open at end of stream: no far bracket exists, fall back
+    // to hold-last for whatever interpolation was waiting on.
+    for (const std::uint16_t sequence : pending_lost) {
+      emit(sequence, coordinator.conceal_hold_last(), true);
+    }
+    // Windows whose every frame was lost or CRC-rejected past the last
+    // parsed sequence are invisible to the ARQ receiver (it never learned
+    // they exist). The pipeline knows the stream length, so conceal the
+    // missing tail instead of truncating the display. Without ARQ the
+    // fire-and-forget seed semantics (lost windows simply absent) apply.
+    if (arq_on) {
+      for (std::size_t s = emitted; s < window_count; ++s) {
+        emit(static_cast<std::uint16_t>(s), coordinator.conceal_hold_last(),
+             true);
       }
     }
     display.close();
@@ -102,6 +227,7 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
   // --- Display thread: drains the ring buffer and scores quality. ---
   double prd_sum = 0.0;
   std::size_t displayed = 0;
+  std::size_t scored = 0;
   std::vector<double> original(n);
   std::vector<double> reconstructed(n);
   while (true) {
@@ -111,12 +237,16 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
     }
     const std::size_t w = window->sequence;
     if (w < window_count && window->samples.size() == n) {
+      ++displayed;
+      if (window->concealed) {
+        continue;  // concealed windows are flagged, never scored as clean
+      }
       for (std::size_t i = 0; i < n; ++i) {
         original[i] = static_cast<double>(record.samples[w * n + i]);
         reconstructed[i] = static_cast<double>(window->samples[i]);
       }
       prd_sum += ecg::prd(original, reconstructed);
-      ++displayed;
+      ++scored;
     }
   }
 
@@ -129,10 +259,18 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
   report.node = node.stats();
   report.coordinator = coordinator.stats();
   report.link = link.stats();
+  report.arq_tx = node.arq().stats();
+  report.arq_rx = arq_rx.stats();
   report.windows_displayed = displayed;
+  report.windows_concealed = report.coordinator.windows_concealed;
+  report.windows_corrupt_rejected = corrupt_rejected;
+  report.retransmissions = report.arq_tx.retransmissions;
+  report.keyframes_forced = report.node.keyframes_forced;
   report.display_overruns = display_overruns;
-  report.mean_prd = displayed == 0 ? 0.0
-                                   : prd_sum / static_cast<double>(displayed);
+  report.mean_prd = scored == 0 ? 0.0
+                                : prd_sum / static_cast<double>(scored);
+  report.mean_recovery_latency_s =
+      report.arq_rx.mean_recovery_latency_ticks() * window_period_s;
   report.node_cpu_usage = node.cpu_usage(window_period_s);
   report.coordinator_cpu_usage = coordinator.cpu_usage(window_period_s);
   return report;

@@ -86,11 +86,14 @@ TEST(WireCompatTest, PacketHeaderGoldenBytes) {
   packet.kind = core::PacketKind::kDifferential;
   packet.payload = {0xAA};
   const auto bytes = packet.serialize();
-  ASSERT_EQ(bytes.size(), 4u);
+  ASSERT_EQ(bytes.size(), 6u);
   EXPECT_EQ(bytes[0], 0x01);  // sequence high byte first
   EXPECT_EQ(bytes[1], 0x02);
   EXPECT_EQ(bytes[2], 0x01);  // kind = differential
   EXPECT_EQ(bytes[3], 0xAA);
+  // CRC-16/CCITT-FALSE over header+payload, big-endian trailer.
+  EXPECT_EQ(bytes[4], 0xBB);
+  EXPECT_EQ(bytes[5], 0x85);
 }
 
 TEST(WireCompatTest, DefaultCodebookIsStableAcrossProcessRuns) {

@@ -419,7 +419,8 @@ TEST(PacketTest, SerializeParseRoundTrip) {
   packet.kind = PacketKind::kAbsolute;
   packet.payload = {1, 2, 3, 250};
   const auto bytes = packet.serialize();
-  EXPECT_EQ(bytes.size(), Packet::kHeaderBytes + 4);
+  EXPECT_EQ(bytes.size(), Packet::kHeaderBytes + 4 + Packet::kCrcBytes);
+  EXPECT_EQ(packet.framed_bytes(), bytes.size());
   const auto parsed = Packet::parse(bytes);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->sequence, 0xBEEF);
@@ -433,11 +434,49 @@ TEST(PacketTest, WireBitsCountsHeader) {
   EXPECT_EQ(packet.wire_bits(), (3u + 10u) * 8u);
 }
 
-TEST(PacketTest, ParseRejectsGarbage) {
+TEST(PacketTest, ParseRejectsTruncatedFrames) {
   EXPECT_FALSE(Packet::parse(std::vector<std::uint8_t>{1, 2}).has_value());
-  // Unknown packet kind byte.
-  EXPECT_FALSE(
-      Packet::parse(std::vector<std::uint8_t>{0, 0, 7, 1}).has_value());
+  Packet packet;
+  packet.payload = {9, 8, 7};
+  auto bytes = packet.serialize();
+  // Losing the CRC trailer (or part of it) must reject, not mis-parse the
+  // payload tail as a checksum.
+  bytes.pop_back();
+  EXPECT_FALSE(Packet::parse(bytes).has_value());
+  bytes.pop_back();
+  EXPECT_FALSE(Packet::parse(bytes).has_value());
+}
+
+TEST(PacketTest, ParseRejectsUnknownKindEvenWithValidCrc) {
+  // Hand-build a frame whose CRC is correct but whose kind byte is not a
+  // PacketKind — the header check must still fire after the CRC check.
+  std::vector<std::uint8_t> bytes{0, 0, 7, 1};
+  const std::uint16_t crc = crc16_ccitt(bytes);
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  EXPECT_FALSE(Packet::parse(bytes).has_value());
+}
+
+TEST(PacketTest, ParseRejectsAnySingleBitFlip) {
+  Packet packet;
+  packet.sequence = 0x0102;
+  packet.kind = PacketKind::kDifferential;
+  packet.payload = {0xAA, 0x55, 0x00, 0xFF};
+  const auto clean = packet.serialize();
+  ASSERT_TRUE(Packet::parse(clean).has_value());
+  for (std::size_t bit = 0; bit < clean.size() * 8; ++bit) {
+    auto corrupted = clean;
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(Packet::parse(corrupted).has_value())
+        << "bit flip at " << bit << " slipped through the CRC";
+  }
+}
+
+TEST(PacketTest, Crc16MatchesKnownVector) {
+  // CRC-16/CCITT-FALSE check value for the ASCII string "123456789".
+  const std::vector<std::uint8_t> check{'1', '2', '3', '4', '5',
+                                        '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(check), 0x29B1);
 }
 
 // ------------------------------------------------------------- codebook --

@@ -149,7 +149,9 @@ TEST(LinkTest, StatsAccumulate) {
   EXPECT_EQ(stats.frames_sent, 2u);
   EXPECT_EQ(stats.frames_lost, 0u);
   EXPECT_EQ(stats.payload_bits, 1600u);
-  EXPECT_EQ(stats.wire_bits, 2u * (100u + 10u) * 8u);
+  // Default link overhead is 8 bytes: the explicit CRC-16 trailer moved
+  // out of the abstract overhead and into the serialised frame itself.
+  EXPECT_EQ(stats.wire_bits, 2u * (100u + 8u) * 8u);
   EXPECT_NEAR(stats.tx_energy_j, stats.airtime_s * 0.1, 1e-12);
 }
 
@@ -249,7 +251,7 @@ TEST(PipelineTest, LosslessRunDisplaysEveryWindow) {
   EXPECT_LT(report.node_cpu_usage, 0.05);
 }
 
-TEST(PipelineTest, SurvivesFrameLoss) {
+TEST(PipelineTest, SurvivesFrameLossWithArqAndConcealment) {
   const auto db = small_db();
   core::DecoderConfig config;
   config.cs.keyframe_interval = 2;  // frequent re-sync for lossy links
@@ -260,9 +262,28 @@ TEST(PipelineTest, SurvivesFrameLoss) {
   RealTimePipeline pipeline(config, book, pipe);
   const auto report = pipeline.run(db.mote(1));
   EXPECT_GT(report.link.frames_lost, 0u);
+  // ARQ repairs what it can; everything else is concealed — every input
+  // window reaches the display (or is counted as a full-buffer overrun).
+  EXPECT_EQ(report.windows_displayed + report.display_overruns,
+            report.windows_input);
+  EXPECT_GT(report.windows_displayed, 0u);
+}
+
+TEST(PipelineTest, ArqDisabledReproducesFireAndForget) {
+  const auto db = small_db();
+  core::DecoderConfig config;
+  config.cs.keyframe_interval = 2;
+  const auto book = core::train_difference_codebook(db, config.cs);
+  PipelineConfig pipe;
+  pipe.link.loss_rate = 0.3;
+  pipe.link.seed = 5;
+  pipe.arq.enabled = false;
+  RealTimePipeline pipeline(config, book, pipe);
+  const auto report = pipeline.run(db.mote(1));
+  EXPECT_GT(report.link.frames_lost, 0u);
+  EXPECT_EQ(report.retransmissions, 0u);
+  // Lost frames never reach the coordinator: fewer windows than input.
   EXPECT_LT(report.windows_displayed, report.windows_input);
-  // Differential packets referencing lost state are rejected, never
-  // crash; keyframes recover the stream.
   EXPECT_GT(report.windows_displayed, 0u);
 }
 

@@ -8,9 +8,14 @@
 //                       [--d 12] [--shift 0] [--seed 42]
 //   csecg_tool decode   --in session.csecgs --out recon.csecg
 //   csecg_tool metrics  --a rec.csecg --b recon.csecg
+//   csecg_tool stream   --in rec.csecg [--loss 0.1] [--burst 4] [--ber 1e-5]
+//                       [--retries 3] [--keyframe 64] [--conceal hold|interp]
 //
 // `encode` trains a codebook on the input record itself (self-contained
 // sessions); `decode` reads everything it needs from the session file.
+// `stream` pushes the record through the real-time WBSN pipeline over a
+// Gilbert–Elliott burst channel with the NACK-driven ARQ and prints the
+// robustness counters.
 
 #include <cmath>
 #include <cstdio>
@@ -28,6 +33,7 @@
 #include "csecg/ecg/qrs_detector.hpp"
 #include "csecg/io/record_io.hpp"
 #include "csecg/io/session_io.hpp"
+#include "csecg/wbsn/pipeline.hpp"
 
 namespace {
 
@@ -254,6 +260,60 @@ int cmd_decode(const Args& args) {
   return 0;
 }
 
+int cmd_stream(const Args& args) {
+  const auto record = io::load_record(need(args, "in"));
+  if (!record) {
+    std::fprintf(stderr, "cannot read record\n");
+    return 1;
+  }
+  core::DecoderConfig config;
+  config.cs.keyframe_interval =
+      static_cast<std::size_t>(get_double(args, "keyframe", 64.0));
+
+  wbsn::PipelineConfig pipe;
+  pipe.link.loss_rate = get_double(args, "loss", 0.0);
+  pipe.link.mean_burst_frames =
+      std::max(1.0, get_double(args, "burst", 1.0));
+  pipe.link.bit_error_rate = get_double(args, "ber", 0.0);
+  pipe.link.seed =
+      static_cast<std::uint64_t>(get_double(args, "seed", 1.0));
+  pipe.arq.max_retries =
+      static_cast<std::size_t>(get_double(args, "retries", 3.0));
+  pipe.arq.enabled = pipe.arq.max_retries > 0;
+  const auto it = args.find("conceal");
+  if (it != args.end() && it->second == "interp") {
+    pipe.concealment = wbsn::ConcealmentStrategy::kInterpolate;
+  } else if (it != args.end() && it->second != "hold") {
+    std::fprintf(stderr, "--conceal must be hold or interp\n");
+    return 2;
+  }
+
+  wbsn::RealTimePipeline pipeline(config, core::default_difference_codebook(),
+                                  pipe);
+  const auto report = pipeline.run(*record);
+
+  std::printf("windows input/displayed : %zu / %zu (%zu overruns)\n",
+              report.windows_input, report.windows_displayed,
+              report.display_overruns);
+  std::printf("frames sent/lost/corrupt: %zu / %zu / %zu\n",
+              report.link.frames_sent, report.link.frames_lost,
+              report.link.frames_corrupted);
+  std::printf("loss bursts             : %zu\n", report.link.loss_bursts);
+  std::printf("CRC rejects             : %zu\n",
+              report.windows_corrupt_rejected);
+  std::printf("retransmissions         : %zu (%zu keyframes forced)\n",
+              report.retransmissions, report.keyframes_forced);
+  std::printf("windows recovered       : %zu (mean latency %.1f s)\n",
+              report.arq_rx.windows_recovered,
+              report.mean_recovery_latency_s);
+  std::printf("windows concealed       : %zu\n", report.windows_concealed);
+  std::printf("mean PRD (clean windows): %.2f %%\n", report.mean_prd);
+  std::printf("node/coordinator CPU    : %.2f %% / %.1f %%\n",
+              report.node_cpu_usage * 100.0,
+              report.coordinator_cpu_usage * 100.0);
+  return 0;
+}
+
 int cmd_metrics(const Args& args) {
   const auto a = io::load_record(need(args, "a"));
   const auto b = io::load_record(need(args, "b"));
@@ -299,7 +359,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: csecg_tool {generate|info|csv|encode|decode|"
-                 "metrics} --flag value ...\n");
+                 "metrics|stream} --flag value ...\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -322,6 +382,9 @@ int main(int argc, char** argv) {
     }
     if (command == "metrics") {
       return cmd_metrics(args);
+    }
+    if (command == "stream") {
+      return cmd_stream(args);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
