@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_baseline.dir/wavelet_codec.cpp.o"
+  "CMakeFiles/csecg_baseline.dir/wavelet_codec.cpp.o.d"
+  "libcsecg_baseline.a"
+  "libcsecg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/bitstream.cpp" "src/coding/CMakeFiles/csecg_coding.dir/bitstream.cpp.o" "gcc" "src/coding/CMakeFiles/csecg_coding.dir/bitstream.cpp.o.d"
+  "/root/repo/src/coding/huffman.cpp" "src/coding/CMakeFiles/csecg_coding.dir/huffman.cpp.o" "gcc" "src/coding/CMakeFiles/csecg_coding.dir/huffman.cpp.o.d"
+  "/root/repo/src/coding/rice.cpp" "src/coding/CMakeFiles/csecg_coding.dir/rice.cpp.o" "gcc" "src/coding/CMakeFiles/csecg_coding.dir/rice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_coding.dir/bitstream.cpp.o"
+  "CMakeFiles/csecg_coding.dir/bitstream.cpp.o.d"
+  "CMakeFiles/csecg_coding.dir/huffman.cpp.o"
+  "CMakeFiles/csecg_coding.dir/huffman.cpp.o.d"
+  "CMakeFiles/csecg_coding.dir/rice.cpp.o"
+  "CMakeFiles/csecg_coding.dir/rice.cpp.o.d"
+  "libcsecg_coding.a"
+  "libcsecg_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

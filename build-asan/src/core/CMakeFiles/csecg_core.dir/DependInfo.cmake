@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codebook.cpp" "src/core/CMakeFiles/csecg_core.dir/codebook.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/codebook.cpp.o.d"
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/csecg_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/cs_operator.cpp" "src/core/CMakeFiles/csecg_core.dir/cs_operator.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/cs_operator.cpp.o.d"
+  "/root/repo/src/core/decoder.cpp" "src/core/CMakeFiles/csecg_core.dir/decoder.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/decoder.cpp.o.d"
+  "/root/repo/src/core/encoder.cpp" "src/core/CMakeFiles/csecg_core.dir/encoder.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/encoder.cpp.o.d"
+  "/root/repo/src/core/mote_rng.cpp" "src/core/CMakeFiles/csecg_core.dir/mote_rng.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/mote_rng.cpp.o.d"
+  "/root/repo/src/core/packet.cpp" "src/core/CMakeFiles/csecg_core.dir/packet.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/packet.cpp.o.d"
+  "/root/repo/src/core/residual.cpp" "src/core/CMakeFiles/csecg_core.dir/residual.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/residual.cpp.o.d"
+  "/root/repo/src/core/rip.cpp" "src/core/CMakeFiles/csecg_core.dir/rip.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/rip.cpp.o.d"
+  "/root/repo/src/core/sensing_matrix.cpp" "src/core/CMakeFiles/csecg_core.dir/sensing_matrix.cpp.o" "gcc" "src/core/CMakeFiles/csecg_core.dir/sensing_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/coding/CMakeFiles/csecg_coding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dsp/CMakeFiles/csecg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ecg/CMakeFiles/csecg_ecg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fixedpoint/CMakeFiles/csecg_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/solvers/CMakeFiles/csecg_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_core.dir/codebook.cpp.o"
+  "CMakeFiles/csecg_core.dir/codebook.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/codec.cpp.o"
+  "CMakeFiles/csecg_core.dir/codec.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/cs_operator.cpp.o"
+  "CMakeFiles/csecg_core.dir/cs_operator.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/decoder.cpp.o"
+  "CMakeFiles/csecg_core.dir/decoder.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/encoder.cpp.o"
+  "CMakeFiles/csecg_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/mote_rng.cpp.o"
+  "CMakeFiles/csecg_core.dir/mote_rng.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/packet.cpp.o"
+  "CMakeFiles/csecg_core.dir/packet.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/residual.cpp.o"
+  "CMakeFiles/csecg_core.dir/residual.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/rip.cpp.o"
+  "CMakeFiles/csecg_core.dir/rip.cpp.o.d"
+  "CMakeFiles/csecg_core.dir/sensing_matrix.cpp.o"
+  "CMakeFiles/csecg_core.dir/sensing_matrix.cpp.o.d"
+  "libcsecg_core.a"
+  "libcsecg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/dwt.cpp" "src/dsp/CMakeFiles/csecg_dsp.dir/dwt.cpp.o" "gcc" "src/dsp/CMakeFiles/csecg_dsp.dir/dwt.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/csecg_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/csecg_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/resampler.cpp" "src/dsp/CMakeFiles/csecg_dsp.dir/resampler.cpp.o" "gcc" "src/dsp/CMakeFiles/csecg_dsp.dir/resampler.cpp.o.d"
+  "/root/repo/src/dsp/wavelet.cpp" "src/dsp/CMakeFiles/csecg_dsp.dir/wavelet.cpp.o" "gcc" "src/dsp/CMakeFiles/csecg_dsp.dir/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

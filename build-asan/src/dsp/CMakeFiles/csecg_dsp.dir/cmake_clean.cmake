@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_dsp.dir/dwt.cpp.o"
+  "CMakeFiles/csecg_dsp.dir/dwt.cpp.o.d"
+  "CMakeFiles/csecg_dsp.dir/fir.cpp.o"
+  "CMakeFiles/csecg_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/csecg_dsp.dir/resampler.cpp.o"
+  "CMakeFiles/csecg_dsp.dir/resampler.cpp.o.d"
+  "CMakeFiles/csecg_dsp.dir/wavelet.cpp.o"
+  "CMakeFiles/csecg_dsp.dir/wavelet.cpp.o.d"
+  "libcsecg_dsp.a"
+  "libcsecg_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecg/database.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/database.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/database.cpp.o.d"
+  "/root/repo/src/ecg/ecgsyn.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/ecgsyn.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/ecgsyn.cpp.o.d"
+  "/root/repo/src/ecg/metrics.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/metrics.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/metrics.cpp.o.d"
+  "/root/repo/src/ecg/noise.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/noise.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/noise.cpp.o.d"
+  "/root/repo/src/ecg/qrs_detector.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/qrs_detector.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/qrs_detector.cpp.o.d"
+  "/root/repo/src/ecg/record.cpp" "src/ecg/CMakeFiles/csecg_ecg.dir/record.cpp.o" "gcc" "src/ecg/CMakeFiles/csecg_ecg.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/dsp/CMakeFiles/csecg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_ecg.dir/database.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/database.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/ecgsyn.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/ecgsyn.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/metrics.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/metrics.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/noise.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/noise.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/qrs_detector.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/qrs_detector.cpp.o.d"
+  "CMakeFiles/csecg_ecg.dir/record.cpp.o"
+  "CMakeFiles/csecg_ecg.dir/record.cpp.o.d"
+  "libcsecg_ecg.a"
+  "libcsecg_ecg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_ecg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

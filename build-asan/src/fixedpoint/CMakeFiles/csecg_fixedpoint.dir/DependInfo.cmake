@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixedpoint/msp430_counters.cpp" "src/fixedpoint/CMakeFiles/csecg_fixedpoint.dir/msp430_counters.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/csecg_fixedpoint.dir/msp430_counters.cpp.o.d"
+  "/root/repo/src/fixedpoint/q15.cpp" "src/fixedpoint/CMakeFiles/csecg_fixedpoint.dir/q15.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/csecg_fixedpoint.dir/q15.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_fixedpoint.dir/msp430_counters.cpp.o"
+  "CMakeFiles/csecg_fixedpoint.dir/msp430_counters.cpp.o.d"
+  "CMakeFiles/csecg_fixedpoint.dir/q15.cpp.o"
+  "CMakeFiles/csecg_fixedpoint.dir/q15.cpp.o.d"
+  "libcsecg_fixedpoint.a"
+  "libcsecg_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_io.dir/record_io.cpp.o"
+  "CMakeFiles/csecg_io.dir/record_io.cpp.o.d"
+  "CMakeFiles/csecg_io.dir/session_io.cpp.o"
+  "CMakeFiles/csecg_io.dir/session_io.cpp.o.d"
+  "libcsecg_io.a"
+  "libcsecg_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/kernels.cpp" "src/linalg/CMakeFiles/csecg_linalg.dir/kernels.cpp.o" "gcc" "src/linalg/CMakeFiles/csecg_linalg.dir/kernels.cpp.o.d"
+  "/root/repo/src/linalg/linear_operator.cpp" "src/linalg/CMakeFiles/csecg_linalg.dir/linear_operator.cpp.o" "gcc" "src/linalg/CMakeFiles/csecg_linalg.dir/linear_operator.cpp.o.d"
+  "/root/repo/src/linalg/sparse_binary_matrix.cpp" "src/linalg/CMakeFiles/csecg_linalg.dir/sparse_binary_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/csecg_linalg.dir/sparse_binary_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

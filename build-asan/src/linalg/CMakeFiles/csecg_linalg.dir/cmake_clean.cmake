@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_linalg.dir/kernels.cpp.o"
+  "CMakeFiles/csecg_linalg.dir/kernels.cpp.o.d"
+  "CMakeFiles/csecg_linalg.dir/linear_operator.cpp.o"
+  "CMakeFiles/csecg_linalg.dir/linear_operator.cpp.o.d"
+  "CMakeFiles/csecg_linalg.dir/sparse_binary_matrix.cpp.o"
+  "CMakeFiles/csecg_linalg.dir/sparse_binary_matrix.cpp.o.d"
+  "libcsecg_linalg.a"
+  "libcsecg_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cortex_a8.cpp" "src/platform/CMakeFiles/csecg_platform.dir/cortex_a8.cpp.o" "gcc" "src/platform/CMakeFiles/csecg_platform.dir/cortex_a8.cpp.o.d"
+  "/root/repo/src/platform/energy.cpp" "src/platform/CMakeFiles/csecg_platform.dir/energy.cpp.o" "gcc" "src/platform/CMakeFiles/csecg_platform.dir/energy.cpp.o.d"
+  "/root/repo/src/platform/memory_footprint.cpp" "src/platform/CMakeFiles/csecg_platform.dir/memory_footprint.cpp.o" "gcc" "src/platform/CMakeFiles/csecg_platform.dir/memory_footprint.cpp.o.d"
+  "/root/repo/src/platform/msp430.cpp" "src/platform/CMakeFiles/csecg_platform.dir/msp430.cpp.o" "gcc" "src/platform/CMakeFiles/csecg_platform.dir/msp430.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/csecg_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fixedpoint/CMakeFiles/csecg_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/coding/CMakeFiles/csecg_coding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ecg/CMakeFiles/csecg_ecg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dsp/CMakeFiles/csecg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/solvers/CMakeFiles/csecg_solvers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

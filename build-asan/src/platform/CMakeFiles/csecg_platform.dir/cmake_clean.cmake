@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_platform.dir/cortex_a8.cpp.o"
+  "CMakeFiles/csecg_platform.dir/cortex_a8.cpp.o.d"
+  "CMakeFiles/csecg_platform.dir/energy.cpp.o"
+  "CMakeFiles/csecg_platform.dir/energy.cpp.o.d"
+  "CMakeFiles/csecg_platform.dir/memory_footprint.cpp.o"
+  "CMakeFiles/csecg_platform.dir/memory_footprint.cpp.o.d"
+  "CMakeFiles/csecg_platform.dir/msp430.cpp.o"
+  "CMakeFiles/csecg_platform.dir/msp430.cpp.o.d"
+  "libcsecg_platform.a"
+  "libcsecg_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/fista.cpp" "src/solvers/CMakeFiles/csecg_solvers.dir/fista.cpp.o" "gcc" "src/solvers/CMakeFiles/csecg_solvers.dir/fista.cpp.o.d"
+  "/root/repo/src/solvers/omp.cpp" "src/solvers/CMakeFiles/csecg_solvers.dir/omp.cpp.o" "gcc" "src/solvers/CMakeFiles/csecg_solvers.dir/omp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_solvers.dir/fista.cpp.o"
+  "CMakeFiles/csecg_solvers.dir/fista.cpp.o.d"
+  "CMakeFiles/csecg_solvers.dir/omp.cpp.o"
+  "CMakeFiles/csecg_solvers.dir/omp.cpp.o.d"
+  "libcsecg_solvers.a"
+  "libcsecg_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_util.dir/error.cpp.o"
+  "CMakeFiles/csecg_util.dir/error.cpp.o.d"
+  "CMakeFiles/csecg_util.dir/rng.cpp.o"
+  "CMakeFiles/csecg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/csecg_util.dir/stats.cpp.o"
+  "CMakeFiles/csecg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/csecg_util.dir/table.cpp.o"
+  "CMakeFiles/csecg_util.dir/table.cpp.o.d"
+  "libcsecg_util.a"
+  "libcsecg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_wbsn.dir/arq.cpp.o"
+  "CMakeFiles/csecg_wbsn.dir/arq.cpp.o.d"
+  "CMakeFiles/csecg_wbsn.dir/coordinator.cpp.o"
+  "CMakeFiles/csecg_wbsn.dir/coordinator.cpp.o.d"
+  "CMakeFiles/csecg_wbsn.dir/link.cpp.o"
+  "CMakeFiles/csecg_wbsn.dir/link.cpp.o.d"
+  "CMakeFiles/csecg_wbsn.dir/multi_lead.cpp.o"
+  "CMakeFiles/csecg_wbsn.dir/multi_lead.cpp.o.d"
+  "CMakeFiles/csecg_wbsn.dir/node.cpp.o"
+  "CMakeFiles/csecg_wbsn.dir/node.cpp.o.d"
+  "CMakeFiles/csecg_wbsn.dir/pipeline.cpp.o"
+  "CMakeFiles/csecg_wbsn.dir/pipeline.cpp.o.d"
+  "libcsecg_wbsn.a"
+  "libcsecg_wbsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_wbsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_property_test.dir/coding_property_test.cpp.o"
+  "CMakeFiles/coding_property_test.dir/coding_property_test.cpp.o.d"
+  "coding_property_test"
+  "coding_property_test.pdb"
+  "coding_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compat_test.cpp" "tests/CMakeFiles/compat_test.dir/compat_test.cpp.o" "gcc" "tests/CMakeFiles/compat_test.dir/compat_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/baseline/CMakeFiles/csecg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/csecg_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/coding/CMakeFiles/csecg_coding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dsp/CMakeFiles/csecg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ecg/CMakeFiles/csecg_ecg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fixedpoint/CMakeFiles/csecg_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/io/CMakeFiles/csecg_io.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/csecg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/platform/CMakeFiles/csecg_platform.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/solvers/CMakeFiles/csecg_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/csecg_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/wbsn/CMakeFiles/csecg_wbsn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_property_test.dir/dsp_property_test.cpp.o"
+  "CMakeFiles/dsp_property_test.dir/dsp_property_test.cpp.o.d"
+  "dsp_property_test"
+  "dsp_property_test.pdb"
+  "dsp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

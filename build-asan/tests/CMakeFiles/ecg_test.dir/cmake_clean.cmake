@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_test.dir/ecg_test.cpp.o"
+  "CMakeFiles/ecg_test.dir/ecg_test.cpp.o.d"
+  "ecg_test"
+  "ecg_test.pdb"
+  "ecg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixedpoint_test.dir/fixedpoint_test.cpp.o"
+  "CMakeFiles/fixedpoint_test.dir/fixedpoint_test.cpp.o.d"
+  "fixedpoint_test"
+  "fixedpoint_test.pdb"
+  "fixedpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixedpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_property_test.dir/linalg_property_test.cpp.o"
+  "CMakeFiles/linalg_property_test.dir/linalg_property_test.cpp.o.d"
+  "linalg_property_test"
+  "linalg_property_test.pdb"
+  "linalg_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

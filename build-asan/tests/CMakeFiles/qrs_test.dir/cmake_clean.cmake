@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrs_test.dir/qrs_test.cpp.o"
+  "CMakeFiles/qrs_test.dir/qrs_test.cpp.o.d"
+  "qrs_test"
+  "qrs_test.pdb"
+  "qrs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rice_test.dir/rice_test.cpp.o"
+  "CMakeFiles/rice_test.dir/rice_test.cpp.o.d"
+  "rice_test"
+  "rice_test.pdb"
+  "rice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

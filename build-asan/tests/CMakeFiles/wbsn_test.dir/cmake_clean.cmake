@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbsn_test.dir/wbsn_test.cpp.o"
+  "CMakeFiles/wbsn_test.dir/wbsn_test.cpp.o.d"
+  "wbsn_test"
+  "wbsn_test.pdb"
+  "wbsn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbsn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/dsp_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/coding_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fixedpoint_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ecg_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/solvers_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/platform_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/wbsn_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/transport_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/io_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/rice_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/qrs_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/linalg_property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/dsp_property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/solvers_property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/coding_property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/compat_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csecg_tool.dir/csecg_tool.cpp.o"
+  "CMakeFiles/csecg_tool.dir/csecg_tool.cpp.o.d"
+  "csecg_tool"
+  "csecg_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csecg_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
