@@ -10,7 +10,9 @@
 /// rescale.
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "csecg/coding/huffman.hpp"
 #include "csecg/core/codebook.hpp"
@@ -47,6 +49,86 @@ inline const coding::HuffmanCodebook& codebook() {
       core::train_difference_codebook(corpus(), core::EncoderConfig{});
   return book;
 }
+
+/// Parses the one flag benches accept: `--json <path>` selects a machine
+/// readable artefact (conventionally BENCH_<name>.json) written next to
+/// the console table. Returns the path, or "" when the flag is absent.
+inline std::string json_output_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+/// Machine-readable twin of util::Table: collects the same cells and
+/// writes {"bench": ..., "columns": [...], "rows": [[...], ...]}. Cells
+/// that parse as numbers are emitted as JSON numbers, the rest as
+/// strings, so downstream tooling can diff runs without re-parsing the
+/// console box drawing.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, std::vector<std::string> columns)
+      : bench_(std::move(bench)), columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Writes the artefact; no-op (returns false) on an empty path.
+  bool write(const std::string& path) const {
+    if (path.empty()) {
+      return false;
+    }
+    std::ofstream out(path);
+    if (!out) {
+      return false;
+    }
+    out << "{\"bench\": " << quoted(bench_) << ", \"columns\": [";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << quoted(columns_[i]);
+    }
+    out << "], \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << (r == 0 ? "[" : ", [");
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        out << (c == 0 ? "" : ", ") << cell(rows_[r][c]);
+      }
+      out << "]";
+    }
+    out << "]}\n";
+    return out.good();
+  }
+
+ private:
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+      }
+      out += ch;
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string cell(const std::string& s) {
+    if (!s.empty()) {
+      char* end = nullptr;
+      (void)std::strtod(s.c_str(), &end);
+      if (end != nullptr && *end == '\0') {
+        return s;  // the whole cell is a number: emit it raw
+      }
+    }
+    return quoted(s);
+  }
+
+  std::string bench_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
 
 }  // namespace csecg::bench
 

@@ -14,8 +14,9 @@
 #include "csecg/platform/cortex_a8.hpp"
 #include "csecg/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csecg;
+  const std::string json_path = bench::json_output_path(argc, argv);
   std::cout << "EXP-F7 (Figure 7): average iterations and reconstruction "
                "time per 2-s packet vs CR\n"
             << "Time: Cortex-A8 cycle model at 600 MHz over the "
@@ -24,6 +25,9 @@ int main() {
 
   util::Table table({"CR (%)", "iterations", "A8 time (s)", "host time (s)",
                      "A8 CPU (%)"});
+  bench::JsonReport json("fig7_iterations",
+                         {"cr_percent", "iterations", "a8_seconds",
+                          "host_seconds", "a8_cpu_percent"});
   table.set_title(
       "Fig 7 — average execution time and iterations per 2-s ECG packet");
   const auto& db = bench::corpus();
@@ -64,9 +68,17 @@ int main() {
                    util::format_double(a8_seconds, 3),
                    util::format_double(host_seconds / n, 4),
                    util::format_double(a8_seconds / 2.0 * 100.0, 1)});
+    json.add_row({util::format_double(cr, 0),
+                  util::format_double(iterations / n, 0),
+                  util::format_double(a8_seconds, 6),
+                  util::format_double(host_seconds / n, 6),
+                  util::format_double(a8_seconds / 2.0 * 100.0, 3)});
   }
   table.print(std::cout);
   std::cout << "\nPaper: iterations ~600 -> ~900 and time 0.34 s -> 0.46 s"
                " over CR 30 -> 70; both rise monotonically with CR.\n";
+  if (json.write(json_path)) {
+    std::cout << "JSON artefact written to " << json_path << "\n";
+  }
   return 0;
 }

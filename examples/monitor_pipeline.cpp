@@ -4,21 +4,28 @@
 // using the three-thread producer/consumer pipeline of §IV-B1.
 //
 //   $ ./monitor_pipeline [record-index] [loss-rate] [mean-burst-frames]
-//                        [bit-error-rate] [max-retries]
+//                        [bit-error-rate] [max-retries] [trace.jsonl]
 //
 // loss-rate/mean-burst-frames parameterise the Gilbert–Elliott burst
 // channel, bit-error-rate flips wire bits (caught by the CRC trailer) and
 // max-retries bounds the NACK-driven ARQ. Renders a strip of the
 // reconstructed ECG as ASCII art and prints the node/coordinator/
-// robustness statistics the paper reports.
+// robustness statistics the paper reports, followed by the telemetry
+// summary from the attached observability session. An optional sixth
+// argument dumps that session as JSONL (replayable with
+// `csecg_tool metrics --trace <file>`).
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "csecg/core/codebook.hpp"
 #include "csecg/ecg/database.hpp"
+#include "csecg/obs/export.hpp"
+#include "csecg/obs/obs.hpp"
 #include "csecg/wbsn/pipeline.hpp"
 
 namespace {
@@ -54,6 +61,7 @@ int main(int argc, char** argv) {
   const double bit_error_rate = argc > 4 ? std::atof(argv[4]) : 0.0;
   const std::size_t max_retries =
       argc > 5 ? static_cast<std::size_t>(std::atoi(argv[5])) : 3;
+  const char* trace_path = argc > 6 ? argv[6] : nullptr;
 
   std::printf("Generating the synthetic corpus...\n");
   ecg::DatabaseConfig db_config;
@@ -70,6 +78,8 @@ int main(int argc, char** argv) {
   pipe.link.mean_burst_frames = std::max(1.0, mean_burst);
   pipe.link.bit_error_rate = bit_error_rate;
   pipe.arq.max_retries = max_retries;
+  obs::Session session;
+  pipe.obs = &session;
   wbsn::RealTimePipeline pipeline(config, codebook, pipe);
 
   std::printf("Streaming %s (%.0f s of ECG) through the WBSN pipeline%s\n",
@@ -121,6 +131,29 @@ int main(int argc, char** argv) {
               report.mean_recovery_latency_s);
   std::printf("windows concealed    : %zu of %zu displayed\n",
               report.windows_concealed, report.windows_displayed);
+
+  std::printf("\n--- real-time budget (2 s per window) ---\n");
+  std::printf("decode latency       : p50 %.1f ms  p95 %.1f ms  "
+              "p99 %.1f ms  max %.1f ms\n",
+              report.latency_p50_s * 1e3, report.latency_p95_s * 1e3,
+              report.latency_p99_s * 1e3, report.latency_max_s * 1e3);
+  std::printf("deadline misses      : %zu / %zu (%.2f %%)\n",
+              report.deadline_misses, report.latency_windows,
+              report.deadline_miss_rate * 100.0);
+
+  std::printf("\n--- telemetry (obs session) ---\n");
+  obs::render_summary(session, std::cout);
+  if (trace_path != nullptr) {
+    std::ofstream out(trace_path);
+    if (out) {
+      obs::export_jsonl(session, out);
+      std::printf("\nJSONL trace written to %s "
+                  "(replay: csecg_tool metrics --trace %s)\n",
+                  trace_path, trace_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+    }
+  }
 
   std::printf("\nECG strip (original record, 1.5 s around a beat):\n");
   const std::size_t start =

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Verifies the observability facade is zero-overhead when compiled out:
+# builds bench_kernels_micro with CSECG_OBS=ON and =OFF and asserts the
+# OFF build's micro-kernel timings are within a small tolerance of the ON
+# build's (i.e. the instrumented build does not regress the hot kernels).
+# The facade's fast path when no session is attached is one thread-local
+# load + branch, so both builds should time identically to noise.
+#
+# Usage: scripts/check_obs_overhead.sh [tolerance-percent]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+tolerance="${1:-2}"
+
+bench_filter="${CSECG_OBS_BENCH_FILTER:-.}"
+common_flags=(
+  -DCMAKE_BUILD_TYPE=Release
+  -DCSECG_BUILD_TESTS=OFF
+  -DCSECG_BUILD_EXAMPLES=OFF
+  -DCSECG_BUILD_BENCHMARKS=ON
+)
+
+declare -A json
+for obs in ON OFF; do
+  dir="${repo_root}/build-obs-${obs}"
+  cmake -S "${repo_root}" -B "${dir}" "${common_flags[@]}" \
+    -DCSECG_OBS="${obs}" >/dev/null
+  cmake --build "${dir}" --target bench_kernels_micro -j"$(nproc)"
+  json[${obs}]="${dir}/kernels_micro.json"
+  "${dir}/bench/bench_kernels_micro" \
+    --benchmark_filter="${bench_filter}" \
+    --benchmark_format=json >"${json[${obs}]}"
+done
+
+python3 - "${json[ON]}" "${json[OFF]}" "${tolerance}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    on = {b["name"]: b["real_time"] for b in json.load(f)["benchmarks"]}
+with open(sys.argv[2]) as f:
+    off = {b["name"]: b["real_time"] for b in json.load(f)["benchmarks"]}
+tolerance = float(sys.argv[3])
+
+worst = 0.0
+failed = []
+for name in sorted(on.keys() & off.keys()):
+    # Positive delta = the instrumented (ON) build is slower than OFF.
+    delta = (on[name] - off[name]) / off[name] * 100.0
+    worst = max(worst, delta)
+    marker = ""
+    if delta > tolerance:
+        failed.append(name)
+        marker = "  <-- over tolerance"
+    print(f"{name:48s} ON {on[name]:10.1f}  OFF {off[name]:10.1f}  "
+          f"delta {delta:+6.2f} %{marker}")
+
+print(f"\nworst instrumented-vs-stripped delta: {worst:+.2f} % "
+      f"(tolerance {tolerance} %)")
+if failed:
+    print(f"FAIL: {len(failed)} kernel(s) regressed with CSECG_OBS=ON")
+    sys.exit(1)
+print("OK: observability build is within tolerance of the stripped build")
+EOF

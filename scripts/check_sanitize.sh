@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
 # Builds the test suite under AddressSanitizer + UBSan and runs it.
+# The suite includes obs_test and the observed-pipeline tests, so the
+# multi-threaded metrics registry / tracer paths get sanitizer coverage.
 # Usage: scripts/check_sanitize.sh [build-dir] [ctest-regex]
 set -euo pipefail
 

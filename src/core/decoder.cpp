@@ -4,6 +4,7 @@
 
 #include "csecg/core/residual.hpp"
 #include "csecg/linalg/vector_ops.hpp"
+#include "csecg/obs/obs.hpp"
 #include "csecg/util/error.hpp"
 
 namespace csecg::core {
@@ -29,7 +30,8 @@ Decoder::Decoder(const DecoderConfig& config,
       transform_(dsp::Wavelet::from_name(config.wavelet), config.cs.window,
                  config.levels),
       codebook_(std::move(codebook)),
-      previous_y_(config.cs.measurements, 0) {
+      previous_y_(config.cs.measurements, 0),
+      zero_scratch_(config.cs.measurements, 0) {
   CSECG_CHECK(codebook_.size() == kDiffAlphabetSize,
               "decoder needs the 512-symbol difference codebook");
 }
@@ -59,6 +61,8 @@ std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
   }
 
   if (packet.kind == PacketKind::kAbsolute) {
+    obs::SpanScope entropy_span("huffman_decode", packet.sequence);
+    entropy_span.attribute("keyframe", 1.0);
     const unsigned bits = config_.cs.absolute_bits;
     for (std::size_t i = 0; i < m; ++i) {
       const auto raw = reader.read_bits(bits);
@@ -84,10 +88,20 @@ std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
       // it and wait for the next absolute (keyframe) packet.
       return std::nullopt;
     }
-    if (!decode_difference(reader, codebook_,
-                           std::span<const std::int32_t>(previous_y_),
-                           std::span<std::int32_t>(y))) {
-      return std::nullopt;
+    // Huffman-decode into differences (against a zero reference), then
+    // reconstruct y_t = y_{t-1} + diff as its own observable stage.
+    {
+      obs::SpanScope entropy_span("huffman_decode", packet.sequence);
+      entropy_span.attribute("keyframe", 0.0);
+      if (!decode_difference(reader, codebook_,
+                             std::span<const std::int32_t>(zero_scratch_),
+                             std::span<std::int32_t>(y))) {
+        return std::nullopt;
+      }
+    }
+    obs::SpanScope reconstruct_span("packet_reconstruct", packet.sequence);
+    for (std::size_t i = 0; i < m; ++i) {
+      y[i] += previous_y_[i];
     }
   }
   previous_y_ = y;
@@ -152,8 +166,15 @@ DecodedWindow<T> Decoder::reconstruct(
   }
   options.lipschitz = cache;
 
-  const auto solve =
-      solvers::fista<T>(A, std::span<const T>(y), options);
+  solvers::ShrinkageResult<T> solve;
+  {
+    obs::SpanScope fista_span("fista");
+    solve = solvers::fista<T>(A, std::span<const T>(y), options);
+    fista_span.attribute("iterations",
+                         static_cast<double>(solve.iterations));
+    fista_span.attribute("converged", solve.converged ? 1.0 : 0.0);
+    fista_span.attribute("measurements", static_cast<double>(m));
+  }
 
   DecodedWindow<T> window;
   window.iterations = solve.iterations;
@@ -161,8 +182,11 @@ DecodedWindow<T> Decoder::reconstruct(
   window.residual_norm = solve.final_residual_norm;
   window.objective_trace = solve.objective_trace;
   window.samples.resize(n);
-  transform_.inverse<T>(std::span<const T>(solve.solution),
-                        std::span<T>(window.samples), config_.mode);
+  {
+    obs::SpanScope idwt_span("idwt");
+    transform_.inverse<T>(std::span<const T>(solve.solution),
+                          std::span<T>(window.samples), config_.mode);
+  }
   return window;
 }
 

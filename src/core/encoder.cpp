@@ -1,10 +1,12 @@
 #include "csecg/core/encoder.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "csecg/core/mote_rng.hpp"
 #include "csecg/core/residual.hpp"
 #include "csecg/fixedpoint/msp430_counters.hpp"
+#include "csecg/obs/obs.hpp"
 #include "csecg/util/error.hpp"
 
 namespace csecg::core {
@@ -57,7 +59,9 @@ Encoder::Encoder(const EncoderConfig& config,
       sensing_(sensing_config_from(config)),
       codebook_(std::move(codebook)),
       current_y_(config.measurements, 0),
-      previous_y_(config.measurements, 0) {
+      previous_y_(config.measurements, 0),
+      diff_scratch_(config.measurements, 0),
+      zero_scratch_(config.measurements, 0) {
   CSECG_CHECK(codebook_.size() == kDiffAlphabetSize,
               "encoder needs the 512-symbol difference codebook");
   CSECG_CHECK(config.absolute_bits >= 12 && config.absolute_bits <= 32,
@@ -84,6 +88,7 @@ Packet Encoder::encode_window(std::span<const std::int16_t> x) {
 
   // Stage 1 — CS projection, integer-only (the 82 ms loop of §IV-A2),
   // followed by the Q15 1/sqrt(d) scale on the hardware multiplier.
+  std::optional<obs::SpanScope> stage(std::in_place, "sense", sequence_);
   if (config_.on_the_fly_indices) {
     // The paper's configuration: regenerate each column's d row indices
     // from the shared 16-bit PRNG while accumulating — no index table in
@@ -137,6 +142,7 @@ Packet Encoder::encode_window(std::span<const std::int16_t> x) {
     ops.store += 2 * config_.measurements;
     fixedpoint::charge(ops);
   }
+  stage.reset();  // sense ends; the entropy stages follow
 
   const bool keyframe =
       !have_previous_ || force_keyframe_ ||
@@ -149,6 +155,8 @@ Packet Encoder::encode_window(std::span<const std::int16_t> x) {
 
   if (keyframe) {
     packet.kind = PacketKind::kAbsolute;
+    obs::SpanScope huffman_span("huffman", packet.sequence);
+    huffman_span.attribute("keyframe", 1.0);
     const unsigned bits = config_.absolute_bits;
     const std::uint32_t mask =
         bits == 32 ? ~std::uint32_t{0}
@@ -165,10 +173,22 @@ Packet Encoder::encode_window(std::span<const std::int16_t> x) {
     force_keyframe_ = false;
   } else {
     packet.kind = PacketKind::kDifferential;
-    // Stages 2 + 3 — redundancy removal and Huffman coding.
-    encode_difference(std::span<const std::int32_t>(current_y_),
-                      std::span<const std::int32_t>(previous_y_), codebook_,
-                      writer);
+    // Stage 2 — redundancy removal: the difference vector is materialised
+    // (rather than fused into the entropy loop) so the residual and
+    // Huffman stages are separately observable; encode_difference charges
+    // the same MSP430 subtract either way, so the cycle model is
+    // unchanged.
+    stage.emplace("residual", packet.sequence);
+    for (std::size_t i = 0; i < current_y_.size(); ++i) {
+      diff_scratch_[i] = current_y_[i] - previous_y_[i];
+    }
+    stage.reset();
+    // Stage 3 — Huffman coding of the differences.
+    obs::SpanScope huffman_span("huffman", packet.sequence);
+    huffman_span.attribute("keyframe", 0.0);
+    encode_difference(std::span<const std::int32_t>(diff_scratch_),
+                      std::span<const std::int32_t>(zero_scratch_),
+                      codebook_, writer);
     ++packets_since_keyframe_;
   }
 

@@ -94,6 +94,7 @@ class Decoder {
   dsp::WaveletTransform transform_;
   coding::HuffmanCodebook codebook_;
   std::vector<std::int32_t> previous_y_;
+  std::vector<std::int32_t> zero_scratch_;  ///< constant zero reference
   bool have_previous_ = false;
   std::uint16_t last_sequence_ = 0;
   // The Lipschitz constant depends only on the operator; cache per

@@ -101,6 +101,8 @@ class Encoder {
   coding::HuffmanCodebook codebook_;
   std::vector<std::int32_t> current_y_;
   std::vector<std::int32_t> previous_y_;
+  std::vector<std::int32_t> diff_scratch_;  ///< y_t - y_{t-1} staging
+  std::vector<std::int32_t> zero_scratch_;  ///< constant zero reference
   std::uint16_t sequence_ = 0;
   std::size_t packets_since_keyframe_ = 0;
   bool have_previous_ = false;

@@ -1,0 +1,35 @@
+#include "csecg/obs/deadline.hpp"
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::obs {
+
+DeadlineMonitor::DeadlineMonitor(Registry& registry, double budget_s)
+    : budget_s_(budget_s),
+      windows_(&registry.counter("deadline.windows")),
+      misses_(&registry.counter("deadline.misses")),
+      miss_rate_(&registry.gauge("deadline.miss_rate")),
+      latency_(&registry.histogram("deadline.latency.seconds")) {
+  CSECG_CHECK(budget_s > 0.0, "deadline budget must be positive");
+  registry.gauge("deadline.budget_seconds").set(budget_s);
+}
+
+bool DeadlineMonitor::observe(double latency_s) {
+  const bool missed = latency_s > budget_s_;
+  windows_->add();
+  if (missed) {
+    misses_->add();
+  }
+  latency_->add(latency_s);
+  miss_rate_->set(miss_rate());
+  return missed;
+}
+
+double DeadlineMonitor::miss_rate() const {
+  const auto windows = windows_->value();
+  return windows == 0 ? 0.0
+                      : static_cast<double>(misses_->value()) /
+                            static_cast<double>(windows);
+}
+
+}  // namespace csecg::obs

@@ -1,0 +1,45 @@
+#ifndef CSECG_OBS_CLOCK_HPP
+#define CSECG_OBS_CLOCK_HPP
+
+/// \file clock.hpp
+/// Pluggable time source for the observability layer. Production code uses
+/// the monotonic SteadyClock; tests drive a ManualClock so span durations
+/// and deadline decisions are deterministic.
+
+#include <chrono>
+
+namespace csecg::obs {
+
+/// Monotonic time source, seconds since an arbitrary epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() const = 0;
+};
+
+class SteadyClock final : public Clock {
+ public:
+  double now() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Deterministic clock for tests: time only moves when advanced.
+class ManualClock final : public Clock {
+ public:
+  double now() const override { return now_; }
+  void advance(double seconds) { now_ += seconds; }
+  void set(double seconds) { now_ = seconds; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// The process-wide default steady clock (shared, stateless).
+const Clock& steady_clock();
+
+}  // namespace csecg::obs
+
+#endif  // CSECG_OBS_CLOCK_HPP

@@ -1,0 +1,48 @@
+#ifndef CSECG_OBS_DEADLINE_HPP
+#define CSECG_OBS_DEADLINE_HPP
+
+/// \file deadline.hpp
+/// Real-time deadline monitor. The paper's pipeline must reconstruct each
+/// 2-s ECG packet before the next one lands; a window whose decode
+/// latency exceeds that budget is a deadline miss (the phone display
+/// would stall). The monitor counts misses, keeps a latency histogram and
+/// exports a live miss-rate gauge through the metrics registry:
+///
+///   counter  deadline.windows      windows observed
+///   counter  deadline.misses       windows over budget
+///   gauge    deadline.miss_rate    misses / windows (0..1)
+///   gauge    deadline.budget_seconds
+///   histogram deadline.latency.seconds
+
+#include <cstddef>
+
+#include "csecg/obs/metrics.hpp"
+
+namespace csecg::obs {
+
+class DeadlineMonitor {
+ public:
+  /// \p budget_s: the per-window latency budget (the paper's 2 s window
+  /// period for the decode path).
+  DeadlineMonitor(Registry& registry, double budget_s);
+
+  /// Records one window's latency; returns true when it missed the
+  /// deadline.
+  bool observe(double latency_s);
+
+  double budget_s() const { return budget_s_; }
+  std::size_t windows() const { return windows_->value(); }
+  std::size_t misses() const { return misses_->value(); }
+  double miss_rate() const;
+
+ private:
+  double budget_s_;
+  Counter* windows_;
+  Counter* misses_;
+  Gauge* miss_rate_;
+  Histogram* latency_;
+};
+
+}  // namespace csecg::obs
+
+#endif  // CSECG_OBS_DEADLINE_HPP

@@ -1,0 +1,40 @@
+#ifndef CSECG_OBS_EXPORT_HPP
+#define CSECG_OBS_EXPORT_HPP
+
+/// \file export.hpp
+/// Session exporters. Two formats:
+///
+///  * JSONL — one JSON object per line, machine-readable, loss-free for
+///    counters/gauges/histograms/spans. A dumped session can be loaded
+///    back (`csecg_tool metrics --trace file.jsonl`) and re-rendered:
+///      {"type":"counter","name":"...","value":N}
+///      {"type":"gauge","name":"...","value":X,"max":X}
+///      {"type":"histogram","name":"...","bounds":[...],"buckets":[...],
+///       "sum":X,"min":X,"max":X}
+///      {"type":"span","name":"...","seq":N,"start":X,"dur":X,"depth":N,
+///       "attrs":{"key":X,...}}
+///
+///  * Table summary — the human report: per-stage latency quantiles,
+///    FISTA iteration histogram, counters/gauges, deadline miss rate.
+
+#include <iosfwd>
+#include <string>
+
+#include "csecg/obs/obs.hpp"
+
+namespace csecg::obs {
+
+/// Writes the whole session (metrics then spans) as JSONL.
+void export_jsonl(const Session& session, std::ostream& os);
+
+/// Loads a JSONL dump back into \p session (merging into whatever it
+/// already holds). Returns false on the first malformed line; \p error
+/// then describes it (line number + reason).
+bool import_jsonl(std::istream& is, Session& session, std::string* error = nullptr);
+
+/// Renders the human summary through util::Table.
+void render_summary(const Session& session, std::ostream& os);
+
+}  // namespace csecg::obs
+
+#endif  // CSECG_OBS_EXPORT_HPP

@@ -1,0 +1,148 @@
+#ifndef CSECG_OBS_METRICS_HPP
+#define CSECG_OBS_METRICS_HPP
+
+/// \file metrics.hpp
+/// Lock-cheap metrics registry: named counters, gauges and fixed-bucket
+/// histograms with interpolated quantiles. Instruments update through
+/// atomics (counters/gauges) or a short per-instrument mutex (histograms),
+/// so producer/consumer/display threads of the real-time pipeline can all
+/// write into one registry; alternatively each thread owns a registry and
+/// the results are combined with Registry::merge.
+///
+/// Naming scheme (see DESIGN.md "Observability"):
+///   <layer>.<noun>[.<verb/unit>]   e.g. arq.retransmissions,
+///   pipeline.windows.displayed, ring.display.occupancy,
+///   stage.fista.seconds, fista.iterations, deadline.miss_rate.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace csecg::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void merge(const Counter& other) { add(other.value()); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value instrument with a high-water mark (ring occupancy, rates).
+class Gauge {
+ public:
+  void set(double value);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  /// Last-writer-wins for the value; the high-water marks combine.
+  void merge(const Gauge& other);
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Upper bucket bounds for a histogram. Values land in the first bucket
+/// whose bound is >= value; anything above the last bound lands in the
+/// implicit overflow bucket.
+struct HistogramSpec {
+  std::vector<double> bounds;
+
+  /// Default: base-2 exponential bounds 2^-20 .. 2^12 (~1 us .. 4096 s
+  /// when observing seconds; 1 .. 4096 when observing counts such as
+  /// FISTA iterations). One spec serves both without configuration.
+  static HistogramSpec exponential();
+  /// Evenly spaced bounds over [lo, hi] (occupancy, percentages).
+  static HistogramSpec linear(double lo, double hi, std::size_t buckets);
+};
+
+/// Fixed-bucket histogram with exact count/sum/min/max and interpolated
+/// quantiles. Thread-safe; add() takes one uncontended mutex.
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec = HistogramSpec::exponential());
+
+  void add(double value);
+
+  std::size_t count() const;
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Linear-interpolated quantile from the bucket counts, q in [0, 1].
+  /// Exact at the recorded min/max; 0 when empty.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return spec_.bounds; }
+  /// Bucket counts, including the trailing overflow bucket
+  /// (size = bounds().size() + 1).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  void merge(const Histogram& other);
+  /// Restores serialized state (JSONL import). Bucket counts must match
+  /// this histogram's bucket count; returns false otherwise.
+  bool inject(const std::vector<std::uint64_t>& buckets, double sum,
+              double min, double max);
+
+ private:
+  HistogramSpec spec_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> buckets_;  // bounds.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named instrument store. Lookup takes a shared mutex; the returned
+/// references stay valid for the registry's lifetime, so hot paths can
+/// resolve once and update through the instrument directly.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// The spec is honoured on first creation only.
+  Histogram& histogram(const std::string& name,
+                       const HistogramSpec& spec = HistogramSpec::exponential());
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Name-sorted snapshots for exporters.
+  std::vector<std::pair<std::string, const Counter*>> counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+  /// Folds another registry into this one (per-thread aggregation).
+  /// Instruments missing here are created; histograms whose bucket layout
+  /// differs are merged through their (count-weighted) mean instead of
+  /// silently mixing incompatible buckets.
+  void merge(const Registry& other);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace csecg::obs
+
+#endif  // CSECG_OBS_METRICS_HPP

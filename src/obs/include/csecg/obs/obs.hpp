@@ -1,0 +1,182 @@
+#ifndef CSECG_OBS_OBS_HPP
+#define CSECG_OBS_OBS_HPP
+
+/// \file obs.hpp
+/// The instrumentation facade: a Session bundles a metrics registry, a
+/// span tracer and a clock; instrumented code (core, solvers, wbsn)
+/// reports through free functions that resolve a thread-local current
+/// session. With no session attached every call is a null-sink — one
+/// thread-local load and a branch. Building with -DCSECG_OBS=OFF
+/// (CSECG_OBS_ENABLED == 0) compiles all call sites to nothing at all,
+/// which scripts/check_obs_overhead.sh verifies against the micro-benches.
+///
+/// Usage at an instrumented site:
+///
+///   obs::SpanScope span("fista", sequence);
+///   span.attribute("iterations", result.iterations);
+///   obs::add("arq.retransmissions");
+///   obs::observe("fista.iterations", result.iterations);
+///
+/// and at the driver:
+///
+///   obs::Session session;                 // steady clock
+///   obs::ScopedSession attach(&session);  // this thread reports into it
+
+#include <cstdint>
+
+#include "csecg/obs/clock.hpp"
+#include "csecg/obs/deadline.hpp"
+#include "csecg/obs/metrics.hpp"
+#include "csecg/obs/trace.hpp"
+
+#ifndef CSECG_OBS_ENABLED
+#define CSECG_OBS_ENABLED 1
+#endif
+
+namespace csecg::obs {
+
+/// One observed run: registry + tracer sharing a clock. Thread-safe; a
+/// single session may be attached to several threads at once, or each
+/// thread can own a session merged afterwards via Registry::merge.
+class Session {
+ public:
+  explicit Session(const Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : &obs::steady_clock()),
+        tracer_(*clock_, registry_) {}
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  const Clock& clock() const { return *clock_; }
+
+ private:
+  const Clock* clock_;
+  Registry registry_;
+  Tracer tracer_;
+};
+
+namespace detail {
+Session*& current_slot();
+int& depth_slot();
+}  // namespace detail
+
+/// The session the calling thread currently reports into (may be null).
+inline Session* current() {
+#if CSECG_OBS_ENABLED
+  return detail::current_slot();
+#else
+  return nullptr;
+#endif
+}
+
+/// Attaches a session to the calling thread for the scope's lifetime.
+/// Passing nullptr detaches (useful to silence a sub-scope).
+class ScopedSession {
+ public:
+#if CSECG_OBS_ENABLED
+  explicit ScopedSession(Session* session)
+      : previous_(detail::current_slot()) {
+    detail::current_slot() = session;
+  }
+  ~ScopedSession() { detail::current_slot() = previous_; }
+#else
+  explicit ScopedSession(Session*) {}
+#endif
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+
+ private:
+#if CSECG_OBS_ENABLED
+  Session* previous_;
+#endif
+};
+
+// ------------------------------------------------------- metric shortcuts --
+
+/// Bumps a named counter on the current session (no-op when detached).
+inline void add(const char* name, std::uint64_t delta = 1) {
+#if CSECG_OBS_ENABLED
+  if (Session* session = current()) {
+    session->registry().counter(name).add(delta);
+  }
+#else
+  (void)name;
+  (void)delta;
+#endif
+}
+
+/// Sets a named gauge on the current session.
+inline void set(const char* name, double value) {
+#if CSECG_OBS_ENABLED
+  if (Session* session = current()) {
+    session->registry().gauge(name).set(value);
+  }
+#else
+  (void)name;
+  (void)value;
+#endif
+}
+
+/// Feeds a named histogram on the current session.
+inline void observe(const char* name, double value) {
+#if CSECG_OBS_ENABLED
+  if (Session* session = current()) {
+    session->registry().histogram(name).add(value);
+  }
+#else
+  (void)name;
+  (void)value;
+#endif
+}
+
+// ----------------------------------------------------------------- spans --
+
+/// RAII span: opens on construction against the current session (no-op
+/// when detached), records on destruction. Attributes are numeric.
+class SpanScope {
+ public:
+#if CSECG_OBS_ENABLED
+  explicit SpanScope(const char* name, std::uint64_t sequence = kNoSequence)
+      : session_(current()) {
+    if (session_ == nullptr) {
+      return;
+    }
+    record_.name = name;
+    record_.sequence = sequence;
+    record_.start_s = session_->clock().now();
+    record_.depth = detail::depth_slot()++;
+  }
+
+  ~SpanScope() {
+    if (session_ == nullptr) {
+      return;
+    }
+    --detail::depth_slot();
+    record_.duration_s = session_->clock().now() - record_.start_s;
+    session_->tracer().record(std::move(record_));
+  }
+
+  void attribute(const char* key, double value) {
+    if (session_ != nullptr) {
+      record_.attributes.emplace_back(key, value);
+    }
+  }
+#else
+  explicit SpanScope(const char*, std::uint64_t = 0) {}
+  void attribute(const char*, double) {}
+#endif
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+#if CSECG_OBS_ENABLED
+  Session* session_;
+  SpanRecord record_;
+#endif
+};
+
+}  // namespace csecg::obs
+
+#endif  // CSECG_OBS_OBS_HPP

@@ -1,0 +1,64 @@
+#ifndef CSECG_OBS_TRACE_HPP
+#define CSECG_OBS_TRACE_HPP
+
+/// \file trace.hpp
+/// Span-based tracer: every pipeline stage (sense, residual, huffman,
+/// link/ARQ, huffman_decode, packet_reconstruct, fista, prd, ...) records
+/// one span per window with a name, the window sequence number, nesting
+/// depth and free-form numeric attributes (CR, iterations, retransmission
+/// count, concealed flag). Durations come from the session's pluggable
+/// clock, so tests drive spans with a ManualClock.
+///
+/// Each finished span is also folded into the registry histogram
+/// "stage.<name>.seconds", so the metrics path (quantiles, JSONL export)
+/// works even after the bounded raw-trace buffer wraps.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "csecg/obs/clock.hpp"
+#include "csecg/obs/metrics.hpp"
+
+namespace csecg::obs {
+
+inline constexpr std::uint64_t kNoSequence = ~std::uint64_t{0};
+
+struct SpanRecord {
+  std::string name;
+  std::uint64_t sequence = kNoSequence;  ///< window/packet sequence
+  double start_s = 0.0;                  ///< clock timestamp at entry
+  double duration_s = 0.0;
+  int depth = 0;  ///< nesting depth within the recording thread
+  std::vector<std::pair<std::string, double>> attributes;
+};
+
+/// Thread-safe bounded span sink. Spans past the capacity are counted but
+/// dropped (the histograms keep aggregating), so a long session cannot
+/// grow without bound.
+class Tracer {
+ public:
+  explicit Tracer(const Clock& clock, Registry& registry,
+                  std::size_t capacity = 65536);
+
+  const Clock& clock() const { return *clock_; }
+
+  void record(SpanRecord record);
+
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t recorded() const;
+  std::size_t dropped() const;
+
+ private:
+  const Clock* clock_;
+  Registry* registry_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace csecg::obs
+
+#endif  // CSECG_OBS_TRACE_HPP

@@ -1,0 +1,283 @@
+#include "csecg/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csecg/util/error.hpp"
+
+namespace csecg::obs {
+
+// ------------------------------------------------------------------ gauge --
+
+void Gauge::set(double value) {
+  value_.store(value, std::memory_order_relaxed);
+  double seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::merge(const Gauge& other) {
+  value_.store(other.value(), std::memory_order_relaxed);
+  double seen = max_.load(std::memory_order_relaxed);
+  const double theirs = other.max();
+  while (theirs > seen &&
+         !max_.compare_exchange_weak(seen, theirs,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+// -------------------------------------------------------------- histogram --
+
+HistogramSpec HistogramSpec::exponential() {
+  HistogramSpec spec;
+  spec.bounds.reserve(33);
+  for (int e = -20; e <= 12; ++e) {
+    spec.bounds.push_back(std::ldexp(1.0, e));
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::linear(double lo, double hi,
+                                    std::size_t buckets) {
+  CSECG_CHECK(hi > lo && buckets > 0, "invalid linear histogram spec");
+  HistogramSpec spec;
+  spec.bounds.reserve(buckets);
+  for (std::size_t i = 1; i <= buckets; ++i) {
+    spec.bounds.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                                   static_cast<double>(buckets));
+  }
+  return spec;
+}
+
+Histogram::Histogram(HistogramSpec spec)
+    : spec_(std::move(spec)), buckets_(spec_.bounds.size() + 1, 0) {
+  CSECG_CHECK(!spec_.bounds.empty(), "histogram needs at least one bound");
+  CSECG_CHECK(std::is_sorted(spec_.bounds.begin(), spec_.bounds.end()),
+              "histogram bounds must be sorted");
+}
+
+void Histogram::add(double value) {
+  const auto it =
+      std::lower_bound(spec_.bounds.begin(), spec_.bounds.end(), value);
+  const auto index =
+      static_cast<std::size_t>(it - spec_.bounds.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[index];
+  sum_ += value;
+  min_ = count_ == 0 ? value : std::min(min_, value);
+  max_ = count_ == 0 ? value : std::max(max_, value);
+  ++count_;
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::quantile(double q) const {
+  CSECG_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < target) {
+      continue;
+    }
+    // Interpolate within [lo, hi] of the bucket that crosses the target,
+    // clamped to the exactly tracked min/max so the tails stay honest.
+    const double lo = i == 0 ? min_ : spec_.bounds[i - 1];
+    const double hi =
+        i < spec_.bounds.size() ? spec_.bounds[i] : max_;
+    const double fraction =
+        (target - before) / static_cast<double>(buckets_[i]);
+    const double value = lo + (std::max(hi, lo) - lo) * fraction;
+    return std::clamp(value, min_, max_);
+  }
+  return max_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  // Snapshot the source first: locking both in a fixed order is not
+  // possible through the public API, and merge sites never merge in both
+  // directions concurrently.
+  const auto their_buckets = other.bucket_counts();
+  std::uint64_t their_count = 0;
+  for (const auto c : their_buckets) {
+    their_count += c;
+  }
+  const double their_sum = other.sum();
+  const double their_min = other.min();
+  const double their_max = other.max();
+  if (their_count == 0) {
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (their_buckets.size() == buckets_.size()) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += their_buckets[i];
+    }
+  } else {
+    // Incompatible layout: fold everything into the bucket holding the
+    // source mean (count/sum/min/max stay exact, quantiles degrade).
+    const double mean = their_sum / static_cast<double>(their_count);
+    const auto it =
+        std::lower_bound(spec_.bounds.begin(), spec_.bounds.end(), mean);
+    buckets_[static_cast<std::size_t>(it - spec_.bounds.begin())] +=
+        their_count;
+  }
+  min_ = count_ == 0 ? their_min : std::min(min_, their_min);
+  max_ = count_ == 0 ? their_max : std::max(max_, their_max);
+  sum_ += their_sum;
+  count_ += their_count;
+}
+
+bool Histogram::inject(const std::vector<std::uint64_t>& buckets, double sum,
+                       double min, double max) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (buckets.size() != buckets_.size()) {
+    return false;
+  }
+  std::uint64_t injected = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += buckets[i];
+    injected += buckets[i];
+  }
+  if (injected == 0) {
+    return true;
+  }
+  min_ = count_ == 0 ? min : std::min(min_, min);
+  max_ = count_ == 0 ? max : std::max(max_, max);
+  sum_ += sum;
+  count_ += injected;
+  return true;
+}
+
+// --------------------------------------------------------------- registry --
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const HistogramSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(spec);
+  }
+  return *slot;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, theirs] : other.counters()) {
+    counter(name).merge(*theirs);
+  }
+  for (const auto& [name, theirs] : other.gauges()) {
+    gauge(name).merge(*theirs);
+  }
+  for (const auto& [name, theirs] : other.histograms()) {
+    histogram(name, HistogramSpec{theirs->bounds()}).merge(*theirs);
+  }
+}
+
+}  // namespace csecg::obs

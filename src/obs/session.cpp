@@ -1,0 +1,15 @@
+#include "csecg/obs/obs.hpp"
+
+namespace csecg::obs::detail {
+
+Session*& current_slot() {
+  thread_local Session* session = nullptr;
+  return session;
+}
+
+int& depth_slot() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace csecg::obs::detail

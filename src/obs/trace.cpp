@@ -1,0 +1,39 @@
+#include "csecg/obs/trace.hpp"
+
+namespace csecg::obs {
+
+const Clock& steady_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+Tracer::Tracer(const Clock& clock, Registry& registry, std::size_t capacity)
+    : clock_(&clock), registry_(&registry), capacity_(capacity) {}
+
+void Tracer::record(SpanRecord record) {
+  registry_->histogram("stage." + record.name + ".seconds")
+      .add(record.duration_s);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace csecg::obs

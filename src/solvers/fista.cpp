@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "csecg/obs/obs.hpp"
 #include "csecg/solvers/detail/backend.hpp"
 #include "csecg/util/error.hpp"
 
@@ -211,14 +212,25 @@ template <typename T>
 ShrinkageResult<T> fista(const linalg::LinearOperator<T>& A,
                          std::span<const T> y,
                          const ShrinkageOptions& options) {
-  return shrinkage_solve(A, y, options, /*momentum=*/true);
+  auto result = shrinkage_solve(A, y, options, /*momentum=*/true);
+  // The iteration count is the paper's runtime currency (Fig 7, §V): a
+  // per-solve histogram makes its distribution observable live.
+  obs::observe("fista.iterations", static_cast<double>(result.iterations));
+  obs::add("fista.calls");
+  if (result.converged) {
+    obs::add("fista.converged");
+  }
+  return result;
 }
 
 template <typename T>
 ShrinkageResult<T> ista(const linalg::LinearOperator<T>& A,
                         std::span<const T> y,
                         const ShrinkageOptions& options) {
-  return shrinkage_solve(A, y, options, /*momentum=*/false);
+  auto result = shrinkage_solve(A, y, options, /*momentum=*/false);
+  obs::observe("ista.iterations", static_cast<double>(result.iterations));
+  obs::add("ista.calls");
+  return result;
 }
 
 template ShrinkageResult<float> fista<float>(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "csecg/obs/obs.hpp"
 #include "csecg/util/error.hpp"
 
 namespace csecg::wbsn {
@@ -41,6 +42,8 @@ void ArqTransmitter::give_up(const Pending& entry) {
   (void)entry;
   ++stats_.frames_expired;
   ++stats_.keyframe_requests;
+  obs::add("arq.frames.expired");
+  obs::add("arq.keyframe.requests");
   keyframe_requested_ = true;
 }
 
@@ -97,6 +100,7 @@ std::vector<std::vector<std::uint8_t>> ArqTransmitter::due_retransmissions(
                   std::pow(config_.backoff_factor,
                            static_cast<double>(entry.retries));
     ++stats_.retransmissions;
+    obs::add("arq.retransmissions");
     frames.push_back(entry.frame);
   }
   return frames;
@@ -131,6 +135,8 @@ void ArqReceiver::note_missing(std::uint16_t sequence, double now,
   missing_.emplace(sequence, gap);
   ++stats_.gaps_detected;
   ++stats_.nacks_sent;
+  obs::add("arq.gaps.detected");
+  obs::add("arq.nacks.sent");
   out.feedback.push_back(
       {FeedbackMessage::Kind::kNack, sequence});
 }
@@ -161,6 +167,7 @@ void ArqReceiver::abandon_front(Output& out) {
   const auto it = missing_.begin();
   out.events.push_back({it->first, true, {}});
   ++stats_.windows_abandoned;
+  obs::add("arq.windows.abandoned");
   if (it->first == expected_) {
     ++expected_;
   }
@@ -197,6 +204,7 @@ void ArqReceiver::maintain(double now, Output& out) {
                              static_cast<double>(gap.nacks));
     }
     ++stats_.nacks_sent;
+    obs::add("arq.nacks.sent");
     out.feedback.push_back({FeedbackMessage::Kind::kNack, sequence});
   }
 }
@@ -228,6 +236,8 @@ ArqReceiver::Output ArqReceiver::on_frame(std::uint16_t sequence,
   const auto gap = missing_.find(sequence);
   if (gap != missing_.end()) {
     ++stats_.windows_recovered;
+    obs::add("arq.windows.recovered");
+    obs::observe("arq.recovery.ticks", now - gap->second.first_missed);
     stats_.recovery_latency_ticks += now - gap->second.first_missed;
     missing_.erase(gap);
   }
@@ -254,6 +264,7 @@ ArqReceiver::Output ArqReceiver::on_frame(std::uint16_t sequence,
 ArqReceiver::Output ArqReceiver::on_corrupt_frame(double now) {
   Output out;
   ++stats_.corrupt_frames;
+  obs::add("arq.frames.corrupt");
   if (config_.enabled) {
     maintain(now, out);
   }
@@ -290,6 +301,7 @@ ArqReceiver::Output ArqReceiver::finish(double now) {
         // synthesise the loss events up to the first buffered frame.
         out.events.push_back({expected_, true, {}});
         ++stats_.windows_abandoned;
+        obs::add("arq.windows.abandoned");
         ++expected_;
         release_ready(out);
       }

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "csecg/obs/obs.hpp"
 #include "csecg/util/error.hpp"
 
 namespace csecg::wbsn {
@@ -17,15 +18,18 @@ std::optional<std::vector<float>> Coordinator::process_frame(
   const auto packet = core::Packet::parse(frame);
   if (!packet) {
     ++stats_.frames_rejected;
+    obs::add("coordinator.frames.rejected");
     return std::nullopt;
   }
 
+  obs::SpanScope span("window.decode", packet->sequence);
   linalg::OpCounterScope scope;
   const auto start = std::chrono::steady_clock::now();
   const auto window = decoder_.decode<float>(*packet);
   const auto stop = std::chrono::steady_clock::now();
   if (!window) {
     ++stats_.frames_rejected;
+    obs::add("coordinator.frames.rejected");
     return std::nullopt;
   }
 
@@ -36,12 +40,16 @@ std::optional<std::vector<float>> Coordinator::process_frame(
       std::chrono::duration<double>(stop - start).count();
   stats_.iterations_total += static_cast<double>(window->iterations);
   ++stats_.windows_reconstructed;
+  span.attribute("iterations", static_cast<double>(window->iterations));
+  span.attribute("modelled_seconds", model_.seconds(ops));
+  obs::observe("coordinator.decode.modelled_seconds", model_.seconds(ops));
   last_window_ = window->samples;
   return window->samples;
 }
 
 std::vector<float> Coordinator::conceal_hold_last() {
   ++stats_.windows_concealed;
+  obs::add("coordinator.windows.concealed");
   if (!last_window_.empty()) {
     return last_window_;
   }
@@ -54,6 +62,7 @@ std::vector<float> Coordinator::conceal_interpolated(
     std::size_t gap) {
   CSECG_CHECK(gap > 0 && k < gap, "interpolation index out of range");
   ++stats_.windows_concealed;
+  obs::add("coordinator.windows.concealed");
   if (prev.empty() || prev.size() != next.size()) {
     return std::vector<float>(next.begin(), next.end());
   }

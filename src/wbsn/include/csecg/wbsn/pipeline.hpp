@@ -22,6 +22,7 @@
 #include "csecg/coding/huffman.hpp"
 #include "csecg/core/decoder.hpp"
 #include "csecg/ecg/record.hpp"
+#include "csecg/obs/obs.hpp"
 #include "csecg/wbsn/arq.hpp"
 #include "csecg/wbsn/coordinator.hpp"
 #include "csecg/wbsn/link.hpp"
@@ -41,6 +42,12 @@ struct PipelineConfig {
   ArqConfig arq;
   /// How unrecoverable windows are painted.
   ConcealmentStrategy concealment = ConcealmentStrategy::kHoldLast;
+  /// Optional observability session. When set it is attached to all three
+  /// pipeline threads: stage spans and counters flow into its registry, a
+  /// DeadlineMonitor watches per-window decode latency against the window
+  /// period, and ring-buffer occupancy is exported as gauges. Null keeps
+  /// the pipeline silent (facade calls become null-sinks).
+  obs::Session* obs = nullptr;
 };
 
 struct PipelineReport {
@@ -64,6 +71,26 @@ struct PipelineReport {
   double mean_recovery_latency_s = 0.0;
   double node_cpu_usage = 0.0;
   double coordinator_cpu_usage = 0.0;
+  /// Host-clock decode latency per reconstructed (non-concealed) window,
+  /// measured on the consumer thread around the decode call. Always
+  /// populated, with or without an observability session.
+  std::size_t latency_windows = 0;
+  double latency_min_s = 0.0;
+  double latency_mean_s = 0.0;
+  double latency_max_s = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  /// Deadline accounting: a window misses when its decode latency exceeds
+  /// the window period (the paper's 2 s real-time budget).
+  double deadline_budget_s = 0.0;
+  std::size_t deadline_misses = 0;
+  double deadline_miss_rate = 0.0;
+  /// ARQ outcomes surfaced at the top level (previously only reachable
+  /// through the nested arq_rx struct).
+  std::size_t nacks_sent = 0;
+  std::size_t windows_recovered = 0;
+  std::size_t windows_abandoned = 0;
 };
 
 class RealTimePipeline {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "csecg/obs/obs.hpp"
 #include "csecg/util/error.hpp"
 
 namespace csecg::wbsn {
@@ -77,6 +78,7 @@ void BluetoothLink::apply_bit_errors(std::vector<std::uint8_t>& frame) {
   }
   if (flipped) {
     ++stats_.frames_corrupted;
+    obs::add("link.frames.corrupted");
   }
 }
 
@@ -85,6 +87,7 @@ std::optional<std::vector<std::uint8_t>> BluetoothLink::transmit(
   const std::size_t index = stats_.frames_sent;
   const double airtime = frame_airtime(frame.size());
   ++stats_.frames_sent;
+  obs::add("link.frames.sent");
   stats_.payload_bits += frame.size() * 8;
   stats_.wire_bits += (frame.size() + config_.frame_overhead_bytes) * 8;
   stats_.airtime_s += airtime;
@@ -105,6 +108,7 @@ std::optional<std::vector<std::uint8_t>> BluetoothLink::transmit(
   }
   if (lost) {
     ++stats_.frames_lost;
+    obs::add("link.frames.lost");
     if (!previous_lost_) {
       ++stats_.loss_bursts;
     }
@@ -118,6 +122,7 @@ std::optional<std::vector<std::uint8_t>> BluetoothLink::transmit(
     // Deterministic single-bit flip in the middle of the frame.
     delivered[delivered.size() / 2] ^= 0x10;
     ++stats_.frames_corrupted;
+    obs::add("link.frames.corrupted");
   }
   apply_bit_errors(delivered);
   return delivered;

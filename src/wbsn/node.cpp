@@ -1,5 +1,6 @@
 #include "csecg/wbsn/node.hpp"
 
+#include "csecg/obs/obs.hpp"
 #include "csecg/util/error.hpp"
 
 namespace csecg::wbsn {
@@ -17,6 +18,9 @@ std::vector<std::uint8_t> SensorNode::process_window(
     ++stats_.keyframes_forced;
   }
 
+  // The encoder numbers windows consecutively from 0, so the count of
+  // windows encoded so far is exactly the sequence this window will get.
+  obs::SpanScope span("window.encode", stats_.windows_encoded);
   fixedpoint::Msp430CounterScope scope;
   const core::Packet packet = encoder_.encode_window(samples);
   const auto& ops = scope.counts();
@@ -25,6 +29,11 @@ std::vector<std::uint8_t> SensorNode::process_window(
   stats_.encode_seconds_total += model_.seconds(ops);
   ++stats_.windows_encoded;
   stats_.payload_bits += packet.wire_bits();
+  span.attribute("keyframe",
+                 packet.kind == core::PacketKind::kAbsolute ? 1.0 : 0.0);
+  span.attribute("payload_bits", static_cast<double>(packet.wire_bits()));
+  span.attribute("mote_seconds", model_.seconds(ops));
+  obs::observe("node.encode.mote_seconds", model_.seconds(ops));
 
   auto frame = packet.serialize();
   arq_.frame_sent(packet.sequence, frame, now());

@@ -2,11 +2,14 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <thread>
 
 #include "csecg/core/packet.hpp"
 #include "csecg/ecg/metrics.hpp"
+#include "csecg/obs/obs.hpp"
 #include "csecg/util/error.hpp"
+#include "csecg/util/stats.hpp"
 #include "csecg/wbsn/ring_buffer.hpp"
 
 namespace csecg::wbsn {
@@ -69,10 +72,22 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
   PipelineReport report;
   report.windows_input = window_count;
 
+  // Observability: the run() thread doubles as the display thread, so the
+  // session is attached here and inside each worker lambda. The deadline
+  // monitor exports live miss-rate metrics when a session is present; the
+  // plain budget comparison below always feeds the report.
+  obs::Session* const session = pipeline_config_.obs;
+  obs::ScopedSession attach_display(session);
+  std::optional<obs::DeadlineMonitor> deadline;
+  if (session != nullptr) {
+    deadline.emplace(session->registry(), window_period_s);
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
 
   // --- Producer: the sensor node (§IV-A) + ARQ retransmit half. ---
   std::thread producer([&] {
+    obs::ScopedSession attach(session);
     const auto service_feedback = [&] {
       std::vector<FeedbackMessage> messages;
       while (auto message = feedback.try_pop()) {
@@ -82,6 +97,8 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
       for (const auto& frame : node.handle_feedback(messages)) {
         if (const auto delivered = link.transmit(frame)) {
           frames.push(*delivered);
+          obs::set("ring.frames.occupancy",
+                   static_cast<double>(frames.size()));
         }
       }
       return had_feedback;
@@ -94,6 +111,8 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
       const auto delivered = link.transmit(frame);
       if (delivered) {
         frames.push(*delivered);
+        obs::set("ring.frames.occupancy",
+                 static_cast<double>(frames.size()));
       }
       if (pipeline_config_.pace > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(
@@ -119,9 +138,14 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
 
   std::size_t display_overruns = 0;
   std::size_t corrupt_rejected = 0;
+  // Per-window decode latency on the host clock (consumer-thread local;
+  // read by the main thread only after the join below).
+  std::vector<double> decode_latencies;
+  std::size_t deadline_misses = 0;
 
   // --- Consumer: the coordinator's Bluetooth + decode thread (§IV-B1). ---
   std::thread consumer([&] {
+    obs::ScopedSession attach(session);
     std::size_t frames_processed = 0;
     std::size_t emitted = 0;  // slots are emitted contiguously from 0
     // Good window bracketing the current concealment gap (interpolation).
@@ -139,6 +163,10 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
       // overrun instead (would be a dropped redraw on the phone).
       if (!display.try_push(window)) {
         ++display_overruns;
+        obs::add("pipeline.display.overruns");
+      } else {
+        obs::set("ring.display.occupancy",
+                 static_cast<double>(display.size()));
       }
     };
 
@@ -157,7 +185,20 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
               conceal(event.sequence);
               continue;
             }
+            const auto decode_start = std::chrono::steady_clock::now();
             auto samples = coordinator.process_frame(event.frame);
+            const double decode_s =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - decode_start)
+                    .count();
+            if (samples) {
+              decode_latencies.push_back(decode_s);
+              const bool missed = deadline ? deadline->observe(decode_s)
+                                           : decode_s > window_period_s;
+              if (missed) {
+                ++deadline_misses;
+              }
+            }
             if (!samples) {
               // CRC-clean but undecodable: typically a differential frame
               // stranded behind an abandoned gap, waiting for the forced
@@ -241,11 +282,15 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
       if (window->concealed) {
         continue;  // concealed windows are flagged, never scored as clean
       }
+      obs::SpanScope prd_span("prd", window->sequence);
       for (std::size_t i = 0; i < n; ++i) {
         original[i] = static_cast<double>(record.samples[w * n + i]);
         reconstructed[i] = static_cast<double>(window->samples[i]);
       }
-      prd_sum += ecg::prd(original, reconstructed);
+      const double prd = ecg::prd(original, reconstructed);
+      prd_span.attribute("prd_percent", prd);
+      obs::observe("display.prd.percent", prd);
+      prd_sum += prd;
       ++scored;
     }
   }
@@ -273,6 +318,48 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
       report.arq_rx.mean_recovery_latency_ticks() * window_period_s;
   report.node_cpu_usage = node.cpu_usage(window_period_s);
   report.coordinator_cpu_usage = coordinator.cpu_usage(window_period_s);
+
+  util::RunningStats latency_stats;
+  util::PercentileTracker latency_pct;
+  for (const double v : decode_latencies) {
+    latency_stats.add(v);
+    latency_pct.add(v);
+  }
+  report.latency_windows = latency_stats.count();
+  if (latency_stats.count() > 0) {
+    report.latency_min_s = latency_stats.min();
+    report.latency_mean_s = latency_stats.mean();
+    report.latency_max_s = latency_stats.max();
+    report.latency_p50_s = latency_pct.percentile(50.0);
+    report.latency_p95_s = latency_pct.percentile(95.0);
+    report.latency_p99_s = latency_pct.percentile(99.0);
+  }
+  report.deadline_budget_s = window_period_s;
+  report.deadline_misses = deadline_misses;
+  report.deadline_miss_rate =
+      report.latency_windows == 0
+          ? 0.0
+          : static_cast<double>(deadline_misses) /
+                static_cast<double>(report.latency_windows);
+  report.nacks_sent = report.arq_rx.nacks_sent;
+  report.windows_recovered = report.arq_rx.windows_recovered;
+  report.windows_abandoned = report.arq_rx.windows_abandoned;
+
+  if (session != nullptr) {
+    // Whole-run outcomes that no single instrumentation site can see.
+    auto& registry = session->registry();
+    registry.counter("pipeline.windows.input").add(window_count);
+    registry.counter("pipeline.windows.displayed").add(displayed);
+    registry.counter("pipeline.windows.concealed")
+        .add(report.windows_concealed);
+    registry.counter("pipeline.windows.corrupt_rejected")
+        .add(corrupt_rejected);
+    registry.gauge("pipeline.wall_seconds").set(report.wall_seconds);
+    registry.gauge("pipeline.mean_prd_percent").set(report.mean_prd);
+    registry.gauge("pipeline.node.cpu_usage").set(report.node_cpu_usage);
+    registry.gauge("pipeline.coordinator.cpu_usage")
+        .set(report.coordinator_cpu_usage);
+  }
   return report;
 }
 

@@ -9,6 +9,7 @@
 
 #include "csecg/core/codebook.hpp"
 #include "csecg/ecg/database.hpp"
+#include "csecg/obs/obs.hpp"
 #include "csecg/wbsn/coordinator.hpp"
 #include "csecg/wbsn/link.hpp"
 #include "csecg/wbsn/multi_lead.hpp"
@@ -285,6 +286,87 @@ TEST(PipelineTest, ArqDisabledReproducesFireAndForget) {
   // Lost frames never reach the coordinator: fewer windows than input.
   EXPECT_LT(report.windows_displayed, report.windows_input);
   EXPECT_GT(report.windows_displayed, 0u);
+}
+
+TEST(PipelineTest, ObsSessionMetricsMatchReport) {
+#if !CSECG_OBS_ENABLED
+  GTEST_SKIP() << "built with CSECG_OBS=OFF: facade compiles to no-ops";
+#else
+  // The registry view of a run must agree with the ground-truth report.
+  const auto db = small_db();
+  core::DecoderConfig config;
+  config.cs.keyframe_interval = 2;
+  const auto book = core::train_difference_codebook(db, config.cs);
+  PipelineConfig pipe;
+  pipe.link.loss_rate = 0.3;
+  pipe.link.seed = 5;
+  obs::Session session;
+  pipe.obs = &session;
+  RealTimePipeline pipeline(config, book, pipe);
+  const auto report = pipeline.run(db.mote(1));
+
+  auto& registry = session.registry();
+  EXPECT_EQ(registry.counter("pipeline.windows.input").value(),
+            report.windows_input);
+  EXPECT_EQ(registry.counter("pipeline.windows.displayed").value(),
+            report.windows_displayed);
+  EXPECT_EQ(registry.counter("pipeline.windows.concealed").value(),
+            report.windows_concealed);
+  EXPECT_EQ(registry.counter("link.frames.sent").value(),
+            report.link.frames_sent);
+  EXPECT_EQ(registry.counter("link.frames.lost").value(),
+            report.link.frames_lost);
+  EXPECT_EQ(registry.counter("arq.retransmissions").value(),
+            report.retransmissions);
+  EXPECT_EQ(registry.counter("arq.nacks.sent").value(), report.nacks_sent);
+  EXPECT_EQ(registry.counter("arq.windows.recovered").value(),
+            report.windows_recovered);
+  EXPECT_EQ(registry.counter("fista.calls").value(),
+            report.coordinator.windows_reconstructed);
+  EXPECT_EQ(registry.histogram("fista.iterations").count(),
+            report.coordinator.windows_reconstructed);
+  EXPECT_NEAR(registry.histogram("fista.iterations").sum(),
+              report.coordinator.iterations_total, 1e-9);
+
+  // The deadline monitor saw exactly the decoded windows, with the
+  // window period (512 samples / 256 Hz = 2 s) as budget.
+  EXPECT_EQ(registry.counter("deadline.windows").value(),
+            report.latency_windows);
+  EXPECT_EQ(registry.counter("deadline.misses").value(),
+            report.deadline_misses);
+  EXPECT_DOUBLE_EQ(registry.gauge("deadline.budget_seconds").value(),
+                   report.deadline_budget_s);
+
+  // Per-stage span histograms: one decode span per reconstructed window.
+  const auto* decode =
+      registry.find_histogram("stage.window.decode.seconds");
+  ASSERT_NE(decode, nullptr);
+  EXPECT_EQ(decode->count(), report.coordinator.windows_reconstructed);
+  EXPECT_GT(session.tracer().recorded(), 0u);
+
+  // Report latency stats are populated and ordered.
+  ASSERT_GT(report.latency_windows, 0u);
+  EXPECT_GT(report.latency_min_s, 0.0);
+  EXPECT_LE(report.latency_min_s, report.latency_p50_s);
+  EXPECT_LE(report.latency_p50_s, report.latency_p95_s);
+  EXPECT_LE(report.latency_p95_s, report.latency_p99_s);
+  EXPECT_LE(report.latency_p99_s, report.latency_max_s);
+  EXPECT_GE(report.latency_mean_s, report.latency_min_s);
+  EXPECT_LE(report.latency_mean_s, report.latency_max_s);
+  EXPECT_DOUBLE_EQ(report.deadline_budget_s, 2.0);
+#endif
+}
+
+TEST(PipelineTest, RunWithoutSessionLeavesMetricsSilent) {
+  // Same run, no session: the pipeline must not touch any global state
+  // (thread-local current() stays null on all pipeline threads).
+  const auto db = small_db();
+  core::DecoderConfig config;
+  const auto book = core::train_difference_codebook(db, config.cs);
+  RealTimePipeline pipeline(config, book);
+  const auto report = pipeline.run(db.mote(0));
+  EXPECT_GT(report.latency_windows, 0u);  // latency stats still populated
+  EXPECT_EQ(obs::current(), nullptr);
 }
 
 // ------------------------------------------------------------ multi-lead --

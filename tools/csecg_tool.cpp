@@ -8,6 +8,11 @@
 //                       [--d 12] [--shift 0] [--seed 42]
 //   csecg_tool decode   --in session.csecgs --out recon.csecg
 //   csecg_tool metrics  --a rec.csecg --b recon.csecg
+//   csecg_tool metrics  [--in rec.csecg] [--seconds 30] [--seed 1]
+//                       [--loss 0.1] [--burst 4] [--ber 1e-5] [--retries 3]
+//                       [--keyframe 64] [--conceal hold|interp]
+//                       [--json dump.jsonl]
+//   csecg_tool metrics  --trace dump.jsonl
 //   csecg_tool stream   --in rec.csecg [--loss 0.1] [--burst 4] [--ber 1e-5]
 //                       [--retries 3] [--keyframe 64] [--conceal hold|interp]
 //
@@ -15,11 +20,17 @@
 // sessions); `decode` reads everything it needs from the session file.
 // `stream` pushes the record through the real-time WBSN pipeline over a
 // Gilbert–Elliott burst channel with the NACK-driven ARQ and prints the
-// robustness counters.
+// robustness counters. `metrics` has three modes: record-vs-record
+// quality comparison (--a/--b), an instrumented replay that streams a
+// record (loaded or synthesised) through the observed pipeline and prints
+// the telemetry report (optionally dumping it as JSONL with --json), and
+// offline re-rendering of such a dump (--trace).
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
@@ -33,6 +44,8 @@
 #include "csecg/ecg/qrs_detector.hpp"
 #include "csecg/io/record_io.hpp"
 #include "csecg/io/session_io.hpp"
+#include "csecg/obs/export.hpp"
+#include "csecg/obs/obs.hpp"
 #include "csecg/wbsn/pipeline.hpp"
 
 namespace {
@@ -260,16 +273,9 @@ int cmd_decode(const Args& args) {
   return 0;
 }
 
-int cmd_stream(const Args& args) {
-  const auto record = io::load_record(need(args, "in"));
-  if (!record) {
-    std::fprintf(stderr, "cannot read record\n");
-    return 1;
-  }
-  core::DecoderConfig config;
-  config.cs.keyframe_interval =
-      static_cast<std::size_t>(get_double(args, "keyframe", 64.0));
-
+/// Shared pipeline knobs for `stream` and the instrumented `metrics`
+/// replay: channel impairments, ARQ policy and concealment.
+wbsn::PipelineConfig parse_pipeline_args(const Args& args) {
   wbsn::PipelineConfig pipe;
   pipe.link.loss_rate = get_double(args, "loss", 0.0);
   pipe.link.mean_burst_frames =
@@ -285,8 +291,22 @@ int cmd_stream(const Args& args) {
     pipe.concealment = wbsn::ConcealmentStrategy::kInterpolate;
   } else if (it != args.end() && it->second != "hold") {
     std::fprintf(stderr, "--conceal must be hold or interp\n");
-    return 2;
+    std::exit(2);
   }
+  return pipe;
+}
+
+int cmd_stream(const Args& args) {
+  const auto record = io::load_record(need(args, "in"));
+  if (!record) {
+    std::fprintf(stderr, "cannot read record\n");
+    return 1;
+  }
+  core::DecoderConfig config;
+  config.cs.keyframe_interval =
+      static_cast<std::size_t>(get_double(args, "keyframe", 64.0));
+
+  const wbsn::PipelineConfig pipe = parse_pipeline_args(args);
 
   wbsn::RealTimePipeline pipeline(config, core::default_difference_codebook(),
                                   pipe);
@@ -314,7 +334,91 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+/// `metrics --trace dump.jsonl`: re-render a previously exported session.
+int cmd_metrics_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  obs::Session session;
+  std::string error;
+  if (!obs::import_jsonl(in, session, &error)) {
+    std::fprintf(stderr, "malformed trace %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  obs::render_summary(session, std::cout);
+  return 0;
+}
+
+/// `metrics [--in rec.csecg] ...`: stream a record (loaded or freshly
+/// synthesised) through the observed real-time pipeline and print the
+/// telemetry report; --json additionally dumps the session as JSONL.
+int cmd_metrics_session(const Args& args) {
+  ecg::Record record;
+  const auto it = args.find("in");
+  if (it != args.end()) {
+    const auto loaded = io::load_record(it->second);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot read record\n");
+      return 1;
+    }
+    record = *loaded;
+  } else {
+    ecg::EcgSynConfig gen;
+    gen.sample_rate_hz = get_double(args, "rate", 256.0);
+    gen.duration_s = get_double(args, "seconds", 30.0);
+    gen.seed = static_cast<std::uint64_t>(get_double(args, "seed", 1.0));
+    const auto generated = ecg::generate_ecg(gen);
+    record.id = "synthetic";
+    record.sample_rate_hz = gen.sample_rate_hz;
+    record.samples = ecg::AdcModel().quantize(generated.samples_mv);
+  }
+
+  core::DecoderConfig config;
+  config.cs.keyframe_interval =
+      static_cast<std::size_t>(get_double(args, "keyframe", 64.0));
+  wbsn::PipelineConfig pipe = parse_pipeline_args(args);
+
+  obs::Session session;
+  pipe.obs = &session;
+  wbsn::RealTimePipeline pipeline(config, core::default_difference_codebook(),
+                                  pipe);
+  const auto report = pipeline.run(record);
+
+  obs::render_summary(session, std::cout);
+  std::printf("\ndecode latency (host)   : p50 %.1f ms  p95 %.1f ms  "
+              "p99 %.1f ms  max %.1f ms over %zu windows\n",
+              report.latency_p50_s * 1e3, report.latency_p95_s * 1e3,
+              report.latency_p99_s * 1e3, report.latency_max_s * 1e3,
+              report.latency_windows);
+  std::printf("deadline                : %zu misses / %zu windows "
+              "(%.2f %%, budget %.2f s)\n",
+              report.deadline_misses, report.latency_windows,
+              report.deadline_miss_rate * 100.0, report.deadline_budget_s);
+  std::printf("mean PRD (clean windows): %.2f %%\n", report.mean_prd);
+
+  const auto json = args.find("json");
+  if (json != args.end()) {
+    std::ofstream out(json->second);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json->second.c_str());
+      return 1;
+    }
+    obs::export_jsonl(session, out);
+    std::printf("JSONL session dump      : %s\n", json->second.c_str());
+  }
+  return 0;
+}
+
 int cmd_metrics(const Args& args) {
+  if (args.count("trace") != 0) {
+    return cmd_metrics_trace(args.at("trace"));
+  }
+  if (args.count("a") == 0 && args.count("b") == 0) {
+    return cmd_metrics_session(args);
+  }
   const auto a = io::load_record(need(args, "a"));
   const auto b = io::load_record(need(args, "b"));
   if (!a || !b) {
