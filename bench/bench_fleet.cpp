@@ -1,0 +1,293 @@
+// EXP-A8 — fleet-scale decode: the gateway multiplexes N sensor streams
+// onto a fixed decode worker pool (wbsn::FleetCoordinator). Two claims
+// are measured:
+//
+//  1. Allocation-free steady state: after warm-up, one decoded window
+//     costs zero heap allocations on the reconstruction hot path
+//     (decode_measurements_into + reconstruct_into through a
+//     SolverWorkspace). Verified with a global operator-new counting
+//     hook; the bench exits non-zero if a single allocation leaks in.
+//  2. Worker scaling: fleet decode throughput grows near-linearly with
+//     the worker count until it saturates the host's cores. On a
+//     single-core CI box every configuration collapses to 1x — the
+//     speedup column is only meaningful up to the printed hardware
+//     concurrency.
+
+#include <execinfo.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "csecg/core/decoder.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/util/table.hpp"
+#include "csecg/wbsn/fleet.hpp"
+
+namespace {
+
+std::atomic<bool> g_count_allocations{false};
+std::atomic<std::size_t> g_allocations{0};
+
+// Set CSECG_ALLOC_TRAP=1 to abort on the first counted allocation: a
+// backtrace then names the offender directly.
+bool trap_on_allocation() {
+  static const bool trap = [] {
+    const char* value = std::getenv("CSECG_ALLOC_TRAP");
+    return value != nullptr && value[0] == '1';
+  }();
+  return trap;
+}
+
+void note_allocation() {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (trap_on_allocation()) {
+      void* frames[32];
+      const int depth = backtrace(frames, 32);
+      backtrace_symbols_fd(frames, depth, 2);
+      std::abort();
+    }
+  }
+}
+
+}  // namespace
+
+// Counting hooks for every replaceable allocation path the toolchain may
+// route through. Deallocation stays free-running: only allocations after
+// warm-up matter for the steady-state claim.
+void* operator new(std::size_t size) {
+  note_allocation();
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  note_allocation();
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) -
+                                         1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+int main(int argc, char** argv) {
+  using namespace csecg;
+  std::cout << "EXP-A8: fleet decode — allocation-free hot path and "
+               "worker scaling (CR 50)\n\n";
+
+  const auto& db = bench::corpus();
+  const auto& book = bench::codebook();
+  core::DecoderConfig config;  // defaults are the CR = 50 operating point
+
+  const std::size_t n = config.cs.window;
+  const auto& record = db.mote(0);
+  const std::size_t record_windows = record.samples.size() / n;
+
+  bench::JsonReport json(
+      "fleet_scaling",
+      {"phase", "nodes", "workers", "windows", "wall_s", "windows_per_s",
+       "speedup", "p95_ms", "queue_high_water", "allocs_per_window"});
+
+  // ---------------------------------------------------- phase 1: allocs --
+  // One decoder, one workspace, packets parsed up front: exactly the
+  // per-window work a fleet worker does in steady state, with the obs
+  // session detached (attached sessions trade a few span/attribute
+  // allocations for telemetry; the hot path itself must stay clean).
+  std::size_t alloc_windows = 0;
+  std::size_t allocations = 0;
+  {
+    core::Encoder encoder(config.cs, book);
+    std::vector<core::Packet> packets;
+    const std::size_t total =
+        std::min<std::size_t>(record_windows, 48);
+    packets.reserve(total);
+    for (std::size_t w = 0; w < total; ++w) {
+      packets.push_back(encoder.encode_window(std::span<const std::int16_t>(
+          record.samples.data() + w * n, n)));
+    }
+
+    core::Decoder decoder(config, book);
+    solvers::SolverWorkspace workspace;
+    std::vector<std::int32_t> y;
+    core::DecodedWindow<float> window;
+    const std::size_t warmup = std::min<std::size_t>(packets.size(), 8);
+    for (std::size_t w = 0; w < warmup; ++w) {
+      if (decoder.decode_measurements_into(packets[w], y)) {
+        decoder.reconstruct_into<float>(std::span<const std::int32_t>(y),
+                                        workspace, window);
+      }
+    }
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_count_allocations.store(true, std::memory_order_relaxed);
+    for (std::size_t w = warmup; w < packets.size(); ++w) {
+      if (decoder.decode_measurements_into(packets[w], y)) {
+        decoder.reconstruct_into<float>(std::span<const std::int32_t>(y),
+                                        workspace, window);
+        ++alloc_windows;
+      }
+    }
+    g_count_allocations.store(false, std::memory_order_relaxed);
+    allocations = g_allocations.load(std::memory_order_relaxed);
+  }
+  const double allocs_per_window =
+      alloc_windows == 0 ? -1.0
+                         : static_cast<double>(allocations) /
+                               static_cast<double>(alloc_windows);
+  std::cout << "steady-state decode allocations: " << allocations << " over "
+            << alloc_windows << " windows ("
+            << util::format_double(allocs_per_window, 3)
+            << " per window) — "
+            << (allocations == 0 ? "PASS" : "FAIL") << "\n\n";
+  json.add_row({"alloc", "1", "1", std::to_string(alloc_windows), "-", "-",
+                "-", "-", "-", util::format_double(allocs_per_window, 3)});
+
+  // --------------------------------------------------- phase 2: scaling --
+  // Pre-encode every node's frame stream, then time submit -> finish for
+  // a nodes x workers sweep. The sink verifies per-node in-order
+  // delivery as a side effect.
+  util::Table table({"nodes", "workers", "windows", "wall (s)", "windows/s",
+                     "speedup", "p95 (ms)", "queue hw"});
+  table.set_title("Fleet decode scaling (speedup vs 1 worker, same nodes)");
+
+  const std::size_t windows_per_node =
+      std::min<std::size_t>(record_windows, 12);
+  const std::size_t max_nodes = 8;
+  std::vector<std::vector<std::vector<std::uint8_t>>> streams(max_nodes);
+  for (std::size_t node = 0; node < max_nodes; ++node) {
+    // Distinct sensing seed per node: every stream solves a genuinely
+    // different recovery problem (the encoder and its decoder agree).
+    core::EncoderConfig cs = config.cs;
+    cs.seed = config.cs.seed + node;
+    core::Encoder encoder(cs, book);
+    const auto& rec = db.mote(node % db.size());
+    streams[node].reserve(windows_per_node);
+    for (std::size_t w = 0; w < windows_per_node; ++w) {
+      streams[node].push_back(
+          encoder
+              .encode_window(std::span<const std::int16_t>(
+                  rec.samples.data() + w * n, n))
+              .serialize());
+    }
+  }
+
+  bool in_order = true;
+  int exit_code = allocations == 0 ? 0 : 1;
+  for (const std::size_t nodes : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{8}}) {
+    double base_rate = 0.0;
+    for (const std::size_t workers :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      if (workers > 1 && nodes == 1) {
+        continue;  // one node can never use more than one worker
+      }
+      wbsn::FleetConfig fleet_config;
+      fleet_config.workers = workers;
+      fleet_config.queue_depth = 64;
+
+      std::vector<std::atomic<std::uint32_t>> delivered(nodes);
+      for (auto& d : delivered) {
+        d.store(0, std::memory_order_relaxed);
+      }
+      const auto sink = [&](const wbsn::FleetWindow& window) {
+        // Per-node delivery must arrive in submission order.
+        const auto expected =
+            delivered[window.node_id].fetch_add(1,
+                                                std::memory_order_relaxed);
+        if (window.sequence != expected) {
+          in_order = false;
+        }
+      };
+
+      wbsn::FleetCoordinator fleet(fleet_config, sink);
+      for (std::size_t node = 0; node < nodes; ++node) {
+        core::DecoderConfig node_config = config;
+        node_config.cs.seed = config.cs.seed + node;
+        fleet.add_node(node_config, book);
+      }
+
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t w = 0; w < windows_per_node; ++w) {
+        for (std::size_t node = 0; node < nodes; ++node) {
+          fleet.submit(static_cast<std::uint32_t>(node),
+                       std::vector<std::uint8_t>(streams[node][w]));
+        }
+      }
+      const auto report = fleet.finish();
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double rate =
+          wall <= 0.0 ? 0.0
+                      : static_cast<double>(report.windows_reconstructed) /
+                            wall;
+      if (workers == 1) {
+        base_rate = rate;
+      }
+      const double speedup = base_rate <= 0.0 ? 0.0 : rate / base_rate;
+      table.add_row({std::to_string(nodes), std::to_string(workers),
+                     std::to_string(report.windows_reconstructed),
+                     util::format_double(wall, 2),
+                     util::format_double(rate, 1),
+                     util::format_double(speedup, 2) + "x",
+                     util::format_double(report.latency_p95_s * 1e3, 1),
+                     std::to_string(report.queue_high_water)});
+      json.add_row({"scaling", std::to_string(nodes),
+                    std::to_string(workers),
+                    std::to_string(report.windows_reconstructed),
+                    util::format_double(wall, 3),
+                    util::format_double(rate, 2),
+                    util::format_double(speedup, 3),
+                    util::format_double(report.latency_p95_s * 1e3, 2),
+                    std::to_string(report.queue_high_water), "0"});
+      if (report.windows_reconstructed != nodes * windows_per_node) {
+        exit_code = 1;
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nper-node in-order delivery: "
+            << (in_order ? "PASS" : "FAIL") << "\n";
+  std::cout << "hardware concurrency      : "
+            << std::thread::hardware_concurrency()
+            << " (speedup saturates here)\n";
+  if (!in_order) {
+    exit_code = 1;
+  }
+
+  const auto json_path = bench::json_output_path(argc, argv);
+  if (!json_path.empty() && json.write(json_path)) {
+    std::cout << "JSON artefact             : " << json_path << "\n";
+  }
+  return exit_code;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and run the full test suite in
+# both observability configurations. CSECG_OBS=OFF compiles the obs
+# facade down to no-ops, so code that only works because a Session
+# happens to be attached (or that calls a facade from a hot loop) shows
+# up as a failure here rather than in a stripped production build.
+#
+# Usage: scripts/check_tier1.sh [build-dir-prefix]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+prefix="${1:-${repo_root}/build-tier1}"
+
+for obs in ON OFF; do
+  build_dir="${prefix}-obs-$(echo "${obs}" | tr '[:upper:]' '[:lower:]')"
+  echo "== tier 1: CSECG_OBS=${obs} (${build_dir}) =="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCSECG_OBS="${obs}" \
+    -DCSECG_BUILD_BENCHMARKS=OFF \
+    -DCSECG_BUILD_EXAMPLES=OFF
+  cmake --build "${build_dir}" -j"$(nproc)"
+  ctest --output-on-failure --test-dir "${build_dir}"
+done
+
+echo "tier 1: both obs configurations passed"

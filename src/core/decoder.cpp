@@ -1,6 +1,7 @@
 #include "csecg/core/decoder.hpp"
 
 #include <cmath>
+#include <type_traits>
 
 #include "csecg/core/residual.hpp"
 #include "csecg/linalg/vector_ops.hpp"
@@ -30,10 +31,27 @@ Decoder::Decoder(const DecoderConfig& config,
       transform_(dsp::Wavelet::from_name(config.wavelet), config.cs.window,
                  config.levels),
       codebook_(std::move(codebook)),
+      op_f_(sensing_, transform_, config.mode),
+      op_d_(sensing_, transform_, config.mode),
       previous_y_(config.cs.measurements, 0),
       zero_scratch_(config.cs.measurements, 0) {
   CSECG_CHECK(codebook_.size() == kDiffAlphabetSize,
               "decoder needs the 512-symbol difference codebook");
+  // The window-invariant solver options (including the per-coefficient
+  // weight vector) are built once here; per-window solves only update
+  // lambda and the Lipschitz constant.
+  options_.max_iterations = config_.max_iterations;
+  options_.tolerance = config_.tolerance;
+  options_.mode = config_.mode;
+  options_.record_objective = config_.record_objective;
+  if (config_.approx_lambda_weight != 1.0) {
+    const auto layout = transform_.layout();
+    options_.weights.assign(config_.cs.window, 1.0);
+    for (std::size_t i = 0; i < layout.approx_size; ++i) {
+      options_.weights[layout.approx_offset + i] =
+          config_.approx_lambda_weight;
+    }
+  }
 }
 
 void Decoder::reset() {
@@ -44,8 +62,17 @@ void Decoder::reset() {
 
 std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
     const Packet& packet) {
+  std::vector<std::int32_t> y;
+  if (!decode_measurements_into(packet, y)) {
+    return std::nullopt;
+  }
+  return y;
+}
+
+bool Decoder::decode_measurements_into(const Packet& packet,
+                                       std::vector<std::int32_t>& y) {
   const std::size_t m = config_.cs.measurements;
-  std::vector<std::int32_t> y(m, 0);
+  y.assign(m, 0);
   coding::BitReader reader(packet.payload);
 
   if (have_previous_) {
@@ -56,7 +83,20 @@ std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
     const auto delta = static_cast<std::int16_t>(
         static_cast<std::uint16_t>(packet.sequence - last_sequence_));
     if (delta <= 0) {
-      return std::nullopt;
+      // The int16 distance only identifies a genuine duplicate within
+      // half the sequence space. A frame "behind" by more than the stale
+      // horizon cannot be a retransmission (ARQ buffers are far smaller):
+      // it is a forward jump of >= 2^15 - kStaleHorizon windows whose
+      // distance wrapped negative, e.g. the first frame after a long
+      // outage. A differential frame is useless there either way, but an
+      // absolute keyframe must be accepted as a stream re-sync —
+      // otherwise the decoder deadlocks until the sender's sequence
+      // happens to move back into the accepted half-space.
+      const bool recent_past =
+          delta > -static_cast<std::int32_t>(kStaleHorizon);
+      if (recent_past || packet.kind != PacketKind::kAbsolute) {
+        return false;
+      }
     }
   }
 
@@ -67,7 +107,7 @@ std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
     for (std::size_t i = 0; i < m; ++i) {
       const auto raw = reader.read_bits(bits);
       if (!raw) {
-        return std::nullopt;
+        return false;
       }
       // Sign-extend the fixed-width two's-complement field.
       std::int32_t value = static_cast<std::int32_t>(*raw);
@@ -79,14 +119,14 @@ std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
     }
   } else {
     if (!have_previous_) {
-      return std::nullopt;  // differential packet without a reference
+      return false;  // differential packet without a reference
     }
     if (packet.sequence !=
         static_cast<std::uint16_t>(last_sequence_ + 1)) {
       // Sequence gap: a frame was lost. Decoding this differential against
       // stale state would produce silently corrupt measurements, so drop
       // it and wait for the next absolute (keyframe) packet.
-      return std::nullopt;
+      return false;
     }
     // Huffman-decode into differences (against a zero reference), then
     // reconstruct y_t = y_{t-1} + diff as its own observable stage.
@@ -96,7 +136,7 @@ std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
       if (!decode_difference(reader, codebook_,
                              std::span<const std::int32_t>(zero_scratch_),
                              std::span<std::int32_t>(y))) {
-        return std::nullopt;
+        return false;
       }
     }
     obs::SpanScope reconstruct_span("packet_reconstruct", packet.sequence);
@@ -104,10 +144,10 @@ std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
       y[i] += previous_y_[i];
     }
   }
-  previous_y_ = y;
+  previous_y_.assign(y.begin(), y.end());
   have_previous_ = true;
   last_sequence_ = packet.sequence;
-  return y;
+  return true;
 }
 
 template <typename T>
@@ -120,11 +160,32 @@ std::optional<DecodedWindow<T>> Decoder::decode(const Packet& packet) {
 }
 
 template <typename T>
+const CsOperator<T>& Decoder::cs_op() const {
+  if constexpr (std::is_same_v<T, float>) {
+    return op_f_;
+  } else {
+    return op_d_;
+  }
+}
+
+template <typename T>
 DecodedWindow<T> Decoder::reconstruct(
     std::span<const std::int32_t> y_int) const {
+  solvers::SolverWorkspace workspace;
+  DecodedWindow<T> window;
+  reconstruct_into<T>(y_int, workspace, window);
+  return window;
+}
+
+template <typename T>
+void Decoder::reconstruct_into(std::span<const std::int32_t> y_int,
+                               solvers::SolverWorkspace& workspace,
+                               DecodedWindow<T>& out) const {
   const std::size_t m = config_.cs.measurements;
   const std::size_t n = config_.cs.window;
   CSECG_CHECK(y_int.size() == m, "measurement vector length mismatch");
+
+  auto& ws = workspace.buffers<T>();
 
   // The mote already applied the 1/sqrt(d) scale in Q15 (its relative
   // error vs the exact scale is ~2e-5, far below the CS recovery error),
@@ -132,62 +193,50 @@ DecodedWindow<T> Decoder::reconstruct(
   // measurement-quantisation shift, which is undone here.
   const double requantize =
       std::ldexp(1.0, static_cast<int>(config_.cs.measurement_shift));
-  std::vector<T> y(m);
+  std::vector<T>& y = ws.aux_m;
+  y.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
     y[i] = static_cast<T>(static_cast<double>(y_int[i]) * requantize);
   }
 
-  const CsOperator<T> A(sensing_, transform_, config_.mode);
+  const CsOperator<T>& A = cs_op<T>();
 
   // lambda scaled to the measurement magnitude: lambda_rel * ||A^T y||_inf.
-  std::vector<T> aty(n);
+  std::vector<T>& aty = ws.aux_n;
+  aty.resize(n);
   A.apply_adjoint(std::span<const T>(y), std::span<T>(aty));
   const double aty_inf =
       static_cast<double>(linalg::norm_inf(std::span<const T>(aty)));
 
-  solvers::ShrinkageOptions options;
-  options.lambda = config_.lambda_relative * aty_inf;
-  options.max_iterations = config_.max_iterations;
-  options.tolerance = config_.tolerance;
-  options.mode = config_.mode;
-  options.record_objective = config_.record_objective;
-  if (config_.approx_lambda_weight != 1.0) {
-    const auto layout = transform_.layout();
-    options.weights.assign(n, 1.0);
-    for (std::size_t i = 0; i < layout.approx_size; ++i) {
-      options.weights[layout.approx_offset + i] =
-          config_.approx_lambda_weight;
-    }
-  }
+  options_.lambda = config_.lambda_relative * aty_inf;
 
   auto& cache = std::is_same_v<T, float> ? lipschitz_f_ : lipschitz_d_;
   if (!cache) {
     cache = 2.0 * linalg::estimate_spectral_norm_squared(A);
   }
-  options.lipschitz = cache;
+  options_.lipschitz = cache;
 
-  solvers::ShrinkageResult<T> solve;
+  solvers::ShrinkageResult<T>* solve = nullptr;
   {
     obs::SpanScope fista_span("fista");
-    solve = solvers::fista<T>(A, std::span<const T>(y), options);
+    solve = &solvers::fista<T>(A, std::span<const T>(y), options_, workspace);
     fista_span.attribute("iterations",
-                         static_cast<double>(solve.iterations));
-    fista_span.attribute("converged", solve.converged ? 1.0 : 0.0);
+                         static_cast<double>(solve->iterations));
+    fista_span.attribute("converged", solve->converged ? 1.0 : 0.0);
     fista_span.attribute("measurements", static_cast<double>(m));
   }
 
-  DecodedWindow<T> window;
-  window.iterations = solve.iterations;
-  window.converged = solve.converged;
-  window.residual_norm = solve.final_residual_norm;
-  window.objective_trace = solve.objective_trace;
-  window.samples.resize(n);
+  out.iterations = solve->iterations;
+  out.converged = solve->converged;
+  out.residual_norm = solve->final_residual_norm;
+  out.objective_trace.assign(solve->objective_trace.begin(),
+                             solve->objective_trace.end());
+  out.samples.resize(n);
   {
     obs::SpanScope idwt_span("idwt");
-    transform_.inverse<T>(std::span<const T>(solve.solution),
-                          std::span<T>(window.samples), config_.mode);
+    transform_.inverse<T>(std::span<const T>(solve->solution),
+                          std::span<T>(out.samples), config_.mode);
   }
-  return window;
 }
 
 template std::optional<DecodedWindow<float>> Decoder::decode<float>(
@@ -198,5 +247,11 @@ template DecodedWindow<float> Decoder::reconstruct<float>(
     std::span<const std::int32_t>) const;
 template DecodedWindow<double> Decoder::reconstruct<double>(
     std::span<const std::int32_t>) const;
+template void Decoder::reconstruct_into<float>(
+    std::span<const std::int32_t>, solvers::SolverWorkspace&,
+    DecodedWindow<float>&) const;
+template void Decoder::reconstruct_into<double>(
+    std::span<const std::int32_t>, solvers::SolverWorkspace&,
+    DecodedWindow<double>&) const;
 
 }  // namespace csecg::core

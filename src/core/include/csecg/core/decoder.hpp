@@ -24,6 +24,7 @@
 #include "csecg/core/packet.hpp"
 #include "csecg/dsp/dwt.hpp"
 #include "csecg/solvers/fista.hpp"
+#include "csecg/solvers/workspace.hpp"
 
 namespace csecg::core {
 
@@ -56,8 +57,19 @@ struct DecodedWindow {
   std::vector<double> objective_trace;
 };
 
+/// A Decoder instance is not internally synchronised: it caches operators
+/// and solver options across windows, so at most one thread may drive it
+/// at a time (the fleet scheduler guarantees this per node).
 class Decoder {
  public:
+  /// How far behind the chain a sequence number is still treated as a
+  /// stale duplicate/retransmission. Anything further back can only be a
+  /// forward jump that wrapped past the int16 midpoint (>= 2^15 windows
+  /// lost, e.g. a long outage); an absolute keyframe from there must be
+  /// accepted as a re-sync or the decoder deadlocks for up to half the
+  /// sequence space. Far larger than any ARQ retransmission window.
+  static constexpr std::uint16_t kStaleHorizon = 4096;
+
   Decoder(const DecoderConfig& config, coding::HuffmanCodebook codebook);
 
   const DecoderConfig& config() const { return config_; }
@@ -76,6 +88,12 @@ class Decoder {
   std::optional<std::vector<std::int32_t>> decode_measurements(
       const Packet& packet);
 
+  /// As decode_measurements, but reuses \p y's capacity (allocation-free
+  /// in steady state). Returns false on any reject; \p y is then
+  /// unspecified and the inter-packet state is unchanged.
+  bool decode_measurements_into(const Packet& packet,
+                                std::vector<std::int32_t>& y);
+
   /// Full pipeline: measurements + FISTA reconstruction.
   template <typename T>
   std::optional<DecodedWindow<T>> decode(const Packet& packet);
@@ -85,22 +103,40 @@ class Decoder {
   template <typename T>
   DecodedWindow<T> reconstruct(std::span<const std::int32_t> y_int) const;
 
+  /// Steady-state allocation-free reconstruction: solver scratch lives in
+  /// \p workspace and \p out's buffers are reused across calls. The hot
+  /// path of the fleet decode workers.
+  template <typename T>
+  void reconstruct_into(std::span<const std::int32_t> y_int,
+                        solvers::SolverWorkspace& workspace,
+                        DecodedWindow<T>& out) const;
+
   /// Resets inter-packet state (new session).
   void reset();
 
  private:
+  template <typename T>
+  const CsOperator<T>& cs_op() const;
+
   DecoderConfig config_;
   SensingMatrix sensing_;
   dsp::WaveletTransform transform_;
   coding::HuffmanCodebook codebook_;
+  // Operators are shape-invariant across windows; constructing them once
+  // keeps their time-domain scratch out of the per-window path.
+  CsOperator<float> op_f_;
+  CsOperator<double> op_d_;
   std::vector<std::int32_t> previous_y_;
   std::vector<std::int32_t> zero_scratch_;  ///< constant zero reference
   bool have_previous_ = false;
   std::uint16_t last_sequence_ = 0;
   // The Lipschitz constant depends only on the operator; cache per
-  // precision so repeated windows skip the power iteration.
+  // precision so repeated windows skip the power iteration. Solver
+  // options are cached so the per-coefficient weight vector is built
+  // once, not per window.
   mutable std::optional<double> lipschitz_f_;
   mutable std::optional<double> lipschitz_d_;
+  mutable solvers::ShrinkageOptions options_;
 };
 
 }  // namespace csecg::core

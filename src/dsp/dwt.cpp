@@ -100,9 +100,14 @@ void WaveletTransform::forward(std::span<const T> x, std::span<T> coeffs,
     g = g_d_.data();
   }
 
-  std::vector<T> approx(x.begin(), x.end());
-  std::vector<T> ext;
-  std::vector<T> next;
+  // Scratch is thread-local so the per-iteration FISTA applies never
+  // allocate in steady state (the buffers only grow; assign()/resize()
+  // reuse capacity once warmed up). Sized per thread, so concurrent
+  // transforms on a decode worker pool do not contend.
+  thread_local std::vector<T> approx;
+  thread_local std::vector<T> ext;
+  thread_local std::vector<T> next;
+  approx.assign(x.begin(), x.end());
   std::size_t n = length_;
   for (int level = 0; level < levels_; ++level) {
     const std::size_t half = n / 2;
@@ -144,10 +149,13 @@ void WaveletTransform::inverse(std::span<const T> coeffs, std::span<T> x,
   }
 
   const std::size_t coarsest = length_ >> levels_;
-  std::vector<T> approx(coeffs.begin(),
-                        coeffs.begin() + static_cast<std::ptrdiff_t>(coarsest));
-  std::vector<T> x_ext;
-  std::vector<T> next;
+  // Thread-local for the same steady-state allocation-free reason as in
+  // forward(); see the note there.
+  thread_local std::vector<T> approx;
+  thread_local std::vector<T> x_ext;
+  thread_local std::vector<T> next;
+  approx.assign(coeffs.begin(),
+                coeffs.begin() + static_cast<std::ptrdiff_t>(coarsest));
   std::size_t half = coarsest;
   for (int level = 0; level < levels_; ++level) {
     const std::size_t n = 2 * half;

@@ -85,6 +85,10 @@ void fused_multiply_add(const float* a, const float* b, const float* c,
 void subtract(const float* a, const float* b, float* out, std::size_t n,
               KernelMode mode);
 
+/// out[i] = x[i]. Pure data movement (n loads + n stores, no ALU work);
+/// counted so solver bookkeeping copies stay visible to the cycle model.
+void copy(const float* x, float* out, std::size_t n, KernelMode mode);
+
 /// x[i] *= alpha.
 void scale(float alpha, float* x, std::size_t n, KernelMode mode);
 

@@ -161,6 +161,27 @@ void subtract(const float* a, const float* b, float* out, std::size_t n,
   count(loop_cost(n, mode, 0, n, 2 * n, n));
 }
 
+void copy(const float* x, float* out, std::size_t n, KernelMode mode) {
+  if (mode == KernelMode::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = x[i];
+    }
+  } else {
+    const std::size_t blocks = n / 4;
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      const std::size_t i = blk * 4;
+      out[i] = x[i];
+      out[i + 1] = x[i + 1];
+      out[i + 2] = x[i + 2];
+      out[i + 3] = x[i + 3];
+    }
+    for (std::size_t i = blocks * 4; i < n; ++i) {
+      out[i] = x[i];
+    }
+  }
+  count(loop_cost(n, mode, 0, 0, n, n));
+}
+
 void scale(float alpha, float* x, std::size_t n, KernelMode mode) {
   if (mode == KernelMode::kScalar) {
     for (std::size_t i = 0; i < n; ++i) {

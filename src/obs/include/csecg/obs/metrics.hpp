@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace csecg::obs {
@@ -115,15 +116,18 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  /// Lookups are heterogeneous (string_view against a transparent map),
+  /// so resolving an instrument by literal name never allocates once the
+  /// instrument exists — hot paths can also cache the returned reference.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   /// The spec is honoured on first creation only.
-  Histogram& histogram(const std::string& name,
+  Histogram& histogram(std::string_view name,
                        const HistogramSpec& spec = HistogramSpec::exponential());
 
-  const Counter* find_counter(const std::string& name) const;
-  const Gauge* find_gauge(const std::string& name) const;
-  const Histogram* find_histogram(const std::string& name) const;
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
 
   /// Name-sorted snapshots for exporters.
   std::vector<std::pair<std::string, const Counter*>> counters() const;
@@ -138,9 +142,9 @@ class Registry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 }  // namespace csecg::obs

@@ -102,6 +102,13 @@ double Histogram::quantile(double q) const {
   if (count_ == 0) {
     return 0.0;
   }
+  // The extremes are tracked exactly; no interpolation to do.
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
   const double target = q * static_cast<double>(count_);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -113,14 +120,19 @@ double Histogram::quantile(double q) const {
     if (static_cast<double>(cumulative) < target) {
       continue;
     }
-    // Interpolate within [lo, hi] of the bucket that crosses the target,
-    // clamped to the exactly tracked min/max so the tails stay honest.
-    const double lo = i == 0 ? min_ : spec_.bounds[i - 1];
-    const double hi =
-        i < spec_.bounds.size() ? spec_.bounds[i] : max_;
+    // Interpolate within the bucket that crosses the target. The bucket
+    // edges are tightened to the exactly tracked min/max: min lives in
+    // the first occupied bucket and max in the last, so interpolating
+    // from the nominal edges would smear mass outside the observed range
+    // (a single-occupied-bucket histogram would otherwise report
+    // quantiles pinned to bucket bounds rather than between min and max).
+    const double edge_lo = i == 0 ? min_ : spec_.bounds[i - 1];
+    const double edge_hi = i < spec_.bounds.size() ? spec_.bounds[i] : max_;
+    const double lo = std::max(edge_lo, min_);
+    const double hi = std::max(std::min(edge_hi, max_), lo);
     const double fraction =
         (target - before) / static_cast<double>(buckets_[i]);
-    const double value = lo + (std::max(hi, lo) - lo) * fraction;
+    const double value = lo + (hi - lo) * fraction;
     return std::clamp(value, min_, max_);
   }
   return max_;
@@ -190,47 +202,51 @@ bool Histogram::inject(const std::vector<std::uint64_t>& buckets, double sum,
 
 // --------------------------------------------------------------- registry --
 
-Counter& Registry::counter(const std::string& name) {
+Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = counters_[name];
-  if (!slot) {
-    slot = std::make_unique<Counter>();
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return *it->second;
   }
-  return *slot;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
 }
 
-Gauge& Registry::gauge(const std::string& name) {
+Gauge& Registry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = gauges_[name];
-  if (!slot) {
-    slot = std::make_unique<Gauge>();
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return *it->second;
   }
-  return *slot;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
 }
 
-Histogram& Registry::histogram(const std::string& name,
+Histogram& Registry::histogram(std::string_view name,
                                const HistogramSpec& spec) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = histograms_[name];
-  if (!slot) {
-    slot = std::make_unique<Histogram>(spec);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return *it->second;
   }
-  return *slot;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>(spec))
+              .first->second;
 }
 
-const Counter* Registry::find_counter(const std::string& name) const {
+const Counter* Registry::find_counter(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
-const Gauge* Registry::find_gauge(const std::string& name) const {
+const Gauge* Registry::find_gauge(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
-const Histogram* Registry::find_histogram(const std::string& name) const {
+const Histogram* Registry::find_histogram(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();

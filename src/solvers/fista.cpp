@@ -11,11 +11,14 @@ namespace csecg::solvers {
 namespace {
 
 /// Shared machinery for ISTA and FISTA; momentum toggles the difference.
+/// All scratch (and the result) lives in \p workspace, so repeated solves
+/// of the same problem shape are allocation-free in steady state.
 template <typename T>
-ShrinkageResult<T> shrinkage_solve(const linalg::LinearOperator<T>& A,
-                                   std::span<const T> y,
-                                   const ShrinkageOptions& options,
-                                   bool momentum) {
+void shrinkage_solve(const linalg::LinearOperator<T>& A,
+                     std::span<const T> y,
+                     const ShrinkageOptions& options,
+                     bool momentum,
+                     SolverWorkspace& workspace) {
   CSECG_CHECK(y.size() == A.rows(), "measurement size mismatch");
   CSECG_CHECK(options.lambda >= 0.0, "lambda must be non-negative");
   CSECG_CHECK(options.max_iterations > 0, "need at least one iteration");
@@ -25,16 +28,21 @@ ShrinkageResult<T> shrinkage_solve(const linalg::LinearOperator<T>& A,
   const linalg::KernelMode mode = options.mode;
 
   // Lipschitz constant of grad f(a) = 2 A^T (A a - y): L = 2 lambda_max.
+  // Note value_or would evaluate the power iteration eagerly — it must
+  // only run when the caller did not supply L (it costs tens of operator
+  // applies and allocates its own iteration vectors).
   const double lipschitz =
-      options.lipschitz.value_or(
-          2.0 * linalg::estimate_spectral_norm_squared(A));
+      options.lipschitz.has_value()
+          ? *options.lipschitz
+          : 2.0 * linalg::estimate_spectral_norm_squared(A);
   CSECG_CHECK(lipschitz > 0.0, "operator has zero spectral norm");
   const T step = static_cast<T>(1.0 / lipschitz);
   const T threshold = static_cast<T>(options.lambda / lipschitz);
   const bool weighted = !options.weights.empty();
   CSECG_CHECK(!weighted || options.weights.size() == n,
               "weights must match the coefficient dimension");
-  std::vector<T> thresholds;
+  auto& ws = workspace.buffers<T>();
+  std::vector<T>& thresholds = ws.thresholds;
   if (weighted) {
     thresholds.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -44,8 +52,13 @@ ShrinkageResult<T> shrinkage_solve(const linalg::LinearOperator<T>& A,
     }
   }
 
-  ShrinkageResult<T> result;
+  ShrinkageResult<T>& result = ws.result;
   result.solution.assign(n, T{});
+  result.iterations = 0;
+  result.converged = false;
+  result.final_objective = 0.0;
+  result.final_residual_norm = 0.0;
+  result.objective_trace.clear();
 
   // Regulariser value g(a) = sum_i w_i |a_i| (w = 1 when unweighted).
   const auto g_value = [&](std::span<const T> a) {
@@ -59,11 +72,16 @@ ShrinkageResult<T> shrinkage_solve(const linalg::LinearOperator<T>& A,
     return acc;
   };
 
-  std::vector<T> yk(n, T{});          // extrapolation point y_k
-  std::vector<T> residual(m);         // A y_k - y
-  std::vector<T> gradient(n);         // A^T residual (times 2 merged in step)
-  std::vector<T> candidate(n);        // y_k - (1/L) grad
-  std::vector<T> a_next(n);           // scratch for the new iterate
+  std::vector<T>& yk = ws.yk;              // extrapolation point y_k
+  std::vector<T>& residual = ws.residual;  // A y_k - y
+  std::vector<T>& gradient = ws.gradient;  // A^T residual (x2 in step)
+  std::vector<T>& candidate = ws.candidate;  // y_k - (1/L) grad
+  std::vector<T>& a_next = ws.a_next;      // scratch for the new iterate
+  yk.assign(n, T{});
+  residual.resize(m);
+  gradient.resize(n);
+  candidate.resize(n);
+  a_next.resize(n);
 
   double t_k = 1.0;
 
@@ -74,9 +92,10 @@ ShrinkageResult<T> shrinkage_solve(const linalg::LinearOperator<T>& A,
     A.apply_adjoint(std::span<const T>(residual), std::span<T>(gradient));
 
     // candidate = y_k - (1/L) * 2 * gradient_half  (factor 2 of grad f).
-    for (std::size_t i = 0; i < n; ++i) {
-      candidate[i] = yk[i];
-    }
+    // The copy goes through the instrumented backend so the cycle model
+    // sees its loads/stores in both schedules.
+    detail::backend_copy<T>(std::span<const T>(yk), std::span<T>(candidate),
+                            mode);
     detail::backend_axpy<T>(static_cast<T>(-2.0) * step,
                             std::span<const T>(gradient),
                             std::span<T>(candidate), mode);
@@ -140,27 +159,38 @@ ShrinkageResult<T> shrinkage_solve(const linalg::LinearOperator<T>& A,
         yk[i] = a_next[i] + beta * (a_next[i] - a_k[i]);
       }
       t_k = t_next;
-    } else {
-      for (std::size_t i = 0; i < n; ++i) {
-        yk[i] = a_next[i];
+      if constexpr (std::is_same_v<T, float>) {
+        // Momentum update: sub + MAC per element, 2n loads, n stores.
+        linalg::OpCounts c;
+        const std::uint64_t elems = 2ull * n;
+        if (mode == linalg::KernelMode::kScalar) {
+          c.scalar_op = elems;
+        } else {
+          c.vector_op4 = elems / 4;
+        }
+        c.loads = 2ull * n;
+        c.stores = n;
+        linalg::charge(c);
       }
+    } else {
+      detail::backend_copy<T>(std::span<const T>(a_next), std::span<T>(yk),
+                              mode);
     }
     std::swap(a_k, a_next);
     result.iterations = k;
 
     if constexpr (std::is_same_v<T, float>) {
-      // Charge the book-keeping loops (candidate copy, iterate-change
-      // accumulation, momentum update) so the cycle model sees the whole
-      // per-iteration cost, not just the kernel calls.
+      // Charge the iterate-change accumulation loop (sub + two MACs per
+      // element over a_next and a_k); the candidate and yk copies are
+      // charged by the backend_copy kernel itself.
       linalg::OpCounts c;
-      const std::uint64_t elems = 5ull * n;
+      const std::uint64_t elems = 3ull * n;
       if (mode == linalg::KernelMode::kScalar) {
         c.scalar_op = elems;
       } else {
         c.vector_op4 = elems / 4;
       }
-      c.loads = 4ull * n;
-      c.stores = 2ull * n;
+      c.loads = 2ull * n;
       linalg::charge(c);
     }
 
@@ -203,16 +233,17 @@ ShrinkageResult<T> shrinkage_solve(const linalg::LinearOperator<T>& A,
   result.final_objective =
       result.final_residual_norm * result.final_residual_norm +
       options.lambda * l1;
-  return result;
 }
 
 }  // namespace
 
 template <typename T>
-ShrinkageResult<T> fista(const linalg::LinearOperator<T>& A,
-                         std::span<const T> y,
-                         const ShrinkageOptions& options) {
-  auto result = shrinkage_solve(A, y, options, /*momentum=*/true);
+ShrinkageResult<T>& fista(const linalg::LinearOperator<T>& A,
+                          std::span<const T> y,
+                          const ShrinkageOptions& options,
+                          SolverWorkspace& workspace) {
+  shrinkage_solve(A, y, options, /*momentum=*/true, workspace);
+  ShrinkageResult<T>& result = workspace.buffers<T>().result;
   // The iteration count is the paper's runtime currency (Fig 7, §V): a
   // per-solve histogram makes its distribution observable live.
   obs::observe("fista.iterations", static_cast<double>(result.iterations));
@@ -224,13 +255,31 @@ ShrinkageResult<T> fista(const linalg::LinearOperator<T>& A,
 }
 
 template <typename T>
-ShrinkageResult<T> ista(const linalg::LinearOperator<T>& A,
-                        std::span<const T> y,
-                        const ShrinkageOptions& options) {
-  auto result = shrinkage_solve(A, y, options, /*momentum=*/false);
+ShrinkageResult<T>& ista(const linalg::LinearOperator<T>& A,
+                         std::span<const T> y,
+                         const ShrinkageOptions& options,
+                         SolverWorkspace& workspace) {
+  shrinkage_solve(A, y, options, /*momentum=*/false, workspace);
+  ShrinkageResult<T>& result = workspace.buffers<T>().result;
   obs::observe("ista.iterations", static_cast<double>(result.iterations));
   obs::add("ista.calls");
   return result;
+}
+
+template <typename T>
+ShrinkageResult<T> fista(const linalg::LinearOperator<T>& A,
+                         std::span<const T> y,
+                         const ShrinkageOptions& options) {
+  SolverWorkspace workspace;
+  return std::move(fista<T>(A, y, options, workspace));
+}
+
+template <typename T>
+ShrinkageResult<T> ista(const linalg::LinearOperator<T>& A,
+                        std::span<const T> y,
+                        const ShrinkageOptions& options) {
+  SolverWorkspace workspace;
+  return std::move(ista<T>(A, y, options, workspace));
 }
 
 template ShrinkageResult<float> fista<float>(
@@ -245,5 +294,17 @@ template ShrinkageResult<float> ista<float>(
 template ShrinkageResult<double> ista<double>(
     const linalg::LinearOperator<double>&, std::span<const double>,
     const ShrinkageOptions&);
+template ShrinkageResult<float>& fista<float>(
+    const linalg::LinearOperator<float>&, std::span<const float>,
+    const ShrinkageOptions&, SolverWorkspace&);
+template ShrinkageResult<double>& fista<double>(
+    const linalg::LinearOperator<double>&, std::span<const double>,
+    const ShrinkageOptions&, SolverWorkspace&);
+template ShrinkageResult<float>& ista<float>(
+    const linalg::LinearOperator<float>&, std::span<const float>,
+    const ShrinkageOptions&, SolverWorkspace&);
+template ShrinkageResult<double>& ista<double>(
+    const linalg::LinearOperator<double>&, std::span<const double>,
+    const ShrinkageOptions&, SolverWorkspace&);
 
 }  // namespace csecg::solvers

@@ -27,6 +27,19 @@ void backend_subtract(std::span<const T> a, std::span<const T> b,
 }
 
 template <typename T>
+void backend_copy(std::span<const T> src, std::span<T> dst,
+                  linalg::KernelMode mode) {
+  if constexpr (std::is_same_v<T, float>) {
+    linalg::kernels::copy(src.data(), dst.data(), src.size(), mode);
+  } else {
+    (void)mode;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i] = src[i];
+    }
+  }
+}
+
+template <typename T>
 void backend_axpy(T alpha, std::span<const T> x, std::span<T> y,
                   linalg::KernelMode mode) {
   if constexpr (std::is_same_v<T, float>) {

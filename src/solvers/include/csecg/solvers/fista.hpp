@@ -18,6 +18,7 @@
 
 #include "csecg/linalg/linear_operator.hpp"
 #include "csecg/solvers/types.hpp"
+#include "csecg/solvers/workspace.hpp"
 
 namespace csecg::solvers {
 
@@ -33,6 +34,23 @@ template <typename T>
 ShrinkageResult<T> ista(const linalg::LinearOperator<T>& A,
                         std::span<const T> y,
                         const ShrinkageOptions& options);
+
+/// Workspace variants: all scratch and the returned result live in
+/// \p workspace, so repeated solves of the same shape never touch the
+/// heap (steady-state allocation-free — the fleet decode hot path). The
+/// returned reference stays valid until the next solve through the same
+/// workspace; one workspace per thread.
+template <typename T>
+ShrinkageResult<T>& fista(const linalg::LinearOperator<T>& A,
+                          std::span<const T> y,
+                          const ShrinkageOptions& options,
+                          SolverWorkspace& workspace);
+
+template <typename T>
+ShrinkageResult<T>& ista(const linalg::LinearOperator<T>& A,
+                         std::span<const T> y,
+                         const ShrinkageOptions& options,
+                         SolverWorkspace& workspace);
 
 }  // namespace csecg::solvers
 

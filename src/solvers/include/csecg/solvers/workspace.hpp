@@ -1,0 +1,65 @@
+#ifndef CSECG_SOLVERS_WORKSPACE_HPP
+#define CSECG_SOLVERS_WORKSPACE_HPP
+
+/// \file workspace.hpp
+/// Reusable scratch memory for the iterative shrinkage solvers.
+///
+/// A plain fista()/ista() call heap-allocates five n/m-sized scratch
+/// vectors (extrapolation point, residual, gradient, candidate, next
+/// iterate) plus the per-coefficient threshold buffer and the result
+/// storage. That is fine for a one-shot solve but becomes the dominant
+/// non-kernel cost once a gateway decodes many 2-s windows per second
+/// across a worker pool. A SolverWorkspace owns all of that scratch:
+/// buffers are sized on first use and reused across solves, so FISTA runs
+/// allocation-free in steady state. One workspace per worker thread; a
+/// workspace must not be shared by concurrent solves.
+
+#include <cstddef>
+#include <vector>
+
+#include "csecg/solvers/types.hpp"
+
+namespace csecg::solvers {
+
+class SolverWorkspace {
+ public:
+  /// Per-precision scratch. All vectors only ever grow; resize() between
+  /// solves of the same problem shape never reallocates.
+  template <typename T>
+  struct Buffers {
+    std::vector<T> yk;         ///< extrapolation point y_k (n)
+    std::vector<T> residual;   ///< A y_k - y (m)
+    std::vector<T> gradient;   ///< A^T residual (n)
+    std::vector<T> candidate;  ///< y_k - (1/L) grad (n)
+    std::vector<T> a_next;     ///< next iterate scratch (n)
+    std::vector<T> thresholds; ///< per-coefficient weighted thresholds (n)
+    /// Solve output; the workspace-taking fista()/ista() overloads write
+    /// here and return a reference, reusing solution capacity.
+    ShrinkageResult<T> result;
+    /// Caller-side scratch for code wrapping the solver (e.g. the decoder
+    /// reuses these for the scaled measurement vector and A^T y).
+    std::vector<T> aux_m;      ///< measurement-sized helper (m)
+    std::vector<T> aux_n;      ///< coefficient-sized helper (n)
+  };
+
+  template <typename T>
+  Buffers<T>& buffers();
+
+ private:
+  Buffers<float> float_;
+  Buffers<double> double_;
+};
+
+template <>
+inline SolverWorkspace::Buffers<float>& SolverWorkspace::buffers<float>() {
+  return float_;
+}
+
+template <>
+inline SolverWorkspace::Buffers<double>& SolverWorkspace::buffers<double>() {
+  return double_;
+}
+
+}  // namespace csecg::solvers
+
+#endif  // CSECG_SOLVERS_WORKSPACE_HPP

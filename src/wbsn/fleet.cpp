@@ -1,0 +1,321 @@
+#include "csecg/wbsn/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "csecg/core/packet.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::wbsn {
+
+namespace {
+
+/// Shared instrument names: every node session uses the same names, so
+/// Registry::merge at finish() folds them into the fleet-wide aggregate.
+constexpr const char* kDecodeSeconds = "fleet.decode.seconds";
+constexpr const char* kDeadlineMisses = "fleet.deadline.misses";
+
+}  // namespace
+
+/// Everything one sensor stream owns on the gateway. A NodeState is only
+/// ever touched by the worker that currently holds it (the scheduled
+/// flag), except for inbox/stats.frames_submitted which submit() updates
+/// under the fleet mutex.
+struct FleetCoordinator::NodeState {
+  NodeState(std::uint32_t node_id, const core::DecoderConfig& config,
+            coding::HuffmanCodebook codebook, const ArqConfig& arq_config)
+      : id(node_id),
+        decoder(config, std::move(codebook)),
+        arq(arq_config, /*first_sequence=*/0),
+        latency_hist(&session.registry().histogram(kDecodeSeconds)),
+        // Concealment before the first good window paints a flat line.
+        last_window(config.cs.window, 0.0f) {
+    stats.node_id = node_id;
+  }
+
+  std::uint32_t id;
+  core::Decoder decoder;
+  ArqReceiver arq;
+  obs::Session session;
+  obs::Histogram* latency_hist;
+  std::deque<std::vector<std::uint8_t>> inbox;
+  bool scheduled = false;
+  double ticks = 0.0;  ///< frames processed: the node's ARQ clock
+  std::vector<float> last_window;  ///< last good reconstruction
+  // Per-node decode scratch, reused every window (allocation-free once
+  // warm; the worker's SolverWorkspace holds the solver half).
+  std::vector<std::int32_t> y_scratch;
+  core::DecodedWindow<float> window_scratch;
+  FleetNodeStats stats;
+};
+
+FleetCoordinator::FleetCoordinator(const FleetConfig& config, Sink sink,
+                                   FeedbackSink feedback)
+    : config_(config),
+      sink_(std::move(sink)),
+      feedback_(std::move(feedback)),
+      queue_gauge_(&aggregate_.registry().gauge("fleet.queue.occupancy")),
+      start_(std::chrono::steady_clock::now()) {
+  CSECG_CHECK(config_.workers > 0, "fleet needs at least one worker");
+  CSECG_CHECK(config_.queue_depth > 0, "fleet needs a positive queue depth");
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+FleetCoordinator::~FleetCoordinator() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+std::uint32_t FleetCoordinator::add_node(const core::DecoderConfig& config,
+                                         coding::HuffmanCodebook codebook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CSECG_CHECK(!closed_, "fleet already finished");
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(std::make_unique<NodeState>(id, config,
+                                               std::move(codebook),
+                                               config_.arq));
+  return id;
+}
+
+std::size_t FleetCoordinator::node_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_.size();
+}
+
+bool FleetCoordinator::submit(std::uint32_t node_id,
+                              std::vector<std::uint8_t> frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CSECG_CHECK(node_id < nodes_.size(), "unknown fleet node id");
+  space_cv_.wait(lock,
+                 [&] { return queued_total_ < config_.queue_depth || closed_; });
+  if (closed_) {
+    return false;
+  }
+  NodeState& node = *nodes_[node_id];
+  node.inbox.push_back(std::move(frame));
+  ++node.stats.frames_submitted;
+  ++queued_total_;
+  queue_high_water_ = std::max(queue_high_water_, queued_total_);
+  queue_gauge_->set(static_cast<double>(queued_total_));
+  if (!node.scheduled) {
+    node.scheduled = true;
+    runnable_.push_back(&node);
+    work_cv_.notify_one();
+  }
+  return true;
+}
+
+void FleetCoordinator::worker_loop() {
+  // One workspace per worker: FISTA scratch is sized on the first window
+  // and reused for every node this worker ever serves.
+  solvers::SolverWorkspace workspace;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return !runnable_.empty() || closed_; });
+    if (runnable_.empty()) {
+      // closed_ and nothing runnable. Frames still in flight belong to a
+      // node some other worker holds; that worker re-queues and drains
+      // them itself, so exiting here never strands work.
+      return;
+    }
+    NodeState* node = runnable_.front();
+    runnable_.pop_front();
+    // One frame per dispatch keeps the pool fair across nodes: a chatty
+    // node goes to the back of the line after every window.
+    std::vector<std::uint8_t> frame = std::move(node->inbox.front());
+    node->inbox.pop_front();
+    --queued_total_;
+    queue_gauge_->set(static_cast<double>(queued_total_));
+    space_cv_.notify_one();
+    lock.unlock();
+
+    process_one(*node, std::move(frame), workspace);
+
+    lock.lock();
+    if (!node->inbox.empty()) {
+      runnable_.push_back(node);
+      work_cv_.notify_one();
+    } else {
+      node->scheduled = false;
+    }
+  }
+}
+
+void FleetCoordinator::process_one(NodeState& node,
+                                   std::vector<std::uint8_t> frame,
+                                   solvers::SolverWorkspace& workspace) {
+  // All spans/metrics from this frame land in the node's own session;
+  // finish() folds them into the aggregate.
+  obs::ScopedSession attach(&node.session);
+  node.ticks += 1.0;
+  ArqReceiver::Output out;
+  const auto packet = core::Packet::parse(frame);
+  if (!packet) {
+    ++node.stats.frames_corrupt;
+    out = node.arq.on_corrupt_frame(node.ticks);
+  } else {
+    out = node.arq.on_frame(packet->sequence, std::move(frame), node.ticks);
+  }
+  if (feedback_ && !out.feedback.empty()) {
+    feedback_(node.id, std::span<const FeedbackMessage>(out.feedback));
+  }
+  for (auto& event : out.events) {
+    handle_event(node, event, workspace);
+  }
+}
+
+void FleetCoordinator::handle_event(NodeState& node,
+                                    ArqReceiver::Event& event,
+                                    solvers::SolverWorkspace& workspace) {
+  if (event.lost) {
+    conceal(node, event.sequence);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  bool decoded = false;
+  if (const auto packet = core::Packet::parse(event.frame)) {
+    if (node.decoder.decode_measurements_into(*packet, node.y_scratch)) {
+      obs::SpanScope span("window.decode", packet->sequence);
+      node.decoder.reconstruct_into<float>(
+          std::span<const std::int32_t>(node.y_scratch), workspace,
+          node.window_scratch);
+      span.attribute("iterations",
+                     static_cast<double>(node.window_scratch.iterations));
+      decoded = true;
+    }
+  }
+  if (!decoded) {
+    // CRC-clean but undecodable: typically a differential stranded
+    // behind an abandoned gap, waiting for the forced keyframe. Conceal
+    // it rather than skip the slot.
+    ++node.stats.frames_rejected;
+    conceal(node, event.sequence);
+    return;
+  }
+  const double decode_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ++node.stats.windows_reconstructed;
+  node.stats.decode_seconds_total += decode_s;
+  node.stats.iterations_total +=
+      static_cast<double>(node.window_scratch.iterations);
+  node.latency_hist->add(decode_s);
+  if (decode_s > config_.deadline_seconds) {
+    ++node.stats.deadline_misses;
+    node.session.registry().counter(kDeadlineMisses).add(1);
+  }
+  node.last_window.assign(node.window_scratch.samples.begin(),
+                          node.window_scratch.samples.end());
+  if (sink_) {
+    FleetWindow window;
+    window.node_id = node.id;
+    window.sequence = event.sequence;
+    window.concealed = false;
+    window.decode_seconds = decode_s;
+    window.iterations = node.window_scratch.iterations;
+    window.samples = std::span<const float>(node.window_scratch.samples);
+    sink_(window);
+  }
+}
+
+void FleetCoordinator::conceal(NodeState& node, std::uint16_t sequence) {
+  ++node.stats.windows_concealed;
+  if (sink_) {
+    FleetWindow window;
+    window.node_id = node.id;
+    window.sequence = sequence;
+    window.concealed = true;
+    window.samples = std::span<const float>(node.last_window);
+    sink_(window);
+  }
+}
+
+FleetReport FleetCoordinator::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CSECG_CHECK(!finished_, "fleet finish() called twice");
+    finished_ = true;
+    closed_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+
+  // Workers are gone: every node is exclusively ours now. Flush the ARQ
+  // receivers so tail gaps (losses with nothing after them to expose the
+  // gap) are concealed instead of silently dropped.
+  solvers::SolverWorkspace workspace;
+  for (auto& node : nodes_) {
+    obs::ScopedSession attach(&node->session);
+    auto out = node->arq.finish(node->ticks);
+    if (feedback_ && !out.feedback.empty()) {
+      feedback_(node->id, std::span<const FeedbackMessage>(out.feedback));
+    }
+    for (auto& event : out.events) {
+      handle_event(*node, event, workspace);
+    }
+  }
+
+  FleetReport report;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  report.queue_high_water = queue_high_water_;
+  report.nodes.reserve(nodes_.size());
+  auto& registry = aggregate_.registry();
+  for (auto& node : nodes_) {
+    FleetNodeStats stats = node->stats;
+    const obs::Histogram& hist = *node->latency_hist;
+    if (hist.count() > 0) {
+      stats.latency_p50_s = hist.quantile(0.50);
+      stats.latency_p95_s = hist.quantile(0.95);
+      stats.latency_p99_s = hist.quantile(0.99);
+    }
+    report.frames_submitted += stats.frames_submitted;
+    report.frames_corrupt += stats.frames_corrupt;
+    report.frames_rejected += stats.frames_rejected;
+    report.windows_reconstructed += stats.windows_reconstructed;
+    report.windows_concealed += stats.windows_concealed;
+    report.deadline_misses += stats.deadline_misses;
+    report.iterations_total += stats.iterations_total;
+    report.decode_seconds_total += stats.decode_seconds_total;
+    report.nodes.push_back(std::move(stats));
+    // Same instrument names in every node session, so this fold builds
+    // the fleet-wide distributions.
+    registry.merge(node->session.registry());
+  }
+  const obs::Histogram* aggregate_hist =
+      registry.find_histogram(kDecodeSeconds);
+  if (aggregate_hist != nullptr && aggregate_hist->count() > 0) {
+    report.latency_p50_s = aggregate_hist->quantile(0.50);
+    report.latency_p95_s = aggregate_hist->quantile(0.95);
+    report.latency_p99_s = aggregate_hist->quantile(0.99);
+  }
+  registry.counter("fleet.windows.reconstructed")
+      .add(report.windows_reconstructed);
+  registry.counter("fleet.windows.concealed")
+      .add(report.windows_concealed);
+  registry.counter("fleet.frames.submitted").add(report.frames_submitted);
+  registry.gauge("fleet.queue.high_water")
+      .set(static_cast<double>(report.queue_high_water));
+  registry.gauge("fleet.wall_seconds").set(report.wall_seconds);
+  return report;
+}
+
+}  // namespace csecg::wbsn

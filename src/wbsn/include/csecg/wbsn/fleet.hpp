@@ -1,0 +1,185 @@
+#ifndef CSECG_WBSN_FLEET_HPP
+#define CSECG_WBSN_FLEET_HPP
+
+/// \file fleet.hpp
+/// Fleet-scale decode: one gateway process terminating many sensor nodes.
+///
+/// The single-node Coordinator (coordinator.hpp) reproduces the paper's
+/// one-phone-one-mote deployment. A monitoring service aggregates
+/// thousands of those streams, and FISTA at CR = 50 is far heavier than
+/// the framing around it, so the gateway multiplexes N per-node decode
+/// states onto a small fixed pool of decode workers:
+///
+///   submit(node, frame) --+--> [node 0: FIFO, Decoder, ArqReceiver] --+
+///                         +--> [node 1: ...]                         +--> worker pool
+///                         +--> [node k: ...]                         +
+///
+/// Scheduling invariants (see DESIGN.md "Fleet decode"):
+///  * A node is held by at most one worker at a time (a "scheduled"
+///    flag), so per-node frames are processed — and the sink invoked —
+///    strictly in submission order; no per-node lock is ever taken
+///    during a decode.
+///  * The work queue is bounded across all nodes; submit() blocks when
+///    the fleet is queue_depth frames behind (backpressure to the
+///    ingest side, never unbounded memory).
+///  * Each worker owns one solvers::SolverWorkspace and each node keeps
+///    its decode scratch, so steady-state decoding is allocation-free in
+///    the reconstruction hot path.
+///  * Each node owns an obs::Session; workers attach it while processing
+///    that node's frames. finish() merges every per-node registry into
+///    the aggregate session, so fleet-wide latency quantiles and
+///    per-node breakdowns come from one metrics tree.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+#include "csecg/core/decoder.hpp"
+#include "csecg/obs/obs.hpp"
+#include "csecg/wbsn/arq.hpp"
+
+namespace csecg::wbsn {
+
+struct FleetConfig {
+  /// Decode worker threads. The pool is fixed at construction; decode
+  /// throughput scales near-linearly until workers approach core count.
+  std::size_t workers = 4;
+  /// Total frames queued across all nodes before submit() blocks.
+  std::size_t queue_depth = 64;
+  /// Per-window decode budget (the paper's 2 s window period).
+  double deadline_seconds = 2.0;
+  /// Per-node receiver-side ARQ configuration.
+  ArqConfig arq;
+};
+
+/// One in-order delivery to the sink. \p samples points into per-node
+/// scratch that is reused for the next window of the same node: consume
+/// or copy it inside the callback.
+struct FleetWindow {
+  std::uint32_t node_id = 0;
+  std::uint16_t sequence = 0;
+  bool concealed = false;       ///< synthesised stand-in, not a decode
+  double decode_seconds = 0.0;  ///< host decode latency (0 if concealed)
+  std::size_t iterations = 0;   ///< FISTA iterations (0 if concealed)
+  std::span<const float> samples;
+};
+
+struct FleetNodeStats {
+  std::uint32_t node_id = 0;
+  std::size_t frames_submitted = 0;
+  std::size_t frames_corrupt = 0;   ///< CRC-rejected arrivals
+  std::size_t frames_rejected = 0;  ///< CRC-clean but undecodable
+  std::size_t windows_reconstructed = 0;
+  std::size_t windows_concealed = 0;
+  std::size_t deadline_misses = 0;
+  double iterations_total = 0.0;
+  double decode_seconds_total = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+};
+
+struct FleetReport {
+  std::vector<FleetNodeStats> nodes;
+  std::size_t frames_submitted = 0;
+  std::size_t frames_corrupt = 0;
+  std::size_t frames_rejected = 0;
+  std::size_t windows_reconstructed = 0;
+  std::size_t windows_concealed = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t queue_high_water = 0;  ///< max frames queued at once
+  double iterations_total = 0.0;
+  double decode_seconds_total = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  double wall_seconds = 0.0;
+
+  double mean_iterations() const {
+    return windows_reconstructed == 0
+               ? 0.0
+               : iterations_total /
+                     static_cast<double>(windows_reconstructed);
+  }
+};
+
+class FleetCoordinator {
+ public:
+  /// Called from worker threads — concurrently across nodes, strictly
+  /// in submission order within one node. Must be thread-safe.
+  using Sink = std::function<void(const FleetWindow&)>;
+  /// ACK/NACK feedback for one node, to be relayed to its transmitter.
+  using FeedbackSink =
+      std::function<void(std::uint32_t node_id,
+                         std::span<const FeedbackMessage> messages)>;
+
+  explicit FleetCoordinator(const FleetConfig& config, Sink sink = {},
+                            FeedbackSink feedback = {});
+  /// Joins the pool; finish() first if the report is wanted.
+  ~FleetCoordinator();
+
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  /// Registers a sensor node; the returned id keys submit(). Nodes may
+  /// be added while the fleet is running.
+  std::uint32_t add_node(const core::DecoderConfig& config,
+                         coding::HuffmanCodebook codebook);
+
+  std::size_t node_count() const;
+
+  /// Enqueues one raw link frame from \p node_id. Blocks while the fleet
+  /// is queue_depth frames behind; returns false once finish() has been
+  /// called. Frames from one node decode in submission order.
+  bool submit(std::uint32_t node_id, std::vector<std::uint8_t> frame);
+
+  /// Drains the queues, flushes every node's ARQ (abandoned tail gaps
+  /// are concealed through the sink), joins the workers and merges the
+  /// per-node metric registries into session(). Call once.
+  FleetReport finish();
+
+  /// Aggregate observability session. Per-node registries are folded in
+  /// by finish(); live during the run it only carries queue occupancy.
+  obs::Session& session() { return aggregate_; }
+
+ private:
+  struct NodeState;
+
+  void worker_loop();
+  void process_one(NodeState& node, std::vector<std::uint8_t> frame,
+                   solvers::SolverWorkspace& workspace);
+  void handle_event(NodeState& node, ArqReceiver::Event& event,
+                    solvers::SolverWorkspace& workspace);
+  void conceal(NodeState& node, std::uint16_t sequence);
+
+  FleetConfig config_;
+  Sink sink_;
+  FeedbackSink feedback_;
+  obs::Session aggregate_;
+  obs::Gauge* queue_gauge_;  ///< fleet.queue.occupancy (max = high water)
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< a node became runnable / closed
+  std::condition_variable space_cv_;  ///< queue space freed / closed
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::deque<NodeState*> runnable_;  ///< nodes with frames, not scheduled
+  std::size_t queued_total_ = 0;
+  std::size_t queue_high_water_ = 0;
+  bool closed_ = false;
+  bool finished_ = false;
+
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace csecg::wbsn
+
+#endif  // CSECG_WBSN_FLEET_HPP

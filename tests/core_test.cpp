@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -728,6 +729,151 @@ TEST(CodecTest, RejectsShortRecords) {
   tiny.sample_rate_hz = 256.0;
   tiny.samples.assign(100, 0);
   EXPECT_THROW(codec.run_record<double>(tiny), Error);
+}
+
+// ------------------------------------------------ sequence wraparound --
+// The 16-bit packet sequence wraps every 65536 windows (~36 h at the
+// paper's 2 s window period). A monitor runs for weeks: these tests
+// stream multiple full cycles and the post-outage re-sync path. A small
+// geometry keeps the entropy-coding work (the only part under test)
+// cheap; reconstruct() is never called.
+
+EncoderConfig tiny_cs() {
+  EncoderConfig cs;
+  cs.window = 64;
+  cs.measurements = 32;
+  cs.d = 8;
+  return cs;
+}
+
+DecoderConfig tiny_decoder_config() {
+  DecoderConfig config;
+  config.cs = tiny_cs();
+  config.levels = 3;
+  return config;
+}
+
+std::vector<std::int16_t> tiny_window() {
+  std::vector<std::int16_t> x(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<std::int16_t>(50 * ((i % 8) - 3));
+  }
+  return x;
+}
+
+TEST(SequenceWraparoundTest, DecoderSurvivesTwoFullCycles) {
+  const auto book = default_difference_codebook();
+  const auto config = tiny_decoder_config();
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  const auto x = tiny_window();
+  // > 2 full uint16 cycles, deliberately not a multiple of the keyframe
+  // interval so keyframes drift across the wrap points.
+  constexpr std::size_t kWindows = 2 * 65536 + 257;
+  std::vector<std::int32_t> y;
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const Packet packet = encoder.encode_window(x);
+    ASSERT_TRUE(decoder.decode_measurements_into(packet, y))
+        << "window " << w << " (sequence " << packet.sequence << ")";
+    if (w % 29989 == 0) {  // spot-check exactness without the full cost
+      const auto sent = encoder.last_measurements();
+      ASSERT_TRUE(std::equal(y.begin(), y.end(), sent.begin(), sent.end()))
+          << "window " << w;
+    }
+  }
+}
+
+TEST(SequenceWraparoundTest, KeyframeResyncsAfterLongOutage) {
+  const auto book = default_difference_codebook();
+  auto config = tiny_decoder_config();
+  // Keyframes only on demand: the outage must end on a differential
+  // unless the sender is explicitly asked to re-sync.
+  config.cs.keyframe_interval = std::size_t{1} << 20;
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  const auto x = tiny_window();
+  std::vector<std::int32_t> y;
+  for (std::size_t w = 0; w < 8; ++w) {
+    ASSERT_TRUE(decoder.decode_measurements_into(encoder.encode_window(x), y));
+  }
+  // 40000 windows never reach the decoder (link outage). The next frame
+  // is > 2^15 - kStaleHorizon ahead, so its int16 distance from the last
+  // accepted sequence wraps negative — the case that used to be
+  // classified "stale" forever, deadlocking the decoder.
+  for (std::size_t w = 0; w < 40000; ++w) {
+    encoder.encode_window(x);
+  }
+  const Packet differential = encoder.encode_window(x);
+  ASSERT_EQ(differential.kind, PacketKind::kDifferential);
+  ASSERT_LT(static_cast<std::int16_t>(
+                static_cast<std::uint16_t>(differential.sequence - 7)),
+            0)
+      << "outage not long enough to wrap the int16 distance";
+  // A differential can't re-prime the chain no matter what.
+  EXPECT_FALSE(decoder.decode_measurements_into(differential, y));
+  // An absolute keyframe is a stream re-sync and must be accepted.
+  encoder.request_keyframe();
+  const Packet keyframe = encoder.encode_window(x);
+  ASSERT_EQ(keyframe.kind, PacketKind::kAbsolute);
+  EXPECT_TRUE(decoder.decode_measurements_into(keyframe, y));
+  // ... and the differential chain continues from it.
+  EXPECT_TRUE(decoder.decode_measurements_into(encoder.encode_window(x), y));
+}
+
+TEST(SequenceWraparoundTest, StaleFramesWithinHorizonStayRejected) {
+  const auto book = default_difference_codebook();
+  auto config = tiny_decoder_config();
+  config.cs.keyframe_interval = 4;
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  const auto x = tiny_window();
+  std::vector<Packet> history;
+  std::vector<std::int32_t> y;
+  for (std::size_t w = 0; w < 32; ++w) {
+    history.push_back(encoder.encode_window(x));
+    ASSERT_TRUE(decoder.decode_measurements_into(history.back(), y));
+  }
+  // Duplicate of the newest frame: distance 0.
+  EXPECT_FALSE(decoder.decode_measurements_into(history[31], y));
+  // A recent absolute keyframe (keyframes land every interval + 1 = 5
+  // packets: 0, 5, ..., 30): a late retransmission, not a re-sync —
+  // rewinding to it would corrupt the differential chain.
+  ASSERT_EQ(history[30].kind, PacketKind::kAbsolute);
+  EXPECT_FALSE(decoder.decode_measurements_into(history[30], y));
+  // Older differentials likewise.
+  EXPECT_FALSE(decoder.decode_measurements_into(history[17], y));
+  // The live chain is untouched by the rejections.
+  EXPECT_TRUE(decoder.decode_measurements_into(encoder.encode_window(x), y));
+  const auto sent = encoder.last_measurements();
+  EXPECT_TRUE(std::equal(y.begin(), y.end(), sent.begin(), sent.end()));
+}
+
+TEST(SequenceWraparoundTest, FirstFramePrimesAtTheWrapBoundary) {
+  const auto book = default_difference_codebook();
+  auto config = tiny_decoder_config();
+  config.cs.keyframe_interval = std::size_t{1} << 20;
+  Encoder encoder(config.cs, book);
+  const auto x = tiny_window();
+  // Advance the sender to the very end of the sequence space.
+  for (std::size_t w = 0; w < 65535; ++w) {
+    encoder.encode_window(x);
+  }
+  // A decoder joining the stream here: the first differential is useless
+  // (nothing to difference against) ...
+  Decoder decoder(config, book);
+  std::vector<std::int32_t> y;
+  const Packet tail = encoder.encode_window(x);
+  ASSERT_EQ(tail.sequence, 65535);
+  EXPECT_FALSE(decoder.decode_measurements_into(tail, y));
+  // ... but the keyframe right after — at wrapped sequence 0 — primes the
+  // chain, and decoding proceeds across the boundary.
+  encoder.request_keyframe();
+  const Packet keyframe = encoder.encode_window(x);
+  ASSERT_EQ(keyframe.sequence, 0);
+  ASSERT_EQ(keyframe.kind, PacketKind::kAbsolute);
+  EXPECT_TRUE(decoder.decode_measurements_into(keyframe, y));
+  EXPECT_TRUE(decoder.decode_measurements_into(encoder.encode_window(x), y));
+  EXPECT_EQ(encoder.last_measurements().size(), y.size());
 }
 
 }  // namespace

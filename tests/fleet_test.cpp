@@ -1,0 +1,361 @@
+// Unit tests for csecg::wbsn::FleetCoordinator — the gateway-side fleet
+// decode layer. Covers the scheduling invariants (per-node in-order
+// delivery, bounded queue with backpressure, lifecycle checks), decode
+// parity with a direct Decoder, ARQ-driven loss concealment and report
+// consistency. Also stresses RingBuffer close()-while-blocked races;
+// run these under ThreadSanitizer via scripts/check_sanitize.sh --tsan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "csecg/core/codebook.hpp"
+#include "csecg/core/decoder.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/ecg/database.hpp"
+#include "csecg/wbsn/fleet.hpp"
+#include "csecg/wbsn/ring_buffer.hpp"
+
+namespace csecg::wbsn {
+namespace {
+
+ecg::SyntheticDatabase small_db() {
+  ecg::DatabaseConfig config;
+  config.record_count = 2;
+  config.duration_s = 16.0;
+  return ecg::SyntheticDatabase(config);
+}
+
+// CR = 50 geometry, but a loose solver: these tests exercise scheduling
+// and plumbing, not reconstruction quality.
+core::DecoderConfig fast_config() {
+  core::DecoderConfig config;
+  config.max_iterations = 60;
+  config.tolerance = 1e-3;
+  return config;
+}
+
+// Serialized link frames for one node: `windows` consecutive windows of
+// the record, encoded with the node's sensing seed.
+std::vector<std::vector<std::uint8_t>> encode_stream(
+    const core::DecoderConfig& config, const coding::HuffmanCodebook& book,
+    const ecg::SyntheticDatabase& db, std::size_t windows) {
+  core::Encoder encoder(config.cs, book);
+  const auto& record = db.mote(0);
+  const std::size_t n = config.cs.window;
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    frames.push_back(encoder
+                         .encode_window(std::span<const std::int16_t>(
+                             record.samples.data() + w * n, n))
+                         .serialize());
+  }
+  return frames;
+}
+
+// ------------------------------------------------------- fleet decode --
+
+TEST(FleetTest, MultiNodeDeliveryIsPerNodeInOrder) {
+  const auto db = small_db();
+  const auto book = core::default_difference_codebook();
+  constexpr std::size_t kNodes = 4;
+  constexpr std::size_t kWindows = 6;
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 4;
+  fleet_config.queue_depth = 16;
+
+  std::vector<std::atomic<std::uint32_t>> next(kNodes);
+  for (auto& n : next) {
+    n.store(0);
+  }
+  std::atomic<bool> in_order{true};
+  const auto sink = [&](const FleetWindow& window) {
+    ASSERT_LT(window.node_id, kNodes);
+    const auto expected = next[window.node_id].fetch_add(1);
+    if (window.sequence != expected) {
+      in_order = false;
+    }
+  };
+
+  FleetCoordinator fleet(fleet_config, sink);
+  std::vector<std::vector<std::vector<std::uint8_t>>> streams;
+  for (std::size_t node = 0; node < kNodes; ++node) {
+    core::DecoderConfig config = fast_config();
+    config.cs.seed += node;  // every node is a distinct recovery problem
+    streams.push_back(encode_stream(config, book, db, kWindows));
+    EXPECT_EQ(fleet.add_node(config, book), node);
+  }
+  EXPECT_EQ(fleet.node_count(), kNodes);
+
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    for (std::size_t node = 0; node < kNodes; ++node) {
+      EXPECT_TRUE(fleet.submit(static_cast<std::uint32_t>(node),
+                               std::vector<std::uint8_t>(streams[node][w])));
+    }
+  }
+  const FleetReport report = fleet.finish();
+
+  EXPECT_TRUE(in_order);
+  for (std::size_t node = 0; node < kNodes; ++node) {
+    EXPECT_EQ(next[node].load(), kWindows);
+  }
+
+  // Aggregates are exactly the per-node sums.
+  EXPECT_EQ(report.nodes.size(), kNodes);
+  std::size_t submitted = 0;
+  std::size_t reconstructed = 0;
+  double iterations = 0.0;
+  for (const auto& node : report.nodes) {
+    EXPECT_EQ(node.frames_submitted, kWindows);
+    EXPECT_EQ(node.windows_reconstructed, kWindows);
+    EXPECT_EQ(node.windows_concealed, 0u);
+    EXPECT_LE(node.latency_p50_s, node.latency_p95_s);
+    EXPECT_LE(node.latency_p95_s, node.latency_p99_s);
+    submitted += node.frames_submitted;
+    reconstructed += node.windows_reconstructed;
+    iterations += node.iterations_total;
+  }
+  EXPECT_EQ(report.frames_submitted, submitted);
+  EXPECT_EQ(report.windows_reconstructed, reconstructed);
+  EXPECT_EQ(report.windows_reconstructed, kNodes * kWindows);
+  EXPECT_DOUBLE_EQ(report.iterations_total, iterations);
+  EXPECT_GT(report.mean_iterations(), 0.0);
+  EXPECT_LE(report.latency_p50_s, report.latency_p95_s);
+  EXPECT_LE(report.latency_p95_s, report.latency_p99_s);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(FleetTest, MatchesDirectDecoderExactly) {
+  const auto db = small_db();
+  const auto book = core::default_difference_codebook();
+  const auto config = fast_config();
+  constexpr std::size_t kWindows = 4;
+  const auto frames = encode_stream(config, book, db, kWindows);
+
+  // Reference: the same frames through a plain Decoder on this thread.
+  std::vector<std::vector<float>> reference;
+  {
+    core::Decoder decoder(config, book);
+    solvers::SolverWorkspace workspace;
+    std::vector<std::int32_t> y;
+    core::DecodedWindow<float> window;
+    for (const auto& frame : frames) {
+      const auto packet = core::Packet::parse(frame);
+      ASSERT_TRUE(packet.has_value());
+      ASSERT_TRUE(decoder.decode_measurements_into(*packet, y));
+      decoder.reconstruct_into<float>(std::span<const std::int32_t>(y),
+                                      workspace, window);
+      reference.push_back(window.samples);
+    }
+  }
+
+  std::mutex mutex;
+  std::map<std::uint16_t, std::vector<float>> delivered;
+  const auto sink = [&](const FleetWindow& window) {
+    std::lock_guard<std::mutex> lock(mutex);
+    delivered.emplace(window.sequence,
+                      std::vector<float>(window.samples.begin(),
+                                         window.samples.end()));
+    EXPECT_FALSE(window.concealed);
+    EXPECT_GT(window.iterations, 0u);
+  };
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 2;
+  FleetCoordinator fleet(fleet_config, sink);
+  fleet.add_node(config, book);
+  for (const auto& frame : frames) {
+    fleet.submit(0, std::vector<std::uint8_t>(frame));
+  }
+  fleet.finish();
+
+  ASSERT_EQ(delivered.size(), kWindows);
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const auto& got = delivered.at(static_cast<std::uint16_t>(w));
+    ASSERT_EQ(got.size(), reference[w].size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      // Same code path, same data, one FP environment: exact match.
+      EXPECT_EQ(got[i], reference[w][i]) << "window " << w << " sample " << i;
+    }
+  }
+}
+
+TEST(FleetTest, BackpressureKeepsQueueBounded) {
+  const auto db = small_db();
+  const auto book = core::default_difference_codebook();
+  constexpr std::size_t kNodes = 2;
+  constexpr std::size_t kWindows = 6;
+  constexpr std::size_t kDepth = 3;
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 1;  // slowest drain: submit() must block
+  fleet_config.queue_depth = kDepth;
+
+  std::atomic<std::size_t> delivered{0};
+  FleetCoordinator fleet(fleet_config,
+                         [&](const FleetWindow&) { ++delivered; });
+  std::vector<std::vector<std::vector<std::uint8_t>>> streams;
+  for (std::size_t node = 0; node < kNodes; ++node) {
+    core::DecoderConfig config = fast_config();
+    config.cs.seed += node;
+    streams.push_back(encode_stream(config, book, db, kWindows));
+    fleet.add_node(config, book);
+  }
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    for (std::size_t node = 0; node < kNodes; ++node) {
+      fleet.submit(static_cast<std::uint32_t>(node),
+                   std::vector<std::uint8_t>(streams[node][w]));
+    }
+  }
+  const FleetReport report = fleet.finish();
+  EXPECT_EQ(delivered.load(), kNodes * kWindows);
+  EXPECT_EQ(report.windows_reconstructed, kNodes * kWindows);
+  EXPECT_GE(report.queue_high_water, 1u);
+  EXPECT_LE(report.queue_high_water, kDepth);
+}
+
+TEST(FleetTest, LostFrameIsConcealedWithLastGoodWindow) {
+  const auto db = small_db();
+  const auto book = core::default_difference_codebook();
+  core::DecoderConfig config = fast_config();
+  // Alternating keyframe/differential stream (keyframes at 0, 2, 4):
+  // dropping the differential at 3 costs exactly one concealment because
+  // the absolute frame right after re-syncs the chain.
+  config.cs.keyframe_interval = 1;
+  constexpr std::size_t kWindows = 6;
+  constexpr std::size_t kDropped = 3;
+  const auto frames = encode_stream(config, book, db, kWindows);
+
+  std::mutex mutex;
+  std::vector<std::pair<std::uint16_t, bool>> order;  // (sequence, concealed)
+  std::vector<float> before_gap;
+  std::vector<float> at_gap;
+  const auto sink = [&](const FleetWindow& window) {
+    std::lock_guard<std::mutex> lock(mutex);
+    order.emplace_back(window.sequence, window.concealed);
+    if (window.sequence == kDropped - 1) {
+      before_gap.assign(window.samples.begin(), window.samples.end());
+    }
+    if (window.sequence == kDropped) {
+      at_gap.assign(window.samples.begin(), window.samples.end());
+    }
+  };
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 1;
+  FleetCoordinator fleet(fleet_config, sink);
+  fleet.add_node(config, book);
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    if (w == kDropped) {
+      continue;  // the channel ate this frame
+    }
+    fleet.submit(0, std::vector<std::uint8_t>(frames[w]));
+  }
+  const FleetReport report = fleet.finish();
+
+  EXPECT_EQ(report.windows_reconstructed, kWindows - 1);
+  EXPECT_EQ(report.windows_concealed, 1u);
+  ASSERT_EQ(order.size(), kWindows);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i].first, static_cast<std::uint16_t>(i));
+    EXPECT_EQ(order[i].second, i == kDropped);
+  }
+  // Hold-last concealment: the gap replays the last good reconstruction.
+  EXPECT_EQ(at_gap, before_gap);
+}
+
+TEST(FleetTest, CorruptFrameIsCountedAndConcealed) {
+  const auto db = small_db();
+  const auto book = core::default_difference_codebook();
+  core::DecoderConfig config = fast_config();
+  config.cs.keyframe_interval = 1;
+  constexpr std::size_t kWindows = 5;
+  auto frames = encode_stream(config, book, db, kWindows);
+  // Corrupt the differential at 3 (keyframes are 0, 2, 4): it fails the
+  // CRC on arrival, is abandoned, and the keyframe after it re-syncs.
+  frames[3][frames[3].size() / 2] ^= 0x5a;
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 1;
+  FleetCoordinator fleet(fleet_config);
+  fleet.add_node(config, book);
+  for (auto& frame : frames) {
+    fleet.submit(0, std::move(frame));
+  }
+  const FleetReport report = fleet.finish();
+  EXPECT_EQ(report.frames_corrupt, 1u);
+  EXPECT_EQ(report.windows_reconstructed, kWindows - 1);
+  EXPECT_EQ(report.windows_concealed, 1u);
+}
+
+TEST(FleetTest, LifecycleChecks) {
+  const auto book = core::default_difference_codebook();
+  FleetConfig fleet_config;
+  fleet_config.workers = 1;
+  FleetCoordinator fleet(fleet_config);
+  EXPECT_THROW(fleet.submit(0, {}), Error);  // no such node
+  fleet.add_node(fast_config(), book);
+  fleet.finish();
+  EXPECT_FALSE(fleet.submit(0, {}));         // closed: rejected, not lost
+  EXPECT_THROW(fleet.finish(), Error);       // finish() is one-shot
+
+  FleetConfig bad = fleet_config;
+  bad.workers = 0;
+  EXPECT_THROW(FleetCoordinator fleet2(bad), Error);
+}
+
+// ----------------------------------- ring buffer close()-while-blocked --
+
+// Races close() against producers blocked on a full buffer and consumers
+// blocked on an empty one, across a spread of timings. Invariant: every
+// push() that reported success is eventually pop()ed by someone — close
+// may reject items but must never drop or duplicate accepted ones.
+// TSan (scripts/check_sanitize.sh --tsan) checks the synchronization.
+TEST(RingBufferRaceTest, CloseRacesBlockedProducersAndConsumers) {
+  constexpr int kRounds = 25;
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  for (int round = 0; round < kRounds; ++round) {
+    RingBuffer<int> buffer(2);
+    std::atomic<int> produced{0};
+    std::atomic<int> consumed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kProducers + kConsumers);
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 10000; ++i) {
+          if (!buffer.push(i)) {
+            return;  // closed while (possibly) blocked on full
+          }
+          produced.fetch_add(1);
+        }
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&] {
+        while (buffer.pop().has_value()) {  // blocks on empty
+          consumed.fetch_add(1);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(20 * round));
+    buffer.close();
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    // close() drains: accepted items all come out, then pop() ends.
+    EXPECT_EQ(produced.load(), consumed.load()) << "round " << round;
+    EXPECT_FALSE(buffer.try_pop().has_value());
+    EXPECT_TRUE(buffer.closed());
+  }
+}
+
+}  // namespace
+}  // namespace csecg::wbsn

@@ -13,6 +13,7 @@
 #include "csecg/obs/export.hpp"
 #include "csecg/obs/metrics.hpp"
 #include "csecg/obs/obs.hpp"
+#include "csecg/util/error.hpp"
 
 namespace {
 
@@ -81,6 +82,54 @@ TEST(ObsMetrics, HistogramEmptyIsZero) {
   obs::Histogram h;
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  // Boundary quantiles of nothing are also zero, not stale min/max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(ObsMetrics, HistogramQuantileBoundaries) {
+  obs::Histogram h;
+  h.add(0.002);
+  h.add(0.2);
+  h.add(20.0);
+  // q = 0 / q = 1 return the exactly tracked extremes, not bucket edges.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.002);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  // Out-of-range q is a caller bug, not a silent clamp.
+  EXPECT_THROW(h.quantile(-0.1), Error);
+  EXPECT_THROW(h.quantile(1.1), Error);
+  // Every interior estimate stays inside the observed range even when
+  // the crossing bucket's nominal edges lie outside it.
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    EXPECT_GE(h.quantile(q), h.min()) << "q = " << q;
+    EXPECT_LE(h.quantile(q), h.max()) << "q = " << q;
+  }
+}
+
+TEST(ObsMetrics, HistogramSingleOccupiedBucket) {
+  // All mass in one bucket: interpolation must pin to the tracked
+  // min/max, not smear across the whole nominal bucket width.
+  obs::Histogram identical;
+  for (int i = 0; i < 5; ++i) {
+    identical.add(0.5);
+  }
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(identical.quantile(q), 0.5) << "q = " << q;
+  }
+
+  obs::Histogram close;  // distinct values, (almost surely) one bucket
+  close.add(0.100);
+  close.add(0.101);
+  EXPECT_DOUBLE_EQ(close.quantile(0.0), 0.100);
+  EXPECT_DOUBLE_EQ(close.quantile(1.0), 0.101);
+  double previous = close.quantile(0.0);
+  for (const double q : {0.25, 0.5, 0.75}) {
+    const double value = close.quantile(q);
+    EXPECT_GE(value, 0.100) << "q = " << q;
+    EXPECT_LE(value, 0.101) << "q = " << q;
+    EXPECT_GE(value, previous) << "q = " << q;  // monotone in q
+    previous = value;
+  }
 }
 
 TEST(ObsMetrics, RegistryMergeAcrossThreads) {

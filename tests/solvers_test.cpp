@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 
 #include "csecg/linalg/dense_matrix.hpp"
+#include "csecg/linalg/kernels.hpp"
 #include "csecg/linalg/vector_ops.hpp"
 #include "csecg/solvers/fista.hpp"
 #include "csecg/solvers/omp.hpp"
@@ -357,6 +359,122 @@ TEST(OmpTest, SupportIndicesAreDistinct) {
   std::vector<std::size_t> sorted = result.support;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+// --------------------------------------------- workspace and op mixes --
+
+TEST(FistaTest, WorkspaceOverloadMatchesByValueAndReusesBuffers) {
+  auto op = gaussian_op<double>(32, 64, 7);
+  std::vector<double> y(32);
+  {
+    std::vector<double> truth(64, 0.0);
+    truth[3] = 2.0;
+    truth[40] = -1.5;
+    op.apply(truth, y);
+  }
+  ShrinkageOptions options;
+  options.lambda = 1e-3;
+  options.max_iterations = 500;
+  options.tolerance = 1e-10;
+
+  const auto by_value = fista<double>(op, y, options);
+  SolverWorkspace workspace;
+  const auto& in_place = fista<double>(op, y, options, workspace);
+  EXPECT_EQ(in_place.iterations, by_value.iterations);
+  EXPECT_EQ(in_place.converged, by_value.converged);
+  ASSERT_EQ(in_place.solution.size(), by_value.solution.size());
+  for (std::size_t i = 0; i < by_value.solution.size(); ++i) {
+    EXPECT_EQ(in_place.solution[i], by_value.solution[i]) << "index " << i;
+  }
+
+  // A second same-shape solve must reuse every buffer: no reallocation
+  // in steady state (the fleet worker / bench_fleet contract).
+  auto& buffers = workspace.buffers<double>();
+  const double* yk = buffers.yk.data();
+  const double* residual = buffers.residual.data();
+  const double* gradient = buffers.gradient.data();
+  const double* candidate = buffers.candidate.data();
+  const double* a_next = buffers.a_next.data();
+  const double* solution = buffers.result.solution.data();
+  fista<double>(op, y, options, workspace);
+  EXPECT_EQ(buffers.yk.data(), yk);
+  EXPECT_EQ(buffers.residual.data(), residual);
+  EXPECT_EQ(buffers.gradient.data(), gradient);
+  EXPECT_EQ(buffers.candidate.data(), candidate);
+  EXPECT_EQ(buffers.a_next.data(), a_next);
+  EXPECT_EQ(buffers.result.solution.data(), solution);
+}
+
+TEST(KernelOpMixTest, CopyIsPureMemoryTraffic) {
+  // copy moves n elements and must charge exactly n loads + n stores —
+  // no ALU work in either schedule. FISTA's candidate/yk copies route
+  // through this kernel so the cycle model sees them.
+  std::vector<float> x(16, 1.5f);
+  std::vector<float> out(16, 0.0f);
+  for (const auto mode :
+       {linalg::KernelMode::kScalar, linalg::KernelMode::kSimd4}) {
+    linalg::OpCounterScope scope;
+    linalg::kernels::copy(x.data(), out.data(), x.size(), mode);
+    const auto& counts = scope.counts();
+    EXPECT_EQ(counts.scalar_mac, 0u);
+    EXPECT_EQ(counts.vector_mac4, 0u);
+    EXPECT_EQ(counts.scalar_op, 0u);
+    EXPECT_EQ(counts.vector_op4, 0u);
+    EXPECT_EQ(counts.loads, x.size());
+    EXPECT_EQ(counts.stores, x.size());
+    EXPECT_EQ(out, x);
+  }
+}
+
+TEST(KernelOpMixTest, FistaPerIterationCostIsStable) {
+  // With a fixed Lipschitz constant and convergence disabled, the op mix
+  // must be affine in the iteration count: counts(k+1) - counts(k) is the
+  // same for every k. A raw (uncounted) copy or a stray per-iteration
+  // spectral-norm estimate would break this — both were real bugs.
+  auto op = gaussian_op<float>(16, 32, 11);
+  std::vector<float> y(16, 1.0f);
+  ShrinkageOptions options;
+  options.lambda = 0.05;
+  options.tolerance = 0.0;  // never converge: iterations == max_iterations
+  options.lipschitz = 8.0;
+
+  const auto run = [&](std::size_t iterations, linalg::KernelMode mode) {
+    options.max_iterations = iterations;
+    options.mode = mode;
+    linalg::OpCounterScope scope;
+    const auto result = fista<float>(op, y, options);
+    EXPECT_EQ(result.iterations, iterations);
+    return scope.counts();
+  };
+
+  for (const auto mode :
+       {linalg::KernelMode::kScalar, linalg::KernelMode::kSimd4}) {
+    const auto c1 = run(1, mode);
+    const auto c2 = run(2, mode);
+    const auto c3 = run(3, mode);
+    const auto delta = [](const linalg::OpCounts& hi,
+                          const linalg::OpCounts& lo) {
+      return std::array<std::uint64_t, 7>{
+          hi.scalar_mac - lo.scalar_mac, hi.scalar_op - lo.scalar_op,
+          hi.vector_mac4 - lo.vector_mac4, hi.vector_op4 - lo.vector_op4,
+          hi.leftover_lane - lo.leftover_lane, hi.loads - lo.loads,
+          hi.stores - lo.stores};
+    };
+    const auto step_a = delta(c2, c1);
+    const auto step_b = delta(c3, c2);
+    EXPECT_EQ(step_a, step_b) << "mode " << static_cast<int>(mode);
+    // The iteration writes at least candidate (copy), the thresholded
+    // iterate, the momentum extrapolation and the operator outputs.
+    const std::size_t n = op.cols();
+    EXPECT_GE(step_a[6], 3 * n);
+    // The scalar schedule must not charge vector lanes and vice versa.
+    if (mode == linalg::KernelMode::kScalar) {
+      EXPECT_EQ(step_a[2], 0u);
+      EXPECT_EQ(step_a[3], 0u);
+    } else {
+      EXPECT_GT(step_a[2] + step_a[3], 0u);
+    }
+  }
 }
 
 TEST(OmpTest, RejectsBadArguments) {

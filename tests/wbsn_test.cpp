@@ -438,5 +438,76 @@ TEST(PipelineTest, ReportsAggregateConsistently) {
   EXPECT_GT(report.wall_seconds, 0.0);
 }
 
+// ---------------------------------------------- sequence wraparound --
+
+TEST(ArqSequenceTest, SeqLessIsWrapSafeOverTwoCycles) {
+  // Adjacency must hold at every point of > 2 full uint16 cycles,
+  // including both 65535 -> 0 crossings.
+  for (std::uint32_t i = 0; i < 2 * 65536 + 17; ++i) {
+    const auto a = static_cast<std::uint16_t>(i);
+    const auto b = static_cast<std::uint16_t>(i + 1);
+    ASSERT_TRUE(seq_less(a, b)) << "i = " << i;
+    ASSERT_FALSE(seq_less(b, a)) << "i = " << i;
+    ASSERT_FALSE(seq_less(a, a)) << "i = " << i;
+  }
+  // Half-space convention: up to 2^15 - 1 ahead is "later"; the exact
+  // antipode is not (int16 distance -2^15).
+  EXPECT_TRUE(seq_less(0, 32767));
+  EXPECT_FALSE(seq_less(0, 32768));
+  EXPECT_TRUE(seq_less(65535, 32766));
+}
+
+TEST(ArqReceiverTest, DeliversInOrderAcrossTwoWraparounds) {
+  ArqReceiver receiver(ArqConfig{}, /*first_sequence=*/0);
+  constexpr std::uint32_t kFrames = 2 * 65536 + 41;
+  std::uint32_t next_expected = 0;
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    auto out = receiver.on_frame(static_cast<std::uint16_t>(i),
+                                 {static_cast<std::uint8_t>(i)},
+                                 static_cast<double>(i));
+    for (const auto& event : out.events) {
+      ASSERT_FALSE(event.lost) << "frame " << i;
+      ASSERT_EQ(event.sequence, static_cast<std::uint16_t>(next_expected))
+          << "frame " << i;
+      ++next_expected;
+    }
+  }
+  EXPECT_EQ(next_expected, kFrames);
+}
+
+TEST(ArqReceiverTest, RecoversOneGapPerCycleAcrossTwoWraparounds) {
+  // A retransmitted loss near each wrap point: recovery must work when
+  // the gap and its fill straddle 65535 -> 0.
+  ArqReceiver receiver(ArqConfig{}, /*first_sequence=*/0);
+  constexpr std::uint32_t kFrames = 2 * 65536 + 5;
+  std::uint32_t next_expected = 0;
+  std::uint32_t delivered = 0;
+  const auto drain = [&](ArqReceiver::Output out, std::uint32_t i) {
+    for (const auto& event : out.events) {
+      ASSERT_FALSE(event.lost) << "frame " << i;
+      ASSERT_EQ(event.sequence, static_cast<std::uint16_t>(next_expected))
+          << "frame " << i;
+      ++next_expected;
+      ++delivered;
+    }
+  };
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    const auto sequence = static_cast<std::uint16_t>(i);
+    const auto now = static_cast<double>(i);
+    if (sequence == 65534) {
+      // Dropped on first transmission; arrives again two frames later,
+      // after its successor has already exposed the gap.
+      continue;
+    }
+    drain(receiver.on_frame(sequence, {static_cast<std::uint8_t>(i)}, now),
+          i);
+    if (sequence == 0 && i > 0) {
+      drain(receiver.on_frame(65534, {std::uint8_t{42}}, now), i);
+    }
+  }
+  EXPECT_EQ(delivered, kFrames);
+  EXPECT_EQ(next_expected, kFrames);
+}
+
 }  // namespace
 }  // namespace csecg::wbsn

@@ -15,6 +15,9 @@
 //   csecg_tool metrics  --trace dump.jsonl
 //   csecg_tool stream   --in rec.csecg [--loss 0.1] [--burst 4] [--ber 1e-5]
 //                       [--retries 3] [--keyframe 64] [--conceal hold|interp]
+//   csecg_tool fleet    [--nodes 8] [--workers 4] [--seconds 30] [--cr 50]
+//                       [--queue 64] [--loss 0.0] [--burst 1] [--ber 0]
+//                       [--keyframe 64] [--rate 256] [--json dump.jsonl]
 //
 // `encode` trains a codebook on the input record itself (self-contained
 // sessions); `decode` reads everything it needs from the session file.
@@ -24,15 +27,22 @@
 // quality comparison (--a/--b), an instrumented replay that streams a
 // record (loaded or synthesised) through the observed pipeline and prints
 // the telemetry report (optionally dumping it as JSONL with --json), and
-// offline re-rendering of such a dump (--trace).
+// offline re-rendering of such a dump (--trace). `fleet` multiplexes N
+// synthetic sensor nodes onto the FleetCoordinator's decode worker pool
+// and prints per-node and fleet-wide latency/quality statistics.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "csecg/core/codebook.hpp"
 #include "csecg/core/codec.hpp"
@@ -46,6 +56,9 @@
 #include "csecg/io/session_io.hpp"
 #include "csecg/obs/export.hpp"
 #include "csecg/obs/obs.hpp"
+#include "csecg/wbsn/fleet.hpp"
+#include "csecg/wbsn/link.hpp"
+#include "csecg/wbsn/node.hpp"
 #include "csecg/wbsn/pipeline.hpp"
 
 namespace {
@@ -334,6 +347,209 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+/// `fleet`: synthesise N sensor-node streams (each with its own heart
+/// rate, ECG seed and lossy link) and push them interleaved through the
+/// FleetCoordinator's decode worker pool. Per-node reconstruction quality
+/// is scored in the sink, which runs on the worker threads.
+int cmd_fleet(const Args& args) {
+  const auto node_count =
+      static_cast<std::size_t>(get_double(args, "nodes", 8.0));
+  const auto workers =
+      static_cast<std::size_t>(get_double(args, "workers", 4.0));
+  const double seconds = get_double(args, "seconds", 30.0);
+  const double rate = get_double(args, "rate", 256.0);
+  const double cr = get_double(args, "cr", 50.0);
+  if (node_count == 0) {
+    std::fprintf(stderr, "--nodes must be positive\n");
+    return 2;
+  }
+
+  core::DecoderConfig config;
+  config.cs.measurements =
+      core::measurements_for_cr(config.cs.window, cr);
+  config.cs.keyframe_interval =
+      static_cast<std::size_t>(get_double(args, "keyframe", 64.0));
+  const std::size_t n = config.cs.window;
+  const double window_period_s = static_cast<double>(n) / rate;
+
+  wbsn::FleetConfig fleet_config;
+  fleet_config.workers = std::max<std::size_t>(1, workers);
+  fleet_config.queue_depth =
+      static_cast<std::size_t>(get_double(args, "queue", 64.0));
+  fleet_config.deadline_seconds = window_period_s;
+
+  // Per-node quality accounting, written by the sink on worker threads.
+  // Distinct nodes deliver on distinct accumulators (per-node ordering
+  // guarantees no two workers touch the same one concurrently).
+  struct NodeScore {
+    double prd_sum = 0.0;
+    std::size_t scored = 0;
+  };
+  std::vector<NodeScore> scores(node_count);
+  std::vector<std::vector<std::int16_t>> originals(node_count);
+
+  const auto sink = [&](const wbsn::FleetWindow& window) {
+    if (window.concealed || window.samples.size() != n) {
+      return;
+    }
+    const auto& record = originals[window.node_id];
+    const std::size_t offset = static_cast<std::size_t>(window.sequence) * n;
+    if (offset + n > record.size()) {
+      return;
+    }
+    // Thread-local so concurrent workers never share the score scratch.
+    thread_local std::vector<double> a;
+    thread_local std::vector<double> b;
+    a.resize(n);
+    b.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<double>(record[offset + i]);
+      b[i] = static_cast<double>(window.samples[i]);
+    }
+    auto& score = scores[window.node_id];
+    score.prd_sum += ecg::prd(a, b);
+    ++score.scored;
+  };
+
+  // ACK/NACK feedback surfaces on worker threads; park it here and let
+  // the submitting thread relay it (submitting from the feedback callback
+  // could deadlock against the fleet's own backpressure).
+  std::mutex feedback_mutex;
+  std::vector<std::vector<wbsn::FeedbackMessage>> pending(node_count);
+  const auto feedback = [&](std::uint32_t node_id,
+                            std::span<const wbsn::FeedbackMessage> messages) {
+    std::lock_guard<std::mutex> lock(feedback_mutex);
+    auto& queue = pending[node_id];
+    queue.insert(queue.end(), messages.begin(), messages.end());
+  };
+
+  wbsn::FleetCoordinator fleet(fleet_config, sink, feedback);
+
+  std::vector<std::unique_ptr<wbsn::SensorNode>> senders;
+  std::vector<std::unique_ptr<wbsn::BluetoothLink>> links;
+  senders.reserve(node_count);
+  links.reserve(node_count);
+  wbsn::LinkConfig link_config;
+  link_config.loss_rate = get_double(args, "loss", 0.0);
+  link_config.mean_burst_frames = std::max(1.0, get_double(args, "burst", 1.0));
+  link_config.bit_error_rate = get_double(args, "ber", 0.0);
+
+  for (std::size_t node = 0; node < node_count; ++node) {
+    ecg::EcgSynConfig gen;
+    gen.sample_rate_hz = rate;
+    gen.duration_s = seconds;
+    gen.mean_heart_rate_bpm = 60.0 + static_cast<double>(node % 7) * 5.0;
+    gen.seed = 1 + static_cast<std::uint64_t>(node);
+    originals[node] =
+        ecg::AdcModel().quantize(ecg::generate_ecg(gen).samples_mv);
+    senders.push_back(std::make_unique<wbsn::SensorNode>(
+        config.cs, core::default_difference_codebook()));
+    link_config.seed = 100 + static_cast<std::uint64_t>(node);
+    links.push_back(std::make_unique<wbsn::BluetoothLink>(link_config));
+    const std::uint32_t id =
+        fleet.add_node(config, core::default_difference_codebook());
+    if (id != node) {
+      std::fprintf(stderr, "unexpected fleet node id\n");
+      return 1;
+    }
+  }
+
+  const auto service_feedback = [&](std::size_t node) {
+    std::vector<wbsn::FeedbackMessage> messages;
+    {
+      std::lock_guard<std::mutex> lock(feedback_mutex);
+      messages.swap(pending[node]);
+    }
+    if (messages.empty()) {
+      return;
+    }
+    for (auto& frame : senders[node]->handle_feedback(messages)) {
+      if (auto delivered = links[node]->transmit(frame)) {
+        fleet.submit(static_cast<std::uint32_t>(node),
+                     std::move(*delivered));
+      }
+    }
+  };
+
+  // Interleave the streams window by window — the arrival pattern a
+  // gateway actually sees from N concurrent 2 s senders.
+  const std::size_t windows_per_node = originals[0].size() / n;
+  for (std::size_t w = 0; w < windows_per_node; ++w) {
+    for (std::size_t node = 0; node < node_count; ++node) {
+      service_feedback(node);
+      const auto frame = senders[node]->process_window(
+          std::span<const std::int16_t>(originals[node].data() + w * n, n));
+      if (auto delivered = links[node]->transmit(frame)) {
+        fleet.submit(static_cast<std::uint32_t>(node),
+                     std::move(*delivered));
+      }
+    }
+  }
+  // Bounded ARQ drain: answer NACKs until every transmitter goes idle or
+  // nothing moves any more (tail losses can never be NACKed).
+  for (std::size_t round = 0; round < 500; ++round) {
+    bool any_pending = false;
+    for (std::size_t node = 0; node < node_count; ++node) {
+      service_feedback(node);
+      any_pending = any_pending || !senders[node]->arq().idle();
+    }
+    if (!any_pending) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  const auto report = fleet.finish();
+
+  std::printf("fleet                   : %zu nodes x %zu workers, "
+              "CR %.0f %%, queue %zu\n",
+              node_count, fleet_config.workers, cr,
+              fleet_config.queue_depth);
+  std::printf("node  windows concealed  p50 ms  p95 ms  p99 ms  mean PRD\n");
+  for (const auto& stats : report.nodes) {
+    const auto& score = scores[stats.node_id];
+    const double mean_prd =
+        score.scored == 0 ? 0.0
+                          : score.prd_sum / static_cast<double>(score.scored);
+    std::printf("%4u  %7zu %9zu  %6.2f  %6.2f  %6.2f  %7.2f %%\n",
+                stats.node_id, stats.windows_reconstructed,
+                stats.windows_concealed, stats.latency_p50_s * 1e3,
+                stats.latency_p95_s * 1e3, stats.latency_p99_s * 1e3,
+                mean_prd);
+  }
+  std::printf("windows decoded         : %zu (+%zu concealed, "
+              "%zu frames rejected)\n",
+              report.windows_reconstructed, report.windows_concealed,
+              report.frames_rejected);
+  std::printf("decode latency (fleet)  : p50 %.2f ms  p95 %.2f ms  "
+              "p99 %.2f ms\n",
+              report.latency_p50_s * 1e3, report.latency_p95_s * 1e3,
+              report.latency_p99_s * 1e3);
+  std::printf("deadline                : %zu misses (budget %.2f s)\n",
+              report.deadline_misses, fleet_config.deadline_seconds);
+  std::printf("queue high water        : %zu / %zu\n",
+              report.queue_high_water, fleet_config.queue_depth);
+  std::printf("wall time               : %.2f s (%.1f windows/s)\n",
+              report.wall_seconds,
+              report.wall_seconds <= 0.0
+                  ? 0.0
+                  : static_cast<double>(report.windows_reconstructed) /
+                        report.wall_seconds);
+  std::printf("mean FISTA iterations   : %.1f\n", report.mean_iterations());
+
+  const auto json = args.find("json");
+  if (json != args.end()) {
+    std::ofstream out(json->second);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json->second.c_str());
+      return 1;
+    }
+    obs::export_jsonl(fleet.session(), out);
+    std::printf("JSONL session dump      : %s\n", json->second.c_str());
+  }
+  return 0;
+}
+
 /// `metrics --trace dump.jsonl`: re-render a previously exported session.
 int cmd_metrics_trace(const std::string& path) {
   std::ifstream in(path);
@@ -463,7 +679,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: csecg_tool {generate|info|csv|encode|decode|"
-                 "metrics|stream} --flag value ...\n");
+                 "metrics|stream|fleet} --flag value ...\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -489,6 +705,9 @@ int main(int argc, char** argv) {
     }
     if (command == "stream") {
       return cmd_stream(args);
+    }
+    if (command == "fleet") {
+      return cmd_fleet(args);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
