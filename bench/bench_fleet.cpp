@@ -1,4 +1,4 @@
-// EXP-A8 — fleet-scale decode: the gateway multiplexes N sensor streams
+// EXP-A11 — fleet-scale decode: the gateway multiplexes N sensor streams
 // onto a fixed decode worker pool (wbsn::FleetCoordinator). Two claims
 // are measured:
 //
@@ -7,7 +7,11 @@
 //     (decode_measurements_into + reconstruct_into through a
 //     SolverWorkspace). Verified with a global operator-new counting
 //     hook; the bench exits non-zero if a single allocation leaks in.
-//  2. Worker scaling: fleet decode throughput grows near-linearly with
+//  2. Re-profile warm-up is bounded: an in-band CR switch (kProfile
+//     frame at a keyframe boundary) may re-warm the decoder's scratch
+//     once, but the steady state after the switch must be allocation-free
+//     again — the adaptive-CR controller moves profiles on live fleets.
+//  3. Worker scaling: fleet decode throughput grows near-linearly with
 //     the worker count until it saturates the host's cores. On a
 //     single-core CI box every configuration collapses to 1x — the
 //     speedup column is only meaningful up to the printed hardware
@@ -26,6 +30,7 @@
 #include "bench_common.hpp"
 #include "csecg/core/decoder.hpp"
 #include "csecg/core/encoder.hpp"
+#include "csecg/core/stream_profile.hpp"
 #include "csecg/util/table.hpp"
 #include "csecg/wbsn/fleet.hpp"
 
@@ -102,7 +107,7 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 
 int main(int argc, char** argv) {
   using namespace csecg;
-  std::cout << "EXP-A8: fleet decode — allocation-free hot path and "
+  std::cout << "EXP-A11: fleet decode — allocation-free hot path and "
                "worker scaling (CR 50)\n\n";
 
   const auto& db = bench::corpus();
@@ -171,6 +176,73 @@ int main(int argc, char** argv) {
   json.add_row({"alloc", "1", "1", std::to_string(alloc_windows), "-", "-",
                 "-", "-", "-", util::format_double(allocs_per_window, 3)});
 
+  // ----------------------------------------- phase 1b: re-profile allocs --
+  // A v1 stream that switches CR 50 -> 30 mid-session through the in-band
+  // kProfile + keyframe mechanism. The switch itself re-warms operator
+  // scratch (allocations allowed, bounded to the warm-up windows); after
+  // it, steady-state decode must be allocation-free again.
+  std::size_t switch_windows = 0;
+  std::size_t switch_allocations = 0;
+  {
+    const core::StreamProfile profile_before = core::profile_for_cr(50.0);
+    const core::StreamProfile profile_after = core::profile_for_cr(30.0);
+    core::Encoder encoder(profile_before);
+    std::vector<core::Packet> packets;
+    const std::size_t pre = 8;
+    const std::size_t post = 24;
+    if (auto announce = encoder.take_profile_packet()) {
+      packets.push_back(std::move(*announce));
+    }
+    for (std::size_t w = 0; w < pre; ++w) {
+      packets.push_back(encoder.encode_window(std::span<const std::int16_t>(
+          record.samples.data() + (w % record_windows) * n, n)));
+    }
+    encoder.set_profile(profile_after);
+    if (auto announce = encoder.take_profile_packet()) {
+      packets.push_back(std::move(*announce));
+    }
+    for (std::size_t w = pre; w < pre + post; ++w) {
+      packets.push_back(encoder.encode_window(std::span<const std::int16_t>(
+          record.samples.data() + (w % record_windows) * n, n)));
+    }
+
+    core::Decoder decoder(profile_before);
+    solvers::SolverWorkspace workspace;
+    std::vector<std::int32_t> y;
+    core::DecodedWindow<float> window;
+    // Warm-up: everything through the switch plus the first 8 windows of
+    // the new geometry (first decode at the new shape re-warms scratch).
+    const std::size_t counted_from = 1 + pre + 1 + 8;
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      if (i == counted_from) {
+        g_allocations.store(0, std::memory_order_relaxed);
+        g_count_allocations.store(true, std::memory_order_relaxed);
+      }
+      if (decoder.consume(packets[i], y) ==
+          core::Decoder::FrameOutcome::kWindow) {
+        decoder.reconstruct_into<float>(std::span<const std::int32_t>(y),
+                                        workspace, window);
+        if (i >= counted_from) {
+          ++switch_windows;
+        }
+      }
+    }
+    g_count_allocations.store(false, std::memory_order_relaxed);
+    switch_allocations = g_allocations.load(std::memory_order_relaxed);
+  }
+  const double switch_allocs_per_window =
+      switch_windows == 0 ? -1.0
+                          : static_cast<double>(switch_allocations) /
+                                static_cast<double>(switch_windows);
+  std::cout << "post-reprofile decode allocations: " << switch_allocations
+            << " over " << switch_windows << " windows ("
+            << util::format_double(switch_allocs_per_window, 3)
+            << " per window) — "
+            << (switch_allocations == 0 ? "PASS" : "FAIL") << "\n\n";
+  json.add_row({"alloc-reprofile", "1", "1", std::to_string(switch_windows),
+                "-", "-", "-", "-", "-",
+                util::format_double(switch_allocs_per_window, 3)});
+
   // --------------------------------------------------- phase 2: scaling --
   // Pre-encode every node's frame stream, then time submit -> finish for
   // a nodes x workers sweep. The sink verifies per-node in-order
@@ -201,7 +273,7 @@ int main(int argc, char** argv) {
   }
 
   bool in_order = true;
-  int exit_code = allocations == 0 ? 0 : 1;
+  int exit_code = allocations == 0 && switch_allocations == 0 ? 0 : 1;
   for (const std::size_t nodes : {std::size_t{1}, std::size_t{4},
                                   std::size_t{8}}) {
     double base_rate = 0.0;

@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "csecg/core/codebook.hpp"
+#include "csecg/core/stream_profile.hpp"
 #include "csecg/ecg/database.hpp"
 #include "csecg/obs/export.hpp"
 #include "csecg/obs/obs.hpp"
@@ -70,8 +70,13 @@ int main(int argc, char** argv) {
   const ecg::SyntheticDatabase db(db_config);
   const auto& record = db.mote(record_index);
 
-  core::DecoderConfig config;  // the paper's CR = 50 operating point
-  const auto codebook = core::train_difference_codebook(db, config.cs);
+  // The paper's CR = 50 operating point as a v1 stream profile: the
+  // coordinator side of the pipeline learns geometry, seed, wavelet and
+  // codebook id entirely from the in-band kProfile announcement — the
+  // deployable configuration, where nothing but the radio link connects
+  // the two devices. (Per-corpus trained codebooks have no wire id,
+  // which is why the profile pins the shared default difference book.)
+  const core::StreamProfile profile = core::profile_for_cr(50.0);
 
   wbsn::PipelineConfig pipe;
   pipe.link.loss_rate = loss_rate;
@@ -80,7 +85,7 @@ int main(int argc, char** argv) {
   pipe.arq.max_retries = max_retries;
   obs::Session session;
   pipe.obs = &session;
-  wbsn::RealTimePipeline pipeline(config, codebook, pipe);
+  wbsn::RealTimePipeline pipeline(profile, pipe);
 
   std::printf("Streaming %s (%.0f s of ECG) through the WBSN pipeline%s\n",
               record.id.c_str(), record.duration_s(),
@@ -131,6 +136,8 @@ int main(int argc, char** argv) {
               report.mean_recovery_latency_s);
   std::printf("windows concealed    : %zu of %zu displayed\n",
               report.windows_concealed, report.windows_displayed);
+  std::printf("profiles applied     : %zu (in-band kProfile frames)\n",
+              report.profiles_applied);
 
   std::printf("\n--- real-time budget (2 s per window) ---\n");
   std::printf("decode latency       : p50 %.1f ms  p95 %.1f ms  "

@@ -43,6 +43,13 @@ CsOperator<T>::CsOperator(const SensingMatrix& phi,
 }
 
 template <typename T>
+void CsOperator<T>::rebind() {
+  CSECG_CHECK(phi_->cols() == psi_->length(),
+              "sensing matrix width must match the wavelet frame length");
+  scratch_.resize(psi_->length());
+}
+
+template <typename T>
 void CsOperator<T>::apply(std::span<const T> alpha, std::span<T> y) const {
   CSECG_CHECK(alpha.size() == cols() && y.size() == rows(),
               "apply: size mismatch");

@@ -22,7 +22,51 @@ SensingMatrixConfig sensing_config_from(const EncoderConfig& config) {
   return sensing;
 }
 
+coding::HuffmanCodebook checked_profile_codebook(
+    const StreamProfile& profile) {
+  const char* reason = profile.invalid_reason();
+  CSECG_CHECK(reason == nullptr, reason ? reason : "invalid stream profile");
+  auto codebook = resolve_profile_codebook(profile.codebook_id);
+  CSECG_CHECK(codebook.has_value(),
+              "stream profile names an unresolvable codebook");
+  return std::move(*codebook);
+}
+
 }  // namespace
+
+DecoderConfig decoder_config_from(const StreamProfile& profile) {
+  DecoderConfig config;
+  config.cs = encoder_config_from(profile);
+  const auto name = wavelet_name_from_id(profile.wavelet_id);
+  CSECG_CHECK(name.has_value(), "stream profile names an unknown wavelet");
+  config.wavelet = *name;
+  config.levels = profile.levels;
+  return config;
+}
+
+std::optional<StreamProfile> profile_from(const DecoderConfig& config,
+                                          std::uint8_t codebook_id) {
+  const auto wavelet_id = wavelet_id_from_name(config.wavelet);
+  if (!wavelet_id) {
+    return std::nullopt;
+  }
+  StreamProfile profile;
+  profile.window = config.cs.window;
+  profile.measurements = config.cs.measurements;
+  profile.d = config.cs.d;
+  profile.seed = config.cs.seed;
+  profile.keyframe_interval = config.cs.keyframe_interval;
+  profile.absolute_bits = config.cs.absolute_bits;
+  profile.on_the_fly_indices = config.cs.on_the_fly_indices;
+  profile.measurement_shift = config.cs.measurement_shift;
+  profile.wavelet_id = *wavelet_id;
+  profile.levels = config.levels;
+  profile.codebook_id = codebook_id;
+  if (!profile.valid() || !resolve_profile_codebook(codebook_id)) {
+    return std::nullopt;
+  }
+  return profile;
+}
 
 Decoder::Decoder(const DecoderConfig& config,
                  coding::HuffmanCodebook codebook)
@@ -37,6 +81,16 @@ Decoder::Decoder(const DecoderConfig& config,
       zero_scratch_(config.cs.measurements, 0) {
   CSECG_CHECK(codebook_.size() == kDiffAlphabetSize,
               "decoder needs the 512-symbol difference codebook");
+  rebuild_solver_options();
+}
+
+Decoder::Decoder(const StreamProfile& profile)
+    : Decoder(decoder_config_from(profile),
+              checked_profile_codebook(profile)) {
+  profile_ = profile;
+}
+
+void Decoder::rebuild_solver_options() {
   // The window-invariant solver options (including the per-coefficient
   // weight vector) are built once here; per-window solves only update
   // lambda and the Lipschitz constant.
@@ -44,6 +98,7 @@ Decoder::Decoder(const DecoderConfig& config,
   options_.tolerance = config_.tolerance;
   options_.mode = config_.mode;
   options_.record_objective = config_.record_objective;
+  options_.weights.clear();
   if (config_.approx_lambda_weight != 1.0) {
     const auto layout = transform_.layout();
     options_.weights.assign(config_.cs.window, 1.0);
@@ -56,8 +111,88 @@ Decoder::Decoder(const DecoderConfig& config,
 
 void Decoder::reset() {
   have_previous_ = false;
+  have_sequence_ = false;
   last_sequence_ = 0;
   std::fill(previous_y_.begin(), previous_y_.end(), 0);
+}
+
+bool Decoder::apply_profile(const StreamProfile& profile) {
+  if (!profile.valid()) {
+    obs::add("decoder.profile.rejected");
+    return false;
+  }
+  if (profile_.has_value() && profile == *profile_) {
+    // Re-announcement of the active profile (session restart or an
+    // encoder answering a state-loss report): the operators are already
+    // right, only the difference chain restarts at the coming keyframe.
+    have_previous_ = false;
+    obs::add("decoder.profile.applied");
+    return true;
+  }
+  auto codebook = resolve_profile_codebook(profile.codebook_id);
+  if (!codebook) {
+    obs::add("decoder.profile.rejected");
+    return false;
+  }
+  DecoderConfig config = decoder_config_from(profile);
+  // Receiver-side solver policy carries over; only the wire contract
+  // changes.
+  config.lambda_relative = config_.lambda_relative;
+  config.max_iterations = config_.max_iterations;
+  config.tolerance = config_.tolerance;
+  config.mode = config_.mode;
+  config.record_objective = config_.record_objective;
+  config.approx_lambda_weight = config_.approx_lambda_weight;
+  config_ = config;
+  // Replace contents under stable addresses: op_f_/op_d_ hold pointers to
+  // sensing_/transform_, so move-assignment + rebind() keeps them valid
+  // without reconstructing the operators.
+  sensing_ = SensingMatrix(sensing_config_from(config_.cs));
+  transform_ = dsp::WaveletTransform(dsp::Wavelet::from_name(config_.wavelet),
+                                     config_.cs.window, config_.levels);
+  codebook_ = std::move(*codebook);
+  op_f_.rebind();
+  op_d_.rebind();
+  previous_y_.assign(config_.cs.measurements, 0);
+  zero_scratch_.assign(config_.cs.measurements, 0);
+  have_previous_ = false;
+  lipschitz_f_.reset();
+  lipschitz_d_.reset();
+  rebuild_solver_options();
+  profile_ = profile;
+  obs::add("decoder.profile.applied");
+  return true;
+}
+
+Decoder::FrameOutcome Decoder::consume(const Packet& packet,
+                                       std::vector<std::int32_t>& y) {
+  if (packet.kind != PacketKind::kProfile) {
+    return decode_measurements_into(packet, y) ? FrameOutcome::kWindow
+                                               : FrameOutcome::kRejected;
+  }
+  if (have_sequence_) {
+    // Profile frames get the same duplicate/retransmission protection as
+    // data frames: re-applying a stale announcement would rewind the
+    // difference chain mid-stream. Beyond the horizon it is a re-sync
+    // after a long outage and must be accepted (cf. the keyframe rule in
+    // decode_measurements_into).
+    const auto delta = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(packet.sequence - last_sequence_));
+    if (delta <= 0 && delta > -static_cast<std::int32_t>(kStaleHorizon)) {
+      obs::add("decoder.profile.stale");
+      return FrameOutcome::kRejected;
+    }
+  }
+  const auto profile = StreamProfile::parse(packet.payload);
+  if (!profile || !apply_profile(*profile)) {
+    if (!profile) {
+      obs::add("decoder.profile.rejected");
+    }
+    return FrameOutcome::kRejected;
+  }
+  last_sequence_ = packet.sequence;
+  have_sequence_ = true;
+  return FrameOutcome::kProfileApplied;
 }
 
 std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
@@ -71,11 +206,17 @@ std::optional<std::vector<std::int32_t>> Decoder::decode_measurements(
 
 bool Decoder::decode_measurements_into(const Packet& packet,
                                        std::vector<std::int32_t>& y) {
+  if (packet.kind == PacketKind::kProfile) {
+    // Fail closed for legacy callers: a profile frame carries no window
+    // and must not be interpreted as measurement bits. consume() is the
+    // profile-aware entry point.
+    return false;
+  }
   const std::size_t m = config_.cs.measurements;
   y.assign(m, 0);
   coding::BitReader reader(packet.payload);
 
-  if (have_previous_) {
+  if (have_sequence_) {
     // Reject stale frames (duplicate or reordered retransmissions that
     // arrive after the chain has moved past them): decoding one would
     // rewind previous_y_/last_sequence_ and silently corrupt every
@@ -104,6 +245,13 @@ bool Decoder::decode_measurements_into(const Packet& packet,
     obs::SpanScope entropy_span("huffman_decode", packet.sequence);
     entropy_span.attribute("keyframe", 1.0);
     const unsigned bits = config_.cs.absolute_bits;
+    if (packet.payload.size() != (m * bits + 7) / 8) {
+      // An absolute frame's size is a function of the geometry alone; a
+      // mismatch means the frame was produced under a different profile
+      // (e.g. its announcement was lost). Decoding it would yield
+      // plausible-looking garbage, so reject and wait for a re-announce.
+      return false;
+    }
     for (std::size_t i = 0; i < m; ++i) {
       const auto raw = reader.read_bits(bits);
       if (!raw) {
@@ -146,6 +294,7 @@ bool Decoder::decode_measurements_into(const Packet& packet,
   }
   previous_y_.assign(y.begin(), y.end());
   have_previous_ = true;
+  have_sequence_ = true;
   last_sequence_ = packet.sequence;
   return true;
 }

@@ -51,7 +51,37 @@ SensingMatrixConfig sensing_config_from(const EncoderConfig& config) {
   return sensing;
 }
 
+coding::HuffmanCodebook checked_profile_codebook(
+    const StreamProfile& profile) {
+  const char* reason = profile.invalid_reason();
+  CSECG_CHECK(reason == nullptr, reason ? reason : "invalid stream profile");
+  auto codebook = resolve_profile_codebook(profile.codebook_id);
+  CSECG_CHECK(codebook.has_value(),
+              "stream profile names an unresolvable codebook");
+  return std::move(*codebook);
+}
+
 }  // namespace
+
+EncoderConfig encoder_config_from(const StreamProfile& profile) {
+  EncoderConfig config;
+  config.window = profile.window;
+  config.measurements = profile.measurements;
+  config.d = profile.d;
+  config.seed = profile.seed;
+  config.keyframe_interval = profile.keyframe_interval;
+  config.absolute_bits = profile.absolute_bits;
+  config.on_the_fly_indices = profile.on_the_fly_indices;
+  config.measurement_shift = profile.measurement_shift;
+  return config;
+}
+
+Encoder::Encoder(const StreamProfile& profile)
+    : Encoder(encoder_config_from(profile),
+              checked_profile_codebook(profile)) {
+  profile_ = profile;
+  announce_pending_ = true;
+}
 
 Encoder::Encoder(const EncoderConfig& config,
                  coding::HuffmanCodebook codebook)
@@ -80,6 +110,38 @@ void Encoder::reset() {
   have_previous_ = false;
   force_keyframe_ = false;
   std::fill(previous_y_.begin(), previous_y_.end(), 0);
+  announce_pending_ = profile_.has_value();
+}
+
+void Encoder::set_profile(const StreamProfile& profile) {
+  auto codebook = checked_profile_codebook(profile);
+  config_ = encoder_config_from(profile);
+  sensing_ = SensingMatrix(sensing_config_from(config_));
+  codebook_ = std::move(codebook);
+  current_y_.assign(config_.measurements, 0);
+  previous_y_.assign(config_.measurements, 0);
+  diff_scratch_.assign(config_.measurements, 0);
+  zero_scratch_.assign(config_.measurements, 0);
+  // The difference chain cannot cross a geometry change: the next window
+  // is a keyframe, announced by the profile frame that precedes it.
+  have_previous_ = false;
+  force_keyframe_ = true;
+  packets_since_keyframe_ = 0;
+  profile_ = profile;
+  announce_pending_ = true;
+}
+
+std::optional<Packet> Encoder::take_profile_packet() {
+  if (!announce_pending_ || !profile_.has_value()) {
+    return std::nullopt;
+  }
+  announce_pending_ = false;
+  Packet packet;
+  packet.sequence = sequence_++;
+  packet.kind = PacketKind::kProfile;
+  packet.payload = profile_->serialize();
+  obs::add("encoder.profile.announced");
+  return packet;
 }
 
 Packet Encoder::encode_window(std::span<const std::int16_t> x) {

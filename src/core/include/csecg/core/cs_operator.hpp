@@ -30,6 +30,12 @@ class CsOperator final : public linalg::LinearOperator<T> {
   void apply(std::span<const T> alpha, std::span<T> y) const override;
   void apply_adjoint(std::span<const T> r, std::span<T> alpha) const override;
 
+  /// Re-validates the bound Phi/Psi after their contents were replaced in
+  /// place (stream re-profiling swaps the decoder's sensing matrix and
+  /// wavelet frame under the same addresses) and resizes the scratch to
+  /// the new frame length.
+  void rebind();
+
   linalg::KernelMode mode() const { return mode_; }
 
  private:

@@ -22,6 +22,7 @@
 #include "csecg/core/cs_operator.hpp"
 #include "csecg/core/encoder.hpp"
 #include "csecg/core/packet.hpp"
+#include "csecg/core/stream_profile.hpp"
 #include "csecg/dsp/dwt.hpp"
 #include "csecg/solvers/fista.hpp"
 #include "csecg/solvers/workspace.hpp"
@@ -29,7 +30,11 @@
 namespace csecg::core {
 
 struct DecoderConfig {
-  EncoderConfig cs;              ///< must match the encoder's (esp. seed)
+  /// Must match the encoder's (esp. seed). v1 streams remove the
+  /// out-of-band coupling: construct the Decoder from a StreamProfile
+  /// (or let consume() apply the in-band kProfile frame) and both ends
+  /// derive this from the same wire bytes.
+  EncoderConfig cs;
   std::string wavelet = "db4";   ///< sparsifying basis
   int levels = 5;                ///< decomposition depth
   /// l1 weight as a fraction of ||A^T y||_inf — scale-free across CRs.
@@ -46,6 +51,20 @@ struct DecoderConfig {
   /// weighted-lambda extension, ablated in bench_ablation_wavelet).
   double approx_lambda_weight = 1.0;
 };
+
+/// The decoder-side fields of a stream profile as a DecoderConfig;
+/// solver knobs (lambda, iterations, kernel mode, ...) take their
+/// defaults — they are receiver policy, not part of the wire contract.
+DecoderConfig decoder_config_from(const StreamProfile& profile);
+
+/// The inverse projection: the wire-contract fields of \p config as a
+/// StreamProfile (announceable by an encoder, appliable by a decoder).
+/// nullopt when the config is not representable on the wire — unknown
+/// wavelet name, out-of-range geometry, or a codebook the profile id
+/// space cannot name (callers with trained codebooks stay v0).
+std::optional<StreamProfile> profile_from(
+    const DecoderConfig& config,
+    std::uint8_t codebook_id = StreamProfile::kCodebookDefault);
 
 /// Result of reconstructing one window.
 template <typename T>
@@ -70,11 +89,29 @@ class Decoder {
   /// sequence space. Far larger than any ARQ retransmission window.
   static constexpr std::uint16_t kStaleHorizon = 4096;
 
+  /// How consume() disposed of a frame.
+  enum class FrameOutcome : std::uint8_t {
+    kWindow,          ///< measurements decoded into y
+    kProfileApplied,  ///< in-band profile consumed; no window this frame
+    kRejected,        ///< dropped (stale, gap, corrupt, unresolvable)
+  };
+
   Decoder(const DecoderConfig& config, coding::HuffmanCodebook codebook);
+
+  /// Bootstrap construction with zero out-of-band sharing: geometry,
+  /// wavelet and codebook all come from \p profile (e.g. the payload of a
+  /// received kProfile frame); solver knobs keep their defaults. Throws
+  /// on an unrealisable profile — wire input should go through
+  /// StreamProfile::parse (which validates) or consume() instead.
+  explicit Decoder(const StreamProfile& profile);
 
   const DecoderConfig& config() const { return config_; }
   const SensingMatrix& sensing() const { return sensing_; }
   const dsp::WaveletTransform& transform() const { return transform_; }
+
+  /// The active stream profile: set at construction when representable,
+  /// replaced by every applied kProfile frame.
+  const std::optional<StreamProfile>& profile() const { return profile_; }
 
   /// Entropy-decodes a packet into the integer measurement vector,
   /// updating the inter-packet state. nullopt on corrupt payloads, on a
@@ -90,9 +127,24 @@ class Decoder {
 
   /// As decode_measurements, but reuses \p y's capacity (allocation-free
   /// in steady state). Returns false on any reject; \p y is then
-  /// unspecified and the inter-packet state is unchanged.
+  /// unspecified and the inter-packet state is unchanged. kProfile frames
+  /// are rejected here — route mixed v1 streams through consume().
   bool decode_measurements_into(const Packet& packet,
                                 std::vector<std::int32_t>& y);
+
+  /// Profile-aware frame dispatch: kProfile frames (subject to the same
+  /// stale-sequence protection as data frames) re-profile the decoder in
+  /// place; data frames decode into \p y exactly as
+  /// decode_measurements_into. The one entry point a v1 receiver needs.
+  FrameOutcome consume(const Packet& packet, std::vector<std::int32_t>& y);
+
+  /// Re-profiles the decoder in place: swaps the sensing matrix, wavelet
+  /// frame and codebook, re-binds the cached CsOperators (their scratch
+  /// re-warms once), drops the Lipschitz caches and resets the difference
+  /// chain. A no-op chain re-sync when \p profile equals the active one.
+  /// Returns false (decoder unchanged) when the profile is invalid or
+  /// names an unresolvable codebook.
+  bool apply_profile(const StreamProfile& profile);
 
   /// Full pipeline: measurements + FISTA reconstruction.
   template <typename T>
@@ -118,17 +170,28 @@ class Decoder {
   template <typename T>
   const CsOperator<T>& cs_op() const;
 
+  /// (Re)derives the cached solver options from config_ (weight vector
+  /// included); called at construction and after apply_profile.
+  void rebuild_solver_options();
+
   DecoderConfig config_;
   SensingMatrix sensing_;
   dsp::WaveletTransform transform_;
   coding::HuffmanCodebook codebook_;
   // Operators are shape-invariant across windows; constructing them once
-  // keeps their time-domain scratch out of the per-window path.
+  // keeps their time-domain scratch out of the per-window path. They
+  // point at sensing_/transform_, whose addresses are stable across
+  // apply_profile (contents are move-assigned in place), so a profile
+  // switch only needs rebind(), not reconstruction.
   CsOperator<float> op_f_;
   CsOperator<double> op_d_;
+  std::optional<StreamProfile> profile_;
   std::vector<std::int32_t> previous_y_;
   std::vector<std::int32_t> zero_scratch_;  ///< constant zero reference
   bool have_previous_ = false;
+  /// last_sequence_ is meaningful: set by every accepted frame including
+  /// profile frames (which advance the sequence but carry no window).
+  bool have_sequence_ = false;
   std::uint16_t last_sequence_ = 0;
   // The Lipschitz constant depends only on the operator; cache per
   // precision so repeated windows skip the power iteration. Solver

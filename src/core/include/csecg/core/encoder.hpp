@@ -17,12 +17,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "csecg/coding/huffman.hpp"
 #include "csecg/core/packet.hpp"
 #include "csecg/core/sensing_matrix.hpp"
+#include "csecg/core/stream_profile.hpp"
 
 namespace csecg::core {
 
@@ -68,9 +70,18 @@ void project_window_q15(const linalg::SparseBinaryMatrix& phi,
                         std::span<const std::int16_t> x,
                         std::span<std::int32_t> y);
 
+/// The encoder-side fields of a stream profile as an EncoderConfig.
+EncoderConfig encoder_config_from(const StreamProfile& profile);
+
 class Encoder {
  public:
   Encoder(const EncoderConfig& config, coding::HuffmanCodebook codebook);
+
+  /// Profile-driven construction: geometry and codebook come entirely
+  /// from \p profile (which must be valid() with a resolvable codebook
+  /// id). The profile is marked for announcement, so the caller's first
+  /// take_profile_packet() yields the session-start kProfile frame.
+  explicit Encoder(const StreamProfile& profile);
 
   const EncoderConfig& config() const { return config_; }
   const SensingMatrix& sensing() const { return sensing_; }
@@ -81,6 +92,35 @@ class Encoder {
 
   /// Forces the next packet to be absolute (e.g. after a reported loss).
   void request_keyframe() { force_keyframe_ = true; }
+
+  /// Switches the stream to \p profile mid-session: rebuilds the sensing
+  /// matrix and codebook, resets the difference chain and forces the next
+  /// window to be a keyframe, so the switch lands exactly at a keyframe
+  /// boundary. The sequence number continues — the announcement frame and
+  /// the keyframe extend the same stream. Throws on an unrealisable
+  /// profile (validate with StreamProfile::valid() first for wire input).
+  void set_profile(const StreamProfile& profile);
+
+  /// The active profile; nullopt when constructed from a bare
+  /// EncoderConfig (v0 mode, nothing to announce).
+  const std::optional<StreamProfile>& profile() const { return profile_; }
+
+  /// Marks the active profile for (re-)announcement by the next
+  /// take_profile_packet() (e.g. after the receiver reported state loss)
+  /// and forces a keyframe, so a receiver that applies the re-announced
+  /// profile can re-enter the difference chain immediately.
+  void announce_profile() {
+    if (profile_.has_value()) {
+      announce_pending_ = true;
+      force_keyframe_ = true;
+    }
+  }
+
+  /// The pending kProfile announcement frame, if any. It consumes a
+  /// sequence number, so transmit (and ARQ-track) it like any frame,
+  /// ahead of the window it precedes. Announcements are pull-based so v0
+  /// sessions keep their seed-identical sequence numbering.
+  std::optional<Packet> take_profile_packet();
 
   /// Resets all inter-packet state (new session).
   void reset();
@@ -107,6 +147,8 @@ class Encoder {
   std::size_t packets_since_keyframe_ = 0;
   bool have_previous_ = false;
   bool force_keyframe_ = false;
+  std::optional<StreamProfile> profile_;
+  bool announce_pending_ = false;
 };
 
 }  // namespace csecg::core

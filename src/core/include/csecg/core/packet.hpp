@@ -21,6 +21,13 @@
 /// verifies the trailer and rejects damaged frames outright. The seed
 /// accounted 10 bytes of per-frame link overhead "headers + CRC"; the CRC
 /// half of that budget is now computed for real (see wbsn::LinkConfig).
+///
+/// Kind-byte layout (wire format v1): bits 0-1 carry the packet kind,
+/// bits 2-7 are reserved and must be zero. parse() rejects any set
+/// reserved bit and any unassigned kind value explicitly — a frame from
+/// a newer wire format fails closed (counted per drop reason in obs)
+/// instead of being misparsed as payload. v0 frames (kinds 0 and 1) are
+/// byte-identical under v1.
 
 #include <cstdint>
 #include <optional>
@@ -38,6 +45,7 @@ std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes,
 enum class PacketKind : std::uint8_t {
   kAbsolute = 0,      ///< fixed-width y values (session start / re-sync)
   kDifferential = 1,  ///< Huffman-coded y_t - y_{t-1}
+  kProfile = 2,       ///< serialized core::StreamProfile (session contract)
 };
 
 struct Packet {
@@ -49,6 +57,9 @@ struct Packet {
   static constexpr std::size_t kHeaderBytes = 3;
   /// CRC-16 trailer bytes appended by serialize() and checked by parse().
   static constexpr std::size_t kCrcBytes = 2;
+  /// Bits of the kind byte that carry the kind; the rest are reserved
+  /// and must be zero on the wire.
+  static constexpr std::uint8_t kKindMask = 0x03;
 
   /// b_comp contribution of this packet: header + entropy payload. The
   /// CRC trailer is link-layer framing and is charged with the rest of
@@ -65,7 +76,9 @@ struct Packet {
 
   std::vector<std::uint8_t> serialize() const;
   /// Parses a framed packet. nullopt if the buffer is shorter than
-  /// header + trailer, the kind byte is unknown, or the CRC check fails.
+  /// header + trailer, the CRC check fails, a reserved kind-byte bit is
+  /// set, or the kind value is unassigned. Each reject increments a
+  /// packet.drop.<reason> obs counter.
   static std::optional<Packet> parse(std::span<const std::uint8_t> bytes);
 };
 

@@ -1,0 +1,108 @@
+#ifndef CSECG_CORE_STREAM_PROFILE_HPP
+#define CSECG_CORE_STREAM_PROFILE_HPP
+
+/// \file stream_profile.hpp
+/// The in-band session contract between a mote and its coordinator.
+///
+/// The seed coupled the two ends out-of-band: DecoderConfig.cs had to
+/// "match the encoder's (esp. seed)" with no wire-level check, which
+/// freezes one CR per process and makes heterogeneous or adaptive fleets
+/// impossible. A StreamProfile is the canonical serialized form of
+/// everything the decoder needs to bootstrap a stream — wire version,
+/// window geometry, CR (via M), sensing seed and column density, wavelet
+/// and codebook identifiers, keyframe cadence — carried in-band by a
+/// PacketKind::kProfile frame at session start and at every profile
+/// change (see packet.hpp). v0 streams (no profile frame) keep working:
+/// absolute/differential frames are byte-identical to the seed format.
+///
+/// The serialized form is fixed-layout big-endian (like the packet
+/// header), 22 bytes:
+///
+///   [0]     wire version (1)
+///   [1]     flags: bit 0 = on-the-fly sensing indices; bits 1-7 reserved,
+///           must be zero (parse fails closed on any set reserved bit)
+///   [2..3]  window length N
+///   [4..5]  measurements M
+///   [6]     sensing column density d
+///   [7]     measurement quantisation shift
+///   [8..15] sensing seed
+///   [16..17] keyframe interval (0 = only forced keyframes)
+///   [18]    absolute-packet bits per value
+///   [19]    wavelet id (see wavelet_id_from_name)
+///   [20]    DWT decomposition levels
+///   [21]    codebook id (0 = shipped analytic default book)
+///
+/// parse() validates as well as decodes: a profile that names an unknown
+/// wavelet/codebook, or whose geometry the codec cannot realise, is
+/// rejected outright rather than half-applied.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "csecg/coding/huffman.hpp"
+
+namespace csecg::core {
+
+struct StreamProfile {
+  static constexpr std::uint8_t kWireVersion = 1;
+  static constexpr std::size_t kSerializedBytes = 22;
+  /// The deterministic analytic book shipped with every build
+  /// (default_difference_codebook); the only id resolvable without
+  /// out-of-band distribution.
+  static constexpr std::uint8_t kCodebookDefault = 0;
+
+  std::uint8_t wire_version = kWireVersion;
+  std::size_t window = 512;        ///< N: 2 s at 256 Hz
+  std::size_t measurements = 256;  ///< M: sets the compression ratio
+  std::size_t d = 12;              ///< non-zeros per sensing column
+  std::uint64_t seed = 42;         ///< sensing PRNG seed
+  std::size_t keyframe_interval = 64;
+  unsigned absolute_bits = 20;
+  bool on_the_fly_indices = true;
+  unsigned measurement_shift = 0;
+  std::uint8_t wavelet_id = 3;  ///< db4, the paper's basis
+  int levels = 5;
+  std::uint8_t codebook_id = kCodebookDefault;
+
+  /// Nominal CR in percent: 100 * (1 - M/N).
+  double cr_percent() const;
+
+  /// Canonical 22-byte big-endian form (the kProfile frame payload).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Decodes and validates. nullopt on wrong length, wrong wire version,
+  /// set reserved flag bits, or any invalid_reason() (fail closed).
+  static std::optional<StreamProfile> parse(
+      std::span<const std::uint8_t> bytes);
+
+  /// nullptr when the profile is realisable by the codec; otherwise a
+  /// static string naming the first violated constraint.
+  const char* invalid_reason() const;
+  bool valid() const { return invalid_reason() == nullptr; }
+
+  friend bool operator==(const StreamProfile&, const StreamProfile&) =
+      default;
+};
+
+/// The default operating point (paper geometry: N = 512, d = 12, db4 at
+/// 5 levels, default codebook) at the given CR in percent.
+StreamProfile profile_for_cr(double cr_percent);
+
+/// Byte-sized wavelet registry shared by both ends: 0 = haar,
+/// 1..9 = db2..db10, 10..18 = sym2..sym10. nullopt for names/ids outside
+/// the registry.
+std::optional<std::uint8_t> wavelet_id_from_name(const std::string& name);
+std::optional<std::string> wavelet_name_from_id(std::uint8_t id);
+
+/// Materialises the codebook a profile names. Only kCodebookDefault is
+/// resolvable in-band; unknown ids return nullopt so the caller fails
+/// closed instead of decoding against the wrong book.
+std::optional<coding::HuffmanCodebook> resolve_profile_codebook(
+    std::uint8_t id);
+
+}  // namespace csecg::core
+
+#endif  // CSECG_CORE_STREAM_PROFILE_HPP

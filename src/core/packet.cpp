@@ -1,5 +1,7 @@
 #include "csecg/core/packet.hpp"
 
+#include "csecg/obs/obs.hpp"
+
 namespace csecg::core {
 
 std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes,
@@ -32,16 +34,25 @@ std::vector<std::uint8_t> Packet::serialize() const {
 
 std::optional<Packet> Packet::parse(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kHeaderBytes + kCrcBytes) {
+    obs::add("packet.drop.truncated");
     return std::nullopt;  // truncated header or missing trailer
   }
   const std::size_t body = bytes.size() - kCrcBytes;
   const std::uint16_t stored = static_cast<std::uint16_t>(
       (std::uint16_t{bytes[body]} << 8) | bytes[body + 1]);
   if (crc16_ccitt(bytes.first(body)) != stored) {
+    obs::add("packet.drop.crc");
     return std::nullopt;  // corrupted in flight
   }
-  if (bytes[2] > static_cast<std::uint8_t>(PacketKind::kDifferential)) {
-    return std::nullopt;  // unknown packet kind
+  if ((bytes[2] & static_cast<std::uint8_t>(~kKindMask)) != 0) {
+    // A CRC-clean frame with reserved bits set comes from a newer wire
+    // format this build does not speak: fail closed, never misparse.
+    obs::add("packet.drop.reserved_bits");
+    return std::nullopt;
+  }
+  if (bytes[2] > static_cast<std::uint8_t>(PacketKind::kProfile)) {
+    obs::add("packet.drop.unknown_kind");
+    return std::nullopt;  // unassigned kind value inside the mask
   }
   Packet packet;
   packet.sequence =

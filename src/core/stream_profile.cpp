@@ -1,0 +1,190 @@
+#include "csecg/core/stream_profile.hpp"
+
+#include <cmath>
+
+#include "csecg/core/codebook.hpp"
+#include "csecg/core/encoder.hpp"
+#include "csecg/dsp/wavelet.hpp"
+
+namespace csecg::core {
+
+namespace {
+
+constexpr std::uint8_t kFlagOnTheFlyIndices = 0x01;
+constexpr std::uint8_t kFlagReservedMask =
+    static_cast<std::uint8_t>(~kFlagOnTheFlyIndices);
+
+void put_u16(std::vector<std::uint8_t>& out, std::size_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> bytes,
+                      std::size_t offset) {
+  return static_cast<std::uint16_t>((std::uint16_t{bytes[offset]} << 8) |
+                                    bytes[offset + 1]);
+}
+
+}  // namespace
+
+double StreamProfile::cr_percent() const {
+  if (window == 0) {
+    return 0.0;
+  }
+  return 100.0 * (1.0 - static_cast<double>(measurements) /
+                            static_cast<double>(window));
+}
+
+std::vector<std::uint8_t> StreamProfile::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSerializedBytes);
+  out.push_back(wire_version);
+  out.push_back(on_the_fly_indices ? kFlagOnTheFlyIndices : 0);
+  put_u16(out, window);
+  put_u16(out, measurements);
+  out.push_back(static_cast<std::uint8_t>(d));
+  out.push_back(static_cast<std::uint8_t>(measurement_shift));
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(seed >> shift));
+  }
+  put_u16(out, keyframe_interval);
+  out.push_back(static_cast<std::uint8_t>(absolute_bits));
+  out.push_back(wavelet_id);
+  out.push_back(static_cast<std::uint8_t>(levels));
+  out.push_back(codebook_id);
+  return out;
+}
+
+std::optional<StreamProfile> StreamProfile::parse(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSerializedBytes) {
+    return std::nullopt;
+  }
+  if (bytes[0] != kWireVersion) {
+    return std::nullopt;  // unknown wire version: fail closed
+  }
+  if ((bytes[1] & kFlagReservedMask) != 0) {
+    return std::nullopt;  // reserved flag bit set by a newer sender
+  }
+  StreamProfile profile;
+  profile.wire_version = bytes[0];
+  profile.on_the_fly_indices = (bytes[1] & kFlagOnTheFlyIndices) != 0;
+  profile.window = get_u16(bytes, 2);
+  profile.measurements = get_u16(bytes, 4);
+  profile.d = bytes[6];
+  profile.measurement_shift = bytes[7];
+  profile.seed = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    profile.seed = (profile.seed << 8) | bytes[8 + i];
+  }
+  profile.keyframe_interval = get_u16(bytes, 16);
+  profile.absolute_bits = bytes[18];
+  profile.wavelet_id = bytes[19];
+  profile.levels = bytes[20];
+  profile.codebook_id = bytes[21];
+  if (!profile.valid()) {
+    return std::nullopt;
+  }
+  return profile;
+}
+
+const char* StreamProfile::invalid_reason() const {
+  if (wire_version != kWireVersion) {
+    return "unsupported wire version";
+  }
+  if (window == 0 || window > 0xFFFF) {
+    return "window length out of range";
+  }
+  if (measurements == 0 || measurements > window) {
+    return "measurement count out of range";
+  }
+  if (d == 0 || d > 64 || d > measurements) {
+    return "sensing column density out of range";
+  }
+  if (measurement_shift > 16) {
+    return "measurement shift out of range";
+  }
+  if (keyframe_interval > 0xFFFF) {
+    return "keyframe interval out of range";
+  }
+  if (absolute_bits < 12 || absolute_bits > 32) {
+    return "absolute_bits out of range";
+  }
+  // The scaled worst-case sum 2^10 * N / sqrt(d) must fit the absolute
+  // fixed width (same bound the Encoder constructor enforces).
+  if (static_cast<double>(window) * 1024.0 /
+          std::sqrt(static_cast<double>(d)) >=
+      std::ldexp(1.0, static_cast<int>(absolute_bits) - 1)) {
+    return "absolute_bits too small for worst-case measurement sums";
+  }
+  if (levels < 1 || levels > 10) {
+    return "decomposition levels out of range";
+  }
+  const std::size_t block = std::size_t{1} << levels;
+  if (window % block != 0) {
+    return "window not divisible by 2^levels";
+  }
+  const auto wavelet_name = wavelet_name_from_id(wavelet_id);
+  if (!wavelet_name) {
+    return "unknown wavelet id";
+  }
+  // The coarsest subband must hold at least one full filter (the periodic
+  // DWT wraps once, not repeatedly).
+  if (window / block < dsp::Wavelet::from_name(*wavelet_name).length()) {
+    return "too many levels for this wavelet and window";
+  }
+  if (codebook_id != kCodebookDefault) {
+    return "unknown codebook id";
+  }
+  return nullptr;
+}
+
+StreamProfile profile_for_cr(double cr_percent) {
+  StreamProfile profile;
+  profile.measurements = measurements_for_cr(profile.window, cr_percent);
+  return profile;
+}
+
+std::optional<std::uint8_t> wavelet_id_from_name(const std::string& name) {
+  if (name == "haar") {
+    return std::uint8_t{0};
+  }
+  const bool db = name.size() > 2 && name.compare(0, 2, "db") == 0;
+  const bool sym = name.size() > 3 && name.compare(0, 3, "sym") == 0;
+  if (!db && !sym) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(db ? 2 : 3);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  const int p = std::stoi(digits);
+  if (p < 2 || p > 10) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint8_t>(db ? p - 1 : 8 + p);
+}
+
+std::optional<std::string> wavelet_name_from_id(std::uint8_t id) {
+  if (id == 0) {
+    return std::string("haar");
+  }
+  if (id >= 1 && id <= 9) {
+    return "db" + std::to_string(id + 1);
+  }
+  if (id >= 10 && id <= 18) {
+    return "sym" + std::to_string(id - 8);
+  }
+  return std::nullopt;
+}
+
+std::optional<coding::HuffmanCodebook> resolve_profile_codebook(
+    std::uint8_t id) {
+  if (id != StreamProfile::kCodebookDefault) {
+    return std::nullopt;
+  }
+  return default_difference_codebook();
+}
+
+}  // namespace csecg::core

@@ -1,0 +1,79 @@
+#include "csecg/wbsn/adaptive_cr.hpp"
+
+#include <algorithm>
+
+#include "csecg/obs/obs.hpp"
+#include "csecg/util/error.hpp"
+
+namespace csecg::wbsn {
+
+AdaptiveCrPolicy::AdaptiveCrPolicy(const AdaptiveCrConfig& config)
+    : config_(config), rung_(config.start_rung) {
+  CSECG_CHECK(!config_.ladder.empty(), "adaptive CR needs a ladder");
+  CSECG_CHECK(std::is_sorted(config_.ladder.begin(), config_.ladder.end()),
+              "adaptive CR ladder must be ascending");
+  CSECG_CHECK(config_.start_rung < config_.ladder.size(),
+              "adaptive CR start rung out of range");
+  CSECG_CHECK(config_.epoch_windows > 0,
+              "adaptive CR needs a positive epoch");
+  CSECG_CHECK(config_.raise_threshold >= config_.lower_threshold,
+              "adaptive CR thresholds inverted");
+  CSECG_CHECK(config_.hysteresis_epochs > 0,
+              "adaptive CR needs at least one epoch of hysteresis");
+}
+
+void AdaptiveCrPolicy::on_feedback(const FeedbackMessage& message) {
+  if (message.kind == FeedbackMessage::Kind::kNack) {
+    ++nacks_in_epoch_;
+  }
+}
+
+std::optional<double> AdaptiveCrPolicy::on_window_sent() {
+  if (!config_.enabled) {
+    return std::nullopt;
+  }
+  if (++windows_in_epoch_ < config_.epoch_windows) {
+    return std::nullopt;
+  }
+  const double rate = static_cast<double>(nacks_in_epoch_) /
+                      static_cast<double>(windows_in_epoch_);
+  windows_in_epoch_ = 0;
+  nacks_in_epoch_ = 0;
+  ++stats_.epochs;
+  stats_.last_nack_rate = rate;
+  obs::observe("adaptive_cr.nack_rate", rate);
+
+  if (rate >= config_.raise_threshold) {
+    ++raise_streak_;
+    lower_streak_ = 0;
+  } else if (rate <= config_.lower_threshold) {
+    ++lower_streak_;
+    raise_streak_ = 0;
+  } else {
+    // Dead band: the channel is neither clean enough to spend bits on
+    // fidelity nor lossy enough to retreat further.
+    raise_streak_ = 0;
+    lower_streak_ = 0;
+  }
+
+  if (raise_streak_ >= config_.hysteresis_epochs &&
+      rung_ + 1 < config_.ladder.size()) {
+    raise_streak_ = 0;
+    ++rung_;
+    ++stats_.switches_up;
+    obs::add("adaptive_cr.switches.up");
+    obs::set("adaptive_cr.rung", static_cast<double>(rung_));
+    return config_.ladder[rung_];
+  }
+  if (lower_streak_ >= config_.hysteresis_epochs && rung_ > 0) {
+    lower_streak_ = 0;
+    --rung_;
+    ++stats_.switches_down;
+    obs::add("adaptive_cr.switches.down");
+    obs::set("adaptive_cr.rung", static_cast<double>(rung_));
+    return config_.ladder[rung_];
+  }
+  return std::nullopt;
+}
+
+}  // namespace csecg::wbsn

@@ -12,6 +12,10 @@ Coordinator::Coordinator(const core::DecoderConfig& config,
                          platform::CortexA8Model model)
     : decoder_(config, std::move(codebook)), model_(model) {}
 
+Coordinator::Coordinator(const core::StreamProfile& profile,
+                         platform::CortexA8Model model)
+    : decoder_(profile), model_(model) {}
+
 std::optional<std::vector<float>> Coordinator::process_frame(
     std::span<const std::uint8_t> frame) {
   ++stats_.frames_received;
@@ -21,11 +25,48 @@ std::optional<std::vector<float>> Coordinator::process_frame(
     obs::add("coordinator.frames.rejected");
     return std::nullopt;
   }
+  return decode_data_frame(*packet);
+}
 
-  obs::SpanScope span("window.decode", packet->sequence);
+Coordinator::FrameResult Coordinator::consume_frame(
+    std::span<const std::uint8_t> frame, std::vector<float>& window) {
+  ++stats_.frames_received;
+  const auto packet = core::Packet::parse(frame);
+  if (!packet) {
+    ++stats_.frames_rejected;
+    obs::add("coordinator.frames.rejected");
+    return FrameResult::kRejected;
+  }
+  if (packet->kind == core::PacketKind::kProfile) {
+    if (decoder_.consume(*packet, y_scratch_) !=
+        FrameResult::kProfileApplied) {
+      ++stats_.frames_rejected;
+      obs::add("coordinator.frames.rejected");
+      return FrameResult::kRejected;
+    }
+    ++stats_.profiles_applied;
+    obs::add("coordinator.profiles.applied");
+    if (last_window_.size() != decoder_.config().cs.window) {
+      // The concealment reference is in the old geometry; dropping it
+      // falls back to the honest flat line until the first window lands.
+      last_window_.clear();
+    }
+    return FrameResult::kProfileApplied;
+  }
+  auto decoded = decode_data_frame(*packet);
+  if (!decoded) {
+    return FrameResult::kRejected;
+  }
+  window = std::move(*decoded);
+  return FrameResult::kWindow;
+}
+
+std::optional<std::vector<float>> Coordinator::decode_data_frame(
+    const core::Packet& packet) {
+  obs::SpanScope span("window.decode", packet.sequence);
   linalg::OpCounterScope scope;
   const auto start = std::chrono::steady_clock::now();
-  const auto window = decoder_.decode<float>(*packet);
+  const auto window = decoder_.decode<float>(packet);
   const auto stop = std::chrono::steady_clock::now();
   if (!window) {
     ++stats_.frames_rejected;

@@ -33,6 +33,16 @@ struct FleetCoordinator::NodeState {
     stats.node_id = node_id;
   }
 
+  NodeState(std::uint32_t node_id, const core::StreamProfile& profile,
+            const ArqConfig& arq_config)
+      : id(node_id),
+        decoder(profile),
+        arq(arq_config, /*first_sequence=*/0),
+        latency_hist(&session.registry().histogram(kDecodeSeconds)),
+        last_window(profile.window, 0.0f) {
+    stats.node_id = node_id;
+  }
+
   std::uint32_t id;
   core::Decoder decoder;
   ArqReceiver arq;
@@ -41,6 +51,10 @@ struct FleetCoordinator::NodeState {
   std::deque<std::vector<std::uint8_t>> inbox;
   bool scheduled = false;
   double ticks = 0.0;  ///< frames processed: the node's ARQ clock
+  /// kProfile frames consume wire sequence numbers but carry no window;
+  /// subtracting the running count maps a frame's sequence back to the
+  /// sender's input-window index for the sink. Zero on v0 streams.
+  std::uint16_t profile_slots = 0;
   std::vector<float> last_window;  ///< last good reconstruction
   // Per-node decode scratch, reused every window (allocation-free once
   // warm; the worker's SolverWorkspace holds the solver half).
@@ -86,6 +100,14 @@ std::uint32_t FleetCoordinator::add_node(const core::DecoderConfig& config,
   nodes_.push_back(std::make_unique<NodeState>(id, config,
                                                std::move(codebook),
                                                config_.arq));
+  return id;
+}
+
+std::uint32_t FleetCoordinator::add_node(const core::StreamProfile& profile) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CSECG_CHECK(!closed_, "fleet already finished");
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(std::make_unique<NodeState>(id, profile, config_.arq));
   return id;
 }
 
@@ -179,13 +201,31 @@ void FleetCoordinator::process_one(NodeState& node,
 void FleetCoordinator::handle_event(NodeState& node,
                                     ArqReceiver::Event& event,
                                     solvers::SolverWorkspace& workspace) {
+  const auto slot =
+      static_cast<std::uint16_t>(event.sequence - node.profile_slots);
   if (event.lost) {
-    conceal(node, event.sequence);
+    conceal(node, slot);
     return;
   }
   const auto start = std::chrono::steady_clock::now();
   bool decoded = false;
   if (const auto packet = core::Packet::parse(event.frame)) {
+    if (packet->kind == core::PacketKind::kProfile) {
+      // In-band re-profile: consumes the sequence slot but carries no
+      // window, so neither the sink nor the concealment path fires.
+      ++node.profile_slots;
+      if (node.decoder.consume(*packet, node.y_scratch) ==
+          core::Decoder::FrameOutcome::kProfileApplied) {
+        ++node.stats.profiles_applied;
+        if (node.last_window.size() != node.decoder.config().cs.window) {
+          // The concealment reference is in the old geometry.
+          node.last_window.assign(node.decoder.config().cs.window, 0.0f);
+        }
+      } else {
+        ++node.stats.frames_rejected;
+      }
+      return;
+    }
     if (node.decoder.decode_measurements_into(*packet, node.y_scratch)) {
       obs::SpanScope span("window.decode", packet->sequence);
       node.decoder.reconstruct_into<float>(
@@ -201,7 +241,7 @@ void FleetCoordinator::handle_event(NodeState& node,
     // behind an abandoned gap, waiting for the forced keyframe. Conceal
     // it rather than skip the slot.
     ++node.stats.frames_rejected;
-    conceal(node, event.sequence);
+    conceal(node, slot);
     return;
   }
   const double decode_s =
@@ -222,7 +262,7 @@ void FleetCoordinator::handle_event(NodeState& node,
   if (sink_) {
     FleetWindow window;
     window.node_id = node.id;
-    window.sequence = event.sequence;
+    window.sequence = slot;
     window.concealed = false;
     window.decode_seconds = decode_s;
     window.iterations = node.window_scratch.iterations;
@@ -292,6 +332,7 @@ FleetReport FleetCoordinator::finish() {
     report.frames_rejected += stats.frames_rejected;
     report.windows_reconstructed += stats.windows_reconstructed;
     report.windows_concealed += stats.windows_concealed;
+    report.profiles_applied += stats.profiles_applied;
     report.deadline_misses += stats.deadline_misses;
     report.iterations_total += stats.iterations_total;
     report.decode_seconds_total += stats.decode_seconds_total;

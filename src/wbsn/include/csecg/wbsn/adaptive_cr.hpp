@@ -1,0 +1,81 @@
+#ifndef CSECG_WBSN_ADAPTIVE_CR_HPP
+#define CSECG_WBSN_ADAPTIVE_CR_HPP
+
+/// \file adaptive_cr.hpp
+/// Loss-adaptive compression-ratio control for a v1 stream.
+///
+/// The paper evaluates fixed CRs from 30 to 70 % (Fig 5/6); a deployed
+/// link sits between those extremes and moves. This policy walks a CR
+/// ladder inside the paper's range from ARQ feedback: sustained NACK
+/// pressure raises the CR (fewer bits per window -> less airtime on a
+/// congested or lossy channel), sustained silence lowers it back towards
+/// the fidelity end. Decisions are epoch-based with hysteresis so a
+/// single burst never flaps the profile, and the switch itself is carried
+/// in-band: the caller feeds the decision to Encoder::set_profile, whose
+/// announcement frame plus forced keyframe land the change exactly at a
+/// keyframe boundary.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "csecg/wbsn/arq.hpp"
+
+namespace csecg::wbsn {
+
+struct AdaptiveCrConfig {
+  /// Master switch: off keeps the stream at its constructed CR.
+  bool enabled = false;
+  /// CR operating points, percent, sorted ascending; the paper's
+  /// evaluated range. The policy moves one rung per decision.
+  std::vector<double> ladder = {30.0, 40.0, 50.0, 60.0, 70.0};
+  /// Starting rung index into ladder (2 = CR 50, the paper's reference).
+  std::size_t start_rung = 2;
+  /// Windows per decision epoch.
+  std::size_t epoch_windows = 16;
+  /// NACKs-per-window at or above which an epoch votes to raise the CR.
+  double raise_threshold = 0.25;
+  /// NACKs-per-window at or below which an epoch votes to lower it.
+  double lower_threshold = 0.05;
+  /// Consecutive same-direction epoch votes required before a switch.
+  std::size_t hysteresis_epochs = 2;
+};
+
+struct AdaptiveCrStats {
+  std::size_t epochs = 0;
+  std::size_t switches_up = 0;    ///< towards CR 70 (fewer bits)
+  std::size_t switches_down = 0;  ///< towards CR 30 (more fidelity)
+  double last_nack_rate = 0.0;    ///< NACKs per window, last epoch
+};
+
+class AdaptiveCrPolicy {
+ public:
+  explicit AdaptiveCrPolicy(const AdaptiveCrConfig& config = {});
+
+  bool enabled() const { return config_.enabled; }
+  double current_cr() const { return config_.ladder[rung_]; }
+
+  /// Counts coordinator feedback towards the current epoch.
+  void on_feedback(const FeedbackMessage& message);
+
+  /// Advances the epoch clock by one transmitted window. At an epoch
+  /// boundary the NACK rate is evaluated; once hysteresis is satisfied
+  /// the new CR (percent) is returned exactly once and the caller is
+  /// expected to re-profile the stream.
+  std::optional<double> on_window_sent();
+
+  const AdaptiveCrStats& stats() const { return stats_; }
+
+ private:
+  AdaptiveCrConfig config_;
+  std::size_t rung_;
+  std::size_t windows_in_epoch_ = 0;
+  std::size_t nacks_in_epoch_ = 0;
+  std::size_t raise_streak_ = 0;
+  std::size_t lower_streak_ = 0;
+  AdaptiveCrStats stats_;
+};
+
+}  // namespace csecg::wbsn
+
+#endif  // CSECG_WBSN_ADAPTIVE_CR_HPP

@@ -31,6 +31,7 @@ struct CoordinatorStats {
   std::size_t frames_rejected = 0;  ///< parse/decode failures
   std::size_t windows_reconstructed = 0;
   std::size_t windows_concealed = 0;  ///< synthesised, not reconstructed
+  std::size_t profiles_applied = 0;   ///< in-band kProfile frames consumed
   double modelled_seconds_total = 0.0;  ///< Cortex-A8 model time
   double host_seconds_total = 0.0;      ///< wall clock on this machine
   double iterations_total = 0.0;
@@ -46,9 +47,17 @@ struct CoordinatorStats {
 
 class Coordinator {
  public:
+  using FrameResult = core::Decoder::FrameOutcome;
+
   Coordinator(const core::DecoderConfig& config,
               coding::HuffmanCodebook codebook,
               platform::CortexA8Model model = {});
+
+  /// Profile-driven construction (v1): the decoder bootstraps entirely
+  /// from \p profile — nothing is shared out-of-band. Usually the profile
+  /// parsed from the stream's own announcement frame.
+  explicit Coordinator(const core::StreamProfile& profile,
+                       platform::CortexA8Model model = {});
 
   core::Decoder& decoder() { return decoder_; }
   const platform::CortexA8Model& model() const { return model_; }
@@ -56,8 +65,16 @@ class Coordinator {
   /// Processes one received frame; returns the reconstructed window
   /// (float — the iPhone path) or nullopt on a reject. A successful
   /// reconstruction becomes the reference for later concealment.
+  /// kProfile frames reject here; v1 receivers use consume_frame.
   std::optional<std::vector<float>> process_frame(
       std::span<const std::uint8_t> frame);
+
+  /// Profile-aware variant: kProfile frames re-profile the decoder in
+  /// place (kProfileApplied — \p window untouched, concealment reference
+  /// dropped if the geometry changed); data frames reconstruct into
+  /// \p window (kWindow) exactly as process_frame.
+  FrameResult consume_frame(std::span<const std::uint8_t> frame,
+                            std::vector<float>& window);
 
   /// Synthesises a stand-in for an unrecoverable window by repeating the
   /// last good reconstruction (flat-line zeros if none exists yet).
@@ -79,10 +96,15 @@ class Coordinator {
   void reset_stats() { stats_ = CoordinatorStats{}; }
 
  private:
+  /// Shared decode+account path of process_frame/consume_frame.
+  std::optional<std::vector<float>> decode_data_frame(
+      const core::Packet& packet);
+
   core::Decoder decoder_;
   platform::CortexA8Model model_;
   CoordinatorStats stats_;
   std::vector<float> last_window_;  ///< last good reconstruction
+  std::vector<std::int32_t> y_scratch_;  ///< consume_frame measurement reuse
 };
 
 }  // namespace csecg::wbsn

@@ -65,6 +65,9 @@ struct FleetConfig {
 /// or copy it inside the callback.
 struct FleetWindow {
   std::uint32_t node_id = 0;
+  /// The sender's input-window index: the wire sequence minus the
+  /// kProfile frames seen so far, so sinks can align reconstructions
+  /// with the original stream even on v1 sessions.
   std::uint16_t sequence = 0;
   bool concealed = false;       ///< synthesised stand-in, not a decode
   double decode_seconds = 0.0;  ///< host decode latency (0 if concealed)
@@ -79,6 +82,7 @@ struct FleetNodeStats {
   std::size_t frames_rejected = 0;  ///< CRC-clean but undecodable
   std::size_t windows_reconstructed = 0;
   std::size_t windows_concealed = 0;
+  std::size_t profiles_applied = 0;  ///< in-band kProfile frames consumed
   std::size_t deadline_misses = 0;
   double iterations_total = 0.0;
   double decode_seconds_total = 0.0;
@@ -94,6 +98,7 @@ struct FleetReport {
   std::size_t frames_rejected = 0;
   std::size_t windows_reconstructed = 0;
   std::size_t windows_concealed = 0;
+  std::size_t profiles_applied = 0;
   std::size_t deadline_misses = 0;
   std::size_t queue_high_water = 0;  ///< max frames queued at once
   double iterations_total = 0.0;
@@ -133,6 +138,13 @@ class FleetCoordinator {
   /// be added while the fleet is running.
   std::uint32_t add_node(const core::DecoderConfig& config,
                          coding::HuffmanCodebook codebook);
+
+  /// Registers a v1 sensor node whose decode state bootstraps entirely
+  /// from \p profile (typically parsed from the node's own kProfile
+  /// announcement frame — the gateway needs no out-of-band config). Each
+  /// node carries its own profile, so a fleet mixes CRs freely, and later
+  /// kProfile frames from the node re-profile it mid-stream.
+  std::uint32_t add_node(const core::StreamProfile& profile);
 
   std::size_t node_count() const;
 

@@ -42,9 +42,31 @@ class SensorNode {
              platform::Msp430Model model = {},
              const ArqConfig& arq = {});
 
+  /// Profile-driven construction (v1): geometry and codebook come from
+  /// \p profile and the first take_profile_frame() yields the in-band
+  /// session announcement.
+  explicit SensorNode(const core::StreamProfile& profile,
+                      platform::Msp430Model model = {},
+                      const ArqConfig& arq = {});
+
   core::Encoder& encoder() { return encoder_; }
+  const core::Encoder& encoder() const { return encoder_; }
   ArqTransmitter& arq() { return arq_; }
+  const ArqTransmitter& arq() const { return arq_; }
   const platform::Msp430Model& model() const { return model_; }
+
+  /// Switches the stream to \p profile at the next window (which becomes
+  /// a keyframe); the announcement frame is queued for the next
+  /// take_profile_frame().
+  void set_profile(const core::StreamProfile& profile) {
+    encoder_.set_profile(profile);
+  }
+
+  /// The pending kProfile announcement, already framed and registered
+  /// with the ARQ retransmission buffer — transmit it ahead of the next
+  /// window frame. nullopt when nothing is pending (v0 mode, or already
+  /// taken).
+  std::optional<std::vector<std::uint8_t>> take_profile_frame();
 
   /// Encodes one ADC window and returns the serialised frame to hand to
   /// the link. MSP430 cycle cost is accumulated into stats(); the frame

@@ -27,6 +27,7 @@
 #include "csecg/wbsn/coordinator.hpp"
 #include "csecg/wbsn/link.hpp"
 #include "csecg/wbsn/node.hpp"
+#include "csecg/wbsn/stream_session.hpp"
 
 namespace csecg::wbsn {
 
@@ -40,6 +41,8 @@ struct PipelineConfig {
   /// Retransmission policy; arq.enabled = false reproduces the seed's
   /// fire-and-forget link (lost windows simply never reach the display).
   ArqConfig arq;
+  /// Loss-adaptive CR control (profile-driven pipelines only).
+  AdaptiveCrConfig adaptive;
   /// How unrecoverable windows are painted.
   ConcealmentStrategy concealment = ConcealmentStrategy::kHoldLast;
   /// Optional observability session. When set it is attached to all three
@@ -62,6 +65,8 @@ struct PipelineReport {
   std::size_t windows_corrupt_rejected = 0; ///< CRC failures at the coordinator
   std::size_t retransmissions = 0;
   std::size_t keyframes_forced = 0;         ///< ARQ-demanded re-syncs
+  std::size_t profiles_applied = 0;         ///< in-band kProfile frames consumed
+  AdaptiveCrStats adaptive;                 ///< CR controller outcomes
   std::size_t display_overruns = 0;  ///< decoder output dropped: buffer full
   double wall_seconds = 0.0;
   /// Mean PRD over *clean* (decoded, not concealed) windows that made it
@@ -99,14 +104,22 @@ class RealTimePipeline {
                    coding::HuffmanCodebook codebook,
                    const PipelineConfig& pipeline_config = {});
 
+  /// v1: profile-driven pipeline. The producer announces \p profile
+  /// in-band and the consumer's coordinator bootstraps entirely from the
+  /// received kProfile frame — no config crosses between the threads
+  /// out-of-band. Required for pipeline_config.adaptive.
+  explicit RealTimePipeline(const core::StreamProfile& profile,
+                            const PipelineConfig& pipeline_config = {});
+
   /// Streams every complete window of \p record through the three-thread
   /// pipeline and returns the aggregated report.
   PipelineReport run(const ecg::Record& record);
 
  private:
   core::DecoderConfig config_;
-  coding::HuffmanCodebook codebook_;
+  std::optional<coding::HuffmanCodebook> codebook_;  ///< v0 mode only
   PipelineConfig pipeline_config_;
+  std::optional<core::StreamProfile> profile_;
 };
 
 }  // namespace csecg::wbsn

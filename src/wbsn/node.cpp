@@ -11,10 +11,31 @@ SensorNode::SensorNode(const core::EncoderConfig& config,
                        const ArqConfig& arq)
     : encoder_(config, std::move(codebook)), model_(model), arq_(arq) {}
 
+SensorNode::SensorNode(const core::StreamProfile& profile,
+                       platform::Msp430Model model, const ArqConfig& arq)
+    : encoder_(profile), model_(model), arq_(arq) {}
+
+std::optional<std::vector<std::uint8_t>> SensorNode::take_profile_frame() {
+  auto packet = encoder_.take_profile_packet();
+  if (!packet) {
+    return std::nullopt;
+  }
+  auto frame = packet->serialize();
+  // Announcements ride the same ARQ window as data: a NACKed profile
+  // frame is retransmitted, and losing one permanently would strand the
+  // receiver on stale geometry.
+  arq_.frame_sent(packet->sequence, frame, now());
+  return frame;
+}
+
 std::vector<std::uint8_t> SensorNode::process_window(
     std::span<const std::int16_t> samples) {
   if (arq_.consume_keyframe_request()) {
     encoder_.request_keyframe();
+    // v1 streams also re-announce the profile: an ARQ give-up may have
+    // taken the session's kProfile frame with it, and without the
+    // geometry the receiver can never decode the re-sync keyframe.
+    encoder_.announce_profile();
     ++stats_.keyframes_forced;
   }
 

@@ -29,10 +29,24 @@ RealTimePipeline::RealTimePipeline(const core::DecoderConfig& config,
                                    const PipelineConfig& pipeline_config)
     : config_(config),
       codebook_(std::move(codebook)),
-      pipeline_config_(pipeline_config) {}
+      pipeline_config_(pipeline_config) {
+  CSECG_CHECK(!pipeline_config_.adaptive.enabled,
+              "adaptive CR needs the profile-driven pipeline constructor");
+}
+
+RealTimePipeline::RealTimePipeline(const core::StreamProfile& profile,
+                                   const PipelineConfig& pipeline_config)
+    : pipeline_config_(pipeline_config), profile_(profile) {
+  const char* reason = profile.invalid_reason();
+  CSECG_CHECK(reason == nullptr, reason ? reason : "invalid stream profile");
+  // config_/codebook_ stay at their defaults and are never used on the
+  // consumer side: the coordinator bootstraps from the announcement frame.
+  config_.cs.window = profile.window;
+}
 
 PipelineReport RealTimePipeline::run(const ecg::Record& record) {
-  const std::size_t n = config_.cs.window;
+  const std::size_t n =
+      profile_ ? profile_->window : config_.cs.window;
   CSECG_CHECK(record.samples.size() >= n, "record shorter than one window");
   CSECG_CHECK(record.sample_rate_hz > 0.0, "record needs a sample rate");
 
@@ -43,22 +57,39 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
   const bool interpolate =
       pipeline_config_.concealment == ConcealmentStrategy::kInterpolate;
 
-  SensorNode node(config_.cs, codebook_, {}, pipeline_config_.arq);
-  BluetoothLink link(pipeline_config_.link);
-  Coordinator coordinator(config_, codebook_);
+  // The transmit side: node + link + feedback servicing behind one
+  // object (profile announcements and adaptive CR included when v1).
+  StreamSessionConfig session_config;
+  session_config.link = pipeline_config_.link;
+  session_config.arq = pipeline_config_.arq;
+  session_config.adaptive = pipeline_config_.adaptive;
+  std::optional<StreamSession> stream_storage;
+  if (profile_) {
+    stream_storage.emplace(*profile_, session_config);
+  } else {
+    stream_storage.emplace(config_.cs, *codebook_, session_config);
+  }
+  StreamSession& stream = *stream_storage;
+
+  // v0: the coordinator shares the producer's config out-of-band, as the
+  // paper's fixed deployment does. v1: it stays unconstructed until the
+  // stream's own kProfile frame arrives — the announcement is the only
+  // channel through which geometry, seed, wavelet and codebook travel.
+  std::optional<Coordinator> coordinator_storage;
+  if (!profile_) {
+    coordinator_storage.emplace(config_, *codebook_);
+  }
   ArqReceiver arq_rx(pipeline_config_.arq, /*first_sequence=*/0);
 
   // Frame queue between the node and the coordinator thread. With ARQ the
   // depth doubles as flow control: the producer may run no more than one
   // retransmission window ahead, so NACKs still find the frame buffered.
   // Without ARQ it is sized generously, as in the fire-and-forget seed.
+  // (+1 covers the v1 announcement frame sharing a window's slot.)
   const std::size_t frame_depth =
-      arq_on ? std::max<std::size_t>(pipeline_config_.arq.tx_window, 2)
-             : window_count + 1;
+      arq_on ? std::max<std::size_t>(pipeline_config_.arq.tx_window, 2) + 1
+             : window_count + 2;
   RingBuffer<std::vector<std::uint8_t>> frames(frame_depth);
-  // Coordinator -> node feedback channel (ACK/NACK). Assumed reliable but
-  // lossy-by-overflow: feedback is advisory, drops degrade to concealment.
-  RingBuffer<FeedbackMessage> feedback(256);
   // Display buffer: the paper's 6 seconds of ECG, in whole windows. With
   // ARQ the buffer additionally absorbs recovery bursts — filling a gap
   // releases up to rx_reorder held windows at once.
@@ -88,32 +119,15 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
   // --- Producer: the sensor node (§IV-A) + ARQ retransmit half. ---
   std::thread producer([&] {
     obs::ScopedSession attach(session);
-    const auto service_feedback = [&] {
-      std::vector<FeedbackMessage> messages;
-      while (auto message = feedback.try_pop()) {
-        messages.push_back(*message);
-      }
-      const bool had_feedback = !messages.empty();
-      for (const auto& frame : node.handle_feedback(messages)) {
-        if (const auto delivered = link.transmit(frame)) {
-          frames.push(*delivered);
-          obs::set("ring.frames.occupancy",
-                   static_cast<double>(frames.size()));
-        }
-      }
-      return had_feedback;
+    const auto sink = [&](std::vector<std::uint8_t> frame) {
+      frames.push(std::move(frame));
+      obs::set("ring.frames.occupancy", static_cast<double>(frames.size()));
     };
 
     for (std::size_t w = 0; w < window_count; ++w) {
-      service_feedback();
-      const auto frame = node.process_window(std::span<const std::int16_t>(
-          record.samples.data() + w * n, n));
-      const auto delivered = link.transmit(frame);
-      if (delivered) {
-        frames.push(*delivered);
-        obs::set("ring.frames.occupancy",
-                 static_cast<double>(frames.size()));
-      }
+      stream.send_window(std::span<const std::int16_t>(
+                             record.samples.data() + w * n, n),
+                         sink);
       if (pipeline_config_.pace > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(
             window_period_s * pipeline_config_.pace));
@@ -125,8 +139,8 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
     // here and concealed by the consumer's finish().
     std::size_t quiet_rounds = 0;
     for (std::size_t round = 0;
-         arq_on && !node.arq().idle() && round < 20000; ++round) {
-      if (service_feedback()) {
+         arq_on && !stream.idle() && round < 20000; ++round) {
+      if (stream.service_feedback(sink)) {
         quiet_rounds = 0;
       } else if (frames.size() == 0 && ++quiet_rounds >= 250) {
         break;  // consumer caught up and went silent: only tail losses left
@@ -148,15 +162,28 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
     obs::ScopedSession attach(session);
     std::size_t frames_processed = 0;
     std::size_t emitted = 0;  // slots are emitted contiguously from 0
+    // kProfile frames consume sequence numbers but occupy no display
+    // slot; subtracting the running count maps a data frame's sequence
+    // back to its input-window index. Zero for v0 streams.
+    std::size_t profile_slots = 0;
     // Good window bracketing the current concealment gap (interpolation).
     std::vector<float> previous_good;
     std::vector<std::uint16_t> pending_lost;
+    std::vector<float> decoded_window;
 
-    const auto emit = [&](std::uint16_t sequence, std::vector<float> samples,
+    const auto hold_last = [&]() -> std::vector<float> {
+      if (coordinator_storage) {
+        return coordinator_storage->conceal_hold_last();
+      }
+      // v1 before the announcement arrived: nothing to hold, flat-line.
+      return std::vector<float>(n, 0.0f);
+    };
+
+    const auto emit = [&](std::uint16_t slot, std::vector<float> samples,
                           bool concealed) {
       ++emitted;
       DisplayedWindow window;
-      window.sequence = sequence;
+      window.sequence = slot;
       window.concealed = concealed;
       window.samples = std::move(samples);
       // The decode thread must never block on the display: count an
@@ -170,54 +197,78 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
       }
     };
 
-    const auto conceal = [&](std::uint16_t sequence) {
+    const auto conceal = [&](std::uint16_t slot) {
       if (interpolate) {
-        pending_lost.push_back(sequence);  // wait for the far bracket
+        pending_lost.push_back(slot);  // wait for the far bracket
       } else {
-        emit(sequence, coordinator.conceal_hold_last(), true);
+        emit(slot, hold_last(), true);
       }
     };
 
     const auto handle_events =
         [&](std::vector<ArqReceiver::Event>& events) {
           for (auto& event : events) {
+            const auto slot = static_cast<std::uint16_t>(
+                event.sequence - profile_slots);
             if (event.lost) {
-              conceal(event.sequence);
+              conceal(slot);
               continue;
             }
+            if (!coordinator_storage) {
+              // v1 bootstrap: the first decodable thing in the stream
+              // must be its announcement; build the coordinator from the
+              // frame's own bytes, then fall through so consume_frame
+              // accounts it like any later announcement.
+              const auto packet = core::Packet::parse(event.frame);
+              const auto announced =
+                  packet && packet->kind == core::PacketKind::kProfile
+                      ? core::StreamProfile::parse(packet->payload)
+                      : std::nullopt;
+              if (!announced) {
+                conceal(slot);  // undecodable until the profile arrives
+                continue;
+              }
+              coordinator_storage.emplace(*announced);
+            }
+            Coordinator& coordinator = *coordinator_storage;
             const auto decode_start = std::chrono::steady_clock::now();
-            auto samples = coordinator.process_frame(event.frame);
+            const auto outcome =
+                coordinator.consume_frame(event.frame, decoded_window);
             const double decode_s =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - decode_start)
                     .count();
-            if (samples) {
+            if (outcome == Coordinator::FrameResult::kProfileApplied) {
+              ++profile_slots;
+              continue;  // no display slot: the next data frame realigns
+            }
+            if (outcome == Coordinator::FrameResult::kWindow) {
               decode_latencies.push_back(decode_s);
               const bool missed = deadline ? deadline->observe(decode_s)
                                            : decode_s > window_period_s;
               if (missed) {
                 ++deadline_misses;
               }
-            }
-            if (!samples) {
+            } else {
               // CRC-clean but undecodable: typically a differential frame
               // stranded behind an abandoned gap, waiting for the forced
               // keyframe. Conceal it rather than skip the slot.
-              conceal(event.sequence);
+              conceal(slot);
               continue;
             }
             if (!pending_lost.empty()) {
               const std::size_t gap = pending_lost.size();
               for (std::size_t k = 0; k < gap; ++k) {
                 emit(pending_lost[k],
-                     coordinator.conceal_interpolated(previous_good, *samples,
-                                                      k, gap),
+                     coordinator.conceal_interpolated(previous_good,
+                                                      decoded_window, k, gap),
                      true);
               }
               pending_lost.clear();
             }
-            previous_good = *samples;
-            emit(event.sequence, std::move(*samples), false);
+            previous_good = decoded_window;
+            emit(slot, std::move(decoded_window), false);
+            decoded_window.clear();
           }
         };
 
@@ -238,18 +289,17 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
         out = arq_rx.on_frame(packet->sequence, std::move(*frame), now);
       }
       // Feedback travels before the (slow) reconstruction so NACK latency
-      // is not inflated by FISTA.
-      for (const auto& message : out.feedback) {
-        (void)feedback.try_push(message);
-      }
+      // is not inflated by FISTA. StreamSession::on_feedback is
+      // thread-safe, so it is the feedback channel.
+      stream.on_feedback(std::span<const FeedbackMessage>(out.feedback));
       handle_events(out.events);
     }
     auto out = arq_rx.finish(static_cast<double>(frames_processed));
     handle_events(out.events);
     // Gap still open at end of stream: no far bracket exists, fall back
     // to hold-last for whatever interpolation was waiting on.
-    for (const std::uint16_t sequence : pending_lost) {
-      emit(sequence, coordinator.conceal_hold_last(), true);
+    for (const std::uint16_t slot : pending_lost) {
+      emit(slot, hold_last(), true);
     }
     // Windows whose every frame was lost or CRC-rejected past the last
     // parsed sequence are invisible to the ARQ receiver (it never learned
@@ -258,8 +308,7 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
     // fire-and-forget seed semantics (lost windows simply absent) apply.
     if (arq_on) {
       for (std::size_t s = emitted; s < window_count; ++s) {
-        emit(static_cast<std::uint16_t>(s), coordinator.conceal_hold_last(),
-             true);
+        emit(static_cast<std::uint16_t>(s), hold_last(), true);
       }
     }
     display.close();
@@ -301,23 +350,28 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
   report.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
-  report.node = node.stats();
-  report.coordinator = coordinator.stats();
-  report.link = link.stats();
-  report.arq_tx = node.arq().stats();
+  report.node = stream.node().stats();
+  report.link = stream.link().stats();
+  report.arq_tx = stream.node().arq().stats();
   report.arq_rx = arq_rx.stats();
+  if (coordinator_storage) {
+    report.coordinator = coordinator_storage->stats();
+    report.coordinator_cpu_usage =
+        coordinator_storage->cpu_usage(window_period_s);
+  }
   report.windows_displayed = displayed;
   report.windows_concealed = report.coordinator.windows_concealed;
   report.windows_corrupt_rejected = corrupt_rejected;
   report.retransmissions = report.arq_tx.retransmissions;
   report.keyframes_forced = report.node.keyframes_forced;
+  report.profiles_applied = report.coordinator.profiles_applied;
+  report.adaptive = stream.adaptive_stats();
   report.display_overruns = display_overruns;
   report.mean_prd = scored == 0 ? 0.0
                                 : prd_sum / static_cast<double>(scored);
   report.mean_recovery_latency_s =
       report.arq_rx.mean_recovery_latency_ticks() * window_period_s;
-  report.node_cpu_usage = node.cpu_usage(window_period_s);
-  report.coordinator_cpu_usage = coordinator.cpu_usage(window_period_s);
+  report.node_cpu_usage = stream.node().cpu_usage(window_period_s);
 
   util::RunningStats latency_stats;
   util::PercentileTracker latency_pct;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "csecg/coding/huffman.hpp"
 #include "csecg/core/codebook.hpp"
 #include "csecg/core/encoder.hpp"
@@ -111,6 +113,72 @@ TEST(WireCompatTest, DefaultCodebookIsStableAcrossProcessRuns) {
   EXPECT_LE(len(0), 5u);
   EXPECT_EQ(len(40), len(-40));
   EXPECT_LT(len(0), len(250));
+}
+
+TEST(WireCompatTest, StreamProfileGoldenBytes) {
+  // The default profile's canonical 22-byte form, pinned field by field.
+  // Any layout drift breaks every deployed v1 node/coordinator pair.
+  const core::StreamProfile profile;
+  const auto bytes = profile.serialize();
+  ASSERT_EQ(bytes.size(), core::StreamProfile::kSerializedBytes);
+  const std::uint8_t expected[22] = {
+      0x01,                    // wire version
+      0x01,                    // flags: on_the_fly_indices
+      0x02, 0x00,              // window = 512, big-endian
+      0x01, 0x00,              // measurements = 256
+      0x0C,                    // d = 12
+      0x00,                    // measurement shift
+      0x00, 0x00, 0x00, 0x00,  // seed = 42, big-endian u64
+      0x00, 0x00, 0x00, 0x2A,
+      0x00, 0x40,              // keyframe interval = 64
+      0x14,                    // absolute_bits = 20
+      0x03,                    // wavelet id 3 = db4
+      0x05,                    // decomposition levels
+      0x00,                    // codebook id 0 = shipped difference book
+  };
+  for (std::size_t i = 0; i < 22; ++i) {
+    ASSERT_EQ(bytes[i], expected[i]) << "profile byte " << i;
+  }
+  const auto parsed = core::StreamProfile::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == profile);
+}
+
+TEST(WireCompatTest, ProfileFrameGoldenHeader) {
+  // The session-start announcement as it appears on the wire: sequence 0,
+  // kind byte 2, the 22 profile bytes, CRC-16 trailer.
+  core::Encoder encoder((core::StreamProfile()));
+  const auto packet = encoder.take_profile_packet();
+  ASSERT_TRUE(packet.has_value());
+  const auto frame = packet->serialize();
+  ASSERT_EQ(frame.size(), 3u + 22u + 2u);
+  EXPECT_EQ(frame[0], 0x00);  // sequence 0, high byte first
+  EXPECT_EQ(frame[1], 0x00);
+  EXPECT_EQ(frame[2], 0x02);  // kind = kProfile
+  EXPECT_EQ(frame[3], 0x01);  // payload starts with the wire version
+  const auto parsed = core::Packet::parse(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, core::PacketKind::kProfile);
+}
+
+TEST(WireCompatTest, V0FramesUnchangedByProfileConstruction) {
+  // A v1 encoder that never announces must emit frames byte-identical to
+  // the legacy config-built encoder: the profile machinery cannot perturb
+  // the v0 wire format.
+  const core::StreamProfile profile;
+  core::Encoder v1(profile);
+  core::Encoder v0(core::encoder_config_from(profile),
+                   core::default_difference_codebook());
+  std::vector<std::int16_t> window(profile.window);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    window[i] = static_cast<std::int16_t>(
+        400.0 * std::sin(static_cast<double>(i) * 0.049));
+  }
+  for (int w = 0; w < 3; ++w) {
+    const auto a = v1.encode_window(window).serialize();
+    const auto b = v0.encode_window(window).serialize();
+    ASSERT_EQ(a, b) << "window " << w;
+  }
 }
 
 TEST(WireCompatTest, XoshiroGoldenDeterminism) {

@@ -144,7 +144,7 @@ TEST(WireFuzzTest, PacketParserNeverCrashesOnRandomBytes) {
     }
     const auto packet = Packet::parse(bytes);
     if (packet) {
-      EXPECT_LE(static_cast<int>(packet->kind), 1);
+      EXPECT_LE(static_cast<int>(packet->kind), 2);
     }
   }
 }
@@ -239,6 +239,101 @@ TEST(WireFuzzTest, DecoderSurvivesPathologicalBitPatterns) {
       decoder.reset();  // fresh chain for the next pattern
     }
   }
+}
+
+TEST(WireFuzzTest, ProfileFrameTruncationIsRejected) {
+  // Every truncation (and one-byte extension) of a genuine announcement
+  // must be rejected without crashing or perturbing the decoder.
+  Encoder encoder((StreamProfile()));
+  const auto announcement = encoder.take_profile_packet();
+  ASSERT_TRUE(announcement.has_value());
+  Decoder decoder((StreamProfile()));
+  std::vector<std::int32_t> y;
+  for (std::size_t len = 0; len < announcement->payload.size(); ++len) {
+    Packet cut = *announcement;
+    cut.sequence = 1;  // ahead of the chain, so only the length can fail
+    cut.payload.resize(len);
+    EXPECT_EQ(decoder.consume(cut, y), Decoder::FrameOutcome::kRejected);
+  }
+  Packet padded = *announcement;
+  padded.sequence = 1;
+  padded.payload.push_back(0x00);
+  EXPECT_EQ(decoder.consume(padded, y), Decoder::FrameOutcome::kRejected);
+  // The decoder survived it all: the untouched original still applies.
+  Packet fresh = *announcement;
+  fresh.sequence = 2;
+  EXPECT_EQ(decoder.consume(fresh, y),
+            Decoder::FrameOutcome::kProfileApplied);
+}
+
+TEST(WireFuzzTest, ProfileFrameBitFlipsNeverApplyInvalidProfiles) {
+  Encoder encoder((StreamProfile()));
+  const auto announcement = encoder.take_profile_packet();
+  ASSERT_TRUE(announcement.has_value());
+  Decoder decoder((StreamProfile()));
+  std::vector<std::int32_t> y;
+  util::Rng rng(46);
+  for (int trial = 0; trial < 500; ++trial) {
+    Packet flipped = *announcement;
+    flipped.sequence = static_cast<std::uint16_t>(trial + 1);
+    const std::size_t bit =
+        rng.uniform_index(flipped.payload.size() * 8);
+    flipped.payload[bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    // Must never crash; whatever applies must be a realisable profile.
+    if (decoder.consume(flipped, y) ==
+        Decoder::FrameOutcome::kProfileApplied) {
+      ASSERT_TRUE(decoder.profile().has_value());
+      EXPECT_TRUE(decoder.profile()->valid());
+    }
+  }
+}
+
+TEST(WireFuzzTest, ProfilePayloadAbsurdFieldsFailClosed) {
+  // serialize() happily emits impossible profiles (it is the *parser's*
+  // job to fail closed); every absurd field must bounce off consume().
+  Decoder decoder((StreamProfile()));
+  std::vector<std::int32_t> y;
+  std::uint16_t sequence = 1;
+  const auto apply = [&](const StreamProfile& profile) {
+    Packet packet;
+    packet.sequence = sequence++;
+    packet.kind = PacketKind::kProfile;
+    packet.payload = profile.serialize();
+    return decoder.consume(packet, y);
+  };
+  StreamProfile zero_m;
+  zero_m.measurements = 0;
+  EXPECT_EQ(apply(zero_m), Decoder::FrameOutcome::kRejected);
+  StreamProfile m_over_n;
+  m_over_n.measurements = m_over_n.window + 1;
+  EXPECT_EQ(apply(m_over_n), Decoder::FrameOutcome::kRejected);
+  StreamProfile zero_d;
+  zero_d.d = 0;
+  EXPECT_EQ(apply(zero_d), Decoder::FrameOutcome::kRejected);
+  StreamProfile dense_d;
+  dense_d.d = 200;  // > 64 hard cap
+  EXPECT_EQ(apply(dense_d), Decoder::FrameOutcome::kRejected);
+  StreamProfile deep;
+  deep.levels = 10;  // 512 % 2^10 != 0
+  EXPECT_EQ(apply(deep), Decoder::FrameOutcome::kRejected);
+  StreamProfile narrow;
+  narrow.absolute_bits = 12;  // cannot hold worst-case keyframe sums
+  EXPECT_EQ(apply(narrow), Decoder::FrameOutcome::kRejected);
+  StreamProfile alien_book;
+  alien_book.codebook_id = 7;  // no such registry entry
+  EXPECT_EQ(apply(alien_book), Decoder::FrameOutcome::kRejected);
+  // A wild seed is NOT absurd: every 64-bit value names a real matrix,
+  // and the profile must round-trip into a working codec pair.
+  StreamProfile wild_seed;
+  wild_seed.seed = 0xFFFF'FFFF'FFFF'FFFFull;
+  EXPECT_EQ(apply(wild_seed), Decoder::FrameOutcome::kProfileApplied);
+  Encoder encoder(wild_seed);
+  (void)encoder.take_profile_packet();  // announcement slot
+  std::vector<std::int16_t> window(wild_seed.window, 50);
+  auto data = encoder.encode_window(window);
+  data.sequence = sequence++;  // continue the decoder's chain
+  EXPECT_TRUE(decoder.decode_measurements(data).has_value());
 }
 
 TEST(ResidualFuzzTest, DecodeDifferenceHandlesArbitraryBitstreams) {

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -17,9 +18,12 @@
 #include "csecg/core/codebook.hpp"
 #include "csecg/core/decoder.hpp"
 #include "csecg/core/encoder.hpp"
+#include "csecg/core/stream_profile.hpp"
 #include "csecg/ecg/database.hpp"
+#include "csecg/ecg/metrics.hpp"
 #include "csecg/wbsn/fleet.hpp"
 #include "csecg/wbsn/ring_buffer.hpp"
+#include "csecg/wbsn/stream_session.hpp"
 
 namespace csecg::wbsn {
 namespace {
@@ -309,6 +313,145 @@ TEST(FleetTest, LifecycleChecks) {
   FleetConfig bad = fleet_config;
   bad.workers = 0;
   EXPECT_THROW(FleetCoordinator fleet2(bad), Error);
+}
+
+// ------------------------------------------- v1 heterogeneous profiles --
+
+TEST(FleetTest, HeterogeneousCrProfilesDecodeInOrder) {
+  // Three nodes at the paper's CR extremes and middle, each a full v1
+  // StreamSession: the gateway learns every node's geometry from its
+  // in-band announcement and decodes all three streams per-node in-order
+  // (with FleetWindow.sequence mapped back to input-window indices).
+  const auto db = small_db();
+  const auto& record = db.mote(0);
+  constexpr std::size_t kNodes = 3;
+  constexpr std::size_t kWindows = 5;
+  const double crs[kNodes] = {30.0, 50.0, 70.0};
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 3;
+
+  std::vector<std::atomic<std::uint32_t>> next(kNodes);
+  for (auto& n : next) {
+    n.store(0);
+  }
+  std::atomic<bool> in_order{true};
+  std::atomic<std::size_t> concealed{0};
+  const auto sink = [&](const FleetWindow& window) {
+    concealed += window.concealed;
+    if (window.sequence != next[window.node_id].fetch_add(1)) {
+      in_order = false;
+    }
+  };
+
+  std::vector<std::unique_ptr<StreamSession>> sessions;
+  FleetCoordinator fleet(
+      fleet_config, sink,
+      [&](std::uint32_t node_id, std::span<const FeedbackMessage> messages) {
+        sessions[node_id]->on_feedback(messages);
+      });
+  for (std::size_t node = 0; node < kNodes; ++node) {
+    const core::StreamProfile profile = core::profile_for_cr(crs[node]);
+    sessions.push_back(std::make_unique<StreamSession>(profile));
+    EXPECT_EQ(fleet.add_node(profile), node);
+  }
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    for (std::size_t node = 0; node < kNodes; ++node) {
+      sessions[node]->send_window(
+          std::span<const std::int16_t>(record.samples.data() + w * 512,
+                                        512),
+          [&, node](std::vector<std::uint8_t> frame) {
+            fleet.submit(static_cast<std::uint32_t>(node),
+                         std::move(frame));
+          });
+    }
+  }
+  const FleetReport report = fleet.finish();
+
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(concealed.load(), 0u);
+  EXPECT_EQ(report.profiles_applied, kNodes);
+  EXPECT_EQ(report.windows_reconstructed, kNodes * kWindows);
+  EXPECT_EQ(report.frames_rejected, 0u);
+  for (const auto& stats : report.nodes) {
+    // Announcement + data frames, all accounted.
+    EXPECT_EQ(stats.frames_submitted, kWindows + 1);
+    EXPECT_EQ(stats.windows_reconstructed, kWindows);
+    EXPECT_EQ(stats.profiles_applied, 1u);
+    EXPECT_EQ(next[stats.node_id].load(), kWindows);
+  }
+}
+
+TEST(FleetTest, MidStreamCrSwitchKeepsPrdContinuity) {
+  // A CR 50 -> 30 re-profile halfway through the stream: the in-band
+  // announcement plus forced keyframe must hand the decoder over to the
+  // new geometry with no concealed or garbage windows on either side of
+  // the switch.
+  const auto db = small_db();
+  const auto& record = db.mote(1);
+  constexpr std::size_t kWindows = 8;
+  constexpr std::size_t kSwitchAt = 4;
+
+  std::mutex mutex;
+  std::map<std::uint16_t, double> prd_by_window;
+  std::size_t concealed = 0;
+  const auto sink = [&](const FleetWindow& window) {
+    std::lock_guard<std::mutex> lock(mutex);
+    concealed += window.concealed;
+    ASSERT_EQ(window.samples.size(), 512u);
+    const std::size_t off = static_cast<std::size_t>(window.sequence) * 512;
+    std::vector<double> original(512);
+    std::vector<double> reconstructed(512);
+    for (std::size_t i = 0; i < 512; ++i) {
+      original[i] = static_cast<double>(record.samples[off + i]);
+      reconstructed[i] = static_cast<double>(window.samples[i]);
+    }
+    prd_by_window[window.sequence] = ecg::prd(original, reconstructed);
+  };
+
+  std::unique_ptr<StreamSession> session;
+  FleetConfig fleet_config;
+  fleet_config.workers = 1;
+  FleetCoordinator fleet(
+      fleet_config, sink,
+      [&](std::uint32_t, std::span<const FeedbackMessage> messages) {
+        session->on_feedback(messages);
+      });
+  const core::StreamProfile profile = core::profile_for_cr(50.0);
+  session = std::make_unique<StreamSession>(profile);
+  fleet.add_node(profile);
+
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    if (w == kSwitchAt) {
+      session->set_profile(core::profile_for_cr(30.0));
+    }
+    session->send_window(
+        std::span<const std::int16_t>(record.samples.data() + w * 512, 512),
+        [&](std::vector<std::uint8_t> frame) {
+          fleet.submit(0, std::move(frame));
+        });
+  }
+  const FleetReport report = fleet.finish();
+
+  EXPECT_EQ(concealed, 0u);
+  EXPECT_EQ(report.profiles_applied, 2u);
+  EXPECT_EQ(report.windows_reconstructed, kWindows);
+  ASSERT_EQ(prd_by_window.size(), kWindows);
+  for (const auto& [w, prd] : prd_by_window) {
+    // Every window — before, at and after the switch — reconstructs to
+    // clinical-replay quality, not concealment-grade garbage.
+    EXPECT_LT(prd, 60.0) << "window " << w;
+    EXPECT_GT(prd, 0.0) << "window " << w;
+  }
+  // CR 30 keeps 70 % of the samples' worth of measurements: fidelity
+  // after the switch must be no worse on average than before it.
+  double before = 0.0;
+  double after = 0.0;
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    (w < kSwitchAt ? before : after) +=
+        prd_by_window.at(static_cast<std::uint16_t>(w));
+  }
+  EXPECT_LT(after / (kWindows - kSwitchAt), before / kSwitchAt + 5.0);
 }
 
 // ----------------------------------- ring buffer close()-while-blocked --

@@ -16,6 +16,7 @@
 #include "csecg/wbsn/node.hpp"
 #include "csecg/wbsn/pipeline.hpp"
 #include "csecg/wbsn/ring_buffer.hpp"
+#include "csecg/wbsn/stream_session.hpp"
 
 namespace csecg::wbsn {
 namespace {
@@ -436,6 +437,185 @@ TEST(PipelineTest, ReportsAggregateConsistently) {
   EXPECT_EQ(report.coordinator.windows_reconstructed,
             report.windows_displayed + report.display_overruns);
   EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+// ------------------------------------- v1 stream sessions + adaptive --
+
+TEST(StreamSessionTest, V1SessionBootstrapsDecoderInBand) {
+  // Zero out-of-band configuration: the receiver starts from nothing but
+  // the byte stream, building its Coordinator from the first (kProfile)
+  // frame the session emits.
+  const auto db = small_db();
+  const auto& record = db.mote(0);
+  const core::StreamProfile profile = core::profile_for_cr(50.0);
+  StreamSession session(profile);
+  std::vector<std::vector<std::uint8_t>> frames;
+  const auto sink = [&](std::vector<std::uint8_t> frame) {
+    frames.push_back(std::move(frame));
+  };
+  std::size_t windows = 0;
+  for (std::size_t off = 0; off + 512 <= record.samples.size();
+       off += 512) {
+    session.send_window(
+        std::span<const std::int16_t>(record.samples.data() + off, 512),
+        sink);
+    ++windows;
+  }
+  ASSERT_EQ(frames.size(), windows + 1);  // announcement + data frames
+
+  std::optional<Coordinator> coordinator;
+  std::vector<float> window;
+  std::size_t decoded = 0;
+  for (const auto& frame : frames) {
+    if (!coordinator) {
+      const auto packet = core::Packet::parse(frame);
+      ASSERT_TRUE(packet.has_value());
+      ASSERT_EQ(packet->kind, core::PacketKind::kProfile);
+      const auto announced = core::StreamProfile::parse(packet->payload);
+      ASSERT_TRUE(announced.has_value());
+      EXPECT_TRUE(*announced == profile);
+      coordinator.emplace(*announced);
+    }
+    decoded += coordinator->consume_frame(frame, window) ==
+               Coordinator::FrameResult::kWindow;
+  }
+  EXPECT_EQ(decoded, windows);
+  EXPECT_EQ(coordinator->stats().profiles_applied, 1u);
+  EXPECT_EQ(coordinator->stats().frames_rejected, 0u);
+}
+
+TEST(StreamSessionTest, MidStreamReProfileLandsAtKeyframe) {
+  // A manual CR switch mid-stream: the receiver sees announcement ->
+  // keyframe and every window (old and new geometry) still decodes.
+  const auto db = small_db();
+  const auto& record = db.mote(1);
+  StreamSession session(core::profile_for_cr(50.0));
+  std::vector<std::vector<std::uint8_t>> frames;
+  const auto sink = [&](std::vector<std::uint8_t> frame) {
+    frames.push_back(std::move(frame));
+  };
+  std::size_t windows = 0;
+  for (std::size_t off = 0; off + 512 <= record.samples.size();
+       off += 512) {
+    if (windows == 3) {
+      session.set_profile(core::profile_for_cr(70.0));
+    }
+    session.send_window(
+        std::span<const std::int16_t>(record.samples.data() + off, 512),
+        sink);
+    ++windows;
+  }
+  ASSERT_EQ(frames.size(), windows + 2);  // two announcements
+
+  std::optional<Coordinator> coordinator;
+  std::vector<float> window;
+  std::size_t decoded = 0;
+  bool expect_keyframe = false;
+  for (const auto& frame : frames) {
+    const auto packet = core::Packet::parse(frame);
+    ASSERT_TRUE(packet.has_value());
+    if (!coordinator) {
+      coordinator.emplace(*core::StreamProfile::parse(packet->payload));
+    }
+    if (packet->kind == core::PacketKind::kProfile) {
+      expect_keyframe = true;
+    } else if (expect_keyframe) {
+      // The frame after any announcement must re-sync the chain.
+      EXPECT_EQ(packet->kind, core::PacketKind::kAbsolute);
+      expect_keyframe = false;
+    }
+    decoded += coordinator->consume_frame(frame, window) ==
+               Coordinator::FrameResult::kWindow;
+  }
+  EXPECT_EQ(decoded, windows);
+  EXPECT_EQ(coordinator->stats().profiles_applied, 2u);
+  EXPECT_EQ(coordinator->stats().frames_rejected, 0u);
+  ASSERT_TRUE(session.profile().has_value());
+  EXPECT_EQ(session.profile()->measurements,
+            core::measurements_for_cr(512, 70.0));
+}
+
+TEST(AdaptiveCrTest, DisabledPolicyNeverSwitches) {
+  AdaptiveCrPolicy policy;  // enabled = false
+  for (int i = 0; i < 100; ++i) {
+    policy.on_feedback({FeedbackMessage::Kind::kNack,
+                        static_cast<std::uint16_t>(i)});
+    EXPECT_FALSE(policy.on_window_sent().has_value());
+  }
+  EXPECT_EQ(policy.stats().switches_up, 0u);
+}
+
+TEST(AdaptiveCrTest, NackPressureClimbsLadderWithHysteresis) {
+  AdaptiveCrConfig config;
+  config.enabled = true;
+  config.epoch_windows = 4;
+  config.hysteresis_epochs = 2;
+  AdaptiveCrPolicy policy(config);
+  EXPECT_EQ(policy.current_cr(), 50.0);
+  std::vector<double> switches;
+  for (int w = 0; w < 40; ++w) {
+    // One NACK per window: rate 1.0, far above raise_threshold.
+    policy.on_feedback({FeedbackMessage::Kind::kNack,
+                        static_cast<std::uint16_t>(w)});
+    if (const auto cr = policy.on_window_sent()) {
+      switches.push_back(*cr);
+    }
+  }
+  // Two epochs of pressure per switch, one rung per switch, capped at
+  // the top of the paper's range.
+  ASSERT_EQ(switches.size(), 2u);
+  EXPECT_EQ(switches[0], 60.0);
+  EXPECT_EQ(switches[1], 70.0);
+  EXPECT_EQ(policy.current_cr(), 70.0);
+  EXPECT_EQ(policy.stats().switches_up, 2u);
+  EXPECT_DOUBLE_EQ(policy.stats().last_nack_rate, 1.0);
+}
+
+TEST(AdaptiveCrTest, QuietLinkStepsBackDown) {
+  AdaptiveCrConfig config;
+  config.enabled = true;
+  config.epoch_windows = 4;
+  config.hysteresis_epochs = 2;
+  config.start_rung = 3;  // CR 60
+  AdaptiveCrPolicy policy(config);
+  std::vector<double> switches;
+  for (int w = 0; w < 100; ++w) {  // no feedback at all: rate 0
+    if (const auto cr = policy.on_window_sent()) {
+      switches.push_back(*cr);
+    }
+  }
+  // Walks 60 -> 50 -> 40 -> 30 and stops at the bottom rung.
+  ASSERT_EQ(switches.size(), 3u);
+  EXPECT_EQ(switches[0], 50.0);
+  EXPECT_EQ(switches[2], 30.0);
+  EXPECT_EQ(policy.current_cr(), 30.0);
+  EXPECT_EQ(policy.stats().switches_down, 3u);
+}
+
+TEST(PipelineTest, ProfileDrivenPipelineNeedsNoOutOfBandConfig) {
+  const auto db = small_db();
+  RealTimePipeline pipeline(core::profile_for_cr(50.0));
+  const auto report = pipeline.run(db.mote(0));
+  EXPECT_EQ(report.windows_displayed, report.windows_input);
+  EXPECT_EQ(report.profiles_applied, 1u);
+  EXPECT_EQ(report.coordinator.frames_rejected, 0u);
+  EXPECT_GT(report.mean_prd, 0.0);
+  EXPECT_LT(report.mean_prd, 40.0);
+}
+
+TEST(PipelineTest, ProfileDrivenPipelineSurvivesLossWithArq) {
+  const auto db = small_db();
+  core::StreamProfile profile = core::profile_for_cr(50.0);
+  profile.keyframe_interval = 2;
+  PipelineConfig pipe;
+  pipe.link.loss_rate = 0.3;
+  pipe.link.seed = 5;
+  RealTimePipeline pipeline(profile, pipe);
+  const auto report = pipeline.run(db.mote(1));
+  EXPECT_GT(report.link.frames_lost, 0u);
+  EXPECT_EQ(report.windows_displayed + report.display_overruns,
+            report.windows_input);
+  EXPECT_GE(report.profiles_applied, 1u);
 }
 
 // ---------------------------------------------- sequence wraparound --

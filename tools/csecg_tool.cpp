@@ -13,23 +13,28 @@
 //                       [--keyframe 64] [--conceal hold|interp]
 //                       [--json dump.jsonl]
 //   csecg_tool metrics  --trace dump.jsonl
-//   csecg_tool stream   --in rec.csecg [--loss 0.1] [--burst 4] [--ber 1e-5]
-//                       [--retries 3] [--keyframe 64] [--conceal hold|interp]
-//   csecg_tool fleet    [--nodes 8] [--workers 4] [--seconds 30] [--cr 50]
-//                       [--queue 64] [--loss 0.0] [--burst 1] [--ber 0]
+//   csecg_tool stream   --in rec.csecg [--cr 50] [--adapt 1] [--loss 0.1]
+//                       [--burst 4] [--ber 1e-5] [--retries 3]
+//                       [--keyframe 64] [--conceal hold|interp]
+//   csecg_tool fleet    [--nodes 8] [--workers 4] [--seconds 30]
+//                       [--cr 30,50,70] [--adapt 1] [--queue 64]
+//                       [--loss 0.0] [--burst 1] [--ber 0]
 //                       [--keyframe 64] [--rate 256] [--json dump.jsonl]
 //
 // `encode` trains a codebook on the input record itself (self-contained
 // sessions); `decode` reads everything it needs from the session file.
 // `stream` pushes the record through the real-time WBSN pipeline over a
 // Gilbert–Elliott burst channel with the NACK-driven ARQ and prints the
-// robustness counters. `metrics` has three modes: record-vs-record
-// quality comparison (--a/--b), an instrumented replay that streams a
-// record (loaded or synthesised) through the observed pipeline and prints
-// the telemetry report (optionally dumping it as JSONL with --json), and
-// offline re-rendering of such a dump (--trace). `fleet` multiplexes N
-// synthetic sensor nodes onto the FleetCoordinator's decode worker pool
-// and prints per-node and fleet-wide latency/quality statistics.
+// robustness counters; the session is profile-driven (v1): geometry and
+// CR travel in-band and --adapt 1 turns on loss-adaptive CR. `metrics`
+// has three modes: record-vs-record quality comparison (--a/--b), an
+// instrumented replay that streams a record (loaded or synthesised)
+// through the observed pipeline and prints the telemetry report
+// (optionally dumping it as JSONL with --json), and offline re-rendering
+// of such a dump (--trace). `fleet` multiplexes N synthetic sensor nodes
+// (heterogeneous CRs via a --cr comma list) onto the FleetCoordinator's
+// decode worker pool and prints per-node and fleet-wide latency/quality
+// statistics.
 
 #include <chrono>
 #include <cmath>
@@ -39,7 +44,6 @@
 #include <iostream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,8 +62,8 @@
 #include "csecg/obs/obs.hpp"
 #include "csecg/wbsn/fleet.hpp"
 #include "csecg/wbsn/link.hpp"
-#include "csecg/wbsn/node.hpp"
 #include "csecg/wbsn/pipeline.hpp"
+#include "csecg/wbsn/stream_session.hpp"
 
 namespace {
 
@@ -315,14 +319,18 @@ int cmd_stream(const Args& args) {
     std::fprintf(stderr, "cannot read record\n");
     return 1;
   }
-  core::DecoderConfig config;
-  config.cs.keyframe_interval =
-      static_cast<std::size_t>(get_double(args, "keyframe", 64.0));
+  // v1 session: the CR, keyframe cadence and codec geometry travel as a
+  // StreamProfile announced in-band; the pipeline's coordinator
+  // bootstraps entirely from the received kProfile frame.
+  core::StreamProfile profile =
+      core::profile_for_cr(get_double(args, "cr", 50.0));
+  profile.keyframe_interval =
+      static_cast<std::uint16_t>(get_double(args, "keyframe", 64.0));
 
-  const wbsn::PipelineConfig pipe = parse_pipeline_args(args);
+  wbsn::PipelineConfig pipe = parse_pipeline_args(args);
+  pipe.adaptive.enabled = get_double(args, "adapt", 0.0) != 0.0;
 
-  wbsn::RealTimePipeline pipeline(config, core::default_difference_codebook(),
-                                  pipe);
+  wbsn::RealTimePipeline pipeline(profile, pipe);
   const auto report = pipeline.run(*record);
 
   std::printf("windows input/displayed : %zu / %zu (%zu overruns)\n",
@@ -340,6 +348,13 @@ int cmd_stream(const Args& args) {
               report.arq_rx.windows_recovered,
               report.mean_recovery_latency_s);
   std::printf("windows concealed       : %zu\n", report.windows_concealed);
+  std::printf("profiles applied        : %zu\n", report.profiles_applied);
+  if (pipe.adaptive.enabled) {
+    std::printf("adaptive CR             : %zu up / %zu down switches "
+                "(last NACK rate %.3f)\n",
+                report.adaptive.switches_up, report.adaptive.switches_down,
+                report.adaptive.last_nack_rate);
+  }
   std::printf("mean PRD (clean windows): %.2f %%\n", report.mean_prd);
   std::printf("node/coordinator CPU    : %.2f %% / %.1f %%\n",
               report.node_cpu_usage * 100.0,
@@ -348,9 +363,13 @@ int cmd_stream(const Args& args) {
 }
 
 /// `fleet`: synthesise N sensor-node streams (each with its own heart
-/// rate, ECG seed and lossy link) and push them interleaved through the
-/// FleetCoordinator's decode worker pool. Per-node reconstruction quality
-/// is scored in the sink, which runs on the worker threads.
+/// rate, ECG seed, CR profile and lossy link) and push them interleaved
+/// through the FleetCoordinator's decode worker pool. Each stream is a
+/// v1 StreamSession: the node's profile (including a heterogeneous CR
+/// from the --cr comma list) travels in-band as a kProfile frame, and
+/// --adapt 1 lets each node walk the CR ladder on NACK pressure.
+/// Per-node reconstruction quality is scored in the sink, which runs on
+/// the worker threads.
 int cmd_fleet(const Args& args) {
   const auto node_count =
       static_cast<std::size_t>(get_double(args, "nodes", 8.0));
@@ -358,18 +377,29 @@ int cmd_fleet(const Args& args) {
       static_cast<std::size_t>(get_double(args, "workers", 4.0));
   const double seconds = get_double(args, "seconds", 30.0);
   const double rate = get_double(args, "rate", 256.0);
-  const double cr = get_double(args, "cr", 50.0);
   if (node_count == 0) {
     std::fprintf(stderr, "--nodes must be positive\n");
     return 2;
   }
 
-  core::DecoderConfig config;
-  config.cs.measurements =
-      core::measurements_for_cr(config.cs.window, cr);
-  config.cs.keyframe_interval =
-      static_cast<std::size_t>(get_double(args, "keyframe", 64.0));
-  const std::size_t n = config.cs.window;
+  // --cr accepts a comma list (e.g. 30,50,70): node i runs entry i mod
+  // size, so a mixed-capability fleet needs no per-node flags.
+  std::vector<double> crs;
+  {
+    const auto it = args.find("cr");
+    std::string list = it == args.end() ? "50" : it->second;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = std::min(list.find(',', pos), list.size());
+      crs.push_back(std::stod(list.substr(pos, comma - pos)));
+      pos = comma + 1;
+    }
+  }
+  const auto keyframe_interval =
+      static_cast<std::uint16_t>(get_double(args, "keyframe", 64.0));
+  const bool adapt = get_double(args, "adapt", 0.0) != 0.0;
+
+  const std::size_t n = core::StreamProfile{}.window;
   const double window_period_s = static_cast<double>(n) / rate;
 
   wbsn::FleetConfig fleet_config;
@@ -411,28 +441,26 @@ int cmd_fleet(const Args& args) {
     ++score.scored;
   };
 
-  // ACK/NACK feedback surfaces on worker threads; park it here and let
-  // the submitting thread relay it (submitting from the feedback callback
-  // could deadlock against the fleet's own backpressure).
-  std::mutex feedback_mutex;
-  std::vector<std::vector<wbsn::FeedbackMessage>> pending(node_count);
+  // Each node's transmit side is one StreamSession (encoder + link + ARQ
+  // + announcements). Its on_feedback is thread-safe, so the fleet's
+  // worker-thread feedback callback feeds it directly; the submitting
+  // thread relays retransmissions via service_feedback (submitting from
+  // the callback could deadlock against the fleet's own backpressure).
+  std::vector<std::unique_ptr<wbsn::StreamSession>> sessions;
   const auto feedback = [&](std::uint32_t node_id,
                             std::span<const wbsn::FeedbackMessage> messages) {
-    std::lock_guard<std::mutex> lock(feedback_mutex);
-    auto& queue = pending[node_id];
-    queue.insert(queue.end(), messages.begin(), messages.end());
+    sessions[node_id]->on_feedback(messages);
   };
 
   wbsn::FleetCoordinator fleet(fleet_config, sink, feedback);
 
-  std::vector<std::unique_ptr<wbsn::SensorNode>> senders;
-  std::vector<std::unique_ptr<wbsn::BluetoothLink>> links;
-  senders.reserve(node_count);
-  links.reserve(node_count);
-  wbsn::LinkConfig link_config;
-  link_config.loss_rate = get_double(args, "loss", 0.0);
-  link_config.mean_burst_frames = std::max(1.0, get_double(args, "burst", 1.0));
-  link_config.bit_error_rate = get_double(args, "ber", 0.0);
+  sessions.reserve(node_count);
+  wbsn::StreamSessionConfig session_config;
+  session_config.link.loss_rate = get_double(args, "loss", 0.0);
+  session_config.link.mean_burst_frames =
+      std::max(1.0, get_double(args, "burst", 1.0));
+  session_config.link.bit_error_rate = get_double(args, "ber", 0.0);
+  session_config.adaptive.enabled = adapt;
 
   for (std::size_t node = 0; node < node_count; ++node) {
     ecg::EcgSynConfig gen;
@@ -442,33 +470,23 @@ int cmd_fleet(const Args& args) {
     gen.seed = 1 + static_cast<std::uint64_t>(node);
     originals[node] =
         ecg::AdcModel().quantize(ecg::generate_ecg(gen).samples_mv);
-    senders.push_back(std::make_unique<wbsn::SensorNode>(
-        config.cs, core::default_difference_codebook()));
-    link_config.seed = 100 + static_cast<std::uint64_t>(node);
-    links.push_back(std::make_unique<wbsn::BluetoothLink>(link_config));
-    const std::uint32_t id =
-        fleet.add_node(config, core::default_difference_codebook());
+    core::StreamProfile profile =
+        core::profile_for_cr(crs[node % crs.size()]);
+    profile.keyframe_interval = keyframe_interval;
+    session_config.link.seed = 100 + static_cast<std::uint64_t>(node);
+    sessions.push_back(
+        std::make_unique<wbsn::StreamSession>(profile, session_config));
+    const std::uint32_t id = fleet.add_node(profile);
     if (id != node) {
       std::fprintf(stderr, "unexpected fleet node id\n");
       return 1;
     }
   }
 
-  const auto service_feedback = [&](std::size_t node) {
-    std::vector<wbsn::FeedbackMessage> messages;
-    {
-      std::lock_guard<std::mutex> lock(feedback_mutex);
-      messages.swap(pending[node]);
-    }
-    if (messages.empty()) {
-      return;
-    }
-    for (auto& frame : senders[node]->handle_feedback(messages)) {
-      if (auto delivered = links[node]->transmit(frame)) {
-        fleet.submit(static_cast<std::uint32_t>(node),
-                     std::move(*delivered));
-      }
-    }
+  const auto sink_for = [&](std::size_t node) {
+    return [&fleet, node](std::vector<std::uint8_t> frame) {
+      fleet.submit(static_cast<std::uint32_t>(node), std::move(frame));
+    };
   };
 
   // Interleave the streams window by window — the arrival pattern a
@@ -476,13 +494,9 @@ int cmd_fleet(const Args& args) {
   const std::size_t windows_per_node = originals[0].size() / n;
   for (std::size_t w = 0; w < windows_per_node; ++w) {
     for (std::size_t node = 0; node < node_count; ++node) {
-      service_feedback(node);
-      const auto frame = senders[node]->process_window(
-          std::span<const std::int16_t>(originals[node].data() + w * n, n));
-      if (auto delivered = links[node]->transmit(frame)) {
-        fleet.submit(static_cast<std::uint32_t>(node),
-                     std::move(*delivered));
-      }
+      sessions[node]->send_window(
+          std::span<const std::int16_t>(originals[node].data() + w * n, n),
+          sink_for(node));
     }
   }
   // Bounded ARQ drain: answer NACKs until every transmitter goes idle or
@@ -490,8 +504,8 @@ int cmd_fleet(const Args& args) {
   for (std::size_t round = 0; round < 500; ++round) {
     bool any_pending = false;
     for (std::size_t node = 0; node < node_count; ++node) {
-      service_feedback(node);
-      any_pending = any_pending || !senders[node]->arq().idle();
+      sessions[node]->service_feedback(sink_for(node));
+      any_pending = any_pending || !sessions[node]->idle();
     }
     if (!any_pending) {
       break;
@@ -502,25 +516,31 @@ int cmd_fleet(const Args& args) {
   const auto report = fleet.finish();
 
   std::printf("fleet                   : %zu nodes x %zu workers, "
-              "CR %.0f %%, queue %zu\n",
-              node_count, fleet_config.workers, cr,
-              fleet_config.queue_depth);
-  std::printf("node  windows concealed  p50 ms  p95 ms  p99 ms  mean PRD\n");
+              "queue %zu%s\n",
+              node_count, fleet_config.workers, fleet_config.queue_depth,
+              adapt ? ", adaptive CR" : "");
+  std::printf("node   CR  windows concealed  p50 ms  p95 ms  p99 ms"
+              "  mean PRD\n");
   for (const auto& stats : report.nodes) {
     const auto& score = scores[stats.node_id];
     const double mean_prd =
         score.scored == 0 ? 0.0
                           : score.prd_sum / static_cast<double>(score.scored);
-    std::printf("%4u  %7zu %9zu  %6.2f  %6.2f  %6.2f  %7.2f %%\n",
-                stats.node_id, stats.windows_reconstructed,
-                stats.windows_concealed, stats.latency_p50_s * 1e3,
-                stats.latency_p95_s * 1e3, stats.latency_p99_s * 1e3,
-                mean_prd);
+    std::printf("%4u  %3.0f  %7zu %9zu  %6.2f  %6.2f  %6.2f  %7.2f %%\n",
+                stats.node_id,
+                sessions[stats.node_id]->profile()
+                    ? sessions[stats.node_id]->profile()->cr_percent()
+                    : 0.0,
+                stats.windows_reconstructed, stats.windows_concealed,
+                stats.latency_p50_s * 1e3, stats.latency_p95_s * 1e3,
+                stats.latency_p99_s * 1e3, mean_prd);
   }
   std::printf("windows decoded         : %zu (+%zu concealed, "
               "%zu frames rejected)\n",
               report.windows_reconstructed, report.windows_concealed,
               report.frames_rejected);
+  std::printf("profiles applied        : %zu in-band\n",
+              report.profiles_applied);
   std::printf("decode latency (fleet)  : p50 %.2f ms  p95 %.2f ms  "
               "p99 %.2f ms\n",
               report.latency_p50_s * 1e3, report.latency_p95_s * 1e3,
