@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
   for (const double cr : {30.0, 40.0, 50.0, 60.0, 70.0}) {
     core::DecoderConfig config;
     config.cs.measurements = core::measurements_for_cr(512, cr);
+    // The cycle model needs the counting decorator over the NEON schedule.
+    config.backend = &linalg::counting_simd4_backend();
     core::Encoder encoder(config.cs, bench::codebook());
     core::Decoder decoder(config, bench::codebook());
 

@@ -31,6 +31,7 @@
 #include "csecg/core/decoder.hpp"
 #include "csecg/core/encoder.hpp"
 #include "csecg/core/stream_profile.hpp"
+#include "csecg/linalg/backend.hpp"
 #include "csecg/util/table.hpp"
 #include "csecg/wbsn/fleet.hpp"
 
@@ -176,6 +177,71 @@ int main(int argc, char** argv) {
   json.add_row({"alloc", "1", "1", std::to_string(alloc_windows), "-", "-",
                 "-", "-", "-", util::format_double(allocs_per_window, 3)});
 
+  // ------------------------------------- phase 1a: batched-native allocs --
+  // The same steady-state claim for the batched decode path on the
+  // native wide-SIMD backend: reconstruct_batch_into sweeps 4 windows per
+  // kernel invocation through fista_batch, and after one warm-up batch
+  // the hot path must stay allocation-free too.
+  std::size_t batch_windows = 0;
+  std::size_t batch_allocations = 0;
+  {
+    constexpr std::size_t kBatch = 4;
+    core::DecoderConfig native_config = config;
+    native_config.backend = &linalg::native_backend();
+    core::Encoder encoder(native_config.cs, book);
+    core::Decoder decoder(native_config, book);
+    const std::size_t m = native_config.cs.measurements;
+    const std::size_t batches =
+        std::min<std::size_t>(record_windows / kBatch, 10);
+
+    std::vector<std::vector<std::int32_t>> flat_batches(batches);
+    {
+      std::vector<std::int32_t> y;
+      std::size_t w = 0;
+      for (auto& flat : flat_batches) {
+        flat.reserve(kBatch * m);
+        while (flat.size() < kBatch * m) {
+          const auto packet =
+              encoder.encode_window(std::span<const std::int16_t>(
+                  record.samples.data() + (w++ % record_windows) * n, n));
+          if (decoder.decode_measurements_into(packet, y)) {
+            flat.insert(flat.end(), y.begin(), y.end());
+          }
+        }
+      }
+    }
+
+    solvers::SolverWorkspace workspace;
+    std::vector<core::DecodedWindow<float>> windows(kBatch);
+    const auto run_batch = [&](const std::vector<std::int32_t>& flat) {
+      decoder.reconstruct_batch_into<float>(
+          std::span<const std::int32_t>(flat), kBatch, workspace,
+          std::span<core::DecodedWindow<float>>(windows));
+    };
+    run_batch(flat_batches.front());  // warm-up: sizes all scratch
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_count_allocations.store(true, std::memory_order_relaxed);
+    for (std::size_t i = 1; i < flat_batches.size(); ++i) {
+      run_batch(flat_batches[i]);
+      batch_windows += kBatch;
+    }
+    g_count_allocations.store(false, std::memory_order_relaxed);
+    batch_allocations = g_allocations.load(std::memory_order_relaxed);
+  }
+  const double batch_allocs_per_window =
+      batch_windows == 0 ? -1.0
+                         : static_cast<double>(batch_allocations) /
+                               static_cast<double>(batch_windows);
+  std::cout << "batched native decode allocations: " << batch_allocations
+            << " over " << batch_windows << " windows ("
+            << util::format_double(batch_allocs_per_window, 3)
+            << " per window, batch 4, backend "
+            << linalg::native_backend().name() << ") — "
+            << (batch_allocations == 0 ? "PASS" : "FAIL") << "\n\n";
+  json.add_row({"alloc-batched-native", "1", "1",
+                std::to_string(batch_windows), "-", "-", "-", "-", "-",
+                util::format_double(batch_allocs_per_window, 3)});
+
   // ----------------------------------------- phase 1b: re-profile allocs --
   // A v1 stream that switches CR 50 -> 30 mid-session through the in-band
   // kProfile + keyframe mechanism. The switch itself re-warms operator
@@ -247,8 +313,8 @@ int main(int argc, char** argv) {
   // Pre-encode every node's frame stream, then time submit -> finish for
   // a nodes x workers sweep. The sink verifies per-node in-order
   // delivery as a side effect.
-  util::Table table({"nodes", "workers", "windows", "wall (s)", "windows/s",
-                     "speedup", "p95 (ms)", "queue hw"});
+  util::Table table({"batch", "nodes", "workers", "windows", "wall (s)",
+                     "windows/s", "speedup", "p95 (ms)", "queue hw"});
   table.set_title("Fleet decode scaling (speedup vs 1 worker, same nodes)");
 
   const std::size_t windows_per_node =
@@ -273,7 +339,14 @@ int main(int argc, char** argv) {
   }
 
   bool in_order = true;
-  int exit_code = allocations == 0 && switch_allocations == 0 ? 0 : 1;
+  int exit_code = allocations == 0 && switch_allocations == 0 &&
+                          batch_allocations == 0
+                      ? 0
+                      : 1;
+  // decode_batch 1 is the classic per-frame path; 4 drains whole batches
+  // through fista_batch on the native backend (same results bitwise, one
+  // kernel invocation per batch).
+  for (const std::size_t decode_batch : {std::size_t{1}, std::size_t{4}})
   for (const std::size_t nodes : {std::size_t{1}, std::size_t{4},
                                   std::size_t{8}}) {
     double base_rate = 0.0;
@@ -285,6 +358,10 @@ int main(int argc, char** argv) {
       wbsn::FleetConfig fleet_config;
       fleet_config.workers = workers;
       fleet_config.queue_depth = 64;
+      fleet_config.decode_batch = decode_batch;
+      if (decode_batch > 1) {
+        fleet_config.backend = &linalg::native_backend();
+      }
 
       std::vector<std::atomic<std::uint32_t>> delivered(nodes);
       for (auto& d : delivered) {
@@ -327,15 +404,16 @@ int main(int argc, char** argv) {
         base_rate = rate;
       }
       const double speedup = base_rate <= 0.0 ? 0.0 : rate / base_rate;
-      table.add_row({std::to_string(nodes), std::to_string(workers),
+      table.add_row({std::to_string(decode_batch), std::to_string(nodes),
+                     std::to_string(workers),
                      std::to_string(report.windows_reconstructed),
                      util::format_double(wall, 2),
                      util::format_double(rate, 1),
                      util::format_double(speedup, 2) + "x",
                      util::format_double(report.latency_p95_s * 1e3, 1),
                      std::to_string(report.queue_high_water)});
-      json.add_row({"scaling", std::to_string(nodes),
-                    std::to_string(workers),
+      json.add_row({decode_batch > 1 ? "scaling-batched" : "scaling",
+                    std::to_string(nodes), std::to_string(workers),
                     std::to_string(report.windows_reconstructed),
                     util::format_double(wall, 3),
                     util::format_double(rate, 2),

@@ -1,22 +1,33 @@
-// Micro-benchmarks (google-benchmark) of the §IV-B kernels on the host:
-// scalar versus explicit 4-lane schedules of the primitives the FISTA
-// decoder spends its cycles in. These are host wall-clock numbers (the
-// Cortex-A8 figures come from the cycle model); they document that the
-// lane-blocked code is at worst no slower than the plain loops on a
-// modern superscalar core, and they catch performance regressions.
+// Micro-benchmarks (google-benchmark) of the Backend kernel vocabulary on
+// the host: every schedule — reference loops, the §IV-B scalar-VFP and
+// NEON-4-lane models, and the host-native wide-SIMD backend — across the
+// primitives the FISTA decoder spends its cycles in. Host wall clock only
+// (the Cortex-A8 figures come from the cycle model); the table documents
+// that the lane-blocked schedules are at worst no slower than the plain
+// loops on a modern superscalar core and catches performance regressions.
+//
+// `--json <path>` additionally writes BENCH_kernels.json (the repo's
+// machine-readable artefact convention) from the same runs.
+//
+// Before timing anything, main() asserts the counting story: a plain
+// backend must charge *nothing* to an open OpCounterScope — the hot path
+// of the non-counting backends carries no counter branch at all — while
+// the CountingBackend decorator must charge. A violation fails the bench.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "csecg/dsp/dwt.hpp"
-#include "csecg/linalg/kernels.hpp"
+#include "csecg/linalg/backend.hpp"
 #include "csecg/util/rng.hpp"
 
 namespace {
 
 using namespace csecg;
-using linalg::KernelMode;
 
 std::vector<float> random_vector(std::size_t n, std::uint64_t seed) {
   util::Rng rng(seed);
@@ -27,87 +38,209 @@ std::vector<float> random_vector(std::size_t n, std::uint64_t seed) {
   return v;
 }
 
-KernelMode mode_of(const benchmark::State& state) {
-  return state.range(1) == 0 ? KernelMode::kScalar : KernelMode::kSimd4;
+struct Candidate {
+  const char* label;  // the requested name, even when aliased to reference
+  const linalg::Backend* backend;
+};
+
+std::vector<Candidate> candidates() {
+  return {{"reference", &linalg::reference_backend()},
+          {"scalar", &linalg::scalar_backend()},
+          {"simd4", &linalg::simd4_backend()},
+          {"native", &linalg::native_backend()},
+          {"counting(simd4)", &linalg::counting_simd4_backend()}};
 }
 
-void BM_Dot(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto a = random_vector(n, 1);
-  const auto b = random_vector(n, 2);
-  const auto mode = mode_of(state);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        linalg::kernels::dot(a.data(), b.data(), n, mode));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_Dot)->Args({512, 0})->Args({512, 1})->Args({4096, 0})->Args(
-    {4096, 1});
-
-void BM_Axpy(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto x = random_vector(n, 3);
-  auto y = random_vector(n, 4);
-  const auto mode = mode_of(state);
-  for (auto _ : state) {
-    linalg::kernels::axpy(0.37f, x.data(), y.data(), n, mode);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_Axpy)->Args({512, 0})->Args({512, 1});
-
-void BM_SoftThreshold(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto u = random_vector(n, 5);
-  std::vector<float> y(n);
-  const auto mode = mode_of(state);
-  for (auto _ : state) {
-    linalg::kernels::soft_threshold(u.data(), 0.4f, y.data(), n, mode);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_SoftThreshold)->Args({512, 0})->Args({512, 1});
-
-void BM_DualBandFilter(benchmark::State& state) {
-  const auto count = static_cast<std::size_t>(state.range(0));
+void register_kernels() {
+  constexpr std::size_t kN = 512;
   constexpr std::size_t kTaps = 8;
-  const auto input = random_vector(count + kTaps - 1, 6);
-  const auto h0 = random_vector(kTaps, 7);
-  const auto h1 = random_vector(kTaps, 8);
-  std::vector<float> lo(count);
-  std::vector<float> hi(count);
-  const auto mode = mode_of(state);
-  for (auto _ : state) {
-    linalg::kernels::dual_band_filter(input.data(), h0.data(), h1.data(),
-                                      lo.data(), hi.data(), count, kTaps,
-                                      mode);
-    benchmark::DoNotOptimize(lo.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(count * kTaps * 2));
-}
-BENCHMARK(BM_DualBandFilter)->Args({256, 0})->Args({256, 1});
+  constexpr std::size_t kBatch = 8;
+  for (const auto& c : candidates()) {
+    const linalg::Backend* be = c.backend;
+    const std::string suffix = std::string("/") + c.label;
 
-void BM_WaveletRoundTrip(benchmark::State& state) {
-  const dsp::WaveletTransform wt(dsp::Wavelet::from_name("db4"), 512, 5);
-  const auto x = random_vector(512, 9);
-  std::vector<float> coeffs(512);
-  std::vector<float> back(512);
-  const auto mode = mode_of(state);
-  for (auto _ : state) {
-    wt.forward<float>(x, coeffs, mode);
-    wt.inverse<float>(coeffs, back, mode);
-    benchmark::DoNotOptimize(back.data());
+    benchmark::RegisterBenchmark(
+        ("dot/512" + suffix).c_str(), [be](benchmark::State& state) {
+          const auto a = random_vector(kN, 1);
+          const auto b = random_vector(kN, 2);
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(be->dot(a.data(), b.data(), kN));
+          }
+          state.SetItemsProcessed(
+              static_cast<std::int64_t>(state.iterations()) *
+              static_cast<std::int64_t>(kN));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("axpy/512" + suffix).c_str(), [be](benchmark::State& state) {
+          const auto x = random_vector(kN, 3);
+          auto y = random_vector(kN, 4);
+          for (auto _ : state) {
+            be->axpy(0.37f, x.data(), y.data(), kN);
+            benchmark::DoNotOptimize(y.data());
+          }
+          state.SetItemsProcessed(
+              static_cast<std::int64_t>(state.iterations()) *
+              static_cast<std::int64_t>(kN));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("soft_threshold/512" + suffix).c_str(),
+        [be](benchmark::State& state) {
+          const auto u = random_vector(kN, 5);
+          std::vector<float> y(kN);
+          for (auto _ : state) {
+            be->soft_threshold(u.data(), 0.4f, y.data(), kN);
+            benchmark::DoNotOptimize(y.data());
+          }
+          state.SetItemsProcessed(
+              static_cast<std::int64_t>(state.iterations()) *
+              static_cast<std::int64_t>(kN));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("soft_threshold_batch/8x512" + suffix).c_str(),
+        [be](benchmark::State& state) {
+          const auto u = random_vector(kBatch * kN, 10);
+          const auto t = random_vector(kBatch, 11);
+          std::vector<float> y(kBatch * kN);
+          for (auto _ : state) {
+            be->soft_threshold_batch(u.data(), t.data(), y.data(), kBatch,
+                                     kN);
+            benchmark::DoNotOptimize(y.data());
+          }
+          state.SetItemsProcessed(
+              static_cast<std::int64_t>(state.iterations()) *
+              static_cast<std::int64_t>(kBatch * kN));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("dual_band_filter/256" + suffix).c_str(),
+        [be](benchmark::State& state) {
+          constexpr std::size_t kCount = 256;
+          const auto input = random_vector(kCount + kTaps - 1, 6);
+          const auto h0 = random_vector(kTaps, 7);
+          const auto h1 = random_vector(kTaps, 8);
+          std::vector<float> lo(kCount);
+          std::vector<float> hi(kCount);
+          for (auto _ : state) {
+            be->dual_band_filter(input.data(), h0.data(), h1.data(),
+                                 lo.data(), hi.data(), kCount, kTaps);
+            benchmark::DoNotOptimize(lo.data());
+          }
+          state.SetItemsProcessed(
+              static_cast<std::int64_t>(state.iterations()) *
+              static_cast<std::int64_t>(kCount * kTaps * 2));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("wavelet_round_trip/512" + suffix).c_str(),
+        [be](benchmark::State& state) {
+          const dsp::WaveletTransform wt(dsp::Wavelet::from_name("db4"), 512,
+                                         5);
+          const auto x = random_vector(512, 9);
+          std::vector<float> coeffs(512);
+          std::vector<float> back(512);
+          for (auto _ : state) {
+            wt.forward<float>(x, coeffs, *be);
+            wt.inverse<float>(coeffs, back, *be);
+            benchmark::DoNotOptimize(back.data());
+          }
+        });
   }
 }
-BENCHMARK(BM_WaveletRoundTrip)->Args({0, 0})->Args({0, 1});
+
+/// The structural half of the "counting costs nothing when off" claim:
+/// plain backends never touch the thread-local counter (no branch, no
+/// charge), the decorator always does. Wall-clock deltas on this
+/// container are noise; the absence of counter traffic is checkable
+/// exactly.
+bool verify_counting_contract() {
+  const auto a = random_vector(512, 20);
+  auto y = random_vector(512, 21);
+  for (const auto& c :
+       {Candidate{"reference", &linalg::reference_backend()},
+        Candidate{"scalar", &linalg::scalar_backend()},
+        Candidate{"simd4", &linalg::simd4_backend()},
+        Candidate{"native", &linalg::native_backend()}}) {
+    linalg::OpCounterScope scope;
+    benchmark::DoNotOptimize(c.backend->dot(a.data(), y.data(), 512));
+    c.backend->axpy(0.5f, a.data(), y.data(), 512);
+    c.backend->soft_threshold(a.data(), 0.1f, y.data(), 512);
+    const auto& counts = scope.counts();
+    const auto total = counts.scalar_mac + counts.scalar_op +
+                       counts.vector_mac4 + counts.vector_op4 +
+                       counts.leftover_lane + counts.loads + counts.stores;
+    if (total != 0) {
+      std::fprintf(stderr,
+                   "FAIL: plain backend '%s' charged %llu ops to an open "
+                   "OpCounterScope; the non-counting hot path must be free\n",
+                   c.label, static_cast<unsigned long long>(total));
+      return false;
+    }
+  }
+  linalg::OpCounterScope scope;
+  benchmark::DoNotOptimize(
+      linalg::counting_simd4_backend().dot(a.data(), y.data(), 512));
+  if (scope.counts().vector_mac4 == 0) {
+    std::fprintf(stderr, "FAIL: CountingBackend charged nothing\n");
+    return false;
+  }
+  std::printf(
+      "counting contract OK: plain backends charge 0, decorator charges\n");
+  return true;
+}
+
+/// Console reporter that additionally captures each run into the repo's
+/// JSON artefact convention (BENCH_kernels.json).
+class JsonTeeReporter final : public benchmark::ConsoleReporter {
+ public:
+  JsonTeeReporter()
+      : report_("kernels_micro",
+                {"benchmark", "backend", "ns_per_call", "items_per_s"}) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.report_big_o || run.report_rms) {
+        continue;
+      }
+      const std::string name = run.benchmark_name();
+      const auto slash = name.rfind('/');
+      const std::string backend =
+          slash == std::string::npos ? "" : name.substr(slash + 1);
+      const std::string kernel =
+          slash == std::string::npos ? name : name.substr(0, slash);
+      char ns[64];
+      std::snprintf(ns, sizeof ns, "%.1f", run.GetAdjustedRealTime());
+      char items[64];
+      const auto it = run.counters.find("items_per_second");
+      std::snprintf(items, sizeof items, "%.0f",
+                    it == run.counters.end() ? 0.0 : it->second.value);
+      report_.add_row({kernel, backend, ns, items});
+    }
+  }
+
+  bool write(const std::string& path) const { return report_.write(path); }
+
+ private:
+  bench::JsonReport report_;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = csecg::bench::json_output_path(argc, argv);
+  if (!verify_counting_contract()) {
+    return 1;
+  }
+  register_kernels();
+  benchmark::Initialize(&argc, argv);
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (reporter.write(json_path)) {
+    std::printf("JSON artefact written to %s\n", json_path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,11 +23,11 @@ struct ModeResult {
   double iterations = 0.0;
 };
 
-ModeResult run_mode(linalg::KernelMode mode, std::size_t m) {
+ModeResult run_mode(const linalg::Backend& backend, std::size_t m) {
   const auto& db = bench::corpus();
   core::DecoderConfig config;
   config.cs.measurements = m;
-  config.mode = mode;
+  config.backend = &backend;
   core::Encoder encoder(config.cs, bench::codebook());
   core::Decoder decoder(config, bench::codebook());
   const platform::CortexA8Model a8;
@@ -74,8 +74,8 @@ int main() {
   double speedup_cr50 = 0.0;
   for (const double cr : {30.0, 50.0, 70.0}) {
     const std::size_t m = core::measurements_for_cr(512, cr);
-    const auto scalar = run_mode(linalg::KernelMode::kScalar, m);
-    const auto simd = run_mode(linalg::KernelMode::kSimd4, m);
+    const auto scalar = run_mode(linalg::counting_scalar_backend(), m);
+    const auto simd = run_mode(linalg::counting_simd4_backend(), m);
     table.add_row({util::format_double(cr, 0), "scalar VFP",
                    util::format_double(scalar.a8_seconds_per_packet, 3),
                    util::format_double(scalar.host_seconds_per_packet, 4),

@@ -18,10 +18,10 @@ namespace {
 using namespace csecg;
 
 /// Average per-iteration operation mix at CR 50 for one schedule.
-linalg::OpCounts per_iteration_ops(linalg::KernelMode mode) {
+linalg::OpCounts per_iteration_ops(const linalg::Backend& backend) {
   const auto& db = bench::corpus();
   core::DecoderConfig config;
-  config.mode = mode;
+  config.backend = &backend;
   core::Encoder encoder(config.cs, bench::codebook());
   core::Decoder decoder(config, bench::codebook());
   linalg::OpCounterScope scope;
@@ -61,14 +61,16 @@ int main(int argc, char** argv) {
                          {"schedule", "cycles_per_iteration",
                           "ms_per_iteration", "iterations_in_1s"});
   table.set_title("Real-time iteration budget (paper: 800 -> 2000)");
-  for (const auto mode :
-       {linalg::KernelMode::kScalar, linalg::KernelMode::kSimd4}) {
-    const auto ops = per_iteration_ops(mode);
+  for (const linalg::Backend* backend :
+       {&linalg::counting_scalar_backend(),
+        &linalg::counting_simd4_backend()}) {
+    const auto ops = per_iteration_ops(*backend);
     const double cycles = a8.cycles(ops);
     const double seconds = a8.seconds(ops);
-    const char* schedule = mode == linalg::KernelMode::kScalar
-                               ? "scalar VFP"
-                               : "NEON 4-lane";
+    const char* schedule =
+        backend->counted_schedule() == linalg::KernelMode::kScalar
+            ? "scalar VFP"
+            : "NEON 4-lane";
     table.add_row({schedule, util::format_double(cycles, 0),
                    util::format_double(seconds * 1e3, 3),
                    std::to_string(a8.max_iterations_within(1.0, ops))});

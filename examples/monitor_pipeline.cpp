@@ -5,6 +5,11 @@
 //
 //   $ ./monitor_pipeline [record-index] [loss-rate] [mean-burst-frames]
 //                        [bit-error-rate] [max-retries] [trace.jsonl]
+//                        [--backend reference|scalar|simd4|native]
+//
+// --backend (default native) picks the kernel schedule the coordinator's
+// FISTA reconstruction runs through; the choice is echoed in the
+// coordinator summary.
 //
 // loss-rate/mean-burst-frames parameterise the Gilbert–Elliott burst
 // channel, bit-error-rate flips wire bits (caught by the CRC trailer) and
@@ -15,6 +20,7 @@
 // argument dumps that session as JSONL (replayable with
 // `csecg_tool metrics --trace <file>`).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,6 +30,7 @@
 
 #include "csecg/core/stream_profile.hpp"
 #include "csecg/ecg/database.hpp"
+#include "csecg/linalg/backend.hpp"
 #include "csecg/obs/export.hpp"
 #include "csecg/obs/obs.hpp"
 #include "csecg/wbsn/pipeline.hpp"
@@ -54,6 +61,26 @@ void render_strip(const std::vector<std::int16_t>& samples,
 
 int main(int argc, char** argv) {
   using namespace csecg;
+  // Pull the one --flag pair out first; everything else is positional.
+  const linalg::Backend* backend = &linalg::native_backend();
+  {
+    std::vector<char*> positional(argv, argv + argc);
+    for (std::size_t i = 1; i + 1 < positional.size(); ++i) {
+      if (std::string(positional[i]) == "--backend") {
+        backend = linalg::backend_by_name(positional[i + 1]);
+        if (backend == nullptr) {
+          std::fprintf(stderr,
+                       "--backend must be reference|scalar|simd4|native\n");
+          return 2;
+        }
+        positional.erase(positional.begin() + static_cast<long>(i),
+                         positional.begin() + static_cast<long>(i) + 2);
+        break;
+      }
+    }
+    argc = static_cast<int>(positional.size());
+    std::copy(positional.begin(), positional.end(), argv);
+  }
   const std::size_t record_index =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
   const double loss_rate = argc > 2 ? std::atof(argv[2]) : 0.0;
@@ -83,6 +110,7 @@ int main(int argc, char** argv) {
   pipe.link.mean_burst_frames = std::max(1.0, mean_burst);
   pipe.link.bit_error_rate = bit_error_rate;
   pipe.arq.max_retries = max_retries;
+  pipe.backend = backend;
   obs::Session session;
   pipe.obs = &session;
   wbsn::RealTimePipeline pipeline(profile, pipe);
@@ -114,6 +142,7 @@ int main(int argc, char** argv) {
               report.link.airtime_s, report.link.tx_energy_j);
 
   std::printf("\n--- coordinator (iPhone / Cortex-A8 model) ---\n");
+  std::printf("decode backend       : %s\n", backend->name());
   std::printf("windows reconstructed: %zu (displayed %zu, overruns %zu)\n",
               report.coordinator.windows_reconstructed,
               report.windows_displayed, report.display_overruns);

@@ -7,27 +7,28 @@ namespace csecg::core {
 namespace {
 
 /// The sparse projection is gather/scatter-dominated, which NEON cannot
-/// vectorise; charge it as scalar work in either mode so the cycle model
-/// stays honest.
+/// vectorise; charge it as scalar work in either schedule so the cycle
+/// model stays honest. Skipped entirely on non-counting backends.
 template <typename T>
-void charge_sparse_apply(const SensingMatrix& phi) {
-  if constexpr (std::is_same_v<T, float>) {
-    if (phi.is_sparse()) {
-      linalg::OpCounts c;
-      const auto nnz = static_cast<std::uint64_t>(phi.cols()) *
-                       phi.sparse().nonzeros_per_column();
-      c.scalar_op = nnz + phi.rows();  // adds + final scale
-      c.loads = 2 * nnz;
-      c.stores = nnz;
-      linalg::charge(c);
-    } else {
-      linalg::OpCounts c;
-      const auto elems = static_cast<std::uint64_t>(phi.rows()) *
-                         phi.cols();
-      c.scalar_mac = elems;
-      c.loads = 2 * elems;
-      linalg::charge(c);
-    }
+void charge_sparse_apply(const linalg::Backend& backend,
+                         const SensingMatrix& phi) {
+  if (!backend.counting()) {
+    return;
+  }
+  if (phi.is_sparse()) {
+    linalg::OpCounts c;
+    const auto nnz = static_cast<std::uint64_t>(phi.cols()) *
+                     phi.sparse().nonzeros_per_column();
+    c.scalar_op = nnz + phi.rows();  // adds + final scale
+    c.loads = 2 * nnz;
+    c.stores = nnz;
+    backend.charge(c);
+  } else {
+    linalg::OpCounts c;
+    const auto elems = static_cast<std::uint64_t>(phi.rows()) * phi.cols();
+    c.scalar_mac = elems;
+    c.loads = 2 * elems;
+    backend.charge(c);
   }
 }
 
@@ -36,8 +37,8 @@ void charge_sparse_apply(const SensingMatrix& phi) {
 template <typename T>
 CsOperator<T>::CsOperator(const SensingMatrix& phi,
                           const dsp::WaveletTransform& psi,
-                          linalg::KernelMode mode)
-    : phi_(&phi), psi_(&psi), mode_(mode), scratch_(psi.length()) {
+                          const linalg::Backend& backend)
+    : phi_(&phi), psi_(&psi), backend_(&backend), scratch_(psi.length()) {
   CSECG_CHECK(phi.cols() == psi.length(),
               "sensing matrix width must match the wavelet frame length");
 }
@@ -53,9 +54,9 @@ template <typename T>
 void CsOperator<T>::apply(std::span<const T> alpha, std::span<T> y) const {
   CSECG_CHECK(alpha.size() == cols() && y.size() == rows(),
               "apply: size mismatch");
-  psi_->inverse<T>(alpha, std::span<T>(scratch_), mode_);
+  psi_->inverse<T>(alpha, std::span<T>(scratch_), *backend_);
   phi_->apply(std::span<const T>(scratch_), y);
-  charge_sparse_apply<T>(*phi_);
+  charge_sparse_apply<T>(*backend_, *phi_);
 }
 
 template <typename T>
@@ -64,8 +65,8 @@ void CsOperator<T>::apply_adjoint(std::span<const T> r,
   CSECG_CHECK(r.size() == rows() && alpha.size() == cols(),
               "apply_adjoint: size mismatch");
   phi_->apply_transpose(r, std::span<T>(scratch_));
-  charge_sparse_apply<T>(*phi_);
-  psi_->forward<T>(std::span<const T>(scratch_), alpha, mode_);
+  charge_sparse_apply<T>(*backend_, *phi_);
+  psi_->forward<T>(std::span<const T>(scratch_), alpha, *backend_);
 }
 
 template class CsOperator<float>;

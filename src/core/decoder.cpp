@@ -4,7 +4,6 @@
 #include <type_traits>
 
 #include "csecg/core/residual.hpp"
-#include "csecg/linalg/vector_ops.hpp"
 #include "csecg/obs/obs.hpp"
 #include "csecg/util/error.hpp"
 
@@ -30,6 +29,10 @@ coding::HuffmanCodebook checked_profile_codebook(
   CSECG_CHECK(codebook.has_value(),
               "stream profile names an unresolvable codebook");
   return std::move(*codebook);
+}
+
+const linalg::Backend& resolved_backend(const DecoderConfig& config) {
+  return config.backend ? *config.backend : linalg::default_backend();
 }
 
 }  // namespace
@@ -75,8 +78,8 @@ Decoder::Decoder(const DecoderConfig& config,
       transform_(dsp::Wavelet::from_name(config.wavelet), config.cs.window,
                  config.levels),
       codebook_(std::move(codebook)),
-      op_f_(sensing_, transform_, config.mode),
-      op_d_(sensing_, transform_, config.mode),
+      op_f_(sensing_, transform_, resolved_backend(config)),
+      op_d_(sensing_, transform_, resolved_backend(config)),
       previous_y_(config.cs.measurements, 0),
       zero_scratch_(config.cs.measurements, 0) {
   CSECG_CHECK(codebook_.size() == kDiffAlphabetSize,
@@ -96,7 +99,7 @@ void Decoder::rebuild_solver_options() {
   // lambda and the Lipschitz constant.
   options_.max_iterations = config_.max_iterations;
   options_.tolerance = config_.tolerance;
-  options_.mode = config_.mode;
+  options_.backend = &resolved_backend(config_);
   options_.record_objective = config_.record_objective;
   options_.weights.clear();
   if (config_.approx_lambda_weight != 1.0) {
@@ -107,6 +110,22 @@ void Decoder::rebuild_solver_options() {
           config_.approx_lambda_weight;
     }
   }
+}
+
+const linalg::Backend& Decoder::backend() const {
+  return resolved_backend(config_);
+}
+
+void Decoder::set_backend(const linalg::Backend& backend) {
+  config_.backend = &backend;
+  op_f_.set_backend(backend);
+  op_d_.set_backend(backend);
+  // Backends are numerically interchangeable only up to rounding; drop the
+  // cached Lipschitz constants so they are re-estimated through the new
+  // kernels.
+  lipschitz_f_.reset();
+  lipschitz_d_.reset();
+  rebuild_solver_options();
 }
 
 void Decoder::reset() {
@@ -140,7 +159,7 @@ bool Decoder::apply_profile(const StreamProfile& profile) {
   config.lambda_relative = config_.lambda_relative;
   config.max_iterations = config_.max_iterations;
   config.tolerance = config_.tolerance;
-  config.mode = config_.mode;
+  config.backend = config_.backend;
   config.record_objective = config_.record_objective;
   config.approx_lambda_weight = config_.approx_lambda_weight;
   config_ = config;
@@ -355,7 +374,7 @@ void Decoder::reconstruct_into(std::span<const std::int32_t> y_int,
   aty.resize(n);
   A.apply_adjoint(std::span<const T>(y), std::span<T>(aty));
   const double aty_inf =
-      static_cast<double>(linalg::norm_inf(std::span<const T>(aty)));
+      static_cast<double>(A.backend().norm_inf(aty.data(), aty.size()));
 
   options_.lambda = config_.lambda_relative * aty_inf;
 
@@ -384,7 +403,84 @@ void Decoder::reconstruct_into(std::span<const std::int32_t> y_int,
   {
     obs::SpanScope idwt_span("idwt");
     transform_.inverse<T>(std::span<const T>(solve->solution),
-                          std::span<T>(out.samples), config_.mode);
+                          std::span<T>(out.samples), A.backend());
+  }
+}
+
+template <typename T>
+void Decoder::reconstruct_batch_into(std::span<const std::int32_t> y_int_flat,
+                                     std::size_t batch,
+                                     solvers::SolverWorkspace& workspace,
+                                     std::span<DecodedWindow<T>> out) const {
+  const std::size_t m = config_.cs.measurements;
+  const std::size_t n = config_.cs.window;
+  CSECG_CHECK(y_int_flat.size() == batch * m,
+              "batched measurement length mismatch");
+  CSECG_CHECK(out.size() == batch, "batched output span length mismatch");
+  if (batch == 0) {
+    return;
+  }
+  // The batch solver covers the uniform-penalty fleet configuration; the
+  // weighted-lambda and objective-recording variants (and trivial batches)
+  // take the sequential path, which supports everything.
+  if (batch == 1 || !options_.weights.empty() || config_.record_objective) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      reconstruct_into<T>(y_int_flat.subspan(b * m, m), workspace, out[b]);
+    }
+    return;
+  }
+
+  auto& ws = workspace.buffers<T>();
+  const CsOperator<T>& A = cs_op<T>();
+  const linalg::Backend& be = A.backend();
+
+  const double requantize =
+      std::ldexp(1.0, static_cast<int>(config_.cs.measurement_shift));
+  std::vector<T>& y = ws.batch_y;
+  y.resize(batch * m);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<T>(static_cast<double>(y_int_flat[i]) * requantize);
+  }
+
+  // Per-window lambda: lambda_rel * ||A^T y_b||_inf, same rule as the
+  // sequential path (aux_n is reused row by row as adjoint scratch).
+  std::vector<T>& aty = ws.aux_n;
+  aty.resize(n);
+  ws.batch_lambdas.resize(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    A.apply_adjoint(std::span<const T>(y.data() + b * m, m),
+                    std::span<T>(aty));
+    ws.batch_lambdas[b] =
+        config_.lambda_relative *
+        static_cast<double>(be.norm_inf(aty.data(), aty.size()));
+  }
+
+  auto& cache = std::is_same_v<T, float> ? lipschitz_f_ : lipschitz_d_;
+  if (!cache) {
+    cache = 2.0 * linalg::estimate_spectral_norm_squared(A);
+  }
+  options_.lipschitz = cache;
+
+  std::span<solvers::ShrinkageResult<T>> solves;
+  {
+    obs::SpanScope fista_span("fista");
+    fista_span.attribute("batch", static_cast<double>(batch));
+    fista_span.attribute("measurements", static_cast<double>(m));
+    solves = solvers::fista_batch<T>(
+        A, std::span<const T>(y),
+        std::span<const double>(ws.batch_lambdas), options_, workspace);
+  }
+
+  obs::SpanScope idwt_span("idwt");
+  for (std::size_t b = 0; b < batch; ++b) {
+    const solvers::ShrinkageResult<T>& solve = solves[b];
+    out[b].iterations = solve.iterations;
+    out[b].converged = solve.converged;
+    out[b].residual_norm = solve.final_residual_norm;
+    out[b].objective_trace.clear();
+    out[b].samples.resize(n);
+    transform_.inverse<T>(std::span<const T>(solve.solution),
+                          std::span<T>(out[b].samples), be);
   }
 }
 
@@ -402,5 +498,11 @@ template void Decoder::reconstruct_into<float>(
 template void Decoder::reconstruct_into<double>(
     std::span<const std::int32_t>, solvers::SolverWorkspace&,
     DecodedWindow<double>&) const;
+template void Decoder::reconstruct_batch_into<float>(
+    std::span<const std::int32_t>, std::size_t, solvers::SolverWorkspace&,
+    std::span<DecodedWindow<float>>) const;
+template void Decoder::reconstruct_batch_into<double>(
+    std::span<const std::int32_t>, std::size_t, solvers::SolverWorkspace&,
+    std::span<DecodedWindow<double>>) const;
 
 }  // namespace csecg::core

@@ -13,6 +13,7 @@
 
 #include "csecg/core/sensing_matrix.hpp"
 #include "csecg/dsp/dwt.hpp"
+#include "csecg/linalg/backend.hpp"
 #include "csecg/linalg/linear_operator.hpp"
 
 namespace csecg::core {
@@ -20,9 +21,10 @@ namespace csecg::core {
 template <typename T>
 class CsOperator final : public linalg::LinearOperator<T> {
  public:
-  /// Both references must outlive the operator.
+  /// All three references must outlive the operator (the shared backend
+  /// singletons always do).
   CsOperator(const SensingMatrix& phi, const dsp::WaveletTransform& psi,
-             linalg::KernelMode mode = linalg::KernelMode::kSimd4);
+             const linalg::Backend& backend = linalg::default_backend());
 
   std::size_t rows() const override { return phi_->rows(); }
   std::size_t cols() const override { return phi_->cols(); }
@@ -36,12 +38,15 @@ class CsOperator final : public linalg::LinearOperator<T> {
   /// the new frame length.
   void rebind();
 
-  linalg::KernelMode mode() const { return mode_; }
+  const linalg::Backend& backend() const { return *backend_; }
+  /// Swaps the kernel backend the wavelet legs run through (the sparse
+  /// projection is gather/scatter and backend-independent).
+  void set_backend(const linalg::Backend& backend) { backend_ = &backend; }
 
  private:
   const SensingMatrix* phi_;
   const dsp::WaveletTransform* psi_;
-  linalg::KernelMode mode_;
+  const linalg::Backend* backend_;
   mutable std::vector<T> scratch_;  // time-domain intermediate
 };
 

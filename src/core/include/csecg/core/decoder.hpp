@@ -10,8 +10,9 @@
 ///
 /// The precision template parameter is the Fig 6 experiment: T = double is
 /// the "Matlab (64bit)" reference, T = float the "iPhone (32bit)" path.
-/// The float path additionally honours the §IV-B kernel mode so the cycle
-/// model can price the scalar-VFP versus vectorised-NEON schedules.
+/// Both precisions run through the configured linalg::Backend; composing a
+/// CountingBackend lets the cycle model price the scalar-VFP versus
+/// vectorised-NEON schedules (§IV-B).
 
 #include <cstdint>
 #include <optional>
@@ -43,7 +44,11 @@ struct DecoderConfig {
   double lambda_relative = 0.01;
   std::size_t max_iterations = 2000;
   double tolerance = 1e-5;
-  linalg::KernelMode mode = linalg::KernelMode::kSimd4;
+  /// Kernel backend the decode runs through (operators, solver and
+  /// inverse DWT alike). Null = the library default (the simd4 NEON
+  /// schedule model). Must outlive the decoder; the shared singletons
+  /// from linalg/backend.hpp always do.
+  const linalg::Backend* backend = nullptr;
   bool record_objective = false;
   /// l1 weight applied to the wavelet approximation band relative to the
   /// detail bands. 1.0 reproduces the paper's uniform penalty; values
@@ -109,6 +114,17 @@ class Decoder {
   const SensingMatrix& sensing() const { return sensing_; }
   const dsp::WaveletTransform& transform() const { return transform_; }
 
+  /// The kernel backend decodes run through (config_.backend resolved
+  /// against the library default).
+  const linalg::Backend& backend() const;
+
+  /// Re-routes all subsequent decodes through \p backend (e.g. a
+  /// CountingBackend for cycle-model pricing, or the native backend for
+  /// host-speed decoding). Receiver policy — survives apply_profile.
+  /// Drops the cached Lipschitz constants, so call it before decoding
+  /// starts, not per window. \p backend must outlive the decoder.
+  void set_backend(const linalg::Backend& backend);
+
   /// The active stream profile: set at construction when representable,
   /// replaced by every applied kProfile frame.
   const std::optional<StreamProfile>& profile() const { return profile_; }
@@ -162,6 +178,21 @@ class Decoder {
   void reconstruct_into(std::span<const std::int32_t> y_int,
                         solvers::SolverWorkspace& workspace,
                         DecodedWindow<T>& out) const;
+
+  /// Batched reconstruction: \p y_int_flat packs \p batch integer
+  /// measurement rows back to back (batch * measurements elements) that
+  /// were produced under the same profile, and out[b] receives window b.
+  /// Windows run lock-step through fista_batch, so one kernel invocation
+  /// sweeps the whole batch — each window's result is bitwise identical
+  /// to a reconstruct_into call. Falls back to the sequential loop for
+  /// batch <= 1 and for configurations the batch solver excludes
+  /// (per-coefficient weights, objective recording). Allocation-free in
+  /// steady state for a fixed batch shape.
+  template <typename T>
+  void reconstruct_batch_into(std::span<const std::int32_t> y_int_flat,
+                              std::size_t batch,
+                              solvers::SolverWorkspace& workspace,
+                              std::span<DecodedWindow<T>> out) const;
 
   /// Resets inter-packet state (new session).
   void reset();

@@ -19,38 +19,6 @@ void periodic_extend(std::span<const T> s, std::size_t taps,
   }
 }
 
-/// Reference analysis loop (double path, or float path in scalar mode when
-/// instrumentation routing is not needed).
-template <typename T>
-void analysis_plain(const T* ext, const T* h, const T* g, T* out_a, T* out_d,
-                    std::size_t half_n, std::size_t taps) {
-  for (std::size_t i = 0; i < half_n; ++i) {
-    const T* s = ext + 2 * i;
-    T a{};
-    T d{};
-    for (std::size_t j = 0; j < taps; ++j) {
-      a += s[j] * h[j];
-      d += s[j] * g[j];
-    }
-    out_a[i] = a;
-    out_d[i] = d;
-  }
-}
-
-template <typename T>
-void synthesis_plain(const T* approx, const T* detail, const T* h,
-                     const T* g, T* x_ext, std::size_t half_n,
-                     std::size_t taps) {
-  for (std::size_t i = 0; i < half_n; ++i) {
-    const T a = approx[i];
-    const T d = detail[i];
-    T* x = x_ext + 2 * i;
-    for (std::size_t j = 0; j < taps; ++j) {
-      x[j] += a * h[j] + d * g[j];
-    }
-  }
-}
-
 }  // namespace
 
 WaveletTransform::WaveletTransform(Wavelet wavelet, std::size_t length,
@@ -86,7 +54,7 @@ SubbandLayout WaveletTransform::layout() const {
 
 template <typename T>
 void WaveletTransform::forward(std::span<const T> x, std::span<T> coeffs,
-                               linalg::KernelMode mode) const {
+                               const linalg::Backend& backend) const {
   CSECG_CHECK(x.size() == length_ && coeffs.size() == length_,
               "forward: size mismatch");
   const std::size_t taps = wavelet_.length();
@@ -117,13 +85,8 @@ void WaveletTransform::forward(std::span<const T> x, std::span<T> coeffs,
     // current approximation: its detail half goes to [half, n), and the
     // coarser content keeps refining [0, half).
     T* detail_out = coeffs.data() + half;
-    if constexpr (std::is_same_v<T, float>) {
-      linalg::kernels::dual_band_analysis(ext.data(), h, g, next.data(),
-                                          detail_out, half, taps, mode);
-    } else {
-      (void)mode;
-      analysis_plain(ext.data(), h, g, next.data(), detail_out, half, taps);
-    }
+    backend.dual_band_analysis(ext.data(), h, g, next.data(), detail_out,
+                               half, taps);
     approx.swap(next);
     n = half;
   }
@@ -134,7 +97,7 @@ void WaveletTransform::forward(std::span<const T> x, std::span<T> coeffs,
 
 template <typename T>
 void WaveletTransform::inverse(std::span<const T> coeffs, std::span<T> x,
-                               linalg::KernelMode mode) const {
+                               const linalg::Backend& backend) const {
   CSECG_CHECK(coeffs.size() == length_ && x.size() == length_,
               "inverse: size mismatch");
   const std::size_t taps = wavelet_.length();
@@ -161,13 +124,8 @@ void WaveletTransform::inverse(std::span<const T> coeffs, std::span<T> x,
     const std::size_t n = 2 * half;
     const T* detail = coeffs.data() + half;
     x_ext.assign(n + taps - 1, T{});
-    if constexpr (std::is_same_v<T, float>) {
-      linalg::kernels::dual_band_synthesis(approx.data(), detail, h, g,
-                                           x_ext.data(), half, taps, mode);
-    } else {
-      (void)mode;
-      synthesis_plain(approx.data(), detail, h, g, x_ext.data(), half, taps);
-    }
+    backend.dual_band_synthesis(approx.data(), detail, h, g, x_ext.data(),
+                                half, taps);
     next.assign(x_ext.begin(), x_ext.begin() + static_cast<std::ptrdiff_t>(n));
     // Fold the periodic tail back onto the head.
     for (std::size_t i = n; i < x_ext.size(); ++i) {
@@ -183,15 +141,15 @@ void WaveletTransform::inverse(std::span<const T> coeffs, std::span<T> x,
 
 template void WaveletTransform::forward<float>(std::span<const float>,
                                                std::span<float>,
-                                               linalg::KernelMode) const;
+                                               const linalg::Backend&) const;
 template void WaveletTransform::forward<double>(std::span<const double>,
                                                 std::span<double>,
-                                                linalg::KernelMode) const;
+                                                const linalg::Backend&) const;
 template void WaveletTransform::inverse<float>(std::span<const float>,
                                                std::span<float>,
-                                               linalg::KernelMode) const;
+                                               const linalg::Backend&) const;
 template void WaveletTransform::inverse<double>(std::span<const double>,
                                                 std::span<double>,
-                                                linalg::KernelMode) const;
+                                                const linalg::Backend&) const;
 
 }  // namespace csecg::dsp

@@ -11,17 +11,17 @@
 /// orthonormal, so forward and inverse are true adjoints — a property the
 /// solver tests rely on.
 ///
-/// The float instantiation routes its filter loops through the
-/// instrumented linalg kernels (these are the "filtering functions" whose
-/// vectorisation §IV-B describes); the double instantiation is the plain
-/// reference path.
+/// Both precisions route their filter loops through a linalg::Backend
+/// (these are the "filtering functions" whose vectorisation §IV-B
+/// describes); the default is the reference backend, and the decoder
+/// passes its configured backend through the CS operator.
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "csecg/dsp/wavelet.hpp"
-#include "csecg/linalg/kernels.hpp"
+#include "csecg/linalg/backend.hpp"
 
 namespace csecg::dsp {
 
@@ -48,13 +48,15 @@ class WaveletTransform {
 
   /// coeffs = Psi^T x (analysis). Both spans have length() elements.
   template <typename T>
-  void forward(std::span<const T> x, std::span<T> coeffs,
-               linalg::KernelMode mode = linalg::KernelMode::kScalar) const;
+  void forward(
+      std::span<const T> x, std::span<T> coeffs,
+      const linalg::Backend& backend = linalg::reference_backend()) const;
 
   /// x = Psi coeffs (synthesis).
   template <typename T>
-  void inverse(std::span<const T> coeffs, std::span<T> x,
-               linalg::KernelMode mode = linalg::KernelMode::kScalar) const;
+  void inverse(
+      std::span<const T> coeffs, std::span<T> x,
+      const linalg::Backend& backend = linalg::reference_backend()) const;
 
  private:
   Wavelet wavelet_;

@@ -2,36 +2,31 @@
 #define CSECG_LINALG_KERNELS_HPP
 
 /// \file kernels.hpp
-/// The two kernel schedules studied in §IV-B of the paper.
+/// Operation accounting for the §IV-B cycle model.
 ///
 /// The iPhone 3GS decoder was written twice: a plain scalar version
 /// executed on the Cortex-A8 VFP (18–21 cycles per single-precision
 /// multiply-accumulate) and a NEON-vectorised version operating on 4-float
-/// lanes (2 MACs per cycle), with loop peeling for leftover elements
-/// (Fig 3), the comparison-as-value "if-conversion" trick for the
-/// soft-threshold sign (Fig 4), and outer-loop vectorisation for the
-/// two-output filter nests (Fig 5).
-///
-/// We reproduce both schedules faithfully in portable C++: the kSimd4 mode
-/// processes explicit 4-lane blocks exactly as the NEON code does (so a
-/// vectorising compiler emits SIMD for it), and every kernel reports the
-/// operation mix it executed into a thread-local OpCounts that the
-/// platform::CortexA8Model converts into cycles. This is what lets the
-/// benches regenerate the paper's 2.43x speed-up and its CPU-usage and
-/// iteration-budget numbers without the physical phone.
+/// lanes (2 MACs per cycle). Both schedules live in backend.hpp as the
+/// kScalar and kSimd4 backends; this header holds the vocabulary the
+/// platform::CortexA8Model prices — KernelMode (which schedule a cost was
+/// measured against), the OpCounts operation mix, and the thread-local
+/// OpCounterScope that a CountingBackend charges into. This is what lets
+/// the benches regenerate the paper's 2.43x speed-up and its CPU-usage
+/// and iteration-budget numbers without the physical phone.
 
 #include <cstddef>
 #include <cstdint>
 
 namespace csecg::linalg {
 
-/// Which §IV-B schedule a kernel call should follow.
+/// Which §IV-B schedule a cost formula should price against.
 enum class KernelMode {
   kScalar,  ///< plain loops; models the VFP path (pre-optimisation)
   kSimd4,   ///< explicit 4-lane blocking; models the NEON path
 };
 
-/// Operation mix executed by instrumented kernels since the counter was
+/// Operation mix executed by counted kernels since the counter was
 /// reset. The Cortex-A8 cycle model weights these classes.
 struct OpCounts {
   std::uint64_t scalar_mac = 0;    ///< single-lane multiply-accumulate
@@ -47,11 +42,12 @@ struct OpCounts {
 
 /// Scoped access to the thread-local operation counter.
 ///
-/// Instrumentation is off by default (counter pointer is null and the
-/// kernels skip the bookkeeping). Create a scope to start counting:
+/// Counting is off by default (counter pointer is null and charge() is a
+/// no-op); plain backends never even call charge(). Create a scope and
+/// run kernels through a CountingBackend to collect a mix:
 ///
 ///   OpCounterScope scope;
-///   ... run kernels ...
+///   ... run kernels via counting_simd4_backend() ...
 ///   OpCounts counts = scope.counts();
 class OpCounterScope {
  public:
@@ -68,73 +64,10 @@ class OpCounterScope {
   OpCounts* previous_;
 };
 
-namespace kernels {
-
-/// Dot product <a, b> over n floats.
-float dot(const float* a, const float* b, std::size_t n, KernelMode mode);
-
-/// y[i] += alpha * x[i]; the workhorse MAC loop of the gradient step.
-void axpy(float alpha, const float* x, float* y, std::size_t n,
-          KernelMode mode);
-
-/// d[i] = a[i] + b[i] * c[i] — the multiply-accumulate example of §IV-B.a.
-void fused_multiply_add(const float* a, const float* b, const float* c,
-                        float* d, std::size_t n, KernelMode mode);
-
-/// out[i] = a[i] - b[i].
-void subtract(const float* a, const float* b, float* out, std::size_t n,
-              KernelMode mode);
-
-/// out[i] = x[i]. Pure data movement (n loads + n stores, no ALU work);
-/// counted so solver bookkeeping copies stay visible to the cycle model.
-void copy(const float* x, float* out, std::size_t n, KernelMode mode);
-
-/// x[i] *= alpha.
-void scale(float alpha, float* x, std::size_t n, KernelMode mode);
-
-/// Soft threshold with the Fig-4 branch-free sign computation:
-///   y[i] = sign(u[i]) * max(|u[i]| - t, 0)
-/// kScalar keeps the original if/else chain (models ARM<->NEON pipeline
-/// stalls); kSimd4 uses comparison results as 0/1 multiplicands.
-void soft_threshold(const float* u, float t, float* y, std::size_t n,
-                    KernelMode mode);
-
-/// The §IV-B.b two-output filter nest: for each output index i,
-///   out_l[i] = sum_j t_in[i + j] * h0[j]
-///   out_h[i] = sum_j t_in[i + j] * h1[j]
-/// t_in must have count + taps - 1 readable elements. kSimd4 vectorises
-/// the outer loop (4 output samples per block, both bands together),
-/// matching the paper's preferred schedule in Fig 5.
-void dual_band_filter(const float* t_in, const float* h0, const float* h1,
-                      float* out_l, float* out_h, std::size_t count,
-                      std::size_t taps, KernelMode mode);
-
-/// Squared Euclidean norm of r (n floats).
-float norm2_squared(const float* r, std::size_t n, KernelMode mode);
-
-/// Decimating two-band analysis step of the wavelet filter bank:
-///   out_a[i] = sum_j ext[2i + j] * h0[j]
-///   out_d[i] = sum_j ext[2i + j] * h1[j]
-/// ext must have 2 * half_n + taps - 1 readable elements (periodic
-/// extension is the caller's job).
-void dual_band_analysis(const float* ext, const float* h0, const float* h1,
-                        float* out_a, float* out_d, std::size_t half_n,
-                        std::size_t taps, KernelMode mode);
-
-/// Two-band synthesis (inverse filter bank) accumulation:
-///   x_ext[2i + j] += approx[i] * f0[j] + detail[i] * f1[j]
-/// x_ext must be zero-initialised with 2 * half_n + taps - 1 elements; the
-/// caller folds the periodic wrap-around tail back onto the head.
-void dual_band_synthesis(const float* approx, const float* detail,
-                         const float* f0, const float* f1, float* x_ext,
-                         std::size_t half_n, std::size_t taps,
-                         KernelMode mode);
-
-}  // namespace kernels
-
 /// Charges an externally computed operation mix to the active
-/// OpCounterScope (used by code whose inner loops live outside linalg,
-/// e.g. the double-precision wavelet path). No-op when no scope is active.
+/// OpCounterScope (used by CountingBackend and by code whose inner loops
+/// live outside linalg, e.g. the sparse sensing-matrix apply). No-op when
+/// no scope is active.
 void charge(const OpCounts& delta);
 
 }  // namespace csecg::linalg

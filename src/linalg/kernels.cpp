@@ -1,18 +1,10 @@
 #include "csecg/linalg/kernels.hpp"
 
-#include <cmath>
-
 namespace csecg::linalg {
 
 namespace {
 
 thread_local OpCounts* g_active_counts = nullptr;
-
-inline void count(const OpCounts& delta) {
-  if (g_active_counts != nullptr) {
-    *g_active_counts += delta;
-  }
-}
 
 }  // namespace
 
@@ -33,382 +25,10 @@ OpCounterScope::OpCounterScope() : previous_(g_active_counts) {
 
 OpCounterScope::~OpCounterScope() { g_active_counts = previous_; }
 
-namespace kernels {
-
-namespace {
-
-// Bookkeeping helper for a 1-D loop of n elements with `streams` input
-// arrays and `outputs` output arrays, where the body costs one MAC (or one
-// generic op) per element.
-inline OpCounts loop_cost(std::size_t n, KernelMode mode, std::uint64_t macs,
-                          std::uint64_t ops, std::uint64_t loads,
-                          std::uint64_t stores) {
-  OpCounts c;
-  if (n == 0) {
-    return c;
-  }
-  c.loads = loads;
-  c.stores = stores;
-  if (mode == KernelMode::kScalar) {
-    c.scalar_mac = macs;
-    c.scalar_op = ops;
-  } else {
-    c.vector_mac4 = macs / 4;
-    c.vector_op4 = ops / 4;
-    const std::uint64_t tail = n % 4;
-    // Tail elements are processed lane-by-lane (Fig 3, method "load lane by
-    // lane"), costing scalar work plus the lane shuffling overhead.
-    if (tail != 0) {
-      c.scalar_mac += (macs / n) * tail;
-      c.scalar_op += (ops / n) * tail;
-      c.leftover_lane += tail;
-    }
-  }
-  return c;
-}
-
-}  // namespace
-
-float dot(const float* a, const float* b, std::size_t n, KernelMode mode) {
-  float acc = 0.0f;
-  if (mode == KernelMode::kScalar) {
-    for (std::size_t i = 0; i < n; ++i) {
-      acc += a[i] * b[i];
-    }
-  } else {
-    float lanes[4] = {0.0f, 0.0f, 0.0f, 0.0f};
-    const std::size_t blocks = n / 4;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-      const std::size_t i = blk * 4;
-      lanes[0] += a[i] * b[i];
-      lanes[1] += a[i + 1] * b[i + 1];
-      lanes[2] += a[i + 2] * b[i + 2];
-      lanes[3] += a[i + 3] * b[i + 3];
-    }
-    acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-    for (std::size_t i = blocks * 4; i < n; ++i) {
-      acc += a[i] * b[i];
-    }
-  }
-  count(loop_cost(n, mode, /*macs=*/n, /*ops=*/0, /*loads=*/2 * n,
-                  /*stores=*/0));
-  return acc;
-}
-
-void axpy(float alpha, const float* x, float* y, std::size_t n,
-          KernelMode mode) {
-  if (mode == KernelMode::kScalar) {
-    for (std::size_t i = 0; i < n; ++i) {
-      y[i] += alpha * x[i];
-    }
-  } else {
-    const std::size_t blocks = n / 4;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-      const std::size_t i = blk * 4;
-      y[i] += alpha * x[i];
-      y[i + 1] += alpha * x[i + 1];
-      y[i + 2] += alpha * x[i + 2];
-      y[i + 3] += alpha * x[i + 3];
-    }
-    for (std::size_t i = blocks * 4; i < n; ++i) {
-      y[i] += alpha * x[i];
-    }
-  }
-  count(loop_cost(n, mode, n, 0, 2 * n, n));
-}
-
-void fused_multiply_add(const float* a, const float* b, const float* c,
-                        float* d, std::size_t n, KernelMode mode) {
-  if (mode == KernelMode::kScalar) {
-    for (std::size_t i = 0; i < n; ++i) {
-      d[i] = a[i] + b[i] * c[i];
-    }
-  } else {
-    const std::size_t blocks = n / 4;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-      const std::size_t i = blk * 4;
-      d[i] = a[i] + b[i] * c[i];
-      d[i + 1] = a[i + 1] + b[i + 1] * c[i + 1];
-      d[i + 2] = a[i + 2] + b[i + 2] * c[i + 2];
-      d[i + 3] = a[i + 3] + b[i + 3] * c[i + 3];
-    }
-    for (std::size_t i = blocks * 4; i < n; ++i) {
-      d[i] = a[i] + b[i] * c[i];
-    }
-  }
-  count(loop_cost(n, mode, n, 0, 3 * n, n));
-}
-
-void subtract(const float* a, const float* b, float* out, std::size_t n,
-              KernelMode mode) {
-  if (mode == KernelMode::kScalar) {
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] = a[i] - b[i];
-    }
-  } else {
-    const std::size_t blocks = n / 4;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-      const std::size_t i = blk * 4;
-      out[i] = a[i] - b[i];
-      out[i + 1] = a[i + 1] - b[i + 1];
-      out[i + 2] = a[i + 2] - b[i + 2];
-      out[i + 3] = a[i + 3] - b[i + 3];
-    }
-    for (std::size_t i = blocks * 4; i < n; ++i) {
-      out[i] = a[i] - b[i];
-    }
-  }
-  count(loop_cost(n, mode, 0, n, 2 * n, n));
-}
-
-void copy(const float* x, float* out, std::size_t n, KernelMode mode) {
-  if (mode == KernelMode::kScalar) {
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] = x[i];
-    }
-  } else {
-    const std::size_t blocks = n / 4;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-      const std::size_t i = blk * 4;
-      out[i] = x[i];
-      out[i + 1] = x[i + 1];
-      out[i + 2] = x[i + 2];
-      out[i + 3] = x[i + 3];
-    }
-    for (std::size_t i = blocks * 4; i < n; ++i) {
-      out[i] = x[i];
-    }
-  }
-  count(loop_cost(n, mode, 0, 0, n, n));
-}
-
-void scale(float alpha, float* x, std::size_t n, KernelMode mode) {
-  if (mode == KernelMode::kScalar) {
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] *= alpha;
-    }
-  } else {
-    const std::size_t blocks = n / 4;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-      const std::size_t i = blk * 4;
-      x[i] *= alpha;
-      x[i + 1] *= alpha;
-      x[i + 2] *= alpha;
-      x[i + 3] *= alpha;
-    }
-    for (std::size_t i = blocks * 4; i < n; ++i) {
-      x[i] *= alpha;
-    }
-  }
-  count(loop_cost(n, mode, 0, n, n, n));
-}
-
-void soft_threshold(const float* u, float t, float* y, std::size_t n,
-                    KernelMode mode) {
-  if (mode == KernelMode::kScalar) {
-    // Original §IV-B.a code shape: shrink then fix the sign with branches.
-    for (std::size_t i = 0; i < n; ++i) {
-      float v = std::fabs(u[i]) - t;
-      v = v > 0.0f ? v : 0.0f;
-      if (u[i] > 0.0f) {
-        y[i] = v;
-      } else if (u[i] < 0.0f) {
-        y[i] = -v;
-      } else {
-        y[i] = 0.0f;
-      }
-    }
-    OpCounts c;
-    // abs, sub, max, and the branchy sign fix: ~4 scalar ops/elt plus the
-    // ARM<->NEON round trips the paper calls out; those surface in the
-    // cycle model via scalar_op weighting.
-    c.scalar_op = 4 * n;
-    c.loads = n;
-    c.stores = n;
-    count(c);
-  } else {
-    // Fig 4: comparison results used as values — (u>0) - (u<0) gives the
-    // sign as a multiplicand, no branches in the lane body.
-    const std::size_t blocks = n / 4;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-      const std::size_t i = blk * 4;
-      for (std::size_t lane = 0; lane < 4; ++lane) {
-        const float v = u[i + lane];
-        float mag = std::fabs(v) - t;
-        mag = mag > 0.0f ? mag : 0.0f;
-        const float sign = static_cast<float>(v > 0.0f) -
-                           static_cast<float>(v < 0.0f);
-        y[i + lane] = mag * sign;
-      }
-    }
-    for (std::size_t i = blocks * 4; i < n; ++i) {
-      const float v = u[i];
-      float mag = std::fabs(v) - t;
-      mag = mag > 0.0f ? mag : 0.0f;
-      const float sign = static_cast<float>(v > 0.0f) -
-                         static_cast<float>(v < 0.0f);
-      y[i] = mag * sign;
-    }
-    count(loop_cost(n, KernelMode::kSimd4, 0, 5 * n, n, n));
+void charge(const OpCounts& delta) {
+  if (g_active_counts != nullptr) {
+    *g_active_counts += delta;
   }
 }
-
-void dual_band_filter(const float* t_in, const float* h0, const float* h1,
-                      float* out_l, float* out_h, std::size_t count_n,
-                      std::size_t taps, KernelMode mode) {
-  if (mode == KernelMode::kScalar) {
-    for (std::size_t i = 0; i < count_n; ++i) {
-      float x = 0.0f;
-      float y = 0.0f;
-      for (std::size_t j = 0; j < taps; ++j) {
-        x += t_in[i + j] * h0[j];
-        y += t_in[i + j] * h1[j];
-      }
-      out_l[i] = x;
-      out_h[i] = y;
-    }
-  } else {
-    // Outer-loop vectorisation (Fig 5): 4 output samples at a time, both
-    // bands kept in lane accumulators; total MACs 2 * (I/4) * m vector ops.
-    const std::size_t blocks = count_n / 4;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-      const std::size_t i = blk * 4;
-      float xl[4] = {0.0f, 0.0f, 0.0f, 0.0f};
-      float xh[4] = {0.0f, 0.0f, 0.0f, 0.0f};
-      for (std::size_t j = 0; j < taps; ++j) {
-        const float c0 = h0[j];
-        const float c1 = h1[j];
-        for (std::size_t lane = 0; lane < 4; ++lane) {
-          const float s = t_in[i + lane + j];
-          xl[lane] += s * c0;
-          xh[lane] += s * c1;
-        }
-      }
-      for (std::size_t lane = 0; lane < 4; ++lane) {
-        out_l[i + lane] = xl[lane];
-        out_h[i + lane] = xh[lane];
-      }
-    }
-    for (std::size_t i = blocks * 4; i < count_n; ++i) {
-      float x = 0.0f;
-      float y = 0.0f;
-      for (std::size_t j = 0; j < taps; ++j) {
-        x += t_in[i + j] * h0[j];
-        y += t_in[i + j] * h1[j];
-      }
-      out_l[i] = x;
-      out_h[i] = y;
-    }
-  }
-  const std::uint64_t macs =
-      2ull * static_cast<std::uint64_t>(count_n) * taps;
-  count(loop_cost(count_n, mode, macs, 0,
-                  static_cast<std::uint64_t>(count_n) * taps + 2 * taps,
-                  2 * count_n));
-}
-
-float norm2_squared(const float* r, std::size_t n, KernelMode mode) {
-  return dot(r, r, n, mode);
-}
-
-void dual_band_analysis(const float* ext, const float* h0, const float* h1,
-                        float* out_a, float* out_d, std::size_t half_n,
-                        std::size_t taps, KernelMode mode) {
-  if (mode == KernelMode::kScalar) {
-    for (std::size_t i = 0; i < half_n; ++i) {
-      const float* s = ext + 2 * i;
-      float a = 0.0f;
-      float d = 0.0f;
-      for (std::size_t j = 0; j < taps; ++j) {
-        a += s[j] * h0[j];
-        d += s[j] * h1[j];
-      }
-      out_a[i] = a;
-      out_d[i] = d;
-    }
-  } else {
-    // Outer-loop vectorisation over 4 output samples (Fig 5 schedule).
-    const std::size_t blocks = half_n / 4;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-      const std::size_t i = blk * 4;
-      float la[4] = {0.0f, 0.0f, 0.0f, 0.0f};
-      float ld[4] = {0.0f, 0.0f, 0.0f, 0.0f};
-      for (std::size_t j = 0; j < taps; ++j) {
-        const float c0 = h0[j];
-        const float c1 = h1[j];
-        for (std::size_t lane = 0; lane < 4; ++lane) {
-          const float s = ext[2 * (i + lane) + j];
-          la[lane] += s * c0;
-          ld[lane] += s * c1;
-        }
-      }
-      for (std::size_t lane = 0; lane < 4; ++lane) {
-        out_a[i + lane] = la[lane];
-        out_d[i + lane] = ld[lane];
-      }
-    }
-    for (std::size_t i = blocks * 4; i < half_n; ++i) {
-      const float* s = ext + 2 * i;
-      float a = 0.0f;
-      float d = 0.0f;
-      for (std::size_t j = 0; j < taps; ++j) {
-        a += s[j] * h0[j];
-        d += s[j] * h1[j];
-      }
-      out_a[i] = a;
-      out_d[i] = d;
-    }
-  }
-  const std::uint64_t macs =
-      2ull * static_cast<std::uint64_t>(half_n) * taps;
-  count(loop_cost(half_n, mode, macs, 0,
-                  static_cast<std::uint64_t>(half_n) * taps,
-                  2 * half_n));
-}
-
-void dual_band_synthesis(const float* approx, const float* detail,
-                         const float* f0, const float* f1, float* x_ext,
-                         std::size_t half_n, std::size_t taps,
-                         KernelMode mode) {
-  if (mode == KernelMode::kScalar) {
-    for (std::size_t i = 0; i < half_n; ++i) {
-      const float a = approx[i];
-      const float d = detail[i];
-      float* x = x_ext + 2 * i;
-      for (std::size_t j = 0; j < taps; ++j) {
-        x[j] += a * f0[j] + d * f1[j];
-      }
-    }
-  } else {
-    // Inner-loop vectorisation: for a fixed output block, 4 consecutive
-    // filter taps are applied per vector op. Consecutive i values write
-    // overlapping ranges, so the outer loop stays scalar.
-    for (std::size_t i = 0; i < half_n; ++i) {
-      const float a = approx[i];
-      const float d = detail[i];
-      float* x = x_ext + 2 * i;
-      const std::size_t blocks = taps / 4;
-      for (std::size_t blk = 0; blk < blocks; ++blk) {
-        const std::size_t j = blk * 4;
-        x[j] += a * f0[j] + d * f1[j];
-        x[j + 1] += a * f0[j + 1] + d * f1[j + 1];
-        x[j + 2] += a * f0[j + 2] + d * f1[j + 2];
-        x[j + 3] += a * f0[j + 3] + d * f1[j + 3];
-      }
-      for (std::size_t j = blocks * 4; j < taps; ++j) {
-        x[j] += a * f0[j] + d * f1[j];
-      }
-    }
-  }
-  const std::uint64_t macs =
-      2ull * static_cast<std::uint64_t>(half_n) * taps;
-  count(loop_cost(taps, mode, macs, 0,
-                  static_cast<std::uint64_t>(half_n) * (taps + 2),
-                  static_cast<std::uint64_t>(half_n) * taps));
-}
-
-}  // namespace kernels
-
-void charge(const OpCounts& delta) { count(delta); }
 
 }  // namespace csecg::linalg

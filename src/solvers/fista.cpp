@@ -3,12 +3,16 @@
 #include <cmath>
 
 #include "csecg/obs/obs.hpp"
-#include "csecg/solvers/detail/backend.hpp"
 #include "csecg/util/error.hpp"
 
 namespace csecg::solvers {
 
 namespace {
+
+inline const linalg::Backend& resolve_backend(const ShrinkageOptions& options) {
+  return options.backend != nullptr ? *options.backend
+                                    : linalg::default_backend();
+}
 
 /// Shared machinery for ISTA and FISTA; momentum toggles the difference.
 /// All scratch (and the result) lives in \p workspace, so repeated solves
@@ -25,7 +29,8 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
 
   const std::size_t n = A.cols();
   const std::size_t m = A.rows();
-  const linalg::KernelMode mode = options.mode;
+  const linalg::Backend& be = resolve_backend(options);
+  const linalg::KernelMode schedule = be.counted_schedule();
 
   // Lipschitz constant of grad f(a) = 2 A^T (A a - y): L = 2 lambda_max.
   // Note value_or would evaluate the power iteration eagerly — it must
@@ -63,7 +68,7 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
   // Regulariser value g(a) = sum_i w_i |a_i| (w = 1 when unweighted).
   const auto g_value = [&](std::span<const T> a) {
     if (!weighted) {
-      return detail::backend_norm1<T>(a, mode);
+      return static_cast<double>(be.norm1(a.data(), a.size()));
     }
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -88,17 +93,15 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
   for (std::size_t k = 1; k <= options.max_iterations; ++k) {
     // grad f(y_k) = 2 A^T (A y_k - y).
     A.apply(std::span<const T>(yk), std::span<T>(residual));
-    detail::backend_subtract<T>(residual, y, std::span<T>(residual), mode);
+    be.subtract(residual.data(), y.data(), residual.data(), m);
     A.apply_adjoint(std::span<const T>(residual), std::span<T>(gradient));
 
     // candidate = y_k - (1/L) * 2 * gradient_half  (factor 2 of grad f).
-    // The copy goes through the instrumented backend so the cycle model
-    // sees its loads/stores in both schedules.
-    detail::backend_copy<T>(std::span<const T>(yk), std::span<T>(candidate),
-                            mode);
-    detail::backend_axpy<T>(static_cast<T>(-2.0) * step,
-                            std::span<const T>(gradient),
-                            std::span<T>(candidate), mode);
+    // The copy goes through the backend so a counting decorator sees its
+    // loads/stores in both schedules.
+    be.copy(yk.data(), candidate.data(), n);
+    be.axpy(static_cast<T>(-2.0) * step, gradient.data(), candidate.data(),
+            n);
 
     // a_k = soft_threshold(candidate, lambda / L) — per-coefficient
     // thresholds in the weighted variant.
@@ -110,21 +113,19 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
         const T shrunk = mag > T{} ? mag : T{};
         a_next[i] = v < T{} ? -shrunk : shrunk;
       }
-      if constexpr (std::is_same_v<T, float>) {
+      if (be.counting()) {
         linalg::OpCounts c;
-        if (mode == linalg::KernelMode::kScalar) {
+        if (schedule == linalg::KernelMode::kScalar) {
           c.scalar_op = 5 * n;
         } else {
           c.vector_op4 = 5 * n / 4;
         }
         c.loads = 2 * n;
         c.stores = n;
-        linalg::charge(c);
+        be.charge(c);
       }
     } else {
-      detail::backend_soft_threshold<T>(std::span<const T>(candidate),
-                                        threshold, std::span<T>(a_next),
-                                        mode);
+      be.soft_threshold(candidate.data(), threshold, a_next.data(), n);
     }
 
     // Convergence bookkeeping on the iterate change.
@@ -159,39 +160,38 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
         yk[i] = a_next[i] + beta * (a_next[i] - a_k[i]);
       }
       t_k = t_next;
-      if constexpr (std::is_same_v<T, float>) {
+      if (be.counting()) {
         // Momentum update: sub + MAC per element, 2n loads, n stores.
         linalg::OpCounts c;
         const std::uint64_t elems = 2ull * n;
-        if (mode == linalg::KernelMode::kScalar) {
+        if (schedule == linalg::KernelMode::kScalar) {
           c.scalar_op = elems;
         } else {
           c.vector_op4 = elems / 4;
         }
         c.loads = 2ull * n;
         c.stores = n;
-        linalg::charge(c);
+        be.charge(c);
       }
     } else {
-      detail::backend_copy<T>(std::span<const T>(a_next), std::span<T>(yk),
-                              mode);
+      be.copy(a_next.data(), yk.data(), n);
     }
     std::swap(a_k, a_next);
     result.iterations = k;
 
-    if constexpr (std::is_same_v<T, float>) {
+    if (be.counting()) {
       // Charge the iterate-change accumulation loop (sub + two MACs per
       // element over a_next and a_k); the candidate and yk copies are
-      // charged by the backend_copy kernel itself.
+      // charged by the backend copy kernel itself.
       linalg::OpCounts c;
       const std::uint64_t elems = 3ull * n;
-      if (mode == linalg::KernelMode::kScalar) {
+      if (schedule == linalg::KernelMode::kScalar) {
         c.scalar_op = elems;
       } else {
         c.vector_op4 = elems / 4;
       }
       c.loads = 2ull * n;
-      linalg::charge(c);
+      be.charge(c);
     }
 
     // Objective / residual at a_k (needed for sigma stopping and traces).
@@ -201,10 +201,9 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
     double residual_norm = 0.0;
     if (need_objective) {
       A.apply(std::span<const T>(a_k), std::span<T>(residual));
-      detail::backend_subtract<T>(residual, y, std::span<T>(residual),
-                                  mode);
-      residual_norm = std::sqrt(detail::backend_norm2_squared<T>(
-          std::span<const T>(residual), mode));
+      be.subtract(residual.data(), y.data(), residual.data(), m);
+      residual_norm =
+          std::sqrt(static_cast<double>(be.norm2_squared(residual.data(), m)));
       if (options.record_objective) {
         const double l1 = g_value(std::span<const T>(a_k));
         result.objective_trace.push_back(residual_norm * residual_norm +
@@ -226,9 +225,9 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
 
   // Final diagnostics.
   A.apply(std::span<const T>(result.solution), std::span<T>(residual));
-  detail::backend_subtract<T>(residual, y, std::span<T>(residual), mode);
-  result.final_residual_norm = std::sqrt(detail::backend_norm2_squared<T>(
-      std::span<const T>(residual), mode));
+  be.subtract(residual.data(), y.data(), residual.data(), m);
+  result.final_residual_norm =
+      std::sqrt(static_cast<double>(be.norm2_squared(residual.data(), m)));
   const double l1 = g_value(std::span<const T>(result.solution));
   result.final_objective =
       result.final_residual_norm * result.final_residual_norm +
@@ -282,6 +281,196 @@ ShrinkageResult<T> ista(const linalg::LinearOperator<T>& A,
   return std::move(ista<T>(A, y, options, workspace));
 }
 
+template <typename T>
+std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
+                                          std::span<const T> y_flat,
+                                          std::span<const double> lambdas,
+                                          const ShrinkageOptions& options,
+                                          SolverWorkspace& workspace) {
+  const std::size_t batch = lambdas.size();
+  const std::size_t n = A.cols();
+  const std::size_t m = A.rows();
+  CSECG_CHECK(y_flat.size() == batch * m, "batched measurement size mismatch");
+  CSECG_CHECK(options.max_iterations > 0, "need at least one iteration");
+  CSECG_CHECK(options.weights.empty(),
+              "fista_batch does not support per-coefficient weights");
+  CSECG_CHECK(!options.sigma.has_value(),
+              "fista_batch does not support sigma stopping");
+  CSECG_CHECK(!options.record_objective,
+              "fista_batch does not record objective traces");
+  CSECG_CHECK(!options.adaptive_restart,
+              "fista_batch does not support adaptive restart");
+
+  auto& ws = workspace.buffers<T>();
+  ws.batch_results.resize(batch);
+  const std::span<ShrinkageResult<T>> results(ws.batch_results.data(), batch);
+  if (batch == 0) {
+    return results;
+  }
+
+  const linalg::Backend& be = resolve_backend(options);
+  const linalg::KernelMode schedule = be.counted_schedule();
+  const double lipschitz =
+      options.lipschitz.has_value()
+          ? *options.lipschitz
+          : 2.0 * linalg::estimate_spectral_norm_squared(A);
+  CSECG_CHECK(lipschitz > 0.0, "operator has zero spectral norm");
+  const T step = static_cast<T>(1.0 / lipschitz);
+
+  ws.batch_thresholds.resize(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    CSECG_CHECK(lambdas[b] >= 0.0, "lambda must be non-negative");
+    ws.batch_thresholds[b] = static_cast<T>(lambdas[b] / lipschitz);
+  }
+
+  std::vector<T>& yk = ws.batch_yk;
+  std::vector<T>& residual = ws.batch_residual;
+  std::vector<T>& gradient = ws.batch_gradient;
+  std::vector<T>& candidate = ws.batch_candidate;
+  std::vector<T>& a_next = ws.batch_a_next;
+  std::vector<T>& a_k = ws.batch_solution;
+  yk.assign(batch * n, T{});
+  residual.resize(batch * m);
+  gradient.resize(batch * n);
+  candidate.resize(batch * n);
+  a_next.resize(batch * n);
+  a_k.assign(batch * n, T{});
+  ws.batch_frozen.assign(batch, 0);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    ShrinkageResult<T>& r = ws.batch_results[b];
+    r.iterations = 0;
+    r.converged = false;
+    r.final_objective = 0.0;
+    r.final_residual_norm = 0.0;
+    r.objective_trace.clear();
+  }
+
+  // The momentum sequence t_k is data-independent, so one scalar serves
+  // the whole batch — exactly what makes lock-step execution possible.
+  double t_k = 1.0;
+  std::size_t frozen_count = 0;
+
+  for (std::size_t k = 1;
+       k <= options.max_iterations && frozen_count < batch; ++k) {
+    // grad f(y_k) = 2 A^T (A y_k - y), per row (the operator is
+    // matrix-free); everything elementwise runs flat over the batch.
+    for (std::size_t b = 0; b < batch; ++b) {
+      A.apply(std::span<const T>(yk.data() + b * n, n),
+              std::span<T>(residual.data() + b * m, m));
+    }
+    be.subtract(residual.data(), y_flat.data(), residual.data(), batch * m);
+    for (std::size_t b = 0; b < batch; ++b) {
+      A.apply_adjoint(std::span<const T>(residual.data() + b * m, m),
+                      std::span<T>(gradient.data() + b * n, n));
+    }
+
+    be.copy(yk.data(), candidate.data(), batch * n);
+    be.axpy(static_cast<T>(-2.0) * step, gradient.data(), candidate.data(),
+            batch * n);
+    be.soft_threshold_batch(candidate.data(), ws.batch_thresholds.data(),
+                            a_next.data(), batch, n);
+
+    const double t_next = (1.0 + std::sqrt(1.0 + 4.0 * t_k * t_k)) / 2.0;
+    const T beta = static_cast<T>((t_k - 1.0) / t_next);
+
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (ws.batch_frozen[b]) {
+        continue;
+      }
+      const T* next_row = a_next.data() + b * n;
+      const T* cur_row = a_k.data() + b * n;
+      double change_sq = 0.0;
+      double norm_sq = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double diff = static_cast<double>(next_row[i]) -
+                            static_cast<double>(cur_row[i]);
+        change_sq += diff * diff;
+        norm_sq += static_cast<double>(next_row[i]) *
+                   static_cast<double>(next_row[i]);
+      }
+      if (norm_sq > 0.0 &&
+          std::sqrt(change_sq / norm_sq) < options.tolerance) {
+        // This problem is done: snapshot the new iterate now; the batch
+        // keeps sweeping its rows, but the snapshot is the sequential
+        // solver's stopping state, bit for bit.
+        ShrinkageResult<T>& r = ws.batch_results[b];
+        r.solution.assign(next_row, next_row + n);
+        r.iterations = k;
+        r.converged = true;
+        ws.batch_frozen[b] = 1;
+        ++frozen_count;
+      }
+    }
+
+    // Momentum over the flat batch (same per-element arithmetic as the
+    // sequential hand loop, so rows stay bitwise identical).
+    for (std::size_t i = 0; i < batch * n; ++i) {
+      yk[i] = a_next[i] + beta * (a_next[i] - a_k[i]);
+    }
+    t_k = t_next;
+    if (be.counting()) {
+      linalg::OpCounts c;
+      const std::uint64_t elems = 2ull * batch * n;
+      if (schedule == linalg::KernelMode::kScalar) {
+        c.scalar_op = elems;
+      } else {
+        c.vector_op4 = elems / 4;
+      }
+      c.loads = 2ull * batch * n;
+      c.stores = batch * n;
+      be.charge(c);
+      // Iterate-change loop (only unfrozen rows actually ran it, but the
+      // model prices the nominal lock-step sweep).
+      linalg::OpCounts c2;
+      const std::uint64_t elems2 = 3ull * batch * n;
+      if (schedule == linalg::KernelMode::kScalar) {
+        c2.scalar_op = elems2;
+      } else {
+        c2.vector_op4 = elems2 / 4;
+      }
+      c2.loads = 2ull * batch * n;
+      be.charge(c2);
+    }
+    std::swap(a_k, a_next);
+
+    if (k == options.max_iterations) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        if (ws.batch_frozen[b]) {
+          continue;
+        }
+        ShrinkageResult<T>& r = ws.batch_results[b];
+        const T* row = a_k.data() + b * n;
+        r.solution.assign(row, row + n);
+        r.iterations = k;
+        r.converged = false;
+      }
+    }
+  }
+
+  // Final diagnostics per problem, identical to the sequential epilogue.
+  std::vector<T>& diag_residual = ws.residual;
+  diag_residual.resize(m);
+  for (std::size_t b = 0; b < batch; ++b) {
+    ShrinkageResult<T>& r = ws.batch_results[b];
+    A.apply(std::span<const T>(r.solution), std::span<T>(diag_residual));
+    be.subtract(diag_residual.data(), y_flat.data() + b * m,
+                diag_residual.data(), m);
+    r.final_residual_norm = std::sqrt(
+        static_cast<double>(be.norm2_squared(diag_residual.data(), m)));
+    const double l1 =
+        static_cast<double>(be.norm1(r.solution.data(), r.solution.size()));
+    r.final_objective = r.final_residual_norm * r.final_residual_norm +
+                        lambdas[b] * l1;
+    obs::observe("fista.iterations", static_cast<double>(r.iterations));
+    obs::add("fista.calls");
+    if (r.converged) {
+      obs::add("fista.converged");
+    }
+  }
+  return results;
+}
+
 template ShrinkageResult<float> fista<float>(
     const linalg::LinearOperator<float>&, std::span<const float>,
     const ShrinkageOptions&);
@@ -306,5 +495,11 @@ template ShrinkageResult<float>& ista<float>(
 template ShrinkageResult<double>& ista<double>(
     const linalg::LinearOperator<double>&, std::span<const double>,
     const ShrinkageOptions&, SolverWorkspace&);
+template std::span<ShrinkageResult<float>> fista_batch<float>(
+    const linalg::LinearOperator<float>&, std::span<const float>,
+    std::span<const double>, const ShrinkageOptions&, SolverWorkspace&);
+template std::span<ShrinkageResult<double>> fista_batch<double>(
+    const linalg::LinearOperator<double>&, std::span<const double>,
+    std::span<const double>, const ShrinkageOptions&, SolverWorkspace&);
 
 }  // namespace csecg::solvers

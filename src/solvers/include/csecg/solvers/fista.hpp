@@ -52,6 +52,29 @@ ShrinkageResult<T>& ista(const linalg::LinearOperator<T>& A,
                          const ShrinkageOptions& options,
                          SolverWorkspace& workspace);
 
+/// Lock-step batched FISTA: solves `lambdas.size()` problems that share
+/// the operator A, with y_flat holding the measurement rows packed back
+/// to back (batch * A.rows() elements) and lambdas[b] the per-problem l1
+/// weight (options.lambda is ignored). The elementwise iteration sweeps
+/// the whole batch per kernel invocation; operator applies stay per row
+/// (the CS operator is matrix-free). Every problem produces bitwise the
+/// same iterate trajectory, iteration count and solution as a sequential
+/// fista() call with the same backend — each row's convergence is
+/// snapshotted at its own stopping iteration while the batch runs on to
+/// the slowest member.
+///
+/// Restrictions (CHECK-enforced): no per-coefficient weights, no sigma
+/// stopping, no objective recording, no adaptive restart — the fleet
+/// decode path uses none of them. Results live in the workspace
+/// (buffers<T>().batch_results) and stay valid until the next batched
+/// solve through it.
+template <typename T>
+std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
+                                          std::span<const T> y_flat,
+                                          std::span<const double> lambdas,
+                                          const ShrinkageOptions& options,
+                                          SolverWorkspace& workspace);
+
 }  // namespace csecg::solvers
 
 #endif  // CSECG_SOLVERS_FISTA_HPP

@@ -8,7 +8,7 @@
 #include <optional>
 #include <vector>
 
-#include "csecg/linalg/kernels.hpp"
+#include "csecg/linalg/backend.hpp"
 
 namespace csecg::solvers {
 
@@ -23,8 +23,12 @@ struct ShrinkageOptions {
   std::optional<double> sigma;
   /// Lipschitz constant of grad f; estimated by power iteration if unset.
   std::optional<double> lipschitz;
-  /// Kernel schedule for the float path (§IV-B optimisation study).
-  linalg::KernelMode mode = linalg::KernelMode::kSimd4;
+  /// Kernel backend the solve runs through — both precisions execute the
+  /// same schedule (§IV-B optimisation study). Null = the library default
+  /// (the simd4 NEON model). Wrap in a CountingBackend to collect the op
+  /// mix. Must point at a backend that outlives the solve; the shared
+  /// singletons from linalg/backend.hpp always do.
+  const linalg::Backend* backend = nullptr;
   /// Record the objective F(a_k) each iteration (convergence benches).
   bool record_objective = false;
   /// Adaptive gradient restart (O'Donoghue & Candès): reset the momentum

@@ -15,6 +15,7 @@
 /// workspace must not be shared by concurrent solves.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "csecg/solvers/types.hpp"
@@ -40,6 +41,25 @@ class SolverWorkspace {
     /// reuses these for the scaled measurement vector and A^T y).
     std::vector<T> aux_m;      ///< measurement-sized helper (m)
     std::vector<T> aux_n;      ///< coefficient-sized helper (n)
+
+    /// Lock-step batch-solve scratch (fista_batch): the same roles as the
+    /// vectors above with B problems packed back to back (B*m or B*n
+    /// elements), so one kernel invocation sweeps the whole batch.
+    std::vector<T> batch_yk;
+    std::vector<T> batch_residual;
+    std::vector<T> batch_gradient;
+    std::vector<T> batch_candidate;
+    std::vector<T> batch_a_next;
+    std::vector<T> batch_solution;
+    std::vector<T> batch_thresholds;      ///< per-problem threshold (B)
+    std::vector<std::uint8_t> batch_frozen;  ///< per-problem converged flag
+    /// Per-problem outputs of fista_batch; reused across calls of the
+    /// same batch shape, so steady-state batched decode is allocation-free.
+    std::vector<ShrinkageResult<T>> batch_results;
+    /// Caller-side batch scratch (the decoder's scaled measurement rows
+    /// and per-problem lambdas).
+    std::vector<T> batch_y;
+    std::vector<double> batch_lambdas;
   };
 
   template <typename T>

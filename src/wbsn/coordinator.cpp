@@ -10,11 +10,20 @@ namespace csecg::wbsn {
 Coordinator::Coordinator(const core::DecoderConfig& config,
                          coding::HuffmanCodebook codebook,
                          platform::CortexA8Model model)
-    : decoder_(config, std::move(codebook)), model_(model) {}
+    : decoder_(config, std::move(codebook)), model_(model) {
+  set_backend(decoder_.backend());
+}
 
 Coordinator::Coordinator(const core::StreamProfile& profile,
                          platform::CortexA8Model model)
-    : decoder_(profile), model_(model) {}
+    : decoder_(profile), model_(model) {
+  set_backend(decoder_.backend());
+}
+
+void Coordinator::set_backend(const linalg::Backend& backend) {
+  counting_.emplace(backend);
+  decoder_.set_backend(*counting_);
+}
 
 std::optional<std::vector<float>> Coordinator::process_frame(
     std::span<const std::uint8_t> frame) {

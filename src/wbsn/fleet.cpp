@@ -60,6 +60,14 @@ struct FleetCoordinator::NodeState {
   // warm; the worker's SolverWorkspace holds the solver half).
   std::vector<std::int32_t> y_scratch;
   core::DecodedWindow<float> window_scratch;
+  // Batched-decode scratch (decode_batch > 1): decodable windows buffer
+  // here until a flush point. y_flat holds the pending integer
+  // measurement rows back to back; sink_slots their input-window
+  // indices. window_batch never shrinks, so a partial final flush does
+  // not drop warmed sample buffers.
+  std::vector<std::int32_t> y_flat;
+  std::vector<std::uint16_t> sink_slots;
+  std::vector<core::DecodedWindow<float>> window_batch;
   FleetNodeStats stats;
 };
 
@@ -100,6 +108,9 @@ std::uint32_t FleetCoordinator::add_node(const core::DecoderConfig& config,
   nodes_.push_back(std::make_unique<NodeState>(id, config,
                                                std::move(codebook),
                                                config_.arq));
+  if (config_.backend != nullptr) {
+    nodes_.back()->decoder.set_backend(*config_.backend);
+  }
   return id;
 }
 
@@ -108,6 +119,9 @@ std::uint32_t FleetCoordinator::add_node(const core::StreamProfile& profile) {
   CSECG_CHECK(!closed_, "fleet already finished");
   const auto id = static_cast<std::uint32_t>(nodes_.size());
   nodes_.push_back(std::make_unique<NodeState>(id, profile, config_.arq));
+  if (config_.backend != nullptr) {
+    nodes_.back()->decoder.set_backend(*config_.backend);
+  }
   return id;
 }
 
@@ -143,6 +157,10 @@ void FleetCoordinator::worker_loop() {
   // One workspace per worker: FISTA scratch is sized on the first window
   // and reused for every node this worker ever serves.
   solvers::SolverWorkspace workspace;
+  // Frames drained from a node per dispatch; reused so the pop itself is
+  // allocation-free once warm.
+  std::vector<std::vector<std::uint8_t>> frames;
+  const std::size_t take = std::max<std::size_t>(config_.decode_batch, 1);
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     work_cv_.wait(lock, [&] { return !runnable_.empty() || closed_; });
@@ -154,16 +172,20 @@ void FleetCoordinator::worker_loop() {
     }
     NodeState* node = runnable_.front();
     runnable_.pop_front();
-    // One frame per dispatch keeps the pool fair across nodes: a chatty
-    // node goes to the back of the line after every window.
-    std::vector<std::uint8_t> frame = std::move(node->inbox.front());
-    node->inbox.pop_front();
-    --queued_total_;
+    // Up to decode_batch frames per dispatch (one in the classic
+    // configuration) keeps the pool fair across nodes: a chatty node
+    // goes to the back of the line after every dispatch.
+    frames.clear();
+    while (frames.size() < take && !node->inbox.empty()) {
+      frames.push_back(std::move(node->inbox.front()));
+      node->inbox.pop_front();
+    }
+    queued_total_ -= frames.size();
     queue_gauge_->set(static_cast<double>(queued_total_));
-    space_cv_.notify_one();
+    space_cv_.notify_all();
     lock.unlock();
 
-    process_one(*node, std::move(frame), workspace);
+    process_frames(*node, frames, workspace);
 
     lock.lock();
     if (!node->inbox.empty()) {
@@ -175,27 +197,32 @@ void FleetCoordinator::worker_loop() {
   }
 }
 
-void FleetCoordinator::process_one(NodeState& node,
-                                   std::vector<std::uint8_t> frame,
-                                   solvers::SolverWorkspace& workspace) {
-  // All spans/metrics from this frame land in the node's own session;
+void FleetCoordinator::process_frames(
+    NodeState& node, std::vector<std::vector<std::uint8_t>>& frames,
+    solvers::SolverWorkspace& workspace) {
+  // All spans/metrics from these frames land in the node's own session;
   // finish() folds them into the aggregate.
   obs::ScopedSession attach(&node.session);
-  node.ticks += 1.0;
-  ArqReceiver::Output out;
-  const auto packet = core::Packet::parse(frame);
-  if (!packet) {
-    ++node.stats.frames_corrupt;
-    out = node.arq.on_corrupt_frame(node.ticks);
-  } else {
-    out = node.arq.on_frame(packet->sequence, std::move(frame), node.ticks);
+  for (auto& frame : frames) {
+    node.ticks += 1.0;
+    ArqReceiver::Output out;
+    const auto packet = core::Packet::parse(frame);
+    if (!packet) {
+      ++node.stats.frames_corrupt;
+      out = node.arq.on_corrupt_frame(node.ticks);
+    } else {
+      out = node.arq.on_frame(packet->sequence, std::move(frame), node.ticks);
+    }
+    if (feedback_ && !out.feedback.empty()) {
+      feedback_(node.id, std::span<const FeedbackMessage>(out.feedback));
+    }
+    for (auto& event : out.events) {
+      handle_event(node, event, workspace);
+    }
   }
-  if (feedback_ && !out.feedback.empty()) {
-    feedback_(node.id, std::span<const FeedbackMessage>(out.feedback));
-  }
-  for (auto& event : out.events) {
-    handle_event(node, event, workspace);
-  }
+  // The dispatch ends here; anything still buffered must reach the sink
+  // before another worker picks this node up.
+  flush_pending(node, workspace);
 }
 
 void FleetCoordinator::handle_event(NodeState& node,
@@ -204,6 +231,7 @@ void FleetCoordinator::handle_event(NodeState& node,
   const auto slot =
       static_cast<std::uint16_t>(event.sequence - node.profile_slots);
   if (event.lost) {
+    flush_pending(node, workspace);
     conceal(node, slot);
     return;
   }
@@ -211,8 +239,10 @@ void FleetCoordinator::handle_event(NodeState& node,
   bool decoded = false;
   if (const auto packet = core::Packet::parse(event.frame)) {
     if (packet->kind == core::PacketKind::kProfile) {
-      // In-band re-profile: consumes the sequence slot but carries no
-      // window, so neither the sink nor the concealment path fires.
+      // In-band re-profile changes the decode geometry out from under any
+      // buffered rows, and its slot ordering matters to the sink: drain
+      // the batch first.
+      flush_pending(node, workspace);
       ++node.profile_slots;
       if (node.decoder.consume(*packet, node.y_scratch) ==
           core::Decoder::FrameOutcome::kProfileApplied) {
@@ -227,6 +257,17 @@ void FleetCoordinator::handle_event(NodeState& node,
       return;
     }
     if (node.decoder.decode_measurements_into(*packet, node.y_scratch)) {
+      if (config_.decode_batch > 1) {
+        // Entropy decode ran (it is sequential inter-packet state); the
+        // reconstruction is deferred into the node's batch.
+        node.y_flat.insert(node.y_flat.end(), node.y_scratch.begin(),
+                           node.y_scratch.end());
+        node.sink_slots.push_back(slot);
+        if (node.sink_slots.size() >= config_.decode_batch) {
+          flush_pending(node, workspace);
+        }
+        return;
+      }
       obs::SpanScope span("window.decode", packet->sequence);
       node.decoder.reconstruct_into<float>(
           std::span<const std::int32_t>(node.y_scratch), workspace,
@@ -237,6 +278,7 @@ void FleetCoordinator::handle_event(NodeState& node,
     }
   }
   if (!decoded) {
+    flush_pending(node, workspace);
     // CRC-clean but undecodable: typically a differential stranded
     // behind an abandoned gap, waiting for the forced keyframe. Conceal
     // it rather than skip the slot.
@@ -269,6 +311,60 @@ void FleetCoordinator::handle_event(NodeState& node,
     window.samples = std::span<const float>(node.window_scratch.samples);
     sink_(window);
   }
+}
+
+void FleetCoordinator::flush_pending(NodeState& node,
+                                     solvers::SolverWorkspace& workspace) {
+  const std::size_t batch = node.sink_slots.size();
+  if (batch == 0) {
+    return;
+  }
+  if (node.window_batch.size() < batch) {
+    node.window_batch.resize(batch);
+  }
+  const std::span<core::DecodedWindow<float>> windows(
+      node.window_batch.data(), batch);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    obs::SpanScope span("window.decode.batch");
+    span.attribute("batch", static_cast<double>(batch));
+    node.decoder.reconstruct_batch_into<float>(
+        std::span<const std::int32_t>(node.y_flat), batch, workspace,
+        windows);
+  }
+  const double total_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // The solver sweeps the batch in one pass, so per-window latency is the
+  // batch time split evenly — the number the deadline monitor cares
+  // about is "how long did this window occupy a worker".
+  const double per_window_s = total_s / static_cast<double>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const core::DecodedWindow<float>& decoded = windows[b];
+    ++node.stats.windows_reconstructed;
+    node.stats.decode_seconds_total += per_window_s;
+    node.stats.iterations_total += static_cast<double>(decoded.iterations);
+    node.latency_hist->add(per_window_s);
+    if (per_window_s > config_.deadline_seconds) {
+      ++node.stats.deadline_misses;
+      node.session.registry().counter(kDeadlineMisses).add(1);
+    }
+    if (sink_) {
+      FleetWindow window;
+      window.node_id = node.id;
+      window.sequence = node.sink_slots[b];
+      window.concealed = false;
+      window.decode_seconds = per_window_s;
+      window.iterations = decoded.iterations;
+      window.samples = std::span<const float>(decoded.samples);
+      sink_(window);
+    }
+  }
+  node.last_window.assign(windows[batch - 1].samples.begin(),
+                          windows[batch - 1].samples.end());
+  // clear() keeps capacity: the next batch reuses the same storage.
+  node.y_flat.clear();
+  node.sink_slots.clear();
 }
 
 void FleetCoordinator::conceal(NodeState& node, std::uint16_t sequence) {
@@ -309,6 +405,7 @@ FleetReport FleetCoordinator::finish() {
     for (auto& event : out.events) {
       handle_event(*node, event, workspace);
     }
+    flush_pending(*node, workspace);
   }
 
   FleetReport report;

@@ -45,6 +45,11 @@ struct CoordinatorStats {
   }
 };
 
+/// The Coordinator always decodes through a CountingBackend wrapped
+/// around the configured kernel backend (config.backend, or the library
+/// default §IV-B simd4 schedule), so every window's op mix feeds the
+/// Cortex-A8 cycle model. Pass a plain backend — wrapping a counting one
+/// would double-charge.
 class Coordinator {
  public:
   using FrameResult = core::Decoder::FrameOutcome;
@@ -61,6 +66,11 @@ class Coordinator {
 
   core::Decoder& decoder() { return decoder_; }
   const platform::CortexA8Model& model() const { return model_; }
+
+  /// Re-seats the decode kernels on \p backend (a plain backend — the
+  /// coordinator adds its own counting decorator). Lets receivers that
+  /// bootstrapped from an in-band profile still pick a schedule.
+  void set_backend(const linalg::Backend& backend);
 
   /// Processes one received frame; returns the reconstructed window
   /// (float — the iPhone path) or nullopt on a reject. A successful
@@ -101,6 +111,10 @@ class Coordinator {
       const core::Packet& packet);
 
   core::Decoder decoder_;
+  /// Counting decorator over the decoder's configured backend; installed
+  /// at construction so cpu_usage() always has real op counts.
+  /// Re-seated (not reassigned — it holds a reference) by set_backend.
+  std::optional<linalg::CountingBackend> counting_;
   platform::CortexA8Model model_;
   CoordinatorStats stats_;
   std::vector<float> last_window_;  ///< last good reconstruction

@@ -56,6 +56,17 @@ struct FleetConfig {
   std::size_t queue_depth = 64;
   /// Per-window decode budget (the paper's 2 s window period).
   double deadline_seconds = 2.0;
+  /// Windows decoded per solver invocation on one node. With > 1, a
+  /// worker drains up to this many consecutive frames from a node per
+  /// dispatch and runs their decodable windows lock-step through
+  /// Decoder::reconstruct_batch_into — one kernel invocation sweeps the
+  /// whole batch, with results bitwise-equal to sequential decodes and
+  /// per-node sink order preserved. 1 = the classic frame-per-dispatch
+  /// path.
+  std::size_t decode_batch = 1;
+  /// Kernel backend every node decoder runs through. Null = the library
+  /// default. Must outlive the fleet; the linalg singletons always do.
+  const linalg::Backend* backend = nullptr;
   /// Per-node receiver-side ARQ configuration.
   ArqConfig arq;
 };
@@ -166,10 +177,14 @@ class FleetCoordinator {
   struct NodeState;
 
   void worker_loop();
-  void process_one(NodeState& node, std::vector<std::uint8_t> frame,
-                   solvers::SolverWorkspace& workspace);
+  void process_frames(NodeState& node,
+                      std::vector<std::vector<std::uint8_t>>& frames,
+                      solvers::SolverWorkspace& workspace);
   void handle_event(NodeState& node, ArqReceiver::Event& event,
                     solvers::SolverWorkspace& workspace);
+  /// Decodes every window buffered for batching (no-op when none); the
+  /// barrier every non-window event crosses so sink order holds.
+  void flush_pending(NodeState& node, solvers::SolverWorkspace& workspace);
   void conceal(NodeState& node, std::uint16_t sequence);
 
   FleetConfig config_;

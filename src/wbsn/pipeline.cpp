@@ -78,6 +78,9 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
   std::optional<Coordinator> coordinator_storage;
   if (!profile_) {
     coordinator_storage.emplace(config_, *codebook_);
+    if (pipeline_config_.backend != nullptr) {
+      coordinator_storage->set_backend(*pipeline_config_.backend);
+    }
   }
   ArqReceiver arq_rx(pipeline_config_.arq, /*first_sequence=*/0);
 
@@ -229,6 +232,9 @@ PipelineReport RealTimePipeline::run(const ecg::Record& record) {
                 continue;
               }
               coordinator_storage.emplace(*announced);
+              if (pipeline_config_.backend != nullptr) {
+                coordinator_storage->set_backend(*pipeline_config_.backend);
+              }
             }
             Coordinator& coordinator = *coordinator_storage;
             const auto decode_start = std::chrono::steady_clock::now();

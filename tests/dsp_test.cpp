@@ -218,14 +218,15 @@ TEST_P(DwtRoundTripTest, PerfectReconstructionFloatBothModes) {
   for (auto& v : x) {
     v = static_cast<float>(rng.gaussian());
   }
-  for (const auto mode :
-       {linalg::KernelMode::kScalar, linalg::KernelMode::kSimd4}) {
+  for (const linalg::Backend* be :
+       {&linalg::reference_backend(), &linalg::scalar_backend(),
+        &linalg::simd4_backend(), &linalg::native_backend()}) {
     std::vector<float> coeffs(param.length);
     std::vector<float> back(param.length);
-    wt.forward<float>(x, coeffs, mode);
-    wt.inverse<float>(coeffs, back, mode);
+    wt.forward<float>(x, coeffs, *be);
+    wt.inverse<float>(coeffs, back, *be);
     for (std::size_t i = 0; i < param.length; ++i) {
-      ASSERT_NEAR(back[i], x[i], 1e-4f) << param.wavelet;
+      ASSERT_NEAR(back[i], x[i], 1e-4f) << param.wavelet << " " << be->name();
     }
   }
 }
@@ -345,7 +346,7 @@ TEST(DwtTest, FloatMatchesDoubleClosely) {
   std::vector<double> cd(512);
   std::vector<float> cf(512);
   wt.forward<double>(xd, cd);
-  wt.forward<float>(xf, cf, linalg::KernelMode::kSimd4);
+  wt.forward<float>(xf, cf, linalg::simd4_backend());
   for (std::size_t i = 0; i < 512; ++i) {
     ASSERT_NEAR(static_cast<float>(cd[i]), cf[i], 2e-4f);
   }

@@ -71,9 +71,9 @@ TEST(IntegrationTest, ScalarAndVectorisedDecodersAgreeNumerically) {
   // The §IV-B optimisation must not change results, only speed.
   const auto& db = shared_db();
   core::DecoderConfig scalar_config;
-  scalar_config.mode = linalg::KernelMode::kScalar;
+  scalar_config.backend = &linalg::scalar_backend();
   core::DecoderConfig simd_config;
-  simd_config.mode = linalg::KernelMode::kSimd4;
+  simd_config.backend = &linalg::simd4_backend();
   core::CsEcgCodec scalar_codec(scalar_config, shared_codebook());
   core::CsEcgCodec simd_codec(simd_config, shared_codebook());
   const auto rs = scalar_codec.run_record<float>(db.mote(1));

@@ -5,8 +5,8 @@
 
 #include <cmath>
 
+#include "csecg/linalg/backend.hpp"
 #include "csecg/linalg/dense_matrix.hpp"
-#include "csecg/linalg/kernels.hpp"
 #include "csecg/linalg/linear_operator.hpp"
 #include "csecg/linalg/sparse_binary_matrix.hpp"
 #include "csecg/linalg/vector_ops.hpp"
@@ -113,16 +113,17 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(KernelCountProperties, CountsScaleLinearlyWithLength) {
   std::vector<float> a(256, 1.0f);
   std::vector<float> b(256, 1.0f);
+  const Backend& be = counting_simd4_backend();
   OpCounts at_64;
   OpCounts at_256;
   {
     OpCounterScope scope;
-    kernels::dot(a.data(), b.data(), 64, KernelMode::kSimd4);
+    be.dot(a.data(), b.data(), 64);
     at_64 = scope.counts();
   }
   {
     OpCounterScope scope;
-    kernels::dot(a.data(), b.data(), 256, KernelMode::kSimd4);
+    be.dot(a.data(), b.data(), 256);
     at_256 = scope.counts();
   }
   EXPECT_EQ(at_256.vector_mac4, 4 * at_64.vector_mac4);
@@ -134,7 +135,8 @@ TEST(KernelCountProperties, EveryKernelChargesSomething) {
   std::vector<float> b(32, 1.0f);
   std::vector<float> c(32, 1.0f);
   std::vector<float> out(64, 0.0f);
-  for (const auto mode : {KernelMode::kScalar, KernelMode::kSimd4}) {
+  for (const Backend* be :
+       {&counting_scalar_backend(), &counting_simd4_backend()}) {
     const auto charged = [&](auto&& fn) {
       OpCounterScope scope;
       fn();
@@ -142,32 +144,25 @@ TEST(KernelCountProperties, EveryKernelChargesSomething) {
       return counts.scalar_mac + counts.scalar_op + counts.vector_mac4 +
              counts.vector_op4 + counts.loads + counts.stores;
     };
+    EXPECT_GT(charged([&] { be->dot(a.data(), b.data(), 32); }), 0u);
+    EXPECT_GT(charged([&] { be->axpy(1.0f, a.data(), out.data(), 32); }), 0u);
     EXPECT_GT(charged([&] {
-      kernels::dot(a.data(), b.data(), 32, mode);
+      be->fused_multiply_add(a.data(), b.data(), c.data(), out.data(), 32);
     }), 0u);
     EXPECT_GT(charged([&] {
-      kernels::axpy(1.0f, a.data(), out.data(), 32, mode);
+      be->subtract(a.data(), b.data(), out.data(), 32);
+    }), 0u);
+    EXPECT_GT(charged([&] { be->scale(2.0f, out.data(), 32); }), 0u);
+    EXPECT_GT(charged([&] {
+      be->soft_threshold(a.data(), 0.1f, out.data(), 32);
     }), 0u);
     EXPECT_GT(charged([&] {
-      kernels::fused_multiply_add(a.data(), b.data(), c.data(), out.data(),
-                                  32, mode);
+      be->dual_band_filter(a.data(), b.data(), c.data(), out.data(),
+                           out.data() + 16, 16, 8);
     }), 0u);
     EXPECT_GT(charged([&] {
-      kernels::subtract(a.data(), b.data(), out.data(), 32, mode);
-    }), 0u);
-    EXPECT_GT(charged([&] {
-      kernels::scale(2.0f, out.data(), 32, mode);
-    }), 0u);
-    EXPECT_GT(charged([&] {
-      kernels::soft_threshold(a.data(), 0.1f, out.data(), 32, mode);
-    }), 0u);
-    EXPECT_GT(charged([&] {
-      kernels::dual_band_filter(a.data(), b.data(), c.data(), out.data(),
-                                out.data() + 16, 16, 8, mode);
-    }), 0u);
-    EXPECT_GT(charged([&] {
-      kernels::dual_band_analysis(a.data(), b.data(), c.data(), out.data(),
-                                  out.data() + 8, 8, 8, mode);
+      be->dual_band_analysis(a.data(), b.data(), c.data(), out.data(),
+                             out.data() + 8, 8, 8);
     }), 0u);
   }
 }
@@ -176,11 +171,11 @@ TEST(KernelCountProperties, ScalarModeNeverEmitsVectorOps) {
   std::vector<float> a(100, 1.0f);
   std::vector<float> b(100, 1.0f);
   std::vector<float> out(100, 0.0f);
+  const Backend& be = counting_scalar_backend();
   OpCounterScope scope;
-  kernels::dot(a.data(), b.data(), 100, KernelMode::kScalar);
-  kernels::axpy(0.5f, a.data(), out.data(), 100, KernelMode::kScalar);
-  kernels::soft_threshold(a.data(), 0.2f, out.data(), 100,
-                          KernelMode::kScalar);
+  be.dot(a.data(), b.data(), 100);
+  be.axpy(0.5f, a.data(), out.data(), 100);
+  be.soft_threshold(a.data(), 0.2f, out.data(), 100);
   EXPECT_EQ(scope.counts().vector_mac4, 0u);
   EXPECT_EQ(scope.counts().vector_op4, 0u);
   EXPECT_EQ(scope.counts().leftover_lane, 0u);
@@ -189,8 +184,8 @@ TEST(KernelCountProperties, ScalarModeNeverEmitsVectorOps) {
 TEST(KernelCountProperties, ZeroLengthChargesNothing) {
   std::vector<float> a(4, 1.0f);
   OpCounterScope scope;
-  kernels::dot(a.data(), a.data(), 0, KernelMode::kSimd4);
-  kernels::axpy(1.0f, a.data(), a.data(), 0, KernelMode::kScalar);
+  counting_simd4_backend().dot(a.data(), a.data(), 0);
+  counting_scalar_backend().axpy(1.0f, a.data(), a.data(), 0);
   const auto& c = scope.counts();
   EXPECT_EQ(c.scalar_mac + c.vector_mac4 + c.loads + c.stores, 0u);
 }

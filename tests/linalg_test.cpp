@@ -1,13 +1,15 @@
 // Unit tests for csecg::linalg — vector primitives, dense and sparse
-// matrices, the instrumented §IV-B kernel pair, and the power iteration.
+// matrices, the §IV-B backend kernels, and the power iteration.
+// (backend_test.cpp holds the cross-backend property tests and the
+// op-count goldens.)
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <numeric>
 
+#include "csecg/linalg/backend.hpp"
 #include "csecg/linalg/dense_matrix.hpp"
-#include "csecg/linalg/kernels.hpp"
 #include "csecg/linalg/linear_operator.hpp"
 #include "csecg/linalg/sparse_binary_matrix.hpp"
 #include "csecg/linalg/vector_ops.hpp"
@@ -257,8 +259,9 @@ TEST(SparseBinaryMatrixTest, RejectsBadParameters) {
 
 // -------------------------------------------------------------- kernels --
 
-/// Every kernel must produce identical math in both schedules; the sweep
-/// covers multiples of 4 and the Fig 3 leftover cases.
+/// The scalar and simd4 schedules must produce identical math; the sweep
+/// covers multiples of 4 and the Fig 3 leftover cases. (Full four-backend
+/// randomized parity lives in backend_test.cpp.)
 class KernelParityTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(KernelParityTest, DotParity) {
@@ -266,9 +269,8 @@ TEST_P(KernelParityTest, DotParity) {
   util::Rng rng(n + 1);
   const auto a = random_vector_f(n, rng);
   const auto b = random_vector_f(n, rng);
-  const float scalar = kernels::dot(a.data(), b.data(), n,
-                                    KernelMode::kScalar);
-  const float simd = kernels::dot(a.data(), b.data(), n, KernelMode::kSimd4);
+  const float scalar = scalar_backend().dot(a.data(), b.data(), n);
+  const float simd = simd4_backend().dot(a.data(), b.data(), n);
   EXPECT_NEAR(scalar, simd, 1e-3f * (std::fabs(scalar) + 1.0f));
 }
 
@@ -278,8 +280,8 @@ TEST_P(KernelParityTest, AxpyParity) {
   const auto x = random_vector_f(n, rng);
   auto y1 = random_vector_f(n, rng);
   auto y2 = y1;
-  kernels::axpy(0.37f, x.data(), y1.data(), n, KernelMode::kScalar);
-  kernels::axpy(0.37f, x.data(), y2.data(), n, KernelMode::kSimd4);
+  scalar_backend().axpy(0.37f, x.data(), y1.data(), n);
+  simd4_backend().axpy(0.37f, x.data(), y2.data(), n);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_FLOAT_EQ(y1[i], y2[i]);
   }
@@ -293,10 +295,10 @@ TEST_P(KernelParityTest, FusedMultiplyAddParity) {
   const auto c = random_vector_f(n, rng);
   std::vector<float> d1(n);
   std::vector<float> d2(n);
-  kernels::fused_multiply_add(a.data(), b.data(), c.data(), d1.data(), n,
-                              KernelMode::kScalar);
-  kernels::fused_multiply_add(a.data(), b.data(), c.data(), d2.data(), n,
-                              KernelMode::kSimd4);
+  scalar_backend().fused_multiply_add(a.data(), b.data(), c.data(), d1.data(),
+                                      n);
+  simd4_backend().fused_multiply_add(a.data(), b.data(), c.data(), d2.data(),
+                                     n);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_FLOAT_EQ(d1[i], d2[i]);
     EXPECT_FLOAT_EQ(d1[i], a[i] + b[i] * c[i]);
@@ -310,10 +312,10 @@ TEST_P(KernelParityTest, SubtractAndScaleParity) {
   const auto b = random_vector_f(n, rng);
   std::vector<float> o1(n);
   std::vector<float> o2(n);
-  kernels::subtract(a.data(), b.data(), o1.data(), n, KernelMode::kScalar);
-  kernels::subtract(a.data(), b.data(), o2.data(), n, KernelMode::kSimd4);
-  kernels::scale(1.5f, o1.data(), n, KernelMode::kScalar);
-  kernels::scale(1.5f, o2.data(), n, KernelMode::kSimd4);
+  scalar_backend().subtract(a.data(), b.data(), o1.data(), n);
+  simd4_backend().subtract(a.data(), b.data(), o2.data(), n);
+  scalar_backend().scale(1.5f, o1.data(), n);
+  simd4_backend().scale(1.5f, o2.data(), n);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_FLOAT_EQ(o1[i], o2[i]);
     EXPECT_FLOAT_EQ(o1[i], (a[i] - b[i]) * 1.5f);
@@ -330,8 +332,8 @@ TEST_P(KernelParityTest, SoftThresholdParityAndSemantics) {
   std::vector<float> y1(n);
   std::vector<float> y2(n);
   const float t = 0.4f;
-  kernels::soft_threshold(u.data(), t, y1.data(), n, KernelMode::kScalar);
-  kernels::soft_threshold(u.data(), t, y2.data(), n, KernelMode::kSimd4);
+  scalar_backend().soft_threshold(u.data(), t, y1.data(), n);
+  simd4_backend().soft_threshold(u.data(), t, y2.data(), n);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_FLOAT_EQ(y1[i], y2[i]);
     const float expected =
@@ -351,10 +353,10 @@ TEST_P(KernelParityTest, DualBandFilterParity) {
   std::vector<float> h1o(count);
   std::vector<float> l2(count);
   std::vector<float> h2o(count);
-  kernels::dual_band_filter(input.data(), h0.data(), h1.data(), l1.data(),
-                            h1o.data(), count, kTaps, KernelMode::kScalar);
-  kernels::dual_band_filter(input.data(), h0.data(), h1.data(), l2.data(),
-                            h2o.data(), count, kTaps, KernelMode::kSimd4);
+  scalar_backend().dual_band_filter(input.data(), h0.data(), h1.data(),
+                                    l1.data(), h1o.data(), count, kTaps);
+  simd4_backend().dual_band_filter(input.data(), h0.data(), h1.data(),
+                                   l2.data(), h2o.data(), count, kTaps);
   for (std::size_t i = 0; i < count; ++i) {
     EXPECT_NEAR(l1[i], l2[i], 1e-4f);
     EXPECT_NEAR(h1o[i], h2o[i], 1e-4f);
@@ -375,20 +377,20 @@ TEST_P(KernelParityTest, DualBandAnalysisSynthesisParity) {
   std::vector<float> d1(half);
   std::vector<float> a2(half);
   std::vector<float> d2(half);
-  kernels::dual_band_analysis(ext.data(), h0.data(), h1.data(), a1.data(),
-                              d1.data(), half, kTaps, KernelMode::kScalar);
-  kernels::dual_band_analysis(ext.data(), h0.data(), h1.data(), a2.data(),
-                              d2.data(), half, kTaps, KernelMode::kSimd4);
+  scalar_backend().dual_band_analysis(ext.data(), h0.data(), h1.data(),
+                                      a1.data(), d1.data(), half, kTaps);
+  simd4_backend().dual_band_analysis(ext.data(), h0.data(), h1.data(),
+                                     a2.data(), d2.data(), half, kTaps);
   for (std::size_t i = 0; i < half; ++i) {
     EXPECT_NEAR(a1[i], a2[i], 1e-4f);
     EXPECT_NEAR(d1[i], d2[i], 1e-4f);
   }
   std::vector<float> x1(2 * half + kTaps - 1, 0.0f);
   std::vector<float> x2(2 * half + kTaps - 1, 0.0f);
-  kernels::dual_band_synthesis(a1.data(), d1.data(), h0.data(), h1.data(),
-                               x1.data(), half, kTaps, KernelMode::kScalar);
-  kernels::dual_band_synthesis(a2.data(), d2.data(), h0.data(), h1.data(),
-                               x2.data(), half, kTaps, KernelMode::kSimd4);
+  scalar_backend().dual_band_synthesis(a1.data(), d1.data(), h0.data(),
+                                       h1.data(), x1.data(), half, kTaps);
+  simd4_backend().dual_band_synthesis(a2.data(), d2.data(), h0.data(),
+                                      h1.data(), x2.data(), half, kTaps);
   for (std::size_t i = 0; i < x1.size(); ++i) {
     EXPECT_NEAR(x1[i], x2[i], 1e-4f);
   }
@@ -403,14 +405,14 @@ TEST(KernelCountingTest, NoScopeMeansNoCounting) {
   std::vector<float> a(8, 1.0f);
   std::vector<float> b(8, 2.0f);
   EXPECT_NO_FATAL_FAILURE(
-      kernels::dot(a.data(), b.data(), 8, KernelMode::kSimd4));
+      counting_simd4_backend().dot(a.data(), b.data(), 8));
 }
 
 TEST(KernelCountingTest, ScalarModeCountsScalarMacs) {
   std::vector<float> a(16, 1.0f);
   std::vector<float> b(16, 2.0f);
   OpCounterScope scope;
-  kernels::dot(a.data(), b.data(), 16, KernelMode::kScalar);
+  counting_scalar_backend().dot(a.data(), b.data(), 16);
   EXPECT_EQ(scope.counts().scalar_mac, 16u);
   EXPECT_EQ(scope.counts().vector_mac4, 0u);
   EXPECT_EQ(scope.counts().loads, 32u);
@@ -420,7 +422,7 @@ TEST(KernelCountingTest, Simd4ModeCountsVectorMacs) {
   std::vector<float> a(16, 1.0f);
   std::vector<float> b(16, 2.0f);
   OpCounterScope scope;
-  kernels::dot(a.data(), b.data(), 16, KernelMode::kSimd4);
+  counting_simd4_backend().dot(a.data(), b.data(), 16);
   EXPECT_EQ(scope.counts().vector_mac4, 4u);
   EXPECT_EQ(scope.counts().scalar_mac, 0u);
   EXPECT_EQ(scope.counts().leftover_lane, 0u);
@@ -430,7 +432,7 @@ TEST(KernelCountingTest, LeftoverLanesCounted) {
   std::vector<float> a(10, 1.0f);
   std::vector<float> b(10, 2.0f);
   OpCounterScope scope;
-  kernels::dot(a.data(), b.data(), 10, KernelMode::kSimd4);
+  counting_simd4_backend().dot(a.data(), b.data(), 10);
   EXPECT_EQ(scope.counts().vector_mac4, 2u);   // 8 of 10 elements
   EXPECT_EQ(scope.counts().leftover_lane, 2u); // Fig 3 tail
 }
@@ -439,14 +441,55 @@ TEST(KernelCountingTest, ScopesNestAndRestore) {
   std::vector<float> a(4, 1.0f);
   std::vector<float> b(4, 1.0f);
   OpCounterScope outer;
-  kernels::dot(a.data(), b.data(), 4, KernelMode::kScalar);
+  counting_scalar_backend().dot(a.data(), b.data(), 4);
   {
     OpCounterScope inner;
-    kernels::dot(a.data(), b.data(), 4, KernelMode::kScalar);
+    counting_scalar_backend().dot(a.data(), b.data(), 4);
     EXPECT_EQ(inner.counts().scalar_mac, 4u);
   }
-  kernels::dot(a.data(), b.data(), 4, KernelMode::kScalar);
+  counting_scalar_backend().dot(a.data(), b.data(), 4);
   EXPECT_EQ(outer.counts().scalar_mac, 8u);  // inner scope not double-counted
+}
+
+TEST(KernelCountingTest, PlainBackendsNeverCharge) {
+  // Only the counting decorator prices work; the plain implementations
+  // stay silent even inside an open scope.
+  std::vector<float> a(16, 1.0f);
+  std::vector<float> b(16, 2.0f);
+  std::vector<float> out(16);
+  OpCounterScope scope;
+  for (const Backend* be :
+       {&reference_backend(), &scalar_backend(), &simd4_backend(),
+        &native_backend()}) {
+    be->dot(a.data(), b.data(), 16);
+    be->axpy(0.5f, a.data(), out.data(), 16);
+    be->soft_threshold(a.data(), 0.1f, out.data(), 16);
+    be->norm1(a.data(), 16);
+  }
+  EXPECT_EQ(scope.counts().scalar_mac, 0u);
+  EXPECT_EQ(scope.counts().scalar_op, 0u);
+  EXPECT_EQ(scope.counts().vector_mac4, 0u);
+  EXPECT_EQ(scope.counts().vector_op4, 0u);
+  EXPECT_EQ(scope.counts().leftover_lane, 0u);
+  EXPECT_EQ(scope.counts().loads, 0u);
+  EXPECT_EQ(scope.counts().stores, 0u);
+}
+
+TEST(KernelCountingTest, CountingPreservesInnerKindAndName) {
+  EXPECT_EQ(counting_scalar_backend().kind(), BackendKind::kScalar);
+  EXPECT_EQ(counting_simd4_backend().kind(), BackendKind::kSimd4);
+  EXPECT_TRUE(counting_scalar_backend().counting());
+  EXPECT_FALSE(simd4_backend().counting());
+  EXPECT_STREQ(counting_scalar_backend().name(), "counting(scalar)");
+  EXPECT_STREQ(counting_simd4_backend().name(), "counting(simd4)");
+}
+
+TEST(KernelCountingTest, BackendByNameResolves) {
+  EXPECT_EQ(backend_by_name("reference"), &reference_backend());
+  EXPECT_EQ(backend_by_name("scalar"), &scalar_backend());
+  EXPECT_EQ(backend_by_name("simd4"), &simd4_backend());
+  EXPECT_EQ(backend_by_name("native"), &native_backend());
+  EXPECT_EQ(backend_by_name("neon"), nullptr);
 }
 
 TEST(KernelCountingTest, ChargeAddsExternalCounts) {

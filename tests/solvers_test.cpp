@@ -411,10 +411,10 @@ TEST(KernelOpMixTest, CopyIsPureMemoryTraffic) {
   // through this kernel so the cycle model sees them.
   std::vector<float> x(16, 1.5f);
   std::vector<float> out(16, 0.0f);
-  for (const auto mode :
-       {linalg::KernelMode::kScalar, linalg::KernelMode::kSimd4}) {
+  for (const linalg::Backend* be : {&linalg::counting_scalar_backend(),
+                                    &linalg::counting_simd4_backend()}) {
     linalg::OpCounterScope scope;
-    linalg::kernels::copy(x.data(), out.data(), x.size(), mode);
+    be->copy(x.data(), out.data(), x.size());
     const auto& counts = scope.counts();
     EXPECT_EQ(counts.scalar_mac, 0u);
     EXPECT_EQ(counts.vector_mac4, 0u);
@@ -438,20 +438,20 @@ TEST(KernelOpMixTest, FistaPerIterationCostIsStable) {
   options.tolerance = 0.0;  // never converge: iterations == max_iterations
   options.lipschitz = 8.0;
 
-  const auto run = [&](std::size_t iterations, linalg::KernelMode mode) {
+  const auto run = [&](std::size_t iterations, const linalg::Backend& be) {
     options.max_iterations = iterations;
-    options.mode = mode;
+    options.backend = &be;
     linalg::OpCounterScope scope;
     const auto result = fista<float>(op, y, options);
     EXPECT_EQ(result.iterations, iterations);
     return scope.counts();
   };
 
-  for (const auto mode :
-       {linalg::KernelMode::kScalar, linalg::KernelMode::kSimd4}) {
-    const auto c1 = run(1, mode);
-    const auto c2 = run(2, mode);
-    const auto c3 = run(3, mode);
+  for (const linalg::Backend* be : {&linalg::counting_scalar_backend(),
+                                    &linalg::counting_simd4_backend()}) {
+    const auto c1 = run(1, *be);
+    const auto c2 = run(2, *be);
+    const auto c3 = run(3, *be);
     const auto delta = [](const linalg::OpCounts& hi,
                           const linalg::OpCounts& lo) {
       return std::array<std::uint64_t, 7>{
@@ -462,13 +462,13 @@ TEST(KernelOpMixTest, FistaPerIterationCostIsStable) {
     };
     const auto step_a = delta(c2, c1);
     const auto step_b = delta(c3, c2);
-    EXPECT_EQ(step_a, step_b) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(step_a, step_b) << "backend " << be->name();
     // The iteration writes at least candidate (copy), the thresholded
     // iterate, the momentum extrapolation and the operator outputs.
     const std::size_t n = op.cols();
     EXPECT_GE(step_a[6], 3 * n);
     // The scalar schedule must not charge vector lanes and vice versa.
-    if (mode == linalg::KernelMode::kScalar) {
+    if (be->kind() == linalg::BackendKind::kScalar) {
       EXPECT_EQ(step_a[2], 0u);
       EXPECT_EQ(step_a[3], 0u);
     } else {

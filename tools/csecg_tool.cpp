@@ -7,19 +7,27 @@
 //   csecg_tool encode   --in rec.csecg --out session.csecgs [--cr 50]
 //                       [--d 12] [--shift 0] [--seed 42]
 //   csecg_tool decode   --in session.csecgs --out recon.csecg
+//                       [--backend native]
 //   csecg_tool metrics  --a rec.csecg --b recon.csecg
 //   csecg_tool metrics  [--in rec.csecg] [--seconds 30] [--seed 1]
 //                       [--loss 0.1] [--burst 4] [--ber 1e-5] [--retries 3]
 //                       [--keyframe 64] [--conceal hold|interp]
-//                       [--json dump.jsonl]
+//                       [--backend native] [--json dump.jsonl]
 //   csecg_tool metrics  --trace dump.jsonl
 //   csecg_tool stream   --in rec.csecg [--cr 50] [--adapt 1] [--loss 0.1]
 //                       [--burst 4] [--ber 1e-5] [--retries 3]
 //                       [--keyframe 64] [--conceal hold|interp]
+//                       [--backend native]
 //   csecg_tool fleet    [--nodes 8] [--workers 4] [--seconds 30]
 //                       [--cr 30,50,70] [--adapt 1] [--queue 64]
 //                       [--loss 0.0] [--burst 1] [--ber 0]
-//                       [--keyframe 64] [--rate 256] [--json dump.jsonl]
+//                       [--keyframe 64] [--rate 256] [--batch 1]
+//                       [--backend native] [--json dump.jsonl]
+//
+// Decoding commands accept `--backend reference|scalar|simd4|native`
+// (default native): which kernel schedule the FISTA reconstruction runs
+// through. `fleet --batch k` drains up to k frames per worker dispatch
+// and sweeps them through the batched solver in one kernel invocation.
 //
 // `encode` trains a codebook on the input record itself (self-contained
 // sessions); `decode` reads everything it needs from the session file.
@@ -58,6 +66,7 @@
 #include "csecg/ecg/qrs_detector.hpp"
 #include "csecg/io/record_io.hpp"
 #include "csecg/io/session_io.hpp"
+#include "csecg/linalg/backend.hpp"
 #include "csecg/obs/export.hpp"
 #include "csecg/obs/obs.hpp"
 #include "csecg/wbsn/fleet.hpp"
@@ -96,6 +105,24 @@ double get_double(const Args& args, const std::string& key,
                   double fallback) {
   const auto it = args.find(key);
   return it == args.end() ? fallback : std::stod(it->second);
+}
+
+/// `--backend reference|scalar|simd4|native` picks the kernel schedule
+/// the decoders run through. Default native: the host's widest correct
+/// SIMD (falls back to the reference loops when compiled out — the
+/// printed name says which you got). Always a plain backend; the
+/// pipeline's coordinator layers its own counting decorator when it
+/// prices the Cortex-A8 model.
+const linalg::Backend& parse_backend(const Args& args) {
+  const auto it = args.find("backend");
+  const std::string name = it == args.end() ? "native" : it->second;
+  const linalg::Backend* backend = linalg::backend_by_name(name);
+  if (backend == nullptr) {
+    std::fprintf(stderr,
+                 "--backend must be reference|scalar|simd4|native\n");
+    std::exit(2);
+  }
+  return *backend;
 }
 
 int cmd_generate(const Args& args) {
@@ -257,6 +284,7 @@ int cmd_decode(const Args& args) {
   }
   core::DecoderConfig config;
   config.cs = session->config;
+  config.backend = &parse_backend(args);
   core::Decoder decoder(config, *codebook);
 
   ecg::Record out_record;
@@ -284,9 +312,9 @@ int cmd_decode(const Args& args) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
     return 1;
   }
-  std::printf("decoded %zu/%zu packets into %s (%zu samples)\n", decoded,
-              session->frames.size(), out.c_str(),
-              out_record.samples.size());
+  std::printf("decoded %zu/%zu packets into %s (%zu samples, %s kernels)\n",
+              decoded, session->frames.size(), out.c_str(),
+              out_record.samples.size(), decoder.backend().name());
   return 0;
 }
 
@@ -329,6 +357,7 @@ int cmd_stream(const Args& args) {
 
   wbsn::PipelineConfig pipe = parse_pipeline_args(args);
   pipe.adaptive.enabled = get_double(args, "adapt", 0.0) != 0.0;
+  pipe.backend = &parse_backend(args);
 
   wbsn::RealTimePipeline pipeline(profile, pipe);
   const auto report = pipeline.run(*record);
@@ -356,6 +385,7 @@ int cmd_stream(const Args& args) {
                 report.adaptive.last_nack_rate);
   }
   std::printf("mean PRD (clean windows): %.2f %%\n", report.mean_prd);
+  std::printf("decode backend          : %s\n", pipe.backend->name());
   std::printf("node/coordinator CPU    : %.2f %% / %.1f %%\n",
               report.node_cpu_usage * 100.0,
               report.coordinator_cpu_usage * 100.0);
@@ -407,6 +437,9 @@ int cmd_fleet(const Args& args) {
   fleet_config.queue_depth =
       static_cast<std::size_t>(get_double(args, "queue", 64.0));
   fleet_config.deadline_seconds = window_period_s;
+  fleet_config.backend = &parse_backend(args);
+  fleet_config.decode_batch =
+      static_cast<std::size_t>(get_double(args, "batch", 1.0));
 
   // Per-node quality accounting, written by the sink on worker threads.
   // Distinct nodes deliver on distinct accumulators (per-node ordering
@@ -516,8 +549,10 @@ int cmd_fleet(const Args& args) {
   const auto report = fleet.finish();
 
   std::printf("fleet                   : %zu nodes x %zu workers, "
-              "queue %zu%s\n",
+              "queue %zu, %s kernels (batch %zu)%s\n",
               node_count, fleet_config.workers, fleet_config.queue_depth,
+              fleet_config.backend->name(),
+              std::max<std::size_t>(1, fleet_config.decode_batch),
               adapt ? ", adaptive CR" : "");
   std::printf("node   CR  windows concealed  p50 ms  p95 ms  p99 ms"
               "  mean PRD\n");
@@ -616,6 +651,7 @@ int cmd_metrics_session(const Args& args) {
   config.cs.keyframe_interval =
       static_cast<std::size_t>(get_double(args, "keyframe", 64.0));
   wbsn::PipelineConfig pipe = parse_pipeline_args(args);
+  pipe.backend = &parse_backend(args);
 
   obs::Session session;
   pipe.obs = &session;
@@ -624,6 +660,7 @@ int cmd_metrics_session(const Args& args) {
   const auto report = pipeline.run(record);
 
   obs::render_summary(session, std::cout);
+  std::printf("decode backend          : %s\n", pipe.backend->name());
   std::printf("\ndecode latency (host)   : p50 %.1f ms  p95 %.1f ms  "
               "p99 %.1f ms  max %.1f ms over %zu windows\n",
               report.latency_p50_s * 1e3, report.latency_p95_s * 1e3,
