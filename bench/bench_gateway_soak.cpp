@@ -1,0 +1,122 @@
+// EXP-A13 — gateway soak: the sharded ingest front door under a bursty
+// overload (wbsn::GatewayService + wbsn::run_soak). The soak harness
+// drives a duty-cycled synthetic population through the gateway with a
+// forced shed slice, then measures a paced steady phase. Reported per
+// shard and globally:
+//
+//   * shed rate — fraction of offered windows not fully decoded
+//     (concealment-only sheds + ingest drops), the overload-control cost
+//   * queue high-water — proof the bounded queues stayed bounded
+//   * latency p50/p99 — submit-to-delivery per window
+//
+// The harness gates double as the bench's pass criteria: every
+// reconstructed window CRC-matches a clean reference decode, the shed
+// ledger balances exactly, and the steady phase allocates nothing (the
+// allocation gate runs inside csecg_tool gateway --soak; here the CRC
+// and accounting gates apply). Exit is non-zero on any gate failure.
+//
+// Scale knobs (env): CSECG_BENCH_SOAK_NODES, CSECG_BENCH_SOAK_WARMUP,
+// CSECG_BENCH_SOAK_STEADY. Defaults finish in ~15 s on one core.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "csecg/obs/export.hpp"
+#include "csecg/util/table.hpp"
+#include "csecg/wbsn/gateway.hpp"
+#include "csecg/wbsn/traffic_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csecg;
+  std::cout << "EXP-A13: gateway soak — shed rate, queue bounds and "
+               "latency under bursty overload\n\n";
+
+  wbsn::SoakConfig config;
+  config.traffic.nodes = bench::env_size("CSECG_BENCH_SOAK_NODES", 400);
+  config.traffic.streams = 3;
+  config.traffic.records = 2;
+  config.traffic.windows_per_stream = 32;
+  config.traffic.clusters = 16;
+  config.traffic.duty_on = 4;
+  config.traffic.duty_period = 256;
+  config.gateway.shards = 2;
+  config.gateway.shard.workers = 1;
+  config.gateway.shard.queue_depth = 64;
+  config.gateway.shard.decode_batch = 4;
+  config.warmup_ticks =
+      bench::env_size("CSECG_BENCH_SOAK_WARMUP", 48);
+  config.steady_ticks =
+      bench::env_size("CSECG_BENCH_SOAK_STEADY", 64);
+
+  const wbsn::SoakResult result = wbsn::run_soak(config);
+
+  util::Table table({"scope", "offered", "decoded", "concealed",
+                     "shed drop", "shed %", "queue hw", "p50 ms",
+                     "p99 ms"});
+  bench::JsonReport json(
+      "gateway_soak",
+      {"scope", "offered", "decoded", "concealed", "shed_concealed",
+       "shed_dropped", "shed_rate_pct", "queue_high_water", "queue_depth",
+       "p50_ms", "p99_ms", "crc_checked", "crc_mismatches"});
+  for (const auto& row : result.slo) {
+    const double shed_rate =
+        row.offered == 0
+            ? 0.0
+            : 100.0 *
+                  static_cast<double>(row.shed_concealed + row.shed_dropped) /
+                  static_cast<double>(row.offered);
+    const bool global = row.label == "global";
+    table.add_row({row.label, std::to_string(row.offered),
+                   std::to_string(row.decoded),
+                   std::to_string(row.concealed),
+                   std::to_string(row.shed_dropped),
+                   util::format_double(shed_rate, 2),
+                   std::to_string(row.queue_high_water),
+                   util::format_double(row.p50_ms, 3),
+                   util::format_double(row.p99_ms, 3)});
+    json.add_row({row.label, std::to_string(row.offered),
+                  std::to_string(row.decoded),
+                  std::to_string(row.concealed),
+                  std::to_string(row.shed_concealed),
+                  std::to_string(row.shed_dropped),
+                  util::format_double(shed_rate, 2),
+                  std::to_string(row.queue_high_water),
+                  std::to_string(row.queue_depth),
+                  util::format_double(row.p50_ms, 3),
+                  util::format_double(row.p99_ms, 3),
+                  global ? std::to_string(result.crc_checked) : "-",
+                  global ? std::to_string(result.crc_mismatches) : "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nnodes registered   : " << result.nodes_registered << " ("
+            << config.traffic.nodes << " in the population)\n";
+  std::cout << "offer ledger       : " << result.offered << " = "
+            << result.admitted << " admitted + " << result.shed_dropped
+            << " shed drop + " << result.shed_queue_full << " shed full "
+            << (result.report.accounts_exactly() ? "[exact]" : "[MISMATCH]")
+            << "\n";
+  std::cout << "CRC validation     : " << result.crc_checked
+            << " checked, " << result.crc_mismatches << " mismatches\n";
+  std::cout << "steady phase       : " << result.steady_offered
+            << " offered, " << result.steady_delivered << " delivered\n";
+  std::cout << "wall time          : "
+            << util::format_double(result.wall_seconds, 2) << " s\n";
+
+  int exit_code = 0;
+  for (const auto& failure : result.failures) {
+    std::cerr << "SOAK FAILURE: " << failure << "\n";
+    exit_code = 1;
+  }
+  std::cout << "\ngates              : "
+            << (result.passed() ? "PASS" : "FAIL") << "\n";
+
+  const auto json_path = bench::json_output_path(argc, argv);
+  if (!json_path.empty() && json.write(json_path)) {
+    std::cout << "JSON artefact      : " << json_path << "\n";
+  }
+  return exit_code;
+}

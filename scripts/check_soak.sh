@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Bounded gateway soak under ThreadSanitizer (~60 s on one CI core).
+#
+# Builds csecg_tool with TSan and runs `csecg_tool gateway --soak` at a
+# reduced scale with the shed path forced (--force-shed pins a
+# kDropToKeyframe slice into the warm-up burst, so the degrade ladder,
+# NACK suppression and ARQ gap-abandonment all execute under the
+# sanitizer even if natural pressure never overruns the queues).
+#
+# The tool exits non-zero if any soak gate fails: a single CRC mismatch
+# between a delivered reconstruction and its clean reference decode, a
+# shed-ledger imbalance, an unbounded queue, a shard left degraded, or a
+# steady-state heap allocation. halt_on_error turns the first data race
+# into a failure too.
+#
+# Usage: scripts/check_soak.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan-soak}"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSECG_SANITIZE=OFF \
+  -DCSECG_SANITIZE_THREAD=ON \
+  -DCSECG_BUILD_TESTS=OFF \
+  -DCSECG_BUILD_BENCHMARKS=OFF \
+  -DCSECG_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j"$(nproc)" --target csecg_tool
+
+# Reduced-scale soak: same phase structure as the full 10k-node run
+# (burst + forced shed slice, recovery to kFullDecode, paced steady
+# band), sized to finish inside a CI minute under TSan's slowdown.
+TSAN_OPTIONS=halt_on_error=1 \
+  "${build_dir}/tools/csecg_tool" gateway --soak \
+    --nodes 200 --streams 2 --records 1 --windows 24 --clusters 8 \
+    --duty-on 4 --duty-period 128 --shards 2 --workers 1 --queue 32 \
+    --batch 2 --warmup 32 --steady 24 --force-shed 1

@@ -80,6 +80,11 @@ struct Packet {
   /// set, or the kind value is unassigned. Each reject increments a
   /// packet.drop.<reason> obs counter.
   static std::optional<Packet> parse(std::span<const std::uint8_t> bytes);
+  /// parse() into caller-owned storage: \p out's payload capacity is
+  /// reused, so a receive loop that parses every frame into the same
+  /// Packet is allocation-free once warm. \p out is unspecified on
+  /// failure.
+  static bool parse_into(std::span<const std::uint8_t> bytes, Packet& out);
 };
 
 }  // namespace csecg::core

@@ -32,33 +32,40 @@ std::vector<std::uint8_t> Packet::serialize() const {
   return bytes;
 }
 
-std::optional<Packet> Packet::parse(std::span<const std::uint8_t> bytes) {
+bool Packet::parse_into(std::span<const std::uint8_t> bytes, Packet& out) {
   if (bytes.size() < kHeaderBytes + kCrcBytes) {
     obs::add("packet.drop.truncated");
-    return std::nullopt;  // truncated header or missing trailer
+    return false;  // truncated header or missing trailer
   }
   const std::size_t body = bytes.size() - kCrcBytes;
   const std::uint16_t stored = static_cast<std::uint16_t>(
       (std::uint16_t{bytes[body]} << 8) | bytes[body + 1]);
   if (crc16_ccitt(bytes.first(body)) != stored) {
     obs::add("packet.drop.crc");
-    return std::nullopt;  // corrupted in flight
+    return false;  // corrupted in flight
   }
   if ((bytes[2] & static_cast<std::uint8_t>(~kKindMask)) != 0) {
     // A CRC-clean frame with reserved bits set comes from a newer wire
     // format this build does not speak: fail closed, never misparse.
     obs::add("packet.drop.reserved_bits");
-    return std::nullopt;
+    return false;
   }
   if (bytes[2] > static_cast<std::uint8_t>(PacketKind::kProfile)) {
     obs::add("packet.drop.unknown_kind");
-    return std::nullopt;  // unassigned kind value inside the mask
+    return false;  // unassigned kind value inside the mask
   }
-  Packet packet;
-  packet.sequence =
+  out.sequence =
       static_cast<std::uint16_t>((std::uint16_t{bytes[0]} << 8) | bytes[1]);
-  packet.kind = static_cast<PacketKind>(bytes[2]);
-  packet.payload.assign(bytes.begin() + kHeaderBytes, bytes.begin() + body);
+  out.kind = static_cast<PacketKind>(bytes[2]);
+  out.payload.assign(bytes.begin() + kHeaderBytes, bytes.begin() + body);
+  return true;
+}
+
+std::optional<Packet> Packet::parse(std::span<const std::uint8_t> bytes) {
+  Packet packet;
+  if (!parse_into(bytes, packet)) {
+    return std::nullopt;
+  }
   return packet;
 }
 

@@ -361,7 +361,8 @@ bool import_histogram(const JsonObject& object, Session& session) {
       .inject(counts, sum, min, max);
 }
 
-bool import_span(const JsonObject& object, Session& session) {
+bool import_span(const JsonObject& object, Session& session,
+                 std::vector<std::pair<std::string, double>>& replayed) {
   const JsonValue* name = find(object, "name");
   if (name == nullptr || !name->is_string()) {
     return false;
@@ -388,14 +389,20 @@ bool import_span(const JsonObject& object, Session& session) {
       record.attributes.emplace_back(key, value.number());
     }
   }
-  // Replay through the tracer so the per-stage histograms regenerate —
-  // the JSONL dump intentionally omits the derived "stage.*" histograms
-  // to keep the round trip from double counting.
-  session.tracer().record(std::move(record));
+  // Replay into the trace buffer without re-feeding the stage
+  // histograms: the dump carries those as first-class histogram lines
+  // (they can hold merged or span-overflow data the raw spans cannot
+  // regenerate), so feeding the spans again would double count. The
+  // (name, duration) pair is kept so import_jsonl can rebuild the stage
+  // histograms for legacy dumps that omitted them.
+  replayed.emplace_back(record.name, record.duration_s);
+  session.tracer().replay(std::move(record));
   return true;
 }
 
-/// True for registry entries the spans will regenerate on import.
+/// True for "stage.*" histograms, the ones record() derives from spans.
+/// They are still exported (see export_jsonl) — this predicate only
+/// drives the summary renderer and the legacy-import fallback.
 bool derived_from_spans(const std::string& name) {
   return name.rfind("stage.", 0) == 0;
 }
@@ -413,10 +420,15 @@ void export_jsonl(const Session& session, std::ostream& os) {
        << ",\"value\":" << json_number(gauge->value())
        << ",\"max\":" << json_number(gauge->max()) << "}\n";
   }
+  // Every histogram is exported, including the span-derived "stage.*"
+  // ones. Those used to be skipped and rebuilt from the spans on import,
+  // but after a Registry::merge the merged stage data exists only in the
+  // histograms (tracer buffers are never merged), and a full buffer
+  // drops spans while the histograms keep counting — either way the
+  // spans under-represent the histogram, so skipping loses data.
+  // import_span compensates by replaying spans without the histogram
+  // fold.
   for (const auto& [name, histogram] : registry.histograms()) {
-    if (derived_from_spans(name)) {
-      continue;  // regenerated from the spans on import
-    }
     os << "{\"type\":\"histogram\",\"name\":" << json_string(name)
        << ",\"bounds\":[";
     const auto& bounds = histogram->bounds();
@@ -464,6 +476,13 @@ bool import_jsonl(std::istream& is, Session& session, std::string* error) {
 
   std::string line;
   std::size_t line_number = 0;
+  // Spans replayed from this dump, and whether the dump carried its own
+  // "stage.*" histogram lines. Current dumps do (the histograms are the
+  // source of truth; spans replay without re-feeding them). Legacy dumps
+  // omitted them, so the stage histograms are rebuilt from the spans at
+  // the end.
+  std::vector<std::pair<std::string, double>> replayed;
+  bool stage_histograms_seen = false;
   while (std::getline(is, line)) {
     ++line_number;
     if (line.find_first_not_of(" \t\r") == std::string::npos) {
@@ -484,9 +503,14 @@ bool import_jsonl(std::istream& is, Session& session, std::string* error) {
     } else if (type->string() == "gauge") {
       ok = import_gauge(object, session);
     } else if (type->string() == "histogram") {
+      if (const JsonValue* name = find(object, "name");
+          name != nullptr && name->is_string() &&
+          derived_from_spans(name->string())) {
+        stage_histograms_seen = true;
+      }
       ok = import_histogram(object, session);
     } else if (type->string() == "span") {
-      ok = import_span(object, session);
+      ok = import_span(object, session, replayed);
     } else {
       return fail(line_number, "unknown record type");
     }
@@ -494,7 +518,41 @@ bool import_jsonl(std::istream& is, Session& session, std::string* error) {
       return fail(line_number, "malformed record");
     }
   }
+  if (!stage_histograms_seen) {
+    for (const auto& [name, duration_s] : replayed) {
+      session.registry().histogram("stage." + name + ".seconds")
+          .add(duration_s);
+    }
+  }
   return true;
+}
+
+void render_slo_table(std::span<const SloRow> rows, std::ostream& os) {
+  util::Table table({"shard", "offered", "decoded", "concealed",
+                     "shed conceal", "shed drop", "shed %", "queue hw",
+                     "p50 ms", "p99 ms", "deadline miss"});
+  table.set_title("Gateway SLO");
+  for (const SloRow& row : rows) {
+    const std::size_t shed = row.shed_concealed + row.shed_dropped;
+    const double shed_rate =
+        row.offered == 0 ? 0.0
+                         : static_cast<double>(shed) /
+                               static_cast<double>(row.offered);
+    std::string queue = std::to_string(row.queue_high_water);
+    if (row.queue_depth > 0) {
+      queue += "/" + std::to_string(row.queue_depth);
+    }
+    table.add_row({row.label, std::to_string(row.offered),
+                   std::to_string(row.decoded),
+                   std::to_string(row.concealed),
+                   std::to_string(row.shed_concealed),
+                   std::to_string(row.shed_dropped),
+                   util::format_percent(shed_rate, 2), queue,
+                   util::format_double(row.p50_ms, 3),
+                   util::format_double(row.p99_ms, 3),
+                   std::to_string(row.deadline_misses)});
+  }
+  table.print(os);
 }
 
 void render_summary(const Session& session, std::ostream& os) {

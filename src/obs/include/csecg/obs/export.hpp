@@ -17,12 +17,36 @@
 ///  * Table summary — the human report: per-stage latency quantiles,
 ///    FISTA iteration histogram, counters/gauges, deadline miss rate.
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 
 #include "csecg/obs/obs.hpp"
 
 namespace csecg::obs {
+
+/// One row of a service-level-objective table: a gateway shard, or the
+/// global fold across shards. Counts are windows, not frames; the shed
+/// columns attribute every window that was offered but not fully
+/// decoded (see DESIGN.md "Gateway as a service").
+struct SloRow {
+  std::string label;
+  std::size_t offered = 0;         ///< windows presented at ingest
+  std::size_t decoded = 0;         ///< full reconstructions delivered
+  std::size_t concealed = 0;       ///< concealments delivered (all causes)
+  std::size_t shed_concealed = 0;  ///< tier-1 shed: concealment-only decode
+  std::size_t shed_dropped = 0;    ///< tier-2 / full-queue shed at ingest
+  std::size_t queue_high_water = 0;
+  std::size_t queue_depth = 0;     ///< configured bound (0 = unknown)
+  std::size_t deadline_misses = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Renders the per-shard + global SLO table (one row per SloRow, in
+/// order; by convention the global fold comes last).
+void render_slo_table(std::span<const SloRow> rows, std::ostream& os);
 
 /// Writes the whole session (metrics then spans) as JSONL.
 void export_jsonl(const Session& session, std::ostream& os);

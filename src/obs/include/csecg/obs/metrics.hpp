@@ -121,9 +121,13 @@ class Registry {
   /// instrument exists — hot paths can also cache the returned reference.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  /// Default-spec (exponential) lookup. A separate overload rather than
+  /// a defaulted parameter: the default would construct a fresh bounds
+  /// vector at every call site, putting a heap allocation on every
+  /// obs::observe of an already-existing histogram.
+  Histogram& histogram(std::string_view name);
   /// The spec is honoured on first creation only.
-  Histogram& histogram(std::string_view name,
-                       const HistogramSpec& spec = HistogramSpec::exponential());
+  Histogram& histogram(std::string_view name, const HistogramSpec& spec);
 
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;

@@ -139,6 +139,9 @@ class SpanScope {
 #if CSECG_OBS_ENABLED
   explicit SpanScope(const char* name, std::uint64_t sequence = kNoSequence)
       : session_(current()) {
+    if (session_ != nullptr && !session_->tracer().enabled()) {
+      session_ = nullptr;  // tracing off: behave as if detached
+    }
     if (session_ == nullptr) {
       return;
     }

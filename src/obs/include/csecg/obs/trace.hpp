@@ -13,6 +13,7 @@
 /// "stage.<name>.seconds", so the metrics path (quantiles, JSONL export)
 /// works even after the bounded raw-trace buffer wraps.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -46,6 +47,23 @@ class Tracer {
 
   void record(SpanRecord record);
 
+  /// Disabling a tracer makes SpanScope treat the session as detached:
+  /// spans are neither buffered nor folded into stage histograms. Used
+  /// by hosts that assert allocation-free steady states (a span costs a
+  /// few small heap blocks per window) while keeping counters, gauges
+  /// and explicitly-fed histograms live.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// record() without the "stage.<name>.seconds" histogram fold. Used
+  /// when replaying spans whose histogram contribution already exists —
+  /// e.g. import_jsonl, where the dump carries the stage histograms as
+  /// first-class lines (they may hold merged data the spans alone cannot
+  /// regenerate) and feeding them again would double count.
+  void replay(SpanRecord record);
+
   std::vector<SpanRecord> snapshot() const;
   std::size_t recorded() const;
   std::size_t dropped() const;
@@ -54,6 +72,7 @@ class Tracer {
   const Clock* clock_;
   Registry* registry_;
   std::size_t capacity_;
+  std::atomic<bool> enabled_{true};
   mutable std::mutex mutex_;
   std::vector<SpanRecord> records_;
   std::size_t dropped_ = 0;

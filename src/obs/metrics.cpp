@@ -222,6 +222,18 @@ Gauge& Registry::gauge(std::string_view name) {
               .first->second;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      return *it->second;
+    }
+  }
+  // First touch only: build the default spec outside the lock.
+  return histogram(name, HistogramSpec::exponential());
+}
+
 Histogram& Registry::histogram(std::string_view name,
                                const HistogramSpec& spec) {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -13,6 +13,10 @@ Tracer::Tracer(const Clock& clock, Registry& registry, std::size_t capacity)
 void Tracer::record(SpanRecord record) {
   registry_->histogram("stage." + record.name + ".seconds")
       .add(record.duration_s);
+  replay(std::move(record));
+}
+
+void Tracer::replay(SpanRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (records_.size() >= capacity_) {
     ++dropped_;

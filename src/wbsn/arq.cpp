@@ -213,9 +213,16 @@ ArqReceiver::Output ArqReceiver::on_frame(std::uint16_t sequence,
                                           std::vector<std::uint8_t> frame,
                                           double now) {
   Output out;
+  on_frame(sequence, std::move(frame), now, out);
+  return out;
+}
+
+void ArqReceiver::on_frame(std::uint16_t sequence,
+                           std::vector<std::uint8_t> frame, double now,
+                           Output& out) {
   if (!config_.enabled) {
     out.events.push_back({sequence, false, std::move(frame)});
-    return out;
+    return;
   }
   if (seq_less(sequence, expected_)) {
     // Stale or duplicate retransmission: re-ACK so the node flushes it.
@@ -225,12 +232,36 @@ ArqReceiver::Output ArqReceiver::on_frame(std::uint16_t sequence,
         {FeedbackMessage::Kind::kAck,
          static_cast<std::uint16_t>(expected_ - 1)});
     maintain(now, out);
-    return out;
+    return;
   }
   if (buffer_.count(sequence) != 0) {
     ++stats_.duplicates;
     maintain(now, out);
-    return out;
+    return;
+  }
+  // In-order fast path: the expected frame with nothing buffered ahead
+  // is delivered directly — routing it through the reorder buffer would
+  // allocate (and immediately free) a tree node per frame, and a synced
+  // stream takes this path for every single arrival.
+  if (sequence == expected_ && buffer_.empty()) {
+    const auto front_gap = missing_.find(sequence);
+    if (front_gap != missing_.end()) {
+      ++stats_.windows_recovered;
+      obs::add("arq.windows.recovered");
+      obs::observe("arq.recovery.ticks",
+                   now - front_gap->second.first_missed);
+      stats_.recovery_latency_ticks += now - front_gap->second.first_missed;
+      missing_.erase(front_gap);
+    }
+    out.events.push_back({sequence, false, std::move(frame)});
+    ++stats_.frames_released;
+    ++expected_;
+    ++stats_.acks_sent;
+    out.feedback.push_back(
+        {FeedbackMessage::Kind::kAck,
+         static_cast<std::uint16_t>(expected_ - 1)});
+    maintain(now, out);
+    return;
   }
   // A filled gap is a recovery; score its latency.
   const auto gap = missing_.find(sequence);
@@ -258,31 +289,43 @@ ArqReceiver::Output ArqReceiver::on_frame(std::uint16_t sequence,
     release_ready(out);
   }
   maintain(now, out);
-  return out;
 }
 
 ArqReceiver::Output ArqReceiver::on_corrupt_frame(double now) {
   Output out;
+  on_corrupt_frame(now, out);
+  return out;
+}
+
+void ArqReceiver::on_corrupt_frame(double now, Output& out) {
   ++stats_.corrupt_frames;
   obs::add("arq.frames.corrupt");
   if (config_.enabled) {
     maintain(now, out);
   }
-  return out;
 }
 
 ArqReceiver::Output ArqReceiver::on_tick(double now) {
   Output out;
+  on_tick(now, out);
+  return out;
+}
+
+void ArqReceiver::on_tick(double now, Output& out) {
   if (config_.enabled) {
     maintain(now, out);
   }
-  return out;
 }
 
 ArqReceiver::Output ArqReceiver::finish(double now) {
   Output out;
+  finish(now, out);
+  return out;
+}
+
+void ArqReceiver::finish(double now, Output& out) {
   if (!config_.enabled) {
-    return out;
+    return;
   }
   while (!buffer_.empty() || !missing_.empty()) {
     if (!missing_.empty() && missing_.begin()->first == expected_) {
@@ -308,7 +351,6 @@ ArqReceiver::Output ArqReceiver::finish(double now) {
     }
   }
   (void)now;
-  return out;
 }
 
 }  // namespace csecg::wbsn

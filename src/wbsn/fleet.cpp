@@ -48,7 +48,10 @@ struct FleetCoordinator::NodeState {
   ArqReceiver arq;
   obs::Session session;
   obs::Histogram* latency_hist;
-  std::deque<std::vector<std::uint8_t>> inbox;
+  detail::Ring<std::vector<std::uint8_t>> inbox;
+  /// Parse target reused for every frame of this node (payload capacity
+  /// survives), keeping the worker's parse step allocation-free.
+  core::Packet packet_scratch;
   bool scheduled = false;
   double ticks = 0.0;  ///< frames processed: the node's ARQ clock
   /// kProfile frames consume wire sequence numbers but carry no window;
@@ -111,6 +114,9 @@ std::uint32_t FleetCoordinator::add_node(const core::DecoderConfig& config,
   if (config_.backend != nullptr) {
     nodes_.back()->decoder.set_backend(*config_.backend);
   }
+  if (!config_.trace_spans) {
+    nodes_.back()->session.tracer().set_enabled(false);
+  }
   return id;
 }
 
@@ -121,6 +127,9 @@ std::uint32_t FleetCoordinator::add_node(const core::StreamProfile& profile) {
   nodes_.push_back(std::make_unique<NodeState>(id, profile, config_.arq));
   if (config_.backend != nullptr) {
     nodes_.back()->decoder.set_backend(*config_.backend);
+  }
+  if (!config_.trace_spans) {
+    nodes_.back()->session.tracer().set_enabled(false);
   }
   return id;
 }
@@ -139,7 +148,33 @@ bool FleetCoordinator::submit(std::uint32_t node_id,
   if (closed_) {
     return false;
   }
-  NodeState& node = *nodes_[node_id];
+  enqueue_locked(*nodes_[node_id], std::move(frame));
+  return true;
+}
+
+bool FleetCoordinator::try_submit(std::uint32_t node_id,
+                                  std::vector<std::uint8_t> frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CSECG_CHECK(node_id < nodes_.size(), "unknown fleet node id");
+  if (closed_ || queued_total_ >= config_.queue_depth) {
+    // Full queue: refuse now, let the caller shed. The buffer goes back
+    // through the recycler so a pooled ingest side conserves its pool
+    // even across refusals.
+    lock.unlock();
+    recycle(std::move(frame));
+    return false;
+  }
+  enqueue_locked(*nodes_[node_id], std::move(frame));
+  return true;
+}
+
+std::size_t FleetCoordinator::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_total_;
+}
+
+void FleetCoordinator::enqueue_locked(NodeState& node,
+                                      std::vector<std::uint8_t> frame) {
   node.inbox.push_back(std::move(frame));
   ++node.stats.frames_submitted;
   ++queued_total_;
@@ -150,7 +185,12 @@ bool FleetCoordinator::submit(std::uint32_t node_id,
     runnable_.push_back(&node);
     work_cv_.notify_one();
   }
-  return true;
+}
+
+void FleetCoordinator::recycle(std::vector<std::uint8_t>&& frame) {
+  if (config_.frame_recycler) {
+    config_.frame_recycler(std::move(frame));
+  }
 }
 
 void FleetCoordinator::worker_loop() {
@@ -160,6 +200,8 @@ void FleetCoordinator::worker_loop() {
   // Frames drained from a node per dispatch; reused so the pop itself is
   // allocation-free once warm.
   std::vector<std::vector<std::uint8_t>> frames;
+  // ARQ decision buffer, reused for every frame this worker processes.
+  ArqReceiver::Output out;
   const std::size_t take = std::max<std::size_t>(config_.decode_batch, 1);
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
@@ -170,22 +212,20 @@ void FleetCoordinator::worker_loop() {
       // them itself, so exiting here never strands work.
       return;
     }
-    NodeState* node = runnable_.front();
-    runnable_.pop_front();
+    NodeState* node = runnable_.pop_front();
     // Up to decode_batch frames per dispatch (one in the classic
     // configuration) keeps the pool fair across nodes: a chatty node
     // goes to the back of the line after every dispatch.
     frames.clear();
     while (frames.size() < take && !node->inbox.empty()) {
-      frames.push_back(std::move(node->inbox.front()));
-      node->inbox.pop_front();
+      frames.push_back(node->inbox.pop_front());
     }
     queued_total_ -= frames.size();
     queue_gauge_->set(static_cast<double>(queued_total_));
     space_cv_.notify_all();
     lock.unlock();
 
-    process_frames(*node, frames, workspace);
+    process_frames(*node, frames, out, workspace);
 
     lock.lock();
     if (!node->inbox.empty()) {
@@ -199,25 +239,30 @@ void FleetCoordinator::worker_loop() {
 
 void FleetCoordinator::process_frames(
     NodeState& node, std::vector<std::vector<std::uint8_t>>& frames,
-    solvers::SolverWorkspace& workspace) {
+    ArqReceiver::Output& out, solvers::SolverWorkspace& workspace) {
   // All spans/metrics from these frames land in the node's own session;
   // finish() folds them into the aggregate.
   obs::ScopedSession attach(&node.session);
   for (auto& frame : frames) {
     node.ticks += 1.0;
-    ArqReceiver::Output out;
-    const auto packet = core::Packet::parse(frame);
-    if (!packet) {
+    out.events.clear();
+    out.feedback.clear();
+    if (!core::Packet::parse_into(frame, node.packet_scratch)) {
       ++node.stats.frames_corrupt;
-      out = node.arq.on_corrupt_frame(node.ticks);
+      node.arq.on_corrupt_frame(node.ticks, out);
+      recycle(std::move(frame));
     } else {
-      out = node.arq.on_frame(packet->sequence, std::move(frame), node.ticks);
+      node.arq.on_frame(node.packet_scratch.sequence, std::move(frame),
+                        node.ticks, out);
     }
     if (feedback_ && !out.feedback.empty()) {
       feedback_(node.id, std::span<const FeedbackMessage>(out.feedback));
     }
     for (auto& event : out.events) {
       handle_event(node, event, workspace);
+      if (!event.frame.empty()) {
+        recycle(std::move(event.frame));
+      }
     }
   }
   // The dispatch ends here; anything still buffered must reach the sink
@@ -237,14 +282,15 @@ void FleetCoordinator::handle_event(NodeState& node,
   }
   const auto start = std::chrono::steady_clock::now();
   bool decoded = false;
-  if (const auto packet = core::Packet::parse(event.frame)) {
-    if (packet->kind == core::PacketKind::kProfile) {
+  if (core::Packet::parse_into(event.frame, node.packet_scratch)) {
+    const core::Packet& packet = node.packet_scratch;
+    if (packet.kind == core::PacketKind::kProfile) {
       // In-band re-profile changes the decode geometry out from under any
       // buffered rows, and its slot ordering matters to the sink: drain
       // the batch first.
       flush_pending(node, workspace);
       ++node.profile_slots;
-      if (node.decoder.consume(*packet, node.y_scratch) ==
+      if (node.decoder.consume(packet, node.y_scratch) ==
           core::Decoder::FrameOutcome::kProfileApplied) {
         ++node.stats.profiles_applied;
         if (node.last_window.size() != node.decoder.config().cs.window) {
@@ -256,7 +302,17 @@ void FleetCoordinator::handle_event(NodeState& node,
       }
       return;
     }
-    if (node.decoder.decode_measurements_into(*packet, node.y_scratch)) {
+    if (node.decoder.decode_measurements_into(packet, node.y_scratch)) {
+      if (decode_mode() == DecodeMode::kConcealOnly) {
+        // Shed by the admission tier: the entropy decode above advanced
+        // the differential chain (y_scratch holds the exact y_t), so the
+        // stream resumes exact decodes once pressure clears, but the
+        // FISTA solve is skipped and the viewer gets a concealment.
+        flush_pending(node, workspace);
+        ++node.stats.windows_shed_concealed;
+        conceal(node, slot);
+        return;
+      }
       if (config_.decode_batch > 1) {
         // Entropy decode ran (it is sequential inter-packet state); the
         // reconstruction is deferred into the node's batch.
@@ -268,12 +324,18 @@ void FleetCoordinator::handle_event(NodeState& node,
         }
         return;
       }
-      obs::SpanScope span("window.decode", packet->sequence);
-      node.decoder.reconstruct_into<float>(
-          std::span<const std::int32_t>(node.y_scratch), workspace,
-          node.window_scratch);
-      span.attribute("iterations",
-                     static_cast<double>(node.window_scratch.iterations));
+      if (config_.trace_spans) {
+        obs::SpanScope span("window.decode", packet.sequence);
+        node.decoder.reconstruct_into<float>(
+            std::span<const std::int32_t>(node.y_scratch), workspace,
+            node.window_scratch);
+        span.attribute("iterations",
+                       static_cast<double>(node.window_scratch.iterations));
+      } else {
+        node.decoder.reconstruct_into<float>(
+            std::span<const std::int32_t>(node.y_scratch), workspace,
+            node.window_scratch);
+      }
       decoded = true;
     }
   }
@@ -325,9 +387,13 @@ void FleetCoordinator::flush_pending(NodeState& node,
   const std::span<core::DecodedWindow<float>> windows(
       node.window_batch.data(), batch);
   const auto start = std::chrono::steady_clock::now();
-  {
+  if (config_.trace_spans) {
     obs::SpanScope span("window.decode.batch");
     span.attribute("batch", static_cast<double>(batch));
+    node.decoder.reconstruct_batch_into<float>(
+        std::span<const std::int32_t>(node.y_flat), batch, workspace,
+        windows);
+  } else {
     node.decoder.reconstruct_batch_into<float>(
         std::span<const std::int32_t>(node.y_flat), batch, workspace,
         windows);
@@ -429,6 +495,7 @@ FleetReport FleetCoordinator::finish() {
     report.frames_rejected += stats.frames_rejected;
     report.windows_reconstructed += stats.windows_reconstructed;
     report.windows_concealed += stats.windows_concealed;
+    report.windows_shed_concealed += stats.windows_shed_concealed;
     report.profiles_applied += stats.profiles_applied;
     report.deadline_misses += stats.deadline_misses;
     report.iterations_total += stats.iterations_total;
@@ -449,6 +516,10 @@ FleetReport FleetCoordinator::finish() {
       .add(report.windows_reconstructed);
   registry.counter("fleet.windows.concealed")
       .add(report.windows_concealed);
+  if (report.windows_shed_concealed > 0) {
+    registry.counter("fleet.windows.shed_concealed")
+        .add(report.windows_shed_concealed);
+  }
   registry.counter("fleet.frames.submitted").add(report.frames_submitted);
   registry.gauge("fleet.queue.high_water")
       .set(static_cast<double>(report.queue_high_water));

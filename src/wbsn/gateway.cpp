@@ -1,0 +1,480 @@
+#include "csecg/wbsn/gateway.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <utility>
+
+#include "csecg/core/packet.hpp"
+
+namespace csecg::wbsn {
+
+namespace {
+
+/// splitmix64 finalizer: node id -> shard. A multiplicative avalanche,
+/// so dense sequential ids (the common registration pattern) spread
+/// uniformly instead of striping, and assignment is a pure function of
+/// the id — stable across restarts, no table to coordinate.
+std::size_t shard_index_of(std::uint32_t node_id, std::size_t shards) {
+  std::uint64_t x = node_id + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shards);
+}
+
+}  // namespace
+
+const char* degrade_tier_name(DegradeTier tier) {
+  switch (tier) {
+    case DegradeTier::kFullDecode:
+      return "full";
+    case DegradeTier::kConcealOnly:
+      return "conceal";
+    case DegradeTier::kDropToKeyframe:
+      return "drop";
+  }
+  return "?";
+}
+
+struct GatewayService::Shard {
+  std::size_t index = 0;
+  std::unique_ptr<FleetCoordinator> fleet;
+
+  /// shard-local id -> gateway id. Guarded by map_mutex: registration
+  /// can race worker-thread deliveries/feedback that translate back.
+  std::mutex map_mutex;
+  std::vector<std::uint32_t> global_ids;
+
+  /// Current tier, readable lock-free from the ingest and worker sides.
+  std::atomic<int> tier{static_cast<int>(DegradeTier::kFullDecode)};
+
+  /// Controller state (streaks, pin) — ingest-side only, tiny sections.
+  std::mutex ctl_mutex;
+  bool pinned = false;
+  std::size_t since_decision = 0;
+  std::size_t raise_streak = 0;
+  std::size_t clear_streak = 0;
+  std::size_t tier_escalations = 0;
+  std::size_t tier_clears = 0;
+
+  /// Ingest ledger. Relaxed atomics: offer() may run from several
+  /// threads, and exactness comes from each offer incrementing exactly
+  /// one of admitted/shed_dropped/shed_queue_full.
+  std::atomic<std::size_t> offered{0};
+  std::atomic<std::size_t> admitted{0};
+  std::atomic<std::size_t> shed_dropped{0};
+  std::atomic<std::size_t> shed_queue_full{0};
+  std::atomic<std::size_t> nacks_suppressed{0};
+
+  DegradeTier current_tier() const {
+    return static_cast<DegradeTier>(tier.load(std::memory_order_relaxed));
+  }
+};
+
+GatewayService::GatewayService(const GatewayConfig& config, Sink sink,
+                               FeedbackSink feedback)
+    : config_(config), sink_(std::move(sink)), feedback_(std::move(feedback)) {
+  config_.shards = std::max<std::size_t>(1, config_.shards);
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    Shard* raw = shard.get();
+
+    FleetConfig fleet_config = config_.shard;
+    // The gateway owns frame pooling: workers return finished buffers
+    // here and offer() refills them, so steady-state ingest allocates
+    // nothing. Any recycler the caller put on the shard config is
+    // replaced.
+    fleet_config.frame_recycler = [this](std::vector<std::uint8_t>&& frame) {
+      pool_put(std::move(frame));
+    };
+
+    Sink shard_sink;
+    if (sink_) {
+      shard_sink = [this, raw](const FleetWindow& window) {
+        FleetWindow translated = window;
+        {
+          std::lock_guard<std::mutex> lock(raw->map_mutex);
+          translated.node_id = raw->global_ids[window.node_id];
+        }
+        sink_(translated);
+      };
+    }
+
+    FeedbackSink shard_feedback;
+    if (feedback_) {
+      shard_feedback = [this, raw](std::uint32_t local,
+                                   std::span<const FeedbackMessage> messages) {
+        std::uint32_t global = 0;
+        {
+          std::lock_guard<std::mutex> lock(raw->map_mutex);
+          global = raw->global_ids[local];
+        }
+        if (raw->current_tier() == DegradeTier::kDropToKeyframe) {
+          // Relaying NACKs for frames the ingest gate is dropping would
+          // spin a retransmission storm that gets shed all over again.
+          // Swallow them; the receiver's own retry budget abandons the
+          // gaps and the stream re-enters on the next keyframe. ACKs
+          // still flow so the transmitter can trim its window.
+          static thread_local std::vector<FeedbackMessage> filtered;
+          filtered.clear();
+          std::size_t suppressed = 0;
+          for (const FeedbackMessage& message : messages) {
+            if (message.kind == FeedbackMessage::Kind::kNack) {
+              ++suppressed;
+            } else {
+              filtered.push_back(message);
+            }
+          }
+          if (suppressed > 0) {
+            raw->nacks_suppressed.fetch_add(suppressed,
+                                            std::memory_order_relaxed);
+          }
+          if (!filtered.empty()) {
+            feedback_(global, filtered);
+          }
+          return;
+        }
+        feedback_(global, messages);
+      };
+    }
+
+    shard->fleet = std::make_unique<FleetCoordinator>(
+        fleet_config, std::move(shard_sink), std::move(shard_feedback));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+GatewayService::~GatewayService() = default;
+
+std::uint32_t GatewayService::register_node(const core::StreamProfile& profile) {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  const auto s = static_cast<std::uint32_t>(shard_index_of(id, shards_.size()));
+  Shard& shard = *shards_[s];
+  const std::uint32_t local = shard.fleet->add_node(profile);
+  {
+    std::lock_guard<std::mutex> map_lock(shard.map_mutex);
+    shard.global_ids.push_back(id);
+  }
+  nodes_.push_back(NodeRef{s, local});
+  return id;
+}
+
+std::uint32_t GatewayService::register_node(const core::DecoderConfig& config,
+                                            coding::HuffmanCodebook codebook) {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  const auto s = static_cast<std::uint32_t>(shard_index_of(id, shards_.size()));
+  Shard& shard = *shards_[s];
+  const std::uint32_t local = shard.fleet->add_node(config, std::move(codebook));
+  {
+    std::lock_guard<std::mutex> map_lock(shard.map_mutex);
+    shard.global_ids.push_back(id);
+  }
+  nodes_.push_back(NodeRef{s, local});
+  return id;
+}
+
+std::size_t GatewayService::node_count() const {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  return nodes_.size();
+}
+
+std::size_t GatewayService::shard_of(std::uint32_t node_id) const {
+  return shard_index_of(node_id, shards_.size());
+}
+
+OfferOutcome GatewayService::offer(std::uint32_t node_id,
+                                   std::span<const std::uint8_t> frame) {
+  Shard* shard_ptr = nullptr;
+  std::uint32_t local = 0;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    if (finished_ || node_id >= nodes_.size()) {
+      return OfferOutcome::kClosed;
+    }
+    const NodeRef ref = nodes_[node_id];
+    shard_ptr = shards_[ref.shard].get();
+    local = ref.local;
+  }
+  Shard& shard = *shard_ptr;
+  shard.offered.fetch_add(1, std::memory_order_relaxed);
+  controller_step(shard);
+
+  if (shard.current_tier() == DegradeTier::kDropToKeyframe) {
+    // Admit only frames that re-establish decode state: kProfile
+    // announcements and kAbsolute keyframes. Differentials depend on a
+    // chain the shard has stopped advancing frame-accurately anyway, so
+    // they are shed here — before a buffer is even taken.
+    bool drop = true;
+    if (frame.size() >= core::Packet::kHeaderBytes) {
+      const std::uint8_t kind = frame[2] & core::Packet::kKindMask;
+      drop = kind == static_cast<std::uint8_t>(core::PacketKind::kDifferential);
+    }
+    if (drop) {
+      shard.shed_dropped.fetch_add(1, std::memory_order_relaxed);
+      return OfferOutcome::kShedDropped;
+    }
+  }
+
+  std::vector<std::uint8_t> buffer = pool_take();
+  buffer.assign(frame.begin(), frame.end());
+  if (!shard.fleet->try_submit(local, std::move(buffer))) {
+    shard.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    // A refusal is proof the queue is overrun — skip the hysteresis and
+    // move one tier immediately. The way back down is always damped.
+    escalate(shard);
+    return OfferOutcome::kShedQueueFull;
+  }
+  shard.admitted.fetch_add(1, std::memory_order_relaxed);
+  return OfferOutcome::kAdmitted;
+}
+
+void GatewayService::reserve_frame_buffers(std::size_t count,
+                                           std::size_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.reserve(pool_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> buffer;
+    buffer.reserve(capacity_bytes);
+    pool_.push_back(std::move(buffer));
+  }
+}
+
+DegradeTier GatewayService::tier(std::size_t shard) const {
+  return shards_[shard]->current_tier();
+}
+
+void GatewayService::force_tier(std::size_t shard_idx, DegradeTier tier) {
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.ctl_mutex);
+  shard.pinned = true;
+  const DegradeTier previous = shard.current_tier();
+  if (tier != previous) {
+    if (static_cast<int>(tier) > static_cast<int>(previous)) {
+      ++shard.tier_escalations;
+    } else {
+      ++shard.tier_clears;
+    }
+    apply_tier(shard, tier);
+  }
+}
+
+void GatewayService::release_tier(std::size_t shard_idx) {
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.ctl_mutex);
+  shard.pinned = false;
+  shard.since_decision = 0;
+  shard.raise_streak = 0;
+  shard.clear_streak = 0;
+}
+
+std::size_t GatewayService::queued(std::size_t shard) const {
+  return shards_[shard]->fleet->queued();
+}
+
+void GatewayService::apply_tier(Shard& shard, DegradeTier tier) {
+  shard.tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+  // Tier 1 and above stop reconstructing; the entropy decode keeps the
+  // differential chain exact so clearing resumes full decodes in place.
+  shard.fleet->set_decode_mode(tier == DegradeTier::kFullDecode
+                                   ? FleetCoordinator::DecodeMode::kFull
+                                   : FleetCoordinator::DecodeMode::kConcealOnly);
+}
+
+void GatewayService::escalate(Shard& shard) {
+  if (!config_.admission.enabled) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(shard.ctl_mutex);
+  if (shard.pinned) {
+    return;
+  }
+  shard.since_decision = 0;
+  shard.raise_streak = 0;
+  shard.clear_streak = 0;
+  const DegradeTier current = shard.current_tier();
+  if (current == DegradeTier::kDropToKeyframe) {
+    return;
+  }
+  ++shard.tier_escalations;
+  apply_tier(shard, static_cast<DegradeTier>(static_cast<int>(current) + 1));
+}
+
+void GatewayService::controller_step(Shard& shard) {
+  if (!config_.admission.enabled) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(shard.ctl_mutex);
+  if (shard.pinned) {
+    return;
+  }
+  if (++shard.since_decision < config_.admission.decision_interval) {
+    return;
+  }
+  shard.since_decision = 0;
+  const std::size_t depth = config_.shard.queue_depth;
+  const double occupancy =
+      depth == 0 ? 0.0
+                 : static_cast<double>(shard.fleet->queued()) /
+                       static_cast<double>(depth);
+  const DegradeTier current = shard.current_tier();
+  if (occupancy >= config_.admission.escalate_occupancy) {
+    shard.clear_streak = 0;
+    if (++shard.raise_streak >= config_.admission.hysteresis_decisions &&
+        current != DegradeTier::kDropToKeyframe) {
+      shard.raise_streak = 0;
+      ++shard.tier_escalations;
+      apply_tier(shard, static_cast<DegradeTier>(static_cast<int>(current) + 1));
+    }
+  } else if (occupancy <= config_.admission.clear_occupancy) {
+    shard.raise_streak = 0;
+    if (++shard.clear_streak >= config_.admission.hysteresis_decisions &&
+        current != DegradeTier::kFullDecode) {
+      shard.clear_streak = 0;
+      ++shard.tier_clears;
+      apply_tier(shard, static_cast<DegradeTier>(static_cast<int>(current) - 1));
+    }
+  } else {
+    shard.raise_streak = 0;
+    shard.clear_streak = 0;
+  }
+}
+
+std::vector<std::uint8_t> GatewayService::pool_take() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_.empty()) {
+    return {};
+  }
+  std::vector<std::uint8_t> buffer = std::move(pool_.back());
+  pool_.pop_back();
+  return buffer;
+}
+
+void GatewayService::pool_put(std::vector<std::uint8_t>&& buffer) {
+  buffer.clear();
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(buffer));
+}
+
+GatewayReport GatewayService::finish() {
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    if (finished_) {
+      return {};
+    }
+    finished_ = true;
+  }
+  GatewayReport report;
+  report.shards.reserve(shards_.size());
+  auto& registry = session_.registry();
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    GatewayShardReport sr;
+    sr.shard = shard.index;
+    sr.final_tier = shard.current_tier();
+    sr.offered = shard.offered.load(std::memory_order_relaxed);
+    sr.admitted = shard.admitted.load(std::memory_order_relaxed);
+    sr.shed_dropped = shard.shed_dropped.load(std::memory_order_relaxed);
+    sr.shed_queue_full = shard.shed_queue_full.load(std::memory_order_relaxed);
+    sr.nacks_suppressed = shard.nacks_suppressed.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(shard.ctl_mutex);
+      sr.tier_escalations = shard.tier_escalations;
+      sr.tier_clears = shard.tier_clears;
+    }
+    sr.fleet = shard.fleet->finish();
+    // Every shard session uses the same instrument names, so this fold
+    // (shard aggregates are themselves per-node merges) yields the
+    // gateway-wide distributions — counters sum, gauge high-waters max.
+    registry.merge(shard.fleet->session().registry());
+
+    report.offered += sr.offered;
+    report.admitted += sr.admitted;
+    report.shed_dropped += sr.shed_dropped;
+    report.shed_queue_full += sr.shed_queue_full;
+    report.nacks_suppressed += sr.nacks_suppressed;
+    report.tier_escalations += sr.tier_escalations;
+    report.tier_clears += sr.tier_clears;
+    report.windows_reconstructed += sr.fleet.windows_reconstructed;
+    report.windows_concealed += sr.fleet.windows_concealed;
+    report.windows_shed_concealed += sr.fleet.windows_shed_concealed;
+    report.frames_rejected += sr.fleet.frames_rejected;
+    report.deadline_misses += sr.fleet.deadline_misses;
+    report.queue_high_water =
+        std::max(report.queue_high_water, sr.fleet.queue_high_water);
+    report.wall_seconds = std::max(report.wall_seconds, sr.fleet.wall_seconds);
+    report.shards.push_back(std::move(sr));
+  }
+  const obs::Histogram* decode_hist =
+      registry.find_histogram("fleet.decode.seconds");
+  if (decode_hist != nullptr && decode_hist->count() > 0) {
+    report.latency_p50_s = decode_hist->quantile(0.50);
+    report.latency_p95_s = decode_hist->quantile(0.95);
+    report.latency_p99_s = decode_hist->quantile(0.99);
+  }
+  // Created after the merge above on purpose: the JSONL exporter must
+  // carry post-merge instruments (see obs_test MergeThenExport).
+  registry.counter("gateway.frames.offered").add(report.offered);
+  registry.counter("gateway.frames.admitted").add(report.admitted);
+  if (report.shed_dropped > 0) {
+    registry.counter("gateway.shed.dropped").add(report.shed_dropped);
+  }
+  if (report.shed_queue_full > 0) {
+    registry.counter("gateway.shed.queue_full").add(report.shed_queue_full);
+  }
+  if (report.nacks_suppressed > 0) {
+    registry.counter("gateway.feedback.nacks_suppressed")
+        .add(report.nacks_suppressed);
+  }
+  if (report.tier_escalations > 0) {
+    registry.counter("gateway.tier.escalations").add(report.tier_escalations);
+  }
+  if (report.tier_clears > 0) {
+    registry.counter("gateway.tier.clears").add(report.tier_clears);
+  }
+  registry.gauge("gateway.shards").set(static_cast<double>(shards_.size()));
+  registry.gauge("gateway.queue.high_water")
+      .set(static_cast<double>(report.queue_high_water));
+  return report;
+}
+
+std::vector<obs::SloRow> GatewayService::slo_rows(const GatewayReport& report,
+                                                  std::size_t queue_depth) {
+  std::vector<obs::SloRow> rows;
+  rows.reserve(report.shards.size() + 1);
+  for (const GatewayShardReport& sr : report.shards) {
+    obs::SloRow row;
+    row.label = "shard " + std::to_string(sr.shard);
+    row.offered = sr.offered;
+    row.decoded = sr.fleet.windows_reconstructed;
+    row.concealed = sr.fleet.windows_concealed;
+    row.shed_concealed = sr.fleet.windows_shed_concealed;
+    row.shed_dropped = sr.shed_dropped + sr.shed_queue_full;
+    row.queue_high_water = sr.fleet.queue_high_water;
+    row.queue_depth = queue_depth;
+    row.deadline_misses = sr.fleet.deadline_misses;
+    row.p50_ms = sr.fleet.latency_p50_s * 1e3;
+    row.p99_ms = sr.fleet.latency_p99_s * 1e3;
+    rows.push_back(std::move(row));
+  }
+  obs::SloRow global;
+  global.label = "global";
+  global.offered = report.offered;
+  global.decoded = report.windows_reconstructed;
+  global.concealed = report.windows_concealed;
+  global.shed_concealed = report.windows_shed_concealed;
+  global.shed_dropped = report.shed_dropped + report.shed_queue_full;
+  global.queue_high_water = report.queue_high_water;
+  global.queue_depth = queue_depth;
+  global.deadline_misses = report.deadline_misses;
+  global.p50_ms = report.latency_p50_s * 1e3;
+  global.p99_ms = report.latency_p99_s * 1e3;
+  rows.push_back(std::move(global));
+  return rows;
+}
+
+}  // namespace csecg::wbsn

@@ -170,6 +170,17 @@ class ArqReceiver {
   /// End of stream: abandon every outstanding gap and flush the buffer.
   Output finish(double now);
 
+  /// Append-into variants of the four entry points above: events and
+  /// feedback are appended to \p out, whose vector capacity the caller
+  /// owns. A receive loop that clears and reuses one Output per frame
+  /// keeps the in-order fast path allocation-free once warm (the
+  /// by-value overloads allocate two vectors per call).
+  void on_frame(std::uint16_t sequence, std::vector<std::uint8_t> frame,
+                double now, Output& out);
+  void on_corrupt_frame(double now, Output& out);
+  void on_tick(double now, Output& out);
+  void finish(double now, Output& out);
+
   const ArqRxStats& stats() const { return stats_; }
 
  private:

@@ -30,10 +30,10 @@
 ///    the aggregate session, so fleet-wide latency quantiles and
 ///    per-node breakdowns come from one metrics tree.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -47,6 +47,51 @@
 #include "csecg/wbsn/arq.hpp"
 
 namespace csecg::wbsn {
+
+namespace detail {
+
+/// Grow-on-demand FIFO ring. push_back/pop_front allocate nothing once
+/// the capacity covers the deepest backlog ever seen — unlike
+/// std::deque, whose chunk map churns an allocation every few dozen
+/// operations even at a steady depth. Not thread-safe on its own; the
+/// fleet mutex guards every use.
+template <typename T>
+class Ring {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T value) {
+    if (size_ == slots_.size()) {
+      grow();
+    }
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+  }
+
+  T pop_front() {
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return value;
+  }
+
+ private:
+  void grow() {
+    std::vector<T> bigger(slots_.empty() ? 4 : slots_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) % slots_.size()]);
+    }
+    head_ = 0;
+    slots_ = std::move(bigger);
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
 
 struct FleetConfig {
   /// Decode worker threads. The pool is fixed at construction; decode
@@ -69,6 +114,17 @@ struct FleetConfig {
   const linalg::Backend* backend = nullptr;
   /// Per-node receiver-side ARQ configuration.
   ArqConfig arq;
+  /// Record per-window obs spans while decoding. A span costs a handful
+  /// of small allocations on the worker thread; a soak that asserts an
+  /// allocation-free steady state turns this off (stats, counters and
+  /// latency histograms all stay on).
+  bool trace_spans = true;
+  /// Optional frame-buffer recycler. When set, workers hand back every
+  /// frame buffer they have finished with — capacity intact — instead of
+  /// freeing it, so an ingest side that refills buffers from a pool runs
+  /// allocation-free in steady state. Called from worker threads; must
+  /// be thread-safe.
+  std::function<void(std::vector<std::uint8_t>&&)> frame_recycler;
 };
 
 /// One in-order delivery to the sink. \p samples points into per-node
@@ -93,6 +149,9 @@ struct FleetNodeStats {
   std::size_t frames_rejected = 0;  ///< CRC-clean but undecodable
   std::size_t windows_reconstructed = 0;
   std::size_t windows_concealed = 0;
+  /// Concealments forced by DecodeMode::kConcealOnly (already included
+  /// in windows_concealed): windows the admission controller shed.
+  std::size_t windows_shed_concealed = 0;
   std::size_t profiles_applied = 0;  ///< in-band kProfile frames consumed
   std::size_t deadline_misses = 0;
   double iterations_total = 0.0;
@@ -109,6 +168,7 @@ struct FleetReport {
   std::size_t frames_rejected = 0;
   std::size_t windows_reconstructed = 0;
   std::size_t windows_concealed = 0;
+  std::size_t windows_shed_concealed = 0;  ///< subset of windows_concealed
   std::size_t profiles_applied = 0;
   std::size_t deadline_misses = 0;
   std::size_t queue_high_water = 0;  ///< max frames queued at once
@@ -129,6 +189,14 @@ struct FleetReport {
 
 class FleetCoordinator {
  public:
+  /// Worker-side decode policy, switchable at runtime (an admission
+  /// controller flips it under load — see GatewayService). kConcealOnly
+  /// keeps the entropy decode running, so the differential chain stays
+  /// intact and dropping back to kFull resumes exact decodes, but skips
+  /// reconstruction and delivers concealed windows instead: per-frame
+  /// cost falls from a FISTA solve to microseconds.
+  enum class DecodeMode : int { kFull = 0, kConcealOnly = 1 };
+
   /// Called from worker threads — concurrently across nodes, strictly
   /// in submission order within one node. Must be thread-safe.
   using Sink = std::function<void(const FleetWindow&)>;
@@ -164,6 +232,27 @@ class FleetCoordinator {
   /// called. Frames from one node decode in submission order.
   bool submit(std::uint32_t node_id, std::vector<std::uint8_t> frame);
 
+  /// Non-blocking submit: refuses (returns false; the frame goes to the
+  /// frame_recycler when one is set, else is freed) when the queue is at
+  /// queue_depth or the fleet is closed, instead of stalling the ingest
+  /// thread. The admission-control building block — a refusal is the
+  /// backpressure signal a gateway sheds on.
+  bool try_submit(std::uint32_t node_id, std::vector<std::uint8_t> frame);
+
+  /// Frames currently queued across all nodes (the occupancy an
+  /// admission controller compares against queue_depth).
+  std::size_t queued() const;
+
+  /// Runtime decode-policy switch; takes effect from the next frame a
+  /// worker picks up. Thread-safe.
+  void set_decode_mode(DecodeMode mode) {
+    decode_mode_.store(static_cast<int>(mode), std::memory_order_relaxed);
+  }
+  DecodeMode decode_mode() const {
+    return static_cast<DecodeMode>(
+        decode_mode_.load(std::memory_order_relaxed));
+  }
+
   /// Drains the queues, flushes every node's ARQ (abandoned tail gaps
   /// are concealed through the sink), joins the workers and merges the
   /// per-node metric registries into session(). Call once.
@@ -177,8 +266,13 @@ class FleetCoordinator {
   struct NodeState;
 
   void worker_loop();
+  /// Appends \p frame to the node's inbox and wakes a worker. Caller
+  /// holds mutex_ and has checked queue space.
+  void enqueue_locked(NodeState& node, std::vector<std::uint8_t> frame);
+  void recycle(std::vector<std::uint8_t>&& frame);
   void process_frames(NodeState& node,
                       std::vector<std::vector<std::uint8_t>>& frames,
+                      ArqReceiver::Output& out,
                       solvers::SolverWorkspace& workspace);
   void handle_event(NodeState& node, ArqReceiver::Event& event,
                     solvers::SolverWorkspace& workspace);
@@ -197,9 +291,10 @@ class FleetCoordinator {
   std::condition_variable work_cv_;   ///< a node became runnable / closed
   std::condition_variable space_cv_;  ///< queue space freed / closed
   std::vector<std::unique_ptr<NodeState>> nodes_;
-  std::deque<NodeState*> runnable_;  ///< nodes with frames, not scheduled
+  detail::Ring<NodeState*> runnable_;  ///< nodes with frames, unscheduled
   std::size_t queued_total_ = 0;
   std::size_t queue_high_water_ = 0;
+  std::atomic<int> decode_mode_{static_cast<int>(DecodeMode::kFull)};
   bool closed_ = false;
   bool finished_ = false;
 

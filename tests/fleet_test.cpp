@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -497,6 +499,287 @@ TEST(RingBufferRaceTest, CloseRacesBlockedProducersAndConsumers) {
     EXPECT_EQ(produced.load(), consumed.load()) << "round " << round;
     EXPECT_FALSE(buffer.try_pop().has_value());
     EXPECT_TRUE(buffer.closed());
+  }
+}
+
+// ---------------------------------------------- gateway building blocks --
+
+namespace {
+// Spins until the fleet queue is empty (the single worker has picked up
+// everything) or the deadline passes.
+void wait_queue_empty(const FleetCoordinator& fleet) {
+  for (int spin = 0; spin < 5000 && fleet.queued() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void wait_delivered(const std::atomic<std::size_t>& delivered,
+                    std::size_t target) {
+  for (int spin = 0; spin < 5000 && delivered.load() < target; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+}  // namespace
+
+TEST(FleetTest, TrySubmitRefusesFullQueueWithoutBlockingAndRecycles) {
+  const auto db = small_db();
+  const auto book = core::default_difference_codebook();
+  core::DecoderConfig config = fast_config();
+  config.cs.keyframe_interval = 1;  // all absolute: order-independent
+  constexpr std::size_t kDepth = 2;
+  const auto frames = encode_stream(config, book, db, kDepth + 2);
+
+  // Gate the sink so the one worker blocks mid-delivery; the queue then
+  // fills deterministically and the refusal path is forced.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  const auto sink = [&](const FleetWindow&) {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 1;
+  fleet_config.queue_depth = kDepth;
+  std::mutex recycle_mutex;
+  std::vector<std::vector<std::uint8_t>> recycled;
+  fleet_config.frame_recycler = [&](std::vector<std::uint8_t>&& buffer) {
+    std::lock_guard<std::mutex> lock(recycle_mutex);
+    recycled.push_back(std::move(buffer));
+  };
+
+  FleetCoordinator fleet(fleet_config, sink);
+  fleet.add_node(config, book);
+
+  // Frame 0 is pulled by the worker (which then blocks in the sink),
+  // frames 1..kDepth fill the queue to its bound.
+  EXPECT_TRUE(fleet.try_submit(0, std::vector<std::uint8_t>(frames[0])));
+  wait_queue_empty(fleet);
+  ASSERT_EQ(fleet.queued(), 0u);
+  for (std::size_t w = 1; w <= kDepth; ++w) {
+    EXPECT_TRUE(fleet.try_submit(0, std::vector<std::uint8_t>(frames[w])));
+  }
+  EXPECT_EQ(fleet.queued(), kDepth);
+
+  // Full queue: the refusal must return immediately (no backpressure
+  // stall) and hand the untouched buffer to the recycler.
+  const auto& refused = frames[kDepth + 1];
+  EXPECT_FALSE(fleet.try_submit(0, std::vector<std::uint8_t>(refused)));
+  EXPECT_EQ(fleet.queued(), kDepth);
+  {
+    std::lock_guard<std::mutex> lock(recycle_mutex);
+    bool found = false;
+    for (const auto& buffer : recycled) {
+      found = found || buffer == refused;
+    }
+    EXPECT_TRUE(found) << "refused frame was not recycled";
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  const FleetReport report = fleet.finish();
+  // The refused frame never entered the pipeline; the admitted ones all
+  // decoded.
+  EXPECT_EQ(report.frames_submitted, kDepth + 1);
+  EXPECT_EQ(report.windows_reconstructed, kDepth + 1);
+  EXPECT_LE(report.queue_high_water, kDepth);
+}
+
+TEST(FleetTest, ConcealOnlyModeKeepsDifferentialChainForExactResume) {
+  // 32 s = 16 windows: room for a 9-window stream (small_db holds 8).
+  ecg::DatabaseConfig db_config;
+  db_config.record_count = 1;
+  db_config.duration_s = 32.0;
+  const ecg::SyntheticDatabase db(db_config);
+  const auto book = core::default_difference_codebook();
+  core::DecoderConfig config = fast_config();
+  config.cs.keyframe_interval = 100;  // keyframe at 0 only: 1.. are all
+                                      // differential, so an exact decode
+                                      // after the shed run proves the
+                                      // entropy chain kept advancing
+  constexpr std::size_t kWindows = 9;
+  const auto frames = encode_stream(config, book, db, kWindows);
+
+  // Reference: every window through a plain Decoder.
+  std::vector<std::vector<float>> reference;
+  {
+    core::Decoder decoder(config, book);
+    solvers::SolverWorkspace workspace;
+    std::vector<std::int32_t> y;
+    core::DecodedWindow<float> window;
+    for (const auto& frame : frames) {
+      const auto packet = core::Packet::parse(frame);
+      ASSERT_TRUE(packet.has_value());
+      ASSERT_TRUE(decoder.decode_measurements_into(*packet, y));
+      decoder.reconstruct_into<float>(std::span<const std::int32_t>(y),
+                                      workspace, window);
+      reference.push_back(window.samples);
+    }
+  }
+
+  std::mutex mutex;
+  std::map<std::uint16_t, std::pair<bool, std::vector<float>>> delivered;
+  std::atomic<std::size_t> count{0};
+  const auto sink = [&](const FleetWindow& window) {
+    std::lock_guard<std::mutex> lock(mutex);
+    delivered.emplace(window.sequence,
+                      std::make_pair(window.concealed,
+                                     std::vector<float>(
+                                         window.samples.begin(),
+                                         window.samples.end())));
+    ++count;
+  };
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 1;
+  FleetCoordinator fleet(fleet_config, sink);
+  fleet.add_node(config, book);
+
+  // Full decode for 0..2, conceal-only (the tier-1 shed) for 3..5, full
+  // again for 6..8. Draining between switches makes the mode boundary
+  // frame-exact.
+  for (std::size_t w = 0; w < 3; ++w) {
+    fleet.submit(0, std::vector<std::uint8_t>(frames[w]));
+  }
+  wait_delivered(count, 3);
+  fleet.set_decode_mode(FleetCoordinator::DecodeMode::kConcealOnly);
+  for (std::size_t w = 3; w < 6; ++w) {
+    fleet.submit(0, std::vector<std::uint8_t>(frames[w]));
+  }
+  wait_delivered(count, 6);
+  fleet.set_decode_mode(FleetCoordinator::DecodeMode::kFull);
+  for (std::size_t w = 6; w < kWindows; ++w) {
+    fleet.submit(0, std::vector<std::uint8_t>(frames[w]));
+  }
+  const FleetReport report = fleet.finish();
+
+  EXPECT_EQ(report.windows_reconstructed, 6u);
+  EXPECT_EQ(report.windows_concealed, 3u);
+  EXPECT_EQ(report.windows_shed_concealed, 3u);  // all shed, none lost
+  ASSERT_EQ(delivered.size(), kWindows);
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const auto& [concealed, samples] =
+        delivered.at(static_cast<std::uint16_t>(w));
+    EXPECT_EQ(concealed, w >= 3 && w < 6) << "window " << w;
+    if (w < 3 || w >= 6) {
+      // Differentials decode against the running measurement chain; an
+      // exact match after the shed run is only possible if conceal-only
+      // kept decoding the entropy layer while skipping reconstruction.
+      ASSERT_EQ(samples.size(), reference[w].size());
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_EQ(samples[i], reference[w][i])
+            << "window " << w << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(FleetTest, SustainedSheddingConvergesViaKeyframeResync) {
+  // A gateway at kDropToKeyframe sheds whole differential runs at ingest
+  // and never retransmits (retries are pointless — the gate would drop
+  // them again). The per-node ARQ must treat the run as an ordinary
+  // bounded gap: NACK, give up, conceal, and re-sync on the next
+  // keyframe — not livelock waiting for frames that will never come.
+  ecg::DatabaseConfig db_config;
+  db_config.record_count = 1;
+  db_config.duration_s = 32.0;  // 16 windows: covers the 12-window stream
+  const ecg::SyntheticDatabase db(db_config);
+  const auto book = core::default_difference_codebook();
+  core::DecoderConfig config = fast_config();
+  config.cs.keyframe_interval = 3;  // keyframes at 0, 4, 8
+  constexpr std::size_t kWindows = 12;
+  const auto frames = encode_stream(config, book, db, kWindows);
+
+  // Reference for the post-resync tail: a direct decoder fed the same
+  // gapped frame set (the shed run is absent, the keyframe at 8 resets
+  // the measurement chain). Concealment never runs the solver, so the
+  // fleet's decode history — and therefore its warm-started solutions —
+  // must match this gap-aware reference exactly, window for window.
+  std::map<std::size_t, std::vector<float>> reference;
+  {
+    core::Decoder decoder(config, book);
+    solvers::SolverWorkspace workspace;
+    std::vector<std::int32_t> y;
+    core::DecodedWindow<float> window;
+    for (std::size_t w = 0; w < kWindows; ++w) {
+      if (w >= 5 && w < 8) {
+        continue;
+      }
+      const auto packet = core::Packet::parse(frames[w]);
+      ASSERT_TRUE(packet.has_value());
+      ASSERT_TRUE(decoder.decode_measurements_into(*packet, y));
+      decoder.reconstruct_into<float>(std::span<const std::int32_t>(y),
+                                      workspace, window);
+      reference.emplace(w, window.samples);
+    }
+  }
+
+  std::mutex mutex;
+  std::vector<std::pair<std::uint16_t, bool>> order;  // (sequence, concealed)
+  std::map<std::uint16_t, std::vector<float>> tail;
+  const auto sink = [&](const FleetWindow& window) {
+    std::lock_guard<std::mutex> lock(mutex);
+    order.emplace_back(window.sequence, window.concealed);
+    if (window.sequence >= 8) {
+      tail.emplace(window.sequence,
+                   std::vector<float>(window.samples.begin(),
+                                      window.samples.end()));
+    }
+  };
+  std::vector<FeedbackMessage> feedback_log;
+  const auto feedback = [&](std::uint32_t,
+                            std::span<const FeedbackMessage> messages) {
+    std::lock_guard<std::mutex> lock(mutex);
+    feedback_log.insert(feedback_log.end(), messages.begin(),
+                        messages.end());
+  };
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 1;
+  FleetCoordinator fleet(fleet_config, sink, feedback);
+  fleet.add_node(config, book);
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    if (w >= 5 && w < 8) {
+      continue;  // the shed run: dropped at the gateway's ingest gate
+    }
+    fleet.submit(0, std::vector<std::uint8_t>(frames[w]));
+  }
+  // finish() returning at all is the no-livelock claim: the abandoned
+  // gap must conceal and release the buffered tail.
+  const FleetReport report = fleet.finish();
+
+  EXPECT_EQ(report.windows_reconstructed, kWindows - 3);
+  EXPECT_EQ(report.windows_concealed, 3u);
+  ASSERT_EQ(order.size(), kWindows);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i].first, static_cast<std::uint16_t>(i));
+    EXPECT_EQ(order[i].second, i >= 5 && i < 8) << "window " << i;
+  }
+  // The receiver did ask: at least one NACK per shed sequence went out
+  // (a real gateway at tier 2 suppresses these; the fleet layer must
+  // still generate them).
+  for (std::uint16_t seq = 5; seq < 8; ++seq) {
+    std::size_t nacks = 0;
+    for (const auto& message : feedback_log) {
+      if (message.kind == FeedbackMessage::Kind::kNack &&
+          message.sequence == seq) {
+        ++nacks;
+      }
+    }
+    EXPECT_GE(nacks, 1u) << "sequence " << seq << " was never NACKed";
+  }
+  // Exact convergence after the keyframe, not merely "something decoded".
+  for (std::uint16_t w = 8; w < kWindows; ++w) {
+    const auto& got = tail.at(w);
+    const auto& want = reference.at(w);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "window " << w << " sample " << i;
+    }
   }
 }
 

@@ -1,0 +1,292 @@
+// Unit tests for csecg::wbsn::GatewayService and the soak harness —
+// sharded ingest, the admission degrade ladder (escalation on refusal,
+// hysteresis-gated clearing), NACK suppression at drop-to-keyframe,
+// exact offer accounting, and a miniature end-to-end run_soak whose CRC
+// and allocation-accounting gates must all hold.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "csecg/core/encoder.hpp"
+#include "csecg/core/stream_profile.hpp"
+#include "csecg/ecg/database.hpp"
+#include "csecg/obs/export.hpp"
+#include "csecg/wbsn/gateway.hpp"
+#include "csecg/wbsn/traffic_gen.hpp"
+
+namespace csecg::wbsn {
+namespace {
+
+// Serialized data frames (wire sequence == window index) for one node.
+// The profile travels out of band through register_node, mirroring the
+// soak generator.
+std::vector<std::vector<std::uint8_t>> encode_stream(
+    const core::StreamProfile& profile, std::size_t windows) {
+  ecg::DatabaseConfig db_config;
+  db_config.record_count = 1;
+  db_config.duration_s = 16.0;
+  const ecg::SyntheticDatabase db(db_config);
+  const auto& record = db.mote(0);
+  const std::size_t n = profile.window;
+  const std::size_t record_windows = record.samples.size() / n;
+  core::Encoder encoder(profile);
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t r = w % record_windows;
+    frames.push_back(encoder
+                         .encode_window(std::span<const std::int16_t>(
+                             record.samples.data() + r * n, n))
+                         .serialize());
+  }
+  return frames;
+}
+
+core::StreamProfile test_profile(std::size_t keyframe_interval) {
+  core::StreamProfile profile = core::profile_for_cr(50.0);
+  profile.keyframe_interval = keyframe_interval;
+  return profile;
+}
+
+TEST(GatewayTest, ShardAssignmentIsStableAndCoversAllShards) {
+  GatewayConfig config;
+  config.shards = 4;
+  config.shard.workers = 1;
+  GatewayService gateway(config);
+  EXPECT_EQ(gateway.shard_count(), 4u);
+
+  const auto profile = test_profile(1);
+  std::vector<std::size_t> population(config.shards, 0);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const std::uint32_t id = gateway.register_node(profile);
+    EXPECT_EQ(id, i);  // gateway ids are dense and sequential
+    const std::size_t shard = gateway.shard_of(id);
+    ASSERT_LT(shard, config.shards);
+    // Stable: the same id always lands on the same shard.
+    EXPECT_EQ(gateway.shard_of(id), shard);
+    ++population[shard];
+  }
+  EXPECT_EQ(gateway.node_count(), 64u);
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    EXPECT_GT(population[s], 0u) << "shard " << s << " got no nodes";
+  }
+  gateway.finish();
+}
+
+TEST(GatewayTest, ForcedTiersShedAsSpecified) {
+  GatewayConfig config;
+  config.shards = 1;
+  config.shard.workers = 1;
+  GatewayService gateway(config);
+  // Keyframes at 0, 2, 4, ...: the tier-2 gate must pass those and drop
+  // the differentials in between.
+  const auto profile = test_profile(1);
+  const auto frames = encode_stream(profile, 6);
+  const std::uint32_t id = gateway.register_node(profile);
+
+  gateway.force_tier(0, DegradeTier::kDropToKeyframe);
+  EXPECT_EQ(gateway.tier(0), DegradeTier::kDropToKeyframe);
+  std::size_t admitted = 0;
+  std::size_t dropped = 0;
+  for (std::size_t w = 0; w < frames.size(); ++w) {
+    const auto outcome = gateway.offer(id, frames[w]);
+    if (w % 2 == 0) {
+      EXPECT_EQ(outcome, OfferOutcome::kAdmitted) << "keyframe " << w;
+      ++admitted;
+    } else {
+      EXPECT_EQ(outcome, OfferOutcome::kShedDropped)
+          << "differential " << w;
+      ++dropped;
+    }
+  }
+  gateway.release_tier(0);
+
+  const GatewayReport report = gateway.finish();
+  EXPECT_TRUE(report.accounts_exactly());
+  EXPECT_EQ(report.offered, frames.size());
+  EXPECT_EQ(report.admitted, admitted);
+  EXPECT_EQ(report.shed_dropped, dropped);
+  EXPECT_EQ(report.shed_queue_full, 0u);
+  // Tier >= 1 decodes nothing: admitted keyframes are shed-concealed.
+  EXPECT_EQ(report.windows_reconstructed, 0u);
+  EXPECT_EQ(report.windows_shed_concealed, admitted);
+  ASSERT_EQ(report.shards.size(), 1u);
+  EXPECT_EQ(report.shards[0].offered, frames.size());
+}
+
+TEST(GatewayTest, QueueRefusalEscalatesImmediatelyAndHysteresisClears) {
+  GatewayConfig config;
+  config.shards = 1;
+  config.shard.workers = 1;
+  config.shard.queue_depth = 2;
+  config.admission.decision_interval = 4;
+  config.admission.hysteresis_decisions = 2;
+
+  // Gate the sink so the worker blocks mid-delivery: the queue then
+  // fills deterministically and the next offer must be refused.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<std::size_t> delivered{0};
+  const auto sink = [&](const FleetWindow&) {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    ++delivered;
+  };
+
+  GatewayService gateway(config, sink);
+  const auto profile = test_profile(1);  // all keyframes: no tier-2 drops
+  const auto frames = encode_stream(profile, 32);
+  const std::uint32_t id = gateway.register_node(profile);
+
+  ASSERT_EQ(gateway.offer(id, frames[0]), OfferOutcome::kAdmitted);
+  // Wait until the worker has pulled frame 0 and is blocked in the sink,
+  // leaving the queue empty.
+  for (int spin = 0; spin < 2000 && gateway.queued(0) != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(gateway.queued(0), 0u);
+  EXPECT_EQ(gateway.offer(id, frames[1]), OfferOutcome::kAdmitted);
+  EXPECT_EQ(gateway.offer(id, frames[2]), OfferOutcome::kAdmitted);
+  // Queue now at depth: refusal, and escalation is immediate (no
+  // hysteresis on the way up when the queue provably overran).
+  EXPECT_EQ(gateway.offer(id, frames[3]), OfferOutcome::kShedQueueFull);
+  EXPECT_EQ(gateway.tier(0), DegradeTier::kConcealOnly);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+
+  // Recovery: paced offers (queue empty at each decision) must walk the
+  // tier back down after decision_interval * hysteresis_decisions
+  // offers — and not sooner.
+  std::size_t next = 4;
+  for (int i = 0; i < 24 && gateway.tier(0) != DegradeTier::kFullDecode;
+       ++i) {
+    for (int spin = 0; spin < 2000 && gateway.queued(0) != 0; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_LT(next, frames.size());
+    EXPECT_EQ(gateway.offer(id, frames[next++]), OfferOutcome::kAdmitted);
+  }
+  EXPECT_EQ(gateway.tier(0), DegradeTier::kFullDecode);
+
+  const GatewayReport report = gateway.finish();
+  EXPECT_TRUE(report.accounts_exactly());
+  EXPECT_EQ(report.shed_queue_full, 1u);
+  EXPECT_GE(report.tier_escalations, 1u);
+  EXPECT_GE(report.tier_clears, 1u);
+  EXPECT_GT(delivered.load(), 0u);
+}
+
+TEST(GatewayTest, DropToKeyframeSuppressesNacksButNotAcks) {
+  GatewayConfig config;
+  config.shards = 1;
+  config.shard.workers = 1;
+
+  std::mutex mutex;
+  std::vector<FeedbackMessage> seen;
+  const auto feedback = [&](std::uint32_t,
+                            std::span<const FeedbackMessage> messages) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(seen.end(), messages.begin(), messages.end());
+  };
+
+  GatewayService gateway(config, {}, feedback);
+  const auto profile = test_profile(1);  // keyframes at 0, 2, 4
+  const auto frames = encode_stream(profile, 5);
+  const std::uint32_t id = gateway.register_node(profile);
+
+  gateway.force_tier(0, DegradeTier::kDropToKeyframe);
+  EXPECT_EQ(gateway.offer(id, frames[0]), OfferOutcome::kAdmitted);
+  EXPECT_EQ(gateway.offer(id, frames[1]), OfferOutcome::kShedDropped);
+  // The keyframe after the dropped differential reveals the gap: the ARQ
+  // wants to NACK sequence 1, but at drop-to-keyframe the gateway eats
+  // it — retransmitting a frame we would drop again is pure waste.
+  EXPECT_EQ(gateway.offer(id, frames[2]), OfferOutcome::kAdmitted);
+
+  const GatewayReport report = gateway.finish();
+  EXPECT_GE(report.nacks_suppressed, 1u);
+  EXPECT_EQ(report.shed_dropped, 1u);
+  std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& message : seen) {
+    EXPECT_NE(message.kind, FeedbackMessage::Kind::kNack)
+        << "NACK for sequence " << message.sequence
+        << " leaked through the drop-to-keyframe gate";
+  }
+}
+
+TEST(GatewayTest, SloRowsCoverShardsPlusGlobal) {
+  GatewayConfig config;
+  config.shards = 2;
+  config.shard.workers = 1;
+  GatewayService gateway(config);
+  const auto profile = test_profile(1);
+  const auto frames = encode_stream(profile, 2);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint32_t id = gateway.register_node(profile);
+    gateway.offer(id, frames[0]);
+  }
+  const GatewayReport report = gateway.finish();
+  const auto rows =
+      GatewayService::slo_rows(report, config.shard.queue_depth);
+  ASSERT_EQ(rows.size(), config.shards + 1);
+  EXPECT_EQ(rows.back().label, "global");
+  std::size_t offered = 0;
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    offered += rows[s].offered;
+  }
+  EXPECT_EQ(offered, rows.back().offered);
+  EXPECT_EQ(rows.back().offered, report.offered);
+}
+
+// Miniature end-to-end soak: bursty overload with a forced shed slice,
+// recovery, then a measured steady phase. Every harness gate — golden
+// CRCs on all delivered reconstructions, exact shed accounting, bounded
+// queue high-water, zero steady-phase sheds — must hold.
+TEST(GatewaySoakTest, MiniatureSoakPassesAllGates) {
+  SoakConfig config;
+  config.traffic.nodes = 120;
+  config.traffic.streams = 2;
+  config.traffic.records = 1;
+  config.traffic.windows_per_stream = 24;
+  config.traffic.clusters = 4;
+  config.traffic.duty_on = 4;
+  config.traffic.duty_period = 128;
+  config.gateway.shards = 2;
+  config.gateway.shard.workers = 1;
+  config.gateway.shard.queue_depth = 32;
+  config.gateway.shard.decode_batch = 2;
+  config.warmup_ticks = 32;
+  config.steady_ticks = 24;
+
+  const SoakResult result = run_soak(config);
+  for (const auto& failure : result.failures) {
+    ADD_FAILURE() << failure;
+  }
+  EXPECT_TRUE(result.passed());
+  EXPECT_TRUE(result.report.accounts_exactly());
+  EXPECT_GT(result.crc_checked, 0u);
+  EXPECT_EQ(result.crc_mismatches, 0u);
+  EXPECT_GT(result.steady_offered, 0u);
+  // The forced kDropToKeyframe slice guarantees sheds even if natural
+  // pressure never overruns the queues.
+  EXPECT_GT(result.shed_dropped + result.shed_queue_full, 0u);
+  EXPECT_LE(result.report.queue_high_water,
+            config.gateway.shard.queue_depth);
+  // Per-shard + global SLO rows rendered from the same report.
+  ASSERT_EQ(result.slo.size(), config.gateway.shards + 1);
+  EXPECT_EQ(result.slo.back().label, "global");
+}
+
+}  // namespace
+}  // namespace csecg::wbsn

@@ -319,8 +319,9 @@ TEST(ObsExport, JsonlRoundTrip) {
   ASSERT_EQ(spans[0].attributes.size(), 1u);
   EXPECT_DOUBLE_EQ(spans[0].attributes[0].second, 640.0);
 
-  // Replaying the spans regenerated the derived stage histogram (it is
-  // deliberately not exported, so this proves the replay path).
+  // The derived stage histogram travels as a first-class histogram line
+  // and the spans replay without re-feeding it, so it comes back with
+  // exactly one observation — not two.
   const auto* stage =
       restored.registry().find_histogram("stage.fista.seconds");
   ASSERT_NE(stage, nullptr);
@@ -328,6 +329,69 @@ TEST(ObsExport, JsonlRoundTrip) {
   EXPECT_DOUBLE_EQ(stage->sum(), 0.375);
 
   // A second round trip is lossless (fixed point of export ∘ import).
+  std::stringstream dump2;
+  obs::export_jsonl(restored, dump2);
+  EXPECT_EQ(dump.str(), dump2.str());
+#endif
+}
+
+TEST(ObsExport, PostMergeStageHistogramsSurviveRoundTrip) {
+#if !CSECG_OBS_ENABLED
+  GTEST_SKIP() << "built with CSECG_OBS=OFF: facade compiles to no-ops";
+#else
+  // The fleet/gateway fold at finish(): per-worker registries merge into
+  // the main session, but trace buffers do not. The merged half of a
+  // stage.* histogram therefore exists only in the histogram — it used
+  // to vanish across a round trip, because stage.* histograms were
+  // skipped on export and rebuilt from the (unmerged) spans on import.
+  obs::ManualClock worker_clock;
+  obs::Session worker(&worker_clock);
+  {
+    obs::ScopedSession attach(&worker);
+    obs::add("fista.calls", 2);
+    obs::observe("fista.iterations", 500.0);
+    obs::SpanScope span("huffman_decode", 1);
+    worker_clock.advance(0.25);
+  }
+
+  obs::ManualClock clock;
+  obs::Session session(&clock);
+  {
+    obs::ScopedSession attach(&session);
+    obs::add("fista.calls", 1);
+    obs::SpanScope span("huffman_decode", 2);
+    clock.advance(0.5);
+  }
+  session.registry().merge(worker.registry());
+
+  // Post-merge state: two stage observations, one buffered span.
+  const auto* stage =
+      session.registry().find_histogram("stage.huffman_decode.seconds");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->count(), 2u);
+  EXPECT_DOUBLE_EQ(stage->sum(), 0.75);
+  EXPECT_EQ(session.tracer().snapshot().size(), 1u);
+
+  std::stringstream dump;
+  obs::export_jsonl(session, dump);
+
+  obs::Session restored;
+  std::string error;
+  ASSERT_TRUE(obs::import_jsonl(dump, restored, &error)) << error;
+
+  EXPECT_EQ(restored.registry().counter("fista.calls").value(), 3u);
+  const auto* iterations =
+      restored.registry().find_histogram("fista.iterations");
+  ASSERT_NE(iterations, nullptr);
+  EXPECT_EQ(iterations->count(), 1u);
+  const auto* restored_stage =
+      restored.registry().find_histogram("stage.huffman_decode.seconds");
+  ASSERT_NE(restored_stage, nullptr);
+  EXPECT_EQ(restored_stage->count(), 2u);
+  EXPECT_DOUBLE_EQ(restored_stage->sum(), 0.75);
+  EXPECT_EQ(restored.tracer().snapshot().size(), 1u);
+
+  // Byte-identical fixed point: nothing was lost or double counted.
   std::stringstream dump2;
   obs::export_jsonl(restored, dump2);
   EXPECT_EQ(dump.str(), dump2.str());

@@ -23,6 +23,17 @@
 //                       [--loss 0.0] [--burst 1] [--ber 0]
 //                       [--keyframe 64] [--rate 256] [--batch 1]
 //                       [--backend native] [--json dump.jsonl]
+//   csecg_tool gateway  [--soak] [--nodes 10000] [--shards 2]
+//                       [--workers 1] [--queue 256] [--batch 4]
+//                       [--streams 6] [--records 3] [--cr 50,40,30]
+//                       [--keyframe 16] [--windows 32] [--clusters 64]
+//                       [--duty-on 4] [--duty-period 2048]
+//                       [--warmup 96] [--steady 192] [--seed 2011]
+//                       [--force-shed 1] [--backend native]
+//                       [--json dump.jsonl]
+//                       (defaults shown are --soak; plain gateway runs a
+//                       lighter demo: 1000 nodes, duty period 512,
+//                       queue 64, warmup/steady 64)
 //
 // Decoding commands accept `--backend reference|scalar|simd4|native`
 // (default native): which kernel schedule the FISTA reconstruction runs
@@ -43,7 +54,19 @@
 // (heterogeneous CRs via a --cr comma list) onto the FleetCoordinator's
 // decode worker pool and prints per-node and fleet-wide latency/quality
 // statistics.
+//
+// `gateway` runs the sharded GatewayService under the deterministic
+// duty-cycled traffic model and prints the per-shard + global SLO table.
+// Plain `gateway` is a short demo; `--soak` is the CRC-validated soak:
+// every delivered reconstruction is checksummed against a golden
+// reference decode, every accounting identity is asserted, and the
+// measured steady phase must complete with zero heap allocations
+// (counted by a global operator-new hook) — the tool exits non-zero if
+// any gate fails.
 
+#include <execinfo.h>
+
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -70,9 +93,81 @@
 #include "csecg/obs/export.hpp"
 #include "csecg/obs/obs.hpp"
 #include "csecg/wbsn/fleet.hpp"
+#include "csecg/wbsn/gateway.hpp"
 #include "csecg/wbsn/link.hpp"
+#include "csecg/wbsn/traffic_gen.hpp"
 #include "csecg/wbsn/pipeline.hpp"
 #include "csecg/wbsn/stream_session.hpp"
+
+namespace {
+
+std::atomic<bool> g_count_allocations{false};
+std::atomic<std::size_t> g_allocations{0};
+
+// Set CSECG_ALLOC_TRAP=1 to abort on the first counted allocation: a
+// backtrace then names the offender directly.
+bool trap_on_allocation() {
+  static const bool trap = [] {
+    const char* value = std::getenv("CSECG_ALLOC_TRAP");
+    return value != nullptr && value[0] == '1';
+  }();
+  return trap;
+}
+
+void note_allocation() {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (trap_on_allocation()) {
+      void* frames[32];
+      const int depth = backtrace(frames, 32);
+      backtrace_symbols_fd(frames, depth, 2);
+      std::abort();
+    }
+  }
+}
+
+}  // namespace
+
+// Counting hooks for every replaceable allocation path the toolchain may
+// route through — the `gateway --soak` steady-state gate. Deallocation
+// stays free-running: only allocations inside the measured phase matter.
+void* operator new(std::size_t size) {
+  note_allocation();
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  note_allocation();
+  if (void* p = std::aligned_alloc(
+          static_cast<std::size_t>(align),
+          (size + static_cast<std::size_t>(align) - 1) &
+              ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -82,12 +177,20 @@ using Args = std::map<std::string, std::string>;
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
-  for (int i = first; i + 1 < argc; i += 2) {
+  for (int i = first; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       std::fprintf(stderr, "expected --flag value, got %s\n", argv[i]);
       std::exit(2);
     }
-    args[argv[i] + 2] = argv[i + 1];
+    // A flag followed by another flag (or by nothing) is a boolean
+    // switch: `gateway --soak` == `gateway --soak 1`.
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      args[argv[i] + 2] = "1";
+      i += 1;
+    } else {
+      args[argv[i] + 2] = argv[i + 1];
+      i += 2;
+    }
   }
   return args;
 }
@@ -605,6 +708,170 @@ int cmd_fleet(const Args& args) {
   return 0;
 }
 
+/// `gateway [--soak]`: run the sharded GatewayService under the
+/// deterministic duty-cycled traffic model. The plain mode is a short
+/// demo of the admission ladder; --soak turns on the full gate battery:
+/// golden-CRC validation of every delivered reconstruction, exact
+/// shed/admit accounting, bounded queue high-water, and a steady phase
+/// that must complete without a single heap allocation (global
+/// operator-new hook; CSECG_ALLOC_TRAP=1 aborts with a backtrace at the
+/// offending site).
+int cmd_gateway(const Args& args) {
+  const bool soak = get_double(args, "soak", 0.0) != 0.0;
+
+  wbsn::SoakConfig cfg;
+  // Soak defaults model the acceptance configuration (10k registered
+  // nodes); the demo is a lighter cut of the same shape. The duty cycle
+  // is the throughput knob: ~nodes * duty_on / duty_period nodes connect
+  // per tick, and every paced tick decodes that many windows.
+  cfg.traffic.nodes = static_cast<std::size_t>(
+      get_double(args, "nodes", soak ? 10000.0 : 1000.0));
+  cfg.traffic.streams = static_cast<std::size_t>(
+      get_double(args, "streams", soak ? 6.0 : 3.0));
+  cfg.traffic.records = static_cast<std::size_t>(
+      get_double(args, "records", soak ? 3.0 : 2.0));
+  cfg.traffic.keyframe_interval =
+      static_cast<std::size_t>(get_double(args, "keyframe", 16.0));
+  cfg.traffic.windows_per_stream =
+      static_cast<std::size_t>(get_double(args, "windows", 32.0));
+  cfg.traffic.clusters = static_cast<std::size_t>(
+      get_double(args, "clusters", soak ? 64.0 : 16.0));
+  cfg.traffic.duty_on =
+      static_cast<std::size_t>(get_double(args, "duty-on", 4.0));
+  cfg.traffic.duty_period = static_cast<std::size_t>(
+      get_double(args, "duty-period", soak ? 2048.0 : 512.0));
+  cfg.traffic.seed =
+      static_cast<std::uint64_t>(get_double(args, "seed", 2011.0));
+  {
+    const auto it = args.find("cr");
+    if (it != args.end()) {
+      cfg.traffic.crs.clear();
+      std::string list = it->second;
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma =
+            std::min(list.find(',', pos), list.size());
+        cfg.traffic.crs.push_back(std::stod(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    }
+  }
+
+  cfg.gateway.shards =
+      static_cast<std::size_t>(get_double(args, "shards", 2.0));
+  cfg.gateway.shard.workers = std::max<std::size_t>(
+      1, static_cast<std::size_t>(get_double(args, "workers", 1.0)));
+  cfg.gateway.shard.queue_depth = static_cast<std::size_t>(
+      get_double(args, "queue", soak ? 256.0 : 64.0));
+  cfg.gateway.shard.decode_batch =
+      static_cast<std::size_t>(get_double(args, "batch", 4.0));
+  cfg.gateway.shard.backend = &parse_backend(args);
+
+  // The demo runs a shorter timeline than the soak: enough ticks to see
+  // the ladder climb and clear, not enough to gate on.
+  cfg.warmup_ticks = static_cast<std::size_t>(
+      get_double(args, "warmup", soak ? 96.0 : 64.0));
+  cfg.steady_ticks = static_cast<std::size_t>(
+      get_double(args, "steady", soak ? 192.0 : 64.0));
+  cfg.force_shed_in_warmup = get_double(args, "force-shed", 1.0) != 0.0;
+  cfg.on_progress = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+
+  // The allocation gate brackets exactly the measured phase: run_soak
+  // fires these after the queues drain, so in-flight decode work can
+  // never blur the count.
+  std::size_t steady_allocations = 0;
+  if (soak) {
+    cfg.on_steady_begin = [] {
+      g_allocations.store(0);
+      g_count_allocations.store(true);
+    };
+    cfg.on_steady_end = [&steady_allocations] {
+      g_count_allocations.store(false);
+      steady_allocations = g_allocations.load();
+    };
+  }
+
+  const auto json = args.find("json");
+  int json_status = 0;
+  if (json != args.end()) {
+    cfg.on_session = [&](obs::Session& session) {
+      std::ofstream out(json->second);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json->second.c_str());
+        json_status = 1;
+        return;
+      }
+      obs::export_jsonl(session, out);
+    };
+  }
+
+  const auto result = wbsn::run_soak(cfg);
+  const auto& report = result.report;
+
+  std::printf("\ngateway                 : %zu shards x %zu workers, "
+              "queue %zu, %s kernels (batch %zu)%s\n",
+              cfg.gateway.shards, cfg.gateway.shard.workers,
+              cfg.gateway.shard.queue_depth,
+              cfg.gateway.shard.backend->name(),
+              std::max<std::size_t>(1, cfg.gateway.shard.decode_batch),
+              soak ? ", soak gates on" : "");
+  std::printf("population              : %zu registered, %zu materialised, "
+              "%zu streams x %zu windows\n",
+              cfg.traffic.nodes, result.nodes_registered,
+              cfg.traffic.streams, cfg.traffic.windows_per_stream);
+  std::printf("offered                 : %zu (= %zu admitted + %zu shed "
+              "drop + %zu shed full) %s\n",
+              result.offered, result.admitted, result.shed_dropped,
+              result.shed_queue_full,
+              report.accounts_exactly() ? "[exact]" : "[MISMATCH]");
+  std::printf("delivered               : %zu decoded + %zu concealed "
+              "(%zu shed-concealed, %zu gap)\n",
+              result.delivered_decoded, result.delivered_concealed,
+              report.windows_shed_concealed, result.gap_concealments);
+  std::printf("CRC validation          : %zu checked, %zu mismatches\n",
+              result.crc_checked, result.crc_mismatches);
+  std::printf("tier transitions        : %zu escalations, %zu clears, "
+              "%zu NACKs suppressed\n",
+              report.tier_escalations, report.tier_clears,
+              report.nacks_suppressed);
+  std::printf("steady phase            : %zu offered, %zu delivered, "
+              "%zu skipped cold\n",
+              result.steady_offered, result.steady_delivered,
+              result.steady_skipped);
+  if (soak) {
+    std::printf("steady allocations      : %zu (gate: 0)\n",
+                steady_allocations);
+  }
+  std::printf("wall time               : %.2f s\n\n", result.wall_seconds);
+
+  obs::render_slo_table(result.slo, std::cout);
+
+  if (json != args.end() && json_status == 0) {
+    std::printf("\nJSONL session dump      : %s\n", json->second.c_str());
+  }
+
+  bool failed = json_status != 0;
+  for (const auto& failure : result.failures) {
+    std::fprintf(stderr, "SOAK FAILURE: %s\n", failure.c_str());
+    failed = true;
+  }
+  if (soak && steady_allocations != 0) {
+    std::fprintf(stderr,
+                 "SOAK FAILURE: %zu heap allocations in the steady phase "
+                 "(expected 0; rerun with CSECG_ALLOC_TRAP=1 for a "
+                 "backtrace)\n",
+                 steady_allocations);
+    failed = true;
+  }
+  if (!failed) {
+    std::printf("\n%s: all gates passed\n", soak ? "SOAK" : "gateway");
+  }
+  return failed ? 1 : 0;
+}
+
 /// `metrics --trace dump.jsonl`: re-render a previously exported session.
 int cmd_metrics_trace(const std::string& path) {
   std::ifstream in(path);
@@ -736,7 +1003,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: csecg_tool {generate|info|csv|encode|decode|"
-                 "metrics|stream|fleet} --flag value ...\n");
+                 "metrics|stream|fleet|gateway} --flag value ...\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -765,6 +1032,9 @@ int main(int argc, char** argv) {
     }
     if (command == "fleet") {
       return cmd_fleet(args);
+    }
+    if (command == "gateway") {
+      return cmd_gateway(args);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
