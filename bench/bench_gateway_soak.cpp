@@ -8,6 +8,8 @@
 //     (concealment-only sheds + ingest drops), the overload-control cost
 //   * queue high-water — proof the bounded queues stayed bounded
 //   * latency p50/p99 — submit-to-delivery per window
+//   * e2e p50/p99 — offer()-to-delivery per window, stamped at the
+//     ingest gate (CSECG_OBS=ON builds; zero under OFF)
 //
 // The harness gates double as the bench's pass criteria: every
 // reconstructed window CRC-matches a clean reference decode, the shed
@@ -55,12 +57,13 @@ int main(int argc, char** argv) {
 
   util::Table table({"scope", "offered", "decoded", "concealed",
                      "shed drop", "shed %", "queue hw", "p50 ms",
-                     "p99 ms"});
+                     "p99 ms", "e2e p50 ms", "e2e p99 ms"});
   bench::JsonReport json(
       "gateway_soak",
       {"scope", "offered", "decoded", "concealed", "shed_concealed",
        "shed_dropped", "shed_rate_pct", "queue_high_water", "queue_depth",
-       "p50_ms", "p99_ms", "crc_checked", "crc_mismatches"});
+       "p50_ms", "p99_ms", "e2e_p50_ms", "e2e_p99_ms", "crc_checked",
+       "crc_mismatches"});
   for (const auto& row : result.slo) {
     const double shed_rate =
         row.offered == 0
@@ -76,7 +79,9 @@ int main(int argc, char** argv) {
                    util::format_double(shed_rate, 2),
                    std::to_string(row.queue_high_water),
                    util::format_double(row.p50_ms, 3),
-                   util::format_double(row.p99_ms, 3)});
+                   util::format_double(row.p99_ms, 3),
+                   util::format_double(row.e2e_p50_ms, 3),
+                   util::format_double(row.e2e_p99_ms, 3)});
     json.add_row({row.label, std::to_string(row.offered),
                   std::to_string(row.decoded),
                   std::to_string(row.concealed),
@@ -87,6 +92,8 @@ int main(int argc, char** argv) {
                   std::to_string(row.queue_depth),
                   util::format_double(row.p50_ms, 3),
                   util::format_double(row.p99_ms, 3),
+                  util::format_double(row.e2e_p50_ms, 3),
+                  util::format_double(row.e2e_p99_ms, 3),
                   global ? std::to_string(result.crc_checked) : "-",
                   global ? std::to_string(result.crc_mismatches) : "-"});
   }

@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "csecg/core/packet.hpp"
 #include "csecg/dsp/dwt.hpp"
 #include "csecg/linalg/backend.hpp"
+#include "csecg/obs/flight_recorder.hpp"
 #include "csecg/util/rng.hpp"
 
 namespace {
@@ -148,6 +150,35 @@ void register_kernels() {
           }
         });
   }
+
+  // The gateway ingest hot path in miniature: CRC a frame-sized buffer,
+  // then (ON builds only) append one structured event to the flight
+  // recorder's seqlock ring. The benchmark name is identical under
+  // CSECG_OBS=ON and =OFF, so check_obs_overhead.sh prices the record()
+  // call directly against the bare checksum.
+  benchmark::RegisterBenchmark(
+      "flight_record/crc300", [](benchmark::State& state) {
+        util::Rng rng(30);
+        std::vector<std::uint8_t> frame(300);
+        for (auto& b : frame) {
+          b = static_cast<std::uint8_t>(rng() & 0xFF);
+        }
+#if CSECG_OBS_ENABLED
+        obs::FlightRecorder recorder(1024);
+#endif
+        std::uint64_t seq = 0;
+        for (auto _ : state) {
+          const std::uint16_t crc = core::crc16_ccitt(frame);
+          benchmark::DoNotOptimize(crc);
+#if CSECG_OBS_ENABLED
+          recorder.record(obs::FlightEventId::kFrameAccepted, seq, crc);
+#endif
+          ++seq;
+        }
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations()) *
+            static_cast<std::int64_t>(frame.size()));
+      });
 }
 
 /// The structural half of the "counting costs nothing when off" claim:

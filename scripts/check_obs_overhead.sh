@@ -6,6 +6,13 @@
 # The facade's fast path when no session is attached is one thread-local
 # load + branch, so both builds should time identically to noise.
 #
+# flight_record/crc300 extends the check to the gateway ingest hot path:
+# under ON it checksums a frame *and* appends a structured event to the
+# flight recorder's seqlock ring, under OFF the record() call is
+# compiled out — so its delta prices the recorder append itself. CI runs
+# this as a gating job (tolerance 8 %, which absorbs runner noise while
+# still catching an accidental lock or allocation on the append path).
+#
 # Usage: scripts/check_obs_overhead.sh [tolerance-percent]
 set -euo pipefail
 

@@ -30,9 +30,36 @@ cmake --build "${build_dir}" -j"$(nproc)" --target csecg_tool
 
 # Reduced-scale soak: same phase structure as the full 10k-node run
 # (burst + forced shed slice, recovery to kFullDecode, paced steady
-# band), sized to finish inside a CI minute under TSan's slowdown.
+# band), sized to finish inside a CI minute under TSan's slowdown. The
+# live telemetry plane runs alongside: a timeline sampling every shard
+# registry, anomaly-triggered flight dumps, and a final Prometheus
+# exposition — all under the same zero-allocation steady gate.
+telemetry_dir="$(mktemp -d)"
+trap 'rm -rf "${telemetry_dir}"' EXIT
 TSAN_OPTIONS=halt_on_error=1 \
   "${build_dir}/tools/csecg_tool" gateway --soak \
     --nodes 200 --streams 2 --records 1 --windows 24 --clusters 8 \
     --duty-on 4 --duty-period 128 --shards 2 --workers 1 --queue 32 \
-    --batch 2 --warmup 32 --steady 24 --force-shed 1
+    --batch 2 --warmup 32 --steady 24 --force-shed 1 \
+    --timeline "${telemetry_dir}/soak_timeline.jsonl" \
+    --flight "${telemetry_dir}/soak_flight.jsonl" \
+    --prom "${telemetry_dir}/soak.prom"
+
+# The forced warm-up tier-2 slice must have produced at least one
+# anomaly-triggered flight dump with the trigger event in its window,
+# and the timeline must have sampled the e2e latency histogram.
+grep -q '"event":"tier_escalate".*"trigger":true' \
+  "${telemetry_dir}/soak_flight.jsonl" || {
+  echo "FAIL: no tier_escalate-triggered flight dump in soak_flight.jsonl"
+  exit 1
+}
+grep -q '"kind":"histogram","name":"e2e.latency.seconds"' \
+  "${telemetry_dir}/soak_timeline.jsonl" || {
+  echo "FAIL: timeline never sampled e2e.latency.seconds"
+  exit 1
+}
+grep -q '^csecg_e2e_latency_seconds_count' "${telemetry_dir}/soak.prom" || {
+  echo "FAIL: Prometheus exposition is missing the e2e histogram"
+  exit 1
+}
+echo "OK: flight dump, timeline and Prometheus artefacts all present"

@@ -530,7 +530,8 @@ bool import_jsonl(std::istream& is, Session& session, std::string* error) {
 void render_slo_table(std::span<const SloRow> rows, std::ostream& os) {
   util::Table table({"shard", "offered", "decoded", "concealed",
                      "shed conceal", "shed drop", "shed %", "queue hw",
-                     "p50 ms", "p99 ms", "deadline miss"});
+                     "p50 ms", "p99 ms", "e2e p50 ms", "e2e p99 ms",
+                     "deadline miss"});
   table.set_title("Gateway SLO");
   for (const SloRow& row : rows) {
     const std::size_t shed = row.shed_concealed + row.shed_dropped;
@@ -550,9 +551,62 @@ void render_slo_table(std::span<const SloRow> rows, std::ostream& os) {
                    util::format_percent(shed_rate, 2), queue,
                    util::format_double(row.p50_ms, 3),
                    util::format_double(row.p99_ms, 3),
+                   util::format_double(row.e2e_p50_ms, 3),
+                   util::format_double(row.e2e_p99_ms, 3),
                    std::to_string(row.deadline_misses)});
   }
   table.print(os);
+}
+
+// ------------------------------------------------------- prometheus output --
+
+namespace {
+
+/// `csecg_` + name with every non-alphanumeric flattened to `_`
+/// (Prometheus metric names admit [a-zA-Z0-9_:]; our dotted scheme
+/// maps 1:1 onto underscores).
+std::string prom_name(const std::string& name) {
+  std::string out = "csecg_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9');
+    out += alnum ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void render_prometheus(const Registry& registry, std::ostream& os) {
+  for (const auto& [name, counter] : registry.counters()) {
+    const std::string metric = prom_name(name) + "_total";
+    os << "# TYPE " << metric << " counter\n";
+    os << metric << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    const std::string metric = prom_name(name);
+    os << "# TYPE " << metric << " gauge\n";
+    os << metric << " " << json_number(gauge->value()) << "\n";
+    os << "# TYPE " << metric << "_max gauge\n";
+    os << metric << "_max " << json_number(gauge->max()) << "\n";
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const std::string metric = prom_name(name);
+    os << "# TYPE " << metric << " histogram\n";
+    const std::vector<double>& bounds = histogram->bounds();
+    const std::vector<std::uint64_t> buckets = histogram->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += buckets[i];
+      os << metric << "_bucket{le=\"" << json_number(bounds[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    cumulative += buckets.back();
+    os << metric << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << metric << "_sum " << json_number(histogram->sum()) << "\n";
+    os << metric << "_count " << cumulative << "\n";
+  }
 }
 
 void render_summary(const Session& session, std::ostream& os) {

@@ -42,6 +42,11 @@ struct SloRow {
   std::size_t deadline_misses = 0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Ingest-to-delivery latency (offer() stamp to sink callback), the
+  /// end-to-end figure the 2-s window budget is judged against. 0 when
+  /// the build has CSECG_OBS=OFF or nothing was delivered.
+  double e2e_p50_ms = 0.0;
+  double e2e_p99_ms = 0.0;
 };
 
 /// Renders the per-shard + global SLO table (one row per SloRow, in
@@ -58,6 +63,13 @@ bool import_jsonl(std::istream& is, Session& session, std::string* error = nullp
 
 /// Renders the human summary through util::Table.
 void render_summary(const Session& session, std::ostream& os);
+
+/// Prometheus text exposition (v0.0.4) over a registry. Instrument
+/// names are prefixed with `csecg_` and sanitised (non-alphanumerics
+/// become `_`); counters gain `_total`, gauge high-water marks are
+/// emitted as a companion `_max` gauge, histograms emit cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`.
+void render_prometheus(const Registry& registry, std::ostream& os);
 
 }  // namespace csecg::obs
 

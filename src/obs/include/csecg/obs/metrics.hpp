@@ -46,12 +46,16 @@ class Gauge {
   void set(double value);
   double value() const { return value_.load(std::memory_order_relaxed); }
   double max() const { return max_.load(std::memory_order_relaxed); }
-  /// Last-writer-wins for the value; the high-water marks combine.
+  /// Globally-latest-writer-wins for the value; the high-water marks
+  /// combine. "Latest" is decided by a process-wide monotonic write
+  /// stamp taken at set(), not by merge order, so folding per-shard
+  /// registries yields the same value regardless of iteration order.
   void merge(const Gauge& other);
 
  private:
   std::atomic<double> value_{0.0};
   std::atomic<double> max_{0.0};
+  std::atomic<std::uint64_t> stamp_{0};  ///< 0 = never set
 };
 
 /// Upper bucket bounds for a histogram. Values land in the first bucket
@@ -90,6 +94,10 @@ class Histogram {
   /// Bucket counts, including the trailing overflow bucket
   /// (size = bounds().size() + 1).
   std::vector<std::uint64_t> bucket_counts() const;
+  /// Same snapshot written into a caller-owned vector — allocation-free
+  /// once \p out has the capacity (Timeline samples through this on the
+  /// soak's zero-allocation steady phase).
+  void bucket_counts_into(std::vector<std::uint64_t>& out) const;
 
   void merge(const Histogram& other);
   /// Restores serialized state (JSONL import). Bucket counts must match
@@ -132,6 +140,10 @@ class Registry {
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;
   const Histogram* find_histogram(std::string_view name) const;
+
+  /// Total number of registered instruments. Cheap; Timeline polls this
+  /// to detect registry growth without re-snapshotting every epoch.
+  std::size_t instrument_count() const;
 
   /// Name-sorted snapshots for exporters.
   std::vector<std::pair<std::string, const Counter*>> counters() const;

@@ -1,0 +1,100 @@
+#ifndef CSECG_OBS_TIMELINE_HPP
+#define CSECG_OBS_TIMELINE_HPP
+
+/// \file timeline.hpp
+/// Streaming time-series over live registries. A Timeline watches one
+/// or more registries (e.g. one per gateway shard) and, on each
+/// sample(), emits one JSONL line per instrument describing the *epoch
+/// delta* since the previous sample:
+///
+///   {"type":"timeline","scope":S,"epoch":E,"t":T,"kind":"counter",
+///    "name":N,"value":V,"delta":D,"rate":R}
+///   {"type":"timeline",...,"kind":"gauge","name":N,"value":V,"max":M}
+///   {"type":"timeline",...,"kind":"histogram","name":N,"count":C,
+///    "delta":D,"rate":R,"p50":X,"p95":X,"p99":X,"max":M}
+///
+/// Histogram quantiles are computed from the epoch's *bucket deltas*,
+/// so each line describes what happened during that epoch, not the
+/// run-to-date distribution. Counter deltas are never negative
+/// (counters are monotonic, and Registry::merge only adds).
+///
+/// Sampling is allocation-free once warm: instrument pointers and names
+/// are cached per watched registry and refreshed only when the
+/// registry's instrument count grows, numbers are formatted into stack
+/// buffers, and per-histogram scratch vectors are reused. That lets a
+/// soak sample the timeline inside its zero-allocation steady phase.
+/// Deterministic under ManualClock.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "csecg/obs/clock.hpp"
+#include "csecg/obs/metrics.hpp"
+
+namespace csecg::obs {
+
+class Timeline {
+ public:
+  /// \p clock null = the process steady clock. Scope and instrument
+  /// names are emitted verbatim and must be JSON-safe (the registry
+  /// naming scheme — dotted ASCII — always is).
+  explicit Timeline(std::ostream& os, const Clock* clock = nullptr);
+
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  /// Adds a registry to the watch set; its lines carry \p scope. The
+  /// registry must outlive the timeline. Not thread-safe against
+  /// sample(); wire the watch set up before sampling starts.
+  void watch(std::string scope, const Registry& registry);
+
+  /// Emits one epoch: a line per instrument across every watched
+  /// registry. Safe to call while other threads update the registries
+  /// (counters/gauges are atomic, histograms take their own mutex).
+  void sample();
+
+  std::size_t epochs() const { return epoch_; }
+
+ private:
+  struct CounterState {
+    std::string name;
+    const Counter* counter = nullptr;
+    std::uint64_t prev = 0;
+  };
+  struct GaugeState {
+    std::string name;
+    const Gauge* gauge = nullptr;
+  };
+  struct HistogramState {
+    std::string name;
+    const Histogram* histogram = nullptr;
+    std::vector<std::uint64_t> prev_buckets;
+    std::vector<std::uint64_t> buckets;  ///< scratch, reused every epoch
+  };
+  struct Watch {
+    std::string scope;
+    const Registry* registry = nullptr;
+    std::size_t seen_instruments = 0;  ///< refresh trigger
+    std::vector<CounterState> counters;
+    std::vector<GaugeState> gauges;
+    std::vector<HistogramState> histograms;
+  };
+
+  /// Re-snapshots the instrument lists (allocates; only runs when the
+  /// registry grew since the last sample).
+  void refresh(Watch& watch);
+  void emit_prefix(const Watch& watch, double t, const char* kind,
+                   const std::string& name);
+
+  std::ostream& os_;
+  const Clock* clock_;
+  std::vector<Watch> watches_;
+  std::size_t epoch_ = 0;
+  double last_time_ = 0.0;
+};
+
+}  // namespace csecg::obs
+
+#endif  // CSECG_OBS_TIMELINE_HPP

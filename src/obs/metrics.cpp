@@ -9,8 +9,23 @@ namespace csecg::obs {
 
 // ------------------------------------------------------------------ gauge --
 
+namespace {
+
+/// Process-wide write ordering for gauges. Every set() takes a fresh
+/// stamp; merge() keeps whichever value carries the newer stamp. That
+/// makes the fold max-by-stamp — associative and commutative — so
+/// GatewayService::finish() produces the same merged value no matter
+/// which order it visits the shards.
+std::uint64_t next_gauge_stamp() {
+  static std::atomic<std::uint64_t> stamp{0};
+  return stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 void Gauge::set(double value) {
   value_.store(value, std::memory_order_relaxed);
+  stamp_.store(next_gauge_stamp(), std::memory_order_relaxed);
   double seen = max_.load(std::memory_order_relaxed);
   while (value > seen &&
          !max_.compare_exchange_weak(seen, value,
@@ -19,7 +34,12 @@ void Gauge::set(double value) {
 }
 
 void Gauge::merge(const Gauge& other) {
-  value_.store(other.value(), std::memory_order_relaxed);
+  const std::uint64_t their_stamp =
+      other.stamp_.load(std::memory_order_relaxed);
+  if (their_stamp > stamp_.load(std::memory_order_relaxed)) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    stamp_.store(their_stamp, std::memory_order_relaxed);
+  }
   double seen = max_.load(std::memory_order_relaxed);
   const double theirs = other.max();
   while (theirs > seen &&
@@ -143,6 +163,12 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return buckets_;
 }
 
+void Histogram::bucket_counts_into(std::vector<std::uint64_t>& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.resize(buckets_.size());
+  std::copy(buckets_.begin(), buckets_.end(), out.begin());
+}
+
 void Histogram::merge(const Histogram& other) {
   // Snapshot the source first: locking both in a fixed order is not
   // possible through the public API, and merge sites never merge in both
@@ -244,6 +270,11 @@ Histogram& Registry::histogram(std::string_view name,
   return *histograms_
               .emplace(std::string(name), std::make_unique<Histogram>(spec))
               .first->second;
+}
+
+std::size_t Registry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 const Counter* Registry::find_counter(std::string_view name) const {

@@ -1,0 +1,200 @@
+#include "csecg/obs/timeline.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace csecg::obs {
+
+namespace {
+
+/// JSON number via a stack buffer; streaming through operator<< on a
+/// double would go through num_put and locale machinery, and the warm
+/// sample() path must not allocate.
+void write_double(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << '0';
+    return;
+  }
+  char buffer[40];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  }
+  os << buffer;
+}
+
+std::uint64_t bucket_delta(const std::vector<std::uint64_t>& cur,
+                           const std::vector<std::uint64_t>& prev,
+                           std::size_t i) {
+  const std::uint64_t before = i < prev.size() ? prev[i] : 0;
+  return cur[i] >= before ? cur[i] - before : 0;
+}
+
+/// Interpolated quantile over this epoch's bucket deltas. Unlike
+/// Histogram::quantile there is no per-epoch min/max to tighten the
+/// edges with, so the nominal bucket bounds are used; the overflow
+/// bucket pins to the last bound.
+double delta_quantile(const std::vector<std::uint64_t>& cur,
+                      const std::vector<std::uint64_t>& prev,
+                      const std::vector<double>& bounds,
+                      std::uint64_t total, double q) {
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const std::uint64_t delta = bucket_delta(cur, prev, i);
+    if (delta == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += delta;
+    if (static_cast<double>(cumulative) < target) {
+      continue;
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : lo;
+    const double fraction = (target - before) / static_cast<double>(delta);
+    return lo + (hi - lo) * fraction;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+Timeline::Timeline(std::ostream& os, const Clock* clock)
+    : os_(os), clock_(clock != nullptr ? clock : &steady_clock()) {}
+
+void Timeline::watch(std::string scope, const Registry& registry) {
+  Watch watch;
+  watch.scope = std::move(scope);
+  watch.registry = &registry;
+  watches_.push_back(std::move(watch));
+}
+
+void Timeline::refresh(Watch& watch) {
+  // Carry the previous epoch's cursors across the rebuild so a refresh
+  // mid-run does not re-report already-counted events as fresh deltas.
+  std::vector<CounterState> old_counters = std::move(watch.counters);
+  std::vector<HistogramState> old_histograms = std::move(watch.histograms);
+  watch.counters.clear();
+  watch.gauges.clear();
+  watch.histograms.clear();
+
+  for (const auto& [name, counter] : watch.registry->counters()) {
+    CounterState state;
+    state.name = name;
+    state.counter = counter;
+    for (const auto& old : old_counters) {
+      if (old.counter == counter) {
+        state.prev = old.prev;
+        break;
+      }
+    }
+    watch.counters.push_back(std::move(state));
+  }
+  for (const auto& [name, gauge] : watch.registry->gauges()) {
+    GaugeState state;
+    state.name = name;
+    state.gauge = gauge;
+    watch.gauges.push_back(std::move(state));
+  }
+  for (const auto& [name, histogram] : watch.registry->histograms()) {
+    HistogramState state;
+    state.name = name;
+    state.histogram = histogram;
+    for (auto& old : old_histograms) {
+      if (old.histogram == histogram) {
+        state.prev_buckets = std::move(old.prev_buckets);
+        state.buckets = std::move(old.buckets);
+        break;
+      }
+    }
+    // Size both scratch vectors now so the first two samples after a
+    // refresh do not allocate (the swap in sample() would otherwise
+    // leave one of them empty for an epoch).
+    const std::size_t nbuckets = histogram->bounds().size() + 1;
+    if (state.prev_buckets.empty()) {
+      state.prev_buckets.resize(nbuckets, 0);
+    }
+    state.buckets.reserve(nbuckets);
+    watch.histograms.push_back(std::move(state));
+  }
+}
+
+void Timeline::emit_prefix(const Watch& watch, double t, const char* kind,
+                           const std::string& name) {
+  os_ << "{\"type\":\"timeline\",\"scope\":\"" << watch.scope
+      << "\",\"epoch\":" << epoch_ << ",\"t\":";
+  write_double(os_, t);
+  os_ << ",\"kind\":\"" << kind << "\",\"name\":\"" << name << "\"";
+}
+
+void Timeline::sample() {
+  const double t = clock_->now();
+  const double dt = epoch_ == 0 ? 0.0 : t - last_time_;
+
+  for (auto& watch : watches_) {
+    const std::size_t instruments = watch.registry->instrument_count();
+    if (instruments != watch.seen_instruments) {
+      refresh(watch);
+      watch.seen_instruments = instruments;
+    }
+
+    for (auto& state : watch.counters) {
+      const std::uint64_t value = state.counter->value();
+      const std::uint64_t delta = value >= state.prev ? value - state.prev : 0;
+      state.prev = value;
+      emit_prefix(watch, t, "counter", state.name);
+      os_ << ",\"value\":" << value << ",\"delta\":" << delta << ",\"rate\":";
+      write_double(os_, dt > 0.0 ? static_cast<double>(delta) / dt : 0.0);
+      os_ << "}\n";
+    }
+
+    for (auto& state : watch.gauges) {
+      emit_prefix(watch, t, "gauge", state.name);
+      os_ << ",\"value\":";
+      write_double(os_, state.gauge->value());
+      os_ << ",\"max\":";
+      write_double(os_, state.gauge->max());
+      os_ << "}\n";
+    }
+
+    for (auto& state : watch.histograms) {
+      state.histogram->bucket_counts_into(state.buckets);
+      std::uint64_t total = 0;
+      std::uint64_t delta_count = 0;
+      for (std::size_t i = 0; i < state.buckets.size(); ++i) {
+        total += state.buckets[i];
+        delta_count += bucket_delta(state.buckets, state.prev_buckets, i);
+      }
+      const std::vector<double>& bounds = state.histogram->bounds();
+      emit_prefix(watch, t, "histogram", state.name);
+      os_ << ",\"count\":" << total << ",\"delta\":" << delta_count
+          << ",\"rate\":";
+      write_double(os_, dt > 0.0 ? static_cast<double>(delta_count) / dt
+                                 : 0.0);
+      os_ << ",\"p50\":";
+      write_double(os_, delta_quantile(state.buckets, state.prev_buckets,
+                                       bounds, delta_count, 0.50));
+      os_ << ",\"p95\":";
+      write_double(os_, delta_quantile(state.buckets, state.prev_buckets,
+                                       bounds, delta_count, 0.95));
+      os_ << ",\"p99\":";
+      write_double(os_, delta_quantile(state.buckets, state.prev_buckets,
+                                       bounds, delta_count, 0.99));
+      os_ << ",\"max\":";
+      write_double(os_, state.histogram->max());
+      os_ << "}\n";
+      state.prev_buckets.swap(state.buckets);
+    }
+  }
+
+  last_time_ = t;
+  ++epoch_;
+}
+
+}  // namespace csecg::obs

@@ -70,6 +70,7 @@ struct FleetCoordinator::NodeState {
   // not drop warmed sample buffers.
   std::vector<std::int32_t> y_flat;
   std::vector<std::uint16_t> sink_slots;
+  std::vector<std::uint16_t> sink_wires;  ///< wire sequences, same order
   std::vector<core::DecodedWindow<float>> window_batch;
   FleetNodeStats stats;
 };
@@ -249,6 +250,9 @@ void FleetCoordinator::process_frames(
     out.feedback.clear();
     if (!core::Packet::parse_into(frame, node.packet_scratch)) {
       ++node.stats.frames_corrupt;
+      if (config_.flight != nullptr) {
+        config_.flight->record(obs::FlightEventId::kCrcMismatch, node.id);
+      }
       node.arq.on_corrupt_frame(node.ticks, out);
       recycle(std::move(frame));
     } else {
@@ -277,7 +281,7 @@ void FleetCoordinator::handle_event(NodeState& node,
       static_cast<std::uint16_t>(event.sequence - node.profile_slots);
   if (event.lost) {
     flush_pending(node, workspace);
-    conceal(node, slot);
+    conceal(node, slot, event.sequence);
     return;
   }
   const auto start = std::chrono::steady_clock::now();
@@ -293,12 +297,20 @@ void FleetCoordinator::handle_event(NodeState& node,
       if (node.decoder.consume(packet, node.y_scratch) ==
           core::Decoder::FrameOutcome::kProfileApplied) {
         ++node.stats.profiles_applied;
+        if (config_.flight != nullptr) {
+          config_.flight->record(obs::FlightEventId::kProfileApplied,
+                                 node.id);
+        }
         if (node.last_window.size() != node.decoder.config().cs.window) {
           // The concealment reference is in the old geometry.
           node.last_window.assign(node.decoder.config().cs.window, 0.0f);
         }
       } else {
         ++node.stats.frames_rejected;
+        if (config_.flight != nullptr) {
+          config_.flight->record(obs::FlightEventId::kFrameRejected, node.id,
+                                 slot);
+        }
       }
       return;
     }
@@ -310,7 +322,7 @@ void FleetCoordinator::handle_event(NodeState& node,
         // FISTA solve is skipped and the viewer gets a concealment.
         flush_pending(node, workspace);
         ++node.stats.windows_shed_concealed;
-        conceal(node, slot);
+        conceal(node, slot, event.sequence);
         return;
       }
       if (config_.decode_batch > 1) {
@@ -319,6 +331,7 @@ void FleetCoordinator::handle_event(NodeState& node,
         node.y_flat.insert(node.y_flat.end(), node.y_scratch.begin(),
                            node.y_scratch.end());
         node.sink_slots.push_back(slot);
+        node.sink_wires.push_back(event.sequence);
         if (node.sink_slots.size() >= config_.decode_batch) {
           flush_pending(node, workspace);
         }
@@ -345,7 +358,11 @@ void FleetCoordinator::handle_event(NodeState& node,
     // behind an abandoned gap, waiting for the forced keyframe. Conceal
     // it rather than skip the slot.
     ++node.stats.frames_rejected;
-    conceal(node, slot);
+    if (config_.flight != nullptr) {
+      config_.flight->record(obs::FlightEventId::kFrameRejected, node.id,
+                             slot);
+    }
+    conceal(node, slot, event.sequence);
     return;
   }
   const double decode_s =
@@ -360,6 +377,11 @@ void FleetCoordinator::handle_event(NodeState& node,
   if (decode_s > config_.deadline_seconds) {
     ++node.stats.deadline_misses;
     node.session.registry().counter(kDeadlineMisses).add(1);
+    if (config_.flight != nullptr) {
+      config_.flight->record(obs::FlightEventId::kDeadlineMiss, node.id,
+                             slot,
+                             static_cast<std::uint64_t>(decode_s * 1e6));
+    }
   }
   node.last_window.assign(node.window_scratch.samples.begin(),
                           node.window_scratch.samples.end());
@@ -367,6 +389,7 @@ void FleetCoordinator::handle_event(NodeState& node,
     FleetWindow window;
     window.node_id = node.id;
     window.sequence = slot;
+    window.wire_sequence = node.packet_scratch.sequence;
     window.concealed = false;
     window.decode_seconds = decode_s;
     window.iterations = node.window_scratch.iterations;
@@ -414,11 +437,17 @@ void FleetCoordinator::flush_pending(NodeState& node,
     if (per_window_s > config_.deadline_seconds) {
       ++node.stats.deadline_misses;
       node.session.registry().counter(kDeadlineMisses).add(1);
+      if (config_.flight != nullptr) {
+        config_.flight->record(
+            obs::FlightEventId::kDeadlineMiss, node.id, node.sink_slots[b],
+            static_cast<std::uint64_t>(per_window_s * 1e6));
+      }
     }
     if (sink_) {
       FleetWindow window;
       window.node_id = node.id;
       window.sequence = node.sink_slots[b];
+      window.wire_sequence = node.sink_wires[b];
       window.concealed = false;
       window.decode_seconds = per_window_s;
       window.iterations = decoded.iterations;
@@ -431,14 +460,17 @@ void FleetCoordinator::flush_pending(NodeState& node,
   // clear() keeps capacity: the next batch reuses the same storage.
   node.y_flat.clear();
   node.sink_slots.clear();
+  node.sink_wires.clear();
 }
 
-void FleetCoordinator::conceal(NodeState& node, std::uint16_t sequence) {
+void FleetCoordinator::conceal(NodeState& node, std::uint16_t sequence,
+                               std::uint16_t wire_sequence) {
   ++node.stats.windows_concealed;
   if (sink_) {
     FleetWindow window;
     window.node_id = node.id;
     window.sequence = sequence;
+    window.wire_sequence = wire_sequence;
     window.concealed = true;
     window.samples = std::span<const float>(node.last_window);
     sink_(window);

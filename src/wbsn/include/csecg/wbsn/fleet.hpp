@@ -43,6 +43,7 @@
 
 #include "csecg/coding/huffman.hpp"
 #include "csecg/core/decoder.hpp"
+#include "csecg/obs/flight_recorder.hpp"
 #include "csecg/obs/obs.hpp"
 #include "csecg/wbsn/arq.hpp"
 
@@ -125,6 +126,12 @@ struct FleetConfig {
   /// allocation-free in steady state. Called from worker threads; must
   /// be thread-safe.
   std::function<void(std::vector<std::uint8_t>&&)> frame_recycler;
+  /// Optional flight recorder (owned by the caller, e.g. the gateway
+  /// shard; must outlive the fleet). Workers append crc_mismatch,
+  /// deadline_miss, frame_rejected and profile_applied events — record()
+  /// is lock-free and allocation-free, so the decode hot path keeps its
+  /// contract. Null = no flight events.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// One in-order delivery to the sink. \p samples points into per-node
@@ -136,6 +143,10 @@ struct FleetWindow {
   /// kProfile frames seen so far, so sinks can align reconstructions
   /// with the original stream even on v1 sessions.
   std::uint16_t sequence = 0;
+  /// The raw on-wire frame sequence this delivery answers. The gateway's
+  /// end-to-end latency stamps are keyed by it (ingest sees only wire
+  /// sequences; profile-offset slots are a decode-side notion).
+  std::uint16_t wire_sequence = 0;
   bool concealed = false;       ///< synthesised stand-in, not a decode
   double decode_seconds = 0.0;  ///< host decode latency (0 if concealed)
   std::size_t iterations = 0;   ///< FISTA iterations (0 if concealed)
@@ -279,7 +290,8 @@ class FleetCoordinator {
   /// Decodes every window buffered for batching (no-op when none); the
   /// barrier every non-window event crosses so sink order holds.
   void flush_pending(NodeState& node, solvers::SolverWorkspace& workspace);
-  void conceal(NodeState& node, std::uint16_t sequence);
+  void conceal(NodeState& node, std::uint16_t sequence,
+               std::uint16_t wire_sequence);
 
   FleetConfig config_;
   Sink sink_;

@@ -38,16 +38,22 @@
 /// plus a per-shard + global SLO table (obs::render_slo_table).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "csecg/obs/export.hpp"
 #include "csecg/wbsn/fleet.hpp"
 
 namespace csecg::wbsn {
+
+namespace detail {
+class FrameStampTable;
+}  // namespace detail
 
 /// Admission-controller degrade ladder, most permissive first.
 enum class DegradeTier : std::uint8_t {
@@ -82,6 +88,23 @@ struct GatewayConfig {
   /// decode batch, backend). workers and queue_depth are per shard.
   FleetConfig shard;
   AdmissionConfig admission;
+  /// Per-shard flight recorder (obs::FlightRecorder). Only wired up in
+  /// CSECG_OBS=ON builds; under OFF no recorder is created and
+  /// flight_recorder() returns null.
+  struct FlightConfig {
+    bool enabled = true;
+    std::size_t capacity = 1024;   ///< ring slots (rounded to 2^n)
+    std::size_t dump_window = 32;  ///< events per anomaly dump
+    std::size_t max_dumps = 16;    ///< per-shard dump budget
+  } flight;
+  /// Receives each anomaly dump, already rendered as flight-event JSONL.
+  /// Called synchronously from whichever thread hit the anomaly — must
+  /// be thread-safe. Unset = events record but anomalies never dump.
+  std::function<void(std::size_t shard, const std::string& jsonl)>
+      flight_dump_sink;
+  /// Clock for end-to-end latency stamps and flight-event times. Null =
+  /// the process steady clock; tests pass a ManualClock.
+  const obs::Clock* clock = nullptr;
 };
 
 /// Where one offered frame ended up. Exactly one outcome per offer, so
@@ -103,6 +126,11 @@ struct GatewayShardReport {
   std::size_t nacks_suppressed = 0;
   std::size_t tier_escalations = 0;
   std::size_t tier_clears = 0;
+  /// End-to-end (offer() to sink delivery) latency over deliveries whose
+  /// ingest stamp was matched. Zero in CSECG_OBS=OFF builds.
+  std::size_t e2e_windows = 0;
+  double e2e_p50_s = 0.0;
+  double e2e_p99_s = 0.0;
   FleetReport fleet;
 };
 
@@ -125,6 +153,9 @@ struct GatewayReport {
   double latency_p50_s = 0.0;
   double latency_p95_s = 0.0;
   double latency_p99_s = 0.0;
+  std::size_t e2e_windows = 0;  ///< stamped offer-to-delivery samples
+  double e2e_p50_s = 0.0;
+  double e2e_p99_s = 0.0;
   double wall_seconds = 0.0;
 
   /// The ingest ledger balances: every offered frame is accounted as
@@ -187,6 +218,19 @@ class GatewayService {
   /// in by finish().
   obs::Session& session() { return session_; }
 
+  /// A shard's live registry (the shard fleet's aggregate session).
+  /// Carries queue occupancy, the gateway.* ingest mirrors, the tier
+  /// gauge and the e2e latency histogram while the service runs — the
+  /// surface an obs::Timeline watches.
+  obs::Registry& shard_registry(std::size_t shard);
+  /// The shard's flight recorder; null when flight.enabled is false or
+  /// the build has CSECG_OBS=OFF.
+  obs::FlightRecorder* flight_recorder(std::size_t shard);
+  /// Arms/disarms anomaly dumps on every shard recorder (events still
+  /// record). A soak disarms them across its measured steady phase:
+  /// rendering a dump allocates. No-op under CSECG_OBS=OFF.
+  void set_flight_dumps_enabled(bool enabled);
+
   /// Per-shard rows plus the global fold, ready for
   /// obs::render_slo_table.
   static std::vector<obs::SloRow> slo_rows(const GatewayReport& report,
@@ -216,6 +260,12 @@ class GatewayService {
   };
   mutable std::mutex nodes_mutex_;
   std::vector<NodeRef> nodes_;
+#if CSECG_OBS_ENABLED
+  /// Parallel to nodes_: each node's ingest stamp table (owned by its
+  /// shard), resolved at registration so offer() stamps without touching
+  /// the shard-local maps. Guarded by nodes_mutex_.
+  std::vector<detail::FrameStampTable*> stamp_refs_;
+#endif
   bool finished_ = false;
 
   std::mutex pool_mutex_;

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -134,6 +135,21 @@ struct SoakConfig {
   /// session (counters merged, gateway.* written), before teardown —
   /// the JSONL-export window.
   std::function<void(obs::Session&)> on_session;
+
+  // --- live telemetry (CSECG_OBS=ON builds; quietly inert under OFF) ---
+  /// When set, an obs::Timeline watches every shard registry and streams
+  /// epoch-diff JSONL here throughout the run. The stream must outlive
+  /// run_soak. Sampling is allocation-free once warm, so it stays on
+  /// through the measured steady phase.
+  std::ostream* timeline_out = nullptr;
+  /// Ticks between timeline samples (phase boundaries always sample).
+  std::size_t timeline_interval_ticks = 16;
+  /// When set, shard flight recorders dump anomaly windows here as
+  /// JSONL (each dump prefixed by a {"type":"flight_dump","shard":S}
+  /// line). The forced warm-up tier-2 slice guarantees at least one
+  /// tier_escalate trigger. Dumps are disarmed across the measured
+  /// steady phase (rendering allocates); events still record.
+  std::ostream* flight_out = nullptr;
 };
 
 struct SoakResult {

@@ -11,6 +11,7 @@
 #include "csecg/core/encoder.hpp"
 #include "csecg/core/packet.hpp"
 #include "csecg/ecg/database.hpp"
+#include "csecg/obs/timeline.hpp"
 #include "csecg/util/error.hpp"
 
 namespace csecg::wbsn {
@@ -129,6 +130,21 @@ SoakResult run_soak(const SoakConfig& config) {
   // counters, stats and latency histograms all stay on.
   cfg.gateway.shard.trace_spans = false;
 
+  // Flight dumps stream to cfg.flight_out under a harness mutex (dumps
+  // fire from worker and ingest threads alike). Wired before the
+  // gateway copies its config.
+  std::mutex flight_mutex;
+  if (cfg.flight_out != nullptr) {
+    std::ostream* flight_os = cfg.flight_out;
+    cfg.gateway.flight_dump_sink = [&flight_mutex, flight_os](
+                                       std::size_t shard,
+                                       const std::string& jsonl) {
+      std::lock_guard<std::mutex> lock(flight_mutex);
+      *flight_os << "{\"type\":\"flight_dump\",\"shard\":" << shard << "}\n"
+                 << jsonl;
+    };
+  }
+
   const TrafficModel model(cfg.traffic);
   const std::vector<EncodedStream>& streams = model.streams();
   const std::size_t population = model.config().nodes;
@@ -198,6 +214,35 @@ SoakResult run_soak(const SoakConfig& config) {
           (depth + cfg.gateway.shard.workers * cfg.gateway.shard.decode_batch +
            4),
       max_frame);
+
+  // Live timeline over every shard registry. The priming sample warms
+  // the stream buffer and the per-watch cursor caches, so later samples
+  // — including those inside the measured steady phase — stay
+  // allocation-free.
+  std::unique_ptr<obs::Timeline> timeline;
+  if (cfg.timeline_out != nullptr) {
+    timeline = std::make_unique<obs::Timeline>(*cfg.timeline_out);
+    for (std::size_t s = 0; s < gateway.shard_count(); ++s) {
+      timeline->watch("shard" + std::to_string(s), gateway.shard_registry(s));
+    }
+    timeline->sample();
+  }
+  const std::size_t timeline_every =
+      std::max<std::size_t>(1, cfg.timeline_interval_ticks);
+  std::size_t ticks_since_sample = 0;
+  const auto telemetry_tick = [&] {
+    if (timeline != nullptr && ++ticks_since_sample >= timeline_every) {
+      ticks_since_sample = 0;
+      timeline->sample();
+    }
+  };
+  // Forced sample at a phase boundary.
+  const auto telemetry_mark = [&] {
+    if (timeline != nullptr) {
+      ticks_since_sample = 0;
+      timeline->sample();
+    }
+  };
 
   // --- driver-side state (this thread only) --------------------------
   struct NodeCursor {
@@ -305,6 +350,7 @@ SoakResult run_soak(const SoakConfig& config) {
         offer_one(node, true, false);
       }
     }
+    telemetry_tick();
     if (burst_end >= 4 && tick % (burst_end / 4) == 0) {
       progress("warmup tick " + std::to_string(tick) + "/" +
                std::to_string(burst_end) + ", offered " +
@@ -318,6 +364,7 @@ SoakResult run_soak(const SoakConfig& config) {
     }
   }
   drain();
+  telemetry_mark();
 
   // Recovery: paced ticks until the controller walks every shard back to
   // kFullDecode. Each offer feeds a decision window, and drain-paced
@@ -340,8 +387,10 @@ SoakResult run_soak(const SoakConfig& config) {
         offer_one(node, true, true);
       }
     }
+    telemetry_tick();
     ++now;
   }
+  telemetry_mark();
   progress("tiers cleared after " + std::to_string(now - burst_end) +
            " recovery ticks");
 
@@ -357,9 +406,11 @@ SoakResult run_soak(const SoakConfig& config) {
         offer_one(node, true, true);
       }
     }
+    telemetry_tick();
   }
   const std::size_t band_len = now - band_start;
   drain();
+  telemetry_mark();
 
   for (std::size_t s = 0; s < gateway.shard_count(); ++s) {
     if (gateway.tier(s) != DegradeTier::kFullDecode) {
@@ -378,6 +429,10 @@ SoakResult run_soak(const SoakConfig& config) {
   progress("steady phase: " + std::to_string(cfg.steady_ticks) +
            " paced ticks over " + std::to_string(result.nodes_registered) +
            " warm nodes");
+  // Anomaly dumps render through an ostringstream; events keep
+  // recording across the measured phase, only the dump path is
+  // disarmed so the allocation gate sees a quiet recorder.
+  gateway.set_flight_dumps_enabled(false);
   if (cfg.on_steady_begin) {
     cfg.on_steady_begin();
   }
@@ -405,12 +460,15 @@ SoakResult run_soak(const SoakConfig& config) {
         ++result.steady_skipped;  // stream exhausted
       }
     }
+    telemetry_tick();
   }
   drain();
   steady_phase = false;
   if (cfg.on_steady_end) {
     cfg.on_steady_end();
   }
+  gateway.set_flight_dumps_enabled(true);
+  telemetry_mark();
   result.steady_delivered =
       (sink.decoded.load(std::memory_order_relaxed) -
        steady_decoded_before) +
@@ -419,6 +477,10 @@ SoakResult run_soak(const SoakConfig& config) {
 
   // --- finish + the accounting gates ---------------------------------
   result.report = gateway.finish();
+  // Final epoch: the shard registries now hold the merged per-node
+  // totals (finish() folds node sessions in), so the last timeline
+  // lines carry the end-of-run truth.
+  telemetry_mark();
   if (cfg.on_session) {
     cfg.on_session(gateway.session());
   }

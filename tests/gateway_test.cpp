@@ -11,6 +11,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -249,10 +251,102 @@ TEST(GatewayTest, SloRowsCoverShardsPlusGlobal) {
   EXPECT_EQ(rows.back().offered, report.offered);
 }
 
+// The gateway's flight recorders dump anomaly windows through the
+// configured sink: forcing a tier records kTierEscalate — an anomaly —
+// and the dump must carry the trigger plus the traffic leading up to it.
+TEST(GatewayTest, FlightRecorderDumpsForcedTierEscalation) {
+#if CSECG_OBS_ENABLED
+  GatewayConfig config;
+  config.shards = 1;
+  config.shard.workers = 1;
+  std::mutex mutex;
+  std::vector<std::string> dumps;
+  config.flight_dump_sink = [&](std::size_t shard, const std::string& jsonl) {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(shard, 0u);
+    dumps.push_back(jsonl);
+  };
+  GatewayService gateway(config);
+  const auto profile = test_profile(1);
+  const auto frames = encode_stream(profile, 2);
+  const std::uint32_t id = gateway.register_node(profile);
+  EXPECT_EQ(gateway.offer(id, frames[0]), OfferOutcome::kAdmitted);
+
+  gateway.force_tier(0, DegradeTier::kDropToKeyframe);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(dumps.size(), 1u);
+    EXPECT_NE(dumps[0].find("\"event\":\"tier_escalate\""),
+              std::string::npos);
+    EXPECT_NE(dumps[0].find("\"trigger\":true"), std::string::npos);
+    // The window carries the traffic context preceding the anomaly.
+    EXPECT_NE(dumps[0].find("\"event\":\"frame_accepted\""),
+              std::string::npos);
+  }
+
+  // Disarmed: further anomalies record as events but never dump.
+  // (force_tier back down is a clear — not an anomaly — so walk down
+  // then escalate again.)
+  gateway.set_flight_dumps_enabled(false);
+  gateway.force_tier(0, DegradeTier::kFullDecode);
+  gateway.force_tier(0, DegradeTier::kConcealOnly);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(dumps.size(), 1u);
+  }
+  ASSERT_NE(gateway.flight_recorder(0), nullptr);
+  // frame_accepted + escalate + clear + escalate.
+  EXPECT_GE(gateway.flight_recorder(0)->recorded(), 4u);
+  gateway.release_tier(0);
+  gateway.finish();
+#else
+  GTEST_SKIP() << "CSECG_OBS=OFF compiles the flight recorders out";
+#endif
+}
+
+// End-to-end window latency: frames are stamped at offer() and observed
+// at delivery, so a fully decoded run must report non-zero e2e
+// percentiles per shard and globally (zero under CSECG_OBS=OFF).
+TEST(GatewayTest, EndToEndLatencyPopulatesSloRows) {
+  GatewayConfig config;
+  config.shards = 1;
+  config.shard.workers = 1;
+  std::atomic<std::size_t> delivered{0};
+  GatewayService gateway(config, [&](const FleetWindow&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  const auto profile = test_profile(1);
+  const auto frames = encode_stream(profile, 4);
+  const std::uint32_t id = gateway.register_node(profile);
+  for (const auto& frame : frames) {
+    EXPECT_EQ(gateway.offer(id, frame), OfferOutcome::kAdmitted);
+  }
+  const GatewayReport report = gateway.finish();
+  EXPECT_EQ(delivered.load(), frames.size());
+
+  const auto rows =
+      GatewayService::slo_rows(report, config.shard.queue_depth);
+  ASSERT_EQ(rows.size(), 2u);
+#if CSECG_OBS_ENABLED
+  EXPECT_EQ(report.e2e_windows, frames.size());
+  EXPECT_GT(report.e2e_p50_s, 0.0);
+  EXPECT_GE(report.e2e_p99_s, report.e2e_p50_s);
+  ASSERT_EQ(report.shards.size(), 1u);
+  EXPECT_EQ(report.shards[0].e2e_windows, frames.size());
+  EXPECT_GT(rows.back().e2e_p50_ms, 0.0);
+  EXPECT_GE(rows.back().e2e_p99_ms, rows.back().e2e_p50_ms);
+#else
+  EXPECT_EQ(report.e2e_windows, 0u);
+  EXPECT_DOUBLE_EQ(rows.back().e2e_p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(rows.back().e2e_p99_ms, 0.0);
+#endif
+}
+
 // Miniature end-to-end soak: bursty overload with a forced shed slice,
 // recovery, then a measured steady phase. Every harness gate — golden
 // CRCs on all delivered reconstructions, exact shed accounting, bounded
-// queue high-water, zero steady-phase sheds — must hold.
+// queue high-water, zero steady-phase sheds — must hold. The live
+// telemetry plane runs alongside into string streams.
 TEST(GatewaySoakTest, MiniatureSoakPassesAllGates) {
   SoakConfig config;
   config.traffic.nodes = 120;
@@ -268,6 +362,12 @@ TEST(GatewaySoakTest, MiniatureSoakPassesAllGates) {
   config.gateway.shard.decode_batch = 2;
   config.warmup_ticks = 32;
   config.steady_ticks = 24;
+
+  std::ostringstream timeline;
+  std::ostringstream flight;
+  config.timeline_out = &timeline;
+  config.timeline_interval_ticks = 8;
+  config.flight_out = &flight;
 
   const SoakResult result = run_soak(config);
   for (const auto& failure : result.failures) {
@@ -286,6 +386,21 @@ TEST(GatewaySoakTest, MiniatureSoakPassesAllGates) {
   // Per-shard + global SLO rows rendered from the same report.
   ASSERT_EQ(result.slo.size(), config.gateway.shards + 1);
   EXPECT_EQ(result.slo.back().label, "global");
+
+  // The timeline sampled every shard registry throughout the run.
+  EXPECT_NE(timeline.str().find("\"type\":\"timeline\""),
+            std::string::npos);
+  EXPECT_NE(timeline.str().find("\"scope\":\"shard1\""), std::string::npos);
+#if CSECG_OBS_ENABLED
+  // The forced warm-up tier-2 slice guarantees an anomaly-triggered
+  // flight dump, and the e2e latency histogram reached the timeline.
+  EXPECT_NE(flight.str().find("\"event\":\"tier_escalate\""),
+            std::string::npos);
+  EXPECT_NE(flight.str().find("\"trigger\":true"), std::string::npos);
+  EXPECT_NE(timeline.str().find("\"name\":\"e2e.latency.seconds\""),
+            std::string::npos);
+  EXPECT_GT(result.report.e2e_windows, 0u);
+#endif
 }
 
 }  // namespace

@@ -13,7 +13,7 @@
 //                       [--loss 0.1] [--burst 4] [--ber 1e-5] [--retries 3]
 //                       [--keyframe 64] [--conceal hold|interp]
 //                       [--backend native] [--json dump.jsonl]
-//   csecg_tool metrics  --trace dump.jsonl
+//   csecg_tool metrics  --trace dump.jsonl [--prom out.prom]
 //   csecg_tool stream   --in rec.csecg [--cr 50] [--adapt 1] [--loss 0.1]
 //                       [--burst 4] [--ber 1e-5] [--retries 3]
 //                       [--keyframe 64] [--conceal hold|interp]
@@ -30,7 +30,9 @@
 //                       [--duty-on 4] [--duty-period 2048]
 //                       [--warmup 96] [--steady 192] [--seed 2011]
 //                       [--force-shed 1] [--backend native]
-//                       [--json dump.jsonl]
+//                       [--json dump.jsonl] [--timeline tl.jsonl]
+//                       [--timeline-every 16] [--flight fl.jsonl]
+//                       [--prom out.prom]
 //                       (defaults shown are --soak; plain gateway runs a
 //                       lighter demo: 1000 nodes, duty period 512,
 //                       queue 64, warmup/steady 64)
@@ -56,13 +58,20 @@
 // statistics.
 //
 // `gateway` runs the sharded GatewayService under the deterministic
-// duty-cycled traffic model and prints the per-shard + global SLO table.
-// Plain `gateway` is a short demo; `--soak` is the CRC-validated soak:
-// every delivered reconstruction is checksummed against a golden
-// reference decode, every accounting identity is asserted, and the
-// measured steady phase must complete with zero heap allocations
-// (counted by a global operator-new hook) — the tool exits non-zero if
-// any gate fails.
+// duty-cycled traffic model and prints the per-shard + global SLO table
+// (including end-to-end offer→delivery latency percentiles). Plain
+// `gateway` is a short demo; `--soak` is the CRC-validated soak: every
+// delivered reconstruction is checksummed against a golden reference
+// decode, every accounting identity is asserted, and the measured
+// steady phase must complete with zero heap allocations (counted by a
+// global operator-new hook) — the tool exits non-zero if any gate
+// fails. The live telemetry plane streams alongside: `--timeline`
+// writes epoch-diff rate/gauge/percentile JSONL sampled every
+// `--timeline-every` ticks while the service runs, `--flight` collects
+// anomaly-triggered flight-recorder dumps (tier escalations, deadline
+// misses, CRC mismatches), and `--prom` renders the final merged
+// registry as Prometheus text exposition. `metrics --trace dump.jsonl
+// --prom out.prom` re-renders a JSONL dump the same way offline.
 
 #include <execinfo.h>
 
@@ -794,17 +803,54 @@ int cmd_gateway(const Args& args) {
     };
   }
 
+  // Live telemetry sinks must outlive run_soak; the streams are plain
+  // ofstreams owned here.
+  std::ofstream timeline_out;
+  const auto timeline = args.find("timeline");
+  if (timeline != args.end()) {
+    timeline_out.open(timeline->second);
+    if (!timeline_out) {
+      std::fprintf(stderr, "cannot write %s\n", timeline->second.c_str());
+      return 1;
+    }
+    cfg.timeline_out = &timeline_out;
+    cfg.timeline_interval_ticks = std::max<std::size_t>(
+        1, static_cast<std::size_t>(get_double(args, "timeline-every", 16.0)));
+  }
+  std::ofstream flight_out;
+  const auto flight = args.find("flight");
+  if (flight != args.end()) {
+    flight_out.open(flight->second);
+    if (!flight_out) {
+      std::fprintf(stderr, "cannot write %s\n", flight->second.c_str());
+      return 1;
+    }
+    cfg.flight_out = &flight_out;
+  }
+
   const auto json = args.find("json");
+  const auto prom = args.find("prom");
   int json_status = 0;
-  if (json != args.end()) {
+  if (json != args.end() || prom != args.end()) {
     cfg.on_session = [&](obs::Session& session) {
-      std::ofstream out(json->second);
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", json->second.c_str());
-        json_status = 1;
-        return;
+      if (json != args.end()) {
+        std::ofstream out(json->second);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", json->second.c_str());
+          json_status = 1;
+          return;
+        }
+        obs::export_jsonl(session, out);
       }
-      obs::export_jsonl(session, out);
+      if (prom != args.end()) {
+        std::ofstream out(prom->second);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", prom->second.c_str());
+          json_status = 1;
+          return;
+        }
+        obs::render_prometheus(session.registry(), out);
+      }
     };
   }
 
@@ -852,6 +898,15 @@ int cmd_gateway(const Args& args) {
   if (json != args.end() && json_status == 0) {
     std::printf("\nJSONL session dump      : %s\n", json->second.c_str());
   }
+  if (prom != args.end() && json_status == 0) {
+    std::printf("Prometheus exposition   : %s\n", prom->second.c_str());
+  }
+  if (timeline != args.end()) {
+    std::printf("timeline JSONL          : %s\n", timeline->second.c_str());
+  }
+  if (flight != args.end()) {
+    std::printf("flight-recorder dumps   : %s\n", flight->second.c_str());
+  }
 
   bool failed = json_status != 0;
   for (const auto& failure : result.failures) {
@@ -873,7 +928,8 @@ int cmd_gateway(const Args& args) {
 }
 
 /// `metrics --trace dump.jsonl`: re-render a previously exported session.
-int cmd_metrics_trace(const std::string& path) {
+int cmd_metrics_trace(const Args& args) {
+  const std::string& path = args.at("trace");
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
@@ -887,6 +943,16 @@ int cmd_metrics_trace(const std::string& path) {
     return 1;
   }
   obs::render_summary(session, std::cout);
+  const auto prom = args.find("prom");
+  if (prom != args.end()) {
+    std::ofstream out(prom->second);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", prom->second.c_str());
+      return 1;
+    }
+    obs::render_prometheus(session.registry(), out);
+    std::printf("\nPrometheus exposition   : %s\n", prom->second.c_str());
+  }
   return 0;
 }
 
@@ -954,7 +1020,7 @@ int cmd_metrics_session(const Args& args) {
 
 int cmd_metrics(const Args& args) {
   if (args.count("trace") != 0) {
-    return cmd_metrics_trace(args.at("trace"));
+    return cmd_metrics_trace(args);
   }
   if (args.count("a") == 0 && args.count("b") == 0) {
     return cmd_metrics_session(args);
