@@ -5,14 +5,80 @@
 //
 // Paper shape: iterations grow from ~600 to ~900 and modelled time from
 // ~0.34 s to ~0.46 s as CR goes 30 -> 70.
+//
+// EXP-A14 extension: each CR row also runs the prior-aware decode
+// (warm starts + adaptive restart + weighted l1 + support-aware
+// tolerance — DecoderConfig::prior) over the same packets, reporting its
+// iteration count, modelled time and PRD next to the cold baseline. The
+// warm_* and *_prd_percent columns feed scripts/check_iteration_cut.sh,
+// which gates on >= 2x fewer mean iterations at CR 50 at equal-or-better
+// PRD.
 
 #include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "csecg/core/codec.hpp"
+#include "csecg/ecg/metrics.hpp"
 #include "csecg/platform/cortex_a8.hpp"
 #include "csecg/util/table.hpp"
+
+namespace {
+
+struct RunResult {
+  double mean_iterations = 0.0;
+  double a8_seconds = 0.0;    ///< modelled seconds per window
+  double host_seconds = 0.0;  ///< host seconds per window
+  double mean_prd = 0.0;      ///< percent
+};
+
+// Streams the whole corpus through one encoder/decoder pair and averages
+// iterations, modelled time and PRD over every window.
+RunResult run_policy(const csecg::core::DecoderConfig& config) {
+  using namespace csecg;
+  const auto& db = bench::corpus();
+  const platform::CortexA8Model a8;
+  core::Encoder encoder(config.cs, bench::codebook());
+  core::Decoder decoder(config, bench::codebook());
+
+  RunResult out;
+  linalg::OpCounts ops_total;
+  std::size_t windows = 0;
+  std::vector<double> original(512);
+  std::vector<double> reconstructed(512);
+  for (std::size_t r = 0; r < db.size(); ++r) {
+    encoder.reset();
+    decoder.reset();
+    const auto& record = db.mote(r);
+    for (std::size_t off = 0; off + 512 <= record.samples.size();
+         off += 512) {
+      const auto packet = encoder.encode_window(
+          std::span<const std::int16_t>(record.samples.data() + off, 512));
+      linalg::OpCounterScope scope;
+      const auto start = std::chrono::steady_clock::now();
+      const auto window = decoder.decode<float>(packet);
+      const auto stop = std::chrono::steady_clock::now();
+      ops_total += scope.counts();
+      out.host_seconds +=
+          std::chrono::duration<double>(stop - start).count();
+      out.mean_iterations += static_cast<double>(window->iterations);
+      for (std::size_t i = 0; i < 512; ++i) {
+        original[i] = static_cast<double>(record.samples[off + i]);
+        reconstructed[i] = static_cast<double>(window->samples[i]);
+      }
+      out.mean_prd += ecg::prd(original, reconstructed);
+      ++windows;
+    }
+  }
+  const auto n = static_cast<double>(windows);
+  out.mean_iterations /= n;
+  out.a8_seconds = a8.seconds(ops_total) / n;
+  out.host_seconds /= n;
+  out.mean_prd /= n;
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace csecg;
@@ -21,64 +87,66 @@ int main(int argc, char** argv) {
                "time per 2-s packet vs CR\n"
             << "Time: Cortex-A8 cycle model at 600 MHz over the "
                "vectorised (NEON) schedule; host wall clock for "
-               "reference.\n\n";
+               "reference.\n"
+            << "warm = prior-aware decode (warm start + restart + "
+               "weighted l1 + support tolerance), EXP-A14.\n\n";
 
-  util::Table table({"CR (%)", "iterations", "A8 time (s)", "host time (s)",
-                     "A8 CPU (%)"});
-  bench::JsonReport json("fig7_iterations",
-                         {"cr_percent", "iterations", "a8_seconds",
-                          "host_seconds", "a8_cpu_percent"});
+  util::Table table({"CR (%)", "iterations", "warm iters", "speedup",
+                     "A8 time (s)", "warm A8 (s)", "A8 CPU (%)",
+                     "warm CPU (%)", "PRD (%)", "warm PRD (%)"});
+  bench::JsonReport json(
+      "fig7_iterations",
+      {"cr_percent", "iterations", "a8_seconds", "host_seconds",
+       "a8_cpu_percent", "prd_percent", "warm_iterations", "warm_a8_seconds",
+       "warm_host_seconds", "warm_a8_cpu_percent", "warm_prd_percent",
+       "iteration_speedup"});
   table.set_title(
       "Fig 7 — average execution time and iterations per 2-s ECG packet");
-  const auto& db = bench::corpus();
-  const platform::CortexA8Model a8;
   for (const double cr : {30.0, 40.0, 50.0, 60.0, 70.0}) {
     core::DecoderConfig config;
     config.cs.measurements = core::measurements_for_cr(512, cr);
     // The cycle model needs the counting decorator over the NEON schedule.
     config.backend = &linalg::counting_simd4_backend();
-    core::Encoder encoder(config.cs, bench::codebook());
-    core::Decoder decoder(config, bench::codebook());
+    const RunResult cold = run_policy(config);
 
-    double iterations = 0.0;
-    double host_seconds = 0.0;
-    linalg::OpCounts ops_total;
-    std::size_t windows = 0;
-    for (std::size_t r = 0; r < db.size(); ++r) {
-      encoder.reset();
-      decoder.reset();
-      const auto& record = db.mote(r);
-      for (std::size_t off = 0; off + 512 <= record.samples.size();
-           off += 512) {
-        const auto packet = encoder.encode_window(
-            std::span<const std::int16_t>(record.samples.data() + off,
-                                          512));
-        linalg::OpCounterScope scope;
-        const auto start = std::chrono::steady_clock::now();
-        const auto window = decoder.decode<float>(packet);
-        const auto stop = std::chrono::steady_clock::now();
-        ops_total += scope.counts();
-        host_seconds += std::chrono::duration<double>(stop - start).count();
-        iterations += static_cast<double>(window->iterations);
-        ++windows;
-      }
-    }
-    const auto n = static_cast<double>(windows);
-    const double a8_seconds = a8.seconds(ops_total) / n;
+    core::DecoderConfig warm_config = config;
+    warm_config.prior.warm_start = true;
+    warm_config.prior.weighted_l1 = true;
+    warm_config.prior.support_tolerance = 1e-4;
+    const RunResult warm = run_policy(warm_config);
+
+    const double speedup =
+        warm.mean_iterations > 0.0
+            ? cold.mean_iterations / warm.mean_iterations
+            : 0.0;
     table.add_row({util::format_double(cr, 0),
-                   util::format_double(iterations / n, 0),
-                   util::format_double(a8_seconds, 3),
-                   util::format_double(host_seconds / n, 4),
-                   util::format_double(a8_seconds / 2.0 * 100.0, 1)});
+                   util::format_double(cold.mean_iterations, 0),
+                   util::format_double(warm.mean_iterations, 0),
+                   util::format_double(speedup, 2),
+                   util::format_double(cold.a8_seconds, 3),
+                   util::format_double(warm.a8_seconds, 3),
+                   util::format_double(cold.a8_seconds / 2.0 * 100.0, 1),
+                   util::format_double(warm.a8_seconds / 2.0 * 100.0, 1),
+                   util::format_double(cold.mean_prd, 2),
+                   util::format_double(warm.mean_prd, 2)});
     json.add_row({util::format_double(cr, 0),
-                  util::format_double(iterations / n, 0),
-                  util::format_double(a8_seconds, 6),
-                  util::format_double(host_seconds / n, 6),
-                  util::format_double(a8_seconds / 2.0 * 100.0, 3)});
+                  util::format_double(cold.mean_iterations, 1),
+                  util::format_double(cold.a8_seconds, 6),
+                  util::format_double(cold.host_seconds, 6),
+                  util::format_double(cold.a8_seconds / 2.0 * 100.0, 3),
+                  util::format_double(cold.mean_prd, 4),
+                  util::format_double(warm.mean_iterations, 1),
+                  util::format_double(warm.a8_seconds, 6),
+                  util::format_double(warm.host_seconds, 6),
+                  util::format_double(warm.a8_seconds / 2.0 * 100.0, 3),
+                  util::format_double(warm.mean_prd, 4),
+                  util::format_double(speedup, 3)});
   }
   table.print(std::cout);
   std::cout << "\nPaper: iterations ~600 -> ~900 and time 0.34 s -> 0.46 s"
-               " over CR 30 -> 70; both rise monotonically with CR.\n";
+               " over CR 30 -> 70; both rise monotonically with CR.\n"
+               "Prior-aware decode targets >= 2x fewer iterations at CR 50"
+               " at equal-or-better PRD (ROADMAP item 1).\n";
   if (json.write(json_path)) {
     std::cout << "JSON artefact written to " << json_path << "\n";
   }

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Gates the prior-aware decode on ROADMAP item 1 / EXP-A14: at CR 50 the
+# warm policy (warm starts + adaptive restart + weighted l1 +
+# support-aware tolerance) must cut mean FISTA iterations by at least 2x
+# versus the cold baseline WITHOUT giving up reconstruction quality
+# (warm PRD <= cold PRD, small epsilon for float noise).
+#
+# Runs bench_fig7_iterations --json and checks the cr_percent == 50 row's
+# iteration_speedup and *_prd_percent columns; every other CR row is
+# printed for context and checked against a looser floor (>= 1.5x) so a
+# policy that only wins at exactly CR 50 still fails.
+#
+# Usage: scripts/check_iteration_cut.sh [build-dir]
+# Env:   CSECG_BENCH_RECORDS / CSECG_BENCH_SECONDS shrink the corpus for
+#        a quick smoke run (CI uses the defaults).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if [[ ! -d "${build_dir}" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build "${build_dir}" --target bench_fig7_iterations -j"$(nproc)"
+
+json_path="${build_dir}/BENCH_fig7_iterations.json"
+"${build_dir}/bench/bench_fig7_iterations" --json "${json_path}"
+
+python3 - "${json_path}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+cols = report["columns"]
+rows = [dict(zip(cols, row)) for row in report["rows"]]
+
+GATE_CR = 50.0
+GATE_SPEEDUP = 2.0       # the ROADMAP item 1 target at CR 50
+FLOOR_SPEEDUP = 1.5      # every other CR must still clearly win
+PRD_EPSILON = 0.05       # percentage points of float noise allowed
+
+failures = []
+gated = False
+for row in rows:
+    cr = float(row["cr_percent"])
+    speedup = float(row["iteration_speedup"])
+    cold_prd = float(row["prd_percent"])
+    warm_prd = float(row["warm_prd_percent"])
+    at_gate = cr == GATE_CR
+    need = GATE_SPEEDUP if at_gate else FLOOR_SPEEDUP
+    ok = speedup >= need and warm_prd <= cold_prd + PRD_EPSILON
+    if at_gate:
+        gated = True
+    if not ok:
+        failures.append(cr)
+    print(f"CR {cr:4.0f}: {float(row['iterations']):7.1f} -> "
+          f"{float(row['warm_iterations']):7.1f} iterations "
+          f"({speedup:4.2f}x, need >= {need:.1f}x)  "
+          f"PRD {cold_prd:6.2f} % -> {warm_prd:6.2f} %"
+          f"{'' if ok else '  <-- FAIL'}")
+
+if not gated:
+    print("FAIL: no CR 50 row in the benchmark output")
+    sys.exit(1)
+if failures:
+    print(f"FAIL: iteration cut gate failed at CR {failures}")
+    sys.exit(1)
+print("OK: prior-aware decode cuts >= 2x iterations at CR 50 at "
+      "equal-or-better PRD")
+EOF

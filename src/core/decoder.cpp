@@ -101,13 +101,23 @@ void Decoder::rebuild_solver_options() {
   options_.tolerance = config_.tolerance;
   options_.backend = &resolved_backend(config_);
   options_.record_objective = config_.record_objective;
+  // Prior-aware decode: warm starts ride with adaptive restart (a
+  // near-converged seed excites momentum ripples plain FISTA would ring
+  // on for dozens of iterations). The warm span itself is wired per
+  // window in reconstruct_into.
+  options_.adaptive_restart = config_.prior.warm_start;
+  options_.support_tolerance = config_.prior.support_tolerance;
+  options_.warm_start = {};
   options_.weights.clear();
-  if (config_.approx_lambda_weight != 1.0) {
+  double approx_weight = config_.approx_lambda_weight;
+  if (config_.prior.weighted_l1 && approx_weight == 1.0) {
+    approx_weight = kWeightedL1ApproxWeight;
+  }
+  if (approx_weight != 1.0) {
     const auto layout = transform_.layout();
     options_.weights.assign(config_.cs.window, 1.0);
     for (std::size_t i = 0; i < layout.approx_size; ++i) {
-      options_.weights[layout.approx_offset + i] =
-          config_.approx_lambda_weight;
+      options_.weights[layout.approx_offset + i] = approx_weight;
     }
   }
 }
@@ -125,6 +135,7 @@ void Decoder::set_backend(const linalg::Backend& backend) {
   // kernels.
   lipschitz_f_.reset();
   lipschitz_d_.reset();
+  invalidate_prior();
   rebuild_solver_options();
 }
 
@@ -133,6 +144,32 @@ void Decoder::reset() {
   have_sequence_ = false;
   last_sequence_ = 0;
   std::fill(previous_y_.begin(), previous_y_.end(), 0);
+  // A new session's first window has no neighbour; a prior from the old
+  // session would seed it with unrelated signal.
+  invalidate_prior();
+}
+
+void Decoder::set_prior_policy(const PriorPolicy& policy) {
+  config_.prior = policy;
+  invalidate_prior();
+  rebuild_solver_options();
+}
+
+void Decoder::invalidate_prior() {
+  have_prior_f_ = false;
+  have_prior_d_ = false;
+}
+
+template <typename T>
+bool Decoder::has_warm_prior() const {
+  if (!config_.prior.warm_start) {
+    return false;
+  }
+  if constexpr (std::is_same_v<T, float>) {
+    return have_prior_f_ && prior_f_.size() == config_.cs.window;
+  } else {
+    return have_prior_d_ && prior_d_.size() == config_.cs.window;
+  }
 }
 
 bool Decoder::apply_profile(const StreamProfile& profile) {
@@ -144,7 +181,10 @@ bool Decoder::apply_profile(const StreamProfile& profile) {
     // Re-announcement of the active profile (session restart or an
     // encoder answering a state-loss report): the operators are already
     // right, only the difference chain restarts at the coming keyframe.
+    // The warm prior still dies — a re-announce marks a stream
+    // discontinuity, and the prior's window is on the far side of it.
     have_previous_ = false;
+    invalidate_prior();
     obs::add("decoder.profile.applied");
     return true;
   }
@@ -162,6 +202,7 @@ bool Decoder::apply_profile(const StreamProfile& profile) {
   config.backend = config_.backend;
   config.record_objective = config_.record_objective;
   config.approx_lambda_weight = config_.approx_lambda_weight;
+  config.prior = config_.prior;
   config_ = config;
   // Replace contents under stable addresses: op_f_/op_d_ hold pointers to
   // sensing_/transform_, so move-assignment + rebind() keeps them valid
@@ -177,6 +218,9 @@ bool Decoder::apply_profile(const StreamProfile& profile) {
   have_previous_ = false;
   lipschitz_f_.reset();
   lipschitz_d_.reset();
+  // New geometry and/or basis: a prior in the old coefficient layout is
+  // meaningless (and possibly the wrong length).
+  invalidate_prior();
   rebuild_solver_options();
   profile_ = profile;
   obs::add("decoder.profile.applied");
@@ -284,6 +328,11 @@ bool Decoder::decode_measurements_into(const Packet& packet,
       }
       y[i] = value;
     }
+    // An accepted keyframe (re)starts the difference chain — possibly
+    // after a loss gap or an ARQ gap-abandonment, where the last
+    // reconstruction is not this window's neighbour. The warm prior dies
+    // with the old chain; the differentials that follow rebuild it.
+    invalidate_prior();
   } else {
     if (!have_previous_) {
       return false;  // differential packet without a reference
@@ -384,6 +433,16 @@ void Decoder::reconstruct_into(std::span<const std::int32_t> y_int,
   }
   options_.lipschitz = cache;
 
+  // Prior-aware decode: seed from the previous window's solution when the
+  // policy is on and a valid prior survives (nothing invalidated it since
+  // the last solve of this precision).
+  std::vector<double>& prior = std::is_same_v<T, float> ? prior_f_ : prior_d_;
+  bool& have_prior = std::is_same_v<T, float> ? have_prior_f_ : have_prior_d_;
+  const bool warmable =
+      config_.prior.warm_start && have_prior && prior.size() == n;
+  options_.warm_start =
+      warmable ? std::span<const double>(prior) : std::span<const double>{};
+
   solvers::ShrinkageResult<T>* solve = nullptr;
   {
     obs::SpanScope fista_span("fista");
@@ -391,7 +450,15 @@ void Decoder::reconstruct_into(std::span<const std::int32_t> y_int,
     fista_span.attribute("iterations",
                          static_cast<double>(solve->iterations));
     fista_span.attribute("converged", solve->converged ? 1.0 : 0.0);
+    fista_span.attribute("warm", warmable ? 1.0 : 0.0);
     fista_span.attribute("measurements", static_cast<double>(m));
+  }
+  // Never leave a span into prior_ cached in options_ (apply_profile
+  // reallocates the vector); the next solve re-wires it.
+  options_.warm_start = {};
+  if (config_.prior.warm_start) {
+    prior.assign(solve->solution.begin(), solve->solution.end());
+    have_prior = true;
   }
 
   out.iterations = solve->iterations;
@@ -422,8 +489,13 @@ void Decoder::reconstruct_batch_into(std::span<const std::int32_t> y_int_flat,
   }
   // The batch solver covers the uniform-penalty fleet configuration; the
   // weighted-lambda and objective-recording variants (and trivial batches)
-  // take the sequential path, which supports everything.
-  if (batch == 1 || !options_.weights.empty() || config_.record_objective) {
+  // take the sequential path, which supports everything. Warm starts also
+  // chain sequentially on purpose: window b's prior IS window b-1's
+  // solution, a dependency a lock-step batch cannot honour (fista_batch
+  // accepts per-row priors, but rows of one node's batch are consecutive
+  // windows, not independent problems).
+  if (batch == 1 || !options_.weights.empty() || config_.record_objective ||
+      config_.prior.warm_start) {
     for (std::size_t b = 0; b < batch; ++b) {
       reconstruct_into<T>(y_int_flat.subspan(b * m, m), workspace, out[b]);
     }
@@ -484,6 +556,8 @@ void Decoder::reconstruct_batch_into(std::span<const std::int32_t> y_int_flat,
   }
 }
 
+template bool Decoder::has_warm_prior<float>() const;
+template bool Decoder::has_warm_prior<double>() const;
 template std::optional<DecodedWindow<float>> Decoder::decode<float>(
     const Packet&);
 template std::optional<DecodedWindow<double>> Decoder::decode<double>(

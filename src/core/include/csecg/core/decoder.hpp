@@ -30,6 +30,29 @@
 
 namespace csecg::core {
 
+/// Receiver-side prior exploitation (Polanía et al., PAPERS.md): how the
+/// solver uses what the previous window taught it. Pure receiver policy —
+/// never part of the wire contract, so it survives apply_profile and can
+/// differ between receivers of the same stream.
+struct PriorPolicy {
+  /// Seed each window's FISTA from the previous window's solution
+  /// (consecutive ECG windows are quasi-periodic) and enable adaptive
+  /// gradient restart, which tames the momentum ripples a near-converged
+  /// start otherwise excites. The prior is invalidated on keyframes,
+  /// re-profiles, resets, backend switches and concealments — a stale
+  /// prior must never poison a resynced stream.
+  bool warm_start = false;
+  /// First-class weighted l1 (EXP-A8): penalise the wavelet
+  /// approximation band less than the detail bands. Uses
+  /// DecoderConfig::approx_lambda_weight when that is != 1, else the
+  /// calibrated default kWeightedL1ApproxWeight.
+  bool weighted_l1 = false;
+  /// Support-aware stopping threshold handed to the solver (0 = off):
+  /// once the support is stable the relative-change tolerance relaxes to
+  /// this value. See ShrinkageOptions::support_tolerance.
+  double support_tolerance = 0.0;
+};
+
 struct DecoderConfig {
   /// Must match the encoder's (esp. seed). v1 streams remove the
   /// out-of-band coupling: construct the Decoder from a StreamProfile
@@ -55,7 +78,16 @@ struct DecoderConfig {
   /// < 1 exploit that ECG always has approximation-band energy (the
   /// weighted-lambda extension, ablated in bench_ablation_wavelet).
   double approx_lambda_weight = 1.0;
+  /// Prior-aware decode policy (warm starts, weighted l1, support-aware
+  /// tolerance). Receiver policy like the solver knobs above — survives
+  /// apply_profile.
+  PriorPolicy prior;
 };
+
+/// The calibrated approximation-band weight PriorPolicy::weighted_l1
+/// applies when approx_lambda_weight is left at 1.0 (the EXP-A8 sweep's
+/// PRD optimum: 12.3 % -> 10.6 % at CR 50).
+inline constexpr double kWeightedL1ApproxWeight = 0.1;
 
 /// The decoder-side fields of a stream profile as a DecoderConfig;
 /// solver knobs (lambda, iterations, kernel mode, ...) take their
@@ -194,8 +226,24 @@ class Decoder {
                               solvers::SolverWorkspace& workspace,
                               std::span<DecodedWindow<T>> out) const;
 
-  /// Resets inter-packet state (new session).
+  /// Resets inter-packet state (new session). Also drops any cached
+  /// warm-start prior — a new session's first window has no neighbour.
   void reset();
+
+  /// Replaces the prior-aware decode policy (receiver-side, so allowed
+  /// any time); rebuilds the cached solver options and drops any warm
+  /// prior accumulated under the old policy.
+  void set_prior_policy(const PriorPolicy& policy);
+
+  /// Drops the cached warm-start priors (both precisions). Called on
+  /// every event after which the previous solution is no longer the
+  /// neighbouring window's: keyframes, re-profiles, resets, backend
+  /// switches and concealments. Safe to call with warm starts off.
+  void invalidate_prior();
+
+  /// True when the next reconstruct_into<T> would seed from a prior.
+  template <typename T>
+  bool has_warm_prior() const;
 
  private:
   template <typename T>
@@ -231,6 +279,16 @@ class Decoder {
   mutable std::optional<double> lipschitz_f_;
   mutable std::optional<double> lipschitz_d_;
   mutable solvers::ShrinkageOptions options_;
+  /// Warm-start priors: the previous window's solution per precision
+  /// (double storage — float solutions round-trip exactly), consumed as
+  /// the next solve's seed when config_.prior.warm_start is on.
+  /// reconstruct_into is const on the decode hot path, so the prior is
+  /// mutable like the Lipschitz/option caches; the single-thread-per-
+  /// decoder contract covers it.
+  mutable std::vector<double> prior_f_;
+  mutable std::vector<double> prior_d_;
+  mutable bool have_prior_f_ = false;
+  mutable bool have_prior_d_ = false;
 };
 
 }  // namespace csecg::core

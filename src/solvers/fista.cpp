@@ -57,8 +57,11 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
     }
   }
 
+  const bool warm = !options.warm_start.empty();
+  CSECG_CHECK(!warm || options.warm_start.size() == n,
+              "warm start must match the coefficient dimension");
+
   ShrinkageResult<T>& result = ws.result;
-  result.solution.assign(n, T{});
   result.iterations = 0;
   result.converged = false;
   result.final_objective = 0.0;
@@ -82,13 +85,30 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
   std::vector<T>& gradient = ws.gradient;  // A^T residual (x2 in step)
   std::vector<T>& candidate = ws.candidate;  // y_k - (1/L) grad
   std::vector<T>& a_next = ws.a_next;      // scratch for the new iterate
-  yk.assign(n, T{});
+  // Step 0: y_1 = a_0. Cold solves start from zero; a warm start seeds
+  // both from the caller's prior (the previous window's solution). The
+  // seeding is setup, not iteration work, so it charges nothing — same
+  // as the cold zero fill.
+  if (warm) {
+    result.solution.resize(n);
+    yk.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const T v = static_cast<T>(options.warm_start[i]);
+      result.solution[i] = v;
+      yk[i] = v;
+    }
+  } else {
+    result.solution.assign(n, T{});
+    yk.assign(n, T{});
+  }
   residual.resize(m);
   gradient.resize(n);
   candidate.resize(n);
   a_next.resize(n);
 
   double t_k = 1.0;
+  const bool support_aware = options.support_tolerance > 0.0;
+  std::size_t support_stable = 0;
 
   for (std::size_t k = 1; k <= options.max_iterations; ++k) {
     // grad f(y_k) = 2 A^T (A y_k - y).
@@ -128,15 +148,24 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
       be.soft_threshold(candidate.data(), threshold, a_next.data(), n);
     }
 
-    // Convergence bookkeeping on the iterate change.
+    // Convergence bookkeeping on the iterate change. The support check
+    // piggybacks on the same pass — like the restart alignment loop it
+    // is stopping-rule control flow, outside the charged kernel model.
     double change_sq = 0.0;
     double norm_sq = 0.0;
+    bool support_changed = false;
     for (std::size_t i = 0; i < n; ++i) {
       const double diff =
           static_cast<double>(a_next[i]) - static_cast<double>(a_k[i]);
       change_sq += diff * diff;
       norm_sq += static_cast<double>(a_next[i]) *
                  static_cast<double>(a_next[i]);
+      if (support_aware && ((a_next[i] != T{}) != (a_k[i] != T{}))) {
+        support_changed = true;
+      }
+    }
+    if (support_aware) {
+      support_stable = support_changed ? 0 : support_stable + 1;
     }
 
     if (momentum) {
@@ -216,8 +245,14 @@ void shrinkage_solve(const linalg::LinearOperator<T>& A,
       result.final_residual_norm = residual_norm;
       break;
     }
+    // Once the support has been stable long enough the active set has
+    // locked in, and the (looser) support tolerance governs the stop.
+    const double effective_tolerance =
+        support_aware && support_stable >= options.support_stable_iters
+            ? std::max(options.tolerance, options.support_tolerance)
+            : options.tolerance;
     if (norm_sq > 0.0 &&
-        std::sqrt(change_sq / norm_sq) < options.tolerance) {
+        std::sqrt(change_sq / norm_sq) < effective_tolerance) {
       result.converged = true;
       break;
     }
@@ -298,8 +333,6 @@ std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
               "fista_batch does not support sigma stopping");
   CSECG_CHECK(!options.record_objective,
               "fista_batch does not record objective traces");
-  CSECG_CHECK(!options.adaptive_restart,
-              "fista_batch does not support adaptive restart");
 
   auto& ws = workspace.buffers<T>();
   ws.batch_results.resize(batch);
@@ -323,19 +356,38 @@ std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
     ws.batch_thresholds[b] = static_cast<T>(lambdas[b] / lipschitz);
   }
 
+  const bool warm = !options.warm_start.empty();
+  CSECG_CHECK(!warm || options.warm_start.size() == batch * n,
+              "batched warm start must be batch * cols with per-row priors");
+  const bool support_aware = options.support_tolerance > 0.0;
+
   std::vector<T>& yk = ws.batch_yk;
   std::vector<T>& residual = ws.batch_residual;
   std::vector<T>& gradient = ws.batch_gradient;
   std::vector<T>& candidate = ws.batch_candidate;
   std::vector<T>& a_next = ws.batch_a_next;
   std::vector<T>& a_k = ws.batch_solution;
-  yk.assign(batch * n, T{});
+  // Step 0 per row: y_1 = a_0 — zero when cold, the row's prior when warm
+  // (uncharged setup, exactly like the sequential seeding).
+  if (warm) {
+    yk.resize(batch * n);
+    a_k.resize(batch * n);
+    for (std::size_t i = 0; i < batch * n; ++i) {
+      const T v = static_cast<T>(options.warm_start[i]);
+      yk[i] = v;
+      a_k[i] = v;
+    }
+  } else {
+    yk.assign(batch * n, T{});
+    a_k.assign(batch * n, T{});
+  }
   residual.resize(batch * m);
   gradient.resize(batch * n);
   candidate.resize(batch * n);
   a_next.resize(batch * n);
-  a_k.assign(batch * n, T{});
   ws.batch_frozen.assign(batch, 0);
+  ws.batch_tk.assign(batch, 1.0);
+  ws.batch_support_stable.assign(batch, 0);
 
   for (std::size_t b = 0; b < batch; ++b) {
     ShrinkageResult<T>& r = ws.batch_results[b];
@@ -346,106 +398,135 @@ std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
     r.objective_trace.clear();
   }
 
-  // The momentum sequence t_k is data-independent, so one scalar serves
-  // the whole batch — exactly what makes lock-step execution possible.
-  double t_k = 1.0;
+  // Each row runs the exact sequential iteration over its own slice —
+  // per-row momentum scalars make adaptive restart possible (a restart
+  // resets one row's t_k without perturbing its neighbours' bitwise
+  // trajectories), and a converged row drops out of the sweep entirely,
+  // so frozen rows stop being charged: the batch prices as the sum of
+  // the sequential solves, not the nominal lock-step rectangle.
   std::size_t frozen_count = 0;
 
   for (std::size_t k = 1;
        k <= options.max_iterations && frozen_count < batch; ++k) {
-    // grad f(y_k) = 2 A^T (A y_k - y), per row (the operator is
-    // matrix-free); everything elementwise runs flat over the batch.
-    for (std::size_t b = 0; b < batch; ++b) {
-      A.apply(std::span<const T>(yk.data() + b * n, n),
-              std::span<T>(residual.data() + b * m, m));
-    }
-    be.subtract(residual.data(), y_flat.data(), residual.data(), batch * m);
-    for (std::size_t b = 0; b < batch; ++b) {
-      A.apply_adjoint(std::span<const T>(residual.data() + b * m, m),
-                      std::span<T>(gradient.data() + b * n, n));
-    }
-
-    be.copy(yk.data(), candidate.data(), batch * n);
-    be.axpy(static_cast<T>(-2.0) * step, gradient.data(), candidate.data(),
-            batch * n);
-    be.soft_threshold_batch(candidate.data(), ws.batch_thresholds.data(),
-                            a_next.data(), batch, n);
-
-    const double t_next = (1.0 + std::sqrt(1.0 + 4.0 * t_k * t_k)) / 2.0;
-    const T beta = static_cast<T>((t_k - 1.0) / t_next);
-
     for (std::size_t b = 0; b < batch; ++b) {
       if (ws.batch_frozen[b]) {
         continue;
       }
-      const T* next_row = a_next.data() + b * n;
+      T* yk_row = yk.data() + b * n;
+      T* res_row = residual.data() + b * m;
+      T* grad_row = gradient.data() + b * n;
+      T* cand_row = candidate.data() + b * n;
+      T* next_row = a_next.data() + b * n;
       const T* cur_row = a_k.data() + b * n;
+      const T* y_row = y_flat.data() + b * m;
+
+      // grad f(y_k) = 2 A^T (A y_k - y).
+      A.apply(std::span<const T>(yk_row, n), std::span<T>(res_row, m));
+      be.subtract(res_row, y_row, res_row, m);
+      A.apply_adjoint(std::span<const T>(res_row, m),
+                      std::span<T>(grad_row, n));
+
+      be.copy(yk_row, cand_row, n);
+      be.axpy(static_cast<T>(-2.0) * step, grad_row, cand_row, n);
+      be.soft_threshold(cand_row, ws.batch_thresholds[b], next_row, n);
+
+      // Iterate-change bookkeeping, identical to the sequential loop.
       double change_sq = 0.0;
       double norm_sq = 0.0;
+      bool support_changed = false;
       for (std::size_t i = 0; i < n; ++i) {
         const double diff = static_cast<double>(next_row[i]) -
                             static_cast<double>(cur_row[i]);
         change_sq += diff * diff;
         norm_sq += static_cast<double>(next_row[i]) *
                    static_cast<double>(next_row[i]);
+        if (support_aware && ((next_row[i] != T{}) != (cur_row[i] != T{}))) {
+          support_changed = true;
+        }
       }
+      if (support_aware) {
+        ws.batch_support_stable[b] =
+            support_changed ? 0 : ws.batch_support_stable[b] + 1;
+      }
+
+      // Momentum with this row's own t_k (same arithmetic as the
+      // sequential hand loop, so rows stay bitwise identical).
+      double t_b = ws.batch_tk[b];
+      if (options.adaptive_restart) {
+        double alignment = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          alignment += (static_cast<double>(yk_row[i]) -
+                        static_cast<double>(next_row[i])) *
+                       (static_cast<double>(next_row[i]) -
+                        static_cast<double>(cur_row[i]));
+        }
+        if (alignment > 0.0) {
+          t_b = 1.0;
+        }
+      }
+      const double t_next = (1.0 + std::sqrt(1.0 + 4.0 * t_b * t_b)) / 2.0;
+      const T beta = static_cast<T>((t_b - 1.0) / t_next);
+      for (std::size_t i = 0; i < n; ++i) {
+        yk_row[i] = next_row[i] + beta * (next_row[i] - cur_row[i]);
+      }
+      ws.batch_tk[b] = t_next;
+      if (be.counting()) {
+        // Momentum update: sub + MAC per element, 2n loads, n stores.
+        linalg::OpCounts c;
+        const std::uint64_t elems = 2ull * n;
+        if (schedule == linalg::KernelMode::kScalar) {
+          c.scalar_op = elems;
+        } else {
+          c.vector_op4 = elems / 4;
+        }
+        c.loads = 2ull * n;
+        c.stores = n;
+        be.charge(c);
+        // Iterate-change loop (sub + two MACs per element).
+        linalg::OpCounts c2;
+        const std::uint64_t elems2 = 3ull * n;
+        if (schedule == linalg::KernelMode::kScalar) {
+          c2.scalar_op = elems2;
+        } else {
+          c2.vector_op4 = elems2 / 4;
+        }
+        c2.loads = 2ull * n;
+        be.charge(c2);
+      }
+
+      if (k == options.max_iterations) {
+        // The sequential solver evaluates the residual at the final
+        // iterate (its need_objective branch); mirror it so the charge
+        // profile stays the sum of sequential solves.
+        A.apply(std::span<const T>(next_row, n), std::span<T>(res_row, m));
+        be.subtract(res_row, y_row, res_row, m);
+        (void)be.norm2_squared(res_row, m);
+      }
+
+      const double effective_tolerance =
+          support_aware &&
+                  ws.batch_support_stable[b] >= options.support_stable_iters
+              ? std::max(options.tolerance, options.support_tolerance)
+              : options.tolerance;
       if (norm_sq > 0.0 &&
-          std::sqrt(change_sq / norm_sq) < options.tolerance) {
-        // This problem is done: snapshot the new iterate now; the batch
-        // keeps sweeping its rows, but the snapshot is the sequential
-        // solver's stopping state, bit for bit.
+          std::sqrt(change_sq / norm_sq) < effective_tolerance) {
+        // This problem is done: snapshot the new iterate now — the
+        // sequential solver's stopping state, bit for bit — and drop the
+        // row from every later sweep.
         ShrinkageResult<T>& r = ws.batch_results[b];
         r.solution.assign(next_row, next_row + n);
         r.iterations = k;
         r.converged = true;
         ws.batch_frozen[b] = 1;
         ++frozen_count;
-      }
-    }
-
-    // Momentum over the flat batch (same per-element arithmetic as the
-    // sequential hand loop, so rows stay bitwise identical).
-    for (std::size_t i = 0; i < batch * n; ++i) {
-      yk[i] = a_next[i] + beta * (a_next[i] - a_k[i]);
-    }
-    t_k = t_next;
-    if (be.counting()) {
-      linalg::OpCounts c;
-      const std::uint64_t elems = 2ull * batch * n;
-      if (schedule == linalg::KernelMode::kScalar) {
-        c.scalar_op = elems;
-      } else {
-        c.vector_op4 = elems / 4;
-      }
-      c.loads = 2ull * batch * n;
-      c.stores = batch * n;
-      be.charge(c);
-      // Iterate-change loop (only unfrozen rows actually ran it, but the
-      // model prices the nominal lock-step sweep).
-      linalg::OpCounts c2;
-      const std::uint64_t elems2 = 3ull * batch * n;
-      if (schedule == linalg::KernelMode::kScalar) {
-        c2.scalar_op = elems2;
-      } else {
-        c2.vector_op4 = elems2 / 4;
-      }
-      c2.loads = 2ull * batch * n;
-      be.charge(c2);
-    }
-    std::swap(a_k, a_next);
-
-    if (k == options.max_iterations) {
-      for (std::size_t b = 0; b < batch; ++b) {
-        if (ws.batch_frozen[b]) {
-          continue;
-        }
+      } else if (k == options.max_iterations) {
         ShrinkageResult<T>& r = ws.batch_results[b];
-        const T* row = a_k.data() + b * n;
-        r.solution.assign(row, row + n);
+        r.solution.assign(next_row, next_row + n);
         r.iterations = k;
         r.converged = false;
       }
     }
+    std::swap(a_k, a_next);
   }
 
   // Final diagnostics per problem, identical to the sequential epilogue.

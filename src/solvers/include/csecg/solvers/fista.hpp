@@ -22,7 +22,11 @@
 
 namespace csecg::solvers {
 
-/// Runs FISTA on min ||A a - y||^2 + lambda ||a||_1 from a zero start.
+/// Runs FISTA on min ||A a - y||^2 + lambda ||a||_1. Starts from zero,
+/// or from options.warm_start when set (the prior-aware decode path:
+/// consecutive ECG windows are quasi-periodic, so the previous window's
+/// solution seeds a_0 = y_1 and the solve converges in a fraction of the
+/// cold iteration count).
 template <typename T>
 ShrinkageResult<T> fista(const linalg::LinearOperator<T>& A,
                          std::span<const T> y,
@@ -52,22 +56,24 @@ ShrinkageResult<T>& ista(const linalg::LinearOperator<T>& A,
                          const ShrinkageOptions& options,
                          SolverWorkspace& workspace);
 
-/// Lock-step batched FISTA: solves `lambdas.size()` problems that share
-/// the operator A, with y_flat holding the measurement rows packed back
-/// to back (batch * A.rows() elements) and lambdas[b] the per-problem l1
-/// weight (options.lambda is ignored). The elementwise iteration sweeps
-/// the whole batch per kernel invocation; operator applies stay per row
-/// (the CS operator is matrix-free). Every problem produces bitwise the
-/// same iterate trajectory, iteration count and solution as a sequential
-/// fista() call with the same backend — each row's convergence is
-/// snapshotted at its own stopping iteration while the batch runs on to
-/// the slowest member.
+/// Batched FISTA: solves `lambdas.size()` problems that share the
+/// operator A, with y_flat holding the measurement rows packed back to
+/// back (batch * A.rows() elements) and lambdas[b] the per-problem l1
+/// weight (options.lambda is ignored). Each row runs the exact
+/// sequential iteration over its own slice with its own momentum scalar
+/// (so adaptive restart works per row), and a converged row is frozen —
+/// snapshotted at its own stopping iteration and dropped from every
+/// later sweep, so finished rows stop being charged while the batch runs
+/// on to the slowest member. Every problem produces bitwise the same
+/// iterate trajectory, iteration count and solution as a sequential
+/// fista() call with the same options and backend; with
+/// options.warm_start set (batch * A.cols() elements, per-row priors
+/// packed back to back) each row seeds from its own prior.
 ///
 /// Restrictions (CHECK-enforced): no per-coefficient weights, no sigma
-/// stopping, no objective recording, no adaptive restart — the fleet
-/// decode path uses none of them. Results live in the workspace
-/// (buffers<T>().batch_results) and stay valid until the next batched
-/// solve through it.
+/// stopping, no objective recording — the fleet decode path uses none of
+/// them. Results live in the workspace (buffers<T>().batch_results) and
+/// stay valid until the next batched solve through it.
 template <typename T>
 std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
                                           std::span<const T> y_flat,

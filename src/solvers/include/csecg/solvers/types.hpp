@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "csecg/linalg/backend.hpp"
@@ -41,6 +42,23 @@ struct ShrinkageOptions {
   /// Used to penalise the wavelet approximation band less than the detail
   /// bands, where ECG energy is guaranteed vs merely possible.
   std::vector<double> weights;
+  /// Warm start: seeds a_0 (and y_1 = a_0) from this span instead of
+  /// zero — the Polanía et al. prior exploitation: consecutive ECG
+  /// windows are quasi-periodic, so the previous window's solution is an
+  /// excellent initial iterate. Length must be A.cols() for fista()/
+  /// ista(); for fista_batch it is batch * A.cols() with per-row priors
+  /// packed back to back. Empty = cold (zero) start. The span must stay
+  /// valid for the duration of the solve; the values are consumed at
+  /// seed time, so the caller may overwrite them afterwards.
+  std::span<const double> warm_start;
+  /// Support-aware stopping (0 = off): once the support (nonzero
+  /// pattern) of the iterate has been stable for support_stable_iters
+  /// consecutive iterations, the relative-change stopping threshold
+  /// relaxes from `tolerance` to max(tolerance, support_tolerance) — the
+  /// active set has locked in, so the remaining iterations only polish
+  /// coefficient magnitudes the reconstruction barely sees.
+  double support_tolerance = 0.0;
+  std::size_t support_stable_iters = 3;
 };
 
 template <typename T>

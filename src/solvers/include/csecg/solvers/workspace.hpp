@@ -53,6 +53,14 @@ class SolverWorkspace {
     std::vector<T> batch_solution;
     std::vector<T> batch_thresholds;      ///< per-problem threshold (B)
     std::vector<std::uint8_t> batch_frozen;  ///< per-problem converged flag
+    /// Per-problem momentum scalars t_k (B). Shared across the batch when
+    /// adaptive restart is off (the sequence is data-independent), but a
+    /// restart resets one row's momentum without touching its neighbours,
+    /// so each row carries its own.
+    std::vector<double> batch_tk;
+    /// Per-problem consecutive support-stable iteration counters (B),
+    /// for the support-aware tolerance relaxation.
+    std::vector<std::size_t> batch_support_stable;
     /// Per-problem outputs of fista_batch; reused across calls of the
     /// same batch shape, so steady-state batched decode is allocation-free.
     std::vector<ShrinkageResult<T>> batch_results;

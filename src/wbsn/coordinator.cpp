@@ -25,6 +25,10 @@ void Coordinator::set_backend(const linalg::Backend& backend) {
   decoder_.set_backend(*counting_);
 }
 
+void Coordinator::set_prior_policy(const core::PriorPolicy& policy) {
+  decoder_.set_prior_policy(policy);
+}
+
 std::optional<std::vector<float>> Coordinator::process_frame(
     std::span<const std::uint8_t> frame) {
   ++stats_.frames_received;
@@ -98,6 +102,10 @@ std::optional<std::vector<float>> Coordinator::decode_data_frame(
 }
 
 std::vector<float> Coordinator::conceal_hold_last() {
+  // The concealed slot breaks the decode chain: the next window's true
+  // predecessor was never reconstructed, so the warm prior must not
+  // survive into it.
+  decoder_.invalidate_prior();
   ++stats_.windows_concealed;
   obs::add("coordinator.windows.concealed");
   if (!last_window_.empty()) {
@@ -111,6 +119,7 @@ std::vector<float> Coordinator::conceal_interpolated(
     std::span<const float> prev, std::span<const float> next, std::size_t k,
     std::size_t gap) {
   CSECG_CHECK(gap > 0 && k < gap, "interpolation index out of range");
+  decoder_.invalidate_prior();
   ++stats_.windows_concealed;
   obs::add("coordinator.windows.concealed");
   if (prev.empty() || prev.size() != next.size()) {

@@ -115,6 +115,7 @@ std::uint32_t FleetCoordinator::add_node(const core::DecoderConfig& config,
   if (config_.backend != nullptr) {
     nodes_.back()->decoder.set_backend(*config_.backend);
   }
+  nodes_.back()->decoder.set_prior_policy(config_.prior);
   if (!config_.trace_spans) {
     nodes_.back()->session.tracer().set_enabled(false);
   }
@@ -129,6 +130,7 @@ std::uint32_t FleetCoordinator::add_node(const core::StreamProfile& profile) {
   if (config_.backend != nullptr) {
     nodes_.back()->decoder.set_backend(*config_.backend);
   }
+  nodes_.back()->decoder.set_prior_policy(config_.prior);
   if (!config_.trace_spans) {
     nodes_.back()->session.tracer().set_enabled(false);
   }
@@ -465,6 +467,11 @@ void FleetCoordinator::flush_pending(NodeState& node,
 
 void FleetCoordinator::conceal(NodeState& node, std::uint16_t sequence,
                                std::uint16_t wire_sequence) {
+  // A concealed window breaks the neighbour chain the warm prior relies
+  // on: the next decoded window's true predecessor was never
+  // reconstructed, so the stale solution must not seed it. Covers loss
+  // gaps, shed (kConcealOnly) windows and rejected frames alike.
+  node.decoder.invalidate_prior();
   ++node.stats.windows_concealed;
   if (sink_) {
     FleetWindow window;

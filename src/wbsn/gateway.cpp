@@ -631,17 +631,25 @@ GatewayReport GatewayService::finish() {
     GatewayShardReport sr;
     sr.shard = shard.index;
     sr.final_tier = shard.current_tier();
-    sr.offered = shard.offered.load(std::memory_order_relaxed);
-    sr.admitted = shard.admitted.load(std::memory_order_relaxed);
-    sr.shed_dropped = shard.shed_dropped.load(std::memory_order_relaxed);
-    sr.shed_queue_full = shard.shed_queue_full.load(std::memory_order_relaxed);
-    sr.nacks_suppressed = shard.nacks_suppressed.load(std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(shard.ctl_mutex);
       sr.tier_escalations = shard.tier_escalations;
       sr.tier_clears = shard.tier_clears;
     }
+    // Drain and join the shard's workers FIRST: nacks_suppressed is
+    // incremented from worker threads (the shard feedback filter), so
+    // sampling it before fleet->finish() races the workers still
+    // processing queued frames — the source of the old ~1/800 flake in
+    // GatewayTest.DropToKeyframeSuppressesNacksButNotAcks. The offer-side
+    // counters are bumped synchronously by offer(), which callers must
+    // have stopped driving before finish(), so sampling them after the
+    // join is equally sound.
     sr.fleet = shard.fleet->finish();
+    sr.offered = shard.offered.load(std::memory_order_relaxed);
+    sr.admitted = shard.admitted.load(std::memory_order_relaxed);
+    sr.shed_dropped = shard.shed_dropped.load(std::memory_order_relaxed);
+    sr.shed_queue_full = shard.shed_queue_full.load(std::memory_order_relaxed);
+    sr.nacks_suppressed = shard.nacks_suppressed.load(std::memory_order_relaxed);
 #if CSECG_OBS_ENABLED
     if (shard.e2e_hist->count() > 0) {
       sr.e2e_windows = shard.e2e_hist->count();

@@ -72,6 +72,11 @@ class Coordinator {
   /// bootstrapped from an in-band profile still pick a schedule.
   void set_backend(const linalg::Backend& backend);
 
+  /// Receiver-side prior policy (warm starts / weighted l1 / support
+  /// tolerance) for the wrapped decoder. Concealments through this
+  /// coordinator invalidate the warm state automatically.
+  void set_prior_policy(const core::PriorPolicy& policy);
+
   /// Processes one received frame; returns the reconstructed window
   /// (float — the iPhone path) or nullopt on a reject. A successful
   /// reconstruction becomes the reference for later concealment.

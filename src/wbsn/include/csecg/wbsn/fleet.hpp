@@ -113,6 +113,11 @@ struct FleetConfig {
   /// Kernel backend every node decoder runs through. Null = the library
   /// default. Must outlive the fleet; the linalg singletons always do.
   const linalg::Backend* backend = nullptr;
+  /// Prior-aware decode policy applied to every node decoder (warm
+  /// starts, weighted l1, support-aware tolerance). Receiver policy, so
+  /// it composes with any stream profile; concealments and keyframes
+  /// invalidate each node's warm state automatically.
+  core::PriorPolicy prior;
   /// Per-node receiver-side ARQ configuration.
   ArqConfig arq;
   /// Record per-window obs spans while decoding. A span costs a handful

@@ -343,6 +343,83 @@ TEST(BackendGoldens, CountingSimd4ReproducesSeedOpCounts) {
   EXPECT_NEAR(w.residual_norm, 534.142479, 1e-3);
 }
 
+// The weighted-l1 decode (PriorPolicy::weighted_l1) routes every
+// iteration's prox through soft_threshold_weighted instead of the
+// uniform kernel, which prices differently (per-coefficient threshold
+// loads, a different ALU mix per schedule). Its op mix is pinned the
+// same way as the uniform goldens: if these fail, fix the weighted
+// kernel's charging, not the numbers. (No warm start here, so the
+// workload stays one deterministic cold solve.)
+template <typename T>
+core::DecodedWindow<T> golden_weighted_decode(const Backend& backend,
+                                              OpCounts* counts) {
+  core::DecoderConfig config;
+  config.backend = &backend;
+  config.max_iterations = 60;
+  config.prior.weighted_l1 = true;  // approx band at kWeightedL1ApproxWeight
+  core::Decoder decoder(config,
+                        *core::resolve_profile_codebook(
+                            core::StreamProfile::kCodebookDefault));
+  std::vector<std::int32_t> y(config.cs.measurements);
+  std::uint32_t state = 0x9e3779b9u;  // same workload as golden_decode
+  for (auto& v : y) {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    v = static_cast<std::int32_t>(state % 4096u) - 2048;
+  }
+  OpCounterScope scope;
+  auto window = decoder.reconstruct<T>(std::span<const std::int32_t>(y));
+  *counts = scope.counts();
+  return window;
+}
+
+TEST(BackendGoldens, WeightedL1ScalarOpCounts) {
+  OpCounts c;
+  const auto w = golden_weighted_decode<float>(counting_scalar_backend(), &c);
+  EXPECT_EQ(w.iterations, 60u);
+  EXPECT_EQ(c.scalar_mac, 1491456u);
+  EXPECT_EQ(c.scalar_op, 1494272u);
+  EXPECT_EQ(c.vector_mac4, 0u);
+  EXPECT_EQ(c.vector_op4, 0u);
+  EXPECT_EQ(c.leftover_lane, 0u);
+  EXPECT_EQ(c.loads, 3380320u);
+  EXPECT_EQ(c.stores, 1722400u);
+}
+
+TEST(BackendGoldens, WeightedL1Simd4OpCounts) {
+  OpCounts c;
+  const auto w = golden_weighted_decode<float>(counting_simd4_backend(), &c);
+  EXPECT_EQ(w.iterations, 60u);
+  EXPECT_EQ(c.scalar_mac, 0u);
+  EXPECT_EQ(c.scalar_op, 1171200u);
+  EXPECT_EQ(c.vector_mac4, 372864u);
+  EXPECT_EQ(c.vector_op4, 80768u);
+  EXPECT_EQ(c.leftover_lane, 0u);
+  EXPECT_EQ(c.loads, 3380320u);
+  EXPECT_EQ(c.stores, 1722400u);
+}
+
+TEST(BackendGoldens, WeightedL1LandsNearTheUniformDecode) {
+  // Down-weighting the approximation band changes which minimiser the
+  // solve walks towards, but on this synthetic workload the two must stay
+  // in the same neighbourhood — a sanity bound, not a golden.
+  OpCounts unused;
+  const auto uniform = golden_decode<float>(counting_scalar_backend(), &unused);
+  const auto weighted =
+      golden_weighted_decode<float>(counting_scalar_backend(), &unused);
+  double diff = 0.0;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < uniform.samples.size(); ++i) {
+    const double d = static_cast<double>(uniform.samples[i]) -
+                     static_cast<double>(weighted.samples[i]);
+    diff += d * d;
+    norm += static_cast<double>(uniform.samples[i]) *
+            static_cast<double>(uniform.samples[i]);
+  }
+  EXPECT_LT(std::sqrt(diff / norm), 0.5);
+}
+
 // The double-precision decode now runs through the same Backend, so a
 // counting decorator prices it too (the seed's double path bypassed the
 // instrumented kernels entirely and charged nothing).

@@ -876,5 +876,169 @@ TEST(SequenceWraparoundTest, FirstFramePrimesAtTheWrapBoundary) {
   EXPECT_EQ(encoder.last_measurements().size(), y.size());
 }
 
+// --------------------------------------------- warm-prior invalidation --
+
+// The invalidation matrix: every event after which the cached solution
+// is no longer the neighbouring window's must drop the warm prior, and
+// nothing else may. Each trigger gets its own test.
+
+DecoderConfig warm_decoder_config() {
+  auto config = tiny_decoder_config();
+  config.prior.warm_start = true;
+  config.cs.keyframe_interval = 1000;  // keyframes only when forced
+  return config;
+}
+
+// Decodes one full window (measurements + reconstruction) so the decoder
+// caches its solution as the next window's prior.
+void prime_prior(Decoder& decoder, Encoder& encoder,
+                 std::span<const std::int16_t> x) {
+  const auto window = decoder.decode<float>(encoder.encode_window(x));
+  ASSERT_TRUE(window.has_value());
+  ASSERT_TRUE(decoder.has_warm_prior<float>());
+}
+
+TEST(PriorInvalidation, ColdPolicyNeverStoresAPrior) {
+  const auto book = default_difference_codebook();
+  const auto config = tiny_decoder_config();  // prior.warm_start off
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  const auto x = tiny_window();
+  ASSERT_TRUE(decoder.decode<float>(encoder.encode_window(x)).has_value());
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+  EXPECT_FALSE(decoder.has_warm_prior<double>());
+}
+
+TEST(PriorInvalidation, PriorsArePerPrecision) {
+  const auto book = default_difference_codebook();
+  const auto config = warm_decoder_config();
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  prime_prior(decoder, encoder, tiny_window());
+  EXPECT_TRUE(decoder.has_warm_prior<float>());
+  EXPECT_FALSE(decoder.has_warm_prior<double>());  // never solved double
+}
+
+TEST(PriorInvalidation, KeyframeDropsThePrior) {
+  const auto book = default_difference_codebook();
+  const auto config = warm_decoder_config();
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  const auto x = tiny_window();
+  prime_prior(decoder, encoder, x);
+  ASSERT_TRUE(decoder.decode<float>(encoder.encode_window(x)).has_value());
+  EXPECT_TRUE(decoder.has_warm_prior<float>());  // differentials keep it
+
+  // A keyframe re-syncs the stream: the entropy stage alone (no
+  // reconstruction yet) must already have dropped the prior, so the
+  // keyframe's own solve starts cold.
+  encoder.request_keyframe();
+  const auto keyframe = encoder.encode_window(x);
+  ASSERT_EQ(keyframe.kind, PacketKind::kAbsolute);
+  std::vector<std::int32_t> y;
+  ASSERT_TRUE(decoder.decode_measurements_into(keyframe, y));
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(PriorInvalidation, GapAbandonResyncStartsCold) {
+  // The ARQ gap-abandon path: a lost differential poisons the chain, the
+  // following differentials are rejected, and the re-sync keyframe must
+  // decode cold — the prior belongs to a window several losses back.
+  const auto book = default_difference_codebook();
+  const auto config = warm_decoder_config();
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  const auto x = tiny_window();
+  prime_prior(decoder, encoder, x);
+
+  (void)encoder.encode_window(x);  // lost differential
+  const auto after_gap = encoder.encode_window(x);
+  std::vector<std::int32_t> y;
+  EXPECT_FALSE(decoder.decode_measurements_into(after_gap, y));
+  // A reject is not a re-sync: the prior still matches the last window
+  // this decoder actually reconstructed.
+  EXPECT_TRUE(decoder.has_warm_prior<float>());
+
+  encoder.request_keyframe();
+  ASSERT_TRUE(decoder.decode_measurements_into(encoder.encode_window(x), y));
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(PriorInvalidation, ReProfileDropsThePrior) {
+  const auto book = default_difference_codebook();
+  const auto config = warm_decoder_config();
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  prime_prior(decoder, encoder, tiny_window());
+
+  const auto profile = profile_from(decoder.config());
+  ASSERT_TRUE(profile.has_value());
+  // Even the same-profile no-op re-announce is a chain re-sync.
+  ASSERT_TRUE(decoder.apply_profile(*profile));
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(PriorInvalidation, ResetDropsThePrior) {
+  const auto book = default_difference_codebook();
+  const auto config = warm_decoder_config();
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  prime_prior(decoder, encoder, tiny_window());
+  decoder.reset();
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(PriorInvalidation, SetBackendDropsThePrior) {
+  const auto book = default_difference_codebook();
+  const auto config = warm_decoder_config();
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  prime_prior(decoder, encoder, tiny_window());
+  decoder.set_backend(linalg::reference_backend());
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(PriorInvalidation, SetPriorPolicyDropsThePrior) {
+  const auto book = default_difference_codebook();
+  const auto config = warm_decoder_config();
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  prime_prior(decoder, encoder, tiny_window());
+  decoder.set_prior_policy(decoder.config().prior);  // even a no-op swap
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(PriorInvalidation, WarmDecodeMatchesColdReconstruction) {
+  // Policy must trade iterations, never the fixed point: the warm decode
+  // of a window lands where the cold decode of the same window lands.
+  const auto book = default_difference_codebook();
+  auto cold_config = tiny_decoder_config();
+  // Drive both solves to the minimiser, not the default loose stop, so
+  // the comparison is about the fixed point rather than the stop rule.
+  cold_config.tolerance = 1e-9;
+  cold_config.max_iterations = 20000;
+  auto warm_config = warm_decoder_config();
+  warm_config.cs = cold_config.cs;
+  warm_config.tolerance = cold_config.tolerance;
+  warm_config.max_iterations = cold_config.max_iterations;
+  Encoder encoder(cold_config.cs, book);
+  Decoder cold(cold_config, book);
+  Decoder warm(warm_config, book);
+  const auto x = tiny_window();
+  for (int w = 0; w < 3; ++w) {
+    const auto packet = encoder.encode_window(x);
+    const auto a = cold.decode<float>(packet);
+    const auto b = warm.decode<float>(packet);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    for (std::size_t i = 0; i < a->samples.size(); ++i) {
+      EXPECT_NEAR(a->samples[i], b->samples[i], 1.0f) << "sample " << i;
+    }
+    if (w > 0) {
+      EXPECT_LE(b->iterations, a->iterations);  // the point of the prior
+    }
+  }
+}
+
 }  // namespace
 }  // namespace csecg::core

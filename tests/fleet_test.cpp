@@ -193,6 +193,150 @@ TEST(FleetTest, MatchesDirectDecoderExactly) {
   }
 }
 
+TEST(FleetTest, WarmPolicyMatchesDirectDecoderExactly) {
+  // The prior-aware parity contract: a fleet running warm starts +
+  // weighted l1 delivers bitwise what a direct decoder under the same
+  // policy produces — the prior chain survives the worker scheduling.
+  const auto db = small_db();
+  const auto book = core::default_difference_codebook();
+  auto config = fast_config();
+  config.max_iterations = 2000;  // let convergence, not the cap, stop it
+  config.tolerance = 1e-5;       // tight enough for the prior to pay off
+  config.prior.warm_start = true;
+  config.prior.weighted_l1 = true;
+  config.prior.support_tolerance = 1e-4;
+  constexpr std::size_t kWindows = 5;
+  const auto frames = encode_stream(config, book, db, kWindows);
+
+  std::vector<std::vector<float>> reference;
+  const auto decode_all = [&](const core::DecoderConfig& cfg,
+                              std::vector<std::vector<float>>* out) {
+    core::Decoder decoder(cfg, book);
+    solvers::SolverWorkspace workspace;
+    std::vector<std::int32_t> y;
+    core::DecodedWindow<float> window;
+    std::size_t iterations = 0;
+    for (const auto& frame : frames) {
+      const auto packet = core::Packet::parse(frame);
+      EXPECT_TRUE(packet.has_value());
+      EXPECT_TRUE(decoder.decode_measurements_into(*packet, y));
+      decoder.reconstruct_into<float>(std::span<const std::int32_t>(y),
+                                      workspace, window);
+      if (out != nullptr) {
+        out->push_back(window.samples);
+      }
+      iterations += window.iterations;
+    }
+    return iterations;
+  };
+  const std::size_t warm_total = decode_all(config, &reference);
+  auto cold_config = config;
+  cold_config.prior = core::PriorPolicy{};
+  // The warm chain must actually be engaged: across the stream the
+  // prior-aware policy spends fewer iterations than the cold one.
+  EXPECT_LT(warm_total, decode_all(cold_config, nullptr));
+
+  std::mutex mutex;
+  std::map<std::uint16_t, std::vector<float>> delivered;
+  const auto sink = [&](const FleetWindow& window) {
+    std::lock_guard<std::mutex> lock(mutex);
+    delivered.emplace(window.sequence,
+                      std::vector<float>(window.samples.begin(),
+                                         window.samples.end()));
+    EXPECT_FALSE(window.concealed);
+  };
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 2;
+  fleet_config.prior = config.prior;
+  FleetCoordinator fleet(fleet_config, sink);
+  fleet.add_node(config, book);
+  for (const auto& frame : frames) {
+    fleet.submit(0, std::vector<std::uint8_t>(frame));
+  }
+  fleet.finish();
+
+  ASSERT_EQ(delivered.size(), kWindows);
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const auto& got = delivered.at(static_cast<std::uint16_t>(w));
+    ASSERT_EQ(got.size(), reference[w].size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], reference[w][i]) << "window " << w << " sample " << i;
+    }
+  }
+}
+
+TEST(FleetTest, ConcealmentInvalidatesWarmPriorForExactResume) {
+  // A concealed window breaks the neighbour chain: the first
+  // reconstruction after the gap must solve cold, landing bitwise where
+  // a direct decoder that also dropped its prior at the gap lands.
+  const auto db = small_db();
+  const auto book = core::default_difference_codebook();
+  auto config = fast_config();
+  config.prior.warm_start = true;
+  config.cs.keyframe_interval = 1;  // keyframes at 0, 2, 4 — drop the diff
+  constexpr std::size_t kWindows = 6;
+  constexpr std::size_t kDropped = 3;
+  const auto frames = encode_stream(config, book, db, kWindows);
+
+  std::vector<std::vector<float>> reference;
+  {
+    core::Decoder decoder(config, book);
+    solvers::SolverWorkspace workspace;
+    std::vector<std::int32_t> y;
+    core::DecodedWindow<float> window;
+    for (std::size_t w = 0; w < kWindows; ++w) {
+      if (w == kDropped) {
+        decoder.invalidate_prior();  // what the fleet's conceal() does
+        reference.emplace_back();
+        continue;
+      }
+      const auto packet = core::Packet::parse(frames[w]);
+      ASSERT_TRUE(packet.has_value());
+      ASSERT_TRUE(decoder.decode_measurements_into(*packet, y));
+      decoder.reconstruct_into<float>(std::span<const std::int32_t>(y),
+                                      workspace, window);
+      reference.push_back(window.samples);
+    }
+  }
+
+  std::mutex mutex;
+  std::map<std::uint16_t, std::vector<float>> delivered;
+  const auto sink = [&](const FleetWindow& window) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!window.concealed) {
+      delivered.emplace(window.sequence,
+                        std::vector<float>(window.samples.begin(),
+                                           window.samples.end()));
+    }
+  };
+
+  FleetConfig fleet_config;
+  fleet_config.workers = 1;
+  fleet_config.prior = config.prior;
+  FleetCoordinator fleet(fleet_config, sink);
+  fleet.add_node(config, book);
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    if (w == kDropped) {
+      continue;  // the channel ate this frame
+    }
+    fleet.submit(0, std::vector<std::uint8_t>(frames[w]));
+  }
+  const FleetReport report = fleet.finish();
+  EXPECT_EQ(report.windows_concealed, 1u);
+
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    if (w == kDropped) {
+      continue;
+    }
+    const auto& got = delivered.at(static_cast<std::uint16_t>(w));
+    ASSERT_EQ(got.size(), reference[w].size()) << "window " << w;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], reference[w][i]) << "window " << w << " sample " << i;
+    }
+  }
+}
+
 TEST(FleetTest, BackpressureKeepsQueueBounded) {
   const auto db = small_db();
   const auto book = core::default_difference_codebook();

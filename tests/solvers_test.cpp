@@ -487,5 +487,234 @@ TEST(OmpTest, RejectsBadArguments) {
   EXPECT_THROW(omp(op, y, options), Error);
 }
 
+// ------------------------------------------------ prior-aware solving --
+
+TEST(FistaPrior, WarmStartCutsIterationsAndLandsOnTheSameSolution) {
+  // Solve once cold, then re-solve the same problem seeded with the cold
+  // solution: the warm solve must converge in a fraction of the cold
+  // iteration count and land on (essentially) the same minimiser. This
+  // is the decode-path contract — window k's solution seeds window k+1.
+  auto op = gaussian_op<double>(64, 128, 30);
+  util::Rng rng(31);
+  std::vector<double> truth(128, 0.0);
+  const auto support = rng.sample_without_replacement(128, 10);
+  for (const auto idx : support) {
+    truth[idx] = rng.gaussian(0.0, 2.0);
+  }
+  std::vector<double> y(64);
+  op.apply(truth, y);
+
+  ShrinkageOptions options;
+  options.lambda = 1e-3;
+  options.max_iterations = 20000;
+  options.tolerance = 1e-9;
+  const auto cold = fista<double>(op, y, options);
+  EXPECT_TRUE(cold.converged);
+
+  options.warm_start = cold.solution;
+  const auto warm = fista<double>(op, y, options);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations / 4);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(warm.solution[i], cold.solution[i], 1e-5) << "index " << i;
+  }
+}
+
+TEST(FistaPrior, WarmStartRejectsWrongSize) {
+  auto op = identity_op<double>(8);
+  std::vector<double> y(8, 1.0);
+  std::vector<double> prior(7, 0.0);  // wrong length
+  ShrinkageOptions options;
+  options.warm_start = prior;
+  EXPECT_THROW(fista<double>(op, y, options), Error);
+  EXPECT_THROW(ista<double>(op, y, options), Error);
+}
+
+TEST(FistaPrior, SupportToleranceStopsEarlyOnceSupportLocksIn) {
+  // With the support-aware relaxation on, the solve halts earlier than
+  // the strict run once the nonzero pattern is stable, and the relaxed
+  // solution still matches the strict one to the relaxed threshold.
+  auto op = gaussian_op<double>(48, 96, 33);
+  util::Rng rng(34);
+  std::vector<double> truth(96, 0.0);
+  const auto support = rng.sample_without_replacement(96, 6);
+  for (const auto idx : support) {
+    truth[idx] = rng.gaussian(0.0, 2.0);
+  }
+  std::vector<double> y(48);
+  op.apply(truth, y);
+
+  ShrinkageOptions strict;
+  strict.lambda = 1e-3;
+  strict.max_iterations = 50000;
+  strict.tolerance = 1e-10;
+  const auto full = fista<double>(op, y, strict);
+  EXPECT_TRUE(full.converged);
+
+  ShrinkageOptions relaxed = strict;
+  relaxed.support_tolerance = 1e-5;
+  const auto early = fista<double>(op, y, relaxed);
+  EXPECT_TRUE(early.converged);
+  EXPECT_LT(early.iterations, full.iterations);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(early.solution[i], full.solution[i], 5e-3) << "index " << i;
+  }
+}
+
+// -------------------------------------------------------- fista_batch --
+
+// Packs `batch` distinct compressed-sensing problems that share one
+// operator, with per-problem measurement energy spread so the rows
+// converge at visibly different iteration counts (the frozen-row path).
+struct BatchProblem {
+  DenseOp<float> op;
+  std::vector<float> y_flat;
+  std::vector<double> lambdas;
+  std::size_t batch;
+  std::size_t m;
+  std::size_t n;
+};
+
+BatchProblem make_batch_problem(std::size_t batch, std::uint64_t seed) {
+  const std::size_t m = 32;
+  const std::size_t n = 64;
+  BatchProblem p{gaussian_op<float>(m, n, seed), {}, {}, batch, m, n};
+  util::Rng rng(seed + 1);
+  p.y_flat.resize(batch * m);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<float> truth(n, 0.0f);
+    const auto support = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(4 + b));
+    for (const auto idx : support) {
+      truth[idx] = static_cast<float>(rng.gaussian(0.0, 1.0 + b));
+    }
+    p.op.apply(truth,
+               std::span<float>(p.y_flat.data() + b * m, m));
+    p.lambdas.push_back(1e-3 * (1.0 + 0.5 * b));
+  }
+  return p;
+}
+
+// Runs each batch row through the sequential solver with the same
+// options and compares the batched results bitwise — the fleet decode
+// parity contract under whichever option set \p options carries.
+void expect_batch_matches_sequential(const BatchProblem& p,
+                                     ShrinkageOptions options) {
+  SolverWorkspace batch_ws;
+  const auto batched = fista_batch<float>(p.op, p.y_flat, p.lambdas,
+                                          options, batch_ws);
+  ASSERT_EQ(batched.size(), p.batch);
+  const std::span<const double> warm_all = options.warm_start;
+  for (std::size_t b = 0; b < p.batch; ++b) {
+    SCOPED_TRACE("row " + std::to_string(b));
+    ShrinkageOptions row_options = options;
+    row_options.lambda = p.lambdas[b];
+    row_options.warm_start =
+        warm_all.empty() ? std::span<const double>{}
+                         : warm_all.subspan(b * p.n, p.n);
+    const auto sequential = fista<float>(
+        p.op, std::span<const float>(p.y_flat.data() + b * p.m, p.m),
+        row_options);
+    EXPECT_EQ(batched[b].iterations, sequential.iterations);
+    EXPECT_EQ(batched[b].converged, sequential.converged);
+    ASSERT_EQ(batched[b].solution.size(), sequential.solution.size());
+    for (std::size_t i = 0; i < sequential.solution.size(); ++i) {
+      ASSERT_EQ(batched[b].solution[i], sequential.solution[i])
+          << "coefficient " << i;  // bitwise
+    }
+  }
+}
+
+TEST(FistaBatch, AdaptiveRestartMatchesSequentialBitwise) {
+  // The restart decision is per-row state (each row's own momentum
+  // scalar and alignment test), so restarting rows must not perturb
+  // their neighbours — previously fista_batch rejected the option.
+  const auto p = make_batch_problem(4, 40);
+  ShrinkageOptions options;
+  options.max_iterations = 400;
+  options.tolerance = 1e-7;
+  options.lipschitz = 16.0;
+  options.adaptive_restart = true;
+  expect_batch_matches_sequential(p, options);
+}
+
+TEST(FistaBatch, WarmPriorsMatchSequentialBitwise) {
+  // Per-row priors: solve every row cold first, then re-solve the batch
+  // seeded with those solutions and check each row against a warm
+  // sequential run.
+  const auto p = make_batch_problem(3, 44);
+  ShrinkageOptions options;
+  options.max_iterations = 400;
+  options.tolerance = 1e-7;
+  options.lipschitz = 16.0;
+  options.adaptive_restart = true;
+  options.support_tolerance = 1e-5;
+
+  std::vector<double> priors(p.batch * p.n);
+  for (std::size_t b = 0; b < p.batch; ++b) {
+    ShrinkageOptions cold = options;
+    cold.lambda = p.lambdas[b];
+    const auto r = fista<float>(
+        p.op, std::span<const float>(p.y_flat.data() + b * p.m, p.m), cold);
+    for (std::size_t i = 0; i < p.n; ++i) {
+      priors[b * p.n + i] = static_cast<double>(r.solution[i]);
+    }
+  }
+  options.warm_start = priors;
+  expect_batch_matches_sequential(p, options);
+}
+
+TEST(FistaBatch, WarmPriorRejectsWrongSize) {
+  const auto p = make_batch_problem(2, 46);
+  ShrinkageOptions options;
+  options.lipschitz = 16.0;
+  std::vector<double> prior(p.n, 0.0);  // one row's worth, need batch * n
+  options.warm_start = prior;
+  SolverWorkspace ws;
+  EXPECT_THROW(fista_batch<float>(p.op, p.y_flat, p.lambdas, options, ws),
+               Error);
+}
+
+TEST(FistaBatch, FrozenRowsStopBeingCharged) {
+  // Rows converge at different iteration counts; a frozen row must drop
+  // out of the sweep entirely, so the batch's total op mix equals the
+  // sum of the per-row sequential solves — not the lock-step rectangle
+  // batch * slowest_row the old pricing charged.
+  const auto p = make_batch_problem(4, 48);
+  ShrinkageOptions options;
+  options.max_iterations = 4000;
+  options.tolerance = 1e-4;
+  options.lipschitz = 16.0;
+  options.adaptive_restart = true;
+  options.backend = &linalg::counting_scalar_backend();
+
+  linalg::OpCounts sequential_total;
+  std::vector<std::size_t> iterations(p.batch);
+  {
+    linalg::OpCounterScope scope;
+    for (std::size_t b = 0; b < p.batch; ++b) {
+      ShrinkageOptions row = options;
+      row.lambda = p.lambdas[b];
+      iterations[b] = fista<float>(
+          p.op, std::span<const float>(p.y_flat.data() + b * p.m, p.m),
+          row).iterations;
+    }
+    sequential_total = scope.counts();
+  }
+  // The frozen-row claim is only interesting if the rows actually stop
+  // at different iterations.
+  EXPECT_NE(*std::min_element(iterations.begin(), iterations.end()),
+            *std::max_element(iterations.begin(), iterations.end()));
+
+  SolverWorkspace ws;
+  linalg::OpCounterScope scope;
+  fista_batch<float>(p.op, p.y_flat, p.lambdas, options, ws);
+  const auto& batch_counts = scope.counts();
+  EXPECT_EQ(batch_counts.scalar_mac, sequential_total.scalar_mac);
+  EXPECT_EQ(batch_counts.scalar_op, sequential_total.scalar_op);
+  EXPECT_EQ(batch_counts.loads, sequential_total.loads);
+  EXPECT_EQ(batch_counts.stores, sequential_total.stores);
+}
+
 }  // namespace
 }  // namespace csecg::solvers

@@ -221,6 +221,38 @@ TEST(NodeCoordinatorTest, GarbageFrameIsRejectedNotFatal) {
   EXPECT_EQ(coordinator.stats().frames_rejected, 1u);
 }
 
+TEST(NodeCoordinatorTest, ConcealmentDropsWarmPrior) {
+  // A concealed window is synthesised, not reconstructed, so the cached
+  // warm prior no longer describes the neighbouring window — both
+  // concealment strategies must invalidate it.
+  const auto db = small_db();
+  core::DecoderConfig config;
+  config.prior.warm_start = true;
+  const auto book = core::train_difference_codebook(db, config.cs);
+  SensorNode node(config.cs, book);
+  Coordinator coordinator(config, book);
+  coordinator.set_prior_policy(config.prior);
+  const auto& record = db.mote(0);
+  const auto frame = node.process_window(
+      std::span<const std::int16_t>(record.samples.data(), 512));
+  ASSERT_TRUE(coordinator.process_frame(frame).has_value());
+  ASSERT_TRUE(coordinator.decoder().has_warm_prior<float>());
+
+  const auto held = coordinator.conceal_hold_last();
+  EXPECT_EQ(held.size(), 512u);
+  EXPECT_FALSE(coordinator.decoder().has_warm_prior<float>());
+
+  // Re-prime through the next frame, then the interpolating strategy.
+  const auto frame2 = node.process_window(
+      std::span<const std::int16_t>(record.samples.data() + 512, 512));
+  ASSERT_TRUE(coordinator.process_frame(frame2).has_value());
+  ASSERT_TRUE(coordinator.decoder().has_warm_prior<float>());
+  const std::vector<float> prev(512, 0.0f);
+  const std::vector<float> next(512, 1.0f);
+  (void)coordinator.conceal_interpolated(prev, next, 0, 2);
+  EXPECT_FALSE(coordinator.decoder().has_warm_prior<float>());
+}
+
 TEST(NodeCoordinatorTest, EncodeTimeMatchesPaperOrder) {
   const auto db = small_db();
   core::EncoderConfig config;

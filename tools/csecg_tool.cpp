@@ -7,7 +7,7 @@
 //   csecg_tool encode   --in rec.csecg --out session.csecgs [--cr 50]
 //                       [--d 12] [--shift 0] [--seed 42]
 //   csecg_tool decode   --in session.csecgs --out recon.csecg
-//                       [--backend native]
+//                       [--backend native] [--warm] [--weighted]
 //   csecg_tool metrics  --a rec.csecg --b recon.csecg
 //   csecg_tool metrics  [--in rec.csecg] [--seconds 30] [--seed 1]
 //                       [--loss 0.1] [--burst 4] [--ber 1e-5] [--retries 3]
@@ -22,7 +22,8 @@
 //                       [--cr 30,50,70] [--adapt 1] [--queue 64]
 //                       [--loss 0.0] [--burst 1] [--ber 0]
 //                       [--keyframe 64] [--rate 256] [--batch 1]
-//                       [--backend native] [--json dump.jsonl]
+//                       [--backend native] [--warm] [--weighted]
+//                       [--json dump.jsonl]
 //   csecg_tool gateway  [--soak] [--nodes 10000] [--shards 2]
 //                       [--workers 1] [--queue 256] [--batch 4]
 //                       [--streams 6] [--records 3] [--cr 50,40,30]
@@ -30,6 +31,7 @@
 //                       [--duty-on 4] [--duty-period 2048]
 //                       [--warmup 96] [--steady 192] [--seed 2011]
 //                       [--force-shed 1] [--backend native]
+//                       [--warm] [--weighted]
 //                       [--json dump.jsonl] [--timeline tl.jsonl]
 //                       [--timeline-every 16] [--flight fl.jsonl]
 //                       [--prom out.prom]
@@ -41,6 +43,10 @@
 // (default native): which kernel schedule the FISTA reconstruction runs
 // through. `fleet --batch k` drains up to k frames per worker dispatch
 // and sweeps them through the batched solver in one kernel invocation.
+// `decode`/`fleet`/`gateway` also accept the prior-aware policy flags:
+// `--warm` (warm-start FISTA from the previous window's solution, with
+// adaptive restart and support-aware tolerance) and `--weighted` (the
+// EXP-A8 weighted l1 that de-emphasises the dense approximation band).
 //
 // `encode` trains a codebook on the input record itself (self-contained
 // sessions); `decode` reads everything it needs from the session file.
@@ -237,6 +243,19 @@ const linalg::Backend& parse_backend(const Args& args) {
   return *backend;
 }
 
+/// Receiver-side prior policy for `decode`/`fleet`/`gateway`:
+/// `--warm` turns on warm starts (+ adaptive restart + support-aware
+/// tolerance), `--weighted` turns on the EXP-A8 weighted l1.
+core::PriorPolicy parse_prior(const Args& args) {
+  core::PriorPolicy prior;
+  prior.warm_start = get_double(args, "warm", 0.0) != 0.0;
+  prior.weighted_l1 = get_double(args, "weighted", 0.0) != 0.0;
+  if (prior.warm_start) {
+    prior.support_tolerance = 1e-4;
+  }
+  return prior;
+}
+
 int cmd_generate(const Args& args) {
   ecg::EcgSynConfig gen;
   gen.sample_rate_hz = get_double(args, "rate", 256.0);
@@ -397,6 +416,7 @@ int cmd_decode(const Args& args) {
   core::DecoderConfig config;
   config.cs = session->config;
   config.backend = &parse_backend(args);
+  config.prior = parse_prior(args);
   core::Decoder decoder(config, *codebook);
 
   ecg::Record out_record;
@@ -552,6 +572,7 @@ int cmd_fleet(const Args& args) {
   fleet_config.backend = &parse_backend(args);
   fleet_config.decode_batch =
       static_cast<std::size_t>(get_double(args, "batch", 1.0));
+  fleet_config.prior = parse_prior(args);
 
   // Per-node quality accounting, written by the sink on worker threads.
   // Distinct nodes deliver on distinct accumulators (per-node ordering
@@ -775,6 +796,7 @@ int cmd_gateway(const Args& args) {
   cfg.gateway.shard.decode_batch =
       static_cast<std::size_t>(get_double(args, "batch", 4.0));
   cfg.gateway.shard.backend = &parse_backend(args);
+  cfg.gateway.shard.prior = parse_prior(args);
 
   // The demo runs a shorter timeline than the soak: enough ticks to see
   // the ladder climb and clear, not enough to gate on.
