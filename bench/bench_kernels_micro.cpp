@@ -56,7 +56,6 @@ std::vector<Candidate> candidates() {
 void register_kernels() {
   constexpr std::size_t kN = 512;
   constexpr std::size_t kTaps = 8;
-  constexpr std::size_t kBatch = 8;
   for (const auto& c : candidates()) {
     const linalg::Backend* be = c.backend;
     const std::string suffix = std::string("/") + c.label;
@@ -100,21 +99,85 @@ void register_kernels() {
               static_cast<std::int64_t>(kN));
         });
 
-    benchmark::RegisterBenchmark(
-        ("soft_threshold_batch/8x512" + suffix).c_str(),
-        [be](benchmark::State& state) {
-          const auto u = random_vector(kBatch * kN, 10);
-          const auto t = random_vector(kBatch, 11);
-          std::vector<float> y(kBatch * kN);
-          for (auto _ : state) {
-            be->soft_threshold_batch(u.data(), t.data(), y.data(), kBatch,
-                                     kN);
-            benchmark::DoNotOptimize(y.data());
-          }
-          state.SetItemsProcessed(
-              static_cast<std::int64_t>(state.iterations()) *
-              static_cast<std::int64_t>(kBatch * kN));
-        });
+    // Panel-kernel batch-k curves: the per-element cost of each panel
+    // kernel as the panel widens (k = 1 is the degenerate single-vector
+    // case). items_per_s divides out batch*n, so a flat-or-rising curve
+    // per backend is the "panels don't cost more per element" evidence
+    // and any superlinear win (cache-blocked traversals amortising) shows
+    // up directly.
+    for (const std::size_t k : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8},
+                                std::size_t{16}}) {
+      const std::string batch_tag =
+          "/" + std::to_string(k) + "x512" + suffix;
+      benchmark::RegisterBenchmark(
+          ("axpy_batch" + batch_tag).c_str(),
+          [be, k](benchmark::State& state) {
+            const auto x = random_vector(k * kN, 12);
+            auto y = random_vector(k * kN, 13);
+            for (auto _ : state) {
+              be->axpy_batch(0.37f, x.data(), y.data(), k, kN);
+              benchmark::DoNotOptimize(y.data());
+            }
+            state.SetItemsProcessed(
+                static_cast<std::int64_t>(state.iterations()) *
+                static_cast<std::int64_t>(k * kN));
+          });
+      benchmark::RegisterBenchmark(
+          ("soft_threshold_batch" + batch_tag).c_str(),
+          [be, k](benchmark::State& state) {
+            const auto u = random_vector(k * kN, 10);
+            const auto t = random_vector(k, 11);
+            std::vector<float> y(k * kN);
+            for (auto _ : state) {
+              be->soft_threshold_batch(u.data(), t.data(), y.data(), k, kN);
+              benchmark::DoNotOptimize(y.data());
+            }
+            state.SetItemsProcessed(
+                static_cast<std::int64_t>(state.iterations()) *
+                static_cast<std::int64_t>(k * kN));
+          });
+      benchmark::RegisterBenchmark(
+          ("dwt_analysis_batch" + batch_tag).c_str(),
+          [be, k](benchmark::State& state) {
+            constexpr std::size_t kHalf = 256;
+            constexpr std::size_t kExtStride = 2 * kHalf + kTaps - 1;
+            const auto ext = random_vector(k * kExtStride, 14);
+            const auto h0 = random_vector(kTaps, 7);
+            const auto h1 = random_vector(kTaps, 8);
+            std::vector<float> a(k * kHalf);
+            std::vector<float> d(k * kHalf);
+            for (auto _ : state) {
+              be->dwt_analysis_batch(ext.data(), h0.data(), h1.data(),
+                                     a.data(), d.data(), k, kHalf, kTaps,
+                                     kExtStride, kHalf, kHalf);
+              benchmark::DoNotOptimize(a.data());
+            }
+            state.SetItemsProcessed(
+                static_cast<std::int64_t>(state.iterations()) *
+                static_cast<std::int64_t>(k * kHalf * kTaps * 2));
+          });
+      benchmark::RegisterBenchmark(
+          ("dwt_synthesis_batch" + batch_tag).c_str(),
+          [be, k](benchmark::State& state) {
+            constexpr std::size_t kHalf = 256;
+            constexpr std::size_t kExtStride = 2 * (kHalf - 1) + kTaps;
+            const auto a = random_vector(k * kHalf, 15);
+            const auto d = random_vector(k * kHalf, 16);
+            const auto f0 = random_vector(kTaps, 7);
+            const auto f1 = random_vector(kTaps, 8);
+            std::vector<float> ext(k * kExtStride);
+            for (auto _ : state) {
+              be->dwt_synthesis_batch(a.data(), d.data(), f0.data(),
+                                      f1.data(), ext.data(), k, kHalf, kTaps,
+                                      kHalf, kHalf, kExtStride);
+              benchmark::DoNotOptimize(ext.data());
+            }
+            state.SetItemsProcessed(
+                static_cast<std::int64_t>(state.iterations()) *
+                static_cast<std::int64_t>(k * kHalf * kTaps * 2));
+          });
+    }
 
     benchmark::RegisterBenchmark(
         ("dual_band_filter/256" + suffix).c_str(),
@@ -189,6 +252,9 @@ void register_kernels() {
 bool verify_counting_contract() {
   const auto a = random_vector(512, 20);
   auto y = random_vector(512, 21);
+  const auto panel = random_vector(4 * 512, 22);
+  std::vector<float> panel_out(4 * 512);
+  std::vector<float> row_out(4);
   for (const auto& c :
        {Candidate{"reference", &linalg::reference_backend()},
         Candidate{"scalar", &linalg::scalar_backend()},
@@ -198,6 +264,12 @@ bool verify_counting_contract() {
     benchmark::DoNotOptimize(c.backend->dot(a.data(), y.data(), 512));
     c.backend->axpy(0.5f, a.data(), y.data(), 512);
     c.backend->soft_threshold(a.data(), 0.1f, y.data(), 512);
+    // The panel kernels ride the same no-counter hot path.
+    c.backend->axpy_batch(0.5f, panel.data(), panel_out.data(), 4, 512);
+    c.backend->subtract_batch(panel.data(), panel_out.data(),
+                              panel_out.data(), 4, 512);
+    c.backend->norm1_batch(panel.data(), row_out.data(), 4, 512);
+    c.backend->dot_batch(panel.data(), panel.data(), row_out.data(), 4, 512);
     const auto& counts = scope.counts();
     const auto total = counts.scalar_mac + counts.scalar_op +
                        counts.vector_mac4 + counts.vector_op4 +
@@ -215,6 +287,18 @@ bool verify_counting_contract() {
       linalg::counting_simd4_backend().dot(a.data(), y.data(), 512));
   if (scope.counts().vector_mac4 == 0) {
     std::fprintf(stderr, "FAIL: CountingBackend charged nothing\n");
+    return false;
+  }
+  const auto macs_before = scope.counts().vector_mac4;
+  linalg::counting_simd4_backend().axpy_batch(0.5f, panel.data(),
+                                              panel_out.data(), 4, 512);
+  // 4 rows x 512/4 packed quads: the panel charge is batch x the per-row
+  // formula, not a flat sweep.
+  if (scope.counts().vector_mac4 != macs_before + 4 * (512 / 4)) {
+    std::fprintf(stderr,
+                 "FAIL: CountingBackend mischarged axpy_batch (got %llu)\n",
+                 static_cast<unsigned long long>(scope.counts().vector_mac4 -
+                                                 macs_before));
     return false;
   }
   std::printf(

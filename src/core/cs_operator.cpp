@@ -11,23 +11,24 @@ namespace {
 /// model stays honest. Skipped entirely on non-counting backends.
 template <typename T>
 void charge_sparse_apply(const linalg::Backend& backend,
-                         const SensingMatrix& phi) {
+                         const SensingMatrix& phi, std::size_t batch = 1) {
   if (!backend.counting()) {
     return;
   }
+  const auto k = static_cast<std::uint64_t>(batch);
   if (phi.is_sparse()) {
     linalg::OpCounts c;
     const auto nnz = static_cast<std::uint64_t>(phi.cols()) *
                      phi.sparse().nonzeros_per_column();
-    c.scalar_op = nnz + phi.rows();  // adds + final scale
-    c.loads = 2 * nnz;
-    c.stores = nnz;
+    c.scalar_op = (nnz + phi.rows()) * k;  // adds + final scale
+    c.loads = 2 * nnz * k;
+    c.stores = nnz * k;
     backend.charge(c);
   } else {
     linalg::OpCounts c;
     const auto elems = static_cast<std::uint64_t>(phi.rows()) * phi.cols();
-    c.scalar_mac = elems;
-    c.loads = 2 * elems;
+    c.scalar_mac = elems * k;
+    c.loads = 2 * elems * k;
     backend.charge(c);
   }
 }
@@ -67,6 +68,33 @@ void CsOperator<T>::apply_adjoint(std::span<const T> r,
   phi_->apply_transpose(r, std::span<T>(scratch_));
   charge_sparse_apply<T>(*backend_, *phi_);
   psi_->forward<T>(std::span<const T>(scratch_), alpha, *backend_);
+}
+
+template <typename T>
+void CsOperator<T>::apply_batch(std::span<const T> alpha_flat,
+                                std::span<T> y_flat, std::size_t batch) const {
+  CSECG_CHECK(alpha_flat.size() == batch * cols() &&
+                  y_flat.size() == batch * rows(),
+              "apply_batch: size mismatch");
+  panel_scratch_.resize(batch * psi_->length());
+  psi_->inverse_batch<T>(alpha_flat, std::span<T>(panel_scratch_), batch,
+                         *backend_);
+  phi_->apply_batch(std::span<const T>(panel_scratch_), y_flat, batch);
+  charge_sparse_apply<T>(*backend_, *phi_, batch);
+}
+
+template <typename T>
+void CsOperator<T>::apply_adjoint_batch(std::span<const T> r_flat,
+                                        std::span<T> alpha_flat,
+                                        std::size_t batch) const {
+  CSECG_CHECK(r_flat.size() == batch * rows() &&
+                  alpha_flat.size() == batch * cols(),
+              "apply_adjoint_batch: size mismatch");
+  panel_scratch_.resize(batch * psi_->length());
+  phi_->apply_transpose_batch(r_flat, std::span<T>(panel_scratch_), batch);
+  charge_sparse_apply<T>(*backend_, *phi_, batch);
+  psi_->forward_batch<T>(std::span<const T>(panel_scratch_), alpha_flat,
+                         batch, *backend_);
 }
 
 template class CsOperator<float>;

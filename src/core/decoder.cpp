@@ -1,5 +1,6 @@
 #include "csecg/core/decoder.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <type_traits>
 
@@ -489,13 +490,13 @@ void Decoder::reconstruct_batch_into(std::span<const std::int32_t> y_int_flat,
   }
   // The batch solver covers the uniform-penalty fleet configuration; the
   // weighted-lambda and objective-recording variants (and trivial batches)
-  // take the sequential path, which supports everything. Warm starts also
-  // chain sequentially on purpose: window b's prior IS window b-1's
-  // solution, a dependency a lock-step batch cannot honour (fista_batch
-  // accepts per-row priors, but rows of one node's batch are consecutive
-  // windows, not independent problems).
-  if (batch == 1 || !options_.weights.empty() || config_.record_objective ||
-      config_.prior.warm_start) {
+  // take the sequential path, which supports everything. That residual
+  // fallback is counted so a fleet misconfigured off the panel path is
+  // visible in telemetry instead of silently decoding row by row.
+  if (batch == 1 || !options_.weights.empty() || config_.record_objective) {
+    if (batch > 1) {
+      obs::add("decoder.batch.fallback_sequential");
+    }
     for (std::size_t b = 0; b < batch; ++b) {
       reconstruct_into<T>(y_int_flat.subspan(b * m, m), workspace, out[b]);
     }
@@ -533,14 +534,47 @@ void Decoder::reconstruct_batch_into(std::span<const std::int32_t> y_int_flat,
   }
   options_.lipschitz = cache;
 
+  // Warm starts ride the panel path: every row seeds from the prior
+  // cached before the batch (the last pre-batch solution). Consecutive
+  // ECG windows are quasi-periodic, so one shared neighbour is a useful
+  // seed for the whole panel — deliberately different from the sequential
+  // chain, where window b's prior is window b-1's fresh solution; the
+  // fixed point is unchanged either way (warm starts trade iterations,
+  // never the solution).
+  std::vector<double>& prior = std::is_same_v<T, float> ? prior_f_ : prior_d_;
+  bool& have_prior = std::is_same_v<T, float> ? have_prior_f_ : have_prior_d_;
+  const bool warmable =
+      config_.prior.warm_start && have_prior && prior.size() == n;
+  if (warmable) {
+    ws.batch_warm.resize(batch * n);
+    for (std::size_t b = 0; b < batch; ++b) {
+      std::copy(prior.begin(), prior.end(), ws.batch_warm.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    b * n));
+    }
+    options_.warm_start = std::span<const double>(ws.batch_warm);
+  } else {
+    options_.warm_start = {};
+  }
+
   std::span<solvers::ShrinkageResult<T>> solves;
   {
     obs::SpanScope fista_span("fista");
     fista_span.attribute("batch", static_cast<double>(batch));
     fista_span.attribute("measurements", static_cast<double>(m));
+    fista_span.attribute("warm", warmable ? 1.0 : 0.0);
     solves = solvers::fista_batch<T>(
         A, std::span<const T>(y),
         std::span<const double>(ws.batch_lambdas), options_, workspace);
+  }
+  // Never leave a span into batch_warm cached in options_; the prior for
+  // the next call is the batch's last window, exactly as if it had been
+  // decoded last sequentially.
+  options_.warm_start = {};
+  if (config_.prior.warm_start) {
+    const auto& last = solves[batch - 1].solution;
+    prior.assign(last.begin(), last.end());
+    have_prior = true;
   }
 
   obs::SpanScope idwt_span("idwt");

@@ -32,6 +32,16 @@ class CsOperator final : public linalg::LinearOperator<T> {
   void apply(std::span<const T> alpha, std::span<T> y) const override;
   void apply_adjoint(std::span<const T> r, std::span<T> alpha) const override;
 
+  /// Panel forward model: each leg (inverse DWT, sparse projection) runs
+  /// once over the whole panel, so Phi's index table and Psi's filter
+  /// levels are traversed once per batch instead of once per row. Bitwise
+  /// identical per row to apply()/apply_adjoint(); the sparse charge is
+  /// batch x the per-row mix.
+  void apply_batch(std::span<const T> alpha_flat, std::span<T> y_flat,
+                   std::size_t batch) const override;
+  void apply_adjoint_batch(std::span<const T> r_flat, std::span<T> alpha_flat,
+                           std::size_t batch) const override;
+
   /// Re-validates the bound Phi/Psi after their contents were replaced in
   /// place (stream re-profiling swaps the decoder's sensing matrix and
   /// wavelet frame under the same addresses) and resizes the scratch to
@@ -47,7 +57,8 @@ class CsOperator final : public linalg::LinearOperator<T> {
   const SensingMatrix* phi_;
   const dsp::WaveletTransform* psi_;
   const linalg::Backend* backend_;
-  mutable std::vector<T> scratch_;  // time-domain intermediate
+  mutable std::vector<T> scratch_;        // time-domain intermediate
+  mutable std::vector<T> panel_scratch_;  // batch x length time-domain panel
 };
 
 }  // namespace csecg::core

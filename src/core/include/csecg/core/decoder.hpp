@@ -214,12 +214,19 @@ class Decoder {
   /// Batched reconstruction: \p y_int_flat packs \p batch integer
   /// measurement rows back to back (batch * measurements elements) that
   /// were produced under the same profile, and out[b] receives window b.
-  /// Windows run lock-step through fista_batch, so one kernel invocation
-  /// sweeps the whole batch — each window's result is bitwise identical
-  /// to a reconstruct_into call. Falls back to the sequential loop for
-  /// batch <= 1 and for configurations the batch solver excludes
-  /// (per-coefficient weights, objective recording). Allocation-free in
-  /// steady state for a fixed batch shape.
+  /// Windows run as a panel through fista_batch, so each kernel and
+  /// operator traversal sweeps the whole batch — with warm starts off,
+  /// each window's result is bitwise identical to a reconstruct_into
+  /// call. With warm starts on, every row of the panel seeds from the
+  /// prior cached before the batch (consecutive windows are
+  /// quasi-periodic, so the shared neighbour is a useful seed for all of
+  /// them) and the batch's last solution becomes the next prior; the
+  /// iteration counts differ from sequential chaining but the fixed
+  /// points do not. Falls back to the sequential loop for batch <= 1 and
+  /// for configurations the batch solver excludes (per-coefficient
+  /// weights, objective recording) — the non-trivial fallback is counted
+  /// as "decoder.batch.fallback_sequential". Allocation-free in steady
+  /// state for a fixed batch shape.
   template <typename T>
   void reconstruct_batch_into(std::span<const std::int32_t> y_int_flat,
                               std::size_t batch,

@@ -58,6 +58,18 @@ class SensingMatrix {
   void apply_transpose(std::span<const double> x, std::span<double> y) const;
   void apply_transpose(std::span<const float> x, std::span<float> y) const;
 
+  /// Panel forms: y_row_b = Phi x_row_b (resp. Phi^T) over `batch` packed
+  /// rows; the matrix representation is traversed once per panel. Bitwise
+  /// identical per row to the single-vector calls.
+  void apply_batch(std::span<const double> x, std::span<double> y,
+                   std::size_t batch) const;
+  void apply_batch(std::span<const float> x, std::span<float> y,
+                   std::size_t batch) const;
+  void apply_transpose_batch(std::span<const double> x, std::span<double> y,
+                             std::size_t batch) const;
+  void apply_transpose_batch(std::span<const float> x, std::span<float> y,
+                             std::size_t batch) const;
+
   /// Sparse-binary integer path for the mote (throws for dense designs).
   const linalg::SparseBinaryMatrix& sparse() const;
   bool is_sparse() const { return sparse_ != nullptr; }

@@ -109,6 +109,44 @@ void SensingMatrix::apply_transpose(std::span<const float> x,
   }
 }
 
+void SensingMatrix::apply_batch(std::span<const double> x,
+                                std::span<double> y, std::size_t batch) const {
+  if (sparse_ != nullptr) {
+    sparse_->apply_batch<double>(x, y, batch);
+  } else {
+    dense_d_->apply_batch(x, y, batch);
+  }
+}
+
+void SensingMatrix::apply_batch(std::span<const float> x, std::span<float> y,
+                                std::size_t batch) const {
+  if (sparse_ != nullptr) {
+    sparse_->apply_batch<float>(x, y, batch);
+  } else {
+    dense_f_->apply_batch(x, y, batch);
+  }
+}
+
+void SensingMatrix::apply_transpose_batch(std::span<const double> x,
+                                          std::span<double> y,
+                                          std::size_t batch) const {
+  if (sparse_ != nullptr) {
+    sparse_->apply_transpose_batch<double>(x, y, batch);
+  } else {
+    dense_d_->apply_transpose_batch(x, y, batch);
+  }
+}
+
+void SensingMatrix::apply_transpose_batch(std::span<const float> x,
+                                          std::span<float> y,
+                                          std::size_t batch) const {
+  if (sparse_ != nullptr) {
+    sparse_->apply_transpose_batch<float>(x, y, batch);
+  } else {
+    dense_f_->apply_transpose_batch(x, y, batch);
+  }
+}
+
 const linalg::SparseBinaryMatrix& SensingMatrix::sparse() const {
   CSECG_CHECK(sparse_ != nullptr,
               "integer path only exists for sparse binary sensing");

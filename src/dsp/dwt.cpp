@@ -139,6 +139,117 @@ void WaveletTransform::inverse(std::span<const T> coeffs, std::span<T> x,
   }
 }
 
+template <typename T>
+void WaveletTransform::forward_batch(std::span<const T> x, std::span<T> coeffs,
+                                     std::size_t batch,
+                                     const linalg::Backend& backend) const {
+  CSECG_CHECK(x.size() == batch * length_ && coeffs.size() == batch * length_,
+              "forward_batch: size mismatch");
+  const std::size_t taps = wavelet_.length();
+  const T* h;
+  const T* g;
+  if constexpr (std::is_same_v<T, float>) {
+    h = h_f_.data();
+    g = g_f_.data();
+  } else {
+    h = h_d_.data();
+    g = g_d_.data();
+  }
+
+  // Panel scratch, thread-local for the same allocation-free steady state
+  // as forward(). approx holds batch rows at the current level's stride n;
+  // ext holds the batch's periodic extensions.
+  thread_local std::vector<T> approx;
+  thread_local std::vector<T> ext;
+  thread_local std::vector<T> next;
+  approx.assign(x.begin(), x.end());
+  std::size_t n = length_;
+  for (int level = 0; level < levels_; ++level) {
+    const std::size_t half = n / 2;
+    const std::size_t ext_stride = n + taps - 1;
+    ext.resize(batch * ext_stride);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const T* s = approx.data() + b * n;
+      T* e = ext.data() + b * ext_stride;
+      for (std::size_t i = 0; i < ext_stride; ++i) {
+        e[i] = s[i % n];
+      }
+    }
+    next.resize(batch * half);
+    // Row b's detail half lands at coeffs[b * length_ + half, b * length_
+    // + n): out_d strides at the window length while out_a is compact.
+    backend.dwt_analysis_batch(ext.data(), h, g, next.data(),
+                               coeffs.data() + half, batch, half, taps,
+                               ext_stride, half, length_);
+    approx.swap(next);
+    n = half;
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    const T* s = approx.data() + b * n;
+    T* c = coeffs.data() + b * length_;
+    for (std::size_t i = 0; i < n; ++i) {
+      c[i] = s[i];
+    }
+  }
+}
+
+template <typename T>
+void WaveletTransform::inverse_batch(std::span<const T> coeffs,
+                                     std::span<T> x, std::size_t batch,
+                                     const linalg::Backend& backend) const {
+  CSECG_CHECK(coeffs.size() == batch * length_ && x.size() == batch * length_,
+              "inverse_batch: size mismatch");
+  const std::size_t taps = wavelet_.length();
+  const T* h;
+  const T* g;
+  if constexpr (std::is_same_v<T, float>) {
+    h = h_f_.data();
+    g = g_f_.data();
+  } else {
+    h = h_d_.data();
+    g = g_d_.data();
+  }
+
+  const std::size_t coarsest = length_ >> levels_;
+  thread_local std::vector<T> approx;
+  thread_local std::vector<T> x_ext;
+  thread_local std::vector<T> next;
+  approx.resize(batch * coarsest);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const T* c = coeffs.data() + b * length_;
+    T* a = approx.data() + b * coarsest;
+    for (std::size_t i = 0; i < coarsest; ++i) {
+      a[i] = c[i];
+    }
+  }
+  std::size_t half = coarsest;
+  for (int level = 0; level < levels_; ++level) {
+    const std::size_t n = 2 * half;
+    const std::size_t ext_stride = n + taps - 1;
+    x_ext.assign(batch * ext_stride, T{});
+    backend.dwt_synthesis_batch(approx.data(), coeffs.data() + half, h, g,
+                                x_ext.data(), batch, half, taps, half,
+                                length_, ext_stride);
+    next.resize(batch * n);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const T* e = x_ext.data() + b * ext_stride;
+      T* o = next.data() + b * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        o[i] = e[i];
+      }
+      // Fold the periodic tail back onto the head, as in inverse().
+      for (std::size_t i = n; i < ext_stride; ++i) {
+        o[i % n] += e[i];
+      }
+    }
+    approx.swap(next);
+    half = n;
+  }
+  for (std::size_t i = 0; i < batch * length_; ++i) {
+    x[i] = approx[i];
+  }
+}
+
 template void WaveletTransform::forward<float>(std::span<const float>,
                                                std::span<float>,
                                                const linalg::Backend&) const;
@@ -151,5 +262,17 @@ template void WaveletTransform::inverse<float>(std::span<const float>,
 template void WaveletTransform::inverse<double>(std::span<const double>,
                                                 std::span<double>,
                                                 const linalg::Backend&) const;
+template void WaveletTransform::forward_batch<float>(
+    std::span<const float>, std::span<float>, std::size_t,
+    const linalg::Backend&) const;
+template void WaveletTransform::forward_batch<double>(
+    std::span<const double>, std::span<double>, std::size_t,
+    const linalg::Backend&) const;
+template void WaveletTransform::inverse_batch<float>(
+    std::span<const float>, std::span<float>, std::size_t,
+    const linalg::Backend&) const;
+template void WaveletTransform::inverse_batch<double>(
+    std::span<const double>, std::span<double>, std::size_t,
+    const linalg::Backend&) const;
 
 }  // namespace csecg::dsp

@@ -58,6 +58,24 @@ class WaveletTransform {
       std::span<const T> coeffs, std::span<T> x,
       const linalg::Backend& backend = linalg::reference_backend()) const;
 
+  /// Panel analysis: coeffs_row_b = Psi^T x_row_b over `batch` packed rows
+  /// (both spans batch * length()). Each filter-bank level runs as one
+  /// dwt_analysis_batch panel call, so the filter taps and the level's
+  /// loop structure are traversed once per panel instead of once per row.
+  /// Per-row arithmetic is identical to forward(), so results are
+  /// bitwise-equal to the sequential loop.
+  template <typename T>
+  void forward_batch(
+      std::span<const T> x, std::span<T> coeffs, std::size_t batch,
+      const linalg::Backend& backend = linalg::reference_backend()) const;
+
+  /// Panel synthesis: x_row_b = Psi coeffs_row_b; same contract as
+  /// forward_batch.
+  template <typename T>
+  void inverse_batch(
+      std::span<const T> coeffs, std::span<T> x, std::size_t batch,
+      const linalg::Backend& backend = linalg::reference_backend()) const;
+
  private:
   Wavelet wavelet_;
   std::size_t length_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 // The kNative implementation uses GCC/Clang vector extensions; it is
 // compiled only when the build opts in (CSECG_NATIVE_SIMD) and the
@@ -741,6 +742,79 @@ struct NativeOps {
                                   std::size_t half_n, std::size_t taps) {
     RefOps::dual_band_synthesis(approx, detail, f0, f1, x_ext, half_n, taps);
   }
+
+  // Panel (lanes-across-rows) synthesis. Full groups of kPanelLanes batch
+  // rows are transposed into an interleaved scratch panel where sample
+  // position p of the group's rows sits contiguously. The single-row
+  // synthesis is serialised by its overlapping "+=" windows (consecutive
+  // outputs write the same x_ext cells); across batch rows the
+  // accumulations are independent, so interleaved they become contiguous
+  // 4-wide ops — a speedup that is structurally impossible row by row.
+  // Each lane replays one row's scalar schedule exactly (outputs
+  // ascending, taps in order, the a*f0 + d*f1 shape), so per-row results
+  // stay bitwise equal to the single-row kernel; a partial tail group
+  // runs row by row. Analysis has no such panel variant: its tap reads
+  // are already contiguous per output, and the single-row blocked kernel
+  // is the better schedule.
+  static constexpr std::size_t kPanelLanes = 4;
+
+  template <typename T>
+  static std::vector<T>& panel_scratch() {
+    static thread_local std::vector<T> scratch;
+    return scratch;
+  }
+
+  template <typename T>
+  static void dual_band_synthesis_batch(const T* approx, const T* detail,
+                                        const T* f0, const T* f1, T* x_ext,
+                                        std::size_t batch,
+                                        std::size_t half_n, std::size_t taps,
+                                        std::size_t a_stride,
+                                        std::size_t d_stride,
+                                        std::size_t ext_stride) {
+    constexpr std::size_t G = kPanelLanes;
+    // The scalar kernel touches x_ext[2*(half_n-1) + taps - 1] at most;
+    // cells past that keep whatever the caller left there.
+    const std::size_t ext_len = 2 * (half_n - 1) + taps;
+    std::vector<T>& panel = panel_scratch<T>();
+    std::size_t b0 = 0;
+    for (; b0 + G <= batch; b0 += G) {
+      panel.resize(ext_len * G);
+      for (std::size_t l = 0; l < G; ++l) {
+        const T* src = x_ext + (b0 + l) * ext_stride;
+        for (std::size_t i = 0; i < ext_len; ++i) {
+          panel[i * G + l] = src[i];
+        }
+      }
+      for (std::size_t i = 0; i < half_n; ++i) {
+        T a[G];
+        T d[G];
+        for (std::size_t l = 0; l < G; ++l) {
+          a[l] = approx[(b0 + l) * a_stride + i];
+          d[l] = detail[(b0 + l) * d_stride + i];
+        }
+        T* x = panel.data() + 2 * i * G;
+        for (std::size_t j = 0; j < taps; ++j) {
+          const T c0 = f0[j];
+          const T c1 = f1[j];
+          T* xj = x + j * G;
+          for (std::size_t l = 0; l < G; ++l) {
+            xj[l] += a[l] * c0 + d[l] * c1;
+          }
+        }
+      }
+      for (std::size_t l = 0; l < G; ++l) {
+        T* dst = x_ext + (b0 + l) * ext_stride;
+        for (std::size_t i = 0; i < ext_len; ++i) {
+          dst[i] = panel[i * G + l];
+        }
+      }
+    }
+    for (; b0 < batch; ++b0) {
+      dual_band_synthesis(approx + b0 * a_stride, detail + b0 * d_stride,
+                          f0, f1, x_ext + b0 * ext_stride, half_n, taps);
+    }
+  }
 };
 
 #pragma GCC diagnostic pop
@@ -859,6 +933,169 @@ class OpsBackend final : public Backend {
     Ops::template dual_band_synthesis<double>(approx, detail, f0, f1, x_ext,
                                               half_n, taps);
   }
+
+  // -- panel kernels --------------------------------------------------------
+  // Elementwise panels collapse to one flat sweep over batch*n (per-element
+  // arithmetic is independent, so this is bitwise-identical to the row
+  // loop and lets the wide schedules run full-width blocks across row
+  // boundaries instead of re-entering the kernel k times). Reductions and
+  // the per-row-threshold shrink keep the row loop — per-row accumulation
+  // order is part of the bitwise contract — but devirtualised onto the Ops
+  // statics. The filter-bank panels walk rows with independent strides so
+  // the wavelet layout needs no repacking; the taps stay hot across the
+  // whole panel.
+  void soft_threshold_batch(const float* u, const float* thresholds, float* y,
+                            std::size_t batch, std::size_t n) const override {
+    for (std::size_t b = 0; b < batch; ++b) {
+      Ops::template soft_threshold<float>(u + b * n, thresholds[b], y + b * n,
+                                          n);
+    }
+  }
+  void soft_threshold_batch(const double* u, const double* thresholds,
+                            double* y, std::size_t batch,
+                            std::size_t n) const override {
+    for (std::size_t b = 0; b < batch; ++b) {
+      Ops::template soft_threshold<double>(u + b * n, thresholds[b], y + b * n,
+                                           n);
+    }
+  }
+  void dot_batch(const float* a, const float* b, float* out, std::size_t batch,
+                 std::size_t n) const override {
+    for (std::size_t r = 0; r < batch; ++r) {
+      out[r] = Ops::template dot<float>(a + r * n, b + r * n, n);
+    }
+  }
+  void dot_batch(const double* a, const double* b, double* out,
+                 std::size_t batch, std::size_t n) const override {
+    for (std::size_t r = 0; r < batch; ++r) {
+      out[r] = Ops::template dot<double>(a + r * n, b + r * n, n);
+    }
+  }
+  void axpy_batch(float alpha, const float* x, float* y, std::size_t batch,
+                  std::size_t n) const override {
+    Ops::template axpy<float>(alpha, x, y, batch * n);
+  }
+  void axpy_batch(double alpha, const double* x, double* y, std::size_t batch,
+                  std::size_t n) const override {
+    Ops::template axpy<double>(alpha, x, y, batch * n);
+  }
+  void subtract_batch(const float* a, const float* b, float* out,
+                      std::size_t batch, std::size_t n) const override {
+    Ops::template subtract<float>(a, b, out, batch * n);
+  }
+  void subtract_batch(const double* a, const double* b, double* out,
+                      std::size_t batch, std::size_t n) const override {
+    Ops::template subtract<double>(a, b, out, batch * n);
+  }
+  void copy_batch(const float* x, float* out, std::size_t batch,
+                  std::size_t n) const override {
+    Ops::template copy<float>(x, out, batch * n);
+  }
+  void copy_batch(const double* x, double* out, std::size_t batch,
+                  std::size_t n) const override {
+    Ops::template copy<double>(x, out, batch * n);
+  }
+  void norm1_batch(const float* x, float* out, std::size_t batch,
+                   std::size_t n) const override {
+    for (std::size_t b = 0; b < batch; ++b) {
+      out[b] = Ops::template norm1<float>(x + b * n, n);
+    }
+  }
+  void norm1_batch(const double* x, double* out, std::size_t batch,
+                   std::size_t n) const override {
+    for (std::size_t b = 0; b < batch; ++b) {
+      out[b] = Ops::template norm1<double>(x + b * n, n);
+    }
+  }
+  // The dwt panel kernels prefer an Ops-level lanes-across-rows variant
+  // when the schedule provides one (kNative does); everything else runs
+  // the single-row kernel per panel row, which is the contract's
+  // reference schedule.
+  template <typename T>
+  void dwt_analysis_batch_impl(const T* ext, const T* h0, const T* h1,
+                               T* out_a, T* out_d, std::size_t batch,
+                               std::size_t half_n, std::size_t taps,
+                               std::size_t ext_stride, std::size_t a_stride,
+                               std::size_t d_stride) const {
+    if constexpr (requires {
+                    Ops::template dual_band_analysis_batch<T>(
+                        ext, h0, h1, out_a, out_d, batch, half_n, taps,
+                        ext_stride, a_stride, d_stride);
+                  }) {
+      Ops::template dual_band_analysis_batch<T>(ext, h0, h1, out_a, out_d,
+                                                batch, half_n, taps,
+                                                ext_stride, a_stride,
+                                                d_stride);
+    } else {
+      for (std::size_t b = 0; b < batch; ++b) {
+        Ops::template dual_band_analysis<T>(ext + b * ext_stride, h0, h1,
+                                            out_a + b * a_stride,
+                                            out_d + b * d_stride, half_n,
+                                            taps);
+      }
+    }
+  }
+  template <typename T>
+  void dwt_synthesis_batch_impl(const T* approx, const T* detail,
+                                const T* f0, const T* f1, T* x_ext,
+                                std::size_t batch, std::size_t half_n,
+                                std::size_t taps, std::size_t a_stride,
+                                std::size_t d_stride,
+                                std::size_t ext_stride) const {
+    if constexpr (requires {
+                    Ops::template dual_band_synthesis_batch<T>(
+                        approx, detail, f0, f1, x_ext, batch, half_n, taps,
+                        a_stride, d_stride, ext_stride);
+                  }) {
+      Ops::template dual_band_synthesis_batch<T>(approx, detail, f0, f1,
+                                                 x_ext, batch, half_n, taps,
+                                                 a_stride, d_stride,
+                                                 ext_stride);
+    } else {
+      for (std::size_t b = 0; b < batch; ++b) {
+        Ops::template dual_band_synthesis<T>(
+            approx + b * a_stride, detail + b * d_stride, f0, f1,
+            x_ext + b * ext_stride, half_n, taps);
+      }
+    }
+  }
+  void dwt_analysis_batch(const float* ext, const float* h0, const float* h1,
+                          float* out_a, float* out_d, std::size_t batch,
+                          std::size_t half_n, std::size_t taps,
+                          std::size_t ext_stride, std::size_t a_stride,
+                          std::size_t d_stride) const override {
+    dwt_analysis_batch_impl<float>(ext, h0, h1, out_a, out_d, batch, half_n,
+                                   taps, ext_stride, a_stride, d_stride);
+  }
+  void dwt_analysis_batch(const double* ext, const double* h0,
+                          const double* h1, double* out_a, double* out_d,
+                          std::size_t batch, std::size_t half_n,
+                          std::size_t taps, std::size_t ext_stride,
+                          std::size_t a_stride,
+                          std::size_t d_stride) const override {
+    dwt_analysis_batch_impl<double>(ext, h0, h1, out_a, out_d, batch, half_n,
+                                    taps, ext_stride, a_stride, d_stride);
+  }
+  void dwt_synthesis_batch(const float* approx, const float* detail,
+                           const float* f0, const float* f1, float* x_ext,
+                           std::size_t batch, std::size_t half_n,
+                           std::size_t taps, std::size_t a_stride,
+                           std::size_t d_stride,
+                           std::size_t ext_stride) const override {
+    dwt_synthesis_batch_impl<float>(approx, detail, f0, f1, x_ext, batch,
+                                    half_n, taps, a_stride, d_stride,
+                                    ext_stride);
+  }
+  void dwt_synthesis_batch(const double* approx, const double* detail,
+                           const double* f0, const double* f1, double* x_ext,
+                           std::size_t batch, std::size_t half_n,
+                           std::size_t taps, std::size_t a_stride,
+                           std::size_t d_stride,
+                           std::size_t ext_stride) const override {
+    dwt_synthesis_batch_impl<double>(approx, detail, f0, f1, x_ext, batch,
+                                     half_n, taps, a_stride, d_stride,
+                                     ext_stride);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -933,6 +1170,23 @@ inline OpCounts dual_band_synthesis_cost(std::size_t half_n, std::size_t taps,
                    static_cast<std::uint64_t>(half_n) * taps);
 }
 
+// Panel charges are batch x the per-row formula. OpCounts fields are all
+// additive, so this is byte-identical to charging the row formula batch
+// times — which is exactly what the sequential schedule does. (Pricing
+// the flat sweep, loop_cost(batch*n, ...), would be wrong: the 4-lane
+// tail of each row must be charged per row.)
+inline OpCounts scaled(OpCounts c, std::size_t batch) {
+  const std::uint64_t k = batch;
+  c.scalar_mac *= k;
+  c.scalar_op *= k;
+  c.vector_mac4 *= k;
+  c.vector_op4 *= k;
+  c.leftover_lane *= k;
+  c.loads *= k;
+  c.stores *= k;
+  return c;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -967,6 +1221,110 @@ void Backend::dot_batch(const double* a, const double* b, double* out,
                         std::size_t batch, std::size_t n) const {
   for (std::size_t r = 0; r < batch; ++r) {
     out[r] = dot(a + r * n, b + r * n, n);
+  }
+}
+
+void Backend::axpy_batch(float alpha, const float* x, float* y,
+                         std::size_t batch, std::size_t n) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    axpy(alpha, x + b * n, y + b * n, n);
+  }
+}
+
+void Backend::axpy_batch(double alpha, const double* x, double* y,
+                         std::size_t batch, std::size_t n) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    axpy(alpha, x + b * n, y + b * n, n);
+  }
+}
+
+void Backend::subtract_batch(const float* a, const float* b, float* out,
+                             std::size_t batch, std::size_t n) const {
+  for (std::size_t r = 0; r < batch; ++r) {
+    subtract(a + r * n, b + r * n, out + r * n, n);
+  }
+}
+
+void Backend::subtract_batch(const double* a, const double* b, double* out,
+                             std::size_t batch, std::size_t n) const {
+  for (std::size_t r = 0; r < batch; ++r) {
+    subtract(a + r * n, b + r * n, out + r * n, n);
+  }
+}
+
+void Backend::copy_batch(const float* x, float* out, std::size_t batch,
+                         std::size_t n) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    copy(x + b * n, out + b * n, n);
+  }
+}
+
+void Backend::copy_batch(const double* x, double* out, std::size_t batch,
+                         std::size_t n) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    copy(x + b * n, out + b * n, n);
+  }
+}
+
+void Backend::norm1_batch(const float* x, float* out, std::size_t batch,
+                          std::size_t n) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    out[b] = norm1(x + b * n, n);
+  }
+}
+
+void Backend::norm1_batch(const double* x, double* out, std::size_t batch,
+                          std::size_t n) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    out[b] = norm1(x + b * n, n);
+  }
+}
+
+void Backend::dwt_analysis_batch(const float* ext, const float* h0,
+                                 const float* h1, float* out_a, float* out_d,
+                                 std::size_t batch, std::size_t half_n,
+                                 std::size_t taps, std::size_t ext_stride,
+                                 std::size_t a_stride,
+                                 std::size_t d_stride) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    dual_band_analysis(ext + b * ext_stride, h0, h1, out_a + b * a_stride,
+                       out_d + b * d_stride, half_n, taps);
+  }
+}
+
+void Backend::dwt_analysis_batch(const double* ext, const double* h0,
+                                 const double* h1, double* out_a,
+                                 double* out_d, std::size_t batch,
+                                 std::size_t half_n, std::size_t taps,
+                                 std::size_t ext_stride, std::size_t a_stride,
+                                 std::size_t d_stride) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    dual_band_analysis(ext + b * ext_stride, h0, h1, out_a + b * a_stride,
+                       out_d + b * d_stride, half_n, taps);
+  }
+}
+
+void Backend::dwt_synthesis_batch(const float* approx, const float* detail,
+                                  const float* f0, const float* f1,
+                                  float* x_ext, std::size_t batch,
+                                  std::size_t half_n, std::size_t taps,
+                                  std::size_t a_stride, std::size_t d_stride,
+                                  std::size_t ext_stride) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    dual_band_synthesis(approx + b * a_stride, detail + b * d_stride, f0, f1,
+                        x_ext + b * ext_stride, half_n, taps);
+  }
+}
+
+void Backend::dwt_synthesis_batch(const double* approx, const double* detail,
+                                  const double* f0, const double* f1,
+                                  double* x_ext, std::size_t batch,
+                                  std::size_t half_n, std::size_t taps,
+                                  std::size_t a_stride, std::size_t d_stride,
+                                  std::size_t ext_stride) const {
+  for (std::size_t b = 0; b < batch; ++b) {
+    dual_band_synthesis(approx + b * a_stride, detail + b * d_stride, f0, f1,
+                        x_ext + b * ext_stride, half_n, taps);
   }
 }
 
@@ -1186,6 +1544,129 @@ void CountingBackend::dual_band_synthesis(const double* approx,
                                           std::size_t taps) const {
   inner_.dual_band_synthesis(approx, detail, f0, f1, x_ext, half_n, taps);
   linalg::charge(dual_band_synthesis_cost(half_n, taps, schedule_));
+}
+
+// Panel kernels: run the wrapped schedule's panel implementation, then
+// charge batch x the per-row formula (see scaled()) — byte-identical to
+// the sequential row-by-row schedule.
+
+void CountingBackend::soft_threshold_batch(const float* u,
+                                           const float* thresholds, float* y,
+                                           std::size_t batch,
+                                           std::size_t n) const {
+  inner_.soft_threshold_batch(u, thresholds, y, batch, n);
+  linalg::charge(scaled(soft_threshold_cost(n, schedule_), batch));
+}
+
+void CountingBackend::soft_threshold_batch(const double* u,
+                                           const double* thresholds, double* y,
+                                           std::size_t batch,
+                                           std::size_t n) const {
+  inner_.soft_threshold_batch(u, thresholds, y, batch, n);
+  linalg::charge(scaled(soft_threshold_cost(n, schedule_), batch));
+}
+
+void CountingBackend::dot_batch(const float* a, const float* b, float* out,
+                                std::size_t batch, std::size_t n) const {
+  inner_.dot_batch(a, b, out, batch, n);
+  linalg::charge(scaled(dot_cost(n, schedule_), batch));
+}
+
+void CountingBackend::dot_batch(const double* a, const double* b, double* out,
+                                std::size_t batch, std::size_t n) const {
+  inner_.dot_batch(a, b, out, batch, n);
+  linalg::charge(scaled(dot_cost(n, schedule_), batch));
+}
+
+void CountingBackend::axpy_batch(float alpha, const float* x, float* y,
+                                 std::size_t batch, std::size_t n) const {
+  inner_.axpy_batch(alpha, x, y, batch, n);
+  linalg::charge(scaled(axpy_cost(n, schedule_), batch));
+}
+
+void CountingBackend::axpy_batch(double alpha, const double* x, double* y,
+                                 std::size_t batch, std::size_t n) const {
+  inner_.axpy_batch(alpha, x, y, batch, n);
+  linalg::charge(scaled(axpy_cost(n, schedule_), batch));
+}
+
+void CountingBackend::subtract_batch(const float* a, const float* b,
+                                     float* out, std::size_t batch,
+                                     std::size_t n) const {
+  inner_.subtract_batch(a, b, out, batch, n);
+  linalg::charge(scaled(subtract_cost(n, schedule_), batch));
+}
+
+void CountingBackend::subtract_batch(const double* a, const double* b,
+                                     double* out, std::size_t batch,
+                                     std::size_t n) const {
+  inner_.subtract_batch(a, b, out, batch, n);
+  linalg::charge(scaled(subtract_cost(n, schedule_), batch));
+}
+
+void CountingBackend::copy_batch(const float* x, float* out,
+                                 std::size_t batch, std::size_t n) const {
+  inner_.copy_batch(x, out, batch, n);
+  linalg::charge(scaled(copy_cost(n, schedule_), batch));
+}
+
+void CountingBackend::copy_batch(const double* x, double* out,
+                                 std::size_t batch, std::size_t n) const {
+  inner_.copy_batch(x, out, batch, n);
+  linalg::charge(scaled(copy_cost(n, schedule_), batch));
+}
+
+void CountingBackend::norm1_batch(const float* x, float* out,
+                                  std::size_t batch, std::size_t n) const {
+  inner_.norm1_batch(x, out, batch, n);
+  linalg::charge(scaled(norm1_cost(n, schedule_), batch));
+}
+
+void CountingBackend::norm1_batch(const double* x, double* out,
+                                  std::size_t batch, std::size_t n) const {
+  inner_.norm1_batch(x, out, batch, n);
+  linalg::charge(scaled(norm1_cost(n, schedule_), batch));
+}
+
+void CountingBackend::dwt_analysis_batch(
+    const float* ext, const float* h0, const float* h1, float* out_a,
+    float* out_d, std::size_t batch, std::size_t half_n, std::size_t taps,
+    std::size_t ext_stride, std::size_t a_stride, std::size_t d_stride) const {
+  inner_.dwt_analysis_batch(ext, h0, h1, out_a, out_d, batch, half_n, taps,
+                            ext_stride, a_stride, d_stride);
+  linalg::charge(scaled(dual_band_analysis_cost(half_n, taps, schedule_),
+                        batch));
+}
+
+void CountingBackend::dwt_analysis_batch(
+    const double* ext, const double* h0, const double* h1, double* out_a,
+    double* out_d, std::size_t batch, std::size_t half_n, std::size_t taps,
+    std::size_t ext_stride, std::size_t a_stride, std::size_t d_stride) const {
+  inner_.dwt_analysis_batch(ext, h0, h1, out_a, out_d, batch, half_n, taps,
+                            ext_stride, a_stride, d_stride);
+  linalg::charge(scaled(dual_band_analysis_cost(half_n, taps, schedule_),
+                        batch));
+}
+
+void CountingBackend::dwt_synthesis_batch(
+    const float* approx, const float* detail, const float* f0, const float* f1,
+    float* x_ext, std::size_t batch, std::size_t half_n, std::size_t taps,
+    std::size_t a_stride, std::size_t d_stride, std::size_t ext_stride) const {
+  inner_.dwt_synthesis_batch(approx, detail, f0, f1, x_ext, batch, half_n,
+                             taps, a_stride, d_stride, ext_stride);
+  linalg::charge(scaled(dual_band_synthesis_cost(half_n, taps, schedule_),
+                        batch));
+}
+
+void CountingBackend::dwt_synthesis_batch(
+    const double* approx, const double* detail, const double* f0,
+    const double* f1, double* x_ext, std::size_t batch, std::size_t half_n,
+    std::size_t taps, std::size_t a_stride, std::size_t d_stride,
+    std::size_t ext_stride) const {
+  inner_.dwt_synthesis_batch(approx, detail, f0, f1, x_ext, batch, half_n,
+                             taps, a_stride, d_stride, ext_stride);
+  linalg::charge(scaled(dual_band_synthesis_cost(half_n, taps, schedule_),
+                        batch));
 }
 
 const CountingBackend& counting_scalar_backend() {

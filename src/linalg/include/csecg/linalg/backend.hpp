@@ -150,10 +150,28 @@ class Backend {
     return dot(r, r, n);
   }
 
+  // -- panel (multi-vector) kernels ---------------------------------------
+  // The GEMM-flavoured vocabulary batched FISTA iterates on: each call
+  // processes `batch` packed rows of n elements in one sweep. Contracts:
+  //
+  //   * Elementwise panels (axpy/subtract/copy/soft_threshold) may use any
+  //     traversal — flat, blocked, per-row — because per-element arithmetic
+  //     is independent; every implementation is bitwise-identical to the
+  //     row-by-row loop over the single-vector kernel.
+  //   * Reduction panels (dot_batch/norm1_batch) MUST accumulate each row
+  //     in the same order as the single-vector kernel so per-row results
+  //     stay bitwise-identical; only the row loop itself is batched.
+  //   * CountingBackend charges every panel kernel exactly batch x the
+  //     per-row cost formula — byte-identical to the sequential schedule
+  //     (a flat cost over batch*n would mis-count the per-row 4-lane
+  //     tails).
+  //
+  // Defaults walk rows through the single-vector virtuals; the Ops-backed
+  // implementations override with flat sweeps (elementwise) or
+  // devirtualised row loops (reductions, filter banks).
+
   /// Batched soft threshold over `batch` packed rows of n elements with a
-  /// per-row threshold. The default walks rows through soft_threshold();
-  /// wide backends override with a single flat sweep. Elementwise, so any
-  /// implementation is bitwise-identical to the row-by-row loop.
+  /// per-row threshold.
   virtual void soft_threshold_batch(const float* u, const float* thresholds,
                                     float* y, std::size_t batch,
                                     std::size_t n) const;
@@ -165,6 +183,58 @@ class Backend {
                          std::size_t batch, std::size_t n) const;
   virtual void dot_batch(const double* a, const double* b, double* out,
                          std::size_t batch, std::size_t n) const;
+  /// y_row_b[i] += alpha * x_row_b[i] with one shared alpha (the batched
+  /// gradient step: every row shares -2*step).
+  virtual void axpy_batch(float alpha, const float* x, float* y,
+                          std::size_t batch, std::size_t n) const;
+  virtual void axpy_batch(double alpha, const double* x, double* y,
+                          std::size_t batch, std::size_t n) const;
+  /// out_row_b[i] = a_row_b[i] - b_row_b[i].
+  virtual void subtract_batch(const float* a, const float* b, float* out,
+                              std::size_t batch, std::size_t n) const;
+  virtual void subtract_batch(const double* a, const double* b, double* out,
+                              std::size_t batch, std::size_t n) const;
+  /// out_row_b[i] = x_row_b[i].
+  virtual void copy_batch(const float* x, float* out, std::size_t batch,
+                          std::size_t n) const;
+  virtual void copy_batch(const double* x, double* out, std::size_t batch,
+                          std::size_t n) const;
+  /// Per-row l1 norms: out[b] = sum_i |x_row_b[i]|.
+  virtual void norm1_batch(const float* x, float* out, std::size_t batch,
+                           std::size_t n) const;
+  virtual void norm1_batch(const double* x, double* out, std::size_t batch,
+                           std::size_t n) const;
+  /// Panel form of dual_band_analysis: one decimating analysis step per
+  /// row, rows strided independently on each side so the wavelet layout
+  /// (detail written into the coefficient vector at the window stride)
+  /// needs no repacking. Row b reads ext + b*ext_stride and writes
+  /// out_a + b*a_stride / out_d + b*d_stride.
+  virtual void dwt_analysis_batch(const float* ext, const float* h0,
+                                  const float* h1, float* out_a, float* out_d,
+                                  std::size_t batch, std::size_t half_n,
+                                  std::size_t taps, std::size_t ext_stride,
+                                  std::size_t a_stride,
+                                  std::size_t d_stride) const;
+  virtual void dwt_analysis_batch(const double* ext, const double* h0,
+                                  const double* h1, double* out_a,
+                                  double* out_d, std::size_t batch,
+                                  std::size_t half_n, std::size_t taps,
+                                  std::size_t ext_stride, std::size_t a_stride,
+                                  std::size_t d_stride) const;
+  /// Panel form of dual_band_synthesis; x_ext rows must be
+  /// zero-initialised, same per-side strides as the analysis panel.
+  virtual void dwt_synthesis_batch(const float* approx, const float* detail,
+                                   const float* f0, const float* f1,
+                                   float* x_ext, std::size_t batch,
+                                   std::size_t half_n, std::size_t taps,
+                                   std::size_t a_stride, std::size_t d_stride,
+                                   std::size_t ext_stride) const;
+  virtual void dwt_synthesis_batch(const double* approx, const double* detail,
+                                   const double* f0, const double* f1,
+                                   double* x_ext, std::size_t batch,
+                                   std::size_t half_n, std::size_t taps,
+                                   std::size_t a_stride, std::size_t d_stride,
+                                   std::size_t ext_stride) const;
 
   // -- accounting hooks ----------------------------------------------------
   /// True only for CountingBackend. Lets callers that charge composite
@@ -270,6 +340,58 @@ class CountingBackend final : public Backend {
   void dual_band_synthesis(const double* approx, const double* detail,
                            const double* f0, const double* f1, double* x_ext,
                            std::size_t half_n, std::size_t taps) const override;
+
+  // Panel kernels forward to the wrapped schedule's panel implementation
+  // and charge batch x the per-row cost — byte-identical to running the
+  // sequential schedule row by row.
+  void soft_threshold_batch(const float* u, const float* thresholds, float* y,
+                            std::size_t batch, std::size_t n) const override;
+  void soft_threshold_batch(const double* u, const double* thresholds,
+                            double* y, std::size_t batch,
+                            std::size_t n) const override;
+  void dot_batch(const float* a, const float* b, float* out, std::size_t batch,
+                 std::size_t n) const override;
+  void dot_batch(const double* a, const double* b, double* out,
+                 std::size_t batch, std::size_t n) const override;
+  void axpy_batch(float alpha, const float* x, float* y, std::size_t batch,
+                  std::size_t n) const override;
+  void axpy_batch(double alpha, const double* x, double* y, std::size_t batch,
+                  std::size_t n) const override;
+  void subtract_batch(const float* a, const float* b, float* out,
+                      std::size_t batch, std::size_t n) const override;
+  void subtract_batch(const double* a, const double* b, double* out,
+                      std::size_t batch, std::size_t n) const override;
+  void copy_batch(const float* x, float* out, std::size_t batch,
+                  std::size_t n) const override;
+  void copy_batch(const double* x, double* out, std::size_t batch,
+                  std::size_t n) const override;
+  void norm1_batch(const float* x, float* out, std::size_t batch,
+                   std::size_t n) const override;
+  void norm1_batch(const double* x, double* out, std::size_t batch,
+                   std::size_t n) const override;
+  void dwt_analysis_batch(const float* ext, const float* h0, const float* h1,
+                          float* out_a, float* out_d, std::size_t batch,
+                          std::size_t half_n, std::size_t taps,
+                          std::size_t ext_stride, std::size_t a_stride,
+                          std::size_t d_stride) const override;
+  void dwt_analysis_batch(const double* ext, const double* h0,
+                          const double* h1, double* out_a, double* out_d,
+                          std::size_t batch, std::size_t half_n,
+                          std::size_t taps, std::size_t ext_stride,
+                          std::size_t a_stride,
+                          std::size_t d_stride) const override;
+  void dwt_synthesis_batch(const float* approx, const float* detail,
+                           const float* f0, const float* f1, float* x_ext,
+                           std::size_t batch, std::size_t half_n,
+                           std::size_t taps, std::size_t a_stride,
+                           std::size_t d_stride,
+                           std::size_t ext_stride) const override;
+  void dwt_synthesis_batch(const double* approx, const double* detail,
+                           const double* f0, const double* f1, double* x_ext,
+                           std::size_t batch, std::size_t half_n,
+                           std::size_t taps, std::size_t a_stride,
+                           std::size_t d_stride,
+                           std::size_t ext_stride) const override;
 
  private:
   const Backend& inner_;

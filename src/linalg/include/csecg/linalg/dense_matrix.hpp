@@ -77,6 +77,47 @@ class DenseMatrix {
     }
   }
 
+  /// Panel product y_row_b = A x_row_b: each matrix row is streamed once
+  /// per panel and dotted against every panel row while it is hot. Per-row
+  /// accumulation order matches apply(), so results are bitwise-equal to
+  /// the sequential loop.
+  void apply_batch(std::span<const T> x, std::span<T> y,
+                   std::size_t batch) const {
+    CSECG_CHECK(x.size() == batch * cols_ && y.size() == batch * rows_,
+                "apply_batch: size mismatch");
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const T* row_ptr = data_.data() + r * cols_;
+      for (std::size_t b = 0; b < batch; ++b) {
+        const T* xb = x.data() + b * cols_;
+        T acc{};
+        for (std::size_t c = 0; c < cols_; ++c) {
+          acc += row_ptr[c] * xb[c];
+        }
+        y[b * rows_ + r] = acc;
+      }
+    }
+  }
+
+  /// Panel transpose product, same single-traversal/bitwise contract.
+  void apply_transpose_batch(std::span<const T> x, std::span<T> y,
+                             std::size_t batch) const {
+    CSECG_CHECK(x.size() == batch * rows_ && y.size() == batch * cols_,
+                "apply_transpose_batch: size mismatch");
+    for (auto& v : y) {
+      v = T{};
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const T* row_ptr = data_.data() + r * cols_;
+      for (std::size_t b = 0; b < batch; ++b) {
+        const T xr = x[b * rows_ + r];
+        T* yb = y.data() + b * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) {
+          yb[c] += row_ptr[c] * xr;
+        }
+      }
+    }
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

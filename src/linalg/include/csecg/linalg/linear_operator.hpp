@@ -35,6 +35,33 @@ class LinearOperator {
 
   /// y = A^T x. x.size() == rows(), y.size() == cols().
   virtual void apply_adjoint(std::span<const T> x, std::span<T> y) const = 0;
+
+  /// Panel application: y_row_b = A x_row_b for `batch` packed rows
+  /// (x_flat is batch*cols(), y_flat is batch*rows()). The default walks
+  /// rows through apply(); operators whose traversal dominates (the sparse
+  /// projection, the wavelet filter bank) override to sweep the operator
+  /// once per panel. Per-row arithmetic order is preserved, so every
+  /// implementation is bitwise-identical to the sequential loop.
+  virtual void apply_batch(std::span<const T> x_flat, std::span<T> y_flat,
+                           std::size_t batch) const {
+    const std::size_t n = cols();
+    const std::size_t m = rows();
+    for (std::size_t b = 0; b < batch; ++b) {
+      apply(x_flat.subspan(b * n, n), y_flat.subspan(b * m, m));
+    }
+  }
+
+  /// Panel adjoint: y_row_b = A^T x_row_b (x_flat is batch*rows(), y_flat
+  /// is batch*cols()). Same contract as apply_batch.
+  virtual void apply_adjoint_batch(std::span<const T> x_flat,
+                                   std::span<T> y_flat,
+                                   std::size_t batch) const {
+    const std::size_t n = cols();
+    const std::size_t m = rows();
+    for (std::size_t b = 0; b < batch; ++b) {
+      apply_adjoint(x_flat.subspan(b * m, m), y_flat.subspan(b * n, n));
+    }
+  }
 };
 
 /// Estimates the largest eigenvalue of A^T A (the Lipschitz constant of the

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "csecg/util/error.hpp"
@@ -84,6 +85,92 @@ class SparseBinaryMatrix {
     }
   }
 
+  /// Panel projection: y_row_b = Phi x_row_b for `batch` packed rows.
+  /// Full lane groups run on an interleaved scratch panel — the scatter
+  /// target for row index r holds the group's kLanes rows contiguously,
+  /// so every "y[r] += x[c]" of the scalar loop becomes one kLanes-wide
+  /// add and the index table (the expensive stream: cols*d random row
+  /// positions) is read once per group instead of once per row. Each lane
+  /// replays exactly the scalar per-row schedule (columns ascending, the
+  /// d adds in table order, one final scale), so results are bitwise
+  /// equal to the row-by-row loop; a partial tail group falls back to
+  /// apply().
+  template <typename T>
+  void apply_batch(std::span<const T> x, std::span<T> y,
+                   std::size_t batch) const {
+    CSECG_CHECK(x.size() == batch * cols_ && y.size() == batch * rows_,
+                "apply_batch: size mismatch");
+    const T scale = static_cast<T>(value_);
+    std::vector<T>& lanes = lane_scratch<T>();
+    std::size_t b0 = 0;
+    for (; b0 + kLanes <= batch; b0 += kLanes) {
+      lanes.assign(rows_ * kLanes, T{});
+      for (std::size_t c = 0; c < cols_; ++c) {
+        const std::uint16_t* rows_ptr = row_index_.data() + c * d_;
+        T xc[kLanes];
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          xc[l] = x[(b0 + l) * cols_ + c];
+        }
+        for (std::size_t k = 0; k < d_; ++k) {
+          T* yr = lanes.data() + rows_ptr[k] * kLanes;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            yr[l] += xc[l];
+          }
+        }
+      }
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        T* yl = y.data() + (b0 + l) * rows_;
+        for (std::size_t r = 0; r < rows_; ++r) {
+          yl[r] = lanes[r * kLanes + l] * scale;
+        }
+      }
+    }
+    for (; b0 < batch; ++b0) {
+      apply(x.subspan(b0 * cols_, cols_), y.subspan(b0 * rows_, rows_));
+    }
+  }
+
+  /// Panel back-projection: y_row_b = Phi^T x_row_b, same single-traversal
+  /// and bitwise contracts as apply_batch: full lane groups interleave x
+  /// so each gather of d measurement values loads kLanes rows at once and
+  /// every accumulation is a kLanes-wide add, with per-lane summation
+  /// order identical to apply_transpose().
+  template <typename T>
+  void apply_transpose_batch(std::span<const T> x, std::span<T> y,
+                             std::size_t batch) const {
+    CSECG_CHECK(x.size() == batch * rows_ && y.size() == batch * cols_,
+                "apply_transpose_batch: size mismatch");
+    const T scale = static_cast<T>(value_);
+    std::vector<T>& lanes = lane_scratch<T>();
+    std::size_t b0 = 0;
+    for (; b0 + kLanes <= batch; b0 += kLanes) {
+      lanes.resize(rows_ * kLanes);
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const T* xl = x.data() + (b0 + l) * rows_;
+        for (std::size_t r = 0; r < rows_; ++r) {
+          lanes[r * kLanes + l] = xl[r];
+        }
+      }
+      for (std::size_t c = 0; c < cols_; ++c) {
+        const std::uint16_t* rows_ptr = row_index_.data() + c * d_;
+        T acc[kLanes] = {};
+        for (std::size_t k = 0; k < d_; ++k) {
+          const T* xr = lanes.data() + rows_ptr[k] * kLanes;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            acc[l] += xr[l];
+          }
+        }
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          y[(b0 + l) * cols_ + c] = acc[l] * scale;
+        }
+      }
+    }
+    for (; b0 < batch; ++b0) {
+      apply_transpose(x.subspan(b0 * rows_, rows_),
+                      y.subspan(b0 * cols_, cols_));
+    }
+  }
+
   /// Integer accumulation path used by the 16-bit mote encoder: y must have
   /// rows() entries; each y[r] accumulates the *unscaled* sum of the x
   /// samples hitting row r. The 1/sqrt(d) scale is deferred to the decoder
@@ -102,11 +189,32 @@ class SparseBinaryMatrix {
   double average_column_overlap() const;
 
  private:
+  /// Panel lane width: one lane per batch row, sized so a group's
+  /// interleaved accumulators match the 4-wide vector units the native
+  /// backend targets (and auto-vectorise as fixed-count contiguous loops
+  /// everywhere else).
+  static constexpr std::size_t kLanes = 4;
+
+  template <typename T>
+  std::vector<T>& lane_scratch() const {
+    if constexpr (std::is_same_v<T, float>) {
+      return lane_scratch_f_;
+    } else {
+      return lane_scratch_d_;
+    }
+  }
+
   std::size_t rows_;
   std::size_t cols_;
   std::size_t d_;
   double value_;
   std::vector<std::uint16_t> row_index_;  // cols_ * d_, sorted per column
+  // Interleaved rows_ x kLanes panel scratch for the batch applies; reused
+  // across calls so the steady-state decode stays allocation-free. Like
+  // CsOperator's panel scratch this makes concurrent batch applies on one
+  // matrix instance racy — every decoder owns its matrices.
+  mutable std::vector<float> lane_scratch_f_;
+  mutable std::vector<double> lane_scratch_d_;
 };
 
 }  // namespace csecg::linalg

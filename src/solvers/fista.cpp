@@ -1,5 +1,6 @@
 #include "csecg/solvers/fista.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "csecg/obs/obs.hpp"
@@ -367,6 +368,7 @@ std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
   std::vector<T>& candidate = ws.batch_candidate;
   std::vector<T>& a_next = ws.batch_a_next;
   std::vector<T>& a_k = ws.batch_solution;
+  std::vector<T>& ys = ws.batch_ys;
   // Step 0 per row: y_1 = a_0 — zero when cold, the row's prior when warm
   // (uncharged setup, exactly like the sequential seeding).
   if (warm) {
@@ -385,11 +387,19 @@ std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
   gradient.resize(batch * n);
   candidate.resize(batch * n);
   a_next.resize(batch * n);
-  ws.batch_frozen.assign(batch, 0);
+  // Measurement rows move into compactable slot storage (uncharged setup):
+  // the panel subtract needs the active rows contiguous, and y_flat may
+  // alias caller scratch that must not be reordered.
+  ys.assign(y_flat.begin(), y_flat.end());
   ws.batch_tk.assign(batch, 1.0);
   ws.batch_support_stable.assign(batch, 0);
+  ws.batch_perm.resize(batch);
+  ws.batch_change_sq.resize(batch);
+  ws.batch_norm_sq.resize(batch);
+  ws.batch_rownorms.resize(batch);
 
   for (std::size_t b = 0; b < batch; ++b) {
+    ws.batch_perm[b] = b;
     ShrinkageResult<T>& r = ws.batch_results[b];
     r.iterations = 0;
     r.converged = false;
@@ -398,39 +408,40 @@ std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
     r.objective_trace.clear();
   }
 
-  // Each row runs the exact sequential iteration over its own slice —
-  // per-row momentum scalars make adaptive restart possible (a restart
-  // resets one row's t_k without perturbing its neighbours' bitwise
-  // trajectories), and a converged row drops out of the sweep entirely,
-  // so frozen rows stop being charged: the batch prices as the sum of
-  // the sequential solves, not the nominal lock-step rectangle.
-  std::size_t frozen_count = 0;
+  // Panel iteration: every stage of the FISTA step runs as one panel
+  // kernel over the `active` rows, so the operator (Phi's index table,
+  // Psi's filter levels) and the elementwise sweeps are traversed once
+  // per iteration instead of once per row. Per-row state (momentum t_k,
+  // restart, support counters) lives in the per-slot bookkeeping pass —
+  // a restart resets one row's momentum without perturbing its
+  // neighbours' bitwise trajectories. A converged row is compacted out
+  // by swapping the last active row into its slot, so the panels shrink
+  // and frozen rows stop being charged: the batch prices byte-identical
+  // to the sum of the sequential solves, not the lock-step rectangle.
+  std::size_t active = batch;
 
-  for (std::size_t k = 1;
-       k <= options.max_iterations && frozen_count < batch; ++k) {
-    for (std::size_t b = 0; b < batch; ++b) {
-      if (ws.batch_frozen[b]) {
-        continue;
-      }
-      T* yk_row = yk.data() + b * n;
-      T* res_row = residual.data() + b * m;
-      T* grad_row = gradient.data() + b * n;
-      T* cand_row = candidate.data() + b * n;
-      T* next_row = a_next.data() + b * n;
-      const T* cur_row = a_k.data() + b * n;
-      const T* y_row = y_flat.data() + b * m;
+  for (std::size_t k = 1; k <= options.max_iterations && active > 0; ++k) {
+    // grad f(y_k) = 2 A^T (A y_k - y), candidate = y_k - (2/L) grad_half,
+    // a_next = shrink(candidate) — all as panels over the active rows.
+    A.apply_batch(std::span<const T>(yk.data(), active * n),
+                  std::span<T>(residual.data(), active * m), active);
+    be.subtract_batch(residual.data(), ys.data(), residual.data(), active, m);
+    A.apply_adjoint_batch(std::span<const T>(residual.data(), active * m),
+                          std::span<T>(gradient.data(), active * n), active);
+    be.copy_batch(yk.data(), candidate.data(), active, n);
+    be.axpy_batch(static_cast<T>(-2.0) * step, gradient.data(),
+                  candidate.data(), active, n);
+    be.soft_threshold_batch(candidate.data(), ws.batch_thresholds.data(),
+                            a_next.data(), active, n);
 
-      // grad f(y_k) = 2 A^T (A y_k - y).
-      A.apply(std::span<const T>(yk_row, n), std::span<T>(res_row, m));
-      be.subtract(res_row, y_row, res_row, m);
-      A.apply_adjoint(std::span<const T>(res_row, m),
-                      std::span<T>(grad_row, n));
+    // Per-slot bookkeeping: iterate change, support stability, restart
+    // and the momentum update. The hand loops and their charges are the
+    // sequential solver's, applied per active row.
+    for (std::size_t s = 0; s < active; ++s) {
+      T* yk_row = yk.data() + s * n;
+      T* next_row = a_next.data() + s * n;
+      const T* cur_row = a_k.data() + s * n;
 
-      be.copy(yk_row, cand_row, n);
-      be.axpy(static_cast<T>(-2.0) * step, grad_row, cand_row, n);
-      be.soft_threshold(cand_row, ws.batch_thresholds[b], next_row, n);
-
-      // Iterate-change bookkeeping, identical to the sequential loop.
       double change_sq = 0.0;
       double norm_sq = 0.0;
       bool support_changed = false;
@@ -444,14 +455,16 @@ std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
           support_changed = true;
         }
       }
+      ws.batch_change_sq[s] = change_sq;
+      ws.batch_norm_sq[s] = norm_sq;
       if (support_aware) {
-        ws.batch_support_stable[b] =
-            support_changed ? 0 : ws.batch_support_stable[b] + 1;
+        ws.batch_support_stable[s] =
+            support_changed ? 0 : ws.batch_support_stable[s] + 1;
       }
 
       // Momentum with this row's own t_k (same arithmetic as the
       // sequential hand loop, so rows stay bitwise identical).
-      double t_b = ws.batch_tk[b];
+      double t_b = ws.batch_tk[s];
       if (options.adaptive_restart) {
         double alignment = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
@@ -469,63 +482,91 @@ std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
       for (std::size_t i = 0; i < n; ++i) {
         yk_row[i] = next_row[i] + beta * (next_row[i] - cur_row[i]);
       }
-      ws.batch_tk[b] = t_next;
-      if (be.counting()) {
-        // Momentum update: sub + MAC per element, 2n loads, n stores.
-        linalg::OpCounts c;
-        const std::uint64_t elems = 2ull * n;
-        if (schedule == linalg::KernelMode::kScalar) {
-          c.scalar_op = elems;
-        } else {
-          c.vector_op4 = elems / 4;
-        }
-        c.loads = 2ull * n;
-        c.stores = n;
+      ws.batch_tk[s] = t_next;
+    }
+    if (be.counting()) {
+      // Momentum update (sub + MAC per element, 2n loads, n stores) and
+      // the iterate-change loop (sub + two MACs per element, 2n loads),
+      // charged per active row exactly as the sequential solver does.
+      linalg::OpCounts c;
+      const std::uint64_t elems = 2ull * n;
+      if (schedule == linalg::KernelMode::kScalar) {
+        c.scalar_op = elems;
+      } else {
+        c.vector_op4 = elems / 4;
+      }
+      c.loads = 2ull * n;
+      c.stores = n;
+      linalg::OpCounts c2;
+      const std::uint64_t elems2 = 3ull * n;
+      if (schedule == linalg::KernelMode::kScalar) {
+        c2.scalar_op = elems2;
+      } else {
+        c2.vector_op4 = elems2 / 4;
+      }
+      c2.loads = 2ull * n;
+      for (std::size_t s = 0; s < active; ++s) {
         be.charge(c);
-        // Iterate-change loop (sub + two MACs per element).
-        linalg::OpCounts c2;
-        const std::uint64_t elems2 = 3ull * n;
-        if (schedule == linalg::KernelMode::kScalar) {
-          c2.scalar_op = elems2;
-        } else {
-          c2.vector_op4 = elems2 / 4;
-        }
-        c2.loads = 2ull * n;
         be.charge(c2);
       }
+    }
 
-      if (k == options.max_iterations) {
-        // The sequential solver evaluates the residual at the final
-        // iterate (its need_objective branch); mirror it so the charge
-        // profile stays the sum of sequential solves.
-        A.apply(std::span<const T>(next_row, n), std::span<T>(res_row, m));
-        be.subtract(res_row, y_row, res_row, m);
-        (void)be.norm2_squared(res_row, m);
-      }
+    if (k == options.max_iterations) {
+      // The sequential solver evaluates the residual at the final iterate
+      // (its need_objective branch); mirror it as a panel so the charge
+      // profile stays the sum of sequential solves.
+      A.apply_batch(std::span<const T>(a_next.data(), active * n),
+                    std::span<T>(residual.data(), active * m), active);
+      be.subtract_batch(residual.data(), ys.data(), residual.data(), active,
+                        m);
+      be.dot_batch(residual.data(), residual.data(), ws.batch_rownorms.data(),
+                   active, m);
+    }
 
+    // Convergence, result snapshots and frozen-row compaction. Descending
+    // slot order keeps swap-with-last sound: the row swapped in from the
+    // end has already been processed this iteration.
+    for (std::size_t s = active; s-- > 0;) {
       const double effective_tolerance =
           support_aware &&
-                  ws.batch_support_stable[b] >= options.support_stable_iters
+                  ws.batch_support_stable[s] >= options.support_stable_iters
               ? std::max(options.tolerance, options.support_tolerance)
               : options.tolerance;
-      if (norm_sq > 0.0 &&
-          std::sqrt(change_sq / norm_sq) < effective_tolerance) {
+      const bool converged =
+          ws.batch_norm_sq[s] > 0.0 &&
+          std::sqrt(ws.batch_change_sq[s] / ws.batch_norm_sq[s]) <
+              effective_tolerance;
+      const T* next_row = a_next.data() + s * n;
+      if (converged) {
         // This problem is done: snapshot the new iterate now — the
-        // sequential solver's stopping state, bit for bit — and drop the
-        // row from every later sweep.
-        ShrinkageResult<T>& r = ws.batch_results[b];
+        // sequential solver's stopping state, bit for bit — and compact
+        // the slot away so later panels no longer touch (or charge) it.
+        ShrinkageResult<T>& r = ws.batch_results[ws.batch_perm[s]];
         r.solution.assign(next_row, next_row + n);
         r.iterations = k;
         r.converged = true;
-        ws.batch_frozen[b] = 1;
-        ++frozen_count;
+        --active;
+        if (s != active) {
+          const T* last_yk = yk.data() + active * n;
+          const T* last_next = a_next.data() + active * n;
+          const T* last_y = ys.data() + active * m;
+          std::copy(last_yk, last_yk + n, yk.data() + s * n);
+          std::copy(last_next, last_next + n, a_next.data() + s * n);
+          std::copy(last_y, last_y + m, ys.data() + s * m);
+          ws.batch_thresholds[s] = ws.batch_thresholds[active];
+          ws.batch_tk[s] = ws.batch_tk[active];
+          ws.batch_support_stable[s] = ws.batch_support_stable[active];
+          ws.batch_perm[s] = ws.batch_perm[active];
+        }
       } else if (k == options.max_iterations) {
-        ShrinkageResult<T>& r = ws.batch_results[b];
+        ShrinkageResult<T>& r = ws.batch_results[ws.batch_perm[s]];
         r.solution.assign(next_row, next_row + n);
         r.iterations = k;
         r.converged = false;
       }
     }
+    // The old a_k rows are dead (fully overwritten by the next panel
+    // shrink before any read), so only a_next needed compaction.
     std::swap(a_k, a_next);
   }
 

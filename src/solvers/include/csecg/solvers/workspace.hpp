@@ -42,32 +42,40 @@ class SolverWorkspace {
     std::vector<T> aux_m;      ///< measurement-sized helper (m)
     std::vector<T> aux_n;      ///< coefficient-sized helper (n)
 
-    /// Lock-step batch-solve scratch (fista_batch): the same roles as the
+    /// Panel batch-solve scratch (fista_batch): the same roles as the
     /// vectors above with B problems packed back to back (B*m or B*n
-    /// elements), so one kernel invocation sweeps the whole batch.
+    /// elements), so one panel kernel invocation sweeps the whole batch.
+    /// Rows live at *slot* positions — converged problems are compacted
+    /// out by swapping the last active row in, so the panels shrink as
+    /// rows freeze (batch_perm maps slot -> problem index).
     std::vector<T> batch_yk;
     std::vector<T> batch_residual;
     std::vector<T> batch_gradient;
     std::vector<T> batch_candidate;
     std::vector<T> batch_a_next;
     std::vector<T> batch_solution;
-    std::vector<T> batch_thresholds;      ///< per-problem threshold (B)
-    std::vector<std::uint8_t> batch_frozen;  ///< per-problem converged flag
-    /// Per-problem momentum scalars t_k (B). Shared across the batch when
+    std::vector<T> batch_thresholds;      ///< per-slot threshold (B)
+    std::vector<T> batch_ys;              ///< compactable measurement rows (B*m)
+    std::vector<T> batch_rownorms;        ///< per-slot dot_batch output (B)
+    std::vector<std::size_t> batch_perm;  ///< slot -> problem index (B)
+    std::vector<double> batch_change_sq;  ///< per-slot iterate change (B)
+    std::vector<double> batch_norm_sq;    ///< per-slot iterate norm (B)
+    /// Per-slot momentum scalars t_k (B). Shared across the batch when
     /// adaptive restart is off (the sequence is data-independent), but a
     /// restart resets one row's momentum without touching its neighbours,
     /// so each row carries its own.
     std::vector<double> batch_tk;
-    /// Per-problem consecutive support-stable iteration counters (B),
-    /// for the support-aware tolerance relaxation.
+    /// Per-slot consecutive support-stable iteration counters (B), for
+    /// the support-aware tolerance relaxation.
     std::vector<std::size_t> batch_support_stable;
     /// Per-problem outputs of fista_batch; reused across calls of the
     /// same batch shape, so steady-state batched decode is allocation-free.
     std::vector<ShrinkageResult<T>> batch_results;
-    /// Caller-side batch scratch (the decoder's scaled measurement rows
-    /// and per-problem lambdas).
+    /// Caller-side batch scratch (the decoder's scaled measurement rows,
+    /// per-problem lambdas and replicated warm-start seed rows).
     std::vector<T> batch_y;
     std::vector<double> batch_lambdas;
+    std::vector<double> batch_warm;
   };
 
   template <typename T>

@@ -104,11 +104,12 @@ struct FleetConfig {
   double deadline_seconds = 2.0;
   /// Windows decoded per solver invocation on one node. With > 1, a
   /// worker drains up to this many consecutive frames from a node per
-  /// dispatch and runs their decodable windows lock-step through
-  /// Decoder::reconstruct_batch_into — one kernel invocation sweeps the
-  /// whole batch, with results bitwise-equal to sequential decodes and
-  /// per-node sink order preserved. 1 = the classic frame-per-dispatch
-  /// path.
+  /// dispatch and runs their decodable windows as one panel through
+  /// Decoder::reconstruct_batch_into — every kernel and operator
+  /// traversal sweeps the whole batch, with results bitwise-equal to
+  /// sequential decodes (warm starts off; with warm starts the panel
+  /// shares the pre-batch prior, see decoder.hpp) and per-node sink
+  /// order preserved. 1 = the classic frame-per-dispatch path.
   std::size_t decode_batch = 1;
   /// Kernel backend every node decoder runs through. Null = the library
   /// default. Must outlive the fleet; the linalg singletons always do.

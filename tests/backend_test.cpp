@@ -278,6 +278,371 @@ TEST(BackendBatchKernels, CountingBackendChargesBatchKernels) {
   EXPECT_EQ(c.stores, row_counts.stores);
 }
 
+// ------------------------------------------------------- panel kernels --
+// The GEMM-flavoured multi-vector kernels batched FISTA iterates on.
+// Every panel must be bitwise identical to its row-by-row definition on
+// all four backends — including rows whose length is not a lane multiple
+// — and must degenerate to the single-vector kernel at batch 1.
+
+TEST(BackendPanelKernels, ElementwisePanelsAreBitwiseRowByRow) {
+  const std::size_t batch = 3;
+  const std::size_t n = 37;  // deliberately not a lane multiple
+  util::Rng rng(402);
+  std::vector<float> x(batch * n), y0(batch * n);
+  for (std::size_t i = 0; i < batch * n; ++i) {
+    x[i] = static_cast<float>(rng.gaussian());
+    y0[i] = static_cast<float>(rng.gaussian());
+  }
+  for (const Backend* be : all_backends()) {
+    SCOPED_TRACE(be->name());
+    std::vector<float> panel(y0), rows(y0);
+    be->axpy_batch(0.625f, x.data(), panel.data(), batch, n);
+    for (std::size_t b = 0; b < batch; ++b) {
+      be->axpy(0.625f, x.data() + b * n, rows.data() + b * n, n);
+    }
+    for (std::size_t i = 0; i < batch * n; ++i) {
+      ASSERT_EQ(panel[i], rows[i]) << "axpy_batch i=" << i;
+    }
+
+    std::vector<float> sub_panel(batch * n, -1.0f), sub_rows(batch * n, -2.0f);
+    be->subtract_batch(x.data(), y0.data(), sub_panel.data(), batch, n);
+    for (std::size_t b = 0; b < batch; ++b) {
+      be->subtract(x.data() + b * n, y0.data() + b * n,
+                   sub_rows.data() + b * n, n);
+    }
+    for (std::size_t i = 0; i < batch * n; ++i) {
+      ASSERT_EQ(sub_panel[i], sub_rows[i]) << "subtract_batch i=" << i;
+    }
+
+    std::vector<float> copied(batch * n, -3.0f);
+    be->copy_batch(x.data(), copied.data(), batch, n);
+    for (std::size_t i = 0; i < batch * n; ++i) {
+      ASSERT_EQ(copied[i], x[i]) << "copy_batch i=" << i;
+    }
+  }
+}
+
+TEST(BackendPanelKernels, Norm1BatchMatchesPerRowNorms) {
+  const std::size_t batch = 4;
+  const std::size_t n = 41;
+  util::Rng rng(403);
+  std::vector<double> xd(batch * n);
+  std::vector<float> xf(batch * n);
+  for (std::size_t i = 0; i < batch * n; ++i) {
+    xf[i] = static_cast<float>(rng.gaussian());
+    xd[i] = static_cast<double>(xf[i]);
+  }
+  for (const Backend* be : all_backends()) {
+    SCOPED_TRACE(be->name());
+    std::vector<float> out_f(batch, -1.0f);
+    be->norm1_batch(xf.data(), out_f.data(), batch, n);
+    std::vector<double> out_d(batch, -1.0);
+    be->norm1_batch(xd.data(), out_d.data(), batch, n);
+    for (std::size_t b = 0; b < batch; ++b) {
+      // Bitwise: the panel keeps each row's accumulation order.
+      EXPECT_EQ(out_f[b], be->norm1(xf.data() + b * n, n)) << "row " << b;
+      EXPECT_EQ(out_d[b], be->norm1(xd.data() + b * n, n)) << "row " << b;
+    }
+  }
+}
+
+TEST(BackendPanelKernels, DwtPanelsAreBitwiseRowByRowAcrossStrides) {
+  // 5 rows = one full lane group plus a tail row, so the native
+  // lanes-across-rows synthesis path runs alongside its row-by-row tail.
+  const std::size_t batch = 5;
+  const std::size_t half_n = 14;  // not a lane multiple
+  const std::size_t taps = 8;
+  // Unequal strides on every side, as the batched wavelet transform uses
+  // them (detail rows live in the coefficient vector at the window
+  // stride while the approximation panel is compact).
+  const std::size_t ext_stride = 2 * half_n + taps - 1;
+  const std::size_t a_stride = half_n;
+  const std::size_t d_stride = half_n + 5;
+  util::Rng rng(404);
+  std::vector<float> ext(batch * ext_stride), h0(taps), h1(taps);
+  for (auto& v : ext) {
+    v = static_cast<float>(rng.gaussian());
+  }
+  for (std::size_t j = 0; j < taps; ++j) {
+    h0[j] = static_cast<float>(rng.gaussian());
+    h1[j] = static_cast<float>(rng.gaussian());
+  }
+  for (const Backend* be : all_backends()) {
+    SCOPED_TRACE(be->name());
+    std::vector<float> a_panel(batch * a_stride, -1.0f);
+    std::vector<float> d_panel(batch * d_stride, -1.0f);
+    be->dwt_analysis_batch(ext.data(), h0.data(), h1.data(), a_panel.data(),
+                           d_panel.data(), batch, half_n, taps, ext_stride,
+                           a_stride, d_stride);
+    std::vector<float> a_row(half_n), d_row(half_n);
+    for (std::size_t b = 0; b < batch; ++b) {
+      be->dual_band_analysis(ext.data() + b * ext_stride, h0.data(),
+                             h1.data(), a_row.data(), d_row.data(), half_n,
+                             taps);
+      for (std::size_t i = 0; i < half_n; ++i) {
+        ASSERT_EQ(a_panel[b * a_stride + i], a_row[i])
+            << "analysis a b=" << b << " i=" << i;
+        ASSERT_EQ(d_panel[b * d_stride + i], d_row[i])
+            << "analysis d b=" << b << " i=" << i;
+      }
+    }
+
+    std::vector<float> syn_panel(batch * ext_stride, 0.0f);
+    be->dwt_synthesis_batch(a_panel.data(), d_panel.data(), h0.data(),
+                            h1.data(), syn_panel.data(), batch, half_n, taps,
+                            a_stride, d_stride, ext_stride);
+    std::vector<float> syn_row(ext_stride);
+    for (std::size_t b = 0; b < batch; ++b) {
+      syn_row.assign(ext_stride, 0.0f);
+      be->dual_band_synthesis(a_panel.data() + b * a_stride,
+                              d_panel.data() + b * d_stride, h0.data(),
+                              h1.data(), syn_row.data(), half_n, taps);
+      for (std::size_t i = 0; i < ext_stride; ++i) {
+        ASSERT_EQ(syn_panel[b * ext_stride + i], syn_row[i])
+            << "synthesis b=" << b << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BackendPanelKernels, BatchOfOneDegeneratesToVectorKernels) {
+  const std::size_t n = 29;
+  util::Rng rng(405);
+  std::vector<float> x(n), y0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(rng.gaussian());
+    y0[i] = static_cast<float>(rng.gaussian());
+  }
+  const float threshold = 0.2f;
+  for (const Backend* be : all_backends()) {
+    SCOPED_TRACE(be->name());
+    std::vector<float> panel(y0), single(y0);
+    be->axpy_batch(-0.375f, x.data(), panel.data(), 1, n);
+    be->axpy(-0.375f, x.data(), single.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(panel[i], single[i]) << "axpy i=" << i;
+    }
+    std::vector<float> s_panel(n), s_single(n);
+    be->soft_threshold_batch(x.data(), &threshold, s_panel.data(), 1, n);
+    be->soft_threshold(x.data(), threshold, s_single.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(s_panel[i], s_single[i]) << "soft_threshold i=" << i;
+    }
+    float dot_panel = 0.0f;
+    be->dot_batch(x.data(), y0.data(), &dot_panel, 1, n);
+    EXPECT_EQ(dot_panel, be->dot(x.data(), y0.data(), n));
+    float norm_panel = 0.0f;
+    be->norm1_batch(x.data(), &norm_panel, 1, n);
+    EXPECT_EQ(norm_panel, be->norm1(x.data(), n));
+  }
+}
+
+// Every panel kernel must charge exactly batch x the per-row formula —
+// byte-identical to running the sequential schedule row by row.
+TEST(BackendPanelKernels, CountingPanelChargesEqualSequentialSchedule) {
+  const std::size_t batch = 3;
+  const std::size_t n = 37;
+  const std::size_t half_n = 14;
+  const std::size_t taps = 8;
+  const std::size_t ext_stride = 2 * half_n + taps - 1;
+  util::Rng rng(406);
+  std::vector<float> x(batch * n), y(batch * n), out(batch * n);
+  std::vector<float> thresholds(batch, 0.25f);
+  std::vector<float> row_out(batch);
+  std::vector<float> ext(batch * ext_stride), h0(taps), h1(taps);
+  std::vector<float> a_panel(batch * half_n), d_panel(batch * half_n);
+  std::vector<float> syn(batch * ext_stride, 0.0f);
+  for (auto& v : x) {
+    v = static_cast<float>(rng.gaussian());
+  }
+  for (auto& v : ext) {
+    v = static_cast<float>(rng.gaussian());
+  }
+  y = x;
+
+  for (const Backend* be :
+       {&counting_scalar_backend(), &counting_simd4_backend()}) {
+    SCOPED_TRACE(be->name());
+    const auto charge_of = [&](auto&& fn) {
+      OpCounterScope scope;
+      fn();
+      return scope.counts();
+    };
+    const auto expect_eq = [](const OpCounts& a, const OpCounts& b,
+                              const char* kernel) {
+      EXPECT_EQ(a.scalar_mac, b.scalar_mac) << kernel;
+      EXPECT_EQ(a.scalar_op, b.scalar_op) << kernel;
+      EXPECT_EQ(a.vector_mac4, b.vector_mac4) << kernel;
+      EXPECT_EQ(a.vector_op4, b.vector_op4) << kernel;
+      EXPECT_EQ(a.leftover_lane, b.leftover_lane) << kernel;
+      EXPECT_EQ(a.loads, b.loads) << kernel;
+      EXPECT_EQ(a.stores, b.stores) << kernel;
+    };
+
+    expect_eq(charge_of([&] {
+                be->axpy_batch(0.5f, x.data(), y.data(), batch, n);
+              }),
+              charge_of([&] {
+                for (std::size_t b = 0; b < batch; ++b) {
+                  be->axpy(0.5f, x.data() + b * n, y.data() + b * n, n);
+                }
+              }),
+              "axpy_batch");
+    expect_eq(charge_of([&] {
+                be->subtract_batch(x.data(), y.data(), out.data(), batch, n);
+              }),
+              charge_of([&] {
+                for (std::size_t b = 0; b < batch; ++b) {
+                  be->subtract(x.data() + b * n, y.data() + b * n,
+                               out.data() + b * n, n);
+                }
+              }),
+              "subtract_batch");
+    expect_eq(
+        charge_of([&] { be->copy_batch(x.data(), out.data(), batch, n); }),
+        charge_of([&] {
+          for (std::size_t b = 0; b < batch; ++b) {
+            be->copy(x.data() + b * n, out.data() + b * n, n);
+          }
+        }),
+        "copy_batch");
+    expect_eq(charge_of([&] {
+                be->norm1_batch(x.data(), row_out.data(), batch, n);
+              }),
+              charge_of([&] {
+                for (std::size_t b = 0; b < batch; ++b) {
+                  (void)be->norm1(x.data() + b * n, n);
+                }
+              }),
+              "norm1_batch");
+    expect_eq(charge_of([&] {
+                be->dot_batch(x.data(), y.data(), row_out.data(), batch, n);
+              }),
+              charge_of([&] {
+                for (std::size_t b = 0; b < batch; ++b) {
+                  (void)be->dot(x.data() + b * n, y.data() + b * n, n);
+                }
+              }),
+              "dot_batch");
+    expect_eq(charge_of([&] {
+                be->soft_threshold_batch(x.data(), thresholds.data(),
+                                         out.data(), batch, n);
+              }),
+              charge_of([&] {
+                for (std::size_t b = 0; b < batch; ++b) {
+                  be->soft_threshold(x.data() + b * n, thresholds[b],
+                                     out.data() + b * n, n);
+                }
+              }),
+              "soft_threshold_batch");
+    expect_eq(charge_of([&] {
+                be->dwt_analysis_batch(ext.data(), h0.data(), h1.data(),
+                                       a_panel.data(), d_panel.data(), batch,
+                                       half_n, taps, ext_stride, half_n,
+                                       half_n);
+              }),
+              charge_of([&] {
+                for (std::size_t b = 0; b < batch; ++b) {
+                  be->dual_band_analysis(ext.data() + b * ext_stride,
+                                         h0.data(), h1.data(),
+                                         a_panel.data() + b * half_n,
+                                         d_panel.data() + b * half_n, half_n,
+                                         taps);
+                }
+              }),
+              "dwt_analysis_batch");
+    expect_eq(charge_of([&] {
+                be->dwt_synthesis_batch(a_panel.data(), d_panel.data(),
+                                        h0.data(), h1.data(), syn.data(),
+                                        batch, half_n, taps, half_n, half_n,
+                                        ext_stride);
+              }),
+              charge_of([&] {
+                for (std::size_t b = 0; b < batch; ++b) {
+                  be->dual_band_synthesis(a_panel.data() + b * half_n,
+                                          d_panel.data() + b * half_n,
+                                          h0.data(), h1.data(),
+                                          syn.data() + b * ext_stride, half_n,
+                                          taps);
+                }
+              }),
+              "dwt_synthesis_batch");
+  }
+}
+
+// Pinned §IV-B literals for the panel kernels on a fixed workload
+// (batch 3, n 37 — a 1-element 4-lane tail per row; half_n 14, taps 8).
+// Byte-identical counts are the acceptance criterion: if these fail, fix
+// the panel charging, not the goldens.
+TEST(BackendPanelKernels, CountingScalarPanelGoldens) {
+  const std::size_t batch = 3;
+  const std::size_t n = 37;
+  std::vector<float> x(batch * n, 1.0f), y(batch * n, 2.0f);
+  const Backend& be = counting_scalar_backend();
+  {
+    OpCounterScope scope;
+    be.axpy_batch(0.5f, x.data(), y.data(), batch, n);
+    const auto& c = scope.counts();
+    EXPECT_EQ(c.scalar_mac, 111u);
+    EXPECT_EQ(c.scalar_op, 0u);
+    EXPECT_EQ(c.loads, 222u);
+    EXPECT_EQ(c.stores, 111u);
+  }
+  {
+    OpCounterScope scope;
+    be.subtract_batch(x.data(), y.data(), y.data(), batch, n);
+    const auto& c = scope.counts();
+    EXPECT_EQ(c.scalar_op, 111u);
+    EXPECT_EQ(c.loads, 222u);
+    EXPECT_EQ(c.stores, 111u);
+  }
+  {
+    OpCounterScope scope;
+    std::vector<float> norms(batch);
+    be.norm1_batch(x.data(), norms.data(), batch, n);
+    const auto& c = scope.counts();
+    EXPECT_EQ(c.scalar_op, 111u);
+    EXPECT_EQ(c.loads, 111u);
+    EXPECT_EQ(c.stores, 0u);
+  }
+}
+
+TEST(BackendPanelKernels, CountingSimd4PanelGoldens) {
+  const std::size_t batch = 3;
+  const std::size_t n = 37;  // 9 packed quads + 1 leftover lane per row
+  std::vector<float> x(batch * n, 1.0f), y(batch * n, 2.0f);
+  const Backend& be = counting_simd4_backend();
+  {
+    OpCounterScope scope;
+    be.axpy_batch(0.5f, x.data(), y.data(), batch, n);
+    const auto& c = scope.counts();
+    EXPECT_EQ(c.vector_mac4, 27u);     // 3 rows x 9 quads
+    EXPECT_EQ(c.scalar_mac, 3u);       // per-row tail, charged per row
+    EXPECT_EQ(c.leftover_lane, 3u);
+    EXPECT_EQ(c.loads, 222u);
+    EXPECT_EQ(c.stores, 111u);
+  }
+  {
+    OpCounterScope scope;
+    be.subtract_batch(x.data(), y.data(), y.data(), batch, n);
+    const auto& c = scope.counts();
+    EXPECT_EQ(c.vector_op4, 27u);
+    EXPECT_EQ(c.scalar_op, 3u);
+    EXPECT_EQ(c.leftover_lane, 3u);
+    EXPECT_EQ(c.loads, 222u);
+    EXPECT_EQ(c.stores, 111u);
+  }
+  {
+    OpCounterScope scope;
+    std::vector<float> norms(batch);
+    be.norm1_batch(x.data(), norms.data(), batch, n);
+    const auto& c = scope.counts();
+    EXPECT_EQ(c.vector_op4, 27u);
+    EXPECT_EQ(c.leftover_lane, 3u);
+    EXPECT_EQ(c.loads, 111u);
+  }
+}
+
 // --------------------------------------------------- §IV-B count goldens --
 
 // The fixed decode workload whose operation mix was captured from the

@@ -257,6 +257,47 @@ TEST(SparseBinaryMatrixTest, RejectsBadParameters) {
   EXPECT_THROW(SparseBinaryMatrix(0, 8, 1, rng), Error);
 }
 
+// The panel applies run full groups of rows through the interleaved
+// lanes-across-rows fast path and the remainder row by row; both halves
+// must be bitwise equal to the single-row applies. 6 rows = one full lane
+// group plus a 2-row tail.
+TEST(SparseBinaryMatrixTest, BatchAppliesAreBitwiseRowByRow) {
+  util::Rng rng(12);
+  const std::size_t m = 48;
+  const std::size_t n = 96;
+  const std::size_t batch = 6;
+  SparseBinaryMatrix phi(m, n, 7, rng);
+
+  const auto check = [&](auto tag) {
+    using T = decltype(tag);
+    std::vector<T> x(batch * n), y_panel(batch * m, T(-1)),
+        y_rows(batch * m, T(-2));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<T>(rng.gaussian());
+    }
+    phi.apply_batch<T>(x, y_panel, batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      phi.apply<T>(std::span<const T>(x.data() + b * n, n),
+                   std::span<T>(y_rows.data() + b * m, m));
+    }
+    for (std::size_t i = 0; i < batch * m; ++i) {
+      ASSERT_EQ(y_panel[i], y_rows[i]) << "apply i=" << i;
+    }
+
+    std::vector<T> t_panel(batch * n, T(-1)), t_rows(batch * n, T(-2));
+    phi.apply_transpose_batch<T>(y_panel, t_panel, batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      phi.apply_transpose<T>(std::span<const T>(y_panel.data() + b * m, m),
+                             std::span<T>(t_rows.data() + b * n, n));
+    }
+    for (std::size_t i = 0; i < batch * n; ++i) {
+      ASSERT_EQ(t_panel[i], t_rows[i]) << "apply_transpose i=" << i;
+    }
+  };
+  check(float{});
+  check(double{});
+}
+
 // -------------------------------------------------------------- kernels --
 
 /// The scalar and simd4 schedules must produce identical math; the sweep
