@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Gates the joint lead-group decode on EXP-A15: at CR 50 (and the
+# off-gate CR 70 point) the 3-lead joint group solve must cost at most
+# 0.85x the three independent solves it replaces — one operator
+# traversal per iteration instead of three — WITHOUT giving up
+# reconstruction quality (joint mean PRD <= independent + epsilon,
+# native backend). The fetal mixture must additionally *win* on PRD:
+# shared maternal support is exactly what the l2,1 coupling exploits.
+#
+# Runs bench_multilead --json and pairs each (signal, cr, leads) row's
+# joint and independent modes.
+#
+# Usage: scripts/check_joint_gain.sh [build-dir]
+# Env:   CSECG_BENCH_RECORDS shrinks the corpus for a quick smoke run
+#        (CI uses the defaults).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if [[ ! -d "${build_dir}" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build "${build_dir}" --target bench_multilead -j"$(nproc)"
+
+json_path="${build_dir}/BENCH_multilead.json"
+"${build_dir}/bench/bench_multilead" --json "${json_path}"
+
+python3 - "${json_path}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+cols = report["columns"]
+rows = [dict(zip(cols, row)) for row in report["rows"]]
+
+GATE_RATIO = 0.85    # joint cost <= 0.85x independent at 3 leads
+PRD_EPSILON = 0.05   # percentage points of float noise allowed
+
+pairs = {}
+for row in rows:
+    key = (row["signal"], float(row["cr_percent"]), int(row["leads"]))
+    pairs.setdefault(key, {})[row["mode"]] = row
+
+failures = []
+gated = False
+for (signal, cr, leads), modes in sorted(pairs.items()):
+    if "joint" not in modes or "independent" not in modes:
+        failures.append(f"{signal} CR {cr:.0f} L{leads}: missing mode row")
+        continue
+    ind = modes["independent"]
+    joint = modes["joint"]
+    ind_cost = float(ind["decode_s_per_window"])
+    joint_cost = float(joint["decode_s_per_window"])
+    ratio = joint_cost / ind_cost if ind_cost > 0 else float("inf")
+    ind_prd = float(ind["mean_prd_percent"])
+    joint_prd = float(joint["mean_prd_percent"])
+
+    checks = []
+    if signal == "mitbih" and leads == 3:
+        gated = True
+        checks.append(("cost ratio", ratio <= GATE_RATIO,
+                       f"{ratio:.3f} (need <= {GATE_RATIO})"))
+        checks.append(("PRD", joint_prd <= ind_prd + PRD_EPSILON,
+                       f"{ind_prd:.2f} -> {joint_prd:.2f} %"))
+    elif signal == "fetal":
+        checks.append(("fetal PRD win", joint_prd < ind_prd,
+                       f"{ind_prd:.2f} -> {joint_prd:.2f} %"))
+    else:
+        # Context rows (L1/L2): joint must never be *worse* than
+        # independent on cost — the degenerate L1 pair is the same solve.
+        checks.append(("cost sanity", ratio <= 1.02,
+                       f"{ratio:.3f} (need <= 1.02)"))
+
+    ok = all(passed for _, passed, _ in checks)
+    detail = "  ".join(f"{name}: {msg}" for name, _, msg in checks)
+    print(f"{signal:7s} CR {cr:3.0f} L{leads}: "
+          f"{ind_cost:.4f} -> {joint_cost:.4f} s/window  {detail}"
+          f"{'' if ok else '  <-- FAIL'}")
+    if not ok:
+        failures.append(f"{signal} CR {cr:.0f} L{leads}")
+
+if not gated:
+    print("FAIL: no mitbih 3-lead pair in the benchmark output")
+    sys.exit(1)
+if failures:
+    print(f"FAIL: joint gain gate failed: {failures}")
+    sys.exit(1)
+print("OK: joint 3-lead decode costs <= 0.85x independent at "
+      "equal-or-better PRD; fetal mixture PRD improves under coupling")
+EOF

@@ -9,6 +9,13 @@ namespace {
 /// The sparse projection is gather/scatter-dominated, which NEON cannot
 /// vectorise; charge it as scalar work in either schedule so the cycle
 /// model stays honest. Skipped entirely on non-counting backends.
+///
+/// The panel applies stream the cols*d index table once per lane group
+/// (SparseBinaryMatrix::kLanes rows share each traversal, partial tail
+/// groups included), so the index loads are charged per group while the
+/// per-lane data traffic (gathers, adds, stores) stays per row — this is
+/// what makes a joint lead-group solve priced sub-additively against L
+/// independent solves. batch == 1 reduces to the classic 2*nnz loads.
 template <typename T>
 void charge_sparse_apply(const linalg::Backend& backend,
                          const SensingMatrix& phi, std::size_t batch = 1) {
@@ -20,8 +27,10 @@ void charge_sparse_apply(const linalg::Backend& backend,
     linalg::OpCounts c;
     const auto nnz = static_cast<std::uint64_t>(phi.cols()) *
                      phi.sparse().nonzeros_per_column();
+    constexpr std::uint64_t kLanes = linalg::SparseBinaryMatrix::kLanes;
+    const std::uint64_t traversals = (k + kLanes - 1) / kLanes;
     c.scalar_op = (nnz + phi.rows()) * k;  // adds + final scale
-    c.loads = 2 * nnz * k;
+    c.loads = nnz * k + nnz * traversals;  // data per lane + index per group
     c.stores = nnz * k;
     backend.charge(c);
   } else {

@@ -66,6 +66,9 @@ std::optional<StreamProfile> profile_from(const DecoderConfig& config,
   profile.wavelet_id = *wavelet_id;
   profile.levels = config.levels;
   profile.codebook_id = codebook_id;
+  // with_leads keeps the wire version and lead count in agreement: a
+  // lead group announces as a v2 frame, a single lead stays v1.
+  profile = profile.with_leads(config.cs.leads == 0 ? 1 : config.cs.leads);
   if (!profile.valid() || !resolve_profile_codebook(codebook_id)) {
     return std::nullopt;
   }
@@ -81,10 +84,13 @@ Decoder::Decoder(const DecoderConfig& config,
       codebook_(std::move(codebook)),
       op_f_(sensing_, transform_, resolved_backend(config)),
       op_d_(sensing_, transform_, resolved_backend(config)),
-      previous_y_(config.cs.measurements, 0),
+      previous_y_(config.cs.leads * config.cs.measurements, 0),
       zero_scratch_(config.cs.measurements, 0) {
   CSECG_CHECK(codebook_.size() == kDiffAlphabetSize,
               "decoder needs the 512-symbol difference codebook");
+  CSECG_CHECK(config.cs.leads >= 1 &&
+                  config.cs.leads <= StreamProfile::kMaxLeads,
+              "lead count out of range");
   rebuild_solver_options();
 }
 
@@ -166,10 +172,14 @@ bool Decoder::has_warm_prior() const {
   if (!config_.prior.warm_start) {
     return false;
   }
+  // A group stream's prior covers the whole group (leads * window); a
+  // single-lead stream's is one window. Either way a prior of the wrong
+  // shape is not warmable.
+  const std::size_t expected = config_.cs.leads * config_.cs.window;
   if constexpr (std::is_same_v<T, float>) {
-    return have_prior_f_ && prior_f_.size() == config_.cs.window;
+    return have_prior_f_ && prior_f_.size() == expected;
   } else {
-    return have_prior_d_ && prior_d_.size() == config_.cs.window;
+    return have_prior_d_ && prior_d_.size() == expected;
   }
 }
 
@@ -214,7 +224,7 @@ bool Decoder::apply_profile(const StreamProfile& profile) {
   codebook_ = std::move(*codebook);
   op_f_.rebind();
   op_d_.rebind();
-  previous_y_.assign(config_.cs.measurements, 0);
+  previous_y_.assign(config_.cs.leads * config_.cs.measurements, 0);
   zero_scratch_.assign(config_.cs.measurements, 0);
   have_previous_ = false;
   lipschitz_f_.reset();
@@ -274,6 +284,12 @@ bool Decoder::decode_measurements_into(const Packet& packet,
     // Fail closed for legacy callers: a profile frame carries no window
     // and must not be interpreted as measurement bits. consume() is the
     // profile-aware entry point.
+    return false;
+  }
+  if (config_.cs.leads > 1 || packet.lead != 0) {
+    // A lead-group window only decodes whole, through
+    // decode_group_measurements_into; a stray lead-tagged frame on a
+    // single-lead stream is equally malformed. Fail closed either way.
     return false;
   }
   const std::size_t m = config_.cs.measurements;
@@ -365,6 +381,112 @@ bool Decoder::decode_measurements_into(const Packet& packet,
   have_previous_ = true;
   have_sequence_ = true;
   last_sequence_ = packet.sequence;
+  return true;
+}
+
+bool Decoder::decode_group_measurements_into(
+    std::span<const Packet> group, std::vector<std::int32_t>& y_flat) {
+  const std::size_t leads = config_.cs.leads;
+  const std::size_t m = config_.cs.measurements;
+  if (group.size() != leads) {
+    return false;
+  }
+  if (leads == 1) {
+    return decode_measurements_into(group[0], y_flat);
+  }
+
+  // Group invariants: one sequence number, lead tags 0..L-1 in order,
+  // one kind (the encoder's keyframe decision is group-wide; profiles
+  // ride their own untagged frame through consume()).
+  const std::uint16_t sequence = group[0].sequence;
+  const PacketKind kind = group[0].kind;
+  if (kind == PacketKind::kProfile) {
+    return false;
+  }
+  for (std::size_t l = 0; l < leads; ++l) {
+    if (group[l].sequence != sequence || group[l].kind != kind ||
+        group[l].lead != l) {
+      return false;
+    }
+  }
+
+  if (have_sequence_) {
+    // The group advances one shared chain clock, so the stale/duplicate
+    // discipline of the single-lead path runs once per group (including
+    // the beyond-horizon keyframe re-sync rule).
+    const auto delta = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(sequence - last_sequence_));
+    if (delta <= 0) {
+      const bool recent_past =
+          delta > -static_cast<std::int32_t>(kStaleHorizon);
+      if (recent_past || kind != PacketKind::kAbsolute) {
+        return false;
+      }
+    }
+  }
+
+  // Decode every lead before committing anything: a corrupt lead rejects
+  // the whole group with all chains and the sequence state untouched.
+  y_flat.assign(leads * m, 0);
+  if (kind == PacketKind::kAbsolute) {
+    const unsigned bits = config_.cs.absolute_bits;
+    for (std::size_t l = 0; l < leads; ++l) {
+      const Packet& packet = group[l];
+      obs::SpanScope entropy_span("huffman_decode", sequence);
+      entropy_span.attribute("keyframe", 1.0);
+      entropy_span.attribute("lead", static_cast<double>(l));
+      if (packet.payload.size() != (m * bits + 7) / 8) {
+        return false;
+      }
+      coding::BitReader reader(packet.payload);
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto raw = reader.read_bits(bits);
+        if (!raw) {
+          return false;
+        }
+        std::int32_t value = static_cast<std::int32_t>(*raw);
+        const std::int32_t sign_bit = std::int32_t{1} << (bits - 1);
+        if ((value & sign_bit) != 0) {
+          value -= std::int32_t{1} << bits;
+        }
+        y_flat[l * m + i] = value;
+      }
+    }
+    // A group keyframe re-syncs every lead at once — and kills the group
+    // warm prior with the old chain, exactly like the single-lead rule.
+    invalidate_prior();
+  } else {
+    if (!have_previous_) {
+      return false;
+    }
+    if (sequence != static_cast<std::uint16_t>(last_sequence_ + 1)) {
+      return false;
+    }
+    for (std::size_t l = 0; l < leads; ++l) {
+      const Packet& packet = group[l];
+      const std::span<std::int32_t> row(y_flat.data() + l * m, m);
+      {
+        obs::SpanScope entropy_span("huffman_decode", sequence);
+        entropy_span.attribute("keyframe", 0.0);
+        entropy_span.attribute("lead", static_cast<double>(l));
+        coding::BitReader reader(packet.payload);
+        if (!decode_difference(reader, codebook_,
+                               std::span<const std::int32_t>(zero_scratch_),
+                               row)) {
+          return false;
+        }
+      }
+      obs::SpanScope reconstruct_span("packet_reconstruct", sequence);
+      for (std::size_t i = 0; i < m; ++i) {
+        row[i] += previous_y_[l * m + i];
+      }
+    }
+  }
+
+  previous_y_.assign(y_flat.begin(), y_flat.end());
+  have_previous_ = true;
+  have_sequence_ = true;
+  last_sequence_ = sequence;
   return true;
 }
 
@@ -590,6 +712,133 @@ void Decoder::reconstruct_batch_into(std::span<const std::int32_t> y_int_flat,
   }
 }
 
+template <typename T>
+void Decoder::reconstruct_group_into(std::span<const std::int32_t> y_int_flat,
+                                     solvers::SolverWorkspace& workspace,
+                                     std::span<DecodedWindow<T>> out) const {
+  const std::size_t leads = config_.cs.leads;
+  const std::size_t m = config_.cs.measurements;
+  const std::size_t n = config_.cs.window;
+  CSECG_CHECK(y_int_flat.size() == leads * m,
+              "group measurement length mismatch");
+  CSECG_CHECK(out.size() == leads, "group output span length mismatch");
+  if (leads == 1) {
+    // The production single-lead path, bitwise.
+    reconstruct_into<T>(y_int_flat, workspace, out[0]);
+    return;
+  }
+  if (!options_.weights.empty() || config_.record_objective) {
+    // fista_group covers the uniform-penalty configuration; anything else
+    // decodes the leads independently (no support coupling), counted so
+    // a group stream misconfigured off the joint path shows in telemetry.
+    obs::add("decoder.group.fallback_sequential");
+    for (std::size_t l = 0; l < leads; ++l) {
+      reconstruct_into<T>(y_int_flat.subspan(l * m, m), workspace, out[l]);
+    }
+    return;
+  }
+
+  auto& ws = workspace.buffers<T>();
+  const CsOperator<T>& A = cs_op<T>();
+  const linalg::Backend& be = A.backend();
+  const double requantize =
+      std::ldexp(1.0, static_cast<int>(config_.cs.measurement_shift));
+  std::vector<T>& y = ws.batch_y;
+  y.resize(leads * m);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<T>(static_cast<double>(y_int_flat[i]) * requantize);
+  }
+
+  // One group lambda: the l2,1 penalty's dual norm is the max over
+  // coefficients of the ACROSS-lead l2 norm, so the lambda-max analog of
+  // the sequential scale rule is max_i ||(A^T y)_{i,:}||_2 — the loudest
+  // coefficient *group*, not the loudest lead. At leads == 1 this is
+  // exactly ||A^T y||_inf, the sequential rule; for correlated leads it
+  // grows toward sqrt(L) times it, which is what keeps the effective
+  // per-lead penalty (and hence the iteration count) on the sequential
+  // operating point instead of under-regularising the group.
+  std::vector<T>& aty = ws.aux_n;
+  std::vector<T>& group_sq = ws.batch_gradient;  // fista_group re-inits it
+  aty.resize(n);
+  group_sq.assign(n, T{});
+  for (std::size_t l = 0; l < leads; ++l) {
+    A.apply_adjoint(std::span<const T>(y.data() + l * m, m),
+                    std::span<T>(aty));
+    for (std::size_t i = 0; i < n; ++i) {
+      group_sq[i] += aty[i] * aty[i];
+    }
+  }
+  double group_max_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    group_max_sq = std::max(group_max_sq, static_cast<double>(group_sq[i]));
+  }
+  options_.lambda = config_.lambda_relative * std::sqrt(group_max_sq);
+
+  // The group objective is separable over leads, so the gradient's
+  // Lipschitz constant is the per-lead 2 ||A||^2 — same cache as the
+  // sequential path.
+  auto& cache = std::is_same_v<T, float> ? lipschitz_f_ : lipschitz_d_;
+  if (!cache) {
+    cache = 2.0 * linalg::estimate_spectral_norm_squared(A);
+  }
+  options_.lipschitz = cache;
+
+  // The group warm prior seeds all leads at once and was stored as one
+  // leads * n block; a prior of any other shape (e.g. from a single-lead
+  // phase before a re-profile) is not warmable.
+  std::vector<double>& prior = std::is_same_v<T, float> ? prior_f_ : prior_d_;
+  bool& have_prior = std::is_same_v<T, float> ? have_prior_f_ : have_prior_d_;
+  const bool warmable =
+      config_.prior.warm_start && have_prior && prior.size() == leads * n;
+  options_.warm_start =
+      warmable ? std::span<const double>(prior) : std::span<const double>{};
+
+  std::span<solvers::ShrinkageResult<T>> solves;
+  {
+    obs::SpanScope fista_span("fista");
+    fista_span.attribute("leads", static_cast<double>(leads));
+    fista_span.attribute("measurements", static_cast<double>(m));
+    fista_span.attribute("warm", warmable ? 1.0 : 0.0);
+    solves = solvers::fista_group<T>(A, std::span<const T>(y), leads,
+                                     options_, workspace);
+  }
+  options_.warm_start = {};
+  if (config_.prior.warm_start) {
+    prior.resize(leads * n);
+    for (std::size_t l = 0; l < leads; ++l) {
+      std::copy(solves[l].solution.begin(), solves[l].solution.end(),
+                prior.begin() + static_cast<std::ptrdiff_t>(l * n));
+    }
+    have_prior = true;
+  }
+
+  obs::SpanScope idwt_span("idwt");
+  for (std::size_t l = 0; l < leads; ++l) {
+    const solvers::ShrinkageResult<T>& solve = solves[l];
+    out[l].iterations = solve.iterations;
+    out[l].converged = solve.converged;
+    out[l].residual_norm = solve.final_residual_norm;
+    out[l].objective_trace.clear();
+    out[l].samples.resize(n);
+    transform_.inverse<T>(std::span<const T>(solve.solution),
+                          std::span<T>(out[l].samples), be);
+  }
+}
+
+template <typename T>
+std::optional<std::vector<DecodedWindow<T>>> Decoder::decode_group(
+    std::span<const Packet> group) {
+  std::vector<std::int32_t> y_flat;
+  if (!decode_group_measurements_into(group, y_flat)) {
+    return std::nullopt;
+  }
+  std::vector<DecodedWindow<T>> out(config_.cs.leads);
+  solvers::SolverWorkspace workspace;
+  reconstruct_group_into<T>(std::span<const std::int32_t>(y_flat), workspace,
+                            std::span<DecodedWindow<T>>(out));
+  return out;
+}
+
 template bool Decoder::has_warm_prior<float>() const;
 template bool Decoder::has_warm_prior<double>() const;
 template std::optional<DecodedWindow<float>> Decoder::decode<float>(
@@ -612,5 +861,15 @@ template void Decoder::reconstruct_batch_into<float>(
 template void Decoder::reconstruct_batch_into<double>(
     std::span<const std::int32_t>, std::size_t, solvers::SolverWorkspace&,
     std::span<DecodedWindow<double>>) const;
+template void Decoder::reconstruct_group_into<float>(
+    std::span<const std::int32_t>, solvers::SolverWorkspace&,
+    std::span<DecodedWindow<float>>) const;
+template void Decoder::reconstruct_group_into<double>(
+    std::span<const std::int32_t>, solvers::SolverWorkspace&,
+    std::span<DecodedWindow<double>>) const;
+template std::optional<std::vector<DecodedWindow<float>>>
+Decoder::decode_group<float>(std::span<const Packet>);
+template std::optional<std::vector<DecodedWindow<double>>>
+Decoder::decode_group<double>(std::span<const Packet>);
 
 }  // namespace csecg::core

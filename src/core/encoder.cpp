@@ -73,6 +73,7 @@ EncoderConfig encoder_config_from(const StreamProfile& profile) {
   config.absolute_bits = profile.absolute_bits;
   config.on_the_fly_indices = profile.on_the_fly_indices;
   config.measurement_shift = profile.measurement_shift;
+  config.leads = profile.leads;
   return config;
 }
 
@@ -89,11 +90,13 @@ Encoder::Encoder(const EncoderConfig& config,
       sensing_(sensing_config_from(config)),
       codebook_(std::move(codebook)),
       current_y_(config.measurements, 0),
-      previous_y_(config.measurements, 0),
+      previous_y_(config.leads * config.measurements, 0),
       diff_scratch_(config.measurements, 0),
       zero_scratch_(config.measurements, 0) {
   CSECG_CHECK(codebook_.size() == kDiffAlphabetSize,
               "encoder needs the 512-symbol difference codebook");
+  CSECG_CHECK(config.leads >= 1 && config.leads <= StreamProfile::kMaxLeads,
+              "lead count out of range");
   CSECG_CHECK(config.absolute_bits >= 12 && config.absolute_bits <= 32,
               "absolute_bits out of range");
   // The scaled worst-case sum 2^10 * N / sqrt(d) must fit the absolute
@@ -119,7 +122,7 @@ void Encoder::set_profile(const StreamProfile& profile) {
   sensing_ = SensingMatrix(sensing_config_from(config_));
   codebook_ = std::move(codebook);
   current_y_.assign(config_.measurements, 0);
-  previous_y_.assign(config_.measurements, 0);
+  previous_y_.assign(config_.leads * config_.measurements, 0);
   diff_scratch_.assign(config_.measurements, 0);
   zero_scratch_.assign(config_.measurements, 0);
   // The difference chain cannot cross a geometry change: the next window
@@ -144,13 +147,14 @@ std::optional<Packet> Encoder::take_profile_packet() {
   return packet;
 }
 
-Packet Encoder::encode_window(std::span<const std::int16_t> x) {
+void Encoder::project_window(std::span<const std::int16_t> x,
+                             std::uint16_t sequence) {
   CSECG_CHECK(x.size() == config_.window,
               "window length does not match encoder configuration");
 
   // Stage 1 — CS projection, integer-only (the 82 ms loop of §IV-A2),
   // followed by the Q15 1/sqrt(d) scale on the hardware multiplier.
-  std::optional<obs::SpanScope> stage(std::in_place, "sense", sequence_);
+  obs::SpanScope stage("sense", sequence);
   if (config_.on_the_fly_indices) {
     // The paper's configuration: regenerate each column's d row indices
     // from the shared 16-bit PRNG while accumulating — no index table in
@@ -204,7 +208,52 @@ Packet Encoder::encode_window(std::span<const std::int16_t> x) {
     ops.store += 2 * config_.measurements;
     fixedpoint::charge(ops);
   }
-  stage.reset();  // sense ends; the entropy stages follow
+}
+
+void Encoder::write_absolute(coding::BitWriter& writer,
+                             std::uint16_t sequence) {
+  obs::SpanScope huffman_span("huffman", sequence);
+  huffman_span.attribute("keyframe", 1.0);
+  const unsigned bits = config_.absolute_bits;
+  const std::uint32_t mask =
+      bits == 32 ? ~std::uint32_t{0}
+                 : ((std::uint32_t{1} << bits) - 1);
+  fixedpoint::Msp430OpCounts ops;
+  for (const auto value : current_y_) {
+    writer.write_bits(static_cast<std::uint32_t>(value) & mask, bits);
+    ops.shift += bits;
+    ops.load += 2;
+    ops.store += (bits + 15) / 16;
+  }
+  fixedpoint::charge(ops);
+}
+
+void Encoder::write_differential(std::span<const std::int32_t> previous,
+                                 coding::BitWriter& writer,
+                                 std::uint16_t sequence) {
+  // Stage 2 — redundancy removal: the difference vector is materialised
+  // (rather than fused into the entropy loop) so the residual and
+  // Huffman stages are separately observable; encode_difference charges
+  // the same MSP430 subtract either way, so the cycle model is
+  // unchanged.
+  {
+    obs::SpanScope residual_span("residual", sequence);
+    for (std::size_t i = 0; i < current_y_.size(); ++i) {
+      diff_scratch_[i] = current_y_[i] - previous[i];
+    }
+  }
+  // Stage 3 — Huffman coding of the differences.
+  obs::SpanScope huffman_span("huffman", sequence);
+  huffman_span.attribute("keyframe", 0.0);
+  encode_difference(std::span<const std::int32_t>(diff_scratch_),
+                    std::span<const std::int32_t>(zero_scratch_),
+                    codebook_, writer);
+}
+
+Packet Encoder::encode_window(std::span<const std::int16_t> x) {
+  CSECG_CHECK(config_.leads == 1,
+              "encode_window is single-lead; group streams use encode_group");
+  project_window(x, sequence_);
 
   const bool keyframe =
       !have_previous_ || force_keyframe_ ||
@@ -217,40 +266,13 @@ Packet Encoder::encode_window(std::span<const std::int16_t> x) {
 
   if (keyframe) {
     packet.kind = PacketKind::kAbsolute;
-    obs::SpanScope huffman_span("huffman", packet.sequence);
-    huffman_span.attribute("keyframe", 1.0);
-    const unsigned bits = config_.absolute_bits;
-    const std::uint32_t mask =
-        bits == 32 ? ~std::uint32_t{0}
-                   : ((std::uint32_t{1} << bits) - 1);
-    fixedpoint::Msp430OpCounts ops;
-    for (const auto value : current_y_) {
-      writer.write_bits(static_cast<std::uint32_t>(value) & mask, bits);
-      ops.shift += bits;
-      ops.load += 2;
-      ops.store += (bits + 15) / 16;
-    }
-    fixedpoint::charge(ops);
+    write_absolute(writer, packet.sequence);
     packets_since_keyframe_ = 0;
     force_keyframe_ = false;
   } else {
     packet.kind = PacketKind::kDifferential;
-    // Stage 2 — redundancy removal: the difference vector is materialised
-    // (rather than fused into the entropy loop) so the residual and
-    // Huffman stages are separately observable; encode_difference charges
-    // the same MSP430 subtract either way, so the cycle model is
-    // unchanged.
-    stage.emplace("residual", packet.sequence);
-    for (std::size_t i = 0; i < current_y_.size(); ++i) {
-      diff_scratch_[i] = current_y_[i] - previous_y_[i];
-    }
-    stage.reset();
-    // Stage 3 — Huffman coding of the differences.
-    obs::SpanScope huffman_span("huffman", packet.sequence);
-    huffman_span.attribute("keyframe", 0.0);
-    encode_difference(std::span<const std::int32_t>(diff_scratch_),
-                      std::span<const std::int32_t>(zero_scratch_),
-                      codebook_, writer);
+    write_differential(std::span<const std::int32_t>(previous_y_), writer,
+                       packet.sequence);
     ++packets_since_keyframe_;
   }
 
@@ -260,11 +282,72 @@ Packet Encoder::encode_window(std::span<const std::int16_t> x) {
   return packet;
 }
 
+std::vector<Packet> Encoder::encode_group(
+    std::span<const std::int16_t> xs_flat) {
+  const std::size_t leads = config_.leads;
+  const std::size_t n = config_.window;
+  const std::size_t m = config_.measurements;
+  CSECG_CHECK(xs_flat.size() == leads * n,
+              "group window length does not match encoder configuration");
+  if (leads == 1) {
+    // The degenerate group is the classic stream, byte for byte.
+    std::vector<Packet> packets;
+    packets.push_back(encode_window(xs_flat));
+    return packets;
+  }
+
+  // One keyframe decision for the whole group: every lead's difference
+  // chain re-syncs at the same window, so a receiver never has to track
+  // per-lead chain phases.
+  const bool keyframe =
+      !have_previous_ || force_keyframe_ ||
+      (config_.keyframe_interval > 0 &&
+       packets_since_keyframe_ >= config_.keyframe_interval);
+  const std::uint16_t sequence = sequence_++;
+
+  std::vector<Packet> packets;
+  packets.reserve(leads);
+  for (std::size_t l = 0; l < leads; ++l) {
+    // The on-the-fly PRNG restarts from the shared seed inside, so every
+    // lead sees the same Phi — the group shares one sensing schedule.
+    project_window(xs_flat.subspan(l * n, n), sequence);
+
+    Packet packet;
+    packet.sequence = sequence;
+    packet.lead = static_cast<std::uint8_t>(l);
+    coding::BitWriter writer;
+    if (keyframe) {
+      packet.kind = PacketKind::kAbsolute;
+      write_absolute(writer, sequence);
+    } else {
+      packet.kind = PacketKind::kDifferential;
+      write_differential(
+          std::span<const std::int32_t>(previous_y_.data() + l * m, m),
+          writer, sequence);
+    }
+    packet.payload = writer.finish();
+    std::copy(current_y_.begin(), current_y_.end(),
+              previous_y_.begin() + static_cast<std::ptrdiff_t>(l * m));
+    packets.push_back(std::move(packet));
+  }
+
+  if (keyframe) {
+    packets_since_keyframe_ = 0;
+    force_keyframe_ = false;
+  } else {
+    ++packets_since_keyframe_;
+  }
+  have_previous_ = true;
+  return packets;
+}
+
 std::size_t Encoder::ram_bytes() const {
-  // Two M-entry 32-bit measurement buffers (current + previous), the
-  // 512-sample window of 16-bit ADC values, and the bit-writer staging
-  // buffer (worst case one byte per symbol-bit / 8, bounded by a packet).
-  const std::size_t buffers = 2 * config_.measurements * sizeof(std::int32_t);
+  // The M-entry 32-bit staging buffer plus one M-entry previous vector
+  // per lead, the 512-sample window of 16-bit ADC values, and the
+  // bit-writer staging buffer (worst case one byte per symbol-bit / 8,
+  // bounded by a packet).
+  const std::size_t buffers =
+      (1 + config_.leads) * config_.measurements * sizeof(std::int32_t);
   const std::size_t window = config_.window * sizeof(std::int16_t);
   const std::size_t staging = 512;
   return buffers + window + staging;

@@ -176,9 +176,26 @@ class Decoder {
   /// As decode_measurements, but reuses \p y's capacity (allocation-free
   /// in steady state). Returns false on any reject; \p y is then
   /// unspecified and the inter-packet state is unchanged. kProfile frames
-  /// are rejected here — route mixed v1 streams through consume().
+  /// are rejected here — route mixed v1 streams through consume(). On a
+  /// lead-group stream (profile leads > 1) every data frame is rejected:
+  /// a group window only decodes whole, through
+  /// decode_group_measurements_into.
   bool decode_measurements_into(const Packet& packet,
                                 std::vector<std::int32_t>& y);
+
+  /// Entropy-decodes one complete lead-group window: \p group holds the
+  /// leads frames of one window — one shared sequence number, lead tags
+  /// 0..leads-1 in order, and one kind (the encoder's keyframe decision
+  /// is group-wide). \p y_flat receives leads * measurements integers
+  /// packed lead-major. All-or-nothing: any reject (stale/gap/corrupt
+  /// frame, wrong tag order, mixed kinds) returns false with every
+  /// difference chain and the sequence state unchanged, so the caller
+  /// conceals or sheds the whole group as one unit. An accepted group
+  /// keyframe invalidates the group warm prior, exactly like the
+  /// single-lead chain. leads == 1 accepts the singleton group with the
+  /// same semantics as decode_measurements_into.
+  bool decode_group_measurements_into(std::span<const Packet> group,
+                                      std::vector<std::int32_t>& y_flat);
 
   /// Profile-aware frame dispatch: kProfile frames (subject to the same
   /// stale-sequence protection as data frames) re-profile the decoder in
@@ -232,6 +249,32 @@ class Decoder {
                               std::size_t batch,
                               solvers::SolverWorkspace& workspace,
                               std::span<DecodedWindow<T>> out) const;
+
+  /// Joint lead-group reconstruction: \p y_int_flat packs the group's
+  /// leads measurement rows lead-major (leads * measurements elements,
+  /// as decode_group_measurements_into produces) and out[l] receives
+  /// lead l. The group solves as one l2,1 problem through fista_group —
+  /// one operator traversal per iteration regardless of L, with the
+  /// group shrink coupling the leads' wavelet supports. lambda is
+  /// lambda_relative * max_l ||A^T y_l||_inf (the scale rule of the
+  /// sequential path applied to the loudest lead). leads == 1 delegates
+  /// to reconstruct_into — the production single-lead path, bitwise.
+  /// The warm prior is group-wide (leads * window doubles): it seeds the
+  /// whole group and dies whole on every invalidation — any lead's
+  /// re-sync is the group's re-sync. Configurations fista_group excludes
+  /// (per-coefficient weights, objective recording) fall back to
+  /// independent per-lead solves, counted as
+  /// "decoder.group.fallback_sequential".
+  template <typename T>
+  void reconstruct_group_into(std::span<const std::int32_t> y_int_flat,
+                              solvers::SolverWorkspace& workspace,
+                              std::span<DecodedWindow<T>> out) const;
+
+  /// Full group pipeline: entropy decode + joint reconstruction. nullopt
+  /// when the group is rejected (nothing decoded, chains unchanged).
+  template <typename T>
+  std::optional<std::vector<DecodedWindow<T>>> decode_group(
+      std::span<const Packet> group);
 
   /// Resets inter-packet state (new session). Also drops any cached
   /// warm-start prior — a new session's first window has no neighbour.

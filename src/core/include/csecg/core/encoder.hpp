@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "csecg/coding/bitstream.hpp"
 #include "csecg/coding/huffman.hpp"
 #include "csecg/core/packet.hpp"
 #include "csecg/core/sensing_matrix.hpp"
@@ -49,6 +50,12 @@ struct EncoderConfig {
   /// paper; k > 0 trades reconstruction accuracy for wire bits (the
   /// EXP-A5 ablation). The decoder undoes the scale.
   unsigned measurement_shift = 0;
+  /// Leads per window group (1..8). Every lead of a group shares the
+  /// sensing seed — one Phi, regenerated on the fly per lead — and rides
+  /// one sequence/ARQ stream distinguished by the packet lead tag. 1 is
+  /// the classic single-lead stream and keeps every wire byte identical
+  /// to a pre-group encoder.
+  std::size_t leads = 1;
 };
 
 /// Nominal (pre-entropy-coding) measurement count for a target CR in
@@ -88,7 +95,20 @@ class Encoder {
   const coding::HuffmanCodebook& codebook() const { return codebook_; }
 
   /// Encodes one window of config().window ADC samples into a packet.
+  /// Single-lead entry point: CHECK-fails on a group-configured encoder
+  /// (config().leads > 1), whose windows must go through encode_group.
   Packet encode_window(std::span<const std::int16_t> x);
+
+  /// Encodes one lead-group window: \p xs_flat packs config().leads
+  /// windows back to back (leads * window samples, lead-major). The
+  /// returned packets share one sequence number and one kind — the
+  /// keyframe decision is group-wide, so every lead's difference chain
+  /// re-syncs together — and carry lead tags 0..leads-1. Every lead is
+  /// projected through the same Phi (the on-the-fly PRNG restarts from
+  /// the shared seed per lead), so the group costs one seed on the wire.
+  /// With leads == 1 the single packet is byte-identical to
+  /// encode_window's.
+  std::vector<Packet> encode_group(std::span<const std::int16_t> xs_flat);
 
   /// Forces the next packet to be absolute (e.g. after a reported loss).
   void request_keyframe() { force_keyframe_ = true; }
@@ -136,10 +156,24 @@ class Encoder {
   std::size_t flash_bytes() const;
 
  private:
+  /// Stage 1 for one lead: fills current_y_ with the projected (and
+  /// optionally shifted) integer measurements of \p x, charging the
+  /// MSP430 cycle model. The PRNG restart inside makes repeated calls see
+  /// the same Phi — the lead-group invariant.
+  void project_window(std::span<const std::int16_t> x,
+                      std::uint16_t sequence);
+  /// Stages 2+3 for one lead: serialises current_y_ as an absolute or
+  /// (against \p previous) differential payload into \p writer.
+  void write_absolute(coding::BitWriter& writer, std::uint16_t sequence);
+  void write_differential(std::span<const std::int32_t> previous,
+                          coding::BitWriter& writer, std::uint16_t sequence);
+
   EncoderConfig config_;
   SensingMatrix sensing_;
   coding::HuffmanCodebook codebook_;
   std::vector<std::int32_t> current_y_;
+  /// One difference-chain reference per lead: leads * measurements,
+  /// lead-major (a single-lead encoder uses row 0 only).
   std::vector<std::int32_t> previous_y_;
   std::vector<std::int32_t> diff_scratch_;  ///< y_t - y_{t-1} staging
   std::vector<std::int32_t> zero_scratch_;  ///< constant zero reference

@@ -22,12 +22,14 @@
 /// accounted 10 bytes of per-frame link overhead "headers + CRC"; the CRC
 /// half of that budget is now computed for real (see wbsn::LinkConfig).
 ///
-/// Kind-byte layout (wire format v1): bits 0-1 carry the packet kind,
-/// bits 2-7 are reserved and must be zero. parse() rejects any set
-/// reserved bit and any unassigned kind value explicitly — a frame from
-/// a newer wire format fails closed (counted per drop reason in obs)
-/// instead of being misparsed as payload. v0 frames (kinds 0 and 1) are
-/// byte-identical under v1.
+/// Kind-byte layout (wire format v2): bits 0-1 carry the packet kind,
+/// bits 2-4 carry the lead tag (0-7) so one ARQ/CRC stream multiplexes a
+/// lead group, and bits 5-7 are reserved and must be zero. parse()
+/// rejects any set reserved bit and any unassigned kind value explicitly
+/// — a frame from a newer wire format fails closed (counted per drop
+/// reason in obs) instead of being misparsed as payload. v0/v1 frames
+/// (kinds 0-2, lead tag 0) are byte-identical under v2: a single-lead
+/// stream never sets a lead bit.
 
 #include <cstdint>
 #include <optional>
@@ -51,15 +53,24 @@ enum class PacketKind : std::uint8_t {
 struct Packet {
   std::uint16_t sequence = 0;
   PacketKind kind = PacketKind::kDifferential;
+  /// Lead tag within a lead group (0 for single-lead streams; must stay 0
+  /// on profile frames, which describe the whole group).
+  std::uint8_t lead = 0;
   std::vector<std::uint8_t> payload;
 
   /// Header bytes on the wire: sequence (2) + kind/flags (1).
   static constexpr std::size_t kHeaderBytes = 3;
   /// CRC-16 trailer bytes appended by serialize() and checked by parse().
   static constexpr std::size_t kCrcBytes = 2;
-  /// Bits of the kind byte that carry the kind; the rest are reserved
-  /// and must be zero on the wire.
+  /// Bits of the kind byte that carry the kind; bits 2-4 carry the lead
+  /// tag and the rest are reserved and must be zero on the wire.
   static constexpr std::uint8_t kKindMask = 0x03;
+  static constexpr unsigned kLeadShift = 2;
+  static constexpr std::uint8_t kLeadMask = 0x07;
+  /// Largest lead tag the kind byte can carry: leads beyond 8 need a
+  /// wider wire format, not a repurposed reserved bit.
+  static constexpr std::size_t kMaxLeads =
+      static_cast<std::size_t>(kLeadMask) + 1;
 
   /// b_comp contribution of this packet: header + entropy payload. The
   /// CRC trailer is link-layer framing and is charged with the rest of

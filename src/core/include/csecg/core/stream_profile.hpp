@@ -16,9 +16,10 @@
 /// absolute/differential frames are byte-identical to the seed format.
 ///
 /// The serialized form is fixed-layout big-endian (like the packet
-/// header), 22 bytes:
+/// header), 22 bytes for a single-lead stream (wire version 1) and
+/// 23 bytes for a lead group (wire version 2 appends [22] = lead count):
 ///
-///   [0]     wire version (1)
+///   [0]     wire version (1 single-lead, 2 lead group)
 ///   [1]     flags: bit 0 = on-the-fly sensing indices; bits 1-7 reserved,
 ///           must be zero (parse fails closed on any set reserved bit)
 ///   [2..3]  window length N
@@ -31,6 +32,10 @@
 ///   [19]    wavelet id (see wavelet_id_from_name)
 ///   [20]    DWT decomposition levels
 ///   [21]    codebook id (0 = shipped analytic default book)
+///   [22]    lead count L (wire version 2 only; 2..8 — L = 1 streams
+///           keep the 22-byte v1 form, byte for byte, so v1 decoders
+///           never see a frame they would misread and v2 frames fail
+///           closed on v1 decoders via the version byte)
 ///
 /// parse() validates as well as decodes: a profile that names an unknown
 /// wavelet/codebook, or whose geometry the codec cannot realise, is
@@ -48,7 +53,12 @@ namespace csecg::core {
 
 struct StreamProfile {
   static constexpr std::uint8_t kWireVersion = 1;
+  /// Wire version announcing a lead group ([22] = lead count).
+  static constexpr std::uint8_t kWireVersionGroup = 2;
   static constexpr std::size_t kSerializedBytes = 22;
+  static constexpr std::size_t kSerializedBytesGroup = 23;
+  /// Lead-group ceiling, pinned by the packet lead tag (3 bits).
+  static constexpr std::size_t kMaxLeads = 8;
   /// The deterministic analytic book shipped with every build
   /// (default_difference_codebook); the only id resolvable without
   /// out-of-band distribution.
@@ -66,11 +76,20 @@ struct StreamProfile {
   std::uint8_t wavelet_id = 3;  ///< db4, the paper's basis
   int levels = 5;
   std::uint8_t codebook_id = kCodebookDefault;
+  /// Leads per window group. 1 keeps the v1 wire form; 2..kMaxLeads
+  /// switch the profile to wire version 2 (use with_leads()).
+  std::size_t leads = 1;
 
   /// Nominal CR in percent: 100 * (1 - M/N).
   double cr_percent() const;
 
-  /// Canonical 22-byte big-endian form (the kProfile frame payload).
+  /// This profile with the lead axis set: bumps the wire version to 2
+  /// for groups and back to 1 for a single lead, so the result is
+  /// always self-consistent.
+  StreamProfile with_leads(std::size_t lead_count) const;
+
+  /// Canonical big-endian form (the kProfile frame payload): 22 bytes
+  /// for leads == 1, 23 bytes otherwise.
   std::vector<std::uint8_t> serialize() const;
 
   /// Decodes and validates. nullopt on wrong length, wrong wire version,

@@ -24,7 +24,9 @@ std::vector<std::uint8_t> Packet::serialize() const {
   bytes.reserve(kHeaderBytes + payload.size() + kCrcBytes);
   bytes.push_back(static_cast<std::uint8_t>(sequence >> 8));
   bytes.push_back(static_cast<std::uint8_t>(sequence));
-  bytes.push_back(static_cast<std::uint8_t>(kind));
+  bytes.push_back(static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(kind) |
+      static_cast<std::uint8_t>((lead & kLeadMask) << kLeadShift)));
   bytes.insert(bytes.end(), payload.begin(), payload.end());
   const std::uint16_t crc = crc16_ccitt(bytes);
   bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
@@ -44,19 +46,23 @@ bool Packet::parse_into(std::span<const std::uint8_t> bytes, Packet& out) {
     obs::add("packet.drop.crc");
     return false;  // corrupted in flight
   }
-  if ((bytes[2] & static_cast<std::uint8_t>(~kKindMask)) != 0) {
+  constexpr std::uint8_t kAssignedMask = static_cast<std::uint8_t>(
+      kKindMask | (kLeadMask << kLeadShift));
+  if ((bytes[2] & static_cast<std::uint8_t>(~kAssignedMask)) != 0) {
     // A CRC-clean frame with reserved bits set comes from a newer wire
     // format this build does not speak: fail closed, never misparse.
     obs::add("packet.drop.reserved_bits");
     return false;
   }
-  if (bytes[2] > static_cast<std::uint8_t>(PacketKind::kProfile)) {
+  const std::uint8_t kind_bits = bytes[2] & kKindMask;
+  if (kind_bits > static_cast<std::uint8_t>(PacketKind::kProfile)) {
     obs::add("packet.drop.unknown_kind");
     return false;  // unassigned kind value inside the mask
   }
   out.sequence =
       static_cast<std::uint16_t>((std::uint16_t{bytes[0]} << 8) | bytes[1]);
-  out.kind = static_cast<PacketKind>(bytes[2]);
+  out.kind = static_cast<PacketKind>(kind_bits);
+  out.lead = static_cast<std::uint8_t>((bytes[2] >> kLeadShift) & kLeadMask);
   out.payload.assign(bytes.begin() + kHeaderBytes, bytes.begin() + body);
   return true;
 }

@@ -35,9 +35,16 @@ double StreamProfile::cr_percent() const {
                             static_cast<double>(window));
 }
 
+StreamProfile StreamProfile::with_leads(std::size_t lead_count) const {
+  StreamProfile out = *this;
+  out.leads = lead_count;
+  out.wire_version = lead_count > 1 ? kWireVersionGroup : kWireVersion;
+  return out;
+}
+
 std::vector<std::uint8_t> StreamProfile::serialize() const {
   std::vector<std::uint8_t> out;
-  out.reserve(kSerializedBytes);
+  out.reserve(leads > 1 ? kSerializedBytesGroup : kSerializedBytes);
   out.push_back(wire_version);
   out.push_back(on_the_fly_indices ? kFlagOnTheFlyIndices : 0);
   put_u16(out, window);
@@ -52,15 +59,23 @@ std::vector<std::uint8_t> StreamProfile::serialize() const {
   out.push_back(wavelet_id);
   out.push_back(static_cast<std::uint8_t>(levels));
   out.push_back(codebook_id);
+  if (leads > 1) {
+    out.push_back(static_cast<std::uint8_t>(leads));
+  }
   return out;
 }
 
 std::optional<StreamProfile> StreamProfile::parse(
     std::span<const std::uint8_t> bytes) {
-  if (bytes.size() != kSerializedBytes) {
+  if (bytes.size() != kSerializedBytes &&
+      bytes.size() != kSerializedBytesGroup) {
     return std::nullopt;
   }
-  if (bytes[0] != kWireVersion) {
+  // The version byte and the length must agree: a v1 decoder that only
+  // accepts 22-byte version-1 frames fails closed on a lead-group
+  // profile, and a truncated/padded group frame fails closed here.
+  const bool group_frame = bytes.size() == kSerializedBytesGroup;
+  if (bytes[0] != (group_frame ? kWireVersionGroup : kWireVersion)) {
     return std::nullopt;  // unknown wire version: fail closed
   }
   if ((bytes[1] & kFlagReservedMask) != 0) {
@@ -82,6 +97,7 @@ std::optional<StreamProfile> StreamProfile::parse(
   profile.wavelet_id = bytes[19];
   profile.levels = bytes[20];
   profile.codebook_id = bytes[21];
+  profile.leads = group_frame ? bytes[22] : 1;
   if (!profile.valid()) {
     return std::nullopt;
   }
@@ -89,8 +105,17 @@ std::optional<StreamProfile> StreamProfile::parse(
 }
 
 const char* StreamProfile::invalid_reason() const {
-  if (wire_version != kWireVersion) {
+  if (wire_version != kWireVersion && wire_version != kWireVersionGroup) {
     return "unsupported wire version";
+  }
+  if (leads == 0 || leads > kMaxLeads) {
+    return "lead count out of range";
+  }
+  // Version and lead count must agree (with_leads() keeps them so): a
+  // v1 profile claiming a group, or a v2 profile with a single lead,
+  // has no canonical wire form and is rejected rather than guessed at.
+  if ((wire_version == kWireVersionGroup) != (leads > 1)) {
+    return "wire version does not match lead count";
   }
   if (window == 0 || window > 0xFFFF) {
     return "window length out of range";

@@ -1,5 +1,6 @@
 #include "csecg/ecg/database.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "csecg/dsp/resampler.hpp"
@@ -45,12 +46,24 @@ RecordProfile profile_for(std::size_t index, util::Rng& rng) {
 SyntheticDatabase::SyntheticDatabase(const DatabaseConfig& config)
     : config_(config) {
   CSECG_CHECK(config.record_count > 0, "empty database requested");
+  CSECG_CHECK(config.leads >= 1 && config.leads <= 8,
+              "lead count out of range");
   util::Rng corpus_rng(config.seed);
   const AdcModel adc;  // 11 bits over 10 mV
   records_.reserve(config.record_count);
   mote_records_.reserve(config.record_count);
   records_lead2_.reserve(config.record_count);
   mote_records_lead2_.reserve(config.record_count);
+  if (config.leads > 2) {
+    extra_native_leads_.resize(config.leads - 2);
+    extra_mote_leads_.resize(config.leads - 2);
+    for (auto& leads : extra_native_leads_) {
+      leads.reserve(config.record_count);
+    }
+    for (auto& leads : extra_mote_leads_) {
+      leads.reserve(config.record_count);
+    }
+  }
 
   for (std::size_t i = 0; i < config.record_count; ++i) {
     util::Rng record_rng = corpus_rng.fork();
@@ -123,6 +136,15 @@ SyntheticDatabase::SyntheticDatabase(const DatabaseConfig& config)
                mote_records_);
     build_lead(LeadProjection::v1(), "/V1", noise_seed_2, records_lead2_,
                mote_records_lead2_);
+    // Extra leads draw their noise seeds after the two standard ones, so
+    // the default two-lead corpus is bitwise independent of config.leads.
+    for (std::size_t lead = 2; lead < config.leads; ++lead) {
+      const std::uint64_t noise_seed = record_rng();
+      build_lead(LeadProjection::for_lead(lead),
+                 "/L" + std::to_string(lead), noise_seed,
+                 extra_native_leads_[lead - 2],
+                 extra_mote_leads_[lead - 2]);
+    }
   }
 }
 
@@ -145,6 +167,123 @@ const Record& SyntheticDatabase::mote_lead2(std::size_t index) const {
   CSECG_CHECK(index < mote_records_lead2_.size(),
               "record index out of range");
   return mote_records_lead2_[index];
+}
+
+const Record& SyntheticDatabase::native_lead(std::size_t index,
+                                             std::size_t lead) const {
+  CSECG_CHECK(lead < config_.leads, "lead index out of range");
+  if (lead == 0) {
+    return native(index);
+  }
+  if (lead == 1) {
+    return native_lead2(index);
+  }
+  CSECG_CHECK(index < extra_native_leads_[lead - 2].size(),
+              "record index out of range");
+  return extra_native_leads_[lead - 2][index];
+}
+
+const Record& SyntheticDatabase::mote_lead(std::size_t index,
+                                           std::size_t lead) const {
+  CSECG_CHECK(lead < config_.leads, "lead index out of range");
+  if (lead == 0) {
+    return mote(index);
+  }
+  if (lead == 1) {
+    return mote_lead2(index);
+  }
+  CSECG_CHECK(index < extra_mote_leads_[lead - 2].size(),
+              "record index out of range");
+  return extra_mote_leads_[lead - 2][index];
+}
+
+std::vector<const Record*> SyntheticDatabase::mote_lead_group(
+    std::size_t index) const {
+  std::vector<const Record*> group;
+  group.reserve(config_.leads);
+  for (std::size_t lead = 0; lead < config_.leads; ++lead) {
+    group.push_back(&mote_lead(index, lead));
+  }
+  return group;
+}
+
+FetalMixture generate_fetal_mixture(const FetalMixtureConfig& config) {
+  CSECG_CHECK(config.leads >= 1 && config.leads <= 8,
+              "lead count out of range");
+  CSECG_CHECK(config.duration_s > 0.0, "duration out of range");
+  util::Rng rng(config.seed);
+
+  EcgSynConfig maternal_gen;
+  maternal_gen.sample_rate_hz = static_cast<double>(config.sample_rate_hz);
+  maternal_gen.duration_s = config.duration_s;
+  maternal_gen.mean_heart_rate_bpm = config.maternal_bpm;
+  maternal_gen.heart_rate_std_bpm = 2.5;
+  maternal_gen.amplitude_mv = config.maternal_amplitude_mv;
+  maternal_gen.seed = rng();
+
+  // The fetal trace: faster, smaller, with the shallow RR variability of
+  // a fetus. Rendered independently of the mother — the two rhythms are
+  // asynchronous, only the channels' observation of them is shared.
+  EcgSynConfig fetal_gen = maternal_gen;
+  fetal_gen.mean_heart_rate_bpm = config.fetal_bpm;
+  fetal_gen.heart_rate_std_bpm = 1.5;
+  fetal_gen.rsa_depth = 0.02;
+  fetal_gen.amplitude_mv = config.fetal_amplitude_mv;
+  fetal_gen.seed = rng();
+
+  const GeneratedEcg maternal = generate_ecg(maternal_gen);
+  const GeneratedEcg fetal = generate_ecg(fetal_gen);
+  const std::size_t samples =
+      std::min(maternal.samples_mv.size(), fetal.samples_mv.size());
+
+  FetalMixture mixture;
+  mixture.sample_rate_hz = maternal_gen.sample_rate_hz;
+  mixture.maternal_mv.assign(maternal.samples_mv.begin(),
+                             maternal.samples_mv.begin() +
+                                 static_cast<std::ptrdiff_t>(samples));
+  mixture.fetal_mv.assign(fetal.samples_mv.begin(),
+                          fetal.samples_mv.begin() +
+                              static_cast<std::ptrdiff_t>(samples));
+
+  const AdcModel adc;  // same 11-bit front end as the corpus
+  mixture.channels.reserve(config.leads);
+  for (std::size_t lead = 0; lead < config.leads; ++lead) {
+    // Per-channel electrode weights: the maternal projection varies less
+    // than the fetal one (the mother dominates every abdominal site; the
+    // fetus is near some electrodes and far from others).
+    const double maternal_weight = rng.uniform(0.8, 1.0);
+    const double fetal_weight = rng.uniform(0.55, 1.0);
+
+    std::vector<double> channel_mv(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      channel_mv[i] = maternal_weight * mixture.maternal_mv[i] +
+                      fetal_weight * mixture.fetal_mv[i];
+    }
+
+    NoiseConfig noise;
+    noise.baseline_wander_mv = config.noise_mv;
+    noise.muscle_artifact_mv = config.noise_mv;
+    noise.powerline_mv = 0.0;
+    noise.seed = rng();
+    add_noise(channel_mv, mixture.sample_rate_hz, noise);
+
+    Record channel;
+    channel.id = "fetal-mix/ch" + std::to_string(lead);
+    channel.sample_rate_hz = mixture.sample_rate_hz;
+    channel.samples = adc.quantize(channel_mv);
+    // Annotate with the fetal beats: they are the recovery target.
+    for (const auto onset : fetal.beat_onsets) {
+      if (onset < samples) {
+        channel.beat_onsets.push_back(onset);
+      }
+    }
+    channel.beat_classes.assign(
+        fetal.beat_classes.begin(),
+        fetal.beat_classes.begin() +
+            static_cast<std::ptrdiff_t>(channel.beat_onsets.size()));
+    mixture.channels.push_back(std::move(channel));
+  }
+  return mixture;
 }
 
 }  // namespace csecg::ecg

@@ -94,6 +94,27 @@ struct LeadProjection {
   static LeadProjection mlii() { return {}; }
   /// A V1-like precordial lead: small R, deep S, low P, inverted T.
   static LeadProjection v1() { return {0.6, 0.5, 0.35, 1.9, -0.5}; }
+  /// A V5-like lateral lead: tall R, shallow S, upright T.
+  static LeadProjection v5() { return {0.9, 0.7, 1.25, 0.45, 1.2}; }
+  /// An aVF-like inferior limb lead: everything slightly attenuated.
+  static LeadProjection avf() { return {0.85, 0.8, 0.8, 0.7, 0.75}; }
+
+  /// Projection for lead index \p lead of a correlated lead group: the
+  /// four presets in order, then the cycle repeated at distal-electrode
+  /// attenuation so a group never contains two identical channels.
+  static LeadProjection for_lead(std::size_t lead) {
+    const LeadProjection presets[4] = {mlii(), v1(), v5(), avf()};
+    LeadProjection projection = presets[lead % 4];
+    if (lead >= 4) {
+      constexpr double kDistalScale = 0.85;
+      projection.p *= kDistalScale;
+      projection.q *= kDistalScale;
+      projection.r *= kDistalScale;
+      projection.s *= kDistalScale;
+      projection.t *= kDistalScale;
+    }
+    return projection;
+  }
 };
 
 /// Draws the beat sequence (RR + class per beat) covering at least

@@ -118,6 +118,33 @@ struct RefOps {
     }
   }
 
+  // Group-lasso proximal step over `leads` packed rows: the lead-axis l2
+  // norm at each position scales all leads by max(g - t, 0) / g. The
+  // squared norm accumulates in ascending lead order — every schedule
+  // keeps that order, so results are bitwise-identical across backends.
+  template <typename T>
+  static void group_soft_threshold(const T* u, T t, T* y, std::size_t leads,
+                                   std::size_t n) {
+    if (leads == 1) {
+      soft_threshold(u, t, y, n);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      T sq{};
+      for (std::size_t l = 0; l < leads; ++l) {
+        const T v = u[l * n + i];
+        sq += v * v;
+      }
+      const T g = std::sqrt(sq);
+      T mag = g - t;
+      mag = mag > T(0) ? mag : T(0);
+      const T f = g > T(0) ? mag / g : T(0);
+      for (std::size_t l = 0; l < leads; ++l) {
+        y[l * n + i] = u[l * n + i] * f;
+      }
+    }
+  }
+
   template <typename T>
   static T norm1(const T* x, std::size_t n) {
     T acc{};
@@ -241,6 +268,35 @@ struct ScalarOps {
         y[i] = -v;
       } else {
         y[i] = T(0);
+      }
+    }
+  }
+
+  // Same reference arithmetic order; the factor select keeps the §IV-B.a
+  // branchy shape. L = 1 must hit *this* schedule's plain kernel.
+  template <typename T>
+  static void group_soft_threshold(const T* u, T t, T* y, std::size_t leads,
+                                   std::size_t n) {
+    if (leads == 1) {
+      soft_threshold(u, t, y, n);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      T sq{};
+      for (std::size_t l = 0; l < leads; ++l) {
+        const T v = u[l * n + i];
+        sq += v * v;
+      }
+      const T g = std::sqrt(sq);
+      T f;
+      if (g > t) {
+        T mag = g - t;
+        f = mag / g;
+      } else {
+        f = T(0);
+      }
+      for (std::size_t l = 0; l < leads; ++l) {
+        y[l * n + i] = u[l * n + i] * f;
       }
     }
   }
@@ -404,6 +460,58 @@ struct Simd4Ops {
       mag = mag > T(0) ? mag : T(0);
       const T sign = static_cast<T>(v > T(0)) - static_cast<T>(v < T(0));
       y[i] = mag * sign;
+    }
+  }
+
+  // 4-lane blocking over positions (the lead axis stays the inner
+  // accumulation, in ascending order): squared norms build up in lane
+  // accumulators, the sqrt/divide factor is computed per lane, then each
+  // lead's block is rescaled. Tail positions run the scalar body.
+  template <typename T>
+  static void group_soft_threshold(const T* u, T t, T* y, std::size_t leads,
+                                   std::size_t n) {
+    if (leads == 1) {
+      soft_threshold(u, t, y, n);
+      return;
+    }
+    const std::size_t blocks = n / 4;
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      const std::size_t i = blk * 4;
+      T sq[4] = {T(0), T(0), T(0), T(0)};
+      for (std::size_t l = 0; l < leads; ++l) {
+        const T* row = u + l * n + i;
+        for (std::size_t lane = 0; lane < 4; ++lane) {
+          sq[lane] += row[lane] * row[lane];
+        }
+      }
+      T f[4];
+      for (std::size_t lane = 0; lane < 4; ++lane) {
+        const T g = std::sqrt(sq[lane]);
+        T mag = g - t;
+        mag = mag > T(0) ? mag : T(0);
+        f[lane] = g > T(0) ? mag / g : T(0);
+      }
+      for (std::size_t l = 0; l < leads; ++l) {
+        const T* row = u + l * n + i;
+        T* out = y + l * n + i;
+        for (std::size_t lane = 0; lane < 4; ++lane) {
+          out[lane] = row[lane] * f[lane];
+        }
+      }
+    }
+    for (std::size_t i = blocks * 4; i < n; ++i) {
+      T sq{};
+      for (std::size_t l = 0; l < leads; ++l) {
+        const T v = u[l * n + i];
+        sq += v * v;
+      }
+      const T g = std::sqrt(sq);
+      T mag = g - t;
+      mag = mag > T(0) ? mag : T(0);
+      const T f = g > T(0) ? mag / g : T(0);
+      for (std::size_t l = 0; l < leads; ++l) {
+        y[l * n + i] = u[l * n + i] * f;
+      }
     }
   }
 
@@ -648,6 +756,53 @@ struct NativeOps {
       mag = mag > T(0) ? mag : T(0);
       const T sign = static_cast<T>(v > T(0)) - static_cast<T>(v < T(0));
       y[i] = mag * sign;
+    }
+  }
+
+  // Wide blocks over positions: the squared-norm accumulation runs as
+  // full-width vector MACs lead by lead (ascending, so lanes match the
+  // scalar order bitwise), the sqrt/divide factor is extracted per lane,
+  // and the rescale is again one wide multiply per lead.
+  template <typename T>
+  static void group_soft_threshold(const T* u, T t, T* y, std::size_t leads,
+                                   std::size_t n) {
+    if (leads == 1) {
+      soft_threshold(u, t, y, n);
+      return;
+    }
+    using V = typename NativeVec<T>::V;
+    constexpr std::size_t L = NativeVec<T>::kLanes;
+    std::size_t i = 0;
+    for (; i + L <= n; i += L) {
+      V sq{};
+      for (std::size_t l = 0; l < leads; ++l) {
+        const V v = vload<T>(u + l * n + i);
+        sq += v * v;
+      }
+      V f{};
+      for (std::size_t lane = 0; lane < L; ++lane) {
+        const T g = std::sqrt(sq[lane]);
+        T mag = g - t;
+        mag = mag > T(0) ? mag : T(0);
+        f[lane] = g > T(0) ? mag / g : T(0);
+      }
+      for (std::size_t l = 0; l < leads; ++l) {
+        vstore<T>(y + l * n + i, vload<T>(u + l * n + i) * f);
+      }
+    }
+    for (; i < n; ++i) {
+      T sq{};
+      for (std::size_t l = 0; l < leads; ++l) {
+        const T v = u[l * n + i];
+        sq += v * v;
+      }
+      const T g = std::sqrt(sq);
+      T mag = g - t;
+      mag = mag > T(0) ? mag : T(0);
+      const T f = g > T(0) ? mag / g : T(0);
+      for (std::size_t l = 0; l < leads; ++l) {
+        y[l * n + i] = u[l * n + i] * f;
+      }
     }
   }
 
@@ -959,6 +1114,16 @@ class OpsBackend final : public Backend {
                                            n);
     }
   }
+  void group_soft_threshold_batch(const float* u, float t, float* y,
+                                  std::size_t leads,
+                                  std::size_t n) const override {
+    Ops::template group_soft_threshold<float>(u, t, y, leads, n);
+  }
+  void group_soft_threshold_batch(const double* u, double t, double* y,
+                                  std::size_t leads,
+                                  std::size_t n) const override {
+    Ops::template group_soft_threshold<double>(u, t, y, leads, n);
+  }
   void dot_batch(const float* a, const float* b, float* out, std::size_t batch,
                  std::size_t n) const override {
     for (std::size_t r = 0; r < batch; ++r) {
@@ -1170,6 +1335,14 @@ inline OpCounts dual_band_synthesis_cost(std::size_t half_n, std::size_t taps,
                    static_cast<std::uint64_t>(half_n) * taps);
 }
 
+// Group shrink: L x the per-row shrink apply plus the group-norm work —
+// leads MACs per position for the squared-norm accumulation (re-reading
+// every lead's coefficient) and 2 ops per position for the sqrt/divide
+// factor. leads == 1 charges exactly the plain kernel's formula, so the
+// counted OpCounts stay byte-identical to the single-lead stack.
+inline OpCounts group_soft_threshold_cost(std::size_t leads, std::size_t n,
+                                          KernelMode m);
+
 // Panel charges are batch x the per-row formula. OpCounts fields are all
 // additive, so this is byte-identical to charging the row formula batch
 // times — which is exactly what the sequential schedule does. (Pricing
@@ -1184,6 +1357,19 @@ inline OpCounts scaled(OpCounts c, std::size_t batch) {
   c.leftover_lane *= k;
   c.loads *= k;
   c.stores *= k;
+  return c;
+}
+
+inline OpCounts group_soft_threshold_cost(std::size_t leads, std::size_t n,
+                                          KernelMode m) {
+  if (leads <= 1) {
+    return soft_threshold_cost(n, m);
+  }
+  OpCounts c = scaled(soft_threshold_cost(n, m), leads);
+  c += loop_cost(n, m, /*macs=*/static_cast<std::uint64_t>(leads) * n,
+                 /*ops=*/2 * static_cast<std::uint64_t>(n),
+                 /*loads=*/static_cast<std::uint64_t>(leads) * n,
+                 /*stores=*/0);
   return c;
 }
 
@@ -1208,6 +1394,28 @@ void Backend::soft_threshold_batch(const double* u, const double* thresholds,
   for (std::size_t b = 0; b < batch; ++b) {
     soft_threshold(u + b * n, thresholds[b], y + b * n, n);
   }
+}
+
+// Group-shrink defaults: reference semantics for groups, the backend's
+// own plain kernel at leads == 1 (the bitwise degeneration contract).
+void Backend::group_soft_threshold_batch(const float* u, float t, float* y,
+                                         std::size_t leads,
+                                         std::size_t n) const {
+  if (leads == 1) {
+    soft_threshold(u, t, y, n);
+    return;
+  }
+  RefOps::group_soft_threshold<float>(u, t, y, leads, n);
+}
+
+void Backend::group_soft_threshold_batch(const double* u, double t, double* y,
+                                         std::size_t leads,
+                                         std::size_t n) const {
+  if (leads == 1) {
+    soft_threshold(u, t, y, n);
+    return;
+  }
+  RefOps::group_soft_threshold<double>(u, t, y, leads, n);
 }
 
 void Backend::dot_batch(const float* a, const float* b, float* out,
@@ -1564,6 +1772,20 @@ void CountingBackend::soft_threshold_batch(const double* u,
                                            std::size_t n) const {
   inner_.soft_threshold_batch(u, thresholds, y, batch, n);
   linalg::charge(scaled(soft_threshold_cost(n, schedule_), batch));
+}
+
+void CountingBackend::group_soft_threshold_batch(const float* u, float t,
+                                                 float* y, std::size_t leads,
+                                                 std::size_t n) const {
+  inner_.group_soft_threshold_batch(u, t, y, leads, n);
+  linalg::charge(group_soft_threshold_cost(leads, n, schedule_));
+}
+
+void CountingBackend::group_soft_threshold_batch(const double* u, double t,
+                                                 double* y, std::size_t leads,
+                                                 std::size_t n) const {
+  inner_.group_soft_threshold_batch(u, t, y, leads, n);
+  linalg::charge(group_soft_threshold_cost(leads, n, schedule_));
 }
 
 void CountingBackend::dot_batch(const float* a, const float* b, float* out,

@@ -178,6 +178,22 @@ class Backend {
   virtual void soft_threshold_batch(const double* u, const double* thresholds,
                                     double* y, std::size_t batch,
                                     std::size_t n) const;
+  /// Group (row-wise l2) shrink over `leads` packed rows of n elements
+  /// sharing one threshold — the proximal step of the group-lasso
+  /// objective joint multi-lead recovery minimises. At each position i
+  /// the lead-axis norm g_i = sqrt(sum_l u_row_l[i]^2) scales every
+  /// lead's coefficient by max(g_i - t, 0) / g_i. All implementations
+  /// accumulate g_i in ascending lead order, so per-element results are
+  /// bitwise-identical across backends. leads == 1 delegates to the
+  /// plain soft_threshold kernel — required for the L = 1 bitwise pin,
+  /// because the factor form u * max(g-t,0)/g is not bit-identical to
+  /// sign(u) * max(|u|-t, 0).
+  virtual void group_soft_threshold_batch(const float* u, float t, float* y,
+                                          std::size_t leads,
+                                          std::size_t n) const;
+  virtual void group_soft_threshold_batch(const double* u, double t, double* y,
+                                          std::size_t leads,
+                                          std::size_t n) const;
   /// Per-row dot products over packed rows: out[b] = <a_row_b, b_row_b>.
   virtual void dot_batch(const float* a, const float* b, float* out,
                          std::size_t batch, std::size_t n) const;
@@ -349,6 +365,12 @@ class CountingBackend final : public Backend {
   void soft_threshold_batch(const double* u, const double* thresholds,
                             double* y, std::size_t batch,
                             std::size_t n) const override;
+  void group_soft_threshold_batch(const float* u, float t, float* y,
+                                  std::size_t leads,
+                                  std::size_t n) const override;
+  void group_soft_threshold_batch(const double* u, double t, double* y,
+                                  std::size_t leads,
+                                  std::size_t n) const override;
   void dot_batch(const float* a, const float* b, float* out, std::size_t batch,
                  std::size_t n) const override;
   void dot_batch(const double* a, const double* b, double* out,

@@ -86,15 +86,17 @@ class SparseBinaryMatrix {
   }
 
   /// Panel projection: y_row_b = Phi x_row_b for `batch` packed rows.
-  /// Full lane groups run on an interleaved scratch panel — the scatter
-  /// target for row index r holds the group's kLanes rows contiguously,
-  /// so every "y[r] += x[c]" of the scalar loop becomes one kLanes-wide
-  /// add and the index table (the expensive stream: cols*d random row
-  /// positions) is read once per group instead of once per row. Each lane
-  /// replays exactly the scalar per-row schedule (columns ascending, the
-  /// d adds in table order, one final scale), so results are bitwise
-  /// equal to the row-by-row loop; a partial tail group falls back to
-  /// apply().
+  /// Lane groups run on an interleaved scratch panel — the scatter
+  /// target for row index r holds the group's rows contiguously, so
+  /// every "y[r] += x[c]" of the scalar loop becomes one group-wide add
+  /// and the index table (the expensive stream: cols*d random row
+  /// positions) is read once per group instead of once per row. Each
+  /// lane replays exactly the scalar per-row schedule (columns
+  /// ascending, the d adds in table order, one final scale), so results
+  /// are bitwise equal to the row-by-row loop. Full kLanes-wide groups
+  /// take the fixed-width fast path; a partial tail group of 2+ rows
+  /// (e.g. a 3-lead group) runs the same schedule at its own width, so
+  /// it still costs one traversal; a 1-row tail is plain apply().
   template <typename T>
   void apply_batch(std::span<const T> x, std::span<T> y,
                    std::size_t batch) const {
@@ -125,16 +127,39 @@ class SparseBinaryMatrix {
         }
       }
     }
-    for (; b0 < batch; ++b0) {
+    const std::size_t rem = batch - b0;
+    if (rem == 1) {
       apply(x.subspan(b0 * cols_, cols_), y.subspan(b0 * rows_, rows_));
+    } else if (rem > 1) {
+      lanes.assign(rows_ * rem, T{});
+      for (std::size_t c = 0; c < cols_; ++c) {
+        const std::uint16_t* rows_ptr = row_index_.data() + c * d_;
+        T xc[kLanes];
+        for (std::size_t l = 0; l < rem; ++l) {
+          xc[l] = x[(b0 + l) * cols_ + c];
+        }
+        for (std::size_t k = 0; k < d_; ++k) {
+          T* yr = lanes.data() + rows_ptr[k] * rem;
+          for (std::size_t l = 0; l < rem; ++l) {
+            yr[l] += xc[l];
+          }
+        }
+      }
+      for (std::size_t l = 0; l < rem; ++l) {
+        T* yl = y.data() + (b0 + l) * rows_;
+        for (std::size_t r = 0; r < rows_; ++r) {
+          yl[r] = lanes[r * rem + l] * scale;
+        }
+      }
     }
   }
 
   /// Panel back-projection: y_row_b = Phi^T x_row_b, same single-traversal
-  /// and bitwise contracts as apply_batch: full lane groups interleave x
-  /// so each gather of d measurement values loads kLanes rows at once and
-  /// every accumulation is a kLanes-wide add, with per-lane summation
-  /// order identical to apply_transpose().
+  /// and bitwise contracts as apply_batch: lane groups interleave x so
+  /// each gather of d measurement values loads the group's rows at once
+  /// and every accumulation is a group-wide add, with per-lane summation
+  /// order identical to apply_transpose(). Partial tail groups of 2+
+  /// rows run the interleaved schedule at their own width.
   template <typename T>
   void apply_transpose_batch(std::span<const T> x, std::span<T> y,
                              std::size_t batch) const {
@@ -165,9 +190,31 @@ class SparseBinaryMatrix {
         }
       }
     }
-    for (; b0 < batch; ++b0) {
+    const std::size_t rem = batch - b0;
+    if (rem == 1) {
       apply_transpose(x.subspan(b0 * rows_, rows_),
                       y.subspan(b0 * cols_, cols_));
+    } else if (rem > 1) {
+      lanes.resize(rows_ * rem);
+      for (std::size_t l = 0; l < rem; ++l) {
+        const T* xl = x.data() + (b0 + l) * rows_;
+        for (std::size_t r = 0; r < rows_; ++r) {
+          lanes[r * rem + l] = xl[r];
+        }
+      }
+      for (std::size_t c = 0; c < cols_; ++c) {
+        const std::uint16_t* rows_ptr = row_index_.data() + c * d_;
+        T acc[kLanes] = {};
+        for (std::size_t k = 0; k < d_; ++k) {
+          const T* xr = lanes.data() + rows_ptr[k] * rem;
+          for (std::size_t l = 0; l < rem; ++l) {
+            acc[l] += xr[l];
+          }
+        }
+        for (std::size_t l = 0; l < rem; ++l) {
+          y[(b0 + l) * cols_ + c] = acc[l] * scale;
+        }
+      }
     }
   }
 
@@ -188,13 +235,15 @@ class SparseBinaryMatrix {
   /// a quick incoherence diagnostic used by tests.
   double average_column_overlap() const;
 
- private:
   /// Panel lane width: one lane per batch row, sized so a group's
   /// interleaved accumulators match the 4-wide vector units the native
   /// backend targets (and auto-vectorise as fixed-count contiguous loops
-  /// everywhere else).
+  /// everywhere else). Public so the §IV-B cycle model can price the
+  /// index-table stream per lane group: a panel apply of `batch` rows
+  /// reads the cols*d table ceil(batch / kLanes) times, not batch times.
   static constexpr std::size_t kLanes = 4;
 
+ private:
   template <typename T>
   std::vector<T>& lane_scratch() const {
     if constexpr (std::is_same_v<T, float>) {

@@ -81,6 +81,40 @@ std::span<ShrinkageResult<T>> fista_batch(const linalg::LinearOperator<T>& A,
                                           const ShrinkageOptions& options,
                                           SolverWorkspace& workspace);
 
+/// Joint group-sparse FISTA over a lead group: `leads` measurement rows
+/// (packed back to back in y_flat, leads * A.rows() elements) that share
+/// the operator A and one l2,1 regulariser,
+///
+///   min_a sum_l ||A a_l - y_l||^2 + lambda * sum_i ||a_{.,i}||_2
+///
+/// where a_{.,i} collects coefficient i across all leads. The proximal
+/// step is the group shrink (Backend::group_soft_threshold_batch): leads
+/// with correlated wavelet support reinforce each other's coefficients
+/// instead of being thresholded independently. The whole group shares
+/// one momentum scalar, one restart test and one stopping rule (summed
+/// over the lead axis), so the group converges — and is priced — as one
+/// problem riding the panel kernels: one operator traversal per
+/// iteration regardless of L.
+///
+/// leads == 1 degenerates bitwise to the sequential fista() call with
+/// the same options and backend: every panel kernel is row-identical to
+/// its single-vector form, the group shrink delegates to the plain soft
+/// threshold, and the scalar bookkeeping reduces to the sequential
+/// loops. options.warm_start, when set, is leads * A.cols() per-lead
+/// priors packed back to back.
+///
+/// Restrictions (CHECK-enforced): no per-coefficient weights, no sigma
+/// stopping, no objective recording. Results (one per lead; iterations/
+/// converged are group-wide, final_objective is the per-lead diagnostic
+/// ||A a_l - y_l||^2 + lambda ||a_l||_1) live in the workspace and stay
+/// valid until the next batched or group solve through it.
+template <typename T>
+std::span<ShrinkageResult<T>> fista_group(const linalg::LinearOperator<T>& A,
+                                          std::span<const T> y_flat,
+                                          std::size_t leads,
+                                          const ShrinkageOptions& options,
+                                          SolverWorkspace& workspace);
+
 }  // namespace csecg::solvers
 
 #endif  // CSECG_SOLVERS_FISTA_HPP

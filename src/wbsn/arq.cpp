@@ -62,25 +62,34 @@ void ArqTransmitter::on_feedback(const FeedbackMessage& message,
     return;
   }
   ++stats_.nacks_received;
-  const auto it = std::find_if(pending_.begin(), pending_.end(),
-                               [&](const Pending& p) {
-                                 return p.sequence == message.sequence;
-                               });
-  if (it == pending_.end()) {
+  // A NACK names a sequence, and a lead-group window multiplexes several
+  // frames (one per lead) onto one sequence: the receiver cannot say
+  // which lead it lost, so the whole group retransmits as one unit.
+  // Single-lead streams have one entry per sequence and behave exactly
+  // as before.
+  bool found = false;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->sequence != message.sequence) {
+      ++it;
+      continue;
+    }
+    found = true;
+    if (it->retries >= config_.max_retries) {
+      give_up(*it);
+      it = pending_.erase(it);
+      continue;
+    }
+    if (now >= it->next_eligible) {
+      it->nacked = true;
+    }
+    // else: duplicate NACK inside the backoff window — leave it be.
+    ++it;
+  }
+  if (!found) {
     // Already evicted or expired: the gap cannot be repaired. Ask for a
     // keyframe so the stream re-synchronises instead of stalling.
     give_up(Pending{});
-    return;
   }
-  if (it->retries >= config_.max_retries) {
-    give_up(*it);
-    pending_.erase(it);
-    return;
-  }
-  if (now < it->next_eligible) {
-    return;  // duplicate NACK inside the backoff window
-  }
-  it->nacked = true;
 }
 
 std::vector<std::vector<std::uint8_t>> ArqTransmitter::due_retransmissions(

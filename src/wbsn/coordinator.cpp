@@ -1,5 +1,6 @@
 #include "csecg/wbsn/coordinator.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "csecg/obs/obs.hpp"
@@ -59,7 +60,7 @@ Coordinator::FrameResult Coordinator::consume_frame(
     }
     ++stats_.profiles_applied;
     obs::add("coordinator.profiles.applied");
-    if (last_window_.size() != decoder_.config().cs.window) {
+    if (last_window_.size() != display_samples()) {
       // The concealment reference is in the old geometry; dropping it
       // falls back to the honest flat line until the first window lands.
       last_window_.clear();
@@ -71,6 +72,79 @@ Coordinator::FrameResult Coordinator::consume_frame(
     return FrameResult::kRejected;
   }
   window = std::move(*decoded);
+  return FrameResult::kWindow;
+}
+
+Coordinator::FrameResult Coordinator::consume_group(
+    std::span<const std::vector<std::uint8_t>> frames,
+    std::vector<float>& windows_flat) {
+  stats_.frames_received += frames.size();
+  group_packets_.clear();
+  group_packets_.reserve(frames.size());
+  for (const auto& frame : frames) {
+    auto packet = core::Packet::parse(frame);
+    if (!packet) {
+      // One bad frame sinks the whole group: nothing decodes, so every
+      // frame of it counts as rejected.
+      stats_.frames_rejected += frames.size();
+      obs::add("coordinator.frames.rejected");
+      return FrameResult::kRejected;
+    }
+    group_packets_.push_back(std::move(*packet));
+  }
+  if (group_packets_.size() == 1 &&
+      group_packets_.front().kind == core::PacketKind::kProfile) {
+    // Profiles ride their own un-tagged frame ahead of the group.
+    if (decoder_.consume(group_packets_.front(), y_scratch_) !=
+        FrameResult::kProfileApplied) {
+      ++stats_.frames_rejected;
+      obs::add("coordinator.frames.rejected");
+      return FrameResult::kRejected;
+    }
+    ++stats_.profiles_applied;
+    obs::add("coordinator.profiles.applied");
+    if (last_window_.size() != display_samples()) {
+      last_window_.clear();
+    }
+    return FrameResult::kProfileApplied;
+  }
+
+  obs::SpanScope span("window.decode.group",
+                      group_packets_.front().sequence);
+  span.attribute("leads", static_cast<double>(group_packets_.size()));
+  linalg::OpCounterScope scope;
+  const auto start = std::chrono::steady_clock::now();
+  const auto windows = decoder_.decode_group<float>(
+      std::span<const core::Packet>(group_packets_));
+  const auto stop = std::chrono::steady_clock::now();
+  if (!windows) {
+    stats_.frames_rejected += frames.size();
+    obs::add("coordinator.frames.rejected");
+    return FrameResult::kRejected;
+  }
+
+  const auto& ops = scope.counts();
+  stats_.ops_total += ops;
+  stats_.modelled_seconds_total += model_.seconds(ops);
+  stats_.host_seconds_total +=
+      std::chrono::duration<double>(stop - start).count();
+  // One group = one schedulable unit = one joint solve: the stats count
+  // it once, so cpu_usage keeps its per-window-period meaning.
+  stats_.iterations_total +=
+      static_cast<double>(windows->front().iterations);
+  ++stats_.windows_reconstructed;
+  span.attribute("iterations",
+                 static_cast<double>(windows->front().iterations));
+  span.attribute("modelled_seconds", model_.seconds(ops));
+  obs::observe("coordinator.decode.modelled_seconds", model_.seconds(ops));
+
+  const std::size_t n = decoder_.config().cs.window;
+  windows_flat.resize(windows->size() * n);
+  for (std::size_t l = 0; l < windows->size(); ++l) {
+    std::copy((*windows)[l].samples.begin(), (*windows)[l].samples.end(),
+              windows_flat.begin() + static_cast<std::ptrdiff_t>(l * n));
+  }
+  last_window_ = windows_flat;
   return FrameResult::kWindow;
 }
 
@@ -111,8 +185,14 @@ std::vector<float> Coordinator::conceal_hold_last() {
   if (!last_window_.empty()) {
     return last_window_;
   }
-  // Nothing decoded yet: a flat line is the honest "no signal" display.
-  return std::vector<float>(decoder_.config().cs.window, 0.0f);
+  // Nothing decoded yet: a flat line is the honest "no signal" display —
+  // one per lead on a group stream (the group conceals whole).
+  return std::vector<float>(display_samples(), 0.0f);
+}
+
+std::size_t Coordinator::display_samples() const {
+  const auto& cs = decoder_.config().cs;
+  return cs.window * std::max<std::size_t>(1, cs.leads);
 }
 
 std::vector<float> Coordinator::conceal_interpolated(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
 #include "csecg/core/packet.hpp"
 #include "csecg/util/error.hpp"
@@ -26,10 +27,12 @@ struct FleetCoordinator::NodeState {
             coding::HuffmanCodebook codebook, const ArqConfig& arq_config)
       : id(node_id),
         decoder(config, std::move(codebook)),
+        leads(std::max<std::size_t>(1, config.cs.leads)),
         arq(arq_config, /*first_sequence=*/0),
         latency_hist(&session.registry().histogram(kDecodeSeconds)),
-        // Concealment before the first good window paints a flat line.
-        last_window(config.cs.window, 0.0f) {
+        // Concealment before the first good window paints a flat line —
+        // one per lead on a group stream.
+        last_window(config.cs.window * leads, 0.0f) {
     stats.node_id = node_id;
   }
 
@@ -37,14 +40,18 @@ struct FleetCoordinator::NodeState {
             const ArqConfig& arq_config)
       : id(node_id),
         decoder(profile),
+        leads(std::max<std::size_t>(1, profile.leads)),
         arq(arq_config, /*first_sequence=*/0),
         latency_hist(&session.registry().histogram(kDecodeSeconds)),
-        last_window(profile.window, 0.0f) {
+        last_window(profile.window * leads, 0.0f) {
     stats.node_id = node_id;
   }
 
   std::uint32_t id;
   core::Decoder decoder;
+  /// Lead-group width of the stream (1 = classic single-lead). Updated
+  /// when an in-band re-profile changes it.
+  std::size_t leads;
   ArqReceiver arq;
   obs::Session session;
   obs::Histogram* latency_hist;
@@ -72,6 +79,19 @@ struct FleetCoordinator::NodeState {
   std::vector<std::uint16_t> sink_slots;
   std::vector<std::uint16_t> sink_wires;  ///< wire sequences, same order
   std::vector<core::DecodedWindow<float>> window_batch;
+  /// Lead-group reassembly (leads > 1). A group window's frames share
+  /// one sequence, which the one-buffer-per-sequence ArqReceiver cannot
+  /// hold, so data frames park here per sequence (indexed by lead tag)
+  /// until all leads arrived; the completed group moves to ready_groups
+  /// and a placeholder enters the ARQ. Partial groups are repaired by
+  /// the normal NACK path — the transmitter resends the whole group —
+  /// and abandoned sequences conceal whole.
+  std::map<std::uint16_t, std::vector<std::vector<std::uint8_t>>>
+      assembling;
+  std::map<std::uint16_t, std::vector<std::vector<std::uint8_t>>>
+      ready_groups;
+  std::vector<core::Packet> group_packets;  ///< group parse scratch
+  std::vector<core::DecodedWindow<float>> group_windows;
   FleetNodeStats stats;
 };
 
@@ -257,6 +277,11 @@ void FleetCoordinator::process_frames(
       }
       node.arq.on_corrupt_frame(node.ticks, out);
       recycle(std::move(frame));
+    } else if (node.leads > 1 &&
+               node.packet_scratch.kind != core::PacketKind::kProfile) {
+      // Group data frame: reassemble ahead of the ARQ. Profile frames
+      // ride their own un-tagged sequence and go straight through.
+      assemble_group(node, std::move(frame), out);
     } else {
       node.arq.on_frame(node.packet_scratch.sequence, std::move(frame),
                         node.ticks, out);
@@ -276,6 +301,75 @@ void FleetCoordinator::process_frames(
   flush_pending(node, workspace);
 }
 
+void FleetCoordinator::assemble_group(NodeState& node,
+                                      std::vector<std::uint8_t> frame,
+                                      ArqReceiver::Output& out) {
+  const std::uint16_t sequence = node.packet_scratch.sequence;
+  const std::size_t lead = node.packet_scratch.lead;
+  if (lead >= node.leads) {
+    ++node.stats.frames_rejected;
+    recycle(std::move(frame));
+    node.arq.on_tick(node.ticks, out);
+    return;
+  }
+  auto& slots = node.assembling[sequence];
+  if (slots.empty()) {
+    slots.resize(node.leads);
+  }
+  if (!slots[lead].empty()) {
+    // Same lead twice (a group retransmission overlapping a late
+    // original): keep the first copy.
+    recycle(std::move(frame));
+    node.arq.on_tick(node.ticks, out);
+    return;
+  }
+  slots[lead] = std::move(frame);
+  const bool complete =
+      std::none_of(slots.begin(), slots.end(),
+                   [](const std::vector<std::uint8_t>& f) {
+                     return f.empty();
+                   });
+  if (complete) {
+    node.ready_groups[sequence] = std::move(slots);
+    node.assembling.erase(sequence);
+    // The completed group enters the ARQ as one unit: an empty
+    // placeholder buffer under the shared sequence. handle_event
+    // resolves released sequences back through ready_groups.
+    node.arq.on_frame(sequence, {}, node.ticks, out);
+  } else {
+    // Partial group: no ARQ arrival yet (the sequence must still read
+    // as missing so the gap NACKs), but the clock advanced.
+    node.arq.on_tick(node.ticks, out);
+  }
+  // Backstop against stale partials that no event will ever clear
+  // (frames of an already-abandoned sequence trickling in late).
+  while (node.assembling.size() > config_.arq.rx_reorder + 4) {
+    discard_assembly(node, node.assembling.begin()->first);
+  }
+}
+
+void FleetCoordinator::discard_assembly(NodeState& node,
+                                        std::uint16_t sequence) {
+  const auto partial = node.assembling.find(sequence);
+  if (partial != node.assembling.end()) {
+    for (auto& frame : partial->second) {
+      if (!frame.empty()) {
+        ++node.stats.frames_discarded;
+        recycle(std::move(frame));
+      }
+    }
+    node.assembling.erase(partial);
+  }
+  const auto parked = node.ready_groups.find(sequence);
+  if (parked != node.ready_groups.end()) {
+    for (auto& frame : parked->second) {
+      ++node.stats.frames_discarded;
+      recycle(std::move(frame));
+    }
+    node.ready_groups.erase(parked);
+  }
+}
+
 void FleetCoordinator::handle_event(NodeState& node,
                                     ArqReceiver::Event& event,
                                     solvers::SolverWorkspace& workspace) {
@@ -283,8 +377,25 @@ void FleetCoordinator::handle_event(NodeState& node,
       static_cast<std::uint16_t>(event.sequence - node.profile_slots);
   if (event.lost) {
     flush_pending(node, workspace);
+    // A lost group sequence conceals whole; drop any partial assembly of
+    // it so late stragglers cannot resurrect a concealed window. The
+    // dropped siblings are counted (and recycled) so the frame ledger
+    // still balances.
+    discard_assembly(node, event.sequence);
     conceal(node, slot, event.sequence);
     return;
+  }
+  if (node.leads > 1) {
+    const auto ready = node.ready_groups.find(event.sequence);
+    if (ready != node.ready_groups.end()) {
+      auto frames = std::move(ready->second);
+      node.ready_groups.erase(ready);
+      flush_pending(node, workspace);
+      decode_group_event(node, frames, slot, event.sequence, workspace);
+      return;
+    }
+    // No parked group: the event carries its own frame (a kProfile
+    // announcement) — fall through to the classic per-frame path.
   }
   const auto start = std::chrono::steady_clock::now();
   bool decoded = false;
@@ -303,9 +414,13 @@ void FleetCoordinator::handle_event(NodeState& node,
           config_.flight->record(obs::FlightEventId::kProfileApplied,
                                  node.id);
         }
-        if (node.last_window.size() != node.decoder.config().cs.window) {
+        node.leads =
+            std::max<std::size_t>(1, node.decoder.config().cs.leads);
+        if (node.last_window.size() !=
+            node.decoder.config().cs.window * node.leads) {
           // The concealment reference is in the old geometry.
-          node.last_window.assign(node.decoder.config().cs.window, 0.0f);
+          node.last_window.assign(
+              node.decoder.config().cs.window * node.leads, 0.0f);
         }
       } else {
         ++node.stats.frames_rejected;
@@ -400,6 +515,114 @@ void FleetCoordinator::handle_event(NodeState& node,
   }
 }
 
+void FleetCoordinator::decode_group_event(
+    NodeState& node, std::vector<std::vector<std::uint8_t>>& frames,
+    std::uint16_t slot, std::uint16_t wire_sequence,
+    solvers::SolverWorkspace& workspace) {
+  node.group_packets.clear();
+  node.group_packets.reserve(frames.size());
+  bool parsed = true;
+  for (const auto& frame : frames) {
+    node.group_packets.emplace_back();
+    if (!core::Packet::parse_into(frame, node.group_packets.back())) {
+      parsed = false;
+      break;
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  bool decoded = false;
+  if (parsed && node.decoder.decode_group_measurements_into(
+                    std::span<const core::Packet>(node.group_packets),
+                    node.y_scratch)) {
+    if (decode_mode() == DecodeMode::kConcealOnly) {
+      // Shed whole: the entropy decode advanced every lead's chain, so
+      // the group resumes exact decodes once pressure clears, but the
+      // joint solve is skipped and all leads get concealments together.
+      ++node.stats.windows_shed_concealed;
+      for (auto& frame : frames) {
+        recycle(std::move(frame));
+      }
+      conceal(node, slot, wire_sequence);
+      return;
+    }
+    if (node.group_windows.size() < node.leads) {
+      node.group_windows.resize(node.leads);
+    }
+    const std::span<core::DecodedWindow<float>> windows(
+        node.group_windows.data(), node.leads);
+    if (config_.trace_spans) {
+      obs::SpanScope span("window.decode.group", wire_sequence);
+      span.attribute("leads", static_cast<double>(node.leads));
+      node.decoder.reconstruct_group_into<float>(
+          std::span<const std::int32_t>(node.y_scratch), workspace,
+          windows);
+      span.attribute("iterations",
+                     static_cast<double>(windows.front().iterations));
+    } else {
+      node.decoder.reconstruct_group_into<float>(
+          std::span<const std::int32_t>(node.y_scratch), workspace,
+          windows);
+    }
+    decoded = true;
+  }
+  for (auto& frame : frames) {
+    recycle(std::move(frame));
+  }
+  if (!decoded) {
+    // One bad lead sinks the group: conceal whole rather than skew. All
+    // the group's frames are charged, keeping rejects in frame units.
+    node.stats.frames_rejected += frames.size();
+    if (config_.flight != nullptr) {
+      config_.flight->record(obs::FlightEventId::kFrameRejected, node.id,
+                             slot);
+    }
+    conceal(node, slot, wire_sequence);
+    return;
+  }
+  const double decode_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // One group = one schedulable unit = one joint solve: the stats count
+  // it once, so latency quantiles and deadline misses stay per-solve.
+  ++node.stats.windows_reconstructed;
+  node.stats.decode_seconds_total += decode_s;
+  node.stats.iterations_total +=
+      static_cast<double>(node.group_windows.front().iterations);
+  node.latency_hist->add(decode_s);
+  if (decode_s > config_.deadline_seconds) {
+    ++node.stats.deadline_misses;
+    node.session.registry().counter(kDeadlineMisses).add(1);
+    if (config_.flight != nullptr) {
+      config_.flight->record(obs::FlightEventId::kDeadlineMiss, node.id,
+                             slot,
+                             static_cast<std::uint64_t>(decode_s * 1e6));
+    }
+  }
+  const std::size_t n = node.decoder.config().cs.window;
+  node.last_window.resize(node.leads * n);
+  for (std::size_t l = 0; l < node.leads; ++l) {
+    const auto& samples = node.group_windows[l].samples;
+    std::copy(samples.begin(), samples.end(),
+              node.last_window.begin() + static_cast<std::ptrdiff_t>(l * n));
+  }
+  if (sink_) {
+    for (std::size_t l = 0; l < node.leads; ++l) {
+      FleetWindow window;
+      window.node_id = node.id;
+      window.sequence = slot;
+      window.wire_sequence = wire_sequence;
+      window.concealed = false;
+      window.decode_seconds = decode_s;
+      window.iterations = node.group_windows[l].iterations;
+      window.lead = static_cast<std::uint8_t>(l);
+      window.samples =
+          std::span<const float>(node.group_windows[l].samples);
+      sink_(window);
+    }
+  }
+}
+
 void FleetCoordinator::flush_pending(NodeState& node,
                                      solvers::SolverWorkspace& workspace) {
   const std::size_t batch = node.sink_slots.size();
@@ -474,13 +697,21 @@ void FleetCoordinator::conceal(NodeState& node, std::uint16_t sequence,
   node.decoder.invalidate_prior();
   ++node.stats.windows_concealed;
   if (sink_) {
-    FleetWindow window;
-    window.node_id = node.id;
-    window.sequence = sequence;
-    window.wire_sequence = wire_sequence;
-    window.concealed = true;
-    window.samples = std::span<const float>(node.last_window);
-    sink_(window);
+    // A group node conceals all its leads together (one FleetWindow per
+    // lead, same sequence); a single-lead node emits the classic single
+    // delivery.
+    const std::size_t n = node.last_window.size() / node.leads;
+    for (std::size_t l = 0; l < node.leads; ++l) {
+      FleetWindow window;
+      window.node_id = node.id;
+      window.sequence = sequence;
+      window.wire_sequence = wire_sequence;
+      window.concealed = true;
+      window.lead = static_cast<std::uint8_t>(l);
+      window.samples =
+          std::span<const float>(node.last_window.data() + l * n, n);
+      sink_(window);
+    }
   }
 }
 
@@ -511,6 +742,18 @@ FleetReport FleetCoordinator::finish() {
       handle_event(*node, event, workspace);
     }
     flush_pending(*node, workspace);
+    // Tail partials the ARQ never saw (a group whose first frames arrived
+    // but whose siblings were shed, with no later sequence to expose the
+    // gap): conceal whole and account the stranded frames.
+    while (!node->assembling.empty() || !node->ready_groups.empty()) {
+      const std::uint16_t sequence =
+          node->assembling.empty() ? node->ready_groups.begin()->first
+                                   : node->assembling.begin()->first;
+      discard_assembly(*node, sequence);
+      conceal(*node,
+              static_cast<std::uint16_t>(sequence - node->profile_slots),
+              sequence);
+    }
   }
 
   FleetReport report;
@@ -532,6 +775,7 @@ FleetReport FleetCoordinator::finish() {
     report.frames_submitted += stats.frames_submitted;
     report.frames_corrupt += stats.frames_corrupt;
     report.frames_rejected += stats.frames_rejected;
+    report.frames_discarded += stats.frames_discarded;
     report.windows_reconstructed += stats.windows_reconstructed;
     report.windows_concealed += stats.windows_concealed;
     report.windows_shed_concealed += stats.windows_shed_concealed;

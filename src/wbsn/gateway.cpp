@@ -673,6 +673,7 @@ GatewayReport GatewayService::finish() {
     report.windows_concealed += sr.fleet.windows_concealed;
     report.windows_shed_concealed += sr.fleet.windows_shed_concealed;
     report.frames_rejected += sr.fleet.frames_rejected;
+    report.frames_discarded += sr.fleet.frames_discarded;
     report.deadline_misses += sr.fleet.deadline_misses;
     report.queue_high_water =
         std::max(report.queue_high_water, sr.fleet.queue_high_water);

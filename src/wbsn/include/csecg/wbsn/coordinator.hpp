@@ -91,6 +91,18 @@ class Coordinator {
   FrameResult consume_frame(std::span<const std::uint8_t> frame,
                             std::vector<float>& window);
 
+  /// Lead-group variant: \p frames holds one complete group window (the
+  /// decoder's leads frames, shared sequence, lead tags in order).
+  /// kWindow fills \p windows_flat with the leads reconstructions back
+  /// to back (leads * window floats, lead-major) from one joint
+  /// group-sparse solve. A single kProfile frame passed as a one-element
+  /// group re-profiles (kProfileApplied). Any reject (kRejected) leaves
+  /// the decode chains untouched, so the caller conceals the whole
+  /// group — leads never skew.
+  FrameResult consume_group(
+      std::span<const std::vector<std::uint8_t>> frames,
+      std::vector<float>& windows_flat);
+
   /// Synthesises a stand-in for an unrecoverable window by repeating the
   /// last good reconstruction (flat-line zeros if none exists yet).
   std::vector<float> conceal_hold_last();
@@ -115,6 +127,10 @@ class Coordinator {
   std::optional<std::vector<float>> decode_data_frame(
       const core::Packet& packet);
 
+  /// Samples one display refresh covers: window * leads (a group paints
+  /// all its leads together, so concealment references span the group).
+  std::size_t display_samples() const;
+
   core::Decoder decoder_;
   /// Counting decorator over the decoder's configured backend; installed
   /// at construction so cpu_usage() always has real op counts.
@@ -124,6 +140,7 @@ class Coordinator {
   CoordinatorStats stats_;
   std::vector<float> last_window_;  ///< last good reconstruction
   std::vector<std::int32_t> y_scratch_;  ///< consume_frame measurement reuse
+  std::vector<core::Packet> group_packets_;  ///< consume_group parse reuse
 };
 
 }  // namespace csecg::wbsn

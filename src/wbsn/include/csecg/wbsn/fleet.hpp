@@ -29,6 +29,10 @@
 ///    that node's frames. finish() merges every per-node registry into
 ///    the aggregate session, so fleet-wide latency quantiles and
 ///    per-node breakdowns come from one metrics tree.
+///  * A lead-group stream (StreamProfile v2, leads > 1) schedules whole
+///    group windows: the L same-sequence frames reassemble ahead of the
+///    ARQ, decode as one joint group-sparse solve, and conceal or shed
+///    whole — the node's leads never skew against each other.
 
 #include <atomic>
 #include <chrono>
@@ -156,6 +160,11 @@ struct FleetWindow {
   bool concealed = false;       ///< synthesised stand-in, not a decode
   double decode_seconds = 0.0;  ///< host decode latency (0 if concealed)
   std::size_t iterations = 0;   ///< FISTA iterations (0 if concealed)
+  /// Lead index within the node's lead group (0 on single-lead streams).
+  /// A group window delivers leads consecutive FleetWindows — same
+  /// sequence, leads 0..L-1, all decoded or all concealed: the group is
+  /// one schedulable unit, so leads never skew.
+  std::uint8_t lead = 0;
   std::span<const float> samples;
 };
 
@@ -164,6 +173,14 @@ struct FleetNodeStats {
   std::size_t frames_submitted = 0;
   std::size_t frames_corrupt = 0;   ///< CRC-rejected arrivals
   std::size_t frames_rejected = 0;  ///< CRC-clean but undecodable
+  /// Lead-group frames dropped without a decode or reject of their own:
+  /// siblings of a partial group whose sequence was abandoned (the gap
+  /// concealment stands in for the whole group). Zero on single-lead
+  /// streams. Closes the frame ledger:
+  ///   submitted == leads*(reconstructed + shed_concealed)
+  ///              + rejected + corrupt + discarded      (clean in-order
+  ///                                                     traffic, no dups)
+  std::size_t frames_discarded = 0;
   std::size_t windows_reconstructed = 0;
   std::size_t windows_concealed = 0;
   /// Concealments forced by DecodeMode::kConcealOnly (already included
@@ -183,6 +200,7 @@ struct FleetReport {
   std::size_t frames_submitted = 0;
   std::size_t frames_corrupt = 0;
   std::size_t frames_rejected = 0;
+  std::size_t frames_discarded = 0;  ///< partial-group frames dropped
   std::size_t windows_reconstructed = 0;
   std::size_t windows_concealed = 0;
   std::size_t windows_shed_concealed = 0;  ///< subset of windows_concealed
@@ -293,8 +311,24 @@ class FleetCoordinator {
                       solvers::SolverWorkspace& workspace);
   void handle_event(NodeState& node, ArqReceiver::Event& event,
                     solvers::SolverWorkspace& workspace);
+  /// Collects one data frame of a lead-group node (leads > 1). The
+  /// ArqReceiver tracks one buffer per sequence, so group frames park in
+  /// the node's assembler and a completed group enters the ARQ as one
+  /// placeholder unit under the shared sequence — ordering, NACKs and
+  /// abandonment all stay per group window.
+  void assemble_group(NodeState& node, std::vector<std::uint8_t> frame,
+                      ArqReceiver::Output& out);
+  /// Joint-decodes one complete, in-order group window; any reject or
+  /// shed conceals the whole group.
+  void decode_group_event(NodeState& node,
+                          std::vector<std::vector<std::uint8_t>>& frames,
+                          std::uint16_t slot, std::uint16_t wire_sequence,
+                          solvers::SolverWorkspace& workspace);
   /// Decodes every window buffered for batching (no-op when none); the
   /// barrier every non-window event crosses so sink order holds.
+  /// Drops (and recycles) any parked assembly of \p sequence, counting
+  /// the stranded frames into frames_discarded.
+  void discard_assembly(NodeState& node, std::uint16_t sequence);
   void flush_pending(NodeState& node, solvers::SolverWorkspace& workspace);
   void conceal(NodeState& node, std::uint16_t sequence,
                std::uint16_t wire_sequence);

@@ -148,6 +148,7 @@ struct GatewayReport {
   std::size_t windows_concealed = 0;
   std::size_t windows_shed_concealed = 0;
   std::size_t frames_rejected = 0;
+  std::size_t frames_discarded = 0;  ///< partial lead-group frames dropped
   std::size_t deadline_misses = 0;
   std::size_t queue_high_water = 0;  ///< max over shards
   double latency_p50_s = 0.0;

@@ -2,23 +2,43 @@
 #define CSECG_WBSN_MULTI_LEAD_HPP
 
 /// \file multi_lead.hpp
-/// Multi-lead monitoring: several sensor nodes (one per ECG lead, as in
-/// the 3-lead Holter setups the paper's introduction targets) stream to a
-/// single coordinator, which decodes all leads within the shared 2-second
+/// Multi-lead monitoring: several ECG leads stream to a single
+/// coordinator, which decodes all leads within the shared 2-second
 /// real-time budget. This answers the capacity question behind §V's
 /// "less than 30 % CPU": how many leads fit one phone.
+///
+/// Two wirings, selected by MultiLeadMode:
+///
+///  * kIndependent — the classic EXP-A9 topology: one StreamSession per
+///    lead (lead-distinct sensing seeds, so simultaneous corruption
+///    cannot alias across leads), one decoder per lead, purely additive
+///    decode cost.
+///  * kJointGroup — the lead-group topology: one StreamProfile-v2
+///    session carries all leads under a shared sensing seed, and the
+///    coordinator recovers the group jointly (one l2,1 solve on panel
+///    kernels, one operator traversal per iteration regardless of L).
+///    This is the sub-additive operating point EXP-A15 measures.
+///
+/// Both run v1 in-band profile bootstrap: the session's first frame is
+/// the kProfile announcement, and the coordinator consumes it like any
+/// receiver — nothing is shared out-of-band except receiver-side solver
+/// policy (lambda, backend, prior), which is not part of the wire
+/// contract.
 
 #include <cstdint>
 #include <vector>
 
-#include "csecg/coding/huffman.hpp"
 #include "csecg/core/decoder.hpp"
 #include "csecg/ecg/record.hpp"
 #include "csecg/wbsn/coordinator.hpp"
 #include "csecg/wbsn/link.hpp"
-#include "csecg/wbsn/node.hpp"
 
 namespace csecg::wbsn {
+
+enum class MultiLeadMode : std::uint8_t {
+  kIndependent = 0,  ///< one stream + one solve per lead
+  kJointGroup = 1,   ///< one lead-group stream, joint group-sparse solve
+};
 
 struct MultiLeadReport {
   std::size_t leads = 0;
@@ -29,18 +49,25 @@ struct MultiLeadReport {
   /// budget of 1 s of compute per 2 s of ECG.
   bool real_time_feasible = false;
   double mean_prd = 0.0;       ///< across all leads
+  /// Mean FISTA iterations per decode unit: per window (independent) or
+  /// per group solve (joint — the group iterates as one problem).
+  double mean_decode_iterations = 0.0;
   double link_airtime_s = 0.0; ///< total airtime, all leads
   std::vector<double> per_lead_prd;
+  /// Mote CPU per lead. Independent mode: each lead's own node. Joint
+  /// mode: the single group mote's usage split evenly across leads.
   std::vector<double> per_lead_node_cpu;
 };
 
-/// Runs one record per lead (all must share length and rate) through
-/// lead-distinct encoders (each node derives its sensing seed from the
-/// shared base seed and its lead index) into one coordinator.
-MultiLeadReport run_multi_lead(const std::vector<const ecg::Record*>& leads,
-                               const core::DecoderConfig& config,
-                               const coding::HuffmanCodebook& codebook,
-                               const LinkConfig& link_config = {});
+/// Runs one record per lead (all must share length and rate) through the
+/// selected topology into one coordinator. The wire codebook is the
+/// profile-resolvable default book (id 0) — the in-band bootstrap
+/// contract; \p config supplies geometry, seed and receiver-side solver
+/// policy.
+MultiLeadReport run_multi_lead(
+    const std::vector<const ecg::Record*>& leads,
+    const core::DecoderConfig& config, const LinkConfig& link_config = {},
+    MultiLeadMode mode = MultiLeadMode::kIndependent);
 
 }  // namespace csecg::wbsn
 

@@ -75,6 +75,15 @@ class SensorNode {
   std::vector<std::uint8_t> process_window(
       std::span<const std::int16_t> samples);
 
+  /// Lead-group variant: encodes one group window (leads * window samples
+  /// back to back, lead-major) into one frame per lead. All frames share
+  /// one sequence number, so the ARQ tracks — and retransmits — the group
+  /// as one unit; stats count the group as one window (one schedulable
+  /// unit). With a single-lead encoder this is process_window in a
+  /// one-element vector.
+  std::vector<std::vector<std::uint8_t>> process_group(
+      std::span<const std::int16_t> samples_flat);
+
   /// Feeds coordinator feedback to the ARQ and returns the frames that
   /// are due for retransmission now (already framed; hand to the link).
   std::vector<std::vector<std::uint8_t>> handle_feedback(

@@ -90,6 +90,13 @@ class StreamSession {
   std::size_t send_window(std::span<const std::int16_t> samples,
                           const FrameSink& sink);
 
+  /// Lead-group variant of send_window: \p samples_flat packs the
+  /// encoder's leads windows back to back (lead-major). The group's
+  /// frames share one sequence and transmit back to back, so the
+  /// receiver schedules, conceals or sheds the group as one unit.
+  std::size_t send_group_window(std::span<const std::int16_t> samples_flat,
+                                const FrameSink& sink);
+
   /// Manual mid-stream re-profile (the adaptive path uses the same
   /// mechanism). v1 sessions only.
   void set_profile(const core::StreamProfile& profile);

@@ -55,6 +55,12 @@ struct TrafficConfig {
   /// Keyframe cadence baked into each stream's profile — the re-entry
   /// points the kDropToKeyframe tier relies on.
   std::size_t keyframe_interval = 16;
+  /// Leads per node window. 1 keeps the classic single-lead streams;
+  /// 2..StreamProfile::kMaxLeads pre-encodes StreamProfile-v2 lead
+  /// groups (correlated database leads, one shared sensing seed): each
+  /// window becomes leads frames under one wire sequence, offered
+  /// back-to-back, decoded as one joint group solve.
+  std::size_t leads = 1;
   /// Windows pre-encoded per stream; a node falls silent when its cursor
   /// reaches the end (replaying wire sequence numbers would be rejected
   /// as stale, as it should be).
@@ -76,10 +82,13 @@ struct TrafficConfig {
 /// here since the harness owns both ends.
 struct EncodedStream {
   core::StreamProfile profile;
-  /// frames[w] is the serialized packet of window w; wire sequence == w.
+  /// Group-major frame layout: window w occupies
+  /// frames[w*leads .. (w+1)*leads), all carrying wire sequence w (one
+  /// frame per window in the classic leads == 1 configuration).
   std::vector<std::vector<std::uint8_t>> frames;
-  /// Golden CRC-16/CCITT over the float reconstruction of record window
-  /// r; window w checks against golden_crc[w % golden_crc.size()].
+  /// Golden CRC-16/CCITT over the float reconstruction, one entry per
+  /// (record window, lead), lead-minor: window w / lead l checks against
+  /// golden_crc[(w % record_windows) * leads + l].
   std::vector<std::uint16_t> golden_crc;
 };
 

@@ -1,17 +1,52 @@
 #include "csecg/wbsn/multi_lead.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <span>
 
+#include "csecg/core/codebook.hpp"
+#include "csecg/core/packet.hpp"
 #include "csecg/ecg/metrics.hpp"
 #include "csecg/util/error.hpp"
+#include "csecg/wbsn/stream_session.hpp"
 
 namespace csecg::wbsn {
 
+namespace {
+
+/// The wire contract of \p config (with the given seed/lead count) as an
+/// announceable v1/v2 profile.
+core::StreamProfile bootstrap_profile(core::DecoderConfig config,
+                                      std::uint64_t seed,
+                                      std::size_t lead_count) {
+  config.cs.seed = seed;
+  config.cs.leads = lead_count;
+  const auto profile = core::profile_from(config);
+  CSECG_CHECK(profile.has_value(),
+              "multi-lead config is not announceable as a stream profile");
+  return *profile;
+}
+
+double window_prd(const ecg::Record& record, std::size_t offset,
+                  std::span<const float> reconstructed, std::size_t n,
+                  std::vector<double>& original_scratch,
+                  std::vector<double>& recon_scratch) {
+  for (std::size_t i = 0; i < n; ++i) {
+    original_scratch[i] = static_cast<double>(record.samples[offset + i]);
+    recon_scratch[i] = static_cast<double>(reconstructed[i]);
+  }
+  return ecg::prd(original_scratch, recon_scratch);
+}
+
+}  // namespace
+
 MultiLeadReport run_multi_lead(const std::vector<const ecg::Record*>& leads,
                                const core::DecoderConfig& config,
-                               const coding::HuffmanCodebook& codebook,
-                               const LinkConfig& link_config) {
+                               const LinkConfig& link_config,
+                               MultiLeadMode mode) {
   CSECG_CHECK(!leads.empty(), "need at least one lead");
+  CSECG_CHECK(leads.size() <= core::StreamProfile::kMaxLeads,
+              "lead count exceeds the wire lead-tag range");
   const std::size_t n = config.cs.window;
   const std::size_t length = leads.front()->samples.size();
   for (const auto* lead : leads) {
@@ -21,65 +56,157 @@ MultiLeadReport run_multi_lead(const std::vector<const ecg::Record*>& leads,
   }
   const std::size_t windows = length / n;
   CSECG_CHECK(windows > 0, "records shorter than one window");
-
-  // One node + one coordinator-side decoder per lead: each lead is an
-  // independent CS stream with its own sensing seed (so simultaneous
-  // packet corruption cannot alias across leads), all sharing the one
-  // phone whose budget we account.
-  std::vector<std::unique_ptr<SensorNode>> nodes;
-  std::vector<std::unique_ptr<Coordinator>> decoders;
-  BluetoothLink link(link_config);
-  for (std::size_t l = 0; l < leads.size(); ++l) {
-    core::DecoderConfig lead_config = config;
-    lead_config.cs.seed = config.cs.seed + l * 7919;  // lead-distinct Phi
-    nodes.push_back(
-        std::make_unique<SensorNode>(lead_config.cs, codebook));
-    decoders.push_back(
-        std::make_unique<Coordinator>(lead_config, codebook));
-  }
+  const std::size_t lead_count = leads.size();
 
   MultiLeadReport report;
-  report.leads = leads.size();
+  report.leads = lead_count;
   report.windows_per_lead = windows;
-  report.per_lead_prd.assign(leads.size(), 0.0);
-  report.per_lead_node_cpu.assign(leads.size(), 0.0);
+  report.per_lead_prd.assign(lead_count, 0.0);
+  report.per_lead_node_cpu.assign(lead_count, 0.0);
 
-  std::vector<double> original(n);
-  std::vector<double> reconstructed(n);
-  for (std::size_t w = 0; w < windows; ++w) {
-    for (std::size_t l = 0; l < leads.size(); ++l) {
-      const auto frame = nodes[l]->process_window(
-          std::span<const std::int16_t>(leads[l]->samples.data() + w * n,
-                                        n));
-      const auto delivered = link.transmit(frame);
-      if (!delivered) {
-        continue;
-      }
-      const auto samples = decoders[l]->process_frame(*delivered);
-      if (!samples) {
-        continue;
-      }
-      for (std::size_t i = 0; i < n; ++i) {
-        original[i] = static_cast<double>(leads[l]->samples[w * n + i]);
-        reconstructed[i] = static_cast<double>((*samples)[i]);
-      }
-      report.per_lead_prd[l] += ecg::prd(original, reconstructed);
-    }
-  }
+  StreamSessionConfig session_config;
+  session_config.link = link_config;
 
   const double window_period_s =
       static_cast<double>(n) / leads.front()->sample_rate_hz;
+  std::vector<double> original(n);
+  std::vector<double> recon(n);
   double total_decode_s = 0.0;
+  double total_airtime_s = 0.0;
   double prd_total = 0.0;
-  for (std::size_t l = 0; l < leads.size(); ++l) {
-    const auto& stats = decoders[l]->stats();
-    total_decode_s += stats.modelled_seconds_total;
-    report.per_lead_prd[l] /=
-        static_cast<double>(std::max<std::size_t>(
-            1, stats.windows_reconstructed));
-    prd_total += report.per_lead_prd[l];
-    report.per_lead_node_cpu[l] = nodes[l]->cpu_usage(window_period_s);
+
+  if (mode == MultiLeadMode::kJointGroup) {
+    // One session, one sensing seed, one joint solve per group window.
+    core::DecoderConfig group_config = config;
+    group_config.cs.leads = lead_count;
+    StreamSession session(
+        bootstrap_profile(config, config.cs.seed, lead_count),
+        session_config);
+    Coordinator coordinator(group_config,
+                            core::default_difference_codebook());
+
+    std::vector<std::int16_t> flat(lead_count * n);
+    std::vector<std::vector<std::uint8_t>> frames;
+    std::vector<float> windows_flat;
+    std::size_t groups_decoded = 0;
+    for (std::size_t w = 0; w < windows; ++w) {
+      for (std::size_t l = 0; l < lead_count; ++l) {
+        std::copy(leads[l]->samples.begin() +
+                      static_cast<std::ptrdiff_t>(w * n),
+                  leads[l]->samples.begin() +
+                      static_cast<std::ptrdiff_t>((w + 1) * n),
+                  flat.begin() + static_cast<std::ptrdiff_t>(l * n));
+      }
+      frames.clear();
+      session.send_group_window(flat, [&](std::vector<std::uint8_t> frame) {
+        frames.push_back(std::move(frame));
+      });
+      // Leading announcement frames ride their own sequence; feed them
+      // singly, then the data frames as one group.
+      std::size_t first_data = 0;
+      while (first_data < frames.size()) {
+        const auto packet = core::Packet::parse(frames[first_data]);
+        if (!packet || packet->kind != core::PacketKind::kProfile) {
+          break;
+        }
+        (void)coordinator.consume_group(
+            std::span<const std::vector<std::uint8_t>>(
+                frames.data() + first_data, 1),
+            windows_flat);
+        ++first_data;
+      }
+      const std::size_t data_frames = frames.size() - first_data;
+      if (data_frames != lead_count) {
+        // The link dropped part of the group: it conceals whole — no
+        // lead may advance while a sibling is missing.
+        (void)coordinator.conceal_hold_last();
+        continue;
+      }
+      const auto result = coordinator.consume_group(
+          std::span<const std::vector<std::uint8_t>>(
+              frames.data() + first_data, lead_count),
+          windows_flat);
+      if (result != Coordinator::FrameResult::kWindow) {
+        (void)coordinator.conceal_hold_last();
+        continue;
+      }
+      ++groups_decoded;
+      for (std::size_t l = 0; l < lead_count; ++l) {
+        report.per_lead_prd[l] += window_prd(
+            *leads[l], w * n,
+            std::span<const float>(windows_flat.data() + l * n, n), n,
+            original, recon);
+      }
+    }
+
+    const double node_cpu = session.node().cpu_usage(window_period_s);
+    for (std::size_t l = 0; l < lead_count; ++l) {
+      report.per_lead_prd[l] /= static_cast<double>(
+          std::max<std::size_t>(1, groups_decoded));
+      prd_total += report.per_lead_prd[l];
+      report.per_lead_node_cpu[l] =
+          node_cpu / static_cast<double>(lead_count);
+    }
+    total_decode_s = coordinator.stats().modelled_seconds_total;
+    report.mean_decode_iterations = coordinator.stats().mean_iterations();
+    total_airtime_s = session.link().stats().airtime_s;
+  } else {
+    // Independent: one v1 session and one decoder per lead, with
+    // lead-distinct sensing seeds so simultaneous corruption cannot
+    // alias across leads.
+    std::vector<std::unique_ptr<StreamSession>> sessions;
+    std::vector<std::unique_ptr<Coordinator>> coordinators;
+    std::vector<std::size_t> decoded(lead_count, 0);
+    for (std::size_t l = 0; l < lead_count; ++l) {
+      core::DecoderConfig lead_config = config;
+      lead_config.cs.seed = config.cs.seed + l * 7919;  // lead-distinct Phi
+      lead_config.cs.leads = 1;
+      sessions.push_back(std::make_unique<StreamSession>(
+          bootstrap_profile(lead_config, lead_config.cs.seed, 1),
+          session_config));
+      coordinators.push_back(std::make_unique<Coordinator>(
+          lead_config, core::default_difference_codebook()));
+    }
+
+    std::vector<float> window;
+    for (std::size_t w = 0; w < windows; ++w) {
+      for (std::size_t l = 0; l < lead_count; ++l) {
+        sessions[l]->send_window(
+            std::span<const std::int16_t>(leads[l]->samples.data() + w * n,
+                                          n),
+            [&](std::vector<std::uint8_t> frame) {
+              const auto result =
+                  coordinators[l]->consume_frame(frame, window);
+              if (result != Coordinator::FrameResult::kWindow) {
+                return;
+              }
+              ++decoded[l];
+              report.per_lead_prd[l] += window_prd(
+                  *leads[l], w * n, std::span<const float>(window), n,
+                  original, recon);
+            });
+      }
+    }
+
+    double iterations_total = 0.0;
+    std::size_t windows_total = 0;
+    for (std::size_t l = 0; l < lead_count; ++l) {
+      iterations_total += coordinators[l]->stats().iterations_total;
+      windows_total += coordinators[l]->stats().windows_reconstructed;
+      total_decode_s += coordinators[l]->stats().modelled_seconds_total;
+      report.per_lead_prd[l] /=
+          static_cast<double>(std::max<std::size_t>(1, decoded[l]));
+      prd_total += report.per_lead_prd[l];
+      report.per_lead_node_cpu[l] =
+          sessions[l]->node().cpu_usage(window_period_s);
+      total_airtime_s += sessions[l]->link().stats().airtime_s;
+    }
+    report.mean_decode_iterations =
+        windows_total == 0 ? 0.0
+                           : iterations_total /
+                                 static_cast<double>(windows_total);
   }
+
   report.coordinator_cpu_usage =
       total_decode_s / (static_cast<double>(windows) * window_period_s);
   // Real-time: all leads must decode within 1 s of compute per 2 s
@@ -87,8 +214,8 @@ MultiLeadReport run_multi_lead(const std::vector<const ecg::Record*>& leads,
   report.real_time_feasible =
       total_decode_s / static_cast<double>(windows) <=
       window_period_s / 2.0;
-  report.mean_prd = prd_total / static_cast<double>(leads.size());
-  report.link_airtime_s = link.stats().airtime_s;
+  report.mean_prd = prd_total / static_cast<double>(lead_count);
+  report.link_airtime_s = total_airtime_s;
   return report;
 }
 

@@ -61,6 +61,49 @@ std::vector<std::uint8_t> SensorNode::process_window(
   return frame;
 }
 
+std::vector<std::vector<std::uint8_t>> SensorNode::process_group(
+    std::span<const std::int16_t> samples_flat) {
+  if (arq_.consume_keyframe_request()) {
+    encoder_.request_keyframe();
+    encoder_.announce_profile();
+    ++stats_.keyframes_forced;
+  }
+
+  obs::SpanScope span("window.encode.group", stats_.windows_encoded);
+  fixedpoint::Msp430CounterScope scope;
+  const auto packets = encoder_.encode_group(samples_flat);
+  const auto& ops = scope.counts();
+
+  stats_.ops_total += ops;
+  stats_.encode_seconds_total += model_.seconds(ops);
+  // One group = one window of wall time = one ARQ clock tick, however
+  // many leads ride it.
+  ++stats_.windows_encoded;
+  std::size_t group_bits = 0;
+  for (const auto& packet : packets) {
+    group_bits += packet.wire_bits();
+  }
+  stats_.payload_bits += group_bits;
+  span.attribute("leads", static_cast<double>(packets.size()));
+  span.attribute("keyframe",
+                 packets.front().kind == core::PacketKind::kAbsolute ? 1.0
+                                                                     : 0.0);
+  span.attribute("payload_bits", static_cast<double>(group_bits));
+  span.attribute("mote_seconds", model_.seconds(ops));
+  obs::observe("node.encode.mote_seconds", model_.seconds(ops));
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(packets.size());
+  for (const auto& packet : packets) {
+    auto frame = packet.serialize();
+    // Every lead's frame registers under the shared sequence: a NACK for
+    // it marks them all, so the group retransmits together.
+    arq_.frame_sent(packet.sequence, frame, now());
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
 std::vector<std::vector<std::uint8_t>> SensorNode::handle_feedback(
     std::span<const FeedbackMessage> messages) {
   for (const auto& message : messages) {

@@ -78,6 +78,26 @@ std::size_t StreamSession::send_window(std::span<const std::int16_t> samples,
   return delivered;
 }
 
+std::size_t StreamSession::send_group_window(
+    std::span<const std::int16_t> samples_flat, const FrameSink& sink) {
+  std::size_t delivered = 0;
+  service_feedback(sink);
+  if (const auto announcement = node_.take_profile_frame()) {
+    delivered += transmit(*announcement, sink);
+  }
+  for (const auto& frame : node_.process_group(samples_flat)) {
+    delivered += transmit(frame, sink);
+  }
+  if (const auto cr = adaptive_.on_window_sent()) {
+    auto profile = node_.encoder().profile();
+    CSECG_CHECK(profile.has_value(), "adaptive CR without a profile");
+    core::StreamProfile next = *profile;
+    next.measurements = core::measurements_for_cr(next.window, *cr);
+    node_.set_profile(next);
+  }
+  return delivered;
+}
+
 void StreamSession::set_profile(const core::StreamProfile& profile) {
   node_.set_profile(profile);
 }

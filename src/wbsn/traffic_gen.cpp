@@ -47,20 +47,29 @@ TrafficModel::TrafficModel(const TrafficConfig& config) : config_(config) {
   config_.duty_on =
       std::clamp<std::size_t>(config_.duty_on, 1, config_.duty_period);
   config_.windows_per_stream = std::max<std::size_t>(1, config_.windows_per_stream);
+  config_.leads = std::clamp<std::size_t>(config_.leads, 1,
+                                          core::StreamProfile::kMaxLeads);
   if (config_.crs.empty()) {
     config_.crs = {50.0};
   }
+  const std::size_t leads = config_.leads;
 
   ecg::DatabaseConfig db_config;
   db_config.record_count = config_.records;
   db_config.duration_s = config_.record_seconds;
   db_config.seed = config_.seed;
+  // The database always renders its MIT-BIH default pair, so the classic
+  // single-lead streams stay bitwise identical when leads == 1.
+  db_config.leads = std::max<std::size_t>(leads, db_config.leads);
   const ecg::SyntheticDatabase db(db_config);
 
   streams_.reserve(config_.streams);
   for (std::size_t s = 0; s < config_.streams; ++s) {
     EncodedStream stream;
     stream.profile = core::profile_for_cr(config_.crs[s % config_.crs.size()]);
+    if (leads > 1) {
+      stream.profile = stream.profile.with_leads(leads);
+    }
     stream.profile.keyframe_interval = config_.keyframe_interval;
     CSECG_CHECK(stream.profile.valid(), "soak stream profile unrealisable");
 
@@ -69,35 +78,75 @@ TrafficModel::TrafficModel(const TrafficConfig& config) : config_(config) {
     record_windows_ = record.samples.size() / window;
     CSECG_CHECK(record_windows_ > 0, "record shorter than one window");
 
+    // All leads of the record share one beat schedule; the flat buffer
+    // is lead-major, the group wire layout encode_group expects.
+    const auto group = db.mote_lead_group(s % config_.records);
+    std::vector<std::int16_t> flat(leads * window);
+
     core::Encoder encoder(stream.profile);
-    stream.frames.reserve(config_.windows_per_stream);
+    stream.frames.reserve(config_.windows_per_stream * leads);
     for (std::size_t w = 0; w < config_.windows_per_stream; ++w) {
       const std::size_t r = w % record_windows_;
-      const std::span<const std::int16_t> x(
-          record.samples.data() + r * window, window);
-      stream.frames.push_back(encoder.encode_window(x).serialize());
+      if (leads == 1) {
+        const std::span<const std::int16_t> x(
+            record.samples.data() + r * window, window);
+        stream.frames.push_back(encoder.encode_window(x).serialize());
+        continue;
+      }
+      for (std::size_t l = 0; l < leads; ++l) {
+        std::copy(group[l]->samples.begin() +
+                      static_cast<std::ptrdiff_t>(r * window),
+                  group[l]->samples.begin() +
+                      static_cast<std::ptrdiff_t>((r + 1) * window),
+                  flat.begin() + static_cast<std::ptrdiff_t>(l * window));
+      }
+      for (core::Packet& packet : encoder.encode_group(flat)) {
+        stream.frames.push_back(packet.serialize());
+      }
     }
 
     // Reference decode through the same entry points the fleet workers
-    // use (decode_measurements_into + reconstruct_into), so goldens are
-    // bitwise, not merely close. One golden per *record* window: the
-    // stream repeats the record, the entropy stage is lossless and FISTA
-    // is deterministic in (y, profile, backend), so window w
-    // reconstructs identically to window w mod record_windows().
+    // use (decode_measurements_into + reconstruct_into, or their group
+    // forms), so goldens are bitwise, not merely close. One golden per
+    // (*record* window, lead): the stream repeats the record, the
+    // entropy stage is lossless and FISTA is deterministic in
+    // (y, profile, backend), so window w reconstructs identically to
+    // window w mod record_windows().
     core::Decoder reference(stream.profile);
     solvers::SolverWorkspace workspace;
-    core::DecodedWindow<float> out;
     std::vector<std::int32_t> y;
     const std::size_t goldens =
-        std::min(record_windows_, stream.frames.size());
-    stream.golden_crc.reserve(goldens);
-    for (std::size_t w = 0; w < goldens; ++w) {
-      const auto packet = core::Packet::parse(stream.frames[w]);
-      CSECG_CHECK(packet.has_value(), "generated frame failed to parse");
-      CSECG_CHECK(reference.decode_measurements_into(*packet, y),
-                  "generated frame failed reference decode");
-      reference.reconstruct_into<float>(y, workspace, out);
-      stream.golden_crc.push_back(window_crc(out.samples));
+        std::min(record_windows_, config_.windows_per_stream);
+    stream.golden_crc.reserve(goldens * leads);
+    if (leads == 1) {
+      core::DecodedWindow<float> out;
+      for (std::size_t w = 0; w < goldens; ++w) {
+        const auto packet = core::Packet::parse(stream.frames[w]);
+        CSECG_CHECK(packet.has_value(), "generated frame failed to parse");
+        CSECG_CHECK(reference.decode_measurements_into(*packet, y),
+                    "generated frame failed reference decode");
+        reference.reconstruct_into<float>(y, workspace, out);
+        stream.golden_crc.push_back(window_crc(out.samples));
+      }
+    } else {
+      std::vector<core::Packet> packets(leads);
+      std::vector<core::DecodedWindow<float>> outs(leads);
+      for (std::size_t w = 0; w < goldens; ++w) {
+        for (std::size_t l = 0; l < leads; ++l) {
+          CSECG_CHECK(core::Packet::parse_into(stream.frames[w * leads + l],
+                                               packets[l]),
+                      "generated group frame failed to parse");
+        }
+        CSECG_CHECK(reference.decode_group_measurements_into(
+                        std::span<const core::Packet>(packets), y),
+                    "generated group failed reference decode");
+        reference.reconstruct_group_into<float>(
+            std::span<const std::int32_t>(y), workspace,
+            std::span<core::DecodedWindow<float>>(outs));
+        for (std::size_t l = 0; l < leads; ++l) {
+          stream.golden_crc.push_back(window_crc(outs[l].samples));
+        }
+      }
     }
     streams_.push_back(std::move(stream));
   }
@@ -148,6 +197,10 @@ SoakResult run_soak(const SoakConfig& config) {
   const TrafficModel model(cfg.traffic);
   const std::vector<EncodedStream>& streams = model.streams();
   const std::size_t population = model.config().nodes;
+  // Lead-group width (clamped by the model). Every group accounting
+  // identity below carries this factor: one admitted group of L frames
+  // decodes as one window unit and delivers L sink windows.
+  const std::size_t leads = model.config().leads;
 
   const auto progress = [&](const std::string& line) {
     if (cfg.on_progress) {
@@ -187,7 +240,8 @@ SoakResult run_soak(const SoakConfig& config) {
     const EncodedStream& stream = streams[stream_idx];
     const std::uint16_t crc = window_crc(window.samples);
     const std::size_t golden =
-        window.sequence % stream.golden_crc.size();
+        (window.sequence % (stream.golden_crc.size() / leads)) * leads +
+        window.lead;
     sink.checked.fetch_add(1, std::memory_order_relaxed);
     if (crc != stream.golden_crc[golden]) {
       sink.mismatches.fetch_add(1, std::memory_order_relaxed);
@@ -209,10 +263,13 @@ SoakResult run_soak(const SoakConfig& config) {
     }
   }
   const std::size_t depth = cfg.gateway.shard.queue_depth;
+  // Lead groups hold up to leads-1 frames per node in the reassembly
+  // map between worker dispatches, so the pool headroom scales with the
+  // group width (identical to the classic sizing when leads == 1).
   gateway.reserve_frame_buffers(
       cfg.gateway.shards *
-          (depth + cfg.gateway.shard.workers * cfg.gateway.shard.decode_batch +
-           4),
+          (depth * leads +
+           cfg.gateway.shard.workers * cfg.gateway.shard.decode_batch + 4),
       max_frame);
 
   // Live timeline over every shard registry. The priming sample warms
@@ -289,30 +346,36 @@ SoakResult run_soak(const SoakConfig& config) {
     if (paced) {
       pace(gateway.shard_of(cursor.gateway_id));
     }
-    const std::vector<std::uint8_t>& frame = stream.frames[cursor.next++];
-    ++result.offered;
-    if (steady_phase) {
-      ++result.steady_offered;
-    }
-    switch (gateway.offer(cursor.gateway_id, frame)) {
-      case OfferOutcome::kAdmitted:
-        ++result.admitted;
-        break;
-      case OfferOutcome::kShedDropped:
-        ++result.shed_dropped;
-        if (steady_phase) {
-          ++steady_sheds;
-        }
-        break;
-      case OfferOutcome::kShedQueueFull:
-        ++result.shed_queue_full;
-        if (steady_phase) {
-          ++steady_sheds;
-        }
-        break;
-      case OfferOutcome::kClosed:
-        result.failures.push_back("offer() returned kClosed mid-run");
-        break;
+    // A connected tick offers one whole window: leads frames
+    // back-to-back on lead-group streams (each counted individually —
+    // the admission tier may still split a group, which the fleet's
+    // reassembler then conceals whole).
+    for (std::size_t l = 0; l < leads; ++l) {
+      const std::vector<std::uint8_t>& frame = stream.frames[cursor.next++];
+      ++result.offered;
+      if (steady_phase) {
+        ++result.steady_offered;
+      }
+      switch (gateway.offer(cursor.gateway_id, frame)) {
+        case OfferOutcome::kAdmitted:
+          ++result.admitted;
+          break;
+        case OfferOutcome::kShedDropped:
+          ++result.shed_dropped;
+          if (steady_phase) {
+            ++steady_sheds;
+          }
+          break;
+        case OfferOutcome::kShedQueueFull:
+          ++result.shed_queue_full;
+          if (steady_phase) {
+            ++steady_sheds;
+          }
+          break;
+        case OfferOutcome::kClosed:
+          result.failures.push_back("offer() returned kClosed mid-run");
+          break;
+      }
     }
     return true;
   };
@@ -516,20 +579,28 @@ SoakResult run_soak(const SoakConfig& config) {
   expect_eq(report.shed_queue_full, result.shed_queue_full,
             "shed_queue_full (report vs harness)");
   // Every admitted frame ends in exactly one bucket: the generator sends
-  // no corrupt frames, no duplicates and no kProfile frames.
+  // no corrupt frames, no duplicates and no kProfile frames. A decoded
+  // or shed group consumes leads frames per window unit; rejects are
+  // counted in frame units, and frames stranded in a partial group whose
+  // sequence was abandoned land in frames_discarded.
   expect_eq(report.admitted,
-            report.windows_reconstructed + report.windows_shed_concealed +
-                report.frames_rejected,
-            "admitted != decoded + shed_concealed + rejected");
-  // Sink deliveries match the fleet stats one-for-one.
-  expect_eq(result.delivered_decoded, report.windows_reconstructed,
+            leads * (report.windows_reconstructed +
+                     report.windows_shed_concealed) +
+                report.frames_rejected + report.frames_discarded,
+            "admitted != leads*(decoded + shed_concealed) + rejected "
+            "+ discarded");
+  // Sink deliveries match the fleet stats one-for-one (a group window
+  // delivers one FleetWindow per lead).
+  expect_eq(result.delivered_decoded, leads * report.windows_reconstructed,
             "sink decoded vs report");
-  expect_eq(result.delivered_concealed, report.windows_concealed,
+  expect_eq(result.delivered_concealed, leads * report.windows_concealed,
             "sink concealed vs report");
   // Concealments beyond shed_concealed + rejected stand in for frames
   // shed at ingest (ARQ gap abandonment) — bounded by the shed count.
+  // All rejects in this clean-traffic harness consume whole groups, so
+  // dividing by leads converts them back to window units exactly.
   const std::size_t explained =
-      report.windows_shed_concealed + report.frames_rejected;
+      report.windows_shed_concealed + report.frames_rejected / leads;
   if (report.windows_concealed < explained) {
     fail("concealed < shed_concealed + rejected");
   } else {

@@ -278,6 +278,155 @@ TEST(BackendBatchKernels, CountingBackendChargesBatchKernels) {
   EXPECT_EQ(c.stores, row_counts.stores);
 }
 
+// ------------------------------------------------------- group kernels --
+// The l2,1 proximal step joint multi-lead recovery iterates on. Every
+// backend accumulates the lead-axis norm in ascending lead order, so the
+// four schedules must agree bitwise with each other (and to ~float
+// precision with a double-precision oracle); leads == 1 must delegate to
+// the plain soft threshold bitwise — the degeneration the L = 1 wire
+// compatibility pin rests on.
+
+TEST(BackendGroupKernels, GroupShrinkMatchesOracleOnAllBackends) {
+  const float t = 0.35f;
+  for (const std::size_t leads : {2u, 3u, 5u}) {
+    for (const std::size_t n : {1u, 7u, 37u, 64u}) {  // tails and multiples
+      SCOPED_TRACE("leads=" + std::to_string(leads) +
+                   " n=" + std::to_string(n));
+      util::Rng rng(7000 + 16 * leads + n);
+      std::vector<float> u(leads * n);
+      for (auto& v : u) {
+        v = static_cast<float>(rng.gaussian());
+      }
+      // Double-precision oracle straight from the definition:
+      // y_l[i] = u_l[i] * max(g_i - t, 0) / g_i, g_i the lead-axis norm.
+      std::vector<double> oracle(leads * n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        double g2 = 0.0;
+        for (std::size_t l = 0; l < leads; ++l) {
+          g2 += static_cast<double>(u[l * n + i]) * u[l * n + i];
+        }
+        const double g = std::sqrt(g2);
+        const double scale = g > t ? (g - t) / g : 0.0;
+        for (std::size_t l = 0; l < leads; ++l) {
+          oracle[l * n + i] = u[l * n + i] * scale;
+        }
+      }
+      std::vector<float> ref_y(leads * n, -1.0f);
+      reference_backend().group_soft_threshold_batch(u.data(), t, ref_y.data(),
+                                                     leads, n);
+      for (std::size_t i = 0; i < leads * n; ++i) {
+        ASSERT_NEAR(ref_y[i], oracle[i], 1e-5) << "i=" << i;
+      }
+      for (const Backend* be : all_backends()) {
+        SCOPED_TRACE(be->name());
+        std::vector<float> y(leads * n, -2.0f);
+        be->group_soft_threshold_batch(u.data(), t, y.data(), leads, n);
+        for (std::size_t i = 0; i < leads * n; ++i) {
+          ASSERT_EQ(y[i], ref_y[i]) << "i=" << i;  // bitwise across schedules
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendGroupKernels, GroupShrinkLeadsOneIsBitwisePlainSoftThreshold) {
+  const std::size_t n = 37;  // deliberately not a lane multiple
+  util::Rng rng(7100);
+  std::vector<float> uf(n);
+  std::vector<double> ud(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    uf[i] = static_cast<float>(rng.gaussian());
+    ud[i] = static_cast<double>(uf[i]);
+  }
+  for (const Backend* be : all_backends()) {
+    SCOPED_TRACE(be->name());
+    std::vector<float> group_f(n, -1.0f), plain_f(n, -2.0f);
+    be->group_soft_threshold_batch(uf.data(), 0.25f, group_f.data(), 1, n);
+    be->soft_threshold(uf.data(), 0.25f, plain_f.data(), n);
+    std::vector<double> group_d(n, -1.0), plain_d(n, -2.0);
+    be->group_soft_threshold_batch(ud.data(), 0.25, group_d.data(), 1, n);
+    be->soft_threshold(ud.data(), 0.25, plain_d.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(group_f[i], plain_f[i]) << "float i=" << i;
+      ASSERT_EQ(group_d[i], plain_d[i]) << "double i=" << i;
+    }
+  }
+}
+
+// Pinned §IV-B literals for the group shrink on a fixed workload
+// (leads 3, n 37 — a 1-element 4-lane tail per lead row). Byte-identical
+// counts are the acceptance criterion: if these fail, fix the group
+// charging, not the goldens. leads == 1 must charge exactly the plain
+// soft-threshold formula — the priced side of the degeneration pin.
+TEST(BackendGroupKernels, CountingScalarGroupShrinkGoldens) {
+  const std::size_t leads = 3;
+  const std::size_t n = 37;
+  std::vector<float> u(leads * n, 1.0f), y(leads * n);
+  const Backend& be = counting_scalar_backend();
+  {
+    OpCounterScope scope;
+    be.group_soft_threshold_batch(u.data(), 0.25f, y.data(), leads, n);
+    const auto& c = scope.counts();
+    EXPECT_EQ(c.scalar_mac, 111u);
+    EXPECT_EQ(c.scalar_op, 518u);
+    EXPECT_EQ(c.vector_mac4, 0u);
+    EXPECT_EQ(c.vector_op4, 0u);
+    EXPECT_EQ(c.leftover_lane, 0u);
+    EXPECT_EQ(c.loads, 222u);
+    EXPECT_EQ(c.stores, 111u);
+  }
+  OpCounts group1, plain;
+  {
+    OpCounterScope scope;
+    be.group_soft_threshold_batch(u.data(), 0.25f, y.data(), 1, n);
+    group1 = scope.counts();
+  }
+  {
+    OpCounterScope scope;
+    be.soft_threshold(u.data(), 0.25f, y.data(), n);
+    plain = scope.counts();
+  }
+  EXPECT_EQ(group1.scalar_mac, plain.scalar_mac);
+  EXPECT_EQ(group1.scalar_op, plain.scalar_op);
+  EXPECT_EQ(group1.loads, plain.loads);
+  EXPECT_EQ(group1.stores, plain.stores);
+}
+
+TEST(BackendGroupKernels, CountingSimd4GroupShrinkGoldens) {
+  const std::size_t leads = 3;
+  const std::size_t n = 37;  // 9 packed quads + 1 leftover lane per row
+  std::vector<float> u(leads * n, 1.0f), y(leads * n);
+  const Backend& be = counting_simd4_backend();
+  {
+    OpCounterScope scope;
+    be.group_soft_threshold_batch(u.data(), 0.25f, y.data(), leads, n);
+    const auto& c = scope.counts();
+    EXPECT_EQ(c.scalar_mac, 3u);
+    EXPECT_EQ(c.scalar_op, 17u);
+    EXPECT_EQ(c.vector_mac4, 27u);
+    EXPECT_EQ(c.vector_op4, 156u);
+    EXPECT_EQ(c.leftover_lane, 4u);
+    EXPECT_EQ(c.loads, 222u);
+    EXPECT_EQ(c.stores, 111u);
+  }
+  OpCounts group1, plain;
+  {
+    OpCounterScope scope;
+    be.group_soft_threshold_batch(u.data(), 0.25f, y.data(), 1, n);
+    group1 = scope.counts();
+  }
+  {
+    OpCounterScope scope;
+    be.soft_threshold(u.data(), 0.25f, y.data(), n);
+    plain = scope.counts();
+  }
+  EXPECT_EQ(group1.scalar_op, plain.scalar_op);
+  EXPECT_EQ(group1.vector_op4, plain.vector_op4);
+  EXPECT_EQ(group1.leftover_lane, plain.leftover_lane);
+  EXPECT_EQ(group1.loads, plain.loads);
+  EXPECT_EQ(group1.stores, plain.stores);
+}
+
 // ------------------------------------------------------- panel kernels --
 // The GEMM-flavoured multi-vector kernels batched FISTA iterates on.
 // Every panel must be bitwise identical to its row-by-row definition on

@@ -1040,5 +1040,168 @@ TEST(PriorInvalidation, WarmDecodeMatchesColdReconstruction) {
   }
 }
 
+// ------------------------------------- group warm-prior invalidation --
+
+// The lead-group extension of the invalidation matrix: the prior is
+// group-wide (one blob of leads * window doubles), so every event that
+// re-syncs ANY lead's difference chain — and the chains only re-sync
+// together, the keyframe decision being group-wide — must drop the
+// whole group's prior. A whole-group reject is not a re-sync and must
+// keep it.
+
+DecoderConfig tiny_group_config(std::size_t leads) {
+  auto config = warm_decoder_config();
+  config.cs.leads = leads;
+  return config;
+}
+
+// Lead-major flat group window: lead 0 is the single-lead fixture, the
+// others are attenuated copies (correlated support, distinct samples).
+std::vector<std::int16_t> tiny_group_window(std::size_t leads) {
+  const auto base = tiny_window();
+  std::vector<std::int16_t> flat(leads * base.size());
+  for (std::size_t l = 0; l < leads; ++l) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      flat[l * base.size() + i] =
+          static_cast<std::int16_t>(base[i] / static_cast<int>(l + 1));
+    }
+  }
+  return flat;
+}
+
+void prime_group_prior(Decoder& decoder, Encoder& encoder,
+                       std::span<const std::int16_t> xs_flat) {
+  const auto windows = decoder.decode_group<float>(encoder.encode_group(xs_flat));
+  ASSERT_TRUE(windows.has_value());
+  ASSERT_EQ(windows->size(), encoder.config().leads);
+  ASSERT_TRUE(decoder.has_warm_prior<float>());
+}
+
+TEST(GroupPriorInvalidation, GroupKeyframeDropsTheGroupPrior) {
+  const auto book = default_difference_codebook();
+  const auto config = tiny_group_config(3);
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  const auto xs = tiny_group_window(3);
+  prime_group_prior(decoder, encoder, xs);
+  // Differential groups keep the prior alive.
+  ASSERT_TRUE(decoder.decode_group<float>(encoder.encode_group(xs)).has_value());
+  EXPECT_TRUE(decoder.has_warm_prior<float>());
+
+  // The group-wide keyframe: the entropy stage alone must already have
+  // dropped the prior, so the keyframe group's joint solve starts cold.
+  encoder.request_keyframe();
+  const auto keyframe_group = encoder.encode_group(xs);
+  ASSERT_EQ(keyframe_group.front().kind, PacketKind::kAbsolute);
+  std::vector<std::int32_t> y_flat;
+  ASSERT_TRUE(decoder.decode_group_measurements_into(keyframe_group, y_flat));
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(GroupPriorInvalidation, GroupGapAbandonResyncStartsCold) {
+  const auto book = default_difference_codebook();
+  const auto config = tiny_group_config(2);
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  const auto xs = tiny_group_window(2);
+  prime_group_prior(decoder, encoder, xs);
+
+  (void)encoder.encode_group(xs);  // whole group lost in flight
+  const auto after_gap = encoder.encode_group(xs);
+  std::vector<std::int32_t> y_flat;
+  EXPECT_FALSE(decoder.decode_group_measurements_into(after_gap, y_flat));
+  // A reject is not a re-sync: the prior still matches the last group
+  // this decoder actually reconstructed.
+  EXPECT_TRUE(decoder.has_warm_prior<float>());
+
+  encoder.request_keyframe();
+  ASSERT_TRUE(
+      decoder.decode_group_measurements_into(encoder.encode_group(xs), y_flat));
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(GroupPriorInvalidation, ReProfileDropsTheGroupPrior) {
+  const auto book = default_difference_codebook();
+  const auto config = tiny_group_config(2);
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  prime_group_prior(decoder, encoder, tiny_group_window(2));
+
+  const auto profile = profile_from(decoder.config());
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profile->leads, 2u);
+  // Even the same-profile no-op re-announce is a chain re-sync for
+  // every lead at once.
+  ASSERT_TRUE(decoder.apply_profile(*profile));
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(GroupPriorInvalidation, ResetDropsTheGroupPrior) {
+  const auto book = default_difference_codebook();
+  const auto config = tiny_group_config(2);
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  prime_group_prior(decoder, encoder, tiny_group_window(2));
+  decoder.reset();
+  EXPECT_FALSE(decoder.has_warm_prior<float>());
+}
+
+TEST(GroupPriorInvalidation, SingleLeadCorruptionRejectsGroupAndKeepsPrior) {
+  // All-or-nothing: one bad lead poisons nothing — the group is rejected
+  // whole, every chain stays put and the prior survives, so the next
+  // clean group decodes differentially and warm.
+  const auto book = default_difference_codebook();
+  const auto config = tiny_group_config(3);
+  Encoder encoder(config.cs, book);
+  Decoder decoder(config, book);
+  const auto xs = tiny_group_window(3);
+  prime_group_prior(decoder, encoder, xs);
+
+  auto group = encoder.encode_group(xs);
+  group[1].payload[0] ^= 0x01;  // corrupt the middle lead only
+  std::vector<std::int32_t> y_flat;
+  EXPECT_FALSE(decoder.decode_group_measurements_into(group, y_flat));
+  EXPECT_TRUE(decoder.has_warm_prior<float>());
+
+  // The chains did not advance on the reject, so a retransmission of the
+  // same sequence (clean this time) decodes.
+  group[1].payload[0] ^= 0x01;
+  ASSERT_TRUE(decoder.decode_group_measurements_into(group, y_flat));
+  EXPECT_EQ(y_flat.size(), 3u * config.cs.measurements);
+}
+
+TEST(GroupPriorInvalidation, WarmGroupDecodeMatchesColdFixedPoint) {
+  // The group prior must trade iterations, never the fixed point: warm
+  // and cold joint decodes of the same group land on the same samples.
+  const auto book = default_difference_codebook();
+  auto cold_config = tiny_group_config(2);
+  cold_config.prior.warm_start = false;
+  cold_config.tolerance = 1e-9;
+  cold_config.max_iterations = 20000;
+  auto warm_config = tiny_group_config(2);
+  warm_config.tolerance = cold_config.tolerance;
+  warm_config.max_iterations = cold_config.max_iterations;
+  Encoder encoder(cold_config.cs, book);
+  Decoder cold(cold_config, book);
+  Decoder warm(warm_config, book);
+  const auto xs = tiny_group_window(2);
+  for (int w = 0; w < 3; ++w) {
+    const auto group = encoder.encode_group(xs);
+    const auto a = cold.decode_group<float>(group);
+    const auto b = warm.decode_group<float>(group);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    for (std::size_t l = 0; l < a->size(); ++l) {
+      for (std::size_t i = 0; i < (*a)[l].samples.size(); ++i) {
+        EXPECT_NEAR((*a)[l].samples[i], (*b)[l].samples[i], 1.0f)
+            << "lead " << l << " sample " << i;
+      }
+    }
+    if (w > 0) {
+      EXPECT_LE((*b)[0].iterations, (*a)[0].iterations);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace csecg::core

@@ -716,5 +716,153 @@ TEST(FistaBatch, FrozenRowsStopBeingCharged) {
   EXPECT_EQ(batch_counts.stores, sequential_total.stores);
 }
 
+// -------------------------------------------------------- fista_group --
+
+// leads == 1 is the wire-compatibility contract: a lead group of one
+// must be THE sequential solve, bitwise — same iterates, same restart
+// decisions, same stopping tick — or single-lead decodes would change
+// under the group code path.
+TEST(FistaGroup, LeadsOneMatchesSequentialBitwise) {
+  const auto p = make_batch_problem(1, 52);
+  ShrinkageOptions options;
+  options.max_iterations = 400;
+  options.tolerance = 1e-7;
+  options.lipschitz = 16.0;
+  options.adaptive_restart = true;
+  options.lambda = p.lambdas[0];
+
+  SolverWorkspace ws;
+  const auto group = fista_group<float>(
+      p.op, std::span<const float>(p.y_flat), 1, options, ws);
+  ASSERT_EQ(group.size(), 1u);
+  const auto sequential =
+      fista<float>(p.op, std::span<const float>(p.y_flat), options);
+  EXPECT_EQ(group[0].iterations, sequential.iterations);
+  EXPECT_EQ(group[0].converged, sequential.converged);
+  ASSERT_EQ(group[0].solution.size(), sequential.solution.size());
+  for (std::size_t i = 0; i < sequential.solution.size(); ++i) {
+    ASSERT_EQ(group[0].solution[i], sequential.solution[i])
+        << "coefficient " << i;  // bitwise
+  }
+}
+
+TEST(FistaGroup, LeadsOneWarmStartMatchesSequentialBitwise) {
+  const auto p = make_batch_problem(1, 54);
+  ShrinkageOptions options;
+  options.max_iterations = 400;
+  options.tolerance = 1e-7;
+  options.lipschitz = 16.0;
+  options.adaptive_restart = true;
+  options.support_tolerance = 1e-5;
+  options.lambda = p.lambdas[0];
+
+  const auto cold =
+      fista<float>(p.op, std::span<const float>(p.y_flat), options);
+  std::vector<double> prior(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    prior[i] = static_cast<double>(cold.solution[i]);
+  }
+  options.warm_start = prior;
+
+  SolverWorkspace ws;
+  const auto group = fista_group<float>(
+      p.op, std::span<const float>(p.y_flat), 1, options, ws);
+  ASSERT_EQ(group.size(), 1u);
+  const auto sequential =
+      fista<float>(p.op, std::span<const float>(p.y_flat), options);
+  EXPECT_EQ(group[0].iterations, sequential.iterations);
+  ASSERT_EQ(group[0].solution.size(), sequential.solution.size());
+  for (std::size_t i = 0; i < sequential.solution.size(); ++i) {
+    ASSERT_EQ(group[0].solution[i], sequential.solution[i])
+        << "coefficient " << i;
+  }
+}
+
+// Leads sharing wavelet support reinforce each other under the l2,1
+// penalty: the joint solve must recover every lead of a shared-support
+// group to small error from the same measurement budget.
+TEST(FistaGroup, RecoversSharedSupportGroupJointly) {
+  const std::size_t m = 32;
+  const std::size_t n = 64;
+  const std::size_t leads = 3;
+  const auto op = gaussian_op<float>(m, n, 60);
+  util::Rng rng(61);
+  const auto support = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(n), 5);
+  std::vector<std::vector<float>> truth(leads, std::vector<float>(n, 0.0f));
+  for (const auto idx : support) {
+    const double base = rng.gaussian(0.0, 1.5);
+    for (std::size_t l = 0; l < leads; ++l) {
+      // Same support, per-lead amplitude — the correlated-lead model.
+      truth[l][idx] = static_cast<float>(base * (1.0 - 0.2 * l));
+    }
+  }
+  std::vector<float> y_flat(leads * m);
+  for (std::size_t l = 0; l < leads; ++l) {
+    op.apply(truth[l], std::span<float>(y_flat.data() + l * m, m));
+  }
+  ShrinkageOptions options;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-8;
+  options.lipschitz = 16.0;
+  options.adaptive_restart = true;
+  options.lambda = 1e-3;
+  SolverWorkspace ws;
+  const auto results =
+      fista_group<float>(op, std::span<const float>(y_flat), leads,
+                         options, ws);
+  ASSERT_EQ(results.size(), leads);
+  for (std::size_t l = 0; l < leads; ++l) {
+    SCOPED_TRACE("lead " + std::to_string(l));
+    double err2 = 0.0, sig2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = results[l].solution[i] - truth[l][i];
+      err2 += d * d;
+      sig2 += static_cast<double>(truth[l][i]) * truth[l][i];
+    }
+    EXPECT_LT(std::sqrt(err2 / sig2), 0.05);
+  }
+}
+
+TEST(FistaGroup, RejectsUnsupportedOptionsAndBadSizes) {
+  const auto op = gaussian_op<float>(8, 16, 62);
+  std::vector<float> y(16, 0.5f);  // leads 2 x m 8
+  SolverWorkspace ws;
+  {
+    ShrinkageOptions options;
+    options.lipschitz = 16.0;
+    std::vector<float> short_y(12, 0.5f);  // not leads * m
+    EXPECT_THROW(fista_group<float>(op, std::span<const float>(short_y), 2,
+                                    options, ws),
+                 Error);
+  }
+  {
+    ShrinkageOptions options;
+    options.lipschitz = 16.0;
+    std::vector<double> weights(16, 1.0);
+    options.weights = weights;
+    EXPECT_THROW(fista_group<float>(op, std::span<const float>(y), 2,
+                                    options, ws),
+                 Error);
+  }
+  {
+    ShrinkageOptions options;
+    options.lipschitz = 16.0;
+    options.sigma = 1.0;
+    EXPECT_THROW(fista_group<float>(op, std::span<const float>(y), 2,
+                                    options, ws),
+                 Error);
+  }
+  {
+    ShrinkageOptions options;
+    options.lipschitz = 16.0;
+    std::vector<double> prior(16, 0.0);  // need leads * n = 32
+    options.warm_start = prior;
+    EXPECT_THROW(fista_group<float>(op, std::span<const float>(y), 2,
+                                    options, ws),
+                 Error);
+  }
+}
+
 }  // namespace
 }  // namespace csecg::solvers

@@ -14,12 +14,12 @@
 //                       [--keyframe 64] [--conceal hold|interp]
 //                       [--backend native] [--json dump.jsonl]
 //   csecg_tool metrics  --trace dump.jsonl [--prom out.prom]
-//   csecg_tool stream   --in rec.csecg [--cr 50] [--adapt 1] [--loss 0.1]
-//                       [--burst 4] [--ber 1e-5] [--retries 3]
+//   csecg_tool stream   --in rec.csecg [--cr 50] [--leads 1] [--adapt 1]
+//                       [--loss 0.1] [--burst 4] [--ber 1e-5] [--retries 3]
 //                       [--keyframe 64] [--conceal hold|interp]
 //                       [--backend native]
 //   csecg_tool fleet    [--nodes 8] [--workers 4] [--seconds 30]
-//                       [--cr 30,50,70] [--adapt 1] [--queue 64]
+//                       [--cr 30,50,70] [--leads 1] [--adapt 1] [--queue 64]
 //                       [--loss 0.0] [--burst 1] [--ber 0]
 //                       [--keyframe 64] [--rate 256] [--batch 1]
 //                       [--backend native] [--warm] [--weighted]
@@ -27,6 +27,7 @@
 //   csecg_tool gateway  [--soak] [--nodes 10000] [--shards 2]
 //                       [--workers 1] [--queue 256] [--batch 4]
 //                       [--streams 6] [--records 3] [--cr 50,40,30]
+//                       [--leads 1]
 //                       [--keyframe 16] [--windows 32] [--clusters 64]
 //                       [--duty-on 4] [--duty-period 2048]
 //                       [--warmup 96] [--steady 192] [--seed 2011]
@@ -43,6 +44,12 @@
 // (default native): which kernel schedule the FISTA reconstruction runs
 // through. `fleet --batch k` drains up to k frames per worker dispatch
 // and sweeps them through the batched solver in one kernel invocation.
+// `stream`/`fleet`/`gateway` accept `--leads L` (1..8, default 1): L > 1
+// switches the session to a StreamProfile-v2 lead group — all L leads
+// share one sensing seed and one wire sequence per window, and the
+// receiver recovers the group jointly (one l2,1 solve on panel kernels,
+// conceal-/shed-whole-group). `--cr` lists are validated strictly:
+// empty or non-numeric elements are a usage error.
 // `decode`/`fleet`/`gateway` also accept the prior-aware policy flags:
 // `--warm` (warm-start FISTA from the previous window's solution, with
 // adaptive restart and support-aware tolerance) and `--weighted` (the
@@ -81,10 +88,12 @@
 
 #include <execinfo.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -96,6 +105,7 @@
 
 #include "csecg/core/codebook.hpp"
 #include "csecg/core/codec.hpp"
+#include "csecg/core/encoder.hpp"
 #include "csecg/core/residual.hpp"
 #include "csecg/ecg/database.hpp"
 #include "csecg/ecg/ecgsyn.hpp"
@@ -110,6 +120,7 @@
 #include "csecg/wbsn/fleet.hpp"
 #include "csecg/wbsn/gateway.hpp"
 #include "csecg/wbsn/link.hpp"
+#include "csecg/wbsn/multi_lead.hpp"
 #include "csecg/wbsn/traffic_gen.hpp"
 #include "csecg/wbsn/pipeline.hpp"
 #include "csecg/wbsn/stream_session.hpp"
@@ -254,6 +265,50 @@ core::PriorPolicy parse_prior(const Args& args) {
     prior.support_tolerance = 1e-4;
   }
   return prior;
+}
+
+/// `--cr` as a strict comma list of positive numbers (`30,50,70`).
+/// Empty elements and trailing garbage ("", "50x", "30,,70") are usage
+/// errors — a typo'd CR mix must not silently run a different
+/// experiment.
+std::vector<double> parse_cr_list(const Args& args, const char* fallback) {
+  const auto it = args.find("cr");
+  const std::string list = it == args.end() ? fallback : it->second;
+  std::vector<double> values;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string element = list.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double value =
+        element.empty() ? 0.0 : std::strtod(element.c_str(), &end);
+    if (element.empty() || end != element.c_str() + element.size() ||
+        !std::isfinite(value) || value <= 0.0) {
+      std::fprintf(stderr,
+                   "--cr expects a comma list of positive numbers "
+                   "(e.g. 30,50,70); got \"%s\"\n",
+                   list.c_str());
+      std::exit(2);
+    }
+    values.push_back(value);
+    pos = comma + 1;
+  }
+  return values;
+}
+
+/// `--leads L`: lead-group width for stream/fleet/gateway. 1 keeps the
+/// classic single-lead v1 wire; 2..kMaxLeads switch the session to
+/// StreamProfile-v2 lead groups with joint group-sparse recovery.
+std::size_t parse_leads(const Args& args) {
+  const double leads = get_double(args, "leads", 1.0);
+  if (!(leads >= 1.0) ||
+      leads > static_cast<double>(core::StreamProfile::kMaxLeads) ||
+      leads != std::floor(leads)) {
+    std::fprintf(stderr, "--leads must be an integer in [1, %zu]\n",
+                 core::StreamProfile::kMaxLeads);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(leads);
 }
 
 int cmd_generate(const Args& args) {
@@ -473,11 +528,60 @@ wbsn::PipelineConfig parse_pipeline_args(const Args& args) {
   return pipe;
 }
 
+/// `stream --leads L` (L > 1): the record becomes an L-lead group of
+/// electrode-gain replicas (lead 0 verbatim, later leads attenuated)
+/// streamed as one StreamProfile-v2 session and recovered jointly — a
+/// joint-recovery demo on arbitrary input, not a physiological lead
+/// model (`fleet --leads` synthesises correlated morphology instead).
+int stream_group(const Args& args, const ecg::Record& record,
+                 std::size_t leads) {
+  std::vector<ecg::Record> replicas(leads);
+  std::vector<const ecg::Record*> group;
+  group.reserve(leads);
+  for (std::size_t l = 0; l < leads; ++l) {
+    replicas[l] = record;
+    const double gain = 1.0 / (1.0 + 0.35 * static_cast<double>(l));
+    for (auto& sample : replicas[l].samples) {
+      sample = static_cast<std::int16_t>(
+          std::lround(static_cast<double>(sample) * gain));
+    }
+    group.push_back(&replicas[l]);
+  }
+
+  core::DecoderConfig config;
+  config.cs.measurements = core::measurements_for_cr(
+      config.cs.window, get_double(args, "cr", 50.0));
+  config.backend = &parse_backend(args);
+  const wbsn::PipelineConfig pipe = parse_pipeline_args(args);
+  const auto report = wbsn::run_multi_lead(
+      group, config, pipe.link, wbsn::MultiLeadMode::kJointGroup);
+
+  std::printf("lead group              : %zu leads x %zu windows "
+              "(joint l2,1 recovery, shared Phi)\n",
+              report.leads, report.windows_per_lead);
+  for (std::size_t l = 0; l < report.per_lead_prd.size(); ++l) {
+    std::printf("lead %zu PRD              : %.2f %%\n", l,
+                report.per_lead_prd[l]);
+  }
+  std::printf("mean PRD                : %.2f %%\n", report.mean_prd);
+  std::printf("decode backend          : %s\n", config.backend->name());
+  std::printf("link airtime            : %.2f s (one ARQ/CRC stream)\n",
+              report.link_airtime_s);
+  std::printf("coordinator CPU         : %.1f %% (%s)\n",
+              report.coordinator_cpu_usage * 100.0,
+              report.real_time_feasible ? "real-time" : "NOT real-time");
+  return 0;
+}
+
 int cmd_stream(const Args& args) {
   const auto record = io::load_record(need(args, "in"));
   if (!record) {
     std::fprintf(stderr, "cannot read record\n");
     return 1;
+  }
+  const std::size_t leads = parse_leads(args);
+  if (leads > 1) {
+    return stream_group(args, *record, leads);
   }
   // v1 session: the CR, keyframe cadence and codec geometry travel as a
   // StreamProfile announced in-band; the pipeline's coordinator
@@ -545,18 +649,10 @@ int cmd_fleet(const Args& args) {
   }
 
   // --cr accepts a comma list (e.g. 30,50,70): node i runs entry i mod
-  // size, so a mixed-capability fleet needs no per-node flags.
-  std::vector<double> crs;
-  {
-    const auto it = args.find("cr");
-    std::string list = it == args.end() ? "50" : it->second;
-    std::size_t pos = 0;
-    while (pos <= list.size()) {
-      const std::size_t comma = std::min(list.find(',', pos), list.size());
-      crs.push_back(std::stod(list.substr(pos, comma - pos)));
-      pos = comma + 1;
-    }
-  }
+  // size, so a mixed-capability fleet needs no per-node flags. The list
+  // is validated strictly — garbage elements are a usage error.
+  const std::vector<double> crs = parse_cr_list(args, "50");
+  const std::size_t leads = parse_leads(args);
   const auto keyframe_interval =
       static_cast<std::uint16_t>(get_double(args, "keyframe", 64.0));
   const bool adapt = get_double(args, "adapt", 0.0) != 0.0;
@@ -582,13 +678,15 @@ int cmd_fleet(const Args& args) {
     std::size_t scored = 0;
   };
   std::vector<NodeScore> scores(node_count);
-  std::vector<std::vector<std::int16_t>> originals(node_count);
+  // originals[node][lead]: lead 0 is the classic single-lead stream;
+  // --leads L > 1 renders L correlated projections of one beat schedule.
+  std::vector<std::vector<std::vector<std::int16_t>>> originals(node_count);
 
   const auto sink = [&](const wbsn::FleetWindow& window) {
     if (window.concealed || window.samples.size() != n) {
       return;
     }
-    const auto& record = originals[window.node_id];
+    const auto& record = originals[window.node_id][window.lead];
     const std::size_t offset = static_cast<std::size_t>(window.sequence) * n;
     if (offset + n > record.size()) {
       return;
@@ -634,10 +732,22 @@ int cmd_fleet(const Args& args) {
     gen.duration_s = seconds;
     gen.mean_heart_rate_bpm = 60.0 + static_cast<double>(node % 7) * 5.0;
     gen.seed = 1 + static_cast<std::uint64_t>(node);
-    originals[node] =
-        ecg::AdcModel().quantize(ecg::generate_ecg(gen).samples_mv);
+    // One beat schedule per node, projected per lead — correlated leads
+    // sharing morphology, the structure the joint solve exploits.
+    // for_lead(0) is the MLII identity, so leads == 1 reproduces the
+    // classic generate_ecg stream bit for bit.
+    const auto schedule = ecg::generate_beat_schedule(gen);
+    originals[node].reserve(leads);
+    for (std::size_t l = 0; l < leads; ++l) {
+      originals[node].push_back(ecg::AdcModel().quantize(
+          ecg::render_ecg(schedule, gen, ecg::LeadProjection::for_lead(l))
+              .samples_mv));
+    }
     core::StreamProfile profile =
         core::profile_for_cr(crs[node % crs.size()]);
+    if (leads > 1) {
+      profile = profile.with_leads(leads);
+    }
     profile.keyframe_interval = keyframe_interval;
     session_config.link.seed = 100 + static_cast<std::uint64_t>(node);
     sessions.push_back(
@@ -656,13 +766,27 @@ int cmd_fleet(const Args& args) {
   };
 
   // Interleave the streams window by window — the arrival pattern a
-  // gateway actually sees from N concurrent 2 s senders.
-  const std::size_t windows_per_node = originals[0].size() / n;
+  // gateway actually sees from N concurrent 2 s senders. Lead groups
+  // send all L leads of a window as one unit under a shared sequence.
+  const std::size_t windows_per_node = originals[0][0].size() / n;
+  std::vector<std::int16_t> flat(leads * n);
   for (std::size_t w = 0; w < windows_per_node; ++w) {
     for (std::size_t node = 0; node < node_count; ++node) {
-      sessions[node]->send_window(
-          std::span<const std::int16_t>(originals[node].data() + w * n, n),
-          sink_for(node));
+      if (leads == 1) {
+        sessions[node]->send_window(
+            std::span<const std::int16_t>(originals[node][0].data() + w * n,
+                                          n),
+            sink_for(node));
+        continue;
+      }
+      for (std::size_t l = 0; l < leads; ++l) {
+        std::copy(originals[node][l].begin() +
+                      static_cast<std::ptrdiff_t>(w * n),
+                  originals[node][l].begin() +
+                      static_cast<std::ptrdiff_t>((w + 1) * n),
+                  flat.begin() + static_cast<std::ptrdiff_t>(l * n));
+      }
+      sessions[node]->send_group_window(flat, sink_for(node));
     }
   }
   // Bounded ARQ drain: answer NACKs until every transmitter goes idle or
@@ -687,6 +811,11 @@ int cmd_fleet(const Args& args) {
               fleet_config.backend->name(),
               std::max<std::size_t>(1, fleet_config.decode_batch),
               adapt ? ", adaptive CR" : "");
+  if (leads > 1) {
+    std::printf("lead groups             : %zu correlated leads per node, "
+                "joint group recovery\n",
+                leads);
+  }
   std::printf("node   CR  windows concealed  p50 ms  p95 ms  p99 ms"
               "  mean PRD\n");
   for (const auto& stats : report.nodes) {
@@ -772,20 +901,10 @@ int cmd_gateway(const Args& args) {
       get_double(args, "duty-period", soak ? 2048.0 : 512.0));
   cfg.traffic.seed =
       static_cast<std::uint64_t>(get_double(args, "seed", 2011.0));
-  {
-    const auto it = args.find("cr");
-    if (it != args.end()) {
-      cfg.traffic.crs.clear();
-      std::string list = it->second;
-      std::size_t pos = 0;
-      while (pos <= list.size()) {
-        const std::size_t comma =
-            std::min(list.find(',', pos), list.size());
-        cfg.traffic.crs.push_back(std::stod(list.substr(pos, comma - pos)));
-        pos = comma + 1;
-      }
-    }
+  if (args.find("cr") != args.end()) {
+    cfg.traffic.crs = parse_cr_list(args, "50");
   }
+  cfg.traffic.leads = parse_leads(args);
 
   cfg.gateway.shards =
       static_cast<std::size_t>(get_double(args, "shards", 2.0));
